@@ -1,0 +1,29 @@
+.PHONY: all build test bench bench-quick doc clean examples
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+test-force:
+	dune runtest --force --no-buffer
+
+bench:
+	dune exec bench/main.exe
+
+bench-timing:
+	dune exec bench/main.exe -- --bechamel
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/document_diff.exe
+	dune exec examples/config_management.exe
+	dune exec examples/web_monitor.exe
+	dune exec examples/ast_diff.exe
+	dune exec examples/active_rules.exe
+
+clean:
+	dune clean
