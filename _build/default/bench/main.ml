@@ -1,0 +1,132 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§8 and Appendix A), plus the complexity-claim experiments of
+   §2/§5.  Run with no arguments for all experiment tables; name experiments
+   to run a subset; add --bechamel for wall-clock micro-benchmarks (one
+   Bechamel test per table/figure). *)
+
+module E = Treediff_experiments
+
+let experiments =
+  [
+    ("fig13a", "Figure 13(a): weighted vs unweighted edit distance",
+     fun () -> ignore (E.Fig13a.run ()));
+    ("fig13b", "Figure 13(b): FastMatch comparisons vs analytic bound",
+     fun () -> ignore (E.Fig13b.run ()));
+    ("table1", "Table 1: mismatched-paragraph bound vs threshold t",
+     fun () -> ignore (E.Table1.run ()));
+    ("sample", "Appendix A: LaDiff sample run (Figures 14-16, Table 2)",
+     fun () -> ignore (E.Sample_run.run ()));
+    ("scaling", "Scaling: ours vs Zhang-Shasha",
+     fun () -> ignore (E.Scaling.run ()));
+    ("quality", "Delta quality: ours vs flat diff vs Zhang-Shasha",
+     fun () -> ignore (E.Quality.run ()));
+    ("optimality", "Optimality: matcher agreement, ablation, C.2 bound",
+     fun () -> ignore (E.Optimality.run ()));
+    ("ablation", "Ablations: match threshold t sweep, A(k) scan window sweep",
+     fun () -> ignore (E.Ablation.run ()));
+  ]
+
+(* ------------------------------------------------- Bechamel micro-benches *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  (* Shared inputs, built once, outside the timed region. *)
+  let g = Treediff_util.Prng.create 4242 in
+  let gen = Treediff_tree.Tree.gen () in
+  let doc = Treediff_workload.Docgen.generate g gen Treediff_workload.Docgen.medium in
+  let doc2, _ = Treediff_workload.Mutate.mutate g gen doc ~actions:15 in
+  let small = Treediff_workload.Docgen.generate g gen Treediff_workload.Docgen.small in
+  let small2, _ = Treediff_workload.Mutate.mutate g gen small ~actions:8 in
+  let config = Treediff_doc.Doc_tree.config in
+  let criteria = Treediff_doc.Doc_tree.criteria in
+  let old_src = E.Sample_run.old_doc and new_src = E.Sample_run.new_doc in
+  let latex1 = Treediff_doc.Latex_parser.print doc
+  and latex2 = Treediff_doc.Latex_parser.print doc2 in
+  [
+    Test.make ~name:"fig13a/diff-medium-pair"
+      (Staged.stage (fun () -> ignore (Treediff.Diff.diff ~config doc doc2)));
+    Test.make ~name:"fig13b/fastmatch-only"
+      (Staged.stage (fun () ->
+           let ctx = Treediff_matching.Criteria.ctx criteria ~t1:doc ~t2:doc2 in
+           ignore (Treediff_matching.Fast_match.run ctx)));
+    Test.make ~name:"table1/mc3-violation-scan"
+      (Staged.stage (fun () ->
+           let ctx = Treediff_matching.Criteria.ctx criteria ~t1:small ~t2:small2 in
+           ignore (Treediff_matching.Criteria.mc3_violations ctx)));
+    Test.make ~name:"sample/ladiff-end-to-end"
+      (Staged.stage (fun () -> ignore (Treediff_doc.Ladiff.run ~old_src ~new_src ())));
+    Test.make ~name:"scaling/ours-small-pair"
+      (Staged.stage (fun () -> ignore (Treediff.Diff.diff ~config small small2)));
+    Test.make ~name:"scaling/zhang-shasha-small-pair"
+      (Staged.stage (fun () -> ignore (Treediff_zs.Zhang_shasha.mapping small small2)));
+    Test.make ~name:"quality/flat-line-diff"
+      (Staged.stage (fun () -> ignore (Treediff_textdiff.Line_diff.diff latex1 latex2)));
+    Test.make ~name:"quality/word-compare"
+      (Staged.stage (fun () ->
+           ignore
+             (Treediff_textdiff.Word_compare.distance
+                "the quick brown fox jumps over the lazy dog near the river bank"
+                "the quick brown fox leaps over a lazy dog near the river")));
+    Test.make ~name:"ablation/levenshtein"
+      (Staged.stage (fun () ->
+           ignore (Treediff_textdiff.Levenshtein.normalized "configuration" "confabulation")));
+    Test.make ~name:"ablation/lcs-only-window-0"
+      (Staged.stage (fun () ->
+           let config = { config with Treediff.Config.scan_window = Some 0 } in
+           ignore (Treediff.Diff.diff ~config small small2)));
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  print_endline "== Bechamel wall-clock benchmarks ==";
+  let tests = Test.make_grouped ~name:"treediff" (bechamel_tests ()) in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  let table = Treediff_util.Table.create ~headers:[ "benchmark"; "time/run" ] in
+  List.iter
+    (fun (name, r) ->
+      let cell =
+        match Analyze.OLS.estimates r with
+        | Some (est :: _) ->
+          if est > 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
+          else if est > 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
+          else if est > 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
+          else Printf.sprintf "%.0f ns" est
+        | Some [] | None -> "n/a"
+      in
+      Treediff_util.Table.add_row table [ name; cell ])
+    rows;
+  Treediff_util.Table.print table;
+  print_newline ()
+
+let usage () =
+  print_endline "usage: main.exe [EXPERIMENT...] [--bechamel]";
+  print_endline "experiments (default: all):";
+  List.iter (fun (name, descr, _) -> Printf.printf "  %-12s %s\n" name descr) experiments
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let bech = List.mem "--bechamel" args in
+  let names = List.filter (fun a -> a <> "--bechamel") args in
+  if List.mem "--help" names || List.mem "-h" names then usage ()
+  else begin
+    let selected =
+      if names = [] then experiments
+      else
+        List.filter_map
+          (fun n ->
+            match List.find_opt (fun (name, _, _) -> name = n) experiments with
+            | Some e -> Some e
+            | None ->
+              Printf.printf "unknown experiment %S (try --help)\n" n;
+              None)
+          names
+    in
+    List.iter (fun (_, _, run) -> run ()) selected;
+    if bech then run_bechamel ()
+  end

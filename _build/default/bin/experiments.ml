@@ -1,0 +1,35 @@
+(* Experiment runner: the cmdliner face of the benchmark harness, for users
+   who want one experiment at a time with proper --help.  `bench/main.exe`
+   runs the same drivers plus the Bechamel timing benches. *)
+
+open Cmdliner
+
+module E = Treediff_experiments
+
+let all = [ "fig13a"; "fig13b"; "table1"; "sample"; "scaling"; "quality"; "optimality"; "ablation" ]
+
+let run names =
+  let names = if names = [] then all else names in
+  List.iter
+    (fun name ->
+      match name with
+      | "fig13a" -> ignore (E.Fig13a.run ())
+      | "fig13b" -> ignore (E.Fig13b.run ())
+      | "table1" -> ignore (E.Table1.run ())
+      | "sample" -> ignore (E.Sample_run.run ())
+      | "scaling" -> ignore (E.Scaling.run ())
+      | "quality" -> ignore (E.Quality.run ())
+      | "optimality" -> ignore (E.Optimality.run ())
+      | "ablation" -> ignore (E.Ablation.run ())
+      | other -> failwith (Printf.sprintf "unknown experiment %S (choose from: %s)" other (String.concat ", " all)))
+    names
+
+let names =
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT"
+         ~doc:"Experiments to run (default: all).")
+
+let cmd =
+  let doc = "regenerate the paper's evaluation tables and figures" in
+  Cmd.v (Cmd.info "experiments" ~version:"1.0.0" ~doc) Term.(const run $ names)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,54 @@
+(* Workload generator CLI: emit a deterministic pair (or chain) of LaTeX
+   document versions, for exercising ladiff by hand.
+
+     gen_corpus --seed 42 --size medium --edits 15 -o /tmp/doc
+     ladiff /tmp/doc.v0.tex /tmp/doc.v1.tex -m text *)
+
+open Cmdliner
+
+let run seed size edits versions prefix =
+  let profile =
+    match size with
+    | "small" -> Treediff_workload.Docgen.small
+    | "medium" -> Treediff_workload.Docgen.medium
+    | "large" -> Treediff_workload.Docgen.large
+    | s -> failwith (Printf.sprintf "unknown size %S (small|medium|large)" s)
+  in
+  let set =
+    Treediff_workload.Corpus.make ~name:prefix ~seed ~profile ~versions
+      ~edits_per_version:edits
+  in
+  List.iteri
+    (fun i doc ->
+      let path = Printf.sprintf "%s.v%d.tex" prefix i in
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (Treediff_doc.Latex_parser.print doc));
+      Printf.printf "wrote %s (%d sentences)\n" path
+        (Treediff_doc.Doc_tree.sentence_count doc))
+    set.Treediff_workload.Corpus.versions
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+
+let size =
+  Arg.(value & opt string "medium" & info [ "size" ] ~docv:"SIZE"
+         ~doc:"Document profile: $(b,small), $(b,medium) or $(b,large).")
+
+let edits =
+  Arg.(value & opt int 15 & info [ "edits" ] ~docv:"N"
+         ~doc:"Revision actions between consecutive versions.")
+
+let versions =
+  Arg.(value & opt int 2 & info [ "versions" ] ~docv:"N" ~doc:"Number of versions.")
+
+let prefix =
+  Arg.(value & opt string "corpus" & info [ "o"; "output" ] ~docv:"PREFIX"
+         ~doc:"Output path prefix; files are $(docv).v0.tex, $(docv).v1.tex, …")
+
+let cmd =
+  let doc = "generate deterministic synthetic document-version corpora" in
+  Cmd.v (Cmd.info "gen_corpus" ~version:"1.0.0" ~doc)
+    Term.(const run $ seed $ size $ edits $ versions $ prefix)
+
+let () = exit (Cmd.eval cmd)

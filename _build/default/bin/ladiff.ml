@@ -1,0 +1,101 @@
+(* The LaDiff command-line tool (§7): compare two versions of a LaTeX (or
+   HTML) document and emit a marked-up document highlighting the changes. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run old_file new_file format threshold leaf_f output mode check =
+  let format =
+    match format with
+    | "latex" -> Treediff_doc.Ladiff.Latex
+    | "html" -> Treediff_doc.Ladiff.Html
+    | f -> failwith (Printf.sprintf "unknown format %S (latex|html)" f)
+  in
+  let config =
+    Treediff_doc.Doc_tree.config_with ~leaf_f ~internal_t:threshold ()
+  in
+  let old_src = read_file old_file and new_src = read_file new_file in
+  let out = Treediff_doc.Ladiff.run ~format ~config ~old_src ~new_src () in
+  let result = out.Treediff_doc.Ladiff.result in
+  (if check then
+     match
+       Treediff.Diff.check result ~t1:out.Treediff_doc.Ladiff.old_tree
+         ~t2:out.Treediff_doc.Ladiff.new_tree
+     with
+     | Ok () -> prerr_endline "check: edit script transforms old tree into new tree"
+     | Error e -> failwith ("check failed: " ^ e));
+  let text =
+    match mode with
+    | "latex" -> out.Treediff_doc.Ladiff.marked_latex
+    | "html" ->
+      Treediff_doc.Html_markup.to_html ~full_page:true
+        ~title:(Filename.basename new_file) result.Treediff.Diff.delta
+    | "text" -> out.Treediff_doc.Ladiff.marked_text
+    | "script" -> Treediff_edit.Script_io.to_string result.Treediff.Diff.script
+    | "summary" ->
+      Treediff_doc.Markup.summary result.Treediff.Diff.delta ^ "\n"
+    | m ->
+      failwith (Printf.sprintf "unknown output mode %S (latex|html|text|script|summary)" m)
+  in
+  match output with
+  | None -> print_string text
+  | Some path ->
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc text)
+
+let old_file =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD" ~doc:"Old version.")
+
+let new_file =
+  Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW" ~doc:"New version.")
+
+let format =
+  Arg.(value & opt string "latex" & info [ "f"; "format" ] ~docv:"FMT"
+         ~doc:"Input format: $(b,latex) or $(b,html).")
+
+let threshold =
+  Arg.(value & opt float 0.6 & info [ "t"; "threshold" ] ~docv:"T"
+         ~doc:"Match threshold t for internal nodes (1/2 <= t <= 1), §5.1.")
+
+let leaf_f =
+  Arg.(value & opt float 0.5 & info [ "leaf-threshold" ] ~docv:"F"
+         ~doc:"Leaf distance threshold f (0 <= f <= 1), Matching Criterion 1.")
+
+let output =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+         ~doc:"Write the result to $(docv) instead of stdout.")
+
+let mode =
+  Arg.(value & opt string "latex" & info [ "m"; "mode" ] ~docv:"MODE"
+         ~doc:"Output mode: $(b,latex) (marked-up document), $(b,html) (marked-up web \
+               page), $(b,text) (annotated tree), $(b,script) (edit script), \
+               $(b,summary).")
+
+let check =
+  Arg.(value & flag & info [ "check" ]
+         ~doc:"Verify that the edit script transforms the old tree into the new one.")
+
+let cmd =
+  let doc = "detect and mark changes between two structured-document versions" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P "LaDiff parses two versions of a LaTeX (or HTML) document, computes a \
+          minimum-cost edit script between their trees (Chawathe, Rajaraman, \
+          Garcia-Molina & Widom, SIGMOD 1996), and emits the new version marked \
+          up with the changes: inserted sentences in bold, deleted in small \
+          font, updates in italics, moves labelled and footnoted.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "ladiff" ~version:"1.0.0" ~doc ~man)
+    Term.(const run $ old_file $ new_file $ format $ threshold $ leaf_f $ output $ mode $ check)
+
+let () = exit (Cmd.eval cmd)

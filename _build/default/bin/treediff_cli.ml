@@ -1,0 +1,170 @@
+(* Generic tree differ over the s-expression codec.
+
+   treediff diff OLD NEW [-m script|delta|stats] [--zhang-shasha] …
+   treediff apply TREE SCRIPT [-o OUT]
+
+   `diff -m script` emits the Script_io format that `apply` replays — the
+   paper's data-warehouse loop: compute the delta once, ship it, apply it
+   at the replica. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_tree format gen src =
+  match format with
+  | "sexp" -> Treediff_tree.Codec.parse gen src
+  | "xml" -> Treediff_doc.Xml_parser.parse gen src
+  | f -> failwith (Printf.sprintf "unknown tree format %S (sexp|xml)" f)
+
+let print_tree format t =
+  match format with
+  | "sexp" -> Treediff_tree.Codec.to_string t ^ "\n"
+  | "xml" -> Treediff_doc.Xml_parser.print t ^ "\n"
+  | f -> failwith (Printf.sprintf "unknown tree format %S (sexp|xml)" f)
+
+let format_arg =
+  Cmdliner.Arg.(value & opt string "sexp" & info [ "f"; "format" ] ~docv:"FMT"
+         ~doc:"Tree file format: $(b,sexp) (the codec) or $(b,xml).")
+
+let write_out output text =
+  match output with
+  | None -> print_string text
+  | Some path ->
+    let oc = open_out_bin path in
+    Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc text)
+
+(* ------------------------------------------------------------------ diff *)
+
+let run_diff old_file new_file format algorithm threshold leaf_f window mode zs output =
+  let gen = Treediff_tree.Tree.gen () in
+  let t1 = parse_tree format gen (read_file old_file) in
+  let t2 = parse_tree format gen (read_file new_file) in
+  if zs then begin
+    let r = Treediff_zs.Zhang_shasha.mapping t1 t2 in
+    write_out output
+      (Printf.sprintf "zhang-shasha distance: %.2f (%d mapped pairs, %d relabels)\n"
+         r.Treediff_zs.Zhang_shasha.dist
+         (List.length r.Treediff_zs.Zhang_shasha.pairs)
+         r.Treediff_zs.Zhang_shasha.relabels)
+  end
+  else begin
+    let algorithm =
+      match algorithm with
+      | "fast" -> Treediff.Config.Fast_match
+      | "simple" -> Treediff.Config.Simple_match
+      | a -> failwith (Printf.sprintf "unknown algorithm %S (fast|simple)" a)
+    in
+    let criteria =
+      Treediff_matching.Criteria.make ~leaf_f ~internal_t:threshold
+        ~compare:Treediff_textdiff.Word_compare.distance ()
+    in
+    let config =
+      { (Treediff.Config.with_criteria criteria) with algorithm; scan_window = window }
+    in
+    let result = Treediff.Diff.diff ~config t1 t2 in
+    (match Treediff.Diff.check result ~t1 ~t2 with
+    | Ok () -> ()
+    | Error e -> failwith ("internal check failed: " ^ e));
+    let text =
+      match mode with
+      | "script" -> Treediff_edit.Script_io.to_string result.Treediff.Diff.script
+      | "delta" -> Treediff.Delta_io.to_string result.Treediff.Diff.delta ^ "\n"
+      | "stats" ->
+        let m = result.Treediff.Diff.measure in
+        Printf.sprintf
+          "ops: %d (ins %d, del %d, upd %d, mov %d)\ncost: %.2f\nweighted distance e: %d\n\
+           matching: %d pairs\ncomparisons: %d leaf compares, %d partner checks\n"
+          (Treediff_edit.Script.unweighted m)
+          m.Treediff_edit.Script.inserts m.Treediff_edit.Script.deletes
+          m.Treediff_edit.Script.updates m.Treediff_edit.Script.moves
+          m.Treediff_edit.Script.cost m.Treediff_edit.Script.weighted
+          (Treediff_matching.Matching.cardinal result.Treediff.Diff.matching)
+          result.Treediff.Diff.stats.Treediff_util.Stats.leaf_compares
+          result.Treediff.Diff.stats.Treediff_util.Stats.partner_checks
+      | m -> failwith (Printf.sprintf "unknown mode %S (script|delta|stats)" m)
+    in
+    write_out output text
+  end
+
+let old_file =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD" ~doc:"Old tree file.")
+
+let new_file =
+  Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW" ~doc:"New tree file.")
+
+let algorithm =
+  Arg.(value & opt string "fast" & info [ "a"; "algorithm" ] ~docv:"ALG"
+         ~doc:"Matching algorithm: $(b,fast) (FastMatch, §5.3) or $(b,simple) (Match, §5.2).")
+
+let threshold =
+  Arg.(value & opt float 0.6 & info [ "t"; "threshold" ] ~docv:"T"
+         ~doc:"Internal-node match threshold t.")
+
+let leaf_f =
+  Arg.(value & opt float 0.5 & info [ "leaf-threshold" ] ~docv:"F"
+         ~doc:"Leaf distance threshold f (word-LCS distance).")
+
+let window =
+  Arg.(value & opt (some int) None & info [ "k"; "window" ] ~docv:"K"
+         ~doc:"A(k) scan window: bound FastMatch's straggler scan to $(docv) chain \
+               positions (faster, may miss far moves).  Default: unbounded.")
+
+let mode =
+  Arg.(value & opt string "script" & info [ "m"; "mode" ] ~docv:"MODE"
+         ~doc:"Output: $(b,script) (replayable), $(b,delta) (annotated tree) or $(b,stats).")
+
+let zs =
+  Arg.(value & flag & info [ "zhang-shasha" ]
+         ~doc:"Run the Zhang-Shasha baseline instead of the paper's pipeline.")
+
+let output =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+         ~doc:"Write to $(docv) instead of stdout.")
+
+let diff_cmd =
+  let doc = "compute a minimum-cost edit script between two trees" in
+  Cmd.v (Cmd.info "diff" ~doc)
+    Term.(const run_diff $ old_file $ new_file $ format_arg $ algorithm $ threshold
+          $ leaf_f $ window $ mode $ zs $ output)
+
+(* ----------------------------------------------------------------- apply *)
+
+let run_apply tree_file script_file format output =
+  let gen = Treediff_tree.Tree.gen () in
+  let t = parse_tree format gen (read_file tree_file) in
+  let script = Treediff_edit.Script_io.of_string (read_file script_file) in
+  let t' = Treediff_edit.Script.apply t script in
+  write_out output (print_tree format t')
+
+let tree_file =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"TREE" ~doc:"Tree to transform.")
+
+let script_file =
+  Arg.(required & pos 1 (some file) None & info [] ~docv:"SCRIPT"
+         ~doc:"Edit script (Script_io format, as produced by $(b,diff -m script)).")
+
+let apply_cmd =
+  let doc = "replay a stored edit script on a tree" in
+  Cmd.v (Cmd.info "apply" ~doc)
+    Term.(const run_apply $ tree_file $ script_file $ format_arg $ output)
+
+(* ------------------------------------------------------------------ main *)
+
+let cmd =
+  let doc = "minimum-cost edit scripts between labeled ordered trees" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P "Trees use the s-expression codec, e.g. \
+          (D (P (S \"a\") (S \"b\")) (P (S \"c\"))).  The algorithms are those \
+          of Chawathe, Rajaraman, Garcia-Molina & Widom (SIGMOD 1996).";
+    ]
+  in
+  Cmd.group (Cmd.info "treediff" ~version:"1.0.0" ~doc ~man) [ diff_cmd; apply_cmd ]
+
+let () = exit (Cmd.eval cmd)

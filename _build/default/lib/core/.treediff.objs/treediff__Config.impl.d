@@ -1,0 +1,1 @@
+lib/core/config.ml: Treediff_edit Treediff_matching

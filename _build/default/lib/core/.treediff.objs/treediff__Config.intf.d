@@ -1,0 +1,1 @@
+lib/core/config.mli: Treediff_edit Treediff_matching

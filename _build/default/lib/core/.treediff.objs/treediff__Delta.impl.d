@@ -1,0 +1,1 @@
+lib/core/delta.ml: Format Hashtbl List Printf String Treediff_edit Treediff_matching Treediff_tree

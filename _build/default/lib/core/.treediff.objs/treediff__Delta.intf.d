@@ -1,0 +1,1 @@
+lib/core/delta.mli: Format Treediff_edit Treediff_matching Treediff_tree

@@ -1,0 +1,1 @@
+lib/core/delta_io.ml: Buffer Delta List Printf String

@@ -1,0 +1,1 @@
+lib/core/delta_io.mli: Delta

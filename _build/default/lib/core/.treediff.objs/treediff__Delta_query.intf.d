@@ -1,0 +1,1 @@
+lib/core/delta_query.mli: Delta

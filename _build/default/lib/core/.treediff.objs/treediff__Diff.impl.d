@@ -1,0 +1,1 @@
+lib/core/diff.ml: Config Delta Edit_gen List Option Printf String Treediff_edit Treediff_matching Treediff_tree Treediff_util

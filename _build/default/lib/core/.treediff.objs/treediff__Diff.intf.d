@@ -1,0 +1,1 @@
+lib/core/diff.mli: Config Delta Treediff_edit Treediff_matching Treediff_tree Treediff_util

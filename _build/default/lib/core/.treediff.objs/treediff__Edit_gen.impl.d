@@ -1,0 +1,1 @@
+lib/core/edit_gen.ml: Array Hashtbl List Printf String Treediff_edit Treediff_lcs Treediff_matching Treediff_tree

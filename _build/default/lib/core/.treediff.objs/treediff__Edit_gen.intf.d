@@ -1,0 +1,1 @@
+lib/core/edit_gen.mli: Treediff_edit Treediff_matching Treediff_tree

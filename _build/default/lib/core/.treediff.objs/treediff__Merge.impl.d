@@ -1,0 +1,1 @@
+lib/core/merge.ml: Diff Format Hashtbl List String Treediff_edit Treediff_tree

@@ -1,0 +1,1 @@
+lib/core/merge.mli: Config Diff Format Treediff_edit Treediff_tree

@@ -1,0 +1,27 @@
+(** Configuration of the end-to-end change-detection pipeline. *)
+
+type algorithm =
+  | Fast_match    (** Algorithm FastMatch (§5.3) — the default *)
+  | Simple_match  (** Algorithm Match (§5.2) — the O(n²) reference *)
+
+type t = {
+  criteria : Treediff_matching.Criteria.t;
+      (** matching parameters f, t and the leaf compare function *)
+  algorithm : algorithm;
+  postprocess : bool;
+      (** run the §8 repair pass after matching (default true) *)
+  cost : Treediff_edit.Cost.t;  (** §3.2 cost model, for script measurement *)
+  scan_window : int option;
+      (** the A(k) knob (§9): bound FastMatch's straggler scan to k chain
+          positions; [None] (default) is the paper's full scan.  Smaller k is
+          faster but may report far-moved content as delete+insert.  Ignored
+          by [Simple_match]. *)
+}
+
+val default : t
+
+val with_criteria : Treediff_matching.Criteria.t -> t
+
+val with_compare : (string -> string -> float) -> t
+(** Default config with a custom leaf-value distance used both for matching
+    (criterion 1) and for update costs. *)

@@ -1,0 +1,185 @@
+module Node = Treediff_tree.Node
+module Tree = Treediff_tree.Tree
+module Op = Treediff_edit.Op
+module Matching = Treediff_matching.Matching
+
+type base = Identical | Updated of string | Inserted | Deleted | Marker
+
+type t = {
+  label : string;
+  value : string;
+  base : base;
+  moved : int option;
+  children : t list;
+}
+
+let build ~t1 ~t2 ~total ~script =
+  let t1_index = Tree.index_by_id t1 in
+  let in_t1 id = Hashtbl.mem t1_index id in
+  (* Marker numbers in script order; a node moves at most once per script. *)
+  let markers = Hashtbl.create 16 in
+  List.iter
+    (fun op ->
+      match op with
+      | Op.Move { id; _ } ->
+        if not (Hashtbl.mem markers id) then
+          Hashtbl.replace markers id (Hashtbl.length markers + 1)
+      | Op.Insert _ | Op.Delete _ | Op.Update _ -> ())
+    script;
+  (* Ghost subtree for a deleted T1 node: unmatched descendants stay as
+     [Deleted]; matched descendants were necessarily moved out, so they leave
+     a [Marker] behind. *)
+  let rec deleted_ghost (u : Node.t) =
+    {
+      label = u.label;
+      value = u.value;
+      base = Deleted;
+      moved = None;
+      children =
+        List.map
+          (fun (c : Node.t) ->
+            if Matching.matched_old total c.id then marker_ghost c else deleted_ghost c)
+          (Node.children u);
+    }
+  and marker_ghost (c : Node.t) =
+    { label = c.label; value = c.value; base = Marker;
+      moved = Hashtbl.find_opt markers c.id; children = [] }
+  in
+  (* Ghosts anchored under matched T1 parents, keyed by the partner's T2 id. *)
+  let anchored : (int, (int * t) list ref) Hashtbl.t = Hashtbl.create 16 in
+  let root_ghosts = ref [] in
+  let anchor (p : Node.t option) old_index ghost =
+    let target =
+      match p with
+      | Some p -> Matching.partner_of_old total p.Node.id
+      | None -> None
+    in
+    match target with
+    | Some t2id ->
+      let slot =
+        match Hashtbl.find_opt anchored t2id with
+        | Some r -> r
+        | None ->
+          let r = ref [] in
+          Hashtbl.replace anchored t2id r;
+          r
+      in
+      slot := (old_index, ghost) :: !slot
+    | None -> root_ghosts := (old_index, ghost) :: !root_ghosts
+  in
+  let old_index (u : Node.t) = match u.Node.parent with Some _ -> Node.child_index u | None -> 0 in
+  Node.iter_preorder
+    (fun (u : Node.t) ->
+      let parent_deleted =
+        match u.Node.parent with
+        | Some p -> not (Matching.matched_old total p.Node.id)
+        | None -> false
+      in
+      (* Only ghost roots are anchored; nested ghosts are built recursively. *)
+      if not parent_deleted then
+        if not (Matching.matched_old total u.id) then
+          anchor u.Node.parent (old_index u) (deleted_ghost u)
+        else if Hashtbl.mem markers u.id then
+          anchor u.Node.parent (old_index u) (marker_ghost u))
+    t1;
+  let insert_ghosts t2id children =
+    match Hashtbl.find_opt anchored t2id with
+    | None -> children
+    | Some slot ->
+      let ghosts = List.sort (fun (i, _) (j, _) -> compare i j) !slot in
+      List.fold_left
+        (fun acc (idx, ghost) ->
+          let n = List.length acc in
+          let idx = min idx n in
+          let rec ins i = function
+            | rest when i = 0 -> ghost :: rest
+            | [] -> [ ghost ]
+            | x :: rest -> x :: ins (i - 1) rest
+          in
+          ins idx acc)
+        children ghosts
+  in
+  let rec build_new (y : Node.t) =
+    let wid = Matching.partner_of_new total y.id in
+    let base, moved =
+      match wid with
+      | Some wid when in_t1 wid ->
+        let old = Hashtbl.find t1_index wid in
+        let base =
+          if String.equal old.Node.value y.value then Identical
+          else Updated old.Node.value
+        in
+        (base, Hashtbl.find_opt markers wid)
+      | Some _ -> (Inserted, None) (* fresh id: node was inserted *)
+      | None -> (Inserted, None)   (* unmatched new node (pre-script delta) *)
+    in
+    let children = insert_ghosts y.id (List.map build_new (Node.children y)) in
+    { label = y.label; value = y.value; base; moved; children }
+  in
+  let root = build_new t2 in
+  (* Ghosts whose old parent has no counterpart (e.g. a replaced root) hang
+     off the delta root, oldest position first. *)
+  match !root_ghosts with
+  | [] -> root
+  | gs ->
+    let gs = List.map snd (List.sort (fun (i, _) (j, _) -> compare i j) gs) in
+    { root with children = gs @ root.children }
+
+let rec strip d =
+  match d.base with
+  | Deleted | Marker -> None
+  | Identical | Updated _ | Inserted ->
+    Some { d with children = List.filter_map strip d.children }
+
+let to_new_tree gen d =
+  let rec build (d : t) =
+    match d.base with
+    | Deleted | Marker -> None
+    | Identical | Updated _ | Inserted ->
+      Some (Tree.node gen d.label ~value:d.value (List.filter_map build d.children))
+  in
+  match build d with
+  | Some t -> t
+  | None -> invalid_arg "Delta.to_new_tree: the root is a ghost"
+
+let counts d =
+  let ins = ref 0 and del = ref 0 and upd = ref 0 and mov = ref 0 in
+  let rec walk ~in_ghost d =
+    (match d.base with
+    | Inserted -> incr ins
+    | Deleted -> if not in_ghost then incr del
+    | Updated _ -> incr upd
+    | Identical | Marker -> ());
+    (match (d.base, d.moved) with
+    | (Identical | Updated _), Some _ -> incr mov
+    | _ -> ());
+    let in_ghost = in_ghost || d.base = Deleted in
+    List.iter (walk ~in_ghost) d.children
+  in
+  walk ~in_ghost:false d;
+  (!ins, !del, !upd, !mov)
+
+let marker_of d = match d.base with Marker -> d.moved | _ -> None
+
+let rec pp ppf d =
+  let annot =
+    match (d.base, d.moved) with
+    | Identical, None -> ""
+    | Identical, Some k -> Printf.sprintf " [mov->%d]" k
+    | Updated old, None -> Printf.sprintf " [upd from %S]" old
+    | Updated old, Some k -> Printf.sprintf " [upd from %S, mov->%d]" old k
+    | Inserted, _ -> " [ins]"
+    | Deleted, _ -> " [del]"
+    | Marker, Some k -> Printf.sprintf " [mrk %d]" k
+    | Marker, None -> " [mrk]"
+  in
+  if d.children = [] then Format.fprintf ppf "@[<v>(%s %S%s)@]" d.label d.value annot
+  else begin
+    Format.fprintf ppf "@[<v 2>(%s%s%s" d.label
+      (if d.value = "" then "" else Printf.sprintf " %S" d.value)
+      annot;
+    List.iter (fun c -> Format.fprintf ppf "@,%a" pp c) d.children;
+    Format.fprintf ppf ")@]"
+  end
+
+let to_string d = Format.asprintf "%a" pp d

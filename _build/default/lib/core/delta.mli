@@ -1,0 +1,66 @@
+(** Delta trees (§6): the edit script overlaid onto the data as annotations.
+
+    A delta tree follows the shape of the {e new} tree, augmented with ghost
+    nodes standing for what disappeared:
+
+    - real nodes carry [Identical], [Updated old_value] or [Inserted];
+    - a moved subtree sits at its new position flagged with a marker number,
+      and a [Marker] ghost holds its old position — mirroring the LaDiff
+      rendering where the old position shows the small-font labelled copy and
+      the new position references it (App. A, Fig. 16);
+    - a deleted subtree remains, as a [Deleted] ghost, near its old position
+      under its old parent's counterpart.
+
+    A node can be both moved and updated at once ("sentences … may be moved
+    and updated at the same time", App. A), so the move flag is carried
+    separately from the base annotation. *)
+
+type base =
+  | Identical           (** IDN *)
+  | Updated of string   (** UPD: carries the {e old} value; the node holds the new *)
+  | Inserted            (** INS *)
+  | Deleted             (** DEL ghost: subtree removed from the old tree *)
+  | Marker              (** MRK ghost: old position of a moved subtree *)
+
+type t = {
+  label : string;
+  value : string;
+  base : base;
+  moved : int option;   (** marker number when this subtree moved (MOV) *)
+  children : t list;
+}
+
+val build :
+  t1:Treediff_tree.Node.t ->
+  t2:Treediff_tree.Node.t ->
+  total:Treediff_matching.Matching.t ->
+  script:Treediff_edit.Script.t ->
+  t
+(** [build ~t1 ~t2 ~total ~script] constructs the delta tree from the
+    original trees, the total matching and the script produced by
+    {!Edit_gen.generate}.  Ghost positions are clamped to the current child
+    list when earlier edits shifted them (presentational, per DESIGN.md). *)
+
+val strip : t -> t option
+(** Remove all ghosts ([Deleted]/[Marker] subtrees).  The result matches the
+    new tree's labels and values exactly — the correctness condition checked
+    by the tests.  [None] if the root itself is a ghost (cannot happen for
+    {!build} output). *)
+
+val to_new_tree : Treediff_tree.Tree.gen -> t -> Treediff_tree.Node.t
+(** Materialize the new version from a delta tree: ghosts dropped, structure
+    and values as the new tree.  With {!Delta_io}, a delta is a
+    self-contained exchange format — the receiver gets both the changes and
+    the new version from one artifact.
+    @raise Invalid_argument if the root is a ghost. *)
+
+val counts : t -> int * int * int * int
+(** [(inserted, deleted_ghost_roots, updated, moved)] annotation tallies. *)
+
+val marker_of : t -> int option
+(** The marker number of a [Marker] ghost (stored in [moved]). *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented rendering with annotation suffixes, e.g. [S "g" [ins]]. *)
+
+val to_string : t -> string

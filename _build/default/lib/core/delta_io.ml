@@ -1,0 +1,207 @@
+exception Parse_error of string
+
+let fail pos fmt =
+  Printf.ksprintf (fun m -> raise (Parse_error (Printf.sprintf "at offset %d: %s" pos m))) fmt
+
+(* ----------------------------------------------------------------- print *)
+
+let escape v =
+  let buf = Buffer.create (String.length v + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let annot_string (d : Delta.t) =
+  let base =
+    match d.Delta.base with
+    | Delta.Identical -> []
+    | Delta.Updated old -> [ Printf.sprintf "upd \"%s\"" (escape old) ]
+    | Delta.Inserted -> [ "ins" ]
+    | Delta.Deleted -> [ "del" ]
+    | Delta.Marker -> (
+      match d.Delta.moved with
+      | Some k -> [ Printf.sprintf "mrk %d" k ]
+      | None -> [ "mrk 0" ])
+  in
+  let moved =
+    match (d.Delta.base, d.Delta.moved) with
+    | Delta.Marker, _ -> []
+    | _, Some k -> [ Printf.sprintf "mov %d" k ]
+    | _, None -> []
+  in
+  match base @ moved with
+  | [] -> ""
+  | parts -> Printf.sprintf " [%s]" (String.concat " " parts)
+
+let to_string d =
+  let buf = Buffer.create 1024 in
+  let rec emit depth (d : Delta.t) =
+    if depth > 0 then begin
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make (2 * depth) ' ')
+    end;
+    Buffer.add_char buf '(';
+    Buffer.add_string buf d.Delta.label;
+    if d.Delta.value <> "" then begin
+      Buffer.add_string buf " \"";
+      Buffer.add_string buf (escape d.Delta.value);
+      Buffer.add_char buf '"'
+    end;
+    Buffer.add_string buf (annot_string d);
+    List.iter (emit (depth + 1)) d.Delta.children;
+    Buffer.add_char buf ')'
+  in
+  emit 0 d;
+  Buffer.contents buf
+
+(* ----------------------------------------------------------------- parse *)
+
+type token = Lparen | Rparen | Lbrack | Rbrack | Atom of string | Str of string | Int of int
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  let is_atom c =
+    match c with
+    | 'a' .. 'z' | 'A' .. 'Z' | '_' | '@' | '#' -> true
+    | _ -> false
+  in
+  while !i < n do
+    (match s.[!i] with
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | '(' -> toks := (Lparen, !i) :: !toks; incr i
+    | ')' -> toks := (Rparen, !i) :: !toks; incr i
+    | '[' -> toks := (Lbrack, !i) :: !toks; incr i
+    | ']' -> toks := (Rbrack, !i) :: !toks; incr i
+    | '"' ->
+      let start = !i in
+      incr i;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        (match s.[!i] with
+        | '"' -> closed := true
+        | '\\' ->
+          if !i + 1 >= n then fail start "unterminated escape";
+          incr i;
+          (match s.[!i] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '"' -> Buffer.add_char buf '"'
+          | c -> fail !i "unknown escape '\\%c'" c)
+        | c -> Buffer.add_char buf c);
+        incr i
+      done;
+      if not !closed then fail start "unterminated string";
+      toks := (Str (Buffer.contents buf), start) :: !toks
+    | '0' .. '9' ->
+      let start = !i in
+      while !i < n && match s.[!i] with '0' .. '9' -> true | _ -> false do
+        incr i
+      done;
+      toks := (Int (int_of_string (String.sub s start (!i - start))), start) :: !toks
+    | c when is_atom c ->
+      let start = !i in
+      while
+        !i < n
+        && match s.[!i] with
+           | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '@' | '-' | '#' | '.' | ':' -> true
+           | _ -> false
+      do
+        incr i
+      done;
+      toks := (Atom (String.sub s start (!i - start)), start) :: !toks
+    | c -> fail !i "unexpected character %C" c);
+    ()
+  done;
+  List.rev !toks
+
+let of_string s =
+  let toks = ref (tokenize s) in
+  let peek () = match !toks with [] -> None | t :: _ -> Some t in
+  let next () =
+    match !toks with
+    | [] -> fail (String.length s) "unexpected end of input"
+    | t :: rest ->
+      toks := rest;
+      t
+  in
+  (* [... ] group: base + optional move flag *)
+  let parse_annots () =
+    let base = ref Delta.Identical and moved = ref None in
+    ignore (next ()) (* Lbrack *);
+    let rec loop () =
+      match next () with
+      | Rbrack, _ -> ()
+      | Atom "ins", _ ->
+        base := Delta.Inserted;
+        loop ()
+      | Atom "del", _ ->
+        base := Delta.Deleted;
+        loop ()
+      | Atom "mrk", p -> (
+        match next () with
+        | Int k, _ ->
+          base := Delta.Marker;
+          moved := (if k = 0 then None else Some k);
+          loop ()
+        | _, _ -> fail p "mrk needs a marker number")
+      | Atom "upd", p -> (
+        match next () with
+        | Str old, _ ->
+          base := Delta.Updated old;
+          loop ()
+        | _, _ -> fail p "upd needs the old value string")
+      | Atom "mov", p -> (
+        match next () with
+        | Int k, _ ->
+          moved := Some k;
+          loop ()
+        | _, _ -> fail p "mov needs a marker number")
+      | _, p -> fail p "unknown annotation"
+    in
+    loop ();
+    (!base, !moved)
+  in
+  let rec parse_node () =
+    (match next () with Lparen, _ -> () | _, p -> fail p "expected '('");
+    let label =
+      match next () with Atom a, _ -> a | _, p -> fail p "expected label"
+    in
+    let value =
+      match peek () with
+      | Some (Str v, _) ->
+        ignore (next ());
+        v
+      | _ -> ""
+    in
+    let base, moved =
+      match peek () with
+      | Some (Lbrack, _) -> parse_annots ()
+      | _ -> (Delta.Identical, None)
+    in
+    let children = ref [] in
+    let rec loop () =
+      match peek () with
+      | Some (Rparen, _) -> ignore (next ())
+      | Some (Lparen, _) ->
+        children := parse_node () :: !children;
+        loop ()
+      | Some (_, p) -> fail p "expected child or ')'"
+      | None -> fail (String.length s) "missing ')'"
+    in
+    loop ();
+    { Delta.label; value; base; moved; children = List.rev !children }
+  in
+  let d = parse_node () in
+  (match peek () with Some (_, p) -> fail p "trailing input" | None -> ());
+  d

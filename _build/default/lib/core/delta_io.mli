@@ -1,0 +1,27 @@
+(** Textual serialization of delta trees.
+
+    Deltas are first-class data in the paper's applications — stored,
+    shipped, browsed later — so the annotated tree needs a stable external
+    form too (the edit-script counterpart is
+    {!Treediff_edit.Script_io}).  The format extends the tree codec with an
+    annotation group before the children:
+
+    {v
+    (D
+      (P [mrk 1])
+      (P (S "new text" [upd "old text"])
+         (S "brand new" [ins]))
+      (P [del] (S "gone" [del]))
+      (P [mov 1] (S "kept")))
+    v}
+
+    Annotations: [[ins]], [[del]], [[mrk K]], [[upd "old"]], [[mov K]], and
+    the combined [[upd "old" mov K]].  Unannotated nodes are identical.
+    [parse] ∘ [print] is the identity. *)
+
+exception Parse_error of string
+
+val to_string : Delta.t -> string
+
+val of_string : string -> Delta.t
+(** @raise Parse_error on malformed input. *)

@@ -1,0 +1,183 @@
+type kind = Identical | Updated | Inserted | Deleted | Marker | Moved | Changed
+
+let kind_matches k (d : Delta.t) =
+  match k with
+  | Identical -> d.Delta.base = Delta.Identical && d.Delta.moved = None
+  | Updated -> (match d.Delta.base with Delta.Updated _ -> true | _ -> false)
+  | Inserted -> d.Delta.base = Delta.Inserted
+  | Deleted -> d.Delta.base = Delta.Deleted
+  | Marker -> d.Delta.base = Delta.Marker
+  | Moved -> d.Delta.moved <> None && d.Delta.base <> Delta.Marker
+  | Changed -> not (d.Delta.base = Delta.Identical && d.Delta.moved = None)
+
+type path = { node : Delta.t; ancestors : Delta.t list }
+
+let path_string p =
+  let chain = List.rev (p.node :: p.ancestors) in
+  let rec walk acc parent = function
+    | [] -> String.concat "/" (List.rev acc)
+    | (d : Delta.t) :: rest ->
+      let step =
+        match parent with
+        | None -> d.Delta.label
+        | Some (par : Delta.t) ->
+          let idx =
+            let rec find i = function
+              | [] -> -1
+              | c :: tl -> if c == d then i else find (i + 1) tl
+            in
+            find 0 par.Delta.children
+          in
+          Printf.sprintf "%s[%d]" d.Delta.label idx
+      in
+      walk (step :: acc) (Some d) rest
+  in
+  walk [] None chain
+
+let fold f acc root =
+  let rec walk acc ancestors (d : Delta.t) =
+    let acc = f acc { node = d; ancestors } in
+    List.fold_left (fun acc c -> walk acc (d :: ancestors) c) acc d.Delta.children
+  in
+  walk acc [] root
+
+let select ?label ?kind root =
+  let keep (d : Delta.t) =
+    (match label with Some l -> String.equal l d.Delta.label | None -> true)
+    && match kind with Some k -> kind_matches k d | None -> true
+  in
+  List.rev (fold (fun acc p -> if keep p.node then p :: acc else acc) [] root)
+
+let changed root = select ~kind:Changed root
+
+let count ?label ?kind root = List.length (select ?label ?kind root)
+
+let exists ?label ?kind root = select ?label ?kind root <> []
+
+(* ------------------------------------------------------ selector syntax *)
+
+type step = { label_pat : string option; kind_pat : kind option }
+
+type seg = Child of step | Descendant of step
+
+let parse_kind = function
+  | "ins" -> Ok Inserted
+  | "del" -> Ok Deleted
+  | "upd" -> Ok Updated
+  | "mov" -> Ok Moved
+  | "mrk" -> Ok Marker
+  | "idn" -> Ok Identical
+  | "changed" -> Ok Changed
+  | other -> Error (Printf.sprintf "unknown kind %S (ins|del|upd|mov|mrk|idn|changed)" other)
+
+let parse_step s =
+  if s = "" then Error "empty step"
+  else
+    let label_part, kind_part =
+      match String.index_opt s '[' with
+      | None -> (s, None)
+      | Some i ->
+        if String.length s = 0 || s.[String.length s - 1] <> ']' then (s, Some (Error "missing ']'"))
+        else
+          ( String.sub s 0 i,
+            Some (parse_kind (String.sub s (i + 1) (String.length s - i - 2))) )
+    in
+    let label_pat = if label_part = "*" then None else Some label_part in
+    if label_part = "" then Error "empty label (use * for any)"
+    else
+      match kind_part with
+      | None -> Ok { label_pat; kind_pat = None }
+      | Some (Ok k) -> Ok { label_pat; kind_pat = Some k }
+      | Some (Error e) -> Error e
+
+(* Split "A//B/C" into segments with their separators.  The first segment is
+   always a Descendant (implicit leading //). *)
+let parse_selector s =
+  let n = String.length s in
+  if String.trim s = "" then Error "empty selector"
+  else begin
+    let segs = ref [] in
+    let buf = Buffer.create 16 in
+    let error = ref None in
+    let pending = ref (fun st -> Descendant st) in
+    let flush () =
+      match parse_step (Buffer.contents buf) with
+      | Ok st ->
+        segs := !pending st :: !segs;
+        Buffer.clear buf
+      | Error e -> error := Some e
+    in
+    let i = ref 0 in
+    while !i < n && !error = None do
+      if s.[!i] = '/' then begin
+        (* A leading axis ("//S" or "/S") has no step before it; both mean
+           descendant-from-anywhere for the first step.  Elsewhere an empty
+           step is a syntax error. *)
+        if Buffer.length buf = 0 then begin
+          if !segs <> [] then error := Some "empty step"
+        end
+        else flush ();
+        if !i + 1 < n && s.[!i + 1] = '/' then begin
+          pending := (fun st -> Descendant st);
+          i := !i + 2
+        end
+        else begin
+          pending := (fun st -> if !segs = [] then Descendant st else Child st);
+          incr i
+        end
+      end
+      else begin
+        Buffer.add_char buf s.[!i];
+        incr i
+      end
+    done;
+    (match !error with None -> flush () | Some _ -> ());
+    match !error with
+    | Some e -> Error e
+    | None -> Ok (List.rev !segs)
+  end
+
+let step_matches st (d : Delta.t) =
+  (match st.label_pat with Some l -> String.equal l d.Delta.label | None -> true)
+  && match st.kind_pat with Some k -> kind_matches k d | None -> true
+
+let query selector root =
+  match parse_selector selector with
+  | Error e -> Error e
+  | Ok segs ->
+    (* For each node, does the remaining selector match with this node bound
+       to the first step?  Standard path evaluation with backtracking. *)
+    let results = ref [] in
+    let rec eval_rest (d : Delta.t) ancestors segs =
+      match segs with
+      | [] ->
+        results := { node = d; ancestors } :: !results
+      | Child st :: rest ->
+        List.iter
+          (fun c -> if step_matches st c then eval_rest c (d :: ancestors) rest)
+          d.Delta.children
+      | Descendant st :: rest ->
+        let rec dig anc (c : Delta.t) =
+          if step_matches st c then eval_rest c anc rest;
+          List.iter (dig (c :: anc)) c.Delta.children
+        in
+        List.iter (dig (d :: ancestors)) d.Delta.children
+    in
+    (match segs with
+    | [] -> ()
+    | first :: rest ->
+      let st = match first with Child st | Descendant st -> st in
+      (* implicit leading //: try every node as the first binding *)
+      let rec dig anc (d : Delta.t) =
+        if step_matches st d then eval_rest d anc rest;
+        List.iter (dig (d :: anc)) d.Delta.children
+      in
+      dig [] root);
+    (* preserve preorder: results were accumulated along a preorder walk but
+       pushed in front *)
+    Ok (List.rev !results)
+
+let query_exn selector root =
+  match query selector root with
+  | Ok paths -> paths
+  | Error e -> invalid_arg ("Delta_query.query: " ^ e)

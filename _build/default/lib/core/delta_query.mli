@@ -1,0 +1,57 @@
+(** Querying and browsing delta trees — the §9 direction of building query
+    languages over hierarchical deltas [WU95].
+
+    Two layers:
+    - a combinator API ({!select}, {!fold}, {!count}) over annotated nodes
+      with their ancestry, and
+    - a compact selector syntax ({!query}):
+
+    {v
+    selector  ::=  step ( sep step )*
+    sep       ::=  "/"  (child)   |  "//"  (descendant)
+    step      ::=  label-or-*  [ "[" kind "]" ]
+    kind      ::=  ins | del | upd | mov | mrk | idn | changed
+    v}
+
+    The first step matches any node in the tree (an implicit leading [//]).
+    Examples: ["Section//Sentence[ins]"] — inserted sentences anywhere under
+    a section; ["*[changed]"] — every changed node; ["Document/Section[mov]"]
+    — moved top-level sections. *)
+
+type kind =
+  | Identical
+  | Updated
+  | Inserted
+  | Deleted
+  | Marker
+  | Moved      (** any node carrying a move flag, whatever its base *)
+  | Changed    (** anything other than an unmoved [Identical] *)
+
+val kind_matches : kind -> Delta.t -> bool
+
+(** A matched node together with its ancestors (nearest first) — enough to
+    render a location or walk back up. *)
+type path = { node : Delta.t; ancestors : Delta.t list }
+
+val path_string : path -> string
+(** ["Document/Section[1]/Paragraph[0]"]-style location (indexes are
+    positions within the delta tree, ghosts included). *)
+
+val select : ?label:string -> ?kind:kind -> Delta.t -> path list
+(** All nodes matching the optional label and kind filters, preorder. *)
+
+val changed : Delta.t -> path list
+(** [select ~kind:Changed], the browsing entry point. *)
+
+val count : ?label:string -> ?kind:kind -> Delta.t -> int
+
+val exists : ?label:string -> ?kind:kind -> Delta.t -> bool
+
+val fold : ('a -> path -> 'a) -> 'a -> Delta.t -> 'a
+(** Fold over every node (no filter), preorder, with ancestry. *)
+
+val query : string -> Delta.t -> (path list, string) result
+(** Evaluate a selector; [Error msg] on syntax errors. *)
+
+val query_exn : string -> Delta.t -> path list
+(** @raise Invalid_argument on selector syntax errors. *)

@@ -1,0 +1,104 @@
+module Node = Treediff_tree.Node
+module Tree = Treediff_tree.Tree
+module Iso = Treediff_tree.Iso
+module Op = Treediff_edit.Op
+module Script = Treediff_edit.Script
+module Matching = Treediff_matching.Matching
+module Criteria = Treediff_matching.Criteria
+
+type t = {
+  matching : Matching.t;
+  total : Matching.t;
+  script : Script.t;
+  delta : Delta.t;
+  dummy : (int * int) option;
+  measure : Script.measure;
+  stats : Treediff_util.Stats.t;
+  postprocess_fixes : int;
+}
+
+let with_dummy id label t =
+  let d = Node.make ~id ~label () in
+  Node.append_child d (Tree.copy t);
+  d
+
+let dummy_rooted result t1 =
+  match result with
+  | None -> Tree.copy t1
+  | Some (d1, _) -> with_dummy d1 "@@root" t1
+
+let finish ?(config = Config.default) ~matching ~stats ~postprocess_fixes t1 t2 =
+  let gen = Edit_gen.generate ~matching t1 t2 in
+  let base = dummy_rooted gen.Edit_gen.dummy t1 in
+  let measure = Script.measure ~model:config.Config.cost base gen.Edit_gen.script in
+  let delta =
+    Delta.build ~t1 ~t2 ~total:gen.Edit_gen.total ~script:gen.Edit_gen.script
+  in
+  {
+    matching;
+    total = gen.Edit_gen.total;
+    script = gen.Edit_gen.script;
+    delta;
+    dummy = gen.Edit_gen.dummy;
+    measure;
+    stats;
+    postprocess_fixes;
+  }
+
+let diff ?(config = Config.default) t1 t2 =
+  let stats = Treediff_util.Stats.create () in
+  let ctx = Criteria.ctx ~stats config.Config.criteria ~t1 ~t2 in
+  let matching =
+    match config.Config.algorithm with
+    | Config.Fast_match ->
+      Treediff_matching.Fast_match.run ?window:config.Config.scan_window ctx
+    | Config.Simple_match -> Treediff_matching.Simple_match.run ctx
+  in
+  let postprocess_fixes =
+    if config.Config.postprocess then Treediff_matching.Postprocess.run ctx matching
+    else 0
+  in
+  finish ~config ~matching ~stats ~postprocess_fixes t1 t2
+
+let diff_with_matching ?(config = Config.default) ~matching t1 t2 =
+  finish ~config ~matching ~stats:(Treediff_util.Stats.create ()) ~postprocess_fixes:0
+    t1 t2
+
+let apply result t1 =
+  let base = dummy_rooted result.dummy t1 in
+  let out = Script.apply base result.script in
+  match result.dummy with
+  | None -> out
+  | Some _ -> (
+    match Node.children out with
+    | [ real ] ->
+      Node.detach real;
+      real
+    | _ -> raise (Script.Apply_error "dummy root does not have exactly one child"))
+
+let check result ~t1 ~t2 =
+  match
+    let out = apply result t1 in
+    if not (Iso.equal out t2) then
+      Error
+        (Printf.sprintf "transformed tree differs from T2: %s"
+           (Option.value ~default:"?" (Iso.first_difference out t2)))
+    else
+      (* Conformity: the script never inserts or deletes a matched node.  The
+         inserted ids are fresh by construction, so only deletion needs the
+         check. *)
+      let bad =
+        List.filter_map
+          (function
+            | Op.Delete { id } when Matching.matched_old result.matching id -> Some id
+            | Op.Delete _ | Op.Insert _ | Op.Update _ | Op.Move _ -> None)
+          result.script
+      in
+      if bad = [] then Ok ()
+      else
+        Error
+          (Printf.sprintf "script deletes matched node(s) %s"
+             (String.concat "," (List.map string_of_int bad)))
+  with
+  | ok_or_err -> ok_or_err
+  | exception Script.Apply_error msg -> Error ("script does not apply: " ^ msg)

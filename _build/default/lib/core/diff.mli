@@ -1,0 +1,54 @@
+(** The end-to-end change-detection pipeline of §3: good matching, then
+    minimum conforming edit script, then delta tree.
+
+    {[
+      let result = Diff.diff old_tree new_tree in
+      Format.printf "%a@." Treediff_edit.Script.pp result.script;
+      print_string (Delta.to_string result.delta)
+    ]}
+
+    Input trees are never mutated.  Node identifiers must be unique across
+    the two trees (build both from one {!Treediff_tree.Tree.gen}). *)
+
+type t = {
+  matching : Treediff_matching.Matching.t;
+      (** the good matching found (before edit-script extension) *)
+  total : Treediff_matching.Matching.t;
+      (** the total matching M' the script conforms to *)
+  script : Treediff_edit.Script.t;
+  delta : Delta.t;
+  dummy : (int * int) option;
+      (** dummy-root ids when the roots were unmatched; see {!apply} *)
+  measure : Treediff_edit.Script.measure;
+      (** cost / weighted distance / op counts under the config's cost model *)
+  stats : Treediff_util.Stats.t;  (** matching comparison counters (§8) *)
+  postprocess_fixes : int;  (** pairs repaired by the §8 pass (0 if disabled) *)
+}
+
+val diff :
+  ?config:Config.t ->
+  Treediff_tree.Node.t ->
+  Treediff_tree.Node.t ->
+  t
+(** [diff t1 t2] detects changes from old tree [t1] to new tree [t2]. *)
+
+val diff_with_matching :
+  ?config:Config.t ->
+  matching:Treediff_matching.Matching.t ->
+  Treediff_tree.Node.t ->
+  Treediff_tree.Node.t ->
+  t
+(** Skip the matching phase — for keyed data or externally computed
+    matchings (e.g. Zhang–Shasha mappings). *)
+
+val apply : t -> Treediff_tree.Node.t -> Treediff_tree.Node.t
+(** [apply result t1] replays the script on a copy of [t1], handling the
+    dummy-root convention, and returns a tree isomorphic to the new tree.
+    @raise Treediff_edit.Script.Apply_error if [t1] is not the tree the
+    result was computed from. *)
+
+val check : t -> t1:Treediff_tree.Node.t -> t2:Treediff_tree.Node.t -> (unit, string) result
+(** Verify the §3 contract on a result: replaying the script transforms [t1]
+    into a tree isomorphic to [t2], and the script conforms to the matching
+    (no matched node is inserted or deleted).  Used by tests and by the
+    [--check] flag of the CLI. *)

@@ -1,0 +1,231 @@
+module Node = Treediff_tree.Node
+module Tree = Treediff_tree.Tree
+module Op = Treediff_edit.Op
+module Script = Treediff_edit.Script
+module Matching = Treediff_matching.Matching
+module Myers = Treediff_lcs.Myers
+
+type result = {
+  script : Script.t;
+  total : Matching.t;
+  transformed : Node.t;
+  dummy : (int * int) option;
+}
+
+let dummy_label = "@@root"
+
+(* Mutable state threaded through one generation run. *)
+type state = {
+  w_root : Node.t;                       (* working tree (copy of t1, possibly dummy-rooted) *)
+  w_index : (int, Node.t) Hashtbl.t;
+  t2_index : (int, Node.t) Hashtbl.t;
+  m : Matching.t;                        (* M', grows to a total matching *)
+  in_order1 : (int, unit) Hashtbl.t;     (* working-tree ids marked "in order" *)
+  in_order2 : (int, unit) Hashtbl.t;     (* T2 ids marked "in order" *)
+  mutable next_id : int;
+  mutable ops : Op.t list;               (* reversed *)
+}
+
+let fresh st =
+  let id = st.next_id in
+  st.next_id <- st.next_id + 1;
+  id
+
+let emit st op =
+  st.ops <- op :: st.ops;
+  Script.apply_into ~root:st.w_root ~index:st.w_index op
+
+let working st id =
+  match Hashtbl.find_opt st.w_index id with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "EditScript: unknown working node %d" id)
+
+let partner_of_new st (x : Node.t) =
+  match Matching.partner_of_new st.m x.id with
+  | Some wid -> Some (working st wid)
+  | None -> None
+
+(* FindPos (Fig. 9), resolved per DESIGN.md: the 1-based position, in the
+   destination's post-detach child list, immediately after the working-tree
+   partner of x's rightmost in-order left sibling; 1 when there is none.
+   [moving] is the node about to be detached (for intra-parent moves). *)
+let find_pos st ?moving (x : Node.t) =
+  let y = match x.Node.parent with Some y -> y | None -> assert false in
+  let lefts =
+    let rec take acc = function
+      | [] -> assert false (* x must be among its parent's children *)
+      | (c : Node.t) :: rest -> if c.id = x.id then acc else take (c :: acc) rest
+    in
+    take [] (Node.children y)
+    (* leftmost sibling last -> head is the rightmost left sibling *)
+  in
+  let v = List.find_opt (fun (c : Node.t) -> Hashtbl.mem st.in_order2 c.id) lefts in
+  match v with
+  | None -> 1
+  | Some v -> (
+    let u =
+      match Matching.partner_of_new st.m v.Node.id with
+      | Some uid -> working st uid
+      | None -> assert false (* in-order nodes are matched by construction *)
+    in
+    let p = match u.Node.parent with Some p -> p | None -> assert false in
+    let skip_id = match moving with Some (n : Node.t) -> n.id | None -> -1 in
+    (* 1-based index of u counting all children except the moving node. *)
+    let rec index pos = function
+      | [] -> assert false
+      | (c : Node.t) :: rest ->
+        if c.id = skip_id then index pos rest
+        else if c.id = u.Node.id then pos
+        else index (pos + 1) rest
+    in
+    index 1 (Node.children p) + 1)
+
+let mark_in_order st (w : Node.t) (x : Node.t) =
+  Hashtbl.replace st.in_order1 w.id ();
+  Hashtbl.replace st.in_order2 x.id ()
+
+(* AlignChildren (Fig. 9): LCS the mutually-parented matched children, then
+   move the misaligned remainder into place. *)
+let align_children st (w : Node.t) (x : Node.t) =
+  List.iter (fun (c : Node.t) -> Hashtbl.remove st.in_order1 c.id) (Node.children w);
+  List.iter (fun (c : Node.t) -> Hashtbl.remove st.in_order2 c.id) (Node.children x);
+  let s1 =
+    List.filter
+      (fun (a : Node.t) ->
+        match Matching.partner_of_old st.m a.id with
+        | Some bid -> (
+          match (Hashtbl.find_opt st.t2_index bid : Node.t option) with
+          | Some b -> (
+            match b.Node.parent with Some p -> p.Node.id = x.id | None -> false)
+          | None -> false)
+        | None -> false)
+      (Node.children w)
+  in
+  let s2 =
+    List.filter
+      (fun (b : Node.t) ->
+        match Matching.partner_of_new st.m b.id with
+        | Some aid -> (
+          match Hashtbl.find_opt st.w_index aid with
+          | Some (a : Node.t) -> (
+            match a.Node.parent with Some p -> p.Node.id = w.id | None -> false)
+          | None -> false)
+        | None -> false)
+      (Node.children x)
+  in
+  let arr1 = Array.of_list s1 and arr2 = Array.of_list s2 in
+  let equal (a : Node.t) (b : Node.t) = Matching.mem st.m a.id b.id in
+  let lcs = Myers.lcs ~equal arr1 arr2 in
+  List.iter (fun (i, j) -> mark_in_order st arr1.(i) arr2.(j)) lcs;
+  List.iter
+    (fun (a : Node.t) ->
+      if not (Hashtbl.mem st.in_order1 a.id) then begin
+        let b =
+          match Matching.partner_of_old st.m a.id with
+          | Some bid -> Hashtbl.find st.t2_index bid
+          | None -> assert false (* members of s1 are matched *)
+        in
+        let k = find_pos st ~moving:a b in
+        emit st (Op.Move { id = a.id; parent = w.id; pos = k });
+        mark_in_order st a b
+      end)
+    s1
+
+let visit st (x : Node.t) =
+  (match x.Node.parent with
+  | None ->
+    (* Root: matched by construction; Fig. 8 skips the update for it, which
+       would drop a root value change — handle it explicitly. *)
+    let w = match partner_of_new st x with Some w -> w | None -> assert false in
+    if not (String.equal w.Node.value x.Node.value) then
+      emit st (Op.Update { id = w.Node.id; value = x.Node.value })
+  | Some y -> (
+    let z =
+      match Matching.partner_of_new st.m y.Node.id with
+      | Some zid -> working st zid
+      | None -> assert false (* BFS visits parents first, so y is matched *)
+    in
+    match partner_of_new st x with
+    | None ->
+      (* Insert phase. *)
+      let k = find_pos st x in
+      let wid = fresh st in
+      emit st (Op.Insert { id = wid; label = x.label; value = x.value; parent = z.Node.id; pos = k });
+      Matching.add st.m wid x.id;
+      mark_in_order st (working st wid) x
+    | Some w ->
+      (* Update phase. *)
+      if not (String.equal w.Node.value x.Node.value) then
+        emit st (Op.Update { id = w.Node.id; value = x.Node.value });
+      (* Move phase (inter-parent moves). *)
+      let v = match w.Node.parent with Some v -> v | None -> assert false in
+      if not (Matching.mem st.m v.Node.id y.Node.id) then begin
+        let k = find_pos st ~moving:w x in
+        emit st (Op.Move { id = w.Node.id; parent = z.Node.id; pos = k });
+        mark_in_order st w x
+      end));
+  (* Align phase for x's children. *)
+  match partner_of_new st x with
+  | Some w -> align_children st w x
+  | None -> assert false
+
+let delete_phase st =
+  (* Post-order: children are deleted before their parents, so every delete
+     targets a leaf (Theorem C.2, stage 2). *)
+  let order = Node.postorder st.w_root in
+  List.iter
+    (fun (n : Node.t) ->
+      if not (Matching.matched_old st.m n.id) then emit st (Op.Delete { id = n.id }))
+    order
+
+let validate_input ~matching t1 t2 =
+  let idx1 = Tree.index_by_id t1 and idx2 = Tree.index_by_id t2 in
+  List.iter
+    (fun (xid, yid) ->
+      match (Hashtbl.find_opt idx1 xid, Hashtbl.find_opt idx2 yid) with
+      | Some (x : Node.t), Some (y : Node.t) ->
+        if not (String.equal x.label y.label) then
+          invalid_arg
+            (Printf.sprintf
+               "EditScript: matched pair (%d,%d) has different labels (%S vs %S); \
+                updates cannot change labels"
+               xid yid x.label y.label)
+      | None, _ -> invalid_arg (Printf.sprintf "EditScript: matching references unknown T1 id %d" xid)
+      | _, None -> invalid_arg (Printf.sprintf "EditScript: matching references unknown T2 id %d" yid))
+    (Matching.pairs matching)
+
+let generate ~matching t1 t2 =
+  validate_input ~matching t1 t2;
+  let next_id = ref (max (Tree.max_id t1) (Tree.max_id t2) + 1) in
+  let m = Matching.copy matching in
+  let roots_matched = Matching.mem m t1.Node.id t2.Node.id in
+  (* Build the working tree and the effective T2, dummy-rooting both when the
+     roots are unmatched (§4.1 insert phase). *)
+  let w_root, t2_eff, dummy =
+    if roots_matched then (Tree.copy t1, t2, None)
+    else begin
+      let d1 = !next_id and d2 = !next_id + 1 in
+      next_id := !next_id + 2;
+      let w = Node.make ~id:d1 ~label:dummy_label () in
+      Node.append_child w (Tree.copy t1);
+      let n2 = Node.make ~id:d2 ~label:dummy_label () in
+      Node.append_child n2 (Tree.copy t2);
+      Matching.add m d1 d2;
+      (w, n2, Some (d1, d2))
+    end
+  in
+  let st =
+    {
+      w_root;
+      w_index = Tree.index_by_id w_root;
+      t2_index = Tree.index_by_id t2_eff;
+      m;
+      in_order1 = Hashtbl.create 64;
+      in_order2 = Hashtbl.create 64;
+      next_id = !next_id;
+      ops = [];
+    }
+  in
+  Node.iter_bfs (visit st) t2_eff;
+  delete_phase st;
+  { script = List.rev st.ops; total = st.m; transformed = st.w_root; dummy }

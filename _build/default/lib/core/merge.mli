@@ -1,0 +1,45 @@
+(** Three-way change correlation — the paper's configuration-management
+    motivation (§1, [HKG⁺94]): two parties evolve the same base
+    independently; produce both deltas against the base and highlight
+    conflicts.
+
+    Because the edit-script generator preserves base node identifiers (the
+    working tree copies them), delete/update/move operations in both scripts
+    refer directly to base nodes; a {e conflict} is a base node touched by
+    both sides in incompatible ways.  Touching agrees when both sides apply
+    the identical operation (e.g. the same update), in which case it is not
+    reported. *)
+
+type touch = {
+  base_id : int;
+  label : string;
+  value : string;    (** the base node's label/value, for display *)
+  op : Treediff_edit.Op.t;
+}
+
+type conflict = { base_id : int; label : string; value : string;
+                  ours : Treediff_edit.Op.t list; theirs : Treediff_edit.Op.t list }
+
+type t = {
+  ours : Diff.t;          (** delta base → ours *)
+  theirs : Diff.t;        (** delta base → theirs *)
+  conflicts : conflict list;
+  ours_only : touch list;   (** base nodes touched by ours alone *)
+  theirs_only : touch list;
+}
+
+val correlate :
+  ?config:Config.t ->
+  ?diff:(Treediff_tree.Node.t -> Treediff_tree.Node.t -> Diff.t) ->
+  base:Treediff_tree.Node.t ->
+  ours:Treediff_tree.Node.t ->
+  theirs:Treediff_tree.Node.t ->
+  unit ->
+  t
+(** Diff both versions against the base and classify every touched base
+    node.  Inserts never conflict at the base (they create new nodes); they
+    are visible through the [ours]/[theirs] diffs.  [diff] overrides how the
+    base-to-version deltas are computed (e.g. keyed matching via
+    {!Diff.diff_with_matching}); the default is [Diff.diff ?config]. *)
+
+val pp_conflict : Format.formatter -> conflict -> unit

@@ -1,0 +1,1 @@
+lib/doc/doc_tree.ml: List String Treediff Treediff_matching Treediff_textdiff Treediff_tree

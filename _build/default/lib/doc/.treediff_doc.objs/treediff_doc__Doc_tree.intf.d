@@ -1,0 +1,1 @@
+lib/doc/doc_tree.mli: Treediff Treediff_matching Treediff_tree

@@ -1,0 +1,1 @@
+lib/doc/html_markup.ml: Buffer Doc_tree List Markup Printf String Treediff

@@ -1,0 +1,1 @@
+lib/doc/html_markup.mli: Treediff

@@ -1,0 +1,1 @@
+lib/doc/html_parser.ml: Buffer Doc_tree List Printf Sentence String Treediff_tree

@@ -1,0 +1,1 @@
+lib/doc/html_parser.mli: Treediff_tree

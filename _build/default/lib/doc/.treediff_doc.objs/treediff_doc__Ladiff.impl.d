@@ -1,0 +1,1 @@
+lib/doc/ladiff.ml: Doc_tree Html_parser Latex_parser Markup Treediff Treediff_tree

@@ -1,0 +1,1 @@
+lib/doc/ladiff.mli: Treediff Treediff_tree

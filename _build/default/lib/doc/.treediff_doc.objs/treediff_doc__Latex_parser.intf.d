@@ -1,0 +1,1 @@
+lib/doc/latex_parser.mli: Treediff_tree

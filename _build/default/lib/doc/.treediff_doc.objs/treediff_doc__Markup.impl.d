@@ -1,0 +1,1 @@
+lib/doc/markup.ml: Buffer Doc_tree Hashtbl List Option Printf String Treediff

@@ -1,0 +1,1 @@
+lib/doc/schema.ml: Doc_tree List Printf String Treediff_tree

@@ -1,0 +1,1 @@
+lib/doc/schema.mli: Treediff_tree

@@ -1,0 +1,1 @@
+lib/doc/sentence.mli:

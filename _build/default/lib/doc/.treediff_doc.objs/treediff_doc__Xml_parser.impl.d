@@ -1,0 +1,1 @@
+lib/doc/xml_parser.ml: Buffer Char List Option Printf String Treediff_tree

@@ -1,0 +1,1 @@
+lib/doc/xml_parser.mli: Treediff_tree

@@ -1,0 +1,27 @@
+module Node = Treediff_tree.Node
+module Criteria = Treediff_matching.Criteria
+
+let document = "Document"
+let section = "Section"
+let subsection = "Subsection"
+let paragraph = "Paragraph"
+let list = "List"
+let item = "Item"
+let sentence = "Sentence"
+
+let is_document_label l =
+  List.mem l [ document; section; subsection; paragraph; list; item; sentence ]
+
+let criteria_with ?(leaf_f = 0.5) ?(internal_t = 0.6) () =
+  Criteria.make ~leaf_f ~internal_t ~compare:Treediff_textdiff.Word_compare.distance ()
+
+let criteria = criteria_with ()
+
+let config_with ?leaf_f ?internal_t () =
+  Treediff.Config.with_criteria (criteria_with ?leaf_f ?internal_t ())
+
+let config = config_with ()
+
+let sentence_count t =
+  List.length
+    (List.filter (fun (n : Node.t) -> String.equal n.label sentence) (Node.preorder t))

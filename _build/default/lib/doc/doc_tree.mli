@@ -1,0 +1,36 @@
+(** The structured-document schema of §7: label constants and helpers for
+    document trees.
+
+    The label hierarchy is [Sentence < Paragraph < Item < List < Subsection <
+    Section < Document], which satisfies the acyclic-labels condition of §5.1
+    after the paper's merge of itemize/enumerate/description into the single
+    [List] label (lists may nest, a self-loop the ordering tolerates).
+
+    Values: [Sentence] nodes carry the sentence text; [Section] and
+    [Subsection] nodes carry their heading; other labels carry null. *)
+
+val document : string
+val section : string
+val subsection : string
+val paragraph : string
+val list : string
+val item : string
+val sentence : string
+
+val is_document_label : string -> bool
+(** Membership in the schema. *)
+
+val criteria : Treediff_matching.Criteria.t
+(** The matching criteria LaDiff uses: word-LCS compare
+    ({!Treediff_textdiff.Word_compare.distance}), [f = 0.5], [t = 0.6]. *)
+
+val criteria_with : ?leaf_f:float -> ?internal_t:float -> unit -> Treediff_matching.Criteria.t
+(** Same compare function, custom thresholds (the Table 1 sweep). *)
+
+val config : Treediff.Config.t
+(** Default LaDiff pipeline configuration. *)
+
+val config_with : ?leaf_f:float -> ?internal_t:float -> unit -> Treediff.Config.t
+
+val sentence_count : Treediff_tree.Node.t -> int
+(** Number of [Sentence] leaves — the paper's n for document trees. *)

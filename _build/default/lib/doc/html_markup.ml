@@ -1,0 +1,123 @@
+module Delta = Treediff.Delta
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&#39;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let is_label l (d : Delta.t) = String.equal d.Delta.label l
+
+let block_class (d : Delta.t) =
+  match (d.Delta.base, d.Delta.moved) with
+  | Delta.Inserted, _ -> " class=\"inserted\""
+  | Delta.Deleted, _ -> " class=\"deleted\""
+  | Delta.Marker, _ -> " class=\"moved-away\""
+  | (Delta.Identical | Delta.Updated _), Some _ -> " class=\"moved\""
+  | Delta.Updated _, None -> " class=\"updated\""
+  | Delta.Identical, None -> ""
+
+let render_sentence buf nm (d : Delta.t) =
+  let text = escape d.Delta.value in
+  match (d.Delta.base, d.Delta.moved) with
+  | Delta.Marker, Some k ->
+    let name = Markup.lookup_name nm k in
+    Buffer.add_string buf
+      (Printf.sprintf "<del id=\"src-%s\" class=\"moved-away\" title=\"moved\">%s</del> " name text)
+  | Delta.Marker, None ->
+    Buffer.add_string buf (Printf.sprintf "<del class=\"moved-away\">%s</del> " text)
+  | Delta.Deleted, _ -> Buffer.add_string buf (Printf.sprintf "<del>%s</del> " text)
+  | Delta.Inserted, _ -> Buffer.add_string buf (Printf.sprintf "<ins>%s</ins> " text)
+  | Delta.Updated old, Some k ->
+    let name = Markup.lookup_name nm k in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<ins class=\"moved\"><a href=\"#src-%s\"><em title=\"was: %s\">%s</em></a></ins> "
+         name (escape old) text)
+  | Delta.Updated old, None ->
+    Buffer.add_string buf (Printf.sprintf "<em title=\"was: %s\">%s</em> " (escape old) text)
+  | Delta.Identical, Some k ->
+    let name = Markup.lookup_name nm k in
+    Buffer.add_string buf
+      (Printf.sprintf "<ins class=\"moved\"><a href=\"#src-%s\">%s</a></ins> " name text)
+  | Delta.Identical, None ->
+    Buffer.add_string buf text;
+    Buffer.add_char buf ' '
+
+let heading_prefix (d : Delta.t) =
+  match (d.Delta.base, d.Delta.moved) with
+  | Delta.Inserted, _ -> "(ins) "
+  | Delta.Deleted, _ -> "(del) "
+  | Delta.Marker, _ -> "(moved away) "
+  | Delta.Updated _, _ -> "(upd) "
+  | Delta.Identical, Some _ -> "(mov) "
+  | Delta.Identical, None -> ""
+
+let rec render_block buf nm (d : Delta.t) =
+  if is_label Doc_tree.paragraph d then begin
+    Buffer.add_string buf (Printf.sprintf "<p%s>" (block_class d));
+    List.iter (render_sentence buf nm) d.Delta.children;
+    Buffer.add_string buf "</p>\n"
+  end
+  else if is_label Doc_tree.list d then begin
+    Buffer.add_string buf (Printf.sprintf "<ul%s>\n" (block_class d));
+    List.iter
+      (fun (it : Delta.t) ->
+        Buffer.add_string buf (Printf.sprintf "<li%s>" (block_class it));
+        List.iter (render_block buf nm) it.Delta.children;
+        Buffer.add_string buf "</li>\n")
+      d.Delta.children;
+    Buffer.add_string buf "</ul>\n"
+  end
+  else if is_label Doc_tree.section d || is_label Doc_tree.subsection d then begin
+    let tag = if is_label Doc_tree.section d then "h2" else "h3" in
+    Buffer.add_string buf
+      (Printf.sprintf "<%s%s>%s%s</%s>\n" tag (block_class d) (heading_prefix d)
+         (escape d.Delta.value) tag);
+    (match d.Delta.base with
+    | Delta.Deleted | Delta.Marker ->
+      Buffer.add_string buf (Printf.sprintf "<div%s>\n" (block_class d));
+      List.iter (render_block buf nm) d.Delta.children;
+      Buffer.add_string buf "</div>\n"
+    | Delta.Identical | Delta.Updated _ | Delta.Inserted ->
+      List.iter (render_block buf nm) d.Delta.children)
+  end
+  else if is_label Doc_tree.sentence d then begin
+    Buffer.add_string buf "<p>";
+    render_sentence buf nm d;
+    Buffer.add_string buf "</p>\n"
+  end
+  else List.iter (render_block buf nm) d.Delta.children
+
+let stylesheet =
+  {|<style>
+ins { background: #e6ffe6; text-decoration: none; }
+del { background: #ffe6e6; }
+em[title] { background: #fff6d8; font-style: italic; }
+.moved { border-bottom: 1px dashed #888; }
+.moved-away { opacity: 0.6; font-size: 90%; }
+.deleted { opacity: 0.75; }
+h2.inserted, h3.inserted { color: #0a7a0a; }
+h2.deleted, h3.deleted { color: #a01010; }
+</style>|}
+
+let to_html ?(full_page = false) ?(title = "document delta") (d : Delta.t) =
+  if not (is_label Doc_tree.document d) then
+    invalid_arg "Html_markup.to_html: root must be a Document delta";
+  let nm = Markup.assign_names d in
+  let buf = Buffer.create 4096 in
+  if full_page then
+    Buffer.add_string buf
+      (Printf.sprintf "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>%s</title>\n%s\n</head><body>\n"
+         (escape title) stylesheet);
+  List.iter (render_block buf nm) d.Delta.children;
+  if full_page then Buffer.add_string buf "</body></html>\n";
+  Buffer.contents buf

@@ -1,0 +1,23 @@
+(** HTML rendering of document delta trees — the §9 plan to "incorporate the
+    diff program in a web browser" (and the §1 web-monitoring scenario, where
+    a changed page is shown with tombstones for moved content).
+
+    Conventions mirror Table 2 with native HTML devices:
+    - inserted sentences in [<ins>], deleted in [<del>];
+    - updated sentences in [<em>] with the old text in a [title] tooltip;
+    - a moved sentence renders as a [<del>] tombstone with an anchor at its
+      old position and a linked [<ins class="moved">] at its new position;
+    - paragraph/item/section-level changes annotate the block element's
+      [class] ([inserted], [deleted], [moved]) and heading text.
+
+    Output is a self-contained fragment (optionally a full page with a small
+    embedded stylesheet); no external assets. *)
+
+val to_html : ?full_page:bool -> ?title:string -> Treediff.Delta.t -> string
+(** [to_html delta] renders a document delta tree (root label [Document]).
+    [full_page] (default false) wraps the fragment in
+    [<html><head>…</head><body>…</body></html>] with the default styles.
+    @raise Invalid_argument if the root is not a [Document]. *)
+
+val escape : string -> string
+(** HTML-escape text content ([&], [<], [>], quotes). *)

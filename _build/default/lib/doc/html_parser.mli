@@ -1,0 +1,18 @@
+(** Parser for a small HTML subset, mapping onto the same document schema as
+    the LaTeX parser — the HTML/web-documents extension the paper lists as
+    future work (§1's world-wide-web motivation, §9).
+
+    Mapping: [<h1>] → [Section], [<h2>]/[<h3>] → [Subsection], [<p>] →
+    [Paragraph], [<ul>]/[<ol>]/[<dl>] → [List] (merged, as in LaTeX),
+    [<li>]/[<dt>]/[<dd>] → [Item].  Inline tags ([<b>], [<a>], …) are
+    stripped, keeping their text; [<head>], [<script>] and [<style>] contents
+    are dropped; common entities are decoded.  Text is segmented into
+    [Sentence] leaves by {!Sentence.split}. *)
+
+exception Parse_error of string
+
+val parse : Treediff_tree.Tree.gen -> string -> Treediff_tree.Node.t
+(** [parse gen src] builds a [Document] tree from HTML source.  The parser
+    is lenient about tag soup (unclosed [<p>], [<li>]), as real pages
+    require; @raise Parse_error only on structurally hopeless input
+    (a [</ul>] with no open list). *)

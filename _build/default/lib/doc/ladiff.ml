@@ -1,0 +1,27 @@
+type format = Latex | Html
+
+type output = {
+  result : Treediff.Diff.t;
+  marked_latex : string;
+  marked_text : string;
+  old_tree : Treediff_tree.Node.t;
+  new_tree : Treediff_tree.Node.t;
+}
+
+let parse ?(format = Latex) gen src =
+  match format with
+  | Latex -> Latex_parser.parse gen src
+  | Html -> Html_parser.parse gen src
+
+let run ?(format = Latex) ?(config = Doc_tree.config) ~old_src ~new_src () =
+  let gen = Treediff_tree.Tree.gen () in
+  let old_tree = parse ~format gen old_src in
+  let new_tree = parse ~format gen new_src in
+  let result = Treediff.Diff.diff ~config old_tree new_tree in
+  {
+    result;
+    marked_latex = Markup.to_latex result.Treediff.Diff.delta;
+    marked_text = Markup.to_text result.Treediff.Diff.delta;
+    old_tree;
+    new_tree;
+  }

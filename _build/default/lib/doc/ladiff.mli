@@ -1,0 +1,29 @@
+(** LaDiff (§7): end-to-end change detection for structured documents.
+
+    Parse the old and new sources, diff the document trees with the paper's
+    pipeline, and render the delta tree as a marked-up document. *)
+
+type format = Latex | Html
+
+type output = {
+  result : Treediff.Diff.t;      (** the full diff (script, delta, stats) *)
+  marked_latex : string;         (** Table 2 mark-up of the new version *)
+  marked_text : string;          (** plain-text rendering of the delta *)
+  old_tree : Treediff_tree.Node.t;
+  new_tree : Treediff_tree.Node.t;
+}
+
+val run :
+  ?format:format ->
+  ?config:Treediff.Config.t ->
+  old_src:string ->
+  new_src:string ->
+  unit ->
+  output
+(** [run ~old_src ~new_src ()] parses both versions (default {!Latex};
+    config defaults to {!Doc_tree.config}, the word-LCS criteria) and diffs
+    old → new.
+    @raise Latex_parser.Parse_error or {!Html_parser.Parse_error} on
+    malformed input. *)
+
+val parse : ?format:format -> Treediff_tree.Tree.gen -> string -> Treediff_tree.Node.t

@@ -1,0 +1,302 @@
+module Node = Treediff_tree.Node
+module Tree = Treediff_tree.Tree
+
+exception Parse_error of string
+
+type tok =
+  | Sec of string
+  | Subsec of string
+  | Begin_list
+  | End_list
+  | Item
+  | Text of string
+  | Par_break
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let list_envs = [ "itemize"; "enumerate"; "description" ]
+
+(* Strip comments; keep \% as a literal. *)
+let strip_comments s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '\\' when !i + 1 < n && s.[!i + 1] = '%' ->
+      Buffer.add_string buf "\\%";
+      incr i
+    | '%' ->
+      while !i < n && s.[!i] <> '\n' do
+        incr i
+      done;
+      if !i < n then Buffer.add_char buf '\n'
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  Buffer.contents buf
+
+let body s =
+  let begin_doc = "\\begin{document}" in
+  let end_doc = "\\end{document}" in
+  let find sub =
+    let rec search from =
+      if from + String.length sub > String.length s then None
+      else if String.sub s from (String.length sub) = sub then Some from
+      else search (from + 1)
+    in
+    search 0
+  in
+  match find begin_doc with
+  | None -> s
+  | Some b ->
+    let start = b + String.length begin_doc in
+    let stop =
+      match find end_doc with Some e when e >= start -> e | _ -> String.length s
+    in
+    String.sub s start (stop - start)
+
+(* Read a balanced {...} group starting at s.[i] = '{'; returns contents and
+   the position after the closing brace. *)
+let braced s i =
+  let n = String.length s in
+  if i >= n || s.[i] <> '{' then fail "expected '{' at offset %d" i;
+  let depth = ref 1 in
+  let j = ref (i + 1) in
+  let buf = Buffer.create 32 in
+  while !depth > 0 && !j < n do
+    (match s.[!j] with
+    | '{' ->
+      incr depth;
+      if !depth > 1 then Buffer.add_char buf '{'
+    | '}' ->
+      decr depth;
+      if !depth > 0 then Buffer.add_char buf '}'
+    | c -> Buffer.add_char buf c);
+    incr j
+  done;
+  if !depth > 0 then fail "unbalanced '{' at offset %d" i;
+  (Buffer.contents buf, !j)
+
+let starts_with s i prefix =
+  i + String.length prefix <= String.length s && String.sub s i (String.length prefix) = prefix
+
+let tokenize src =
+  let s = body (strip_comments src) in
+  let n = String.length s in
+  let toks = ref [] in
+  let text = Buffer.create 128 in
+  let flush_text () =
+    let t = Buffer.contents text in
+    Buffer.clear text;
+    if String.trim t <> "" then toks := Text t :: !toks
+  in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] = '\n' then begin
+      (* blank line (possibly with spaces) = paragraph break *)
+      let j = ref (!i + 1) in
+      while !j < n && (s.[!j] = ' ' || s.[!j] = '\t') do
+        incr j
+      done;
+      if !j < n && s.[!j] = '\n' then begin
+        flush_text ();
+        toks := Par_break :: !toks;
+        while !j < n && (s.[!j] = '\n' || s.[!j] = ' ' || s.[!j] = '\t') do
+          incr j
+        done;
+        i := !j
+      end
+      else begin
+        Buffer.add_char text ' ';
+        incr i
+      end
+    end
+    else if s.[!i] = '\\' then begin
+      if starts_with s !i "\\section" then begin
+        flush_text ();
+        let title, j = braced s (!i + String.length "\\section") in
+        toks := Sec (Sentence.normalize title) :: !toks;
+        i := j
+      end
+      else if starts_with s !i "\\subsection" then begin
+        flush_text ();
+        let title, j = braced s (!i + String.length "\\subsection") in
+        toks := Subsec (Sentence.normalize title) :: !toks;
+        i := j
+      end
+      else if starts_with s !i "\\begin{" then begin
+        let env, j = braced s (!i + String.length "\\begin") in
+        if List.mem env list_envs then begin
+          flush_text ();
+          toks := Begin_list :: !toks;
+          i := j
+        end
+        else begin
+          (* unknown environment: keep the marker as text *)
+          Buffer.add_string text (Printf.sprintf "\\begin{%s}" env);
+          i := j
+        end
+      end
+      else if starts_with s !i "\\end{" then begin
+        let env, j = braced s (!i + String.length "\\end") in
+        if List.mem env list_envs then begin
+          flush_text ();
+          toks := End_list :: !toks;
+          i := j
+        end
+        else begin
+          Buffer.add_string text (Printf.sprintf "\\end{%s}" env);
+          i := j
+        end
+      end
+      else if starts_with s !i "\\item" then begin
+        flush_text ();
+        toks := Item :: !toks;
+        i := !i + String.length "\\item"
+      end
+      else begin
+        (* Unrecognised command: copy the backslash and continue as text. *)
+        Buffer.add_char text '\\';
+        incr i
+      end
+    end
+    else begin
+      Buffer.add_char text s.[!i];
+      incr i
+    end
+  done;
+  flush_text ();
+  List.rev !toks
+
+(* --- token stream -> tree ------------------------------------------------ *)
+
+(* Blocks (paragraphs and lists) until a stopper token; returns the built
+   child nodes and the remaining tokens (with the stopper still present). *)
+let rec parse_blocks gen toks ~in_list =
+  let blocks = ref [] in
+  let para = Buffer.create 128 in
+  let flush_para () =
+    let text = Buffer.contents para in
+    Buffer.clear para;
+    let sentences = Sentence.split text in
+    if sentences <> [] then
+      blocks :=
+        Tree.node gen Doc_tree.paragraph
+          (List.map (fun snt -> Tree.leaf gen Doc_tree.sentence snt) sentences)
+        :: !blocks
+  in
+  let rec loop toks =
+    match toks with
+    | [] -> []
+    | (Sec _ | Subsec _) :: _ ->
+      if in_list then fail "section heading inside a list";
+      toks
+    | (End_list | Item) :: _ when in_list -> toks
+    | End_list :: _ -> fail "\\end{list} without matching \\begin"
+    | Item :: _ -> fail "\\item outside of a list environment"
+    | Par_break :: rest ->
+      flush_para ();
+      loop rest
+    | Text t :: rest ->
+      Buffer.add_char para ' ';
+      Buffer.add_string para t;
+      loop rest
+    | Begin_list :: rest ->
+      flush_para ();
+      let items, rest = parse_items gen rest in
+      blocks := Tree.node gen Doc_tree.list items :: !blocks;
+      loop rest
+  in
+  let rest = loop toks in
+  flush_para ();
+  (List.rev !blocks, rest)
+
+and parse_items gen toks =
+  let items = ref [] in
+  let rec loop toks =
+    match toks with
+    | Item :: rest ->
+      let blocks, rest = parse_blocks gen rest ~in_list:true in
+      items := Tree.node gen Doc_tree.item blocks :: !items;
+      loop rest
+    | End_list :: rest -> rest
+    | Par_break :: rest -> loop rest (* stray breaks between items *)
+    | Text t :: _ -> fail "text %S before first \\item" (String.trim t)
+    | (Sec _ | Subsec _) :: _ -> fail "section heading inside a list"
+    | Begin_list :: _ -> fail "nested list before first \\item"
+    | [] -> fail "unterminated list environment"
+  in
+  let rest = loop toks in
+  (List.rev !items, rest)
+
+let rec parse_subsections gen toks =
+  match toks with
+  | Subsec title :: rest ->
+    let blocks, rest = parse_blocks gen rest ~in_list:false in
+    let subs, rest = parse_subsections gen rest in
+    (Tree.node gen Doc_tree.subsection ~value:title blocks :: subs, rest)
+  | _ -> ([], toks)
+
+let rec parse_sections gen toks =
+  match toks with
+  | Sec title :: rest ->
+    let blocks, rest = parse_blocks gen rest ~in_list:false in
+    let subs, rest = parse_subsections gen rest in
+    let secs, rest = parse_sections gen rest in
+    (Tree.node gen Doc_tree.section ~value:title (blocks @ subs) :: secs, rest)
+  | _ -> ([], toks)
+
+let parse gen src =
+  let toks = tokenize src in
+  let preamble, rest = parse_blocks gen toks ~in_list:false in
+  let sections, rest = parse_sections gen rest in
+  (match rest with
+  | [] -> ()
+  | Subsec t :: _ -> fail "\\subsection{%s} outside any section" t
+  | _ -> fail "unparsed trailing structure");
+  Tree.node gen Doc_tree.document (preamble @ sections)
+
+(* --- tree -> LaTeX ------------------------------------------------------- *)
+
+let print t =
+  let buf = Buffer.create 1024 in
+  let rec blocks nodes =
+    List.iteri
+      (fun i (n : Node.t) ->
+        if i > 0 then Buffer.add_char buf '\n';
+        block n)
+      nodes
+  and block (n : Node.t) =
+    if String.equal n.Node.label Doc_tree.paragraph then begin
+      List.iteri
+        (fun i (s : Node.t) ->
+          if i > 0 then Buffer.add_char buf ' ';
+          Buffer.add_string buf s.Node.value)
+        (Node.children n);
+      Buffer.add_char buf '\n'
+    end
+    else if String.equal n.Node.label Doc_tree.list then begin
+      Buffer.add_string buf "\\begin{itemize}\n";
+      List.iter
+        (fun (it : Node.t) ->
+          Buffer.add_string buf "\\item ";
+          blocks (Node.children it))
+        (Node.children n);
+      Buffer.add_string buf "\\end{itemize}\n"
+    end
+    else if String.equal n.Node.label Doc_tree.section then begin
+      Buffer.add_string buf (Printf.sprintf "\\section{%s}\n\n" n.Node.value);
+      blocks (Node.children n)
+    end
+    else if String.equal n.Node.label Doc_tree.subsection then begin
+      Buffer.add_string buf (Printf.sprintf "\\subsection{%s}\n\n" n.Node.value);
+      blocks (Node.children n)
+    end
+    else
+      invalid_arg (Printf.sprintf "Latex_parser.print: unexpected label %S" n.Node.label)
+  in
+  if not (String.equal t.Node.label Doc_tree.document) then
+    invalid_arg "Latex_parser.print: root must be a Document";
+  blocks (Node.children t);
+  Buffer.contents buf

@@ -1,0 +1,25 @@
+(** Parser for the LaTeX subset LaDiff understands (§7): sentences,
+    paragraphs, subsections, sections, lists, items, document.
+
+    - Comments ([%] to end of line, except [\%]) are stripped.
+    - If a [\begin{document}] … [\end{document}] body is present, only the
+      body is parsed; otherwise the whole input is.
+    - [\section{…}] and [\subsection{…}] headings become [Section] and
+      [Subsection] nodes carrying the heading as their value.
+    - [itemize], [enumerate] and [description] environments are merged into
+      the single [List] label (the paper's fix for the acyclic-labels
+      condition); [\item]s become [Item] nodes.
+    - Blank lines separate paragraphs; paragraph text is segmented into
+      [Sentence] leaves by {!Sentence.split}.  Unrecognised commands are kept
+      verbatim as sentence text (they diff fine as words). *)
+
+exception Parse_error of string
+
+val parse : Treediff_tree.Tree.gen -> string -> Treediff_tree.Node.t
+(** [parse gen src] builds the document tree.
+    @raise Parse_error on unbalanced braces or environments. *)
+
+val print : Treediff_tree.Node.t -> string
+(** Render a document tree back to LaTeX source (lists re-emitted as
+    [itemize]; the merged label loses the original environment name).
+    [parse] ∘ [print] is the identity on document trees. *)

@@ -1,0 +1,224 @@
+module Delta = Treediff.Delta
+
+(* Marker display names: marker number -> "S1" / "P2" / …, assigned in
+   document order, prefixed by the moved unit's kind. *)
+type names = { tbl : (int, string) Hashtbl.t; counts : (string, int) Hashtbl.t }
+
+let names () = { tbl = Hashtbl.create 8; counts = Hashtbl.create 8 }
+
+let prefix_for label =
+  if String.equal label Doc_tree.sentence then "S"
+  else if String.equal label Doc_tree.paragraph then "P"
+  else if String.equal label Doc_tree.item then "I"
+  else if String.equal label Doc_tree.list then "L"
+  else if String.equal label Doc_tree.subsection then "SS"
+  else if String.equal label Doc_tree.section then "SEC"
+  else "M"
+
+let name_of nm label k =
+  match Hashtbl.find_opt nm.tbl k with
+  | Some s -> s
+  | None ->
+    let p = prefix_for label in
+    let c = (try Hashtbl.find nm.counts p with Not_found -> 0) + 1 in
+    Hashtbl.replace nm.counts p c;
+    let s = Printf.sprintf "%s%d" p c in
+    Hashtbl.replace nm.tbl k s;
+    s
+
+(* Pre-assign names in document order so an old position (marker) seen after
+   the new position still shares the same label, and vice versa. *)
+let assign_names d =
+  let nm = names () in
+  let rec walk (d : Delta.t) =
+    (match (d.Delta.base, d.Delta.moved) with
+    | Delta.Marker, Some k -> ignore (name_of nm d.Delta.label k)
+    | _, Some k -> ignore (name_of nm d.Delta.label k)
+    | _, None -> ());
+    List.iter walk d.Delta.children
+  in
+  walk d;
+  nm
+
+let lookup_name nm k =
+  match Hashtbl.find_opt nm.tbl k with Some s -> s | None -> Printf.sprintf "M%d" k
+
+(* ------------------------------------------------------------------ LaTeX *)
+
+let is_label l d = String.equal d.Delta.label l
+
+(* Rendering context: [muted] when inside an already small-fonted (deleted)
+   region, [noted] when an ancestor block already carries the same
+   insert/delete marginal note (suppresses repeats down the spine). *)
+type ctx = { muted : bool; noted : Delta.base option }
+
+let same_note a b =
+  match (a, b) with
+  | Delta.Inserted, Delta.Inserted | Delta.Deleted, Delta.Deleted -> true
+  | _ -> false
+
+let rec latex_sentences buf nm ctx sentences =
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char buf ' ';
+      latex_sentence buf nm ctx s)
+    sentences
+
+and latex_sentence buf nm ctx (d : Delta.t) =
+  let text = d.Delta.value in
+  let small s = if ctx.muted then s else Printf.sprintf "{\\small %s}" s in
+  match (d.Delta.base, d.Delta.moved) with
+  | Delta.Marker, Some k ->
+    Buffer.add_string buf
+      (Printf.sprintf "%s:[%s]" (name_of nm d.Delta.label k) (small text))
+  | Delta.Marker, None -> Buffer.add_string buf (Printf.sprintf "[%s]" (small text))
+  | Delta.Deleted, _ -> Buffer.add_string buf (small text)
+  | Delta.Inserted, _ ->
+    if same_note Delta.Inserted (Option.value ~default:Delta.Identical ctx.noted)
+    then Buffer.add_string buf text
+    else Buffer.add_string buf (Printf.sprintf "\\textbf{%s}" text)
+  | Delta.Updated _, Some k ->
+    Buffer.add_string buf
+      (Printf.sprintf "[\\textit{%s}]\\footnote{Moved from %s}" text
+         (name_of nm d.Delta.label k))
+  | Delta.Updated _, None -> Buffer.add_string buf (Printf.sprintf "\\textit{%s}" text)
+  | Delta.Identical, Some k ->
+    Buffer.add_string buf
+      (Printf.sprintf "[%s]\\footnote{Moved from %s}" text (name_of nm d.Delta.label k))
+  | Delta.Identical, None -> Buffer.add_string buf text
+
+let block_note nm ctx what (d : Delta.t) =
+  let skip base = match ctx.noted with Some n -> same_note n base | None -> false in
+  match (d.Delta.base, d.Delta.moved) with
+  | Delta.Inserted, _ -> if skip Delta.Inserted then None else Some ("Inserted " ^ what)
+  | Delta.Deleted, _ -> if skip Delta.Deleted then None else Some ("Deleted " ^ what)
+  | Delta.Marker, Some k -> Some (name_of nm d.Delta.label k)
+  | Delta.Marker, None -> Some ("Moved-away " ^ what)
+  | (Delta.Identical | Delta.Updated _), Some k ->
+    Some (Printf.sprintf "Moved from %s" (name_of nm d.Delta.label k))
+  | Delta.Updated _, None -> None (* sentence-level marks are enough *)
+  | Delta.Identical, None -> None
+
+let heading_annot (d : Delta.t) =
+  match (d.Delta.base, d.Delta.moved) with
+  | Delta.Inserted, _ -> "(ins) "
+  | Delta.Deleted, _ -> "(del) "
+  | Delta.Marker, _ -> "(mov away) "
+  | Delta.Updated _, Some _ -> "(upd,mov) "
+  | Delta.Updated _, None -> "(upd) "
+  | Delta.Identical, Some _ -> "(mov) "
+  | Delta.Identical, None -> ""
+
+(* Context pushed into a block's children: muting propagates through deleted
+   regions; a carried note suppresses identical notes below. *)
+let child_ctx ctx (d : Delta.t) =
+  let noted =
+    match d.Delta.base with
+    | Delta.Inserted -> Some Delta.Inserted
+    | Delta.Deleted -> Some Delta.Deleted
+    | Delta.Marker -> ctx.noted
+    (* An unchanged or moved block breaks the chain: its inserted children
+       are new relative to it and must be marked. *)
+    | Delta.Identical | Delta.Updated _ -> None
+  in
+  { ctx with noted }
+
+let rec latex_block buf nm ctx (d : Delta.t) =
+  if is_label Doc_tree.paragraph d then begin
+    (match block_note nm ctx "para" d with
+    | Some note -> Buffer.add_string buf (Printf.sprintf "\\marginpar{%s}" note)
+    | None -> ());
+    let inner = child_ctx ctx d in
+    (match d.Delta.base with
+    | (Delta.Deleted | Delta.Marker) when d.Delta.children = [] ->
+      (* A content-free ghost (e.g. a moved-away paragraph's old position)
+         leaves only its marginal label. *)
+      ()
+    | Delta.Deleted | Delta.Marker ->
+      if ctx.muted then latex_sentences buf nm inner d.Delta.children
+      else begin
+        Buffer.add_string buf "{\\small ";
+        latex_sentences buf nm { inner with muted = true } d.Delta.children;
+        Buffer.add_string buf "}"
+      end
+    | Delta.Identical | Delta.Updated _ | Delta.Inserted ->
+      latex_sentences buf nm inner d.Delta.children);
+    Buffer.add_string buf "\n\n"
+  end
+  else if is_label Doc_tree.list d then begin
+    (match block_note nm ctx "list" d with
+    | Some note -> Buffer.add_string buf (Printf.sprintf "\\marginpar{%s}" note)
+    | None -> ());
+    let inner = child_ctx ctx d in
+    Buffer.add_string buf "\\begin{itemize}\n";
+    List.iter
+      (fun (it : Delta.t) ->
+        Buffer.add_string buf "\\item ";
+        (match block_note nm inner "item" it with
+        | Some note -> Buffer.add_string buf (Printf.sprintf "\\marginpar{%s}" note)
+        | None -> ());
+        let item_ctx = child_ctx inner it in
+        List.iter (latex_block buf nm item_ctx) it.Delta.children)
+      d.Delta.children;
+    Buffer.add_string buf "\\end{itemize}\n\n"
+  end
+  else if is_label Doc_tree.section d || is_label Doc_tree.subsection d then begin
+    let cmd = if is_label Doc_tree.section d then "section" else "subsection" in
+    Buffer.add_string buf
+      (Printf.sprintf "\\%s{%s%s}\n\n" cmd (heading_annot d) d.Delta.value);
+    let inner = child_ctx ctx d in
+    List.iter (latex_block buf nm inner) d.Delta.children
+  end
+  else if is_label Doc_tree.sentence d then begin
+    (* A sentence directly under a section/document (unusual) renders as its
+       own paragraph. *)
+    latex_sentence buf nm ctx d;
+    Buffer.add_string buf "\n\n"
+  end
+  else List.iter (latex_block buf nm ctx) d.Delta.children
+
+let to_latex (d : Delta.t) =
+  if not (is_label Doc_tree.document d) then
+    invalid_arg "Markup.to_latex: root must be a Document delta";
+  let nm = assign_names d in
+  let buf = Buffer.create 2048 in
+  let ctx = { muted = false; noted = None } in
+  List.iter (latex_block buf nm ctx) d.Delta.children;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------- text *)
+
+let to_text (d : Delta.t) =
+  let nm = assign_names d in
+  let buf = Buffer.create 2048 in
+  let rec walk depth (d : Delta.t) =
+    let indent = String.make (2 * depth) ' ' in
+    let header =
+      match (d.Delta.base, d.Delta.moved) with
+      | Delta.Inserted, _ -> "{+ "
+      | Delta.Deleted, _ -> "{- "
+      | Delta.Marker, Some k -> Printf.sprintf "{<%s " (name_of nm d.Delta.label k)
+      | Delta.Marker, None -> "{< "
+      | Delta.Updated _, Some k -> Printf.sprintf "{~>%s " (name_of nm d.Delta.label k)
+      | Delta.Updated _, None -> "{~ "
+      | Delta.Identical, Some k -> Printf.sprintf "{>%s " (name_of nm d.Delta.label k)
+      | Delta.Identical, None -> ""
+    in
+    let footer = if header = "" then "" else "}" in
+    let old_note =
+      match d.Delta.base with
+      | Delta.Updated old -> Printf.sprintf " (was: %s)" old
+      | _ -> ""
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s%s%s%s%s\n" indent header d.Delta.label
+         (if d.Delta.value = "" then "" else ": " ^ d.Delta.value)
+         old_note footer);
+    List.iter (walk (depth + 1)) d.Delta.children
+  in
+  walk 0 d;
+  Buffer.contents buf
+
+let summary d =
+  let ins, del, upd, mov = Delta.counts d in
+  Printf.sprintf "%d inserted, %d deleted, %d updated, %d moved" ins del upd mov

@@ -1,0 +1,38 @@
+(** Rendering delta trees as marked-up documents — Table 2's conventions.
+
+    | unit       | insert          | delete        | update       | move |
+    |------------|-----------------|---------------|--------------|------|
+    | Sentence   | bold            | small font    | italic       | small font + label at old position, footnote at new |
+    | Paragraph  | marginal note   | marginal note | marginal note| marginal note + label |
+    | Item       | marginal note   | marginal note | marginal note| marginal note + label |
+    | Section(s) | (ins) in heading| (del)         | (upd)        | (mov) |
+
+    Moved-and-updated units are marked for both at once (App. A).  Marker
+    labels are [S1, S2, …] for sentences, [P1, …] for paragraphs, [I1, …]
+    for items, assigned in document order. *)
+
+val to_latex : Treediff.Delta.t -> string
+(** Marked-up LaTeX for a document delta tree (root label [Document]). *)
+
+val to_text : Treediff.Delta.t -> string
+(** Plain-text rendering with inline change markers — works for any delta
+    tree, not only documents: inserted [{+ …+}], deleted [{- …-}], updated
+    [{~ … (was: …)~}], moves [{>Sk …}] with origin [{<Sk}]. *)
+
+val summary : Treediff.Delta.t -> string
+(** One-line tally, e.g. ["3 inserted, 1 deleted, 2 updated, 1 moved"]. *)
+
+(** {2 Marker naming}
+
+    Shared by the LaTeX and HTML renderers so both give the same move the
+    same display label. *)
+
+type names
+
+val assign_names : Treediff.Delta.t -> names
+(** Walk the delta in document order assigning [S1, P1, …] labels to every
+    move marker. *)
+
+val lookup_name : names -> int -> string
+(** The display label of a marker number; a generic ["M<k>"] if the marker
+    was never assigned (cannot happen for {!assign_names} output). *)

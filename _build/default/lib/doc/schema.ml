@@ -1,0 +1,45 @@
+module Node = Treediff_tree.Node
+
+let allowed_children label =
+  if String.equal label Doc_tree.document then
+    [ Doc_tree.paragraph; Doc_tree.list; Doc_tree.section ]
+  else if String.equal label Doc_tree.section then
+    [ Doc_tree.paragraph; Doc_tree.list; Doc_tree.subsection ]
+  else if String.equal label Doc_tree.subsection then
+    [ Doc_tree.paragraph; Doc_tree.list ]
+  else if String.equal label Doc_tree.list then [ Doc_tree.item ]
+  else if String.equal label Doc_tree.item then [ Doc_tree.paragraph; Doc_tree.list ]
+  else if String.equal label Doc_tree.paragraph then [ Doc_tree.sentence ]
+  else [] (* sentences are leaves *)
+
+let validate root =
+  let exception Bad of string in
+  let fail fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt in
+  let rec walk (n : Node.t) =
+    if not (Doc_tree.is_document_label n.Node.label) then
+      fail "label %S is not in the document schema" n.Node.label;
+    if String.equal n.Node.label Doc_tree.sentence && not (Node.is_leaf n) then
+      fail "sentence node %d has children" n.Node.id;
+    let allowed = allowed_children n.Node.label in
+    let seen_subsection = ref false in
+    List.iter
+      (fun (c : Node.t) ->
+        if not (List.mem c.Node.label allowed) then
+          fail "%s node %d cannot contain a %s" n.Node.label n.Node.id c.Node.label;
+        (* blocks before subsections inside a section *)
+        if String.equal n.Node.label Doc_tree.section then begin
+          if String.equal c.Node.label Doc_tree.subsection then seen_subsection := true
+          else if !seen_subsection then
+            fail "section %d has a block after a subsection" n.Node.id
+        end;
+        walk c)
+      (Node.children n);
+    ()
+  in
+  if not (String.equal root.Node.label Doc_tree.document) then
+    Error (Printf.sprintf "root label must be %S, got %S" Doc_tree.document root.Node.label)
+  else
+    match walk root with () -> Ok () | exception Bad m -> Error m
+
+let validate_exn root =
+  match validate root with Ok () -> () | Error m -> invalid_arg ("Schema: " ^ m)

@@ -1,0 +1,14 @@
+(** Validation of document trees against the §7 structuring schema.
+
+    The schema restricts which labels may nest under which — the acyclic
+    label order [Sentence < Paragraph < Item < List < Subsection < Section <
+    Document] — plus positional rules (a section's blocks precede its
+    subsections; list children are items).  The parsers only produce valid
+    trees; this validator guards hand-built or deserialized ones before they
+    enter the pipeline. *)
+
+val validate : Treediff_tree.Node.t -> (unit, string) result
+(** [Error msg] describes the first violation found (preorder). *)
+
+val validate_exn : Treediff_tree.Node.t -> unit
+(** @raise Invalid_argument with the violation description. *)

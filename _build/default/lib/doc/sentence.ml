@@ -1,0 +1,81 @@
+let normalize s =
+  let buf = Buffer.create (String.length s) in
+  let pending_space = ref false in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | '\n' | '\r' -> if Buffer.length buf > 0 then pending_space := true
+      | c ->
+        if !pending_space then begin
+          Buffer.add_char buf ' ';
+          pending_space := false
+        end;
+        Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let abbreviations =
+  [ "e.g"; "i.e"; "etc"; "cf"; "vs"; "fig"; "sec"; "eq"; "no"; "al"; "dr"; "mr"; "mrs"; "ms"; "prof"; "st" ]
+
+(* The word immediately before position [i] (which holds '.', '!' or '?'),
+   lowercased, with leading punctuation (quotes, parentheses) stripped so
+   "(e.g." is recognised as the abbreviation "e.g". *)
+let word_before s i =
+  let j = ref (i - 1) in
+  while !j >= 0 && s.[!j] <> ' ' && s.[!j] <> '\t' && s.[!j] <> '\n' do
+    decr j
+  done;
+  let w = String.sub s (!j + 1) (i - !j - 1) in
+  let w = String.lowercase_ascii w in
+  let k = ref 0 in
+  while
+    !k < String.length w
+    && match w.[!k] with 'a' .. 'z' | '0' .. '9' -> false | _ -> true
+  do
+    incr k
+  done;
+  String.sub w !k (String.length w - !k)
+
+let is_abbreviation w = List.mem w abbreviations
+
+let is_single_initial w =
+  String.length w = 1
+  && (match w.[0] with 'a' .. 'z' -> true | _ -> false)
+
+let split text =
+  let s = normalize text in
+  let n = String.length s in
+  if n = 0 then []
+  else begin
+    let sentences = ref [] in
+    let start = ref 0 in
+    let i = ref 0 in
+    while !i < n do
+      (match s.[!i] with
+      | ('.' | '!' | '?') as punct ->
+        (* absorb a run of closing quotes/brackets after the terminator *)
+        let j = ref (!i + 1) in
+        while
+          !j < n && (s.[!j] = '"' || s.[!j] = '\'' || s.[!j] = ')' || s.[!j] = ']')
+        do
+          incr j
+        done;
+        let at_boundary = !j >= n || s.[!j] = ' ' in
+        let w = word_before s !i in
+        let abbrev = punct = '.' && (is_abbreviation w || is_single_initial w) in
+        if at_boundary && not abbrev then begin
+          let sentence = String.sub s !start (!j - !start) in
+          if String.trim sentence <> "" then sentences := sentence :: !sentences;
+          (* skip the following space *)
+          start := (if !j < n then !j + 1 else !j);
+          i := !j
+        end
+      | _ -> ());
+      incr i
+    done;
+    if !start < n then begin
+      let tail = String.trim (String.sub s !start (n - !start)) in
+      if tail <> "" then sentences := tail :: !sentences
+    end;
+    List.rev !sentences
+  end

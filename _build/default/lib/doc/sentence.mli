@@ -1,0 +1,14 @@
+(** Sentence segmentation for paragraph text.
+
+    A heuristic splitter: sentences end at [.], [!] or [?] followed by
+    whitespace, unless the period belongs to a known abbreviation (e.g.,
+    i.e., etc.) or a single capital initial.  Whitespace inside a sentence is
+    normalised to single spaces.  Imperfect segmentation only moves sentence
+    boundaries — the diff pipeline downstream stays correct either way. *)
+
+val split : string -> string list
+(** [split text] is the list of sentences, each trimmed and
+    whitespace-normalised; empty input yields []. *)
+
+val normalize : string -> string
+(** Collapse runs of whitespace to single spaces and trim. *)

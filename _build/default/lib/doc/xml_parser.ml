@@ -1,0 +1,326 @@
+module Tree = Treediff_tree.Tree
+module Node = Treediff_tree.Node
+
+exception Parse_error of string
+
+let fail pos fmt =
+  Printf.ksprintf
+    (fun m -> raise (Parse_error (Printf.sprintf "at offset %d: %s" pos m)))
+    fmt
+
+let text_label = "#text"
+
+(* ------------------------------------------------------------- scanning *)
+
+type t_state = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let starts_with st s =
+  st.pos + String.length s <= String.length st.src
+  && String.sub st.src st.pos (String.length s) = s
+
+let advance st n = st.pos <- st.pos + n
+
+let skip_ws st =
+  while
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') -> true
+    | _ -> false
+  do
+    advance st 1
+  done
+
+let is_name_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | ':' -> true
+  | _ -> false
+
+let name st =
+  let start = st.pos in
+  while (match peek st with Some c when is_name_char c -> true | _ -> false) do
+    advance st 1
+  done;
+  if st.pos = start then fail start "expected a name";
+  String.sub st.src start (st.pos - start)
+
+let decode_entity st =
+  (* at '&' *)
+  let start = st.pos in
+  advance st 1;
+  let stop =
+    match String.index_from_opt st.src st.pos ';' with
+    | Some i when i - st.pos <= 8 -> i
+    | _ -> fail start "unterminated entity reference"
+  in
+  let body = String.sub st.src st.pos (stop - st.pos) in
+  st.pos <- stop + 1;
+  match body with
+  | "amp" -> "&"
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "quot" -> "\""
+  | "apos" -> "'"
+  | _ ->
+    if String.length body > 1 && body.[0] = '#' then begin
+      let code =
+        if String.length body > 2 && (body.[1] = 'x' || body.[1] = 'X') then
+          int_of_string_opt ("0x" ^ String.sub body 2 (String.length body - 2))
+        else int_of_string_opt (String.sub body 1 (String.length body - 1))
+      in
+      match code with
+      | Some c when c >= 0 && c < 128 -> String.make 1 (Char.chr c)
+      | Some c when c < 0x110000 ->
+        (* UTF-8 encode the code point *)
+        let buf = Buffer.create 4 in
+        if c < 0x800 then begin
+          Buffer.add_char buf (Char.chr (0xC0 lor (c lsr 6)));
+          Buffer.add_char buf (Char.chr (0x80 lor (c land 0x3F)))
+        end
+        else if c < 0x10000 then begin
+          Buffer.add_char buf (Char.chr (0xE0 lor (c lsr 12)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((c lsr 6) land 0x3F)));
+          Buffer.add_char buf (Char.chr (0x80 lor (c land 0x3F)))
+        end
+        else begin
+          Buffer.add_char buf (Char.chr (0xF0 lor (c lsr 18)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((c lsr 12) land 0x3F)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((c lsr 6) land 0x3F)));
+          Buffer.add_char buf (Char.chr (0x80 lor (c land 0x3F)))
+        end;
+        Buffer.contents buf
+      | _ -> fail start "invalid character reference &%s;" body
+    end
+    else fail start "unknown entity &%s;" body
+
+let attr_value st =
+  let quote =
+    match peek st with
+    | Some (('"' | '\'') as q) ->
+      advance st 1;
+      q
+    | _ -> fail st.pos "expected a quoted attribute value"
+  in
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> fail st.pos "unterminated attribute value"
+    | Some c when c = quote -> advance st 1
+    | Some '&' ->
+      Buffer.add_string buf (decode_entity st);
+      loop ()
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st 1;
+      loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let attributes st =
+  let attrs = ref [] in
+  let rec loop () =
+    skip_ws st;
+    match peek st with
+    | Some c when is_name_char c ->
+      let k = name st in
+      skip_ws st;
+      (match peek st with
+      | Some '=' ->
+        advance st 1;
+        skip_ws st;
+        let v = attr_value st in
+        attrs := (k, v) :: !attrs
+      | _ -> attrs := (k, "") :: !attrs);
+      loop ()
+    | _ -> ()
+  in
+  loop ();
+  List.rev !attrs
+
+let escape_attr v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let attrs_to_value attrs =
+  String.concat " "
+    (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_attr v)) attrs)
+
+(* ------------------------------------------------------------- document *)
+
+let normalize_text s =
+  let buf = Buffer.create (String.length s) in
+  let pending = ref false in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | '\n' | '\r' -> if Buffer.length buf > 0 then pending := true
+      | c ->
+        if !pending then begin
+          Buffer.add_char buf ' ';
+          pending := false
+        end;
+        Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let parse gen src =
+  let st = { src; pos = 0 } in
+  let skip_misc () =
+    (* whitespace, comments, PIs, doctype between markup *)
+    let rec loop () =
+      skip_ws st;
+      if starts_with st "<!--" then begin
+        match
+          let rec find i =
+            if i + 3 > String.length src then None
+            else if String.sub src i 3 = "-->" then Some i
+            else find (i + 1)
+          in
+          find (st.pos + 4)
+        with
+        | Some i ->
+          st.pos <- i + 3;
+          loop ()
+        | None -> fail st.pos "unterminated comment"
+      end
+      else if starts_with st "<?" then begin
+        match String.index_from_opt src st.pos '>' with
+        | Some i ->
+          st.pos <- i + 1;
+          loop ()
+        | None -> fail st.pos "unterminated processing instruction"
+      end
+      else if starts_with st "<!DOCTYPE" || starts_with st "<!doctype" then begin
+        match String.index_from_opt src st.pos '>' with
+        | Some i ->
+          st.pos <- i + 1;
+          loop ()
+        | None -> fail st.pos "unterminated DOCTYPE"
+      end
+    in
+    loop ()
+  in
+  let flush_text node buf =
+    let t = normalize_text (Buffer.contents buf) in
+    Buffer.clear buf;
+    if t <> "" then Node.append_child node (Tree.leaf gen text_label t)
+  in
+  let rec element () =
+    (* at '<' of an open tag *)
+    let open_pos = st.pos in
+    advance st 1;
+    let tag = name st in
+    let attrs = attributes st in
+    skip_ws st;
+    let node = Tree.node gen tag ~value:(attrs_to_value attrs) [] in
+    if starts_with st "/>" then begin
+      advance st 2;
+      node
+    end
+    else if peek st = Some '>' then begin
+      advance st 1;
+      let buf = Buffer.create 64 in
+      let rec content () =
+        if st.pos >= String.length src then
+          fail open_pos "element <%s> is never closed" tag
+        else if starts_with st "</" then begin
+          flush_text node buf;
+          advance st 2;
+          let close = name st in
+          skip_ws st;
+          (match peek st with
+          | Some '>' -> advance st 1
+          | _ -> fail st.pos "expected '>' in closing tag");
+          if close <> tag then
+            fail open_pos "element <%s> closed by </%s>" tag close
+        end
+        else if starts_with st "<![CDATA[" then begin
+          advance st 9;
+          let rec find i =
+            if i + 3 > String.length src then fail st.pos "unterminated CDATA"
+            else if String.sub src i 3 = "]]>" then i
+            else find (i + 1)
+          in
+          let stop = find st.pos in
+          Buffer.add_string buf (String.sub src st.pos (stop - st.pos));
+          st.pos <- stop + 3;
+          content ()
+        end
+        else if starts_with st "<!--" || starts_with st "<?" then begin
+          flush_text node buf;
+          skip_misc ();
+          content ()
+        end
+        else if peek st = Some '<' then begin
+          flush_text node buf;
+          Node.append_child node (element ());
+          content ()
+        end
+        else if peek st = Some '&' then begin
+          Buffer.add_string buf (decode_entity st);
+          content ()
+        end
+        else begin
+          Buffer.add_char buf (Option.get (peek st));
+          advance st 1;
+          content ()
+        end
+      in
+      content ();
+      node
+    end
+    else fail st.pos "expected '>' or '/>' in tag <%s>" tag
+  in
+  skip_misc ();
+  if peek st <> Some '<' then fail st.pos "expected a root element";
+  let root = element () in
+  skip_misc ();
+  if st.pos <> String.length src then fail st.pos "content after the root element";
+  root
+
+(* ----------------------------------------------------------------- print *)
+
+let escape_text s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let print t =
+  let buf = Buffer.create 1024 in
+  let rec emit (n : Node.t) =
+    if String.equal n.Node.label text_label then Buffer.add_string buf (escape_text n.Node.value)
+    else begin
+      Buffer.add_char buf '<';
+      Buffer.add_string buf n.Node.label;
+      if n.Node.value <> "" then begin
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf n.Node.value
+      end;
+      if Node.is_leaf n then Buffer.add_string buf "/>"
+      else begin
+        Buffer.add_char buf '>';
+        List.iter emit (Node.children n);
+        Buffer.add_string buf "</";
+        Buffer.add_string buf n.Node.label;
+        Buffer.add_char buf '>'
+      end
+    end
+  in
+  emit t;
+  Buffer.contents buf

@@ -1,0 +1,32 @@
+(** Strict parser for generic XML — the paper's SGML/semistructured-data
+    direction (§9; the label-value model is the OEM view of [PGMW95]).
+
+    Mapping to the label-value tree model:
+    - an element becomes a node labeled with its tag name; its attributes,
+      serialized as [k="v"] pairs in document order, become the node value;
+    - text content becomes ["#text"]-labeled leaves (whitespace-normalized;
+      whitespace-only runs are dropped);
+    - comments, processing instructions and DOCTYPE are skipped; CDATA is
+      text; the five predefined entities and decimal/hex character
+      references are decoded.
+
+    Unlike the lenient {!Html_parser}, mismatched or unclosed tags are
+    errors — XML is supposed to be well-formed.
+
+    Note on matching: arbitrary XML vocabularies may violate the
+    acyclic-labels condition (§5.1) with mutually nested elements; the
+    pipeline stays {e correct} on such data but may miss matches between
+    mutually nested labels (reported as delete+insert).
+    {!Treediff_matching.Label_order.check_acyclic} detects the situation. *)
+
+exception Parse_error of string
+
+val parse : Treediff_tree.Tree.gen -> string -> Treediff_tree.Node.t
+(** @raise Parse_error on malformed input (unbalanced or crossing tags,
+    bad entity syntax, multiple roots). *)
+
+val print : Treediff_tree.Node.t -> string
+(** Serialize a tree back to XML.  [#text] leaves become text; other nodes
+    become elements with their value re-parsed as attributes (values written
+    by {!parse} always round-trip; hand-built values must look like
+    [k="v" …] or be empty). *)

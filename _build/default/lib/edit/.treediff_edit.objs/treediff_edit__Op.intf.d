@@ -1,0 +1,1 @@
+lib/edit/op.mli: Format

@@ -1,0 +1,1 @@
+lib/edit/script.ml: Cost Format Hashtbl List Op Printf Treediff_tree

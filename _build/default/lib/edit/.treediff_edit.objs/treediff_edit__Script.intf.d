@@ -1,0 +1,1 @@
+lib/edit/script.mli: Cost Format Hashtbl Op Treediff_tree

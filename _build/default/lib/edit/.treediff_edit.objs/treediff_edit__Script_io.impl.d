@@ -1,0 +1,1 @@
+lib/edit/script_io.ml: Buffer Char List Op Printf String

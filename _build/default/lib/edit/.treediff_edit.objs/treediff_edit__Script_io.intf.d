@@ -1,0 +1,1 @@
+lib/edit/script_io.mli: Script

@@ -1,0 +1,16 @@
+type t = {
+  c_ins : float;
+  c_del : float;
+  c_mov : float;
+  compare : string -> string -> float;
+}
+
+let all_or_nothing a b = if String.equal a b then 0.0 else 2.0
+
+let unit = { c_ins = 1.0; c_del = 1.0; c_mov = 1.0; compare = all_or_nothing }
+
+let with_compare compare = { unit with compare }
+
+let check t =
+  if t.c_ins < 0.0 || t.c_del < 0.0 || t.c_mov < 0.0 then
+    invalid_arg "Cost.check: structural costs must be non-negative"

@@ -1,0 +1,23 @@
+(** The §3.2 cost model for edit scripts.
+
+    Insert, delete and move are unit cost; updating node [x] from value [v]
+    to [v'] costs [compare v v' ∈ \[0,2\]].  A compare below 1 means
+    move-plus-update beats delete-plus-insert; above 1 the reverse — this is
+    the hinge the matching criteria (§5.1) turn on. *)
+
+type t = {
+  c_ins : float;
+  c_del : float;
+  c_mov : float;
+  compare : string -> string -> float;  (** distance in [\[0,2\]] *)
+}
+
+val unit : t
+(** Unit structural costs with the all-or-nothing compare
+    ([0.] on equal values, [2.] otherwise). *)
+
+val with_compare : (string -> string -> float) -> t
+(** Unit structural costs with a custom value-distance function. *)
+
+val check : t -> unit
+(** @raise Invalid_argument if any structural cost is negative. *)

@@ -1,0 +1,19 @@
+type t =
+  | Insert of { id : int; label : string; value : string; parent : int; pos : int }
+  | Delete of { id : int }
+  | Update of { id : int; value : string }
+  | Move of { id : int; parent : int; pos : int }
+
+let pp ppf = function
+  | Insert { id; label; value; parent; pos } ->
+    if value = "" then Format.fprintf ppf "INS((%d,%s),%d,%d)" id label parent pos
+    else Format.fprintf ppf "INS((%d,%s,%S),%d,%d)" id label value parent pos
+  | Delete { id } -> Format.fprintf ppf "DEL(%d)" id
+  | Update { id; value } -> Format.fprintf ppf "UPD(%d,%S)" id value
+  | Move { id; parent; pos } -> Format.fprintf ppf "MOV(%d,%d,%d)" id parent pos
+
+let to_string op = Format.asprintf "%a" pp op
+
+let is_structural = function
+  | Insert _ | Delete _ | Move _ -> true
+  | Update _ -> false

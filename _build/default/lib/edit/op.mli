@@ -1,0 +1,22 @@
+(** The four edit operations of §3.2.
+
+    Positions [pos] are 1-based, following the paper: [INS((x,l,v),y,k)]
+    makes [x] the [k]th child of [y].  A move detaches the subtree first and
+    then inserts, so for an intra-parent move [pos] indexes the child list
+    without the moved node. *)
+
+type t =
+  | Insert of { id : int; label : string; value : string; parent : int; pos : int }
+      (** [INS((id,label,value), parent, pos)] — insert a new leaf. *)
+  | Delete of { id : int }  (** [DEL(id)] — delete a leaf. *)
+  | Update of { id : int; value : string }  (** [UPD(id, value)] — new value. *)
+  | Move of { id : int; parent : int; pos : int }
+      (** [MOV(id, parent, pos)] — move the subtree rooted at [id]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Paper-style rendering, e.g. [INS((21,S,"g"),3,3)]. *)
+
+val to_string : t -> string
+
+val is_structural : t -> bool
+(** True for insert, delete and move — the operations that change shape. *)

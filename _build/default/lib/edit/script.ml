@@ -1,0 +1,105 @@
+module Node = Treediff_tree.Node
+module Tree = Treediff_tree.Tree
+
+type t = Op.t list
+
+exception Apply_error of string
+
+type measure = {
+  cost : float;
+  weighted : int;
+  inserts : int;
+  deletes : int;
+  updates : int;
+  moves : int;
+}
+
+let unweighted m = m.inserts + m.deletes + m.updates + m.moves
+
+let err fmt = Printf.ksprintf (fun s -> raise (Apply_error s)) fmt
+
+let lookup index id =
+  match Hashtbl.find_opt index id with
+  | Some n -> n
+  | None -> err "no node with id %d" id
+
+let apply_into ~root ~index op =
+  match op with
+  | Op.Insert { id; label; value; parent; pos } ->
+    if Hashtbl.mem index id then err "insert: id %d already present" id;
+    let p = lookup index parent in
+    let k = pos - 1 in
+    if k < 0 || k > Node.child_count p then
+      err "insert: position %d out of range at node %d (arity %d)" pos parent
+        (Node.child_count p);
+    let n = Node.make ~id ~label ~value () in
+    Node.insert_child p k n;
+    Hashtbl.replace index id n
+  | Op.Delete { id } ->
+    let n = lookup index id in
+    if not (Node.is_leaf n) then err "delete: node %d is not a leaf" id;
+    if n.Node.id = root.Node.id then err "delete: cannot delete the root";
+    Node.detach n;
+    Hashtbl.remove index id
+  | Op.Update { id; value } ->
+    let n = lookup index id in
+    n.Node.value <- value
+  | Op.Move { id; parent; pos } ->
+    let n = lookup index id in
+    let p = lookup index parent in
+    if n.Node.id = p.Node.id || Node.is_ancestor n p then
+      err "move: node %d into its own subtree (under %d)" id parent;
+    if n.Node.id = root.Node.id then err "move: cannot move the root";
+    Node.detach n;
+    let k = pos - 1 in
+    if k < 0 || k > Node.child_count p then
+      err "move: position %d out of range at node %d (arity %d)" pos parent
+        (Node.child_count p);
+    Node.insert_child p k n
+
+let apply t1 script =
+  let root = Tree.copy t1 in
+  let index = Tree.index_by_id root in
+  List.iter (apply_into ~root ~index) script;
+  root
+
+let measure ?(model = Cost.unit) t1 script =
+  Cost.check model;
+  let root = Tree.copy t1 in
+  let index = Tree.index_by_id root in
+  let m =
+    ref { cost = 0.0; weighted = 0; inserts = 0; deletes = 0; updates = 0; moves = 0 }
+  in
+  List.iter
+    (fun op ->
+      (* Measure before applying: update needs the old value, move needs the
+         subtree's leaf count at move time. *)
+      (match op with
+      | Op.Insert _ ->
+        m := { !m with cost = !m.cost +. model.Cost.c_ins; weighted = !m.weighted + 1;
+               inserts = !m.inserts + 1 }
+      | Op.Delete _ ->
+        m := { !m with cost = !m.cost +. model.Cost.c_del; weighted = !m.weighted + 1;
+               deletes = !m.deletes + 1 }
+      | Op.Update { id; value } ->
+        let n = lookup index id in
+        let c = model.Cost.compare n.Node.value value in
+        m := { !m with cost = !m.cost +. c; updates = !m.updates + 1 }
+      | Op.Move { id; _ } ->
+        let n = lookup index id in
+        m := { !m with cost = !m.cost +. model.Cost.c_mov;
+               weighted = !m.weighted + Node.leaf_count n; moves = !m.moves + 1 });
+      apply_into ~root ~index op)
+    script;
+  !m
+
+let cost ?model t1 script = (measure ?model t1 script).cost
+
+let pp ppf script =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i op -> Format.fprintf ppf "%s%a" (if i > 0 then "; " else "") Op.pp op)
+    script;
+  Format.fprintf ppf "@]"
+
+let to_string script = Format.asprintf "%a" pp script

@@ -1,0 +1,45 @@
+(** Edit scripts: sequences of edit operations, their application to trees,
+    and their cost and weighted-distance measures.
+
+    Application validates every precondition of §3.2 — inserts and deletes
+    touch leaves only, positions are in range, moves never take a node into
+    its own subtree — and raises {!Apply_error} on violation, so a
+    malformed script can never silently corrupt a tree. *)
+
+type t = Op.t list
+
+exception Apply_error of string
+
+(** Aggregate measurements of a script against the tree it applies to. *)
+type measure = {
+  cost : float;        (** §3.2 script cost under the given model *)
+  weighted : int;      (** §5.3 weighted edit distance e: 1 per ins/del, [|x|] per move, 0 per update *)
+  inserts : int;
+  deletes : int;
+  updates : int;
+  moves : int;
+}
+
+val unweighted : measure -> int
+(** The paper's d: total number of operations. *)
+
+val apply_into : root:Treediff_tree.Node.t -> index:(int, Treediff_tree.Node.t) Hashtbl.t -> Op.t -> unit
+(** Apply one operation in place, maintaining [index].
+    @raise Apply_error if a precondition fails. *)
+
+val apply : Treediff_tree.Node.t -> t -> Treediff_tree.Node.t
+(** [apply t1 script] deep-copies [t1], applies the whole script, and returns
+    the transformed root.  The input tree is not modified.
+    @raise Apply_error if any operation is invalid. *)
+
+val measure : ?model:Cost.t -> Treediff_tree.Node.t -> t -> measure
+(** [measure t1 script] applies the script to a copy of [t1] (to observe old
+    values for update costs and subtree leaf counts for move weights) and
+    returns its measurements.  Default model: {!Cost.unit}.
+    @raise Apply_error if any operation is invalid. *)
+
+val cost : ?model:Cost.t -> Treediff_tree.Node.t -> t -> float
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,28 @@
+(** Textual serialization of edit scripts.
+
+    Deltas are data in the paper's motivating applications — shipped to
+    warehouses, stored as versions, replayed elsewhere — so scripts need a
+    stable external form.  The format is the paper's own op notation, one
+    operation per line:
+
+    {v
+    INS((21,S,"g"),3,3)
+    UPD(9,"baz")
+    MOV(5,11,1)
+    DEL(6)
+    v}
+
+    Values are double-quoted with OCaml-style escapes.  [INS] with a null
+    value may omit it: [INS((21,S),3,3)].  Blank lines and [#]-comment lines
+    are ignored on input. *)
+
+exception Parse_error of string
+
+val to_string : Script.t -> string
+
+val of_string : string -> Script.t
+(** @raise Parse_error with a line-numbered message on malformed input. *)
+
+val to_channel : out_channel -> Script.t -> unit
+
+val of_channel : in_channel -> Script.t

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: List Measure Printf Treediff Treediff_doc Treediff_matching Treediff_tree Treediff_util Treediff_workload

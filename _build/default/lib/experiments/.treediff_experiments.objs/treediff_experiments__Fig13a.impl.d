@@ -1,0 +1,1 @@
+lib/experiments/fig13a.ml: List Measure Treediff_util Treediff_workload

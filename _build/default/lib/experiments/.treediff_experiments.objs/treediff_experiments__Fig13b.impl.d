@@ -1,0 +1,1 @@
+lib/experiments/fig13b.ml: List Measure Printf Treediff_util Treediff_workload

@@ -1,0 +1,1 @@
+lib/experiments/measure.ml: List Treediff Treediff_doc Treediff_edit Treediff_matching Treediff_tree Treediff_util

@@ -1,0 +1,1 @@
+lib/experiments/measure.mli: Treediff Treediff_tree

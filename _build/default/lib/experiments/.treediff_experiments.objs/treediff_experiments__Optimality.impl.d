@@ -1,0 +1,1 @@
+lib/experiments/optimality.ml: Array Hashtbl List Measure Printf Treediff Treediff_doc Treediff_edit Treediff_lcs Treediff_matching Treediff_tree Treediff_util Treediff_workload

@@ -1,0 +1,1 @@
+lib/experiments/optimality.mli: Treediff_matching Treediff_tree

@@ -1,0 +1,1 @@
+lib/experiments/quality.ml: Array List Measure String Treediff Treediff_doc Treediff_edit Treediff_textdiff Treediff_tree Treediff_util Treediff_workload Treediff_zs

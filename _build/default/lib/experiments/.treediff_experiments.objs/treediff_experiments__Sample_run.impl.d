@@ -1,0 +1,1 @@
+lib/experiments/sample_run.ml: List Printf String Treediff Treediff_doc Treediff_edit

@@ -1,0 +1,1 @@
+lib/experiments/sample_run.mli: Treediff_doc

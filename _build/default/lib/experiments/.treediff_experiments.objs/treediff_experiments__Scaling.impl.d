@@ -1,0 +1,1 @@
+lib/experiments/scaling.ml: List Measure Sys Treediff_tree Treediff_util Treediff_workload Treediff_zs

@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Hashtbl List Printf String Treediff_doc Treediff_matching Treediff_tree Treediff_util Treediff_workload

@@ -1,0 +1,96 @@
+module Table = Treediff_util.Table
+module P = Treediff_util.Prng
+module Tree = Treediff_tree.Tree
+module Docgen = Treediff_workload.Docgen
+module Mutate = Treediff_workload.Mutate
+module Doc = Treediff_doc.Doc_tree
+
+type threshold_row = {
+  t : float;
+  cost : float;
+  ops : int;
+  moves : int;
+  ins_del : int;
+  matched_pairs : int;
+}
+
+type window_row = { k : string; comparisons : int; cost : float; ops : int }
+
+type data = { thresholds : threshold_row list; windows : window_row list }
+
+(* One fixed document pair for the whole sweep: a medium document with a
+   move-heavy revision, the regime where both knobs matter. *)
+let workload () =
+  let g = P.create 515 in
+  let gen = Tree.gen () in
+  let t1 = Docgen.generate g gen Docgen.medium in
+  let t2, _ = Mutate.mutate ~mix:Mutate.move_heavy_mix g gen t1 ~actions:20 in
+  (t1, t2)
+
+let compute () =
+  let t1, t2 = workload () in
+  let thresholds =
+    List.map
+      (fun t ->
+        let config = Doc.config_with ~internal_t:t () in
+        let row, result = Measure.pair ~config t1 t2 in
+        {
+          t;
+          cost = row.Measure.cost;
+          ops = row.Measure.d;
+          moves = row.Measure.moves;
+          ins_del = row.Measure.inserts + row.Measure.deletes;
+          matched_pairs =
+            Treediff_matching.Matching.cardinal result.Treediff.Diff.matching;
+        })
+      [ 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ]
+  in
+  let windows =
+    List.map
+      (fun window ->
+        let config =
+          { (Doc.config_with ()) with Treediff.Config.scan_window = window }
+        in
+        let row, _ = Measure.pair ~config t1 t2 in
+        {
+          k = (match window with Some k -> string_of_int k | None -> "inf");
+          comparisons = Measure.comparisons row;
+          cost = row.Measure.cost;
+          ops = row.Measure.d;
+        })
+      [ Some 0; Some 1; Some 2; Some 4; Some 8; Some 16; None ]
+  in
+  { thresholds; windows }
+
+let print data =
+  print_endline "== Ablation 1: match threshold t (SS5.1 Criterion 2) ==";
+  print_endline "   (higher t rejects more internal matches: subtrees rebuilt as ins+del)";
+  let a =
+    Table.create ~headers:[ "t"; "matched pairs"; "script cost"; "ops"; "moves"; "ins+del" ]
+  in
+  List.iter
+    (fun (r : threshold_row) ->
+      Table.add_row a
+        [
+          Printf.sprintf "%.1f" r.t; Table.cell_int r.matched_pairs;
+          Table.cell_float r.cost; Table.cell_int r.ops; Table.cell_int r.moves;
+          Table.cell_int r.ins_del;
+        ])
+    data.thresholds;
+  Table.print a;
+  print_newline ();
+  print_endline "== Ablation 2: A(k) scan window (SS9 optimality/efficiency knob) ==";
+  print_endline "   (k = 0: LCS only, cheapest scan; k = inf: the paper's FastMatch)";
+  let b = Table.create ~headers:[ "k"; "comparisons"; "script cost"; "ops" ] in
+  List.iter
+    (fun (r : window_row) ->
+      Table.add_row b
+        [ r.k; Table.cell_int r.comparisons; Table.cell_float r.cost; Table.cell_int r.ops ])
+    data.windows;
+  Table.print b;
+  print_newline ()
+
+let run () =
+  let data = compute () in
+  print data;
+  data

@@ -1,0 +1,34 @@
+(** Ablations over the design knobs DESIGN.md calls out.
+
+    1. {b Match threshold t} (§5.1, Criterion 2): lower t matches more
+       aggressively (cheaper scripts, more risk on MC3-violating data);
+       higher t rebuilds more subtrees.  Sweep t ∈ {0.5 … 1.0} on a corpus
+       pair and report script composition and cost.
+    2. {b A(k) scan window} (§9's parameterized algorithm): k bounds the
+       FastMatch straggler scan.  k = 0 is pure LCS matching; k = ∞ is the
+       paper's FastMatch.  Sweep k and report comparisons vs script cost —
+       the optimality/efficiency tradeoff curve. *)
+
+type threshold_row = {
+  t : float;
+  cost : float;
+  ops : int;
+  moves : int;
+  ins_del : int;
+  matched_pairs : int;
+}
+
+type window_row = {
+  k : string;           (** "0", "1", …, "inf" *)
+  comparisons : int;
+  cost : float;
+  ops : int;
+}
+
+type data = { thresholds : threshold_row list; windows : window_row list }
+
+val compute : unit -> data
+
+val print : data -> unit
+
+val run : unit -> data

@@ -1,0 +1,67 @@
+module Table = Treediff_util.Table
+module Corpus = Treediff_workload.Corpus
+
+type point = { set_name : string; n : int; d : int; e : int }
+
+type data = {
+  points : point list;
+  ratio_by_set : (string * float) list;
+  ratio_overall : float;
+}
+
+let compute () =
+  let sets = Corpus.standard () in
+  let points =
+    List.concat_map
+      (fun set ->
+        List.map
+          (fun (a, b) ->
+            let row, _ = Measure.pair a b in
+            { set_name = set.Corpus.name; n = row.Measure.n; d = row.Measure.d;
+              e = row.Measure.e })
+          (Corpus.pairs set))
+      sets
+  in
+  let mean_ratio pts =
+    let ratios =
+      List.filter_map
+        (fun p -> if p.d = 0 then None else Some (float_of_int p.e /. float_of_int p.d))
+        pts
+    in
+    if ratios = [] then 0.0
+    else List.fold_left ( +. ) 0.0 ratios /. float_of_int (List.length ratios)
+  in
+  let ratio_by_set =
+    List.map
+      (fun set ->
+        ( set.Corpus.name,
+          mean_ratio (List.filter (fun p -> p.set_name = set.Corpus.name) points) ))
+      sets
+  in
+  { points; ratio_by_set; ratio_overall = mean_ratio points }
+
+let print data =
+  print_endline "== Figure 13(a): weighted (e) vs unweighted (d) edit distance ==";
+  print_endline "   (paper: near-linear relation, low variance across sets, mean e/d = 3.4)";
+  let t = Table.create ~headers:[ "set"; "n (leaves)"; "d"; "e"; "e/d" ] in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [ p.set_name; Table.cell_int p.n; Table.cell_int p.d; Table.cell_int p.e;
+          (if p.d = 0 then "-" else Table.cell_float (float_of_int p.e /. float_of_int p.d)) ])
+    data.points;
+  Table.print t;
+  print_newline ();
+  let s = Table.create ~headers:[ "set"; "mean e/d" ] in
+  List.iter
+    (fun (name, r) -> Table.add_row s [ name; Table.cell_float r ])
+    data.ratio_by_set;
+  Table.add_sep s;
+  Table.add_row s [ "overall"; Table.cell_float data.ratio_overall ];
+  Table.print s;
+  print_newline ()
+
+let run () =
+  let data = compute () in
+  print data;
+  data

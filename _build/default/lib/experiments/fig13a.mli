@@ -1,0 +1,21 @@
+(** Figure 13(a): weighted edit distance e versus unweighted edit distance d,
+    for all version pairs within each of the three document sets.
+
+    The paper finds the relationship close to linear, insensitive to document
+    size, with average e/d ≈ 3.4.  This experiment reproduces the series and
+    reports the per-set and overall e/d. *)
+
+type point = { set_name : string; n : int; d : int; e : int }
+
+type data = {
+  points : point list;
+  ratio_by_set : (string * float) list;  (** mean e/d per set *)
+  ratio_overall : float;
+}
+
+val compute : unit -> data
+
+val print : data -> unit
+
+val run : unit -> data
+(** [compute] then [print]. *)

@@ -1,0 +1,63 @@
+module Table = Treediff_util.Table
+module Corpus = Treediff_workload.Corpus
+
+type point = { set_name : string; n : int; e : int; measured : int; bound : int }
+
+type data = { points : point list; mean_bound_ratio : float }
+
+let compute () =
+  let sets = Corpus.standard () in
+  let points =
+    List.concat_map
+      (fun set ->
+        List.map
+          (fun (a, b) ->
+            let row, _ = Measure.pair a b in
+            {
+              set_name = set.Corpus.name;
+              n = row.Measure.n;
+              e = row.Measure.e;
+              measured = Measure.comparisons row;
+              bound = Measure.analytic_bound row;
+            })
+          (Corpus.pairs set))
+      sets
+  in
+  let ratios =
+    List.filter_map
+      (fun p ->
+        if p.measured = 0 then None
+        else Some (float_of_int p.bound /. float_of_int p.measured))
+      points
+  in
+  let mean_bound_ratio =
+    if ratios = [] then 0.0
+    else List.fold_left ( +. ) 0.0 ratios /. float_of_int (List.length ratios)
+  in
+  { points; mean_bound_ratio }
+
+let print data =
+  print_endline "== Figure 13(b): FastMatch comparisons vs weighted edit distance ==";
+  print_endline
+    "   (paper: roughly linear in e with high variance; ~20x below the analytic bound)";
+  let t =
+    Table.create
+      ~headers:[ "set"; "n"; "e"; "comparisons"; "bound (ne+e^2)+2lne"; "bound/measured" ]
+  in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [
+          p.set_name; Table.cell_int p.n; Table.cell_int p.e; Table.cell_int p.measured;
+          Table.cell_int p.bound;
+          (if p.measured = 0 then "-"
+           else Table.cell_float (float_of_int p.bound /. float_of_int p.measured));
+        ])
+    data.points;
+  Table.print t;
+  Printf.printf "\nmean bound/measured ratio: %.1fx (paper: ~20x)\n\n" data.mean_bound_ratio
+
+let run () =
+  let data = compute () in
+  print data;
+  data

@@ -1,0 +1,26 @@
+(** Figure 13(b): FastMatch running time — measured as its comparison count —
+    versus the weighted edit distance e, against the analytic bound
+    (ne + e²)c + 2lne.
+
+    The paper observes an approximately linear relation with high variance,
+    with the measured count on average ≈ 20× below the analytic bound
+    ("the analytical bound … is a loose one"). *)
+
+type point = {
+  set_name : string;
+  n : int;
+  e : int;
+  measured : int;       (** leaf compares + partner checks *)
+  bound : int;          (** (ne + e²) + 2lne *)
+}
+
+type data = {
+  points : point list;
+  mean_bound_ratio : float;  (** mean bound/measured — the paper's ≈ 20 *)
+}
+
+val compute : unit -> data
+
+val print : data -> unit
+
+val run : unit -> data

@@ -1,0 +1,45 @@
+module Node = Treediff_tree.Node
+
+type row = {
+  n : int;
+  l : int;
+  d : int;
+  e : int;
+  leaf_compares : int;
+  partner_checks : int;
+  cost : float;
+  inserts : int;
+  deletes : int;
+  updates : int;
+  moves : int;
+}
+
+let comparisons r = r.leaf_compares + r.partner_checks
+
+let analytic_bound r = (r.n * r.e) + (r.e * r.e) + (2 * r.l * r.n * r.e)
+
+let leaves_total t1 t2 = List.length (Node.leaves t1) + List.length (Node.leaves t2)
+
+let internal_labels t1 t2 =
+  List.length (Treediff_matching.Label_order.internal_labels t1 t2)
+
+let pair ?(config = Treediff_doc.Doc_tree.config) t1 t2 =
+  let result = Treediff.Diff.diff ~config t1 t2 in
+  let m = result.Treediff.Diff.measure in
+  let stats = result.Treediff.Diff.stats in
+  let row =
+    {
+      n = leaves_total t1 t2;
+      l = internal_labels t1 t2;
+      d = Treediff_edit.Script.unweighted m;
+      e = m.Treediff_edit.Script.weighted;
+      leaf_compares = stats.Treediff_util.Stats.leaf_compares;
+      partner_checks = stats.Treediff_util.Stats.partner_checks;
+      cost = m.Treediff_edit.Script.cost;
+      inserts = m.Treediff_edit.Script.inserts;
+      deletes = m.Treediff_edit.Script.deletes;
+      updates = m.Treediff_edit.Script.updates;
+      moves = m.Treediff_edit.Script.moves;
+    }
+  in
+  (row, result)

@@ -1,0 +1,30 @@
+(** Shared measurement harness: run the pipeline on a document pair and
+    collect the quantities the §8 experiments report. *)
+
+type row = {
+  n : int;  (** total leaves across both trees — the paper's n *)
+  l : int;  (** number of internal-node labels — the paper's l *)
+  d : int;  (** unweighted edit distance: operations in the script *)
+  e : int;  (** weighted edit distance (§5.3) *)
+  leaf_compares : int;   (** r1: compare invocations during matching *)
+  partner_checks : int;  (** r2: partner/containment checks during matching *)
+  cost : float;          (** §3.2 script cost *)
+  inserts : int;
+  deletes : int;
+  updates : int;
+  moves : int;
+}
+
+val comparisons : row -> int
+(** r1 + r2 — the paper's Fig. 13(b) vertical axis. *)
+
+val analytic_bound : row -> int
+(** The §5.3 bound (ne + e²) + 2lne on the comparison count (unit c). *)
+
+val pair :
+  ?config:Treediff.Config.t ->
+  Treediff_tree.Node.t ->
+  Treediff_tree.Node.t ->
+  row * Treediff.Diff.t
+(** Diff a document pair under the LaDiff config (word-LCS criteria) by
+    default. *)

@@ -1,0 +1,60 @@
+(** Optimality checks and ablations.
+
+    1. {b Matcher agreement} (Theorem 5.2): when Matching Criteria 1–3 hold,
+       Match and FastMatch find the same (unique maximal) matching, so their
+       scripts cost the same; FastMatch just gets there with far fewer
+       comparisons.
+    2. {b Post-processing ablation} (§8): on corpora with MC3 violations,
+       the repair pass lowers script cost by re-pointing propagated
+       mismatches; on clean corpora it is a no-op.
+    3. {b Conformity lower bound} (Theorem C.2): every conforming script
+       must contain one insert per unmatched new node, one delete per
+       unmatched old node and one move per matched pair with unmatched
+       parents; our scripts meet that bound exactly on structural
+       operations. *)
+
+type agreement_row = {
+  pair_name : string;
+  fast_cost : float;
+  simple_cost : float;
+  agree : bool;            (** identical matchings *)
+  fast_comparisons : int;
+  simple_comparisons : int;
+}
+
+type ablation_row = {
+  duplicate_rate : float;
+  cost_with_postprocess : float;
+  cost_without : float;
+  fixes : int;             (** pairs re-pointed by the repair pass *)
+}
+
+type bound_row = {
+  pair_name : string;
+  structural_ops : int;    (** ins + del + mov in our script *)
+  lower_bound : int;       (** forced ins + del + inter-parent moves + LCS intra moves *)
+  meets_bound : bool;
+}
+
+type data = {
+  agreement : agreement_row list;
+  ablation : ablation_row list;
+  bounds : bound_row list;
+}
+
+val structural_lower_bound :
+  matching:Treediff_matching.Matching.t ->
+  Treediff_tree.Node.t ->
+  Treediff_tree.Node.t ->
+  int
+(** The Theorem C.2 lower bound on structural operations (inserts + deletes
+    + moves) for any script conforming to [matching]: one insert per
+    unmatched new node, one delete per unmatched old node, one move per
+    matched pair with unmatched parents, plus the LCS-minimal intra-parent
+    moves.  Exposed for the test suite. *)
+
+val compute : unit -> data
+
+val print : data -> unit
+
+val run : unit -> data

@@ -1,0 +1,174 @@
+module Table = Treediff_util.Table
+module P = Treediff_util.Prng
+module Tree = Treediff_tree.Tree
+module Node = Treediff_tree.Node
+module Docgen = Treediff_workload.Docgen
+module Mutate = Treediff_workload.Mutate
+module Latex = Treediff_doc.Latex_parser
+module Line_diff = Treediff_textdiff.Line_diff
+module ZS = Treediff_zs.Zhang_shasha
+
+type scenario = {
+  name : string;
+  ours_ops : int;
+  ours_moves : int;
+  ours_updates : int;
+  ours_ins_del : int;
+  flat_deleted_lines : int;
+  flat_inserted_lines : int;
+  zs_distance : float;
+  hybrid_cost : float;
+}
+
+type data = { scenarios : scenario list }
+
+let base_doc seed =
+  let g = P.create seed in
+  let gen = Tree.gen () in
+  let profile =
+    { Docgen.small with Docgen.sections = 4; paragraphs_per = 4; sentences_per = 5;
+      list_rate = 0.0 }
+  in
+  (g, gen, Docgen.generate g gen profile)
+
+(* Move the smallest paragraph into the largest other section, so neither
+   section's leaf overlap drops below the criterion-2 threshold and the
+   ground truth stays a single MOV (a large paragraph moving can legitimately
+   unmatch its section — see the mixed scenarios for that regime). *)
+let move_paragraph g t2 =
+  ignore g;
+  let paras =
+    List.filter
+      (fun (n : Node.t) ->
+        String.equal n.label Treediff_doc.Doc_tree.paragraph
+        && match n.parent with Some q -> Node.child_count q >= 2 | None -> false)
+      (Node.preorder t2)
+  in
+  let by_leaves l = List.sort (fun a b -> compare (Node.leaf_count a) (Node.leaf_count b)) l in
+  let p = match by_leaves paras with p :: _ -> p | [] -> invalid_arg "no paragraph" in
+  let sections =
+    List.filter
+      (fun (n : Node.t) ->
+        String.equal n.label Treediff_doc.Doc_tree.section
+        && (match p.Node.parent with Some q -> q.Node.id <> n.id | None -> true))
+      (Node.preorder t2)
+  in
+  let dest =
+    match List.rev (by_leaves sections) with
+    | d :: _ -> d
+    | [] -> invalid_arg "no destination section"
+  in
+  Node.detach p;
+  Node.insert_child dest 0 p;
+  t2
+
+let move_sentence g gen t =
+  let t2 = Tree.relabel_ids gen t in
+  let sentences =
+    List.filter
+      (fun (n : Node.t) ->
+        String.equal n.label Treediff_doc.Doc_tree.sentence
+        && match n.parent with Some q -> Node.child_count q >= 2 | None -> false)
+      (Node.preorder t2)
+  in
+  let s = P.pick g (Array.of_list sentences) in
+  let paras =
+    List.filter
+      (fun (n : Node.t) ->
+        String.equal n.label Treediff_doc.Doc_tree.paragraph
+        && (match s.Node.parent with Some q -> q.Node.id <> n.id | None -> true))
+      (Node.preorder t2)
+  in
+  let dest = P.pick g (Array.of_list paras) in
+  Node.detach s;
+  Node.insert_child dest (Node.child_count dest) s;
+  t2
+
+let update_sentences g gen t k =
+  let t2 = Tree.relabel_ids gen t in
+  let sentences =
+    Array.of_list
+      (List.filter
+         (fun (n : Node.t) -> String.equal n.label Treediff_doc.Doc_tree.sentence)
+         (Node.preorder t2))
+  in
+  P.shuffle g sentences;
+  Array.iteri
+    (fun i (s : Node.t) ->
+      if i < k then
+        s.Node.value <- s.Node.value ^ " " ^ P.pick g Docgen.vocabulary)
+    sentences;
+  t2
+
+let evaluate name t1 t2 =
+  let row, _result = Measure.pair t1 t2 in
+  let flat = Line_diff.diff (Latex.print t1) (Latex.print t2) in
+  let dl, il = Line_diff.stats flat in
+  let zs = ZS.mapping t1 t2 in
+  let hybrid_matching = ZS.to_matching zs in
+  let hybrid =
+    Treediff.Diff.diff_with_matching ~config:Treediff_doc.Doc_tree.config
+      ~matching:hybrid_matching t1 t2
+  in
+  {
+    name;
+    ours_ops = row.Measure.d;
+    ours_moves = row.Measure.moves;
+    ours_updates = row.Measure.updates;
+    ours_ins_del = row.Measure.inserts + row.Measure.deletes;
+    flat_deleted_lines = dl;
+    flat_inserted_lines = il;
+    zs_distance = zs.ZS.dist;
+    hybrid_cost = hybrid.Treediff.Diff.measure.Treediff_edit.Script.cost;
+  }
+
+let compute () =
+  let scenarios =
+    [
+      (let g, gen, t = base_doc 7001 in
+       let t2 = move_paragraph g (Tree.relabel_ids gen t) in
+       evaluate "move 1 paragraph" t t2);
+      (let g, gen, t = base_doc 7002 in
+       let t2 = move_sentence g gen t in
+       evaluate "move 1 sentence" t t2);
+      (let g, gen, t = base_doc 7003 in
+       let t2 = update_sentences g gen t 3 in
+       evaluate "update 3 sentences" t t2);
+      (let g, gen, t = base_doc 7004 in
+       let t2, _ = Mutate.mutate ~mix:Mutate.revision_mix g gen t ~actions:10 in
+       evaluate "mixed revision (10 actions)" t t2);
+      (let g, gen, t = base_doc 7005 in
+       let t2, _ = Mutate.mutate ~mix:Mutate.move_heavy_mix g gen t ~actions:10 in
+       evaluate "move-heavy revision (10 actions)" t t2);
+    ]
+  in
+  { scenarios }
+
+let print data =
+  print_endline "== Delta quality: ours vs flat diff vs Zhang-Shasha (SS2 claims) ==";
+  print_endline
+    "   (moves: ours = 1 MOV; flat diff = del+ins line blocks; ZS89 = subtree del+ins)";
+  let t =
+    Table.create
+      ~headers:
+        [ "scenario"; "ours ops"; "mov"; "upd"; "ins+del"; "flat -lines"; "flat +lines";
+          "ZS dist"; "ZS+moves cost" ]
+  in
+  List.iter
+    (fun s ->
+      Table.add_row t
+        [
+          s.name; Table.cell_int s.ours_ops; Table.cell_int s.ours_moves;
+          Table.cell_int s.ours_updates; Table.cell_int s.ours_ins_del;
+          Table.cell_int s.flat_deleted_lines; Table.cell_int s.flat_inserted_lines;
+          Table.cell_float ~decimals:1 s.zs_distance;
+          Table.cell_float ~decimals:1 s.hybrid_cost;
+        ])
+    data.scenarios;
+  Table.print t;
+  print_newline ()
+
+let run () =
+  let data = compute () in
+  print data;
+  data

@@ -1,0 +1,133 @@
+(* The Appendix A documents (Figures 14 and 15), transcribed as the LaTeX
+   subset LaDiff parses.  TeX logo glyphs are flattened to "TeX". *)
+
+let old_doc =
+  {|\section{First things first}
+
+Computer system manuals usually make dull reading, but take heart: This one
+contains JOKES every once in a while, so you might actually enjoy reading it.
+(However, most of the jokes can only be appreciated properly if you
+understand a technical point that is being made---so read carefully.)
+
+Another noteworthy characteristic of this manual is that it doesn't always
+tell the truth. When certain concepts of TeX are introduced informally,
+general rules will be stated; afterwards you will find that the rules aren't
+strictly true. In general, the later chapters contain more reliable
+information than the earlier ones do. The author feels that this technique of
+deliberate lying will actually make it easier for you to learn the ideas.
+Once you understand a simple but false rule, it will not be hard to
+supplement that rule with its exceptions.
+
+\section{Another way to look at it}
+
+In order to help you internalize what you're reading, exercises are sprinkled
+through this manual. It is generally intended that every reader should try
+every exercise, except for questions that appear in the "dangerous bend"
+areas. If you can't solve a problem, you can always look up the answer. But
+please, try first to solve it by yourself; then you'll learn more and you'll
+learn faster. Furthermore, if you think you do know the solution, you should
+turn to Appendix A and check it out, just to make sure.
+
+\section{Conclusion}
+
+The TeX language described in this book is similar to the author's first
+attempt at a document formatting language, but the new system differs from
+the old one in literally thousands of details. Both languages have been
+called TeX; but henceforth the old language should be called TeX78, and its
+use should rapidly fade away. Let's keep the name TeX for the language
+described here, since it is so much better, and since it is not going to
+change any more.
+|}
+
+let new_doc =
+  {|\section{Introduction}
+
+The TeX language described in this book has a predecessor, but the new
+system differs from the old one in literally thousands of details. Computer
+manuals usually make extremely dull reading, but don't worry: This one
+contains JOKES every once in a while, so you might actually enjoy reading it.
+(However, most of the jokes can only be appreciated properly if you
+understand a technical point that is being made---so read carefully.)
+
+\section{The details}
+
+English words like 'technology' stem from a Greek root beginning with
+letters tau epsilon chi; and this same Greek work means art as well as
+technology. Hence the name TeX, which is an uppercase of tau epsilon chi.
+
+Another noteworthy characteristic of this manual is that it doesn't always
+tell the truth. This feature may seem strange, but it isn't. When certain
+concepts of TeX are introduced informally, general rules will be stated;
+afterwards you will find that the rules aren't strictly true. The author
+feels that this technique of deliberate lying will actually make it easier
+for you to learn the ideas. Once you understand a simple but false rule, it
+will not be hard to supplement that rule with its exceptions.
+
+\section{Moving on}
+
+It is generally intended that every reader should try every exercise, except
+for questions that appear in the "dangerous bend" areas. If you can't solve
+a problem, you can always look up the answer. But please, try first to solve
+it by yourself; then you'll learn more and you'll learn faster. Furthermore,
+if you think you do know the solution, you should turn to Appendix A and
+check it out, just to make sure. In order to help you better internalize
+what you read, exercises are sprinkled through this manual.
+
+\section{Conclusion}
+
+The TeX language described in this book is similar to the author's first
+attempt at a document formatting language, but the new system differs from
+the old one in literally thousands of details. Both languages have been
+called TeX; but henceforth the old language should be called TeX78, and its
+use should rapidly fade away. Let's keep the name TeX for the language
+described here, since it is so much better, and since it is not going to
+change any more.
+|}
+
+type data = {
+  output : Treediff_doc.Ladiff.output;
+  conventions_seen : (string * bool) list;
+}
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec loop i = i + m <= n && (String.sub s i m = sub || loop (i + 1)) in
+  m = 0 || loop 0
+
+let compute () =
+  let output = Treediff_doc.Ladiff.run ~old_src:old_doc ~new_src:new_doc () in
+  let latex = output.Treediff_doc.Ladiff.marked_latex in
+  let conventions_seen =
+    [
+      ("bold sentence (insert)", contains ~sub:"\\textbf{" latex);
+      ("small font (delete / move origin)", contains ~sub:"{\\small" latex);
+      ("italic sentence (update)", contains ~sub:"\\textit{" latex);
+      ("footnote at move destination", contains ~sub:"\\footnote{Moved from" latex);
+      ("labelled move origin", contains ~sub:"S1:[" latex);
+      ("heading annotation", contains ~sub:"(ins)" latex || contains ~sub:"(upd)" latex);
+      ("marginal note", contains ~sub:"\\marginpar{" latex);
+    ]
+  in
+  { output; conventions_seen }
+
+let print data =
+  print_endline "== Appendix A sample run: LaDiff on the TeXbook excerpt (Figs. 14-16) ==";
+  let r = data.output.Treediff_doc.Ladiff.result in
+  let m = r.Treediff.Diff.measure in
+  Printf.printf "edit script: %d ops (%d ins, %d del, %d upd, %d mov), cost %.2f\n"
+    (Treediff_edit.Script.unweighted m)
+    m.Treediff_edit.Script.inserts m.Treediff_edit.Script.deletes
+    m.Treediff_edit.Script.updates m.Treediff_edit.Script.moves
+    m.Treediff_edit.Script.cost;
+  print_endline "Table 2 mark-up conventions exercised:";
+  List.iter
+    (fun (name, seen) -> Printf.printf "  [%s] %s\n" (if seen then "x" else " ") name)
+    data.conventions_seen;
+  print_endline "\n--- marked-up output (Figure 16 analogue) ---";
+  print_endline data.output.Treediff_doc.Ladiff.marked_latex;
+  print_newline ()
+
+let run () =
+  let data = compute () in
+  print data;
+  data

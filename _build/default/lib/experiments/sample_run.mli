@@ -1,0 +1,28 @@
+(** Appendix A sample run: the TeXbook-excerpt documents of Figures 14 and 15
+    run through LaDiff, reproducing the marked-up output of Figure 16 and
+    exercising every mark-up convention of Table 2.
+
+    The expected change inventory from the paper's figures: the old first
+    section's opening sentence moves into the new "Conclusion" region
+    ("Moved from S1"), the exercises sentence moves and is updated at once,
+    the "The details" section is inserted, the "In general, the later
+    chapters…" sentence is deleted in one version and reinserted, paragraph
+    P1 moves, sentence-level updates appear in italics, and so on. *)
+
+type data = {
+  output : Treediff_doc.Ladiff.output;
+  conventions_seen : (string * bool) list;
+      (** which Table 2 devices appear in the rendered LaTeX *)
+}
+
+val old_doc : string
+(** Figure 14 (old version), as LaTeX source. *)
+
+val new_doc : string
+(** Figure 15 (new version), as LaTeX source. *)
+
+val compute : unit -> data
+
+val print : data -> unit
+
+val run : unit -> data

@@ -1,0 +1,96 @@
+module Table = Treediff_util.Table
+module P = Treediff_util.Prng
+module Tree = Treediff_tree.Tree
+module Node = Treediff_tree.Node
+module Docgen = Treediff_workload.Docgen
+module Mutate = Treediff_workload.Mutate
+
+type point = {
+  sentences : int;
+  fast_seconds : float;
+  fast_comparisons : int;
+  zs_seconds : float option;
+}
+
+type data = { points : point list }
+
+(* A document profile sized to roughly [n] sentences. *)
+let profile_for n =
+  let sections = max 1 (n / 10) in
+  { Docgen.medium with Docgen.sections; subsections_per = 0; paragraphs_per = 5;
+    sentences_per = 6; list_rate = 0.0; duplicate_rate = 0.0 }
+
+(* Best of [reps] runs: one-shot CPU timings are dominated by warm-up and GC
+   noise at these sizes. *)
+let time ?(reps = 3) f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to reps do
+    let t0 = Sys.time () in
+    let x = f () in
+    let dt = Sys.time () -. t0 in
+    if dt < !best then best := dt;
+    result := Some x
+  done;
+  match !result with Some x -> (x, !best) | None -> assert false
+
+let compute ?(zs_cutoff = 500) ?(sizes = [ 50; 100; 200; 400; 800; 1600 ]) () =
+  let points =
+    List.map
+      (fun size ->
+        let g = P.create (size * 17 + 5) in
+        let gen = Tree.gen () in
+        let t1 = Docgen.generate g gen (profile_for size) in
+        (* Sentence-level edits only: holds the weighted edit distance e
+           roughly constant so n is the only variable in the sweep. *)
+        let sentence_mix =
+          {
+            Mutate.sentence_update = 0.4; sentence_insert = 0.2; sentence_delete = 0.2;
+            sentence_move = 0.2; paragraph_insert = 0.0; paragraph_delete = 0.0;
+            paragraph_move = 0.0; section_shuffle = 0.0;
+          }
+        in
+        let t2, _ = Mutate.mutate ~mix:sentence_mix g gen t1 ~actions:12 in
+        let sentences = List.length (Node.leaves t1) in
+        let row_result, fast_seconds = time (fun () -> Measure.pair t1 t2) in
+        let row, _ = row_result in
+        let zs_seconds =
+          if sentences > zs_cutoff then None
+          else
+            let _, secs =
+              time (fun () -> Treediff_zs.Zhang_shasha.mapping t1 t2)
+            in
+            Some secs
+        in
+        { sentences; fast_seconds; fast_comparisons = Measure.comparisons row; zs_seconds })
+      sizes
+  in
+  { points }
+
+let print data =
+  print_endline "== Scaling: FastMatch+EditScript vs Zhang-Shasha [ZS89] ==";
+  print_endline "   (paper SS2: ours O(ne+e^2); ZS89 at least quadratic in n)";
+  let t =
+    Table.create
+      ~headers:[ "sentences"; "ours (s)"; "ours comparisons"; "ZS89 (s)"; "ZS/ours" ]
+  in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [
+          Table.cell_int p.sentences;
+          Table.cell_float ~decimals:4 p.fast_seconds;
+          Table.cell_int p.fast_comparisons;
+          (match p.zs_seconds with Some s -> Table.cell_float ~decimals:4 s | None -> "(skipped)");
+          (match p.zs_seconds with
+          | Some s when p.fast_seconds > 0.0 -> Table.cell_float ~decimals:1 (s /. p.fast_seconds)
+          | _ -> "-");
+        ])
+    data.points;
+  Table.print t;
+  print_newline ()
+
+let run () =
+  let data = compute () in
+  print data;
+  data

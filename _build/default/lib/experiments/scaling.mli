@@ -1,0 +1,25 @@
+(** Scaling comparison: the paper's FastMatch+EditScript pipeline,
+    O(ne + e²), against Zhang–Shasha's O(n²·…) general algorithm (§2).
+
+    Documents of increasing size receive a fixed number of edits; we measure
+    wall-clock time and the FastMatch comparison count.  Expected shape: our
+    pipeline grows roughly linearly in n at fixed e, ZS at least
+    quadratically, with the crossover far below laptop-scale documents —
+    "in applications with large amounts of data … we would use our
+    algorithm". *)
+
+type point = {
+  sentences : int;        (** document size (leaves in the old version) *)
+  fast_seconds : float;
+  fast_comparisons : int;
+  zs_seconds : float option;  (** None above the ZS size cutoff *)
+}
+
+type data = { points : point list }
+
+val compute : ?zs_cutoff:int -> ?sizes:int list -> unit -> data
+(** Defaults: sizes [50; 100; 200; 400; 800; 1600], ZS run only up to 500 sentences. *)
+
+val print : data -> unit
+
+val run : unit -> data

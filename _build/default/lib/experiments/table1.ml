@@ -1,0 +1,77 @@
+module Table = Treediff_util.Table
+module Node = Treediff_tree.Node
+module Criteria = Treediff_matching.Criteria
+module Corpus = Treediff_workload.Corpus
+module Docgen = Treediff_workload.Docgen
+module Doc = Treediff_doc.Doc_tree
+
+type datapoint = { t : float; mismatch_bound_pct : float }
+
+type data = { rows : datapoint list; violating_leaf_pct : float }
+
+let thresholds = [ 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ]
+
+(* Per tree side: for each paragraph, its sentence count and how many of its
+   sentences violate MC3 (have >= 2 close counterparts on the other side). *)
+let paragraph_profile ctx ~old_side root =
+  let violating = Criteria.mc3_violating_leaves ctx ~old_side in
+  let vio = Hashtbl.create 64 in
+  List.iter (fun (n : Node.t) -> Hashtbl.replace vio n.id ()) violating;
+  List.filter_map
+    (fun (p : Node.t) ->
+      if String.equal p.label Doc.paragraph then
+        let sentences = Node.leaves p in
+        let nvio = List.length (List.filter (fun (s : Node.t) -> Hashtbl.mem vio s.id) sentences) in
+        Some (List.length sentences, nvio)
+      else None)
+    (Node.preorder root)
+
+let compute ?(duplicate_rate = 0.02) () =
+  let profile = { Docgen.medium with Docgen.duplicate_rate } in
+  let set =
+    Corpus.make ~name:"table1" ~seed:404 ~profile ~versions:4 ~edits_per_version:15
+  in
+  let pairs = Corpus.consecutive_pairs set in
+  let profiles =
+    List.concat_map
+      (fun (t1, t2) ->
+        let ctx = Criteria.ctx Doc.criteria ~t1 ~t2 in
+        paragraph_profile ctx ~old_side:true t1 @ paragraph_profile ctx ~old_side:false t2)
+      pairs
+  in
+  let total = List.length profiles in
+  let rows =
+    List.map
+      (fun t ->
+        let mismatched =
+          List.length
+            (List.filter
+               (fun (size, nvio) ->
+                 float_of_int nvio > (1.0 -. t) *. float_of_int size)
+               profiles)
+        in
+        { t; mismatch_bound_pct = 100.0 *. float_of_int mismatched /. float_of_int (max 1 total) })
+      thresholds
+  in
+  let total_sentences = List.fold_left (fun acc (s, _) -> acc + s) 0 profiles in
+  let total_violating = List.fold_left (fun acc (_, v) -> acc + v) 0 profiles in
+  {
+    rows;
+    violating_leaf_pct =
+      100.0 *. float_of_int total_violating /. float_of_int (max 1 total_sentences);
+  }
+
+let print data =
+  print_endline "== Table 1: upper bound on mismatched paragraphs vs match threshold t ==";
+  print_endline "   (paper: 0 / 1 / 3 / 7 / 9 / 10 %, monotone increasing in t)";
+  let t = Table.create ~headers:("Match threshold (t):" :: List.map (fun r -> Printf.sprintf "%.1f" r.t) data.rows) in
+  Table.add_row t
+    ("Upper bound on mismatches (%):"
+    :: List.map (fun r -> Printf.sprintf "%.1f" r.mismatch_bound_pct) data.rows);
+  Table.print t;
+  Printf.printf "\nsentences violating Matching Criterion 3: %.1f%%\n\n" data.violating_leaf_pct
+
+let run () =
+  let data = compute () in
+  print data;
+  data

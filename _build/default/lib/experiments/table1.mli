@@ -1,0 +1,29 @@
+(** Table 1: upper bound on the percentage of paragraphs that may be
+    mismatched, as a function of the match threshold t ∈ {0.5 … 1.0}.
+
+    The paper's necessary condition: a paragraph can be mismatched only if it
+    has "more than a certain number of children that violate Matching
+    Criterion 3, where the exact number depends on t".  Operationalised (see
+    DESIGN.md): a sentence violates MC3 when ≥ 2 sentences on the other side
+    are within compare-distance 1; paragraph x may be mismatched at threshold
+    t iff its violating-sentence count exceeds (1 − t)·|x|.  The bound is
+    monotone increasing in t — the paper reports 0/1/3/7/9/10 % for
+    t = 0.5 … 1.0.
+
+    Run on a corpus with a small near-duplicate sentence rate (real prose
+    contains some; the paper's legal-documents remark), since violation-free
+    text bounds every threshold at zero. *)
+
+type datapoint = { t : float; mismatch_bound_pct : float }
+
+type data = {
+  rows : datapoint list;
+  violating_leaf_pct : float;  (** share of sentences violating MC3 *)
+}
+
+val compute : ?duplicate_rate:float -> unit -> data
+(** Default [duplicate_rate] 0.02. *)
+
+val print : data -> unit
+
+val run : unit -> data

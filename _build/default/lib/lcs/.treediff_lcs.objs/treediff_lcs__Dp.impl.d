@@ -1,0 +1,1 @@
+lib/lcs/dp.ml: Array

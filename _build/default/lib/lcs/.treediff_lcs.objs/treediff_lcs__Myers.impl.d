@@ -1,0 +1,1 @@
+lib/lcs/myers.ml: Array List

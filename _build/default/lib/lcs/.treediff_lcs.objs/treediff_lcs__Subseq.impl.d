@@ -1,0 +1,1 @@
+lib/lcs/subseq.ml: Array List Myers

@@ -1,0 +1,27 @@
+let table equal a b =
+  let n = Array.length a and m = Array.length b in
+  let t = Array.make_matrix (n + 1) (m + 1) 0 in
+  for i = 1 to n do
+    for j = 1 to m do
+      t.(i).(j) <-
+        (if equal a.(i - 1) b.(j - 1) then t.(i - 1).(j - 1) + 1
+         else max t.(i - 1).(j) t.(i).(j - 1))
+    done
+  done;
+  t
+
+let lcs ~equal a b =
+  let n = Array.length a and m = Array.length b in
+  let t = table equal a b in
+  let rec walk i j acc =
+    if i = 0 || j = 0 then acc
+    else if equal a.(i - 1) b.(j - 1) && t.(i).(j) = t.(i - 1).(j - 1) + 1 then
+      walk (i - 1) (j - 1) ((i - 1, j - 1) :: acc)
+    else if t.(i - 1).(j) >= t.(i).(j - 1) then walk (i - 1) j acc
+    else walk i (j - 1) acc
+  in
+  walk n m []
+
+let lcs_length ~equal a b =
+  let n = Array.length a and m = Array.length b in
+  (table equal a b).(n).(m)

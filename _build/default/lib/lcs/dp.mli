@@ -1,0 +1,10 @@
+(** Textbook O(N·M) dynamic-programming LCS.
+
+    Kept as the independent oracle for property-testing {!Myers}: both
+    implementations must report the same LCS length on every input (the LCS
+    itself need not be identical — ties may break differently). *)
+
+val lcs : equal:('a -> 'b -> bool) -> 'a array -> 'b array -> (int * int) list
+(** [lcs ~equal a b] is an index-pair LCS of [a] and [b]. *)
+
+val lcs_length : equal:('a -> 'b -> bool) -> 'a array -> 'b array -> int

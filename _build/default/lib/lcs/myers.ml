@@ -1,0 +1,108 @@
+(* The greedy forward algorithm of Myers (1986), with the trace of per-d
+   frontier slices kept for backtracking.  Row [d] of the trace stores the
+   frontier x-values after step d for diagonals k = -d, -d+2, …, d (slot
+   (k + d) / 2 holds diagonal k), so total space is O(D²). *)
+
+exception Found of int
+
+let run_frontier equal a b =
+  let n = Array.length a and m = Array.length b in
+  let maxd = n + m in
+  (* v.(k + maxd) is the best x on diagonal k as of the previous step. *)
+  let v = Array.make ((2 * maxd) + 1) 0 in
+  let trace = ref [] in
+  let snake k x =
+    let y = ref (x - k) and x = ref x in
+    while !x < n && !y < m && equal a.(!x) b.(!y) do
+      incr x;
+      incr y
+    done;
+    !x
+  in
+  try
+    for d = 0 to maxd do
+      let row = Array.make (d + 1) 0 in
+      let k = ref (-d) in
+      while !k <= d do
+        let k' = !k in
+        let x0 =
+          if k' = -d || (k' <> d && v.(k' - 1 + maxd) < v.(k' + 1 + maxd)) then
+            v.(k' + 1 + maxd) (* move down: take an insertion *)
+          else v.(k' - 1 + maxd) + 1 (* move right: take a deletion *)
+        in
+        let x = snake k' x0 in
+        v.(k' + maxd) <- x;
+        row.((k' + d) / 2) <- x;
+        if x >= n && x - k' >= m then begin
+          trace := row :: !trace;
+          raise (Found d)
+        end;
+        k := !k + 2
+      done;
+      trace := row :: !trace
+    done;
+    assert false (* d = n + m always suffices *)
+  with Found d -> (Array.of_list (List.rev !trace), d)
+
+let lcs ~equal a b =
+  let n = Array.length a and m = Array.length b in
+  if n = 0 || m = 0 then []
+  else begin
+    let trace, dfound = run_frontier equal a b in
+    let pairs = ref [] in
+    let x = ref n and y = ref m in
+    (* Walk back one non-diagonal move (plus its trailing snake) per step d.
+       trace.(d - 1) is the frontier the step-d move departed from. *)
+    for d = dfound downto 1 do
+      let prev_row = trace.(d - 1) in
+      let get kk =
+        if kk < -(d - 1) || kk > d - 1 then min_int else prev_row.((kk + d - 1) / 2)
+      in
+      let k = !x - !y in
+      let prev_k =
+        if k = -d || (k <> d && get (k - 1) < get (k + 1)) then k + 1 else k - 1
+      in
+      let prev_x = get prev_k in
+      let prev_y = prev_x - prev_k in
+      while !x > prev_x && !y > prev_y do
+        decr x;
+        decr y;
+        pairs := (!x, !y) :: !pairs
+      done;
+      x := prev_x;
+      y := prev_y
+    done;
+    (* The d = 0 prefix is a pure snake from the origin. *)
+    while !x > 0 && !y > 0 do
+      decr x;
+      decr y;
+      pairs := (!x, !y) :: !pairs
+    done;
+    !pairs
+  end
+
+let lcs ~equal a b =
+  (* Guard the intricate backtrack with a structural invariant: result pairs
+     must be strictly increasing and in range.  (The pairs' equality itself
+     is not re-checked — [equal] can be arbitrarily expensive and, in the
+     matching algorithms, instrumented; re-invoking it would distort the §8
+     comparison counts.) *)
+  let pairs = lcs ~equal a b in
+  let rec check prev = function
+    | [] -> ()
+    | (i, j) :: rest ->
+      (match prev with
+      | Some (pi, pj) -> assert (i > pi && j > pj)
+      | None -> assert (i >= 0 && j >= 0));
+      assert (i < Array.length a && j < Array.length b);
+      check (Some (i, j)) rest
+  in
+  check None pairs;
+  pairs
+
+let lcs_pairs ~equal a b = List.map (fun (i, j) -> (a.(i), b.(j))) (lcs ~equal a b)
+
+let lcs_length ~equal a b = List.length (lcs ~equal a b)
+
+let edit_distance ~equal a b =
+  Array.length a + Array.length b - (2 * lcs_length ~equal a b)

@@ -1,0 +1,35 @@
+type item = Keep of int * int | Del of int | Ins of int
+
+let diff ~equal a b =
+  let pairs = Myers.lcs ~equal a b in
+  let n = Array.length a and m = Array.length b in
+  let out = ref [] in
+  let emit x = out := x :: !out in
+  let rec fill i j = function
+    | [] ->
+      for i' = i to n - 1 do
+        emit (Del i')
+      done;
+      for j' = j to m - 1 do
+        emit (Ins j')
+      done
+    | (pi, pj) :: rest ->
+      for i' = i to pi - 1 do
+        emit (Del i')
+      done;
+      for j' = j to pj - 1 do
+        emit (Ins j')
+      done;
+      emit (Keep (pi, pj));
+      fill (pi + 1) (pj + 1) rest
+  in
+  fill 0 0 pairs;
+  List.rev !out
+
+let counts items =
+  List.fold_left
+    (fun (k, d, i) -> function
+      | Keep _ -> (k + 1, d, i)
+      | Del _ -> (k, d + 1, i)
+      | Ins _ -> (k, d, i + 1))
+    (0, 0, 0) items

@@ -1,0 +1,15 @@
+(** Flat edit scripts derived from an LCS — the GNU-diff view of a sequence
+    pair.  Used by the flat line differ ({!Treediff_textdiff.Line_diff}), the
+    baseline of §2 that reports moves as deletions plus insertions. *)
+
+type item =
+  | Keep of int * int  (** element [a.(i)] matches [b.(j)] *)
+  | Del of int         (** element [a.(i)] is deleted *)
+  | Ins of int         (** element [b.(j)] is inserted *)
+
+val diff : equal:('a -> 'b -> bool) -> 'a array -> 'b array -> item list
+(** [diff ~equal a b] is the full alignment of [a] and [b]: every index of
+    each array appears exactly once, in order, as a [Keep], [Del] or [Ins]. *)
+
+val counts : item list -> int * int * int
+(** [(kept, deleted, inserted)] tallies. *)

@@ -1,0 +1,1 @@
+lib/matching/criteria.ml: Hashtbl List Matching String Treediff_tree Treediff_util

@@ -1,0 +1,1 @@
+lib/matching/criteria.mli: Matching Treediff_tree Treediff_util

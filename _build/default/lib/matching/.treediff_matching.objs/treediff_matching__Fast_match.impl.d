@@ -1,0 +1,1 @@
+lib/matching/fast_match.ml: Array Criteria Label_order List Matching String Treediff_lcs Treediff_tree

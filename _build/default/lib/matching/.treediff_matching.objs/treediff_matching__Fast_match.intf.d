@@ -1,0 +1,1 @@
+lib/matching/fast_match.mli: Criteria Matching Treediff_tree

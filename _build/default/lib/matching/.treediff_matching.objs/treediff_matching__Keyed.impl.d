@@ -1,0 +1,1 @@
+lib/matching/keyed.ml: Hashtbl Matching Treediff_tree

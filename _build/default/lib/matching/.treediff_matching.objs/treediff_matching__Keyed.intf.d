@@ -1,0 +1,1 @@
+lib/matching/keyed.mli: Matching Treediff_tree

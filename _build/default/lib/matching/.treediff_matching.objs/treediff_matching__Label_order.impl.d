@@ -1,0 +1,1 @@
+lib/matching/label_order.ml: Array Hashtbl List Printf Treediff_tree

@@ -1,0 +1,1 @@
+lib/matching/label_order.mli: Treediff_tree

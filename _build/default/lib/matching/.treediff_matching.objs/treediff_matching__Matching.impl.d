@@ -1,0 +1,1 @@
+lib/matching/matching.ml: Format Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/matching/matching.mli: Format

@@ -1,0 +1,1 @@
+lib/matching/postprocess.ml: Criteria Hashtbl List Matching Treediff_tree

@@ -1,0 +1,1 @@
+lib/matching/postprocess.mli: Criteria Matching

@@ -1,0 +1,1 @@
+lib/matching/simple_match.ml: Criteria Hashtbl List Matching Treediff_tree

@@ -1,0 +1,1 @@
+lib/matching/simple_match.mli: Criteria Matching

@@ -1,0 +1,126 @@
+module Node = Treediff_tree.Node
+module Stats = Treediff_util.Stats
+
+type t = {
+  leaf_f : float;
+  internal_t : float;
+  compare : string -> string -> float;
+}
+
+let all_or_nothing a b = if String.equal a b then 0.0 else 2.0
+
+let make ?(leaf_f = 0.5) ?(internal_t = 0.6) ?(compare = all_or_nothing) () =
+  if leaf_f < 0.0 || leaf_f > 1.0 then
+    invalid_arg "Criteria.make: leaf_f must be in [0,1]";
+  if internal_t < 0.5 || internal_t > 1.0 then
+    invalid_arg "Criteria.make: internal_t must be in [1/2,1]";
+  { leaf_f; internal_t; compare }
+
+let default = make ()
+
+type ctx = {
+  crit : t;
+  st : Stats.t;
+  t1 : Node.t;
+  t2 : Node.t;
+  (* Preorder entry/exit numbering of T2 for O(1) containment tests. *)
+  pre2 : (int, int) Hashtbl.t;
+  last2 : (int, int) Hashtbl.t;
+  leafcnt : (int, int) Hashtbl.t; (* both trees: node id -> |x| *)
+}
+
+let ctx ?(stats = Stats.create ()) crit ~t1 ~t2 =
+  let pre2 = Hashtbl.create 64 and last2 = Hashtbl.create 64 in
+  let counter = ref 0 in
+  let rec number (n : Node.t) =
+    let entry = !counter in
+    incr counter;
+    Hashtbl.replace pre2 n.id entry;
+    List.iter number (Node.children n);
+    Hashtbl.replace last2 n.id (!counter - 1)
+  in
+  number t2;
+  let leafcnt = Hashtbl.create 64 in
+  let rec fill (n : Node.t) =
+    let c =
+      if Node.is_leaf n then 1
+      else List.fold_left (fun acc ch -> acc + fill ch) 0 (Node.children n)
+    in
+    Hashtbl.replace leafcnt n.id c;
+    c
+  in
+  ignore (fill t1);
+  ignore (fill t2);
+  { crit; st = stats; t1; t2; pre2; last2; leafcnt }
+
+let stats c = c.st
+
+let criteria c = c.crit
+
+let t1_root c = c.t1
+
+let t2_root c = c.t2
+
+let leaf_count c (n : Node.t) =
+  match Hashtbl.find_opt c.leafcnt n.id with
+  | Some k -> k
+  | None -> Node.leaf_count n (* node outside the indexed pair; degrade gracefully *)
+
+let equal_leaf c (x : Node.t) (y : Node.t) =
+  String.equal x.label y.label
+  &&
+  (c.st.Stats.leaf_compares <- c.st.Stats.leaf_compares + 1;
+   c.crit.compare x.value y.value <= c.crit.leaf_f)
+
+(* z is contained in y's subtree (both in T2). *)
+let contains2 c (y : Node.t) zid =
+  match (Hashtbl.find_opt c.pre2 zid, Hashtbl.find_opt c.pre2 y.id,
+         Hashtbl.find_opt c.last2 y.id)
+  with
+  | Some pz, Some py, Some ly -> pz >= py && pz <= ly
+  | _ -> false
+
+let common c m (x : Node.t) (y : Node.t) =
+  let count = ref 0 in
+  let rec walk (w : Node.t) =
+    if Node.is_leaf w then begin
+      c.st.Stats.partner_checks <- c.st.Stats.partner_checks + 1;
+      match Matching.partner_of_old m w.id with
+      | Some z when contains2 c y z -> incr count
+      | Some _ | None -> ()
+    end
+    else List.iter walk (Node.children w)
+  in
+  walk x;
+  !count
+
+let equal_internal c m (x : Node.t) (y : Node.t) =
+  String.equal x.label y.label
+  &&
+  let nx = leaf_count c x and ny = leaf_count c y in
+  let cm = common c m x y in
+  float_of_int cm /. float_of_int (max nx ny) > c.crit.internal_t
+
+let equal_nodes c m x y =
+  match (Node.is_leaf x, Node.is_leaf y) with
+  | true, true -> equal_leaf c x y
+  | false, false -> equal_internal c m x y
+  | true, false | false, true -> false
+
+let mc3_violating_leaves c ~old_side =
+  let mine, theirs = if old_side then (c.t1, c.t2) else (c.t2, c.t1) in
+  let other_leaves = Node.leaves theirs in
+  List.filter
+    (fun (x : Node.t) ->
+      let close = ref 0 in
+      List.iter
+        (fun (y : Node.t) ->
+          if String.equal x.label y.label && c.crit.compare x.value y.value <= 1.0 then
+            incr close)
+        other_leaves;
+      !close >= 2)
+    (Node.leaves mine)
+
+let mc3_violations c =
+  List.length (mc3_violating_leaves c ~old_side:true)
+  + List.length (mc3_violating_leaves c ~old_side:false)

@@ -1,0 +1,70 @@
+(** The matching criteria of §5.1 and the node-equality functions of §5.2.
+
+    - {b Criterion 1} (leaves): [(x,y)] may match only if labels agree and
+      [compare (v x) (v y) <= f] for the parameter [0 <= f <= 1].
+    - {b Criterion 2} (internal): labels agree and
+      [|common(x,y)| / max(|x|,|y|) > t] for the parameter [1/2 <= t <= 1],
+      where [common(x,y)] counts matched leaf pairs contained in [x] and [y].
+    - {b Criterion 3} is a property of the data, not a parameter: each leaf
+      has at most one close counterpart ([compare <= 1]) on the other side.
+      {!mc3_violations} measures how badly a tree pair violates it.
+
+    A {!ctx} precomputes, for a fixed (immutable) tree pair, the preorder
+    intervals and leaf counts that make the internal-node test cheap, and
+    carries the instrumentation counters the §8 experiments report. *)
+
+type t = {
+  leaf_f : float;       (** parameter f of Matching Criterion 1 *)
+  internal_t : float;   (** parameter t of Matching Criterion 2 *)
+  compare : string -> string -> float;  (** leaf-value distance in [\[0,2\]] *)
+}
+
+val default : t
+(** [f = 0.5], [t = 0.6] (the threshold the paper's Table 1 calls low-risk),
+    with the all-or-nothing compare. *)
+
+val make : ?leaf_f:float -> ?internal_t:float ->
+  ?compare:(string -> string -> float) -> unit -> t
+(** @raise Invalid_argument if [leaf_f] is outside [\[0,1\]] or [internal_t]
+    outside [\[1/2,1\]]. *)
+
+type ctx
+
+val ctx : ?stats:Treediff_util.Stats.t -> t ->
+  t1:Treediff_tree.Node.t -> t2:Treediff_tree.Node.t -> ctx
+(** Precompute over a tree pair.  The trees must not be mutated while the
+    context is in use. *)
+
+val stats : ctx -> Treediff_util.Stats.t
+
+val criteria : ctx -> t
+
+val t1_root : ctx -> Treediff_tree.Node.t
+
+val t2_root : ctx -> Treediff_tree.Node.t
+
+val equal_leaf : ctx -> Treediff_tree.Node.t -> Treediff_tree.Node.t -> bool
+(** Criterion 1 test; counts one leaf-compare when labels agree. *)
+
+val common : ctx -> Matching.t -> Treediff_tree.Node.t -> Treediff_tree.Node.t -> int
+(** [common ctx m x y] is [|common(x,y)|] under the current matching [m]:
+    the number of pairs [(w,z) ∈ m] with [w] a leaf of [x] and [z] a leaf of
+    [y].  Counts one partner check per leaf of [x]. *)
+
+val equal_internal : ctx -> Matching.t -> Treediff_tree.Node.t -> Treediff_tree.Node.t -> bool
+(** Criterion 2 test under the current matching. *)
+
+val equal_nodes : ctx -> Matching.t -> Treediff_tree.Node.t -> Treediff_tree.Node.t -> bool
+(** Dispatch: both leaves → {!equal_leaf}; both internal → {!equal_internal};
+    mixed → false. *)
+
+val leaf_count : ctx -> Treediff_tree.Node.t -> int
+(** Cached [|x|]. *)
+
+val mc3_violating_leaves : ctx -> old_side:bool -> Treediff_tree.Node.t list
+(** Leaves of the given side with ≥ 2 close counterparts ([compare <= 1])
+    on the other side — the leaves violating Matching Criterion 3.
+    O(n²) compares; used by the Table 1 experiment, not by matching. *)
+
+val mc3_violations : ctx -> int
+(** Total violating leaves across both sides. *)

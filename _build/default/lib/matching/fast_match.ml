@@ -1,0 +1,55 @@
+module Node = Treediff_tree.Node
+
+let chain t l ~leaf =
+  List.filter
+    (fun (n : Node.t) -> String.equal n.label l && Node.is_leaf n = leaf)
+    (Node.preorder t)
+
+let match_label ctx m ?window l ~leaf =
+  let t1 = Criteria.t1_root ctx and t2 = Criteria.t2_root ctx in
+  let unmatched_of side nodes =
+    let keep (n : Node.t) =
+      match side with
+      | `Old -> not (Matching.matched_old m n.id)
+      | `New -> not (Matching.matched_new m n.id)
+    in
+    Array.of_list (List.filter keep nodes)
+  in
+  (* Only unmatched nodes take part; seeded pairs (keys) must stay intact. *)
+  let s1 = unmatched_of `Old (chain t1 l ~leaf) in
+  let s2 = unmatched_of `New (chain t2 l ~leaf) in
+  let equal (x : Node.t) (y : Node.t) = Criteria.equal_nodes ctx m x y in
+  (* 2a–2d: LCS pass over the chains. *)
+  let lcs = Treediff_lcs.Myers.lcs ~equal s1 s2 in
+  List.iter (fun (i, j) -> Matching.add m s1.(i).Node.id s2.(j).Node.id) lcs;
+  (* 2e: pair the stragglers as in Algorithm Match — within the A(k) window
+     around the node's own chain position when one is set. *)
+  Array.iteri
+    (fun i (x : Node.t) ->
+      if not (Matching.matched_old m x.id) then begin
+        let lo, hi =
+          match window with
+          | None -> (0, Array.length s2 - 1)
+          | Some k -> (max 0 (i - k), min (Array.length s2 - 1) (i + k))
+        in
+        let rec scan j =
+          if j <= hi then
+            let y = s2.(j) in
+            if (not (Matching.matched_new m y.id)) && equal x y then
+              Matching.add m x.id y.id
+            else scan (j + 1)
+        in
+        scan lo
+      end)
+    s1
+
+let run ?init ?window ctx =
+  let m = match init with Some m -> Matching.copy m | None -> Matching.create () in
+  let t1 = Criteria.t1_root ctx and t2 = Criteria.t2_root ctx in
+  List.iter
+    (fun l -> match_label ctx m ?window l ~leaf:true)
+    (Label_order.leaf_labels t1 t2);
+  List.iter
+    (fun l -> match_label ctx m ?window l ~leaf:false)
+    (Label_order.internal_labels t1 t2);
+  m

@@ -1,0 +1,27 @@
+module Node = Treediff_tree.Node
+
+(* label-qualified key -> Some node (unique) | None (duplicated) *)
+let collect key t =
+  let h = Hashtbl.create 64 in
+  Node.iter_preorder
+    (fun n ->
+      match key n with
+      | None -> ()
+      | Some k ->
+        let qualified = n.Node.label ^ "\x00" ^ k in
+        (match Hashtbl.find_opt h qualified with
+        | None -> Hashtbl.replace h qualified (Some n)
+        | Some _ -> Hashtbl.replace h qualified None))
+    t;
+  h
+
+let run ~key ~t1 ~t2 =
+  let m = Matching.create () in
+  let h1 = collect key t1 and h2 = collect key t2 in
+  Hashtbl.iter
+    (fun qualified slot1 ->
+      match (slot1, Hashtbl.find_opt h2 qualified) with
+      | Some n1, Some (Some n2) -> Matching.add m n1.Node.id n2.Node.id
+      | Some _, (Some None | None) | None, _ -> ())
+    h1;
+  m

@@ -1,0 +1,18 @@
+(** Key-based matching — the fast path for data that does carry identifying
+    keys or object-ids (§1, §5: "if they exist they can be used to match
+    those objects quickly").
+
+    Nodes whose key appears exactly once on each side are matched directly,
+    with no value comparison; the value-based algorithms then only have to
+    handle the keyless remainder (pass the result as [?init] to
+    {!Simple_match.run} or {!Fast_match.run}). *)
+
+val run :
+  key:(Treediff_tree.Node.t -> string option) ->
+  t1:Treediff_tree.Node.t ->
+  t2:Treediff_tree.Node.t ->
+  Matching.t
+(** [run ~key ~t1 ~t2] pairs nodes with equal labels and equal keys.  Keys
+    duplicated within one tree, or present on only one side, are ignored
+    (left to the value-based matchers).  [key] returning [None] marks a node
+    keyless. *)

@@ -1,0 +1,74 @@
+module Node = Treediff_tree.Node
+
+let max_heights t1 t2 =
+  let h = Hashtbl.create 16 in
+  let note (n : Node.t) =
+    let hn = Node.height n in
+    match Hashtbl.find_opt h n.label with
+    | Some old when old >= hn -> ()
+    | _ -> Hashtbl.replace h n.label hn
+  in
+  Node.iter_preorder note t1;
+  Node.iter_preorder note t2;
+  h
+
+let order t1 t2 =
+  let h = max_heights t1 t2 in
+  Hashtbl.fold (fun l ht acc -> (l, ht) :: acc) h []
+  |> List.sort (fun (l1, h1) (l2, h2) ->
+         if h1 <> h2 then compare h1 h2 else compare l1 l2)
+  |> List.map fst
+
+let labels_with pred t1 t2 =
+  let present = Hashtbl.create 16 in
+  let note (n : Node.t) = if pred n then Hashtbl.replace present n.label () in
+  Node.iter_preorder note t1;
+  Node.iter_preorder note t2;
+  List.filter (Hashtbl.mem present) (order t1 t2)
+
+let leaf_labels t1 t2 = labels_with Node.is_leaf t1 t2
+
+let internal_labels t1 t2 = labels_with (fun n -> not (Node.is_leaf n)) t1 t2
+
+let check_acyclic t1 t2 =
+  (* Record the proper-descendant relation between distinct labels and look
+     for a 2-cycle closure over its transitive closure (labels are few, so a
+     small Floyd–Warshall is fine). *)
+  let labels = order t1 t2 in
+  let idx = Hashtbl.create 16 in
+  List.iteri (fun i l -> Hashtbl.replace idx l i) labels;
+  let n = List.length labels in
+  let below = Array.make_matrix n n false in
+  let note_tree t =
+    let rec walk ancestors (node : Node.t) =
+      let i = Hashtbl.find idx node.label in
+      List.iter (fun j -> if i <> j then below.(i).(j) <- true) ancestors;
+      List.iter (walk (i :: ancestors)) (Node.children node)
+    in
+    walk [] t
+  in
+  note_tree t1;
+  note_tree t2;
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if below.(i).(k) && below.(k).(j) then below.(i).(j) <- true
+      done
+    done
+  done;
+  let arr = Array.of_list labels in
+  let bad = ref None in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && below.(i).(j) && below.(j).(i) && !bad = None then
+        bad := Some (arr.(i), arr.(j))
+    done
+  done;
+  match !bad with
+  | None -> Ok ()
+  | Some (a, b) ->
+    Error
+      (Printf.sprintf
+         "labels %S and %S each nest under the other; merge them (as the paper \
+          merges itemize/enumerate/description into one list label)"
+         a b)

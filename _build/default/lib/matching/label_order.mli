@@ -1,0 +1,26 @@
+(** The acyclic-labels condition of §5.1 and the bottom-up label processing
+    order the matching algorithms need.
+
+    A structuring schema satisfies the condition when there is an order [<_l]
+    such that a node labeled [l1] appears as a descendant of one labeled [l2]
+    only if [l1 <_l l2].  Rather than requiring callers to supply the order,
+    we derive one from the tree pair: labels sorted by the maximum height of
+    any node bearing them, leaves first.  Under the acyclicity condition this
+    processes every label after all labels that can appear below it, which is
+    what matching internal nodes bottom-up requires.  Cycles (e.g. nested
+    lists before the paper's label-merging fix) are detected and reported. *)
+
+val order : Treediff_tree.Node.t -> Treediff_tree.Node.t -> string list
+(** All labels of both trees, sorted bottom-up (max node height ascending,
+    ties by name for determinism). *)
+
+val leaf_labels : Treediff_tree.Node.t -> Treediff_tree.Node.t -> string list
+(** Labels borne by at least one leaf, in {!order} order. *)
+
+val internal_labels : Treediff_tree.Node.t -> Treediff_tree.Node.t -> string list
+(** Labels borne by at least one internal node, in {!order} order. *)
+
+val check_acyclic : Treediff_tree.Node.t -> Treediff_tree.Node.t -> (unit, string) result
+(** [Error msg] names a label pair [l1, l2] such that each appears as a
+    proper descendant of the other (self-nesting of a single label, like the
+    merged [List] label, is permitted and reported separately as fine). *)

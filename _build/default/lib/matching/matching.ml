@@ -1,0 +1,50 @@
+type t = { fwd : (int, int) Hashtbl.t; bwd : (int, int) Hashtbl.t }
+
+let create () = { fwd = Hashtbl.create 64; bwd = Hashtbl.create 64 }
+
+let copy m = { fwd = Hashtbl.copy m.fwd; bwd = Hashtbl.copy m.bwd }
+
+let add m x y =
+  (match Hashtbl.find_opt m.fwd x with
+  | Some y' when y' <> y ->
+    invalid_arg (Printf.sprintf "Matching.add: T1 node %d already matched to %d" x y')
+  | _ -> ());
+  (match Hashtbl.find_opt m.bwd y with
+  | Some x' when x' <> x ->
+    invalid_arg (Printf.sprintf "Matching.add: T2 node %d already matched to %d" y x')
+  | _ -> ());
+  Hashtbl.replace m.fwd x y;
+  Hashtbl.replace m.bwd y x
+
+let remove m x y =
+  match Hashtbl.find_opt m.fwd x with
+  | Some y' when y' = y ->
+    Hashtbl.remove m.fwd x;
+    Hashtbl.remove m.bwd y
+  | _ -> ()
+
+let mem m x y = match Hashtbl.find_opt m.fwd x with Some y' -> y' = y | None -> false
+
+let partner_of_old m x = Hashtbl.find_opt m.fwd x
+
+let partner_of_new m y = Hashtbl.find_opt m.bwd y
+
+let matched_old m x = Hashtbl.mem m.fwd x
+
+let matched_new m y = Hashtbl.mem m.bwd y
+
+let cardinal m = Hashtbl.length m.fwd
+
+let pairs m =
+  Hashtbl.fold (fun x y acc -> (x, y) :: acc) m.fwd []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let equal a b =
+  cardinal a = cardinal b && List.for_all (fun (x, y) -> mem b x y) (pairs a)
+
+let pp ppf m =
+  Format.fprintf ppf "{";
+  List.iteri
+    (fun i (x, y) -> Format.fprintf ppf "%s(%d,%d)" (if i > 0 then ", " else "") x y)
+    (pairs m);
+  Format.fprintf ppf "}"

@@ -1,0 +1,43 @@
+(** One-to-one matchings between the nodes of two trees (§3.1).
+
+    A matching pairs node identifiers of the old tree [T1] with identifiers of
+    the new tree [T2].  It is {e partial} if only some nodes participate and
+    {e total} if all do; Algorithm EditScript extends the partial matching it
+    is given into a total one as it generates operations. *)
+
+type t
+
+val create : unit -> t
+
+val copy : t -> t
+
+val add : t -> int -> int -> unit
+(** [add m x y] matches T1-node [x] with T2-node [y].
+    @raise Invalid_argument if either side is already matched to a different
+    node (matchings are one-to-one). *)
+
+val remove : t -> int -> int -> unit
+(** Remove the pair [(x, y)] if present. *)
+
+val mem : t -> int -> int -> bool
+(** [mem m x y] is true iff [(x, y)] is in the matching. *)
+
+val partner_of_old : t -> int -> int option
+(** The T2 partner of a T1 node. *)
+
+val partner_of_new : t -> int -> int option
+(** The T1 partner of a T2 node. *)
+
+val matched_old : t -> int -> bool
+
+val matched_new : t -> int -> bool
+
+val cardinal : t -> int
+
+val pairs : t -> (int * int) list
+(** All pairs, sorted by the T1 identifier. *)
+
+val equal : t -> t -> bool
+(** Same set of pairs. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,65 @@
+module Node = Treediff_tree.Node
+
+let run ctx m =
+  let t1 = Criteria.t1_root ctx in
+  let t1_index = Treediff_tree.Tree.index_by_id (Criteria.t1_root ctx) in
+  let t2_index = Treediff_tree.Tree.index_by_id (Criteria.t2_root ctx) in
+  let fixed = ref 0 in
+  let visit (x : Node.t) =
+    match Matching.partner_of_old m x.id with
+    | None -> ()
+    | Some yid ->
+      let y = Hashtbl.find t2_index yid in
+      List.iter
+        (fun (c : Node.t) ->
+          match Matching.partner_of_old m c.id with
+          | None -> ()
+          | Some c'id ->
+            let c' = Hashtbl.find t2_index c'id in
+            let parent_is_y =
+              match c'.Node.parent with Some p -> p.Node.id = yid | None -> false
+            in
+            if not parent_is_y then begin
+              let eligible (c'' : Node.t) =
+                c''.id <> c'id && Criteria.equal_nodes ctx m c c''
+              in
+              (* Prefer an unmatched candidate; otherwise swap with a matched
+                 one (two crossed duplicates re-pointed in one step). *)
+              let unmatched_candidate =
+                List.find_opt
+                  (fun (c'' : Node.t) -> (not (Matching.matched_new m c''.id)) && eligible c'')
+                  (Node.children y)
+              in
+              match unmatched_candidate with
+              | Some c'' ->
+                Matching.remove m c.id c'id;
+                Matching.add m c.id c''.Node.id;
+                incr fixed
+              | None -> (
+                let swap_candidate =
+                  List.find_opt
+                    (fun (c'' : Node.t) -> Matching.matched_new m c''.id && eligible c'')
+                    (Node.children y)
+                in
+                match swap_candidate with
+                | Some c'' -> (
+                  match Matching.partner_of_new m c''.Node.id with
+                  | Some aid ->
+                    let a = Hashtbl.find t1_index aid in
+                    (* Swap partners only if the displaced node may take c'
+                       (same label class); both pairs stay criterion-valid. *)
+                    if Criteria.equal_nodes ctx m a c' then begin
+                      Matching.remove m c.id c'id;
+                      Matching.remove m aid c''.Node.id;
+                      Matching.add m c.id c''.Node.id;
+                      Matching.add m aid c'id;
+                      incr fixed
+                    end
+                  | None -> ())
+                | None -> ())
+            end)
+        (Node.children x)
+  in
+  (* Top-down: parents are repaired before their children are examined. *)
+  Node.iter_bfs visit t1;
+  !fixed

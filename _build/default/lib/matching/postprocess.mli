@@ -1,0 +1,15 @@
+(** The §8 post-processing pass that repairs sub-optimal matchings produced
+    when Matching Criterion 3 fails to hold.
+
+    Proceeding top-down, for each matched pair [(x, y)] and each child [c] of
+    [x] whose partner [c'] is not a child of [y], we look for a child [c'']
+    of [y] that [c] is allowed to match (Criterion 1 for leaves, Criterion 2
+    for internal nodes).  An unmatched [c''] is taken directly; a matched one
+    is handled by swapping the two pairs' partners (the crossed-duplicates
+    case), provided the displaced node may take [c'].  This removes
+    mismatches except those that propagated upward from lower levels (§8
+    discusses the residue; Table 1 bounds it). *)
+
+val run : Criteria.ctx -> Matching.t -> int
+(** [run ctx m] repairs [m] in place and returns the number of pairs
+    re-pointed. *)

@@ -1,0 +1,35 @@
+module Node = Treediff_tree.Node
+
+(* T1 nodes in bottom-up order: height ascending, preorder within a height,
+   so every node is visited after all its descendants and — under the
+   acyclic-labels condition — after every node that could match below it. *)
+let bottom_up t =
+  let with_h = List.map (fun n -> (Node.height n, n)) (Node.preorder t) in
+  List.stable_sort (fun (h1, _) (h2, _) -> compare h1 h2) with_h |> List.map snd
+
+let candidates_by_label t =
+  let h = Hashtbl.create 16 in
+  List.iter
+    (fun (n : Node.t) ->
+      let prev = try Hashtbl.find h n.label with Not_found -> [] in
+      Hashtbl.replace h n.label (n :: prev))
+    (List.rev (Node.preorder t));
+  h
+
+let run ?init ctx =
+  let m = match init with Some m -> Matching.copy m | None -> Matching.create () in
+  let by_label = candidates_by_label (Criteria.t2_root ctx) in
+  List.iter
+    (fun (x : Node.t) ->
+      if not (Matching.matched_old m x.id) then
+        let candidates = try Hashtbl.find by_label x.label with Not_found -> [] in
+        let rec scan = function
+          | [] -> ()
+          | (y : Node.t) :: rest ->
+            if (not (Matching.matched_new m y.id)) && Criteria.equal_nodes ctx m x y
+            then Matching.add m x.id y.id
+            else scan rest
+        in
+        scan candidates)
+    (bottom_up (Criteria.t1_root ctx));
+  m

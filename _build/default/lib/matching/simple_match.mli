@@ -1,0 +1,16 @@
+(** Algorithm Match (§5.2, Fig. 10): the straightforward O(n²c + mn)
+    bottom-up matcher.
+
+    Visits T1 nodes bottom-up (leaves before internal nodes, lower internal
+    nodes before higher ones) and pairs each unmatched node with the first
+    unmatched same-label T2 node passing the §5.2 [equal] test.  Under
+    Matching Criteria 1–3 and the acyclic-labels condition this computes the
+    unique maximal matching (Theorem 5.2), so the scan order affects only
+    which of several equivalent representations is found on data that
+    violates MC3. *)
+
+val run : ?init:Matching.t -> Criteria.ctx -> Matching.t
+(** [run ctx] matches the context's tree pair.  [init], when given, seeds the
+    matching (e.g. with key-based pairs from {!Keyed}); seeded pairs are
+    never revisited.  The context's {!Treediff_util.Stats.t} accumulates the
+    comparison counts. *)

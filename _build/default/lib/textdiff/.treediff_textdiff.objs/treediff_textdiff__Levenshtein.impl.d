@@ -1,0 +1,1 @@
+lib/textdiff/levenshtein.ml: Array String

@@ -1,0 +1,1 @@
+lib/textdiff/line_diff.ml: Array Buffer List String Treediff_lcs

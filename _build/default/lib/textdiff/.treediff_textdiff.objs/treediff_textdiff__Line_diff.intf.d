@@ -1,0 +1,1 @@
+lib/textdiff/line_diff.mli:

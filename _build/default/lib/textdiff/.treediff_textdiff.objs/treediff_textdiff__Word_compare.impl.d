@@ -1,0 +1,1 @@
+lib/textdiff/word_compare.ml: Array Char List String Treediff_lcs

@@ -1,0 +1,1 @@
+lib/textdiff/word_compare.mli:

@@ -1,0 +1,23 @@
+let distance a b =
+  let n = String.length a and m = String.length b in
+  if n = 0 then m
+  else if m = 0 then n
+  else begin
+    let prev = Array.init (m + 1) (fun j -> j) in
+    let cur = Array.make (m + 1) 0 in
+    for i = 1 to n do
+      cur.(0) <- i;
+      for j = 1 to m do
+        let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+        cur.(j) <- min (min (prev.(j) + 1) (cur.(j - 1) + 1)) (prev.(j - 1) + cost)
+      done;
+      Array.blit cur 0 prev 0 (m + 1)
+    done;
+    prev.(m)
+  end
+
+let normalized a b =
+  let m = max (String.length a) (String.length b) in
+  if m = 0 then 0.0 else 2.0 *. float_of_int (distance a b) /. float_of_int m
+
+let similar ?(threshold = 0.5) a b = normalized a b <= threshold

@@ -1,0 +1,18 @@
+(** Character-level edit distance, as an alternative leaf [compare] function.
+
+    The paper's cost model (§3.2) only requires {e some} distance in [\[0,2\]];
+    word-LCS ({!Word_compare}) suits prose, while character-level distance
+    suits short identifiers, titles and attribute values (the
+    configuration-management domain of §1).  Classic O(n·m) dynamic
+    programming with two rows. *)
+
+val distance : string -> string -> int
+(** Raw Levenshtein distance (unit insert/delete/substitute). *)
+
+val normalized : string -> string -> float
+(** [2·distance / max (len a) (len b)] ∈ [\[0,2\]]: 0 iff equal, 2 when
+    nothing aligns (disjoint same-length strings, or one side empty).  Two
+    empty strings are at distance 0. *)
+
+val similar : ?threshold:float -> string -> string -> bool
+(** [normalized a b <= threshold] (default 0.5). *)

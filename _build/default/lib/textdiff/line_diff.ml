@@ -1,0 +1,82 @@
+module Subseq = Treediff_lcs.Subseq
+
+type hunk =
+  | Equal of string array
+  | Delete of string array
+  | Insert of string array
+  | Replace of string array * string array
+
+let lines s =
+  let l = String.split_on_char '\n' s in
+  let l = match List.rev l with "" :: rest -> List.rev rest | _ -> l in
+  Array.of_list l
+
+let diff old_text new_text =
+  let a = lines old_text and b = lines new_text in
+  let items = Subseq.diff ~equal:String.equal a b in
+  (* Group runs of Keep/Del/Ins, merging adjacent del+ins into Replace. *)
+  let hunks = ref [] in
+  let dels = ref [] and inss = ref [] and eqs = ref [] in
+  let flush_eq () =
+    if !eqs <> [] then begin
+      hunks := Equal (Array.of_list (List.rev !eqs)) :: !hunks;
+      eqs := []
+    end
+  in
+  let flush_change () =
+    (match (List.rev !dels, List.rev !inss) with
+    | [], [] -> ()
+    | d, [] -> hunks := Delete (Array.of_list d) :: !hunks
+    | [], i -> hunks := Insert (Array.of_list i) :: !hunks
+    | d, i -> hunks := Replace (Array.of_list d, Array.of_list i) :: !hunks);
+    dels := [];
+    inss := []
+  in
+  List.iter
+    (fun item ->
+      match item with
+      | Subseq.Keep (i, _) ->
+        flush_change ();
+        eqs := a.(i) :: !eqs
+      | Subseq.Del i ->
+        flush_eq ();
+        dels := a.(i) :: !dels
+      | Subseq.Ins j ->
+        flush_eq ();
+        inss := b.(j) :: !inss)
+    items;
+  flush_change ();
+  flush_eq ();
+  List.rev !hunks
+
+let stats hunks =
+  List.fold_left
+    (fun (d, i) h ->
+      match h with
+      | Equal _ -> (d, i)
+      | Delete a -> (d + Array.length a, i)
+      | Insert a -> (d, i + Array.length a)
+      | Replace (a, b) -> (d + Array.length a, i + Array.length b))
+    (0, 0) hunks
+
+let render hunks =
+  let buf = Buffer.create 256 in
+  let emit prefix arr =
+    Array.iter
+      (fun l ->
+        Buffer.add_string buf prefix;
+        Buffer.add_string buf l;
+        Buffer.add_char buf '\n')
+      arr
+  in
+  List.iter
+    (fun h ->
+      match h with
+      | Equal a -> emit "  " a
+      | Delete a -> emit "- " a
+      | Insert a -> emit "+ " a
+      | Replace (a, b) ->
+        emit "- " a;
+        emit "+ " b)
+    hunks;
+  Buffer.contents buf

@@ -1,0 +1,26 @@
+(** A flat, line-oriented differ in the mould of GNU diff — the §2 baseline.
+
+    It computes the line LCS with Myers' algorithm and reports everything
+    else as deletions and insertions.  Being structure-blind, it exhibits
+    exactly the weaknesses the paper motivates LaDiff with: a moved
+    paragraph becomes a block delete plus a block insert, and nothing stops
+    a section heading from "matching" an item line. *)
+
+type hunk =
+  | Equal of string array          (** common run *)
+  | Delete of string array         (** lines only in the old text *)
+  | Insert of string array         (** lines only in the new text *)
+  | Replace of string array * string array
+      (** adjacent delete+insert, as diff-style change blocks *)
+
+val lines : string -> string array
+(** Split on ['\n'], dropping a single trailing empty line. *)
+
+val diff : string -> string -> hunk list
+(** [diff old_text new_text]. *)
+
+val stats : hunk list -> int * int
+(** [(deleted_lines, inserted_lines)]. *)
+
+val render : hunk list -> string
+(** Classic unified-ish rendering: ["  line"], ["- line"], ["+ line"]. *)

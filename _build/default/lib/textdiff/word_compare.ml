@@ -1,0 +1,32 @@
+let is_word_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '\'' | '-' -> true
+  (* UTF-8 continuation and lead bytes: keep multibyte words whole *)
+  | c when Char.code c >= 0x80 -> true
+  | _ -> false
+
+let words s =
+  let n = String.length s in
+  let acc = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    while !i < n && not (is_word_char s.[!i]) do
+      incr i
+    done;
+    let start = !i in
+    while !i < n && is_word_char s.[!i] do
+      incr i
+    done;
+    if !i > start then acc := String.lowercase_ascii (String.sub s start (!i - start)) :: !acc
+  done;
+  Array.of_list (List.rev !acc)
+
+let distance a b =
+  let wa = words a and wb = words b in
+  let na = Array.length wa and nb = Array.length wb in
+  if na = 0 && nb = 0 then 0.0
+  else
+    let c = Treediff_lcs.Myers.lcs_length ~equal:String.equal wa wb in
+    float_of_int (na + nb - (2 * c)) /. float_of_int (max na nb)
+
+let similar ?(threshold = 0.5) a b = distance a b <= threshold

@@ -1,0 +1,20 @@
+(** LaDiff's sentence comparison function (§7): "first computes the LCS of
+    the words in the sentences, then counts the number of words not in the
+    LCS."
+
+    The count is normalised so the result lies in the cost model's [\[0,2\]]
+    range: with [n₁], [n₂] the word counts and [c] the LCS length,
+    [distance = (n₁ + n₂ − 2c) / max(n₁, n₂)].  Identical sentences score 0;
+    sentences with no words in common score ≥ 1 (exactly 2 when equal
+    length); the [≤ f ≤ 1] matching threshold of Criterion 1 then demands
+    that at least about half the words survive. *)
+
+val words : string -> string array
+(** Tokenise on whitespace, lowercase, stripping punctuation at token edges.
+    [words "The cat, the hat!"] = [[|"the"; "cat"; "the"; "hat"|]]. *)
+
+val distance : string -> string -> float
+(** Word-LCS distance in [\[0,2\]].  Two empty sentences are identical (0). *)
+
+val similar : ?threshold:float -> string -> string -> bool
+(** [distance a b <= threshold] (default [0.5]). *)

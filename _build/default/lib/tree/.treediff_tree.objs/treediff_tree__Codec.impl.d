@@ -1,0 +1,1 @@
+lib/tree/codec.ml: Buffer List Node Printf String Tree

@@ -1,0 +1,1 @@
+lib/tree/codec.mli: Node Tree

@@ -1,0 +1,1 @@
+lib/tree/invariant.ml: Hashtbl List Node Printf

@@ -1,0 +1,1 @@
+lib/tree/invariant.mli: Node

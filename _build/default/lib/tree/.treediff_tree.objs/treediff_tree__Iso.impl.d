@@ -1,0 +1,1 @@
+lib/tree/iso.ml: List Node Printf String

@@ -1,0 +1,1 @@
+lib/tree/iso.mli: Node

@@ -1,0 +1,1 @@
+lib/tree/node.ml: Format List Queue Treediff_util

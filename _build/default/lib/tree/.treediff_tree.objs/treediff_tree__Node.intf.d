@@ -1,0 +1,1 @@
+lib/tree/node.mli: Format Treediff_util

@@ -1,0 +1,1 @@
+lib/tree/tree.ml: Hashtbl List Node

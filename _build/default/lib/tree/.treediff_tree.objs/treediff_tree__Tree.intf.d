@@ -1,0 +1,1 @@
+lib/tree/tree.mli: Hashtbl Node

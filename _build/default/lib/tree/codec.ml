@@ -1,0 +1,139 @@
+exception Parse_error of string
+
+type token = Lparen | Rparen | Atom of string | Str of string
+
+let fail pos msg = raise (Parse_error (Printf.sprintf "at offset %d: %s" pos msg))
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  let is_atom_char c =
+    match c with
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | '/' | '+' | ':' -> true
+    | '(' | ')' | '"' | ' ' | '\t' | '\n' | '\r' -> false
+    | _ -> true
+  in
+  while !i < n do
+    (match s.[!i] with
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | '(' ->
+      toks := (Lparen, !i) :: !toks;
+      incr i
+    | ')' ->
+      toks := (Rparen, !i) :: !toks;
+      incr i
+    | '"' ->
+      let start = !i in
+      let buf = Buffer.create 16 in
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        (match s.[!i] with
+        | '"' -> closed := true
+        | '\\' ->
+          if !i + 1 >= n then fail start "unterminated escape in string literal";
+          incr i;
+          (match s.[!i] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '"' -> Buffer.add_char buf '"'
+          | c -> fail !i (Printf.sprintf "unknown escape '\\%c'" c))
+        | c -> Buffer.add_char buf c);
+        incr i
+      done;
+      if not !closed then fail start "unterminated string literal";
+      toks := (Str (Buffer.contents buf), start) :: !toks
+    | c when is_atom_char c ->
+      let start = !i in
+      while !i < n && is_atom_char s.[!i] do
+        incr i
+      done;
+      toks := (Atom (String.sub s start (!i - start)), start) :: !toks
+    | c -> fail !i (Printf.sprintf "unexpected character %C" c));
+    ()
+  done;
+  List.rev !toks
+
+let parse g s =
+  let toks = ref (tokenize s) in
+  let peek () = match !toks with [] -> None | t :: _ -> Some t in
+  let next () =
+    match !toks with
+    | [] -> fail (String.length s) "unexpected end of input"
+    | t :: rest ->
+      toks := rest;
+      t
+  in
+  let rec parse_tree () =
+    (match next () with
+    | Lparen, _ -> ()
+    | _, p -> fail p "expected '('");
+    let label =
+      match next () with
+      | Atom a, _ -> a
+      | _, p -> fail p "expected label atom"
+    in
+    let value =
+      match peek () with
+      | Some (Str v, _) ->
+        ignore (next ());
+        v
+      | _ -> ""
+    in
+    let children = ref [] in
+    let rec loop () =
+      match peek () with
+      | Some (Rparen, _) -> ignore (next ())
+      | Some (Lparen, _) ->
+        children := parse_tree () :: !children;
+        loop ()
+      | Some (_, p) -> fail p "expected child '(' or ')'"
+      | None -> fail (String.length s) "unexpected end of input, missing ')'"
+    in
+    loop ();
+    Tree.node g label ~value (List.rev !children)
+  in
+  let t = parse_tree () in
+  (match peek () with
+  | Some (_, p) -> fail p "trailing input after tree"
+  | None -> ());
+  t
+
+let escape v =
+  let buf = Buffer.create (String.length v + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let to_string ?(indent = true) t =
+  let buf = Buffer.create 256 in
+  let rec emit depth (n : Node.t) =
+    if indent && depth > 0 then begin
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make (2 * depth) ' ')
+    end;
+    Buffer.add_char buf '(';
+    Buffer.add_string buf n.label;
+    if n.value <> "" then begin
+      Buffer.add_string buf " \"";
+      Buffer.add_string buf (escape n.value);
+      Buffer.add_char buf '"'
+    end;
+    List.iter
+      (fun c ->
+        if not indent then Buffer.add_char buf ' ';
+        emit (depth + 1) c)
+      (Node.children n);
+    Buffer.add_char buf ')'
+  in
+  emit 0 t;
+  Buffer.contents buf

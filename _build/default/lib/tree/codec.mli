@@ -1,0 +1,18 @@
+(** Textual codec for trees: a compact s-expression form.
+
+    Grammar: [tree ::= "(" label [string-literal] tree* ")"].  Labels are
+    bare atoms; values are double-quoted with OCaml-style escapes.  Node
+    identifiers are assigned at parse time from a generator and are not part
+    of the syntax (the format describes keyless data).
+
+    Example: [(D (P (S "a") (S "b")) (P (S "c")))]. *)
+
+exception Parse_error of string
+(** Raised with a position-annotated message on malformed input. *)
+
+val parse : Tree.gen -> string -> Node.t
+(** @raise Parse_error on malformed input or trailing garbage. *)
+
+val to_string : ?indent:bool -> Node.t -> string
+(** [to_string t] renders in the codec grammar; [~indent:true] (default)
+    pretty-prints one node per line. *)

@@ -1,0 +1,26 @@
+let check root =
+  let seen = Hashtbl.create 64 in
+  let exception Bad of string in
+  let rec walk (n : Node.t) =
+    if Hashtbl.mem seen n.id then
+      raise (Bad (Printf.sprintf "duplicate node id %d (sharing or cycle)" n.id));
+    Hashtbl.replace seen n.id ();
+    List.iter
+      (fun (c : Node.t) ->
+        (match c.parent with
+        | Some p when p == n -> ()
+        | Some p ->
+          raise
+            (Bad
+               (Printf.sprintf "node %d's parent field points at %d, not %d" c.id
+                  p.Node.id n.id))
+        | None -> raise (Bad (Printf.sprintf "node %d has no parent field but is a child of %d" c.id n.id)));
+        walk c)
+      (Node.children n)
+  in
+  match walk root with
+  | () -> if root.Node.parent = None then Ok () else Error "root has a parent"
+  | exception Bad msg -> Error msg
+
+let check_exn root =
+  match check root with Ok () -> () | Error msg -> invalid_arg ("Invariant: " ^ msg)

@@ -1,0 +1,12 @@
+(** Structural well-formedness checks for trees.
+
+    The edit machinery maintains these invariants; tests (and debugging
+    sessions) assert them after every mutation:
+    - every child's [parent] field points back at its parent;
+    - no node appears twice (no sharing, no cycles);
+    - node identifiers are unique within the tree. *)
+
+val check : Node.t -> (unit, string) result
+
+val check_exn : Node.t -> unit
+(** @raise Invalid_argument with the violation description. *)

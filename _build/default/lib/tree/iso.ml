@@ -1,0 +1,28 @@
+let rec equal (a : Node.t) (b : Node.t) =
+  String.equal a.label b.label
+  && String.equal a.value b.value
+  && Node.child_count a = Node.child_count b
+  && List.for_all2 equal (Node.children a) (Node.children b)
+
+let first_difference a b =
+  let rec walk path (a : Node.t) (b : Node.t) =
+    if not (String.equal a.label b.label) then
+      Some (Printf.sprintf "%s: label %S vs %S" path a.label b.label)
+    else if not (String.equal a.value b.value) then
+      Some (Printf.sprintf "%s: value %S vs %S" path a.value b.value)
+    else if Node.child_count a <> Node.child_count b then
+      Some
+        (Printf.sprintf "%s: child count %d vs %d" path (Node.child_count a)
+           (Node.child_count b))
+    else
+      let rec loop i = function
+        | [], [] -> None
+        | ca :: ra, cb :: rb -> (
+          match walk (Printf.sprintf "%s/%d" path i) ca cb with
+          | Some _ as d -> d
+          | None -> loop (i + 1) (ra, rb))
+        | _ -> assert false
+      in
+      loop 0 (Node.children a, Node.children b)
+  in
+  walk "" a b

@@ -1,0 +1,11 @@
+(** Tree isomorphism — equality up to node identifiers (§3.1).
+
+    Two trees are isomorphic iff they agree on labels, values and child order
+    everywhere.  This is the success criterion of an edit script: applying the
+    script to [T1] must yield a tree isomorphic to [T2]. *)
+
+val equal : Node.t -> Node.t -> bool
+
+val first_difference : Node.t -> Node.t -> string option
+(** A human-readable description of the first structural difference found
+    (preorder), or [None] if isomorphic.  For test diagnostics. *)

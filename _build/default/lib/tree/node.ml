@@ -1,0 +1,101 @@
+module Vec = Treediff_util.Vec
+
+type t = {
+  id : int;
+  label : string;
+  mutable value : string;
+  mutable parent : t option;
+  children : t Vec.t;
+}
+
+let make ~id ~label ?(value = "") () =
+  { id; label; value; parent = None; children = Vec.create () }
+
+let is_leaf n = Vec.is_empty n.children
+
+let is_root n = n.parent = None
+
+let children n = Vec.to_list n.children
+
+let child_count n = Vec.length n.children
+
+let child n i = Vec.get n.children i
+
+let child_index n =
+  match n.parent with
+  | None -> invalid_arg "Node.child_index: node has no parent"
+  | Some p -> (
+    match Vec.index (fun c -> c.id = n.id) p.children with
+    | Some i -> i
+    | None -> invalid_arg "Node.child_index: node not found among parent's children")
+
+let insert_child parent i c =
+  if c.parent <> None then invalid_arg "Node.insert_child: child is already attached";
+  Vec.insert parent.children i c;
+  c.parent <- Some parent
+
+let append_child parent c = insert_child parent (child_count parent) c
+
+let detach n =
+  match n.parent with
+  | None -> ()
+  | Some p ->
+    let i = child_index n in
+    ignore (Vec.remove p.children i);
+    n.parent <- None
+
+let rec root n = match n.parent with None -> n | Some p -> root p
+
+let rec is_ancestor a n =
+  match n.parent with
+  | None -> false
+  | Some p -> p.id = a.id || is_ancestor a p
+
+let rec size n = Vec.fold (fun acc c -> acc + size c) 1 n.children
+
+let rec leaf_count n =
+  if is_leaf n then 1 else Vec.fold (fun acc c -> acc + leaf_count c) 0 n.children
+
+let rec height n =
+  if is_leaf n then 0 else 1 + Vec.fold (fun acc c -> max acc (height c)) 0 n.children
+
+let rec depth n = match n.parent with None -> 0 | Some p -> 1 + depth p
+
+let rec iter_preorder f n =
+  f n;
+  Vec.iter (iter_preorder f) n.children
+
+let rec iter_postorder f n =
+  Vec.iter (iter_postorder f) n.children;
+  f n
+
+let iter_bfs f n =
+  let q = Queue.create () in
+  Queue.add n q;
+  while not (Queue.is_empty q) do
+    let x = Queue.take q in
+    f x;
+    Vec.iter (fun c -> Queue.add c q) x.children
+  done
+
+let collect iter n =
+  let acc = ref [] in
+  iter (fun x -> acc := x :: !acc) n;
+  List.rev !acc
+
+let preorder n = collect iter_preorder n
+
+let postorder n = collect iter_postorder n
+
+let bfs n = collect iter_bfs n
+
+let leaves n = List.filter is_leaf (preorder n)
+
+let rec pp ppf n =
+  if is_leaf n then Format.fprintf ppf "(%s:%d %S)" n.label n.id n.value
+  else begin
+    Format.fprintf ppf "(%s:%d" n.label n.id;
+    if n.value <> "" then Format.fprintf ppf " %S" n.value;
+    Vec.iter (fun c -> Format.fprintf ppf "@ %a" pp c) n.children;
+    Format.fprintf ppf ")"
+  end

@@ -1,0 +1,88 @@
+(** Nodes of ordered labeled trees — the paper's §3.1 data model.
+
+    Each node has an immutable identifier and label, a mutable value, and an
+    ordered, mutable child list.  Identifiers are unique within a comparison
+    (they may be generated when the data carries none) but carry no meaning
+    across versions: nodes representing the same real-world entity in two
+    versions generally have different identifiers; recovering that
+    correspondence is the Good Matching problem.
+
+    Mutability exists for the edit-script generator, which applies operations
+    to a working copy as it emits them (§4).  Public pipeline entry points
+    never mutate caller-owned trees. *)
+
+type t = {
+  id : int;
+  label : string;
+  mutable value : string;
+  mutable parent : t option;
+  children : t Treediff_util.Vec.t;
+}
+
+val make : id:int -> label:string -> ?value:string -> unit -> t
+(** A fresh detached node; [value] defaults to [""] (the paper's null). *)
+
+val is_leaf : t -> bool
+
+val is_root : t -> bool
+
+val children : t -> t list
+
+val child_count : t -> int
+
+val child : t -> int -> t
+(** 0-based.  @raise Invalid_argument if out of bounds. *)
+
+val child_index : t -> int
+(** 0-based position of a node among its siblings.
+    @raise Invalid_argument if the node is a root or orphan inconsistency. *)
+
+val insert_child : t -> int -> t -> unit
+(** [insert_child parent i child] attaches [child] (which must be detached)
+    as the [i]th child (0-based); [i = child_count parent] appends.
+    @raise Invalid_argument if [child] already has a parent or [i] is out of
+    range. *)
+
+val append_child : t -> t -> unit
+
+val detach : t -> unit
+(** Remove a node (with its subtree) from its parent.  No-op on roots. *)
+
+val root : t -> t
+(** Topmost ancestor. *)
+
+val is_ancestor : t -> t -> bool
+(** [is_ancestor a n] is true iff [a] is a proper ancestor of [n]. *)
+
+val size : t -> int
+(** Number of nodes in the subtree, including the node itself. *)
+
+val leaf_count : t -> int
+(** The paper's [|x|]: number of leaf descendants ([1] for a leaf itself). *)
+
+val height : t -> int
+(** [0] for a leaf. *)
+
+val depth : t -> int
+(** [0] for a root. *)
+
+val iter_preorder : (t -> unit) -> t -> unit
+
+val iter_postorder : (t -> unit) -> t -> unit
+(** Children before parents — the order of the delete phase. *)
+
+val iter_bfs : (t -> unit) -> t -> unit
+(** Breadth-first, parents before children, siblings left to right — the
+    traversal order of Algorithm EditScript's combined phase. *)
+
+val preorder : t -> t list
+
+val postorder : t -> t list
+
+val bfs : t -> t list
+
+val leaves : t -> t list
+(** Leaf descendants in left-to-right order. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line rendering [(label:id "value" …children)] for debugging. *)

@@ -1,0 +1,50 @@
+type gen = { mutable next : int }
+
+let gen ?(start = 1) () = { next = start }
+
+let fresh_id g =
+  let id = g.next in
+  g.next <- g.next + 1;
+  id
+
+let node g label ?(value = "") children =
+  let n = Node.make ~id:(fresh_id g) ~label ~value () in
+  List.iter (Node.append_child n) children;
+  n
+
+let leaf g label value = node g label ~value []
+
+let rec copy (n : Node.t) =
+  let n' = Node.make ~id:n.id ~label:n.label ~value:n.value () in
+  List.iter (fun c -> Node.append_child n' (copy c)) (Node.children n);
+  n'
+
+let max_id n =
+  let m = ref 0 in
+  Node.iter_preorder (fun x -> if x.Node.id > !m then m := x.Node.id) n;
+  !m
+
+let size = Node.size
+
+let index_by_id n =
+  let h = Hashtbl.create 64 in
+  Node.iter_preorder (fun x -> Hashtbl.replace h x.Node.id x) n;
+  h
+
+let find_by_id n id =
+  let found = ref None in
+  (try
+     Node.iter_preorder
+       (fun x ->
+         if x.Node.id = id then begin
+           found := Some x;
+           raise Exit
+         end)
+       n
+   with Exit -> ());
+  !found
+
+let rec relabel_ids g (n : Node.t) =
+  let n' = Node.make ~id:(fresh_id g) ~label:n.label ~value:n.value () in
+  List.iter (fun c -> Node.append_child n' (relabel_ids g c)) (Node.children n);
+  n'

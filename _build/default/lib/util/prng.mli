@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    All workload generators take an explicit generator so that every corpus,
+    mutation sequence and benchmark input is reproducible from a seed,
+    independent of the OCaml stdlib [Random] implementation. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator.  Equal seeds yield equal streams. *)
+
+val copy : t -> t
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)].  @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in g lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+
+val float : t -> float
+(** [float g] is uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance g p] is true with probability [p]. *)
+
+val pick : t -> 'a array -> 'a
+(** [pick g a] is a uniformly chosen element.  @raise Invalid_argument on an
+    empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns an independent generator, for handing
+    distinct deterministic streams to sub-tasks. *)

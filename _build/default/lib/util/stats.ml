@@ -1,0 +1,23 @@
+type t = {
+  mutable leaf_compares : int;
+  mutable partner_checks : int;
+  mutable node_visits : int;
+}
+
+let create () = { leaf_compares = 0; partner_checks = 0; node_visits = 0 }
+
+let reset s =
+  s.leaf_compares <- 0;
+  s.partner_checks <- 0;
+  s.node_visits <- 0
+
+let total s = s.leaf_compares + s.partner_checks
+
+let add acc s =
+  acc.leaf_compares <- acc.leaf_compares + s.leaf_compares;
+  acc.partner_checks <- acc.partner_checks + s.partner_checks;
+  acc.node_visits <- acc.node_visits + s.node_visits
+
+let pp ppf s =
+  Format.fprintf ppf "compares=%d partner-checks=%d visits=%d" s.leaf_compares
+    s.partner_checks s.node_visits

@@ -1,0 +1,25 @@
+(** Instrumentation counters for the §8 performance experiments.
+
+    The paper reports FastMatch running time "as measured by the number of
+    comparisons": [r1] leaf-node [compare] invocations and [r2] partner checks
+    (integer comparisons).  A [Stats.t] is threaded through the matching
+    algorithms to collect exactly those counters. *)
+
+type t = {
+  mutable leaf_compares : int;  (** invocations of the leaf [compare] function (r1) *)
+  mutable partner_checks : int; (** partner/containment integer checks (r2) *)
+  mutable node_visits : int;    (** nodes examined (auxiliary) *)
+}
+
+val create : unit -> t
+
+val reset : t -> unit
+
+val total : t -> int
+(** [total s] is [leaf_compares + partner_checks], the paper's combined
+    comparison count. *)
+
+val add : t -> t -> unit
+(** [add acc s] accumulates [s] into [acc]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,67 @@
+type align = Left | Right
+
+type line = Row of string list | Sep
+
+type t = {
+  headers : string list;
+  ncols : int;
+  mutable aligns : align list;
+  mutable lines : line list; (* reversed *)
+}
+
+let create ~headers =
+  let ncols = List.length headers in
+  let aligns = List.mapi (fun i _ -> if i = 0 then Left else Right) headers in
+  { headers; ncols; aligns; lines = [] }
+
+let set_align t aligns =
+  if List.length aligns <> t.ncols then invalid_arg "Table.set_align: width mismatch";
+  t.aligns <- aligns
+
+let add_row t row =
+  if List.length row <> t.ncols then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: expected %d cells, got %d" t.ncols (List.length row));
+  t.lines <- Row row :: t.lines
+
+let add_sep t = t.lines <- Sep :: t.lines
+
+let render t =
+  let rows = List.rev t.lines in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let widen row = List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) row in
+  List.iter (function Row r -> widen r | Sep -> ()) rows;
+  let buf = Buffer.create 256 in
+  let pad align width s =
+    let n = width - String.length s in
+    if n <= 0 then s
+    else match align with Left -> s ^ String.make n ' ' | Right -> String.make n ' ' ^ s
+  in
+  let emit_row row =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad (List.nth t.aligns i) widths.(i) c))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  let emit_sep () =
+    Array.iteri
+      (fun i w ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (String.make w '-'))
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  emit_row t.headers;
+  emit_sep ();
+  List.iter (function Row r -> emit_row r | Sep -> emit_sep ()) rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_int n = string_of_int n
+
+let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let cell_pct x = Printf.sprintf "%.1f%%" (100.0 *. x)

@@ -1,0 +1,33 @@
+(** Plain-text table rendering for the experiment harness.
+
+    The benchmark binary prints the same rows the paper's tables and figures
+    report; this module keeps those printouts aligned and uniform. *)
+
+type align = Left | Right
+
+type t
+
+val create : headers:string list -> t
+(** [create ~headers] starts a table.  Columns default to right alignment
+    except the first, which is left-aligned. *)
+
+val set_align : t -> align list -> unit
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the header width. *)
+
+val add_sep : t -> unit
+(** Insert a horizontal separator before the next row. *)
+
+val render : t -> string
+(** Render with box-drawing-free ASCII, suitable for logs and CI output. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)
+
+val cell_int : int -> string
+
+val cell_float : ?decimals:int -> float -> string
+
+val cell_pct : float -> string
+(** Format a ratio in [\[0,1\]] as a percentage with one decimal. *)

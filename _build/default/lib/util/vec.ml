@@ -1,0 +1,91 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let of_array a = { data = Array.copy a; len = Array.length a }
+
+let of_list l = of_array (Array.of_list l)
+
+let length v = v.len
+
+let is_empty v = v.len = 0
+
+let check v i =
+  if i < 0 || i >= v.len then
+    invalid_arg (Printf.sprintf "Vec: index %d out of bounds (length %d)" i v.len)
+
+let get v i =
+  check v i;
+  v.data.(i)
+
+let set v i x =
+  check v i;
+  v.data.(i) <- x
+
+(* Grow to at least [n] capacity, doubling to amortise; [witness] fills the
+   fresh slots so the array never holds an unsafe dummy. *)
+let ensure v n witness =
+  let cap = Array.length v.data in
+  if cap < n then begin
+    let cap' = max n (max 8 (2 * cap)) in
+    let data' = Array.make cap' witness in
+    Array.blit v.data 0 data' 0 v.len;
+    v.data <- data'
+  end
+
+let push v x =
+  ensure v (v.len + 1) x;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let insert v i x =
+  if i < 0 || i > v.len then
+    invalid_arg (Printf.sprintf "Vec.insert: index %d out of bounds (length %d)" i v.len);
+  ensure v (v.len + 1) x;
+  Array.blit v.data i v.data (i + 1) (v.len - i);
+  v.data.(i) <- x;
+  v.len <- v.len + 1
+
+let remove v i =
+  check v i;
+  let x = v.data.(i) in
+  Array.blit v.data (i + 1) v.data i (v.len - i - 1);
+  v.len <- v.len - 1;
+  x
+
+let index p v =
+  let rec loop i = if i >= v.len then None else if p v.data.(i) then Some i else loop (i + 1) in
+  loop 0
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i v.data.(i)
+  done
+
+let fold f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    acc := f !acc v.data.(i)
+  done;
+  !acc
+
+let exists p v =
+  let rec loop i = i < v.len && (p v.data.(i) || loop (i + 1)) in
+  loop 0
+
+let for_all p v = not (exists (fun x -> not (p x)) v)
+
+let to_list v = List.init v.len (fun i -> v.data.(i))
+
+let to_array v = Array.sub v.data 0 v.len
+
+let copy v = { data = Array.copy v.data; len = v.len }
+
+let clear v =
+  v.data <- [||];
+  v.len <- 0

@@ -1,0 +1,56 @@
+(** Growable arrays with positional insertion and removal.
+
+    Used for the mutable child lists of tree nodes: the edit-script generator
+    inserts and removes children at arbitrary positions while walking the
+    working tree.  Indices are 0-based throughout. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** [create ()] is a fresh empty vector. *)
+
+val of_list : 'a list -> 'a t
+
+val of_array : 'a array -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+(** [get v i] is the [i]th element.  @raise Invalid_argument if out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+
+val push : 'a t -> 'a -> unit
+(** [push v x] appends [x] at the end. *)
+
+val insert : 'a t -> int -> 'a -> unit
+(** [insert v i x] inserts [x] so that it becomes the element at index [i],
+    shifting later elements right.  [i] may equal [length v] (append).
+    @raise Invalid_argument if [i < 0 || i > length v]. *)
+
+val remove : 'a t -> int -> 'a
+(** [remove v i] removes and returns the element at index [i], shifting later
+    elements left.  @raise Invalid_argument if out of bounds. *)
+
+val index : ('a -> bool) -> 'a t -> int option
+(** [index p v] is the index of the first element satisfying [p], if any. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val for_all : ('a -> bool) -> 'a t -> bool
+
+val to_list : 'a t -> 'a list
+
+val to_array : 'a t -> 'a array
+
+val copy : 'a t -> 'a t
+
+val clear : 'a t -> unit

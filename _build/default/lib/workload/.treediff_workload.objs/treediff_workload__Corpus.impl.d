@@ -1,0 +1,1 @@
+lib/workload/corpus.ml: Array Docgen List Mutate Treediff_tree Treediff_util

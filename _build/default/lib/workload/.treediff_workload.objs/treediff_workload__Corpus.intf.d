@@ -1,0 +1,1 @@
+lib/workload/corpus.mli: Docgen Treediff_tree

@@ -1,0 +1,1 @@
+lib/workload/docgen.ml: Array Buffer List String Treediff_doc Treediff_tree Treediff_util

@@ -1,0 +1,1 @@
+lib/workload/docgen.mli: Treediff_tree Treediff_util

@@ -1,0 +1,1 @@
+lib/workload/mutate.ml: Array Docgen Hashtbl List String Treediff_doc Treediff_tree Treediff_util

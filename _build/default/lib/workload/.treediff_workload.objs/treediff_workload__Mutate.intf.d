@@ -1,0 +1,1 @@
+lib/workload/mutate.mli: Treediff_tree Treediff_util

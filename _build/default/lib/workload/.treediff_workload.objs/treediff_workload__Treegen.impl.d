@@ -1,0 +1,1 @@
+lib/workload/treegen.ml: Array List Printf Treediff_tree Treediff_util

@@ -1,0 +1,1 @@
+lib/workload/treegen.mli: Treediff_tree Treediff_util

@@ -1,0 +1,52 @@
+module P = Treediff_util.Prng
+module Tree = Treediff_tree.Tree
+
+type set = {
+  name : string;
+  profile_name : string;
+  versions : Treediff_tree.Node.t list;
+  gen : Tree.gen;
+}
+
+let make ~name ~seed ~profile ~versions ~edits_per_version =
+  let g = P.create seed in
+  let gen = Tree.gen () in
+  let v0 = Docgen.generate g gen profile in
+  let rec chain acc prev k =
+    if k = 0 then List.rev acc
+    else begin
+      (* Vary the volume a little so pairs spread over a range of distances. *)
+      let actions = max 1 (edits_per_version + P.int_in g (-edits_per_version / 3) (edits_per_version / 3)) in
+      let next, _report = Mutate.mutate g gen prev ~actions in
+      chain (next :: acc) next (k - 1)
+    end
+  in
+  let versions = chain [ v0 ] v0 (versions - 1) in
+  { name; profile_name = name; versions; gen }
+
+let standard () =
+  [
+    make ~name:"set-A (small)" ~seed:101 ~profile:Docgen.small ~versions:6
+      ~edits_per_version:8;
+    make ~name:"set-B (medium)" ~seed:202 ~profile:Docgen.medium ~versions:6
+      ~edits_per_version:18;
+    make ~name:"set-C (large)" ~seed:303 ~profile:Docgen.large ~versions:6
+      ~edits_per_version:30;
+  ]
+
+let pairs set =
+  let vs = Array.of_list set.versions in
+  let out = ref [] in
+  for i = 0 to Array.length vs - 1 do
+    for j = i + 1 to Array.length vs - 1 do
+      out := (vs.(i), vs.(j)) :: !out
+    done
+  done;
+  List.rev !out
+
+let consecutive_pairs set =
+  let rec walk = function
+    | a :: (b :: _ as rest) -> (a, b) :: walk rest
+    | [ _ ] | [] -> []
+  in
+  walk set.versions

@@ -1,0 +1,33 @@
+(** The evaluation corpora: three sets of document versions standing in for
+    the paper's three sets of conference-paper revisions (§8).
+
+    Each set is a chain [v0 → v1 → …] where each version is derived from its
+    predecessor by the revision mutator with a set-specific edit volume.
+    Everything is deterministic in the seeds, so experiment output is
+    reproducible run to run. *)
+
+type set = {
+  name : string;
+  profile_name : string;
+  versions : Treediff_tree.Node.t list;  (** oldest first *)
+  gen : Treediff_tree.Tree.gen;
+      (** the id generator all versions share (ids are disjoint) *)
+}
+
+val standard : unit -> set list
+(** The three sets used by the §8 experiments: small/medium/large documents,
+    6 versions each, seeds 101, 202, 303. *)
+
+val make :
+  name:string ->
+  seed:int ->
+  profile:Docgen.profile ->
+  versions:int ->
+  edits_per_version:int ->
+  set
+
+val pairs : set -> (Treediff_tree.Node.t * Treediff_tree.Node.t) list
+(** All ordered intra-set pairs (vᵢ, vⱼ) with i < j — the paper compares
+    files within each set only. *)
+
+val consecutive_pairs : set -> (Treediff_tree.Node.t * Treediff_tree.Node.t) list

@@ -1,0 +1,153 @@
+module P = Treediff_util.Prng
+module Tree = Treediff_tree.Tree
+module Node = Treediff_tree.Node
+module Doc = Treediff_doc.Doc_tree
+
+type profile = {
+  sections : int;
+  subsections_per : int;
+  paragraphs_per : int;
+  sentences_per : int;
+  words_per : int;
+  list_rate : float;
+  duplicate_rate : float;
+}
+
+let small =
+  { sections = 3; subsections_per = 0; paragraphs_per = 4; sentences_per = 5;
+    words_per = 12; list_rate = 0.1; duplicate_rate = 0.0 }
+
+let medium =
+  { sections = 6; subsections_per = 2; paragraphs_per = 5; sentences_per = 6;
+    words_per = 14; list_rate = 0.12; duplicate_rate = 0.0 }
+
+let large =
+  { sections = 9; subsections_per = 3; paragraphs_per = 6; sentences_per = 7;
+    words_per = 14; list_rate = 0.12; duplicate_rate = 0.0 }
+
+let vocabulary =
+  [|
+    "algorithm"; "analysis"; "approach"; "architecture"; "baseline"; "behavior";
+    "benchmark"; "buffer"; "cache"; "change"; "cluster"; "comparison"; "complexity";
+    "computation"; "configuration"; "consistency"; "constraint"; "correctness"; "cost";
+    "data"; "database"; "delta"; "design"; "detection"; "distance"; "distribution";
+    "document"; "domain"; "edit"; "efficiency"; "evaluation"; "experiment"; "feature";
+    "fragment"; "framework"; "function"; "graph"; "hierarchy"; "identifier"; "index";
+    "information"; "input"; "insertion"; "instance"; "interface"; "key"; "label";
+    "latency"; "leaf"; "lemma"; "level"; "locality"; "maintenance"; "management";
+    "matching"; "measure"; "memory"; "method"; "metric"; "model"; "module"; "move";
+    "node"; "notation"; "object"; "operation"; "optimization"; "order"; "output";
+    "overhead"; "paragraph"; "parameter"; "parser"; "pattern"; "performance"; "phase";
+    "policy"; "problem"; "procedure"; "process"; "property"; "protocol"; "prototype";
+    "query"; "record"; "recovery"; "relation"; "replica"; "report"; "representation";
+    "result"; "schema"; "script"; "section"; "semantics"; "sentence"; "sequence";
+    "server"; "snapshot"; "solution"; "source"; "storage"; "strategy"; "structure";
+    "subtree"; "summary"; "system"; "technique"; "theorem"; "threshold"; "transaction";
+    "transformation"; "traversal"; "tree"; "update"; "value"; "variant"; "version";
+    "view"; "warehouse"; "workload"; "abstraction"; "aggregate"; "allocation";
+    "annotation"; "assertion"; "assignment"; "attribute"; "bandwidth"; "batch";
+    "boundary"; "branch"; "calibration"; "capacity"; "cardinality"; "checkpoint";
+    "collection"; "compiler"; "component"; "compression"; "concurrency"; "condition";
+    "connection"; "container"; "context"; "conversion"; "coordinate"; "correlation";
+    "criterion"; "cursor"; "decomposition"; "definition"; "dependency"; "deployment";
+    "derivation"; "descriptor"; "dictionary"; "dimension"; "directory"; "dispatch";
+    "duration"; "element"; "encoding"; "environment"; "equivalence"; "estimate";
+    "exception"; "execution"; "expansion"; "expression"; "extension"; "factor";
+    "failure"; "format"; "formula"; "foundation"; "frequency"; "garbage"; "generation";
+    "granularity"; "guarantee"; "handler"; "heuristic"; "histogram"; "hypothesis";
+    "implementation"; "indirection"; "inference"; "integration"; "invariant";
+    "isolation"; "iteration"; "kernel"; "language"; "lattice"; "layout"; "lifetime";
+    "linkage"; "listing"; "literal"; "logic"; "machine"; "mapping"; "margin";
+    "mechanism"; "migration"; "namespace"; "network"; "observation"; "offset";
+    "ordering"; "overview"; "partition"; "payload"; "pipeline"; "placement"; "pointer";
+    "precision"; "predicate"; "priority"; "projection"; "provenance"; "quantifier";
+    "ranking"; "reduction"; "reference"; "refinement"; "region"; "register";
+    "resolution"; "resource"; "routine"; "runtime"; "sampling"; "scalability";
+    "scheduling"; "segment"; "selection"; "separation"; "session"; "signature";
+    "simulation"; "specification"; "stability"; "statistics"; "stream"; "substrate";
+    "synthesis"; "taxonomy"; "template"; "terminology"; "topology"; "tracking";
+    "tradeoff"; "transition"; "translation"; "tuple"; "utilization"; "validation";
+    "variable"; "vector"; "verification"; "vocabulary"; "window"; "workflow";
+  |]
+
+let connectives = [| "the"; "a"; "this"; "each"; "every"; "our"; "their"; "its" |]
+
+let verbs =
+  [| "improves"; "reduces"; "maintains"; "computes"; "derives"; "extends";
+     "captures"; "supports"; "requires"; "produces"; "evaluates"; "transforms";
+     "preserves"; "dominates"; "approximates"; "simplifies" |]
+
+(* Sentences are kept reasonably long (≥ 7 words) and mostly content words:
+   real prose sentences rarely share half their words by accident, which is
+   exactly why the paper observes Matching Criterion 3 holding in practice.
+   Short formulaic sentences would violate MC3 constantly and make the
+   synthetic corpus unrepresentative. *)
+let sentence g max_words =
+  let n = max 7 (7 + P.int g (max 1 (max_words - 6))) in
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (String.capitalize_ascii (P.pick g connectives));
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (P.pick g vocabulary);
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (P.pick g verbs);
+  for k = 4 to n do
+    Buffer.add_char buf ' ';
+    (* The final word is always a content word: a trailing one-letter
+       connective would read as an initial to the sentence splitter and
+       break the print/parse round-trip. *)
+    Buffer.add_string buf
+      (if k < n && P.chance g 0.15 then P.pick g connectives else P.pick g vocabulary)
+  done;
+  Buffer.add_char buf '.';
+  Buffer.contents buf
+
+(* A near-duplicate: copy an earlier sentence and tweak at most one word, so
+   the word-LCS distance stays well under 1 — an MC3 violation by design. *)
+let near_duplicate g earlier =
+  let base = P.pick g earlier in
+  let words = String.split_on_char ' ' base in
+  let n = List.length words in
+  if n <= 3 then base
+  else
+    let victim = 1 + P.int g (n - 2) in
+    String.concat " "
+      (List.mapi (fun i w -> if i = victim then P.pick g vocabulary else w) words)
+
+let generate g gen profile =
+  let seen = ref [] in
+  let make_sentence () =
+    let s =
+      if !seen <> [] && P.chance g profile.duplicate_rate then
+        near_duplicate g (Array.of_list !seen)
+      else sentence g profile.words_per
+    in
+    seen := s :: !seen;
+    Tree.leaf gen Doc.sentence s
+  in
+  let make_paragraph () =
+    let n = 1 + P.int g profile.sentences_per in
+    Tree.node gen Doc.paragraph (List.init n (fun _ -> make_sentence ()))
+  in
+  let make_block () =
+    if P.chance g profile.list_rate then
+      let items = 2 + P.int g 3 in
+      Tree.node gen Doc.list
+        (List.init items (fun _ -> Tree.node gen Doc.item [ make_paragraph () ]))
+    else make_paragraph ()
+  in
+  let make_blocks () =
+    let n = 1 + P.int g profile.paragraphs_per in
+    List.init n (fun _ -> make_block ())
+  in
+  let title () =
+    String.capitalize_ascii (P.pick g vocabulary) ^ " " ^ P.pick g vocabulary
+  in
+  let make_subsection () = Tree.node gen Doc.subsection ~value:(title ()) (make_blocks ()) in
+  let make_section () =
+    let subs =
+      if profile.subsections_per = 0 then []
+      else List.init (P.int g (profile.subsections_per + 1)) (fun _ -> make_subsection ())
+    in
+    Tree.node gen Doc.section ~value:(title ()) (make_blocks () @ subs)
+  in
+  Tree.node gen Doc.document (List.init (max 1 profile.sections) (fun _ -> make_section ()))

@@ -1,0 +1,40 @@
+(** Synthetic structured-document generator.
+
+    Stands in for the paper's private corpora of versioned conference papers
+    (§8).  Documents follow the §7 schema (Document/Section/Subsection/
+    Paragraph/List/Item/Sentence); sentences are random draws from a
+    moderately large vocabulary, so distinct sentences almost never share
+    half their words — i.e. Matching Criterion 3 holds by construction,
+    matching the paper's observation that real prose rarely violates it.
+    A [duplicate_rate] knob reintroduces near-duplicate sentences to study
+    MC3 violations (Table 1). *)
+
+type profile = {
+  sections : int;           (** top-level sections *)
+  subsections_per : int;    (** max subsections per section (0 = none) *)
+  paragraphs_per : int;     (** max paragraphs per (sub)section, ≥ 1 *)
+  sentences_per : int;      (** max sentences per paragraph, ≥ 1 *)
+  words_per : int;          (** max words per sentence, ≥ 3 *)
+  list_rate : float;        (** probability a block is a list instead of a paragraph *)
+  duplicate_rate : float;   (** probability a sentence is a near-copy of an earlier one *)
+}
+
+(** ≈ 20–60 sentences *)
+val small : profile
+
+(** ≈ 100–180 sentences *)
+val medium : profile
+
+(** ≈ 350–550 sentences *)
+val large : profile
+
+val generate :
+  Treediff_util.Prng.t -> Treediff_tree.Tree.gen -> profile -> Treediff_tree.Node.t
+(** A fresh random document tree. *)
+
+val sentence : Treediff_util.Prng.t -> int -> string
+(** A random sentence of at most the given word count (≥ 3). *)
+
+val vocabulary : string array
+(** The word pool sentences draw from (shared with the mutator so reworded
+    sentences stay in-distribution). *)

@@ -1,0 +1,241 @@
+module P = Treediff_util.Prng
+module Tree = Treediff_tree.Tree
+module Node = Treediff_tree.Node
+module Doc = Treediff_doc.Doc_tree
+
+type mix = {
+  sentence_update : float;
+  sentence_insert : float;
+  sentence_delete : float;
+  sentence_move : float;
+  paragraph_insert : float;
+  paragraph_delete : float;
+  paragraph_move : float;
+  section_shuffle : float;
+}
+
+(* Calibrated so the weighted/unweighted distance ratio e/d of detected
+   scripts lands in the ballpark the paper reports for real paper revisions
+   (≈ 3.4): authors move whole paragraphs and sections around, and each such
+   move carries weight |x| in e while costing a single operation in d. *)
+let revision_mix =
+  {
+    sentence_update = 0.26;
+    sentence_insert = 0.12;
+    sentence_delete = 0.09;
+    sentence_move = 0.08;
+    paragraph_insert = 0.05;
+    paragraph_delete = 0.04;
+    paragraph_move = 0.19;
+    section_shuffle = 0.17;
+  }
+
+let move_heavy_mix =
+  {
+    sentence_update = 0.10;
+    sentence_insert = 0.05;
+    sentence_delete = 0.05;
+    sentence_move = 0.40;
+    paragraph_insert = 0.03;
+    paragraph_delete = 0.02;
+    paragraph_move = 0.30;
+    section_shuffle = 0.05;
+  }
+
+type report = { applied : (string * int) list; actions : int }
+
+type action =
+  | Sentence_update
+  | Sentence_insert
+  | Sentence_delete
+  | Sentence_move
+  | Paragraph_insert
+  | Paragraph_delete
+  | Paragraph_move
+  | Section_shuffle
+
+let action_name = function
+  | Sentence_update -> "sentence-update"
+  | Sentence_insert -> "sentence-insert"
+  | Sentence_delete -> "sentence-delete"
+  | Sentence_move -> "sentence-move"
+  | Paragraph_insert -> "paragraph-insert"
+  | Paragraph_delete -> "paragraph-delete"
+  | Paragraph_move -> "paragraph-move"
+  | Section_shuffle -> "section-shuffle"
+
+let draw g mix =
+  let weighted =
+    [
+      (Sentence_update, mix.sentence_update);
+      (Sentence_insert, mix.sentence_insert);
+      (Sentence_delete, mix.sentence_delete);
+      (Sentence_move, mix.sentence_move);
+      (Paragraph_insert, mix.paragraph_insert);
+      (Paragraph_delete, mix.paragraph_delete);
+      (Paragraph_move, mix.paragraph_move);
+      (Section_shuffle, mix.section_shuffle);
+    ]
+  in
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 weighted in
+  let x = P.float g *. total in
+  let rec pick acc = function
+    | [ (a, _) ] -> a
+    | (a, w) :: rest -> if x < acc +. w then a else pick (acc +. w) rest
+    | [] -> assert false
+  in
+  pick 0.0 weighted
+
+let with_label l t =
+  List.filter (fun (n : Node.t) -> String.equal n.label l) (Node.preorder t)
+
+let pick_opt g = function [] -> None | l -> Some (P.pick g (Array.of_list l))
+
+(* Reword roughly a quarter of a sentence's words: stays within the leaf
+   matching threshold (criterion 1 with f = 0.5). *)
+let reword g s =
+  let words = String.split_on_char ' ' s in
+  let n = List.length words in
+  if n = 0 then s
+  else
+    let budget = max 1 (n / 4) in
+    let victims = Array.init n (fun i -> i) in
+    P.shuffle g victims;
+    let chosen = Array.sub victims 0 (min budget n) in
+    String.concat " "
+      (List.mapi
+         (fun i w -> if Array.exists (fun v -> v = i) chosen then P.pick g Docgen.vocabulary else w)
+         words)
+
+let block_containers t =
+  List.filter
+    (fun (n : Node.t) ->
+      List.mem n.label [ Doc.section; Doc.subsection; Doc.item ])
+    (Node.preorder t)
+
+(* Index among the container's children at which a paragraph-like block can
+   be inserted: before any subsections (sections keep blocks first). *)
+let block_slot g (container : Node.t) =
+  let children = Node.children container in
+  let nblocks =
+    List.length
+      (List.filter
+         (fun (c : Node.t) -> not (String.equal c.Node.label Doc.subsection))
+         children)
+  in
+  P.int g (nblocks + 1)
+
+let apply_action g gen t action =
+  match action with
+  | Sentence_update -> (
+    match pick_opt g (with_label Doc.sentence t) with
+    | Some s ->
+      s.Node.value <- reword g s.Node.value;
+      true
+    | None -> false)
+  | Sentence_insert -> (
+    match pick_opt g (with_label Doc.paragraph t) with
+    | Some p ->
+      Node.insert_child p
+        (P.int g (Node.child_count p + 1))
+        (Tree.leaf gen Doc.sentence (Docgen.sentence g 12));
+      true
+    | None -> false)
+  | Sentence_delete -> (
+    let candidates =
+      List.filter
+        (fun (s : Node.t) ->
+          match s.Node.parent with Some p -> Node.child_count p >= 2 | None -> false)
+        (with_label Doc.sentence t)
+    in
+    match pick_opt g candidates with
+    | Some s ->
+      Node.detach s;
+      true
+    | None -> false)
+  | Sentence_move -> (
+    match (pick_opt g (with_label Doc.sentence t), pick_opt g (with_label Doc.paragraph t)) with
+    | Some s, Some p when (match s.Node.parent with Some q -> Node.child_count q >= 2 | None -> false) ->
+      Node.detach s;
+      Node.insert_child p (P.int g (Node.child_count p + 1)) s;
+      true
+    | _ -> false)
+  | Paragraph_insert -> (
+    match pick_opt g (block_containers t) with
+    | Some c ->
+      let sentences = 1 + P.int g 4 in
+      let p =
+        Tree.node gen Doc.paragraph
+          (List.init sentences (fun _ -> Tree.leaf gen Doc.sentence (Docgen.sentence g 12)))
+      in
+      Node.insert_child c (block_slot g c) p;
+      true
+    | None -> false)
+  | Paragraph_delete -> (
+    let candidates =
+      List.filter
+        (fun (p : Node.t) ->
+          match p.Node.parent with Some q -> Node.child_count q >= 2 | None -> false)
+        (with_label Doc.paragraph t)
+    in
+    match pick_opt g candidates with
+    | Some p ->
+      Node.detach p;
+      true
+    | None -> false)
+  | Paragraph_move -> (
+    let paras =
+      List.filter
+        (fun (p : Node.t) ->
+          match p.Node.parent with Some q -> Node.child_count q >= 2 | None -> false)
+        (with_label Doc.paragraph t)
+    in
+    match pick_opt g paras with
+    | Some p -> (
+      let containers =
+        List.filter
+          (fun (c : Node.t) -> not (Node.is_ancestor p c) && c.Node.id <> p.Node.id)
+          (block_containers t)
+      in
+      match pick_opt g containers with
+      | Some c ->
+        Node.detach p;
+        Node.insert_child c (block_slot g c) p;
+        true
+      | None -> false)
+    | None -> false)
+  | Section_shuffle -> (
+    let sections = Node.children t in
+    let n = List.length sections in
+    if n < 2 then false
+    else begin
+      let i = P.int g (n - 1) in
+      let s = List.nth sections (i + 1) in
+      Node.detach s;
+      Node.insert_child t i s;
+      true
+    end)
+
+let mutate ?(mix = revision_mix) g gen doc ~actions =
+  let t = Tree.relabel_ids gen doc in
+  let tally = Hashtbl.create 8 in
+  let applied = ref 0 in
+  let attempts = ref 0 in
+  while !applied < actions && !attempts < actions * 20 do
+    incr attempts;
+    let action = draw g mix in
+    if apply_action g gen t action then begin
+      incr applied;
+      let name = action_name action in
+      Hashtbl.replace tally name ((try Hashtbl.find tally name with Not_found -> 0) + 1)
+    end
+  done;
+  let report =
+    {
+      applied =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally []
+        |> List.sort (fun (a, _) (b, _) -> compare a b);
+      actions = !applied;
+    }
+  in
+  (t, report)

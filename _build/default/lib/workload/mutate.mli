@@ -1,0 +1,40 @@
+(** Document-version mutator: derive a "new version" from an old one by a
+    calibrated mix of revision actions, simulating how authors edit papers.
+
+    The mutated tree is a fresh-identifier copy (the keyless scenario: node
+    identities never carry across versions).  The action tally is returned so
+    experiments can relate the {e applied} edit mix to the {e detected} edit
+    script. *)
+
+type mix = {
+  sentence_update : float;  (** reword part of a sentence (still matchable) *)
+  sentence_insert : float;
+  sentence_delete : float;
+  sentence_move : float;    (** within or across paragraphs *)
+  paragraph_insert : float;
+  paragraph_delete : float;
+  paragraph_move : float;   (** within or across sections *)
+  section_shuffle : float;  (** swap two adjacent sections *)
+}
+
+val revision_mix : mix
+(** Calibrated to paper revisions: mostly sentence updates and inserts,
+    occasional paragraph restructuring, rare section moves. *)
+
+val move_heavy_mix : mix
+(** Emphasises moves — for exercising the align/move phases. *)
+
+type report = { applied : (string * int) list; actions : int }
+
+val mutate :
+  ?mix:mix ->
+  Treediff_util.Prng.t ->
+  Treediff_tree.Tree.gen ->
+  Treediff_tree.Node.t ->
+  actions:int ->
+  Treediff_tree.Node.t * report
+(** [mutate g gen doc ~actions] applies [actions] random revision actions to
+    a fresh-id copy of [doc] and returns it with the tally.  The input tree
+    is not modified.  Actions that find no applicable target (e.g. deleting
+    from an empty document) are re-drawn, up to a bounded number of
+    attempts. *)

@@ -1,0 +1,77 @@
+module P = Treediff_util.Prng
+module Tree = Treediff_tree.Tree
+module Node = Treediff_tree.Node
+
+let random_labeled g gen ~max_depth ~max_width ~labels ~vocab =
+  let nlabels = Array.length labels in
+  let rec build depth =
+    let label = labels.(min depth (nlabels - 1)) in
+    let leaf = depth >= max_depth || (depth > 0 && P.chance g 0.2) in
+    if leaf then Tree.leaf gen label (Printf.sprintf "v%d" (P.int g vocab))
+    else
+      let width = 1 + P.int g max_width in
+      Tree.node gen label (List.init width (fun _ -> build (depth + 1)))
+  in
+  build 0
+
+let random_document g gen ~paragraphs ~vocab =
+  let para _ =
+    let ns = 1 + P.int g 5 in
+    Tree.node gen "P"
+      (List.init ns (fun _ -> Tree.leaf gen "S" (Printf.sprintf "s%d" (P.int g vocab))))
+  in
+  Tree.node gen "D" (List.init (max 1 paragraphs) para)
+
+let perturb g gen ?ops t =
+  let t = Tree.relabel_ids gen t in
+  let ops = match ops with Some n -> n | None -> 1 + P.int g 8 in
+  let nodes () = Node.preorder t in
+  let internals () = List.filter (fun n -> not (Node.is_leaf n)) (nodes ()) in
+  for _ = 1 to ops do
+    match P.int g 5 with
+    | 0 -> (
+      (* shuffle the children of a random internal node *)
+      match internals () with
+      | [] -> ()
+      | l ->
+        let n = P.pick g (Array.of_list l) in
+        let cs = Array.of_list (Node.children n) in
+        Array.iter Node.detach cs;
+        P.shuffle g cs;
+        Array.iter (Node.append_child n) cs)
+    | 1 -> (
+      (* move a random non-root subtree under another internal node *)
+      let candidates = List.filter (fun (n : Node.t) -> n.parent <> None) (nodes ()) in
+      match candidates with
+      | [] -> ()
+      | l -> (
+        let x = P.pick g (Array.of_list l) in
+        let dests =
+          List.filter
+            (fun (d : Node.t) -> d.id <> x.Node.id && not (Node.is_ancestor x d))
+            (internals ())
+        in
+        match dests with
+        | [] -> ()
+        | ds ->
+          let d = P.pick g (Array.of_list ds) in
+          Node.detach x;
+          Node.insert_child d (P.int g (Node.child_count d + 1)) x))
+    | 2 -> (
+      match Node.leaves t with
+      | [] -> ()
+      | ls -> (P.pick g (Array.of_list ls)).Node.value <- Printf.sprintf "upd%d" (P.int g 1000))
+    | 3 -> (
+      match internals () with
+      | [] -> ()
+      | is ->
+        let p = P.pick g (Array.of_list is) in
+        Node.insert_child p
+          (P.int g (Node.child_count p + 1))
+          (Tree.leaf gen "S" (Printf.sprintf "new%d" (P.int g 1000))))
+    | _ -> (
+      match List.filter (fun (l : Node.t) -> l.parent <> None) (Node.leaves t) with
+      | [] -> ()
+      | ls -> Node.detach (P.pick g (Array.of_list ls)))
+  done;
+  t

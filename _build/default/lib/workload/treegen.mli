@@ -1,0 +1,31 @@
+(** Generic random trees and perturbations — the raw material for property
+    tests, independent of the document schema. *)
+
+val random_labeled :
+  Treediff_util.Prng.t ->
+  Treediff_tree.Tree.gen ->
+  max_depth:int ->
+  max_width:int ->
+  labels:string array ->
+  vocab:int ->
+  Treediff_tree.Node.t
+(** A random tree; each node's label is drawn from [labels] (indexed by depth,
+    wrapping, so the acyclic-labels condition holds), values from a [vocab]-
+    sized pool (small pools produce duplicates — MC3 stress). *)
+
+val random_document :
+  Treediff_util.Prng.t ->
+  Treediff_tree.Tree.gen ->
+  paragraphs:int ->
+  vocab:int ->
+  Treediff_tree.Node.t
+(** Flat D/P/S document with values ["s<k>"] drawn from a [vocab]-sized pool. *)
+
+val perturb :
+  Treediff_util.Prng.t ->
+  Treediff_tree.Tree.gen ->
+  ?ops:int ->
+  Treediff_tree.Node.t ->
+  Treediff_tree.Node.t
+(** A fresh-id copy perturbed by random shuffles, subtree moves, leaf
+    updates, inserts and deletes — exercising every phase of EditScript. *)

@@ -1,0 +1,1 @@
+lib/zs/zhang_shasha.ml: Array Float Hashtbl List Queue String Treediff_matching Treediff_tree

@@ -1,0 +1,1 @@
+lib/zs/zhang_shasha.mli: Treediff_matching Treediff_tree

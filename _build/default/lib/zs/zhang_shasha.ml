@@ -1,0 +1,144 @@
+module Node = Treediff_tree.Node
+
+type cost = {
+  del : Node.t -> float;
+  ins : Node.t -> float;
+  rel : Node.t -> Node.t -> float;
+}
+
+let unit_cost =
+  {
+    del = (fun _ -> 1.0);
+    ins = (fun _ -> 1.0);
+    rel =
+      (fun a b ->
+        if String.equal a.Node.label b.Node.label && String.equal a.Node.value b.Node.value
+        then 0.0
+        else 1.0);
+  }
+
+(* Postorder view of a tree: nodes.(i) is the i-th node in postorder,
+   lml.(i) the postorder index of the leftmost leaf of i's subtree, and
+   keyroots the LR-keyroots in ascending order. *)
+type view = { nodes : Node.t array; lml : int array; keyroots : int list }
+
+let view t =
+  let nodes = Array.of_list (Node.postorder t) in
+  let pos = Hashtbl.create (Array.length nodes) in
+  Array.iteri (fun i (n : Node.t) -> Hashtbl.replace pos n.id i) nodes;
+  let lml = Array.make (Array.length nodes) 0 in
+  Array.iteri
+    (fun i (n : Node.t) ->
+      let rec leftmost (m : Node.t) =
+        match Node.children m with [] -> m | c :: _ -> leftmost c
+      in
+      lml.(i) <- Hashtbl.find pos (leftmost n).Node.id)
+    nodes;
+  (* Keyroots: the root plus every node with a left sibling; equivalently the
+     highest node of each distinct leftmost-leaf class. *)
+  let n = Array.length nodes in
+  let seen = Hashtbl.create 16 in
+  let keyroots = ref [] in
+  for i = n - 1 downto 0 do
+    if not (Hashtbl.mem seen lml.(i)) then begin
+      Hashtbl.replace seen lml.(i) ();
+      keyroots := i :: !keyroots
+    end
+  done;
+  { nodes; lml; keyroots = !keyroots }
+
+(* Forest distance for keyroot pair (i, j); fills the permanent treedist
+   table [td] for the subtree pairs this computation closes. *)
+let forest_dist cost v1 v2 td i j =
+  let li = v1.lml.(i) and lj = v2.lml.(j) in
+  let mi = i - li + 2 and mj = j - lj + 2 in
+  let fd = Array.make_matrix mi mj 0.0 in
+  for x = 1 to mi - 1 do
+    fd.(x).(0) <- fd.(x - 1).(0) +. cost.del v1.nodes.(li + x - 1)
+  done;
+  for y = 1 to mj - 1 do
+    fd.(0).(y) <- fd.(0).(y - 1) +. cost.ins v2.nodes.(lj + y - 1)
+  done;
+  for x = 1 to mi - 1 do
+    let nx = li + x - 1 in
+    for y = 1 to mj - 1 do
+      let ny = lj + y - 1 in
+      let del = fd.(x - 1).(y) +. cost.del v1.nodes.(nx) in
+      let ins = fd.(x).(y - 1) +. cost.ins v2.nodes.(ny) in
+      if v1.lml.(nx) = li && v2.lml.(ny) = lj then begin
+        let sub = fd.(x - 1).(y - 1) +. cost.rel v1.nodes.(nx) v2.nodes.(ny) in
+        fd.(x).(y) <- min del (min ins sub);
+        td.(nx).(ny) <- fd.(x).(y)
+      end
+      else begin
+        let px = v1.lml.(nx) - li and py = v2.lml.(ny) - lj in
+        let sub = fd.(px).(py) +. td.(nx).(ny) in
+        fd.(x).(y) <- min del (min ins sub)
+      end
+    done
+  done;
+  fd
+
+let treedist cost t1 t2 =
+  let v1 = view t1 and v2 = view t2 in
+  let n1 = Array.length v1.nodes and n2 = Array.length v2.nodes in
+  let td = Array.make_matrix n1 n2 infinity in
+  List.iter
+    (fun i -> List.iter (fun j -> ignore (forest_dist cost v1 v2 td i j)) v2.keyroots)
+    v1.keyroots;
+  (v1, v2, td)
+
+let distance ?(cost = unit_cost) t1 t2 =
+  let v1, v2, td = treedist cost t1 t2 in
+  td.(Array.length v1.nodes - 1).(Array.length v2.nodes - 1)
+
+type result = { dist : float; pairs : (Node.t * Node.t) list; relabels : int }
+
+let mapping ?(cost = unit_cost) t1 t2 =
+  let v1, v2, td = treedist cost t1 t2 in
+  let n1 = Array.length v1.nodes and n2 = Array.length v2.nodes in
+  let pairs = ref [] in
+  (* Backtrack through forest distances, spawning subtree subproblems at
+     cross-subtree substitutions (the classic ZS mapping recovery). *)
+  let todo = Queue.create () in
+  Queue.add (n1 - 1, n2 - 1) todo;
+  while not (Queue.is_empty todo) do
+    let i, j = Queue.take todo in
+    let li = v1.lml.(i) and lj = v2.lml.(j) in
+    let fd = forest_dist cost v1 v2 td i j in
+    let x = ref (i - li + 1) and y = ref (j - lj + 1) in
+    let eps = 1e-9 in
+    while !x > 0 || !y > 0 do
+      let nx = li + !x - 1 and ny = lj + !y - 1 in
+      if !x > 0 && Float.abs (fd.(!x).(!y) -. (fd.(!x - 1).(!y) +. cost.del v1.nodes.(nx))) < eps
+      then decr x
+      else if
+        !y > 0 && Float.abs (fd.(!x).(!y) -. (fd.(!x).(!y - 1) +. cost.ins v2.nodes.(ny))) < eps
+      then decr y
+      else if v1.lml.(nx) = li && v2.lml.(ny) = lj then begin
+        (* in-forest substitution: nx matches ny *)
+        pairs := (v1.nodes.(nx), v2.nodes.(ny)) :: !pairs;
+        decr x;
+        decr y
+      end
+      else begin
+        (* cross-subtree substitution: recurse into the subtree pair *)
+        Queue.add (nx, ny) todo;
+        x := v1.lml.(nx) - li;
+        y := v2.lml.(ny) - lj
+      end
+    done
+  done;
+  let relabels =
+    List.length (List.filter (fun (a, b) -> cost.rel a b > 0.0) !pairs)
+  in
+  { dist = td.(n1 - 1).(n2 - 1); pairs = !pairs; relabels }
+
+let to_matching ?(same_label_only = true) r =
+  let m = Treediff_matching.Matching.create () in
+  List.iter
+    (fun ((a : Node.t), (b : Node.t)) ->
+      if (not same_label_only) || String.equal a.label b.label then
+        Treediff_matching.Matching.add m a.id b.id)
+    r.pairs;
+  m

@@ -1,0 +1,40 @@
+(** The Zhang–Shasha ordered-tree edit-distance algorithm [ZS89] — the
+    general-purpose baseline the paper compares against (§2).
+
+    Edit model: node deletion (children are promoted to the deleted node's
+    parent), node insertion, and node relabeling — no moves.  It always finds
+    the minimum-cost mapping for that model, at O(n₁·n₂·min(depth,leaves)²)
+    time and O(n₁·n₂) space — at least quadratic in tree size, which is the
+    cost the paper's domain-aware algorithm avoids.
+
+    The recovered mapping can be filtered into a
+    {!Treediff_matching.Matching.t} and fed to the paper's EditScript
+    generator — the move-recovering post-processing route of [WZS95]
+    mentioned in §2. *)
+
+type cost = {
+  del : Treediff_tree.Node.t -> float;
+  ins : Treediff_tree.Node.t -> float;
+  rel : Treediff_tree.Node.t -> Treediff_tree.Node.t -> float;
+}
+
+val unit_cost : cost
+(** del = ins = 1; rel = 0 when label and value both agree, else 1. *)
+
+val distance : ?cost:cost -> Treediff_tree.Node.t -> Treediff_tree.Node.t -> float
+(** Minimum edit distance between the two trees. *)
+
+type result = {
+  dist : float;
+  pairs : (Treediff_tree.Node.t * Treediff_tree.Node.t) list;
+      (** matched node pairs of the optimal mapping, including relabels *)
+  relabels : int;  (** pairs with non-zero relabel cost *)
+}
+
+val mapping : ?cost:cost -> Treediff_tree.Node.t -> Treediff_tree.Node.t -> result
+(** Optimal mapping; [dist] equals {!distance} under the same cost. *)
+
+val to_matching : ?same_label_only:bool -> result -> Treediff_matching.Matching.t
+(** Convert a mapping into a matching.  [same_label_only] (default [true])
+    drops pairs whose labels differ, which the paper's edit model cannot
+    express (updates change values, never labels). *)

@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest Filename Fun Printf String Sys Treediff_tree

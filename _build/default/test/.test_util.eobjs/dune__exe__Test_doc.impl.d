@@ -1,0 +1,1 @@
+test/test_doc.ml: Alcotest List QCheck2 QCheck_alcotest String Treediff Treediff_doc Treediff_tree Treediff_util Treediff_workload

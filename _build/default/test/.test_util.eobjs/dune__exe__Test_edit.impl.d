@@ -1,0 +1,1 @@
+test/test_edit.ml: Alcotest List QCheck2 QCheck_alcotest String Treediff Treediff_edit Treediff_tree Treediff_util Treediff_workload

@@ -1,0 +1,1 @@
+test/test_lcs.ml: Alcotest Array Int List QCheck2 QCheck_alcotest String Treediff_lcs

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest List String Treediff Treediff_tree

@@ -1,0 +1,1 @@
+test/test_support.ml: Treediff_experiments

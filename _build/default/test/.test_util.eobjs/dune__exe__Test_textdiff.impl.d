@@ -1,0 +1,1 @@
+test/test_textdiff.ml: Alcotest Array Float List QCheck2 QCheck_alcotest String Treediff_textdiff Treediff_util

@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest Hashtbl List Printf QCheck2 QCheck_alcotest Treediff_tree Treediff_util

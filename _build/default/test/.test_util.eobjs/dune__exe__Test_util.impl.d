@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array List QCheck2 QCheck_alcotest String Treediff_util

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array List Printf QCheck2 QCheck_alcotest String Treediff_doc Treediff_textdiff Treediff_tree Treediff_util Treediff_workload

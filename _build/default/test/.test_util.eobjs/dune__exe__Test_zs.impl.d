@@ -1,0 +1,1 @@
+test/test_zs.ml: Alcotest Float Hashtbl List Option Printf QCheck2 QCheck_alcotest String Treediff_matching Treediff_tree Treediff_util Treediff_zs

@@ -1,0 +1,143 @@
+(* End-to-end tests of the command-line tools: real process invocations of
+   ladiff, treediff and gen_corpus, exercising file I/O, exit codes and the
+   composition diff -> ship -> apply.
+
+   The binaries are declared as dune deps of this test, and live at
+   ../bin/ relative to the test's cwd (_build/default/test). *)
+
+let bin name =
+  (* the binaries sit next to this test in the build tree: _build/default/bin *)
+  let dir = Filename.dirname Sys.executable_name in
+  Filename.concat dir (Filename.concat ".." (Filename.concat "bin" (name ^ ".exe")))
+
+let tmp_file contents =
+  let path = Filename.temp_file "treediff_cli" ".txt" in
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc contents);
+  path
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Run a command, capturing stdout; returns (exit_code, stdout). *)
+let run cmd =
+  let out = Filename.temp_file "treediff_out" ".txt" in
+  let code = Sys.command (Printf.sprintf "%s > %s 2>/dev/null" cmd out) in
+  let stdout = read_file out in
+  Sys.remove out;
+  (code, stdout)
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec loop i = i + m <= n && (String.sub s i m = sub || loop (i + 1)) in
+  m = 0 || loop 0
+
+let old_tex =
+  "\\section{Intro}\n\nAlpha beta gamma delta. Epsilon zeta eta theta.\n\
+   Moving target sentence here.\n"
+
+let new_tex =
+  "\\section{Intro}\n\nAlpha beta gamma delta. Brand new closing words. \
+   Epsilon zeta eta theta.\nMoving target sentence here.\n"
+
+let test_ladiff_latex () =
+  let o = tmp_file old_tex and n = tmp_file new_tex in
+  let code, out = run (Printf.sprintf "%s %s %s -m latex --check" (bin "ladiff") o n) in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "bold insert present" true
+    (contains ~sub:"\\textbf{Brand new closing words.}" out)
+
+let test_ladiff_modes () =
+  let o = tmp_file old_tex and n = tmp_file new_tex in
+  let code, summary = run (Printf.sprintf "%s %s %s -m summary" (bin "ladiff") o n) in
+  Alcotest.(check int) "summary exit 0" 0 code;
+  Alcotest.(check bool) "summary shape" true (contains ~sub:"inserted" summary);
+  let code, html = run (Printf.sprintf "%s %s %s -m html" (bin "ladiff") o n) in
+  Alcotest.(check int) "html exit 0" 0 code;
+  Alcotest.(check bool) "html doctype" true (contains ~sub:"<!DOCTYPE html>" html);
+  let code, script = run (Printf.sprintf "%s %s %s -m script" (bin "ladiff") o n) in
+  Alcotest.(check int) "script exit 0" 0 code;
+  Alcotest.(check bool) "script ops" true
+    (contains ~sub:"INS(" script || contains ~sub:"MOV(" script)
+
+let test_ladiff_bad_input () =
+  let o = tmp_file "\\begin{itemize} no item ever" and n = tmp_file "fine text.\n" in
+  let code, _ = run (Printf.sprintf "%s %s %s" (bin "ladiff") o n) in
+  Alcotest.(check bool) "nonzero exit on parse error" true (code <> 0)
+
+let test_treediff_roundtrip_sexp () =
+  let o = tmp_file {|(D (P (S "a") (S "b") (S "x")) (P (S "c")))|} in
+  let n = tmp_file {|(D (P (S "a") (S "x")) (P (S "c") (S "b")))|} in
+  let script = Filename.temp_file "script" ".txt" in
+  let code, _ =
+    run (Printf.sprintf "%s diff %s %s -m script -o %s" (bin "treediff_cli") o n script)
+  in
+  Alcotest.(check int) "diff exit 0" 0 code;
+  let code, out = run (Printf.sprintf "%s apply %s %s" (bin "treediff_cli") o script) in
+  Alcotest.(check int) "apply exit 0" 0 code;
+  (* the applied tree equals the new tree structurally *)
+  let gen = Treediff_tree.Tree.gen () in
+  let applied = Treediff_tree.Codec.parse gen out in
+  let expected = Treediff_tree.Codec.parse gen (read_file n) in
+  Alcotest.(check bool) "replay matches" true (Treediff_tree.Iso.equal applied expected)
+
+let test_treediff_xml () =
+  let o = tmp_file {|<r><a k="1">one two three</a><b>four five</b></r>|} in
+  let n = tmp_file {|<r><b>four five</b><a k="1">one two three</a></r>|} in
+  let code, out =
+    run (Printf.sprintf "%s diff %s %s -f xml -m stats" (bin "treediff_cli") o n)
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "stats show a move" true (contains ~sub:"mov 1" out)
+
+let test_treediff_zs_flag () =
+  let o = tmp_file {|(A (B "x"))|} and n = tmp_file {|(A (B "y"))|} in
+  let code, out =
+    run (Printf.sprintf "%s diff %s %s --zhang-shasha" (bin "treediff_cli") o n)
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "reports distance" true (contains ~sub:"zhang-shasha distance" out)
+
+let test_gen_corpus_pipeline () =
+  let prefix = Filename.temp_file "corpus" "" in
+  let code, out =
+    run
+      (Printf.sprintf "%s --size small --versions 2 --seed 7 -o %s" (bin "gen_corpus")
+         prefix)
+  in
+  Alcotest.(check int) "gen exit 0" 0 code;
+  Alcotest.(check bool) "reports files" true (contains ~sub:"sentences" out);
+  let v0 = prefix ^ ".v0.tex" and v1 = prefix ^ ".v1.tex" in
+  Alcotest.(check bool) "files exist" true (Sys.file_exists v0 && Sys.file_exists v1);
+  let code, summary = run (Printf.sprintf "%s %s %s -m summary --check" (bin "ladiff") v0 v1) in
+  Alcotest.(check int) "ladiff over generated corpus" 0 code;
+  Alcotest.(check bool) "non-empty delta" true (not (contains ~sub:"0 inserted, 0 deleted, 0 updated, 0 moved" summary))
+
+let test_experiments_help () =
+  let code, out = run (Printf.sprintf "%s --help=plain" (bin "experiments")) in
+  Alcotest.(check int) "help exit 0" 0 code;
+  Alcotest.(check bool) "mentions experiments" true (contains ~sub:"EXPERIMENT" out)
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "ladiff",
+        [
+          Alcotest.test_case "latex mode with check" `Quick test_ladiff_latex;
+          Alcotest.test_case "summary/html/script modes" `Quick test_ladiff_modes;
+          Alcotest.test_case "parse errors exit nonzero" `Quick test_ladiff_bad_input;
+        ] );
+      ( "treediff",
+        [
+          Alcotest.test_case "diff/apply round-trip" `Quick test_treediff_roundtrip_sexp;
+          Alcotest.test_case "xml input" `Quick test_treediff_xml;
+          Alcotest.test_case "zhang-shasha flag" `Quick test_treediff_zs_flag;
+        ] );
+      ( "gen-corpus",
+        [ Alcotest.test_case "generate then ladiff" `Quick test_gen_corpus_pipeline ] );
+      ( "experiments",
+        [ Alcotest.test_case "help" `Quick test_experiments_help ] );
+    ]

@@ -1,0 +1,298 @@
+(* Tests for Treediff.Delta — delta trees (§6). *)
+
+module Node = Treediff_tree.Node
+module Tree = Treediff_tree.Tree
+module Codec = Treediff_tree.Codec
+module Delta = Treediff.Delta
+module Diff = Treediff.Diff
+module P = Treediff_util.Prng
+
+let diff_pair a b =
+  let gen = Tree.gen () in
+  let t1 = Codec.parse gen a and t2 = Codec.parse gen b in
+  (t1, t2, Diff.diff t1 t2)
+
+(* The delta tree with ghosts stripped must mirror T2 exactly. *)
+let rec matches_tree (d : Delta.t) (t : Node.t) =
+  String.equal d.Delta.label t.Node.label
+  && String.equal d.Delta.value t.Node.value
+  && List.length d.Delta.children = Node.child_count t
+  && List.for_all2 matches_tree d.Delta.children (Node.children t)
+
+let test_strip_matches_new_tree () =
+  let _, t2, r = diff_pair {|(D (P (S "a") (S "b")) (P (S "c")))|}
+      {|(D (P (S "c")) (P (S "a") (S "x")))|}
+  in
+  match Delta.strip r.Diff.delta with
+  | Some stripped -> Alcotest.(check bool) "stripped = T2" true (matches_tree stripped t2)
+  | None -> Alcotest.fail "root stripped away"
+
+let test_counts_match_script () =
+  let t1, _, r = diff_pair {|(D (P (S "a") (S "b")) (P (S "c")))|}
+      {|(D (P (S "c")) (P (S "a") (S "x")))|}
+  in
+  ignore t1;
+  let ins, _del_ghosts, upd, mov = Delta.counts r.Diff.delta in
+  let m = r.Diff.measure in
+  Alcotest.(check int) "inserted nodes" m.Treediff_edit.Script.inserts ins;
+  Alcotest.(check int) "updates" m.Treediff_edit.Script.updates upd;
+  Alcotest.(check int) "moves annotated" m.Treediff_edit.Script.moves mov
+
+let test_identical_all_idn () =
+  let _, _, r = diff_pair {|(D (P (S "a")))|} {|(D (P (S "a")))|} in
+  let rec all_idn (d : Delta.t) =
+    d.Delta.base = Delta.Identical && d.Delta.moved = None
+    && List.for_all all_idn d.Delta.children
+  in
+  Alcotest.(check bool) "all identical" true (all_idn r.Diff.delta)
+
+let test_update_carries_old_value () =
+  let gen = Tree.gen () in
+  let t1 = Codec.parse gen {|(D (S "old"))|} in
+  let t2 = Codec.parse gen {|(D (S "new"))|} in
+  let m = Treediff_matching.Matching.create () in
+  Treediff_matching.Matching.add m t1.Node.id t2.Node.id;
+  Treediff_matching.Matching.add m (Node.child t1 0).Node.id (Node.child t2 0).Node.id;
+  let r = Diff.diff_with_matching ~matching:m t1 t2 in
+  match r.Diff.delta.Delta.children with
+  | [ { Delta.base = Delta.Updated old; value; _ } ] ->
+    Alcotest.(check string) "old value kept" "old" old;
+    Alcotest.(check string) "new value shown" "new" value
+  | _ -> Alcotest.fail "expected one updated child"
+
+let test_deleted_ghost_at_old_position () =
+  let _, _, r = diff_pair {|(D (S "a") (S "dead") (S "b"))|} {|(D (S "a") (S "b"))|} in
+  (match r.Diff.delta.Delta.children with
+  | [ a; ghost; b ] ->
+    Alcotest.(check string) "kept a" "a" a.Delta.value;
+    Alcotest.(check bool) "ghost marks deletion" true (ghost.Delta.base = Delta.Deleted);
+    Alcotest.(check string) "ghost value" "dead" ghost.Delta.value;
+    Alcotest.(check string) "kept b" "b" b.Delta.value
+  | l -> Alcotest.failf "expected 3 children, got %d" (List.length l));
+  let ins, del, upd, mov = Delta.counts r.Diff.delta in
+  Alcotest.(check (list int)) "counts" [ 0; 1; 0; 0 ] [ ins; del; upd; mov ]
+
+let test_deleted_subtree_is_one_ghost () =
+  let _, _, r =
+    diff_pair
+      {|(D (P (S "x") (S "y")) (P (S "k") (S "j") (S "l") (S "m")))|}
+      {|(D (P (S "k") (S "j") (S "l") (S "m")))|}
+  in
+  let _, del, _, _ = Delta.counts r.Diff.delta in
+  Alcotest.(check int) "one ghost root for the subtree" 1 del;
+  match r.Diff.delta.Delta.children with
+  | [ ghost; _kept ] ->
+    Alcotest.(check bool) "ghost is deleted paragraph" true
+      (ghost.Delta.base = Delta.Deleted && ghost.Delta.label = "P");
+    Alcotest.(check int) "ghost keeps its sentences" 2 (List.length ghost.Delta.children)
+  | l -> Alcotest.failf "expected 2 children, got %d" (List.length l)
+
+let test_move_markers_pair_up () =
+  let _, _, r =
+    diff_pair
+      {|(D (P (S "m") (S "a") (S "a2")) (P (S "b") (S "b2")))|}
+      {|(D (P (S "a") (S "a2")) (P (S "b") (S "b2") (S "m")))|}
+  in
+  (* collect marker ids on ghosts and on moved nodes *)
+  let markers = ref [] and moved = ref [] in
+  let rec walk (d : Delta.t) =
+    (match (d.Delta.base, d.Delta.moved) with
+    | Delta.Marker, Some k -> markers := k :: !markers
+    | Delta.Marker, None -> Alcotest.fail "marker without number"
+    | _, Some k -> moved := k :: !moved
+    | _, None -> ());
+    List.iter walk d.Delta.children
+  in
+  walk r.Diff.delta;
+  Alcotest.(check (list int)) "every move has its marker" (List.sort compare !moved)
+    (List.sort compare !markers);
+  Alcotest.(check bool) "at least one move" true (!moved <> [])
+
+let test_moved_and_updated_at_once () =
+  (* the Appendix A case: a sentence moves and is reworded simultaneously *)
+  let gen = Tree.gen () in
+  let t1 = Codec.parse gen {|(D (P (S "victim") (S "a")) (P (S "b")))|} in
+  let t2 = Codec.parse gen {|(D (P (S "a")) (P (S "b") (S "victim2")))|} in
+  let m = Treediff_matching.Matching.create () in
+  let s t i j = (Node.child (Node.child t i) j).Node.id in
+  let p t i = (Node.child t i).Node.id in
+  Treediff_matching.Matching.add m t1.Node.id t2.Node.id;
+  Treediff_matching.Matching.add m (p t1 0) (p t2 0);
+  Treediff_matching.Matching.add m (p t1 1) (p t2 1);
+  Treediff_matching.Matching.add m (s t1 0 0) (s t2 1 1);
+  (* victim -> victim2, across parents *)
+  Treediff_matching.Matching.add m (s t1 0 1) (s t2 0 0);
+  Treediff_matching.Matching.add m (s t1 1 0) (s t2 1 0);
+  let r = Diff.diff_with_matching ~matching:m t1 t2 in
+  let found = ref false in
+  let rec walk (d : Delta.t) =
+    (match (d.Delta.base, d.Delta.moved) with
+    | Delta.Updated old, Some _ when d.Delta.value = "victim2" ->
+      Alcotest.(check string) "old value" "victim" old;
+      found := true
+    | _ -> ());
+    List.iter walk d.Delta.children
+  in
+  walk r.Diff.delta;
+  Alcotest.(check bool) "moved+updated annotation present" true !found
+
+let test_pp_smoke () =
+  let _, _, r = diff_pair {|(D (S "a"))|} {|(D (S "a") (S "b"))|} in
+  let s = Delta.to_string r.Diff.delta in
+  Alcotest.(check bool) "mentions ins" true
+    (String.length s > 0
+    &&
+    let rec contains i =
+      i + 5 <= String.length s && (String.sub s i 5 = "[ins]" || contains (i + 1))
+    in
+    contains 0)
+
+let test_to_new_tree () =
+  let _, t2, r = diff_pair {|(D (P (S "a") (S "b") (S "m")) (P (S "c")))|}
+      {|(D (P (S "c") (S "m")) (P (S "a") (S "x")))|}
+  in
+  let rebuilt = Delta.to_new_tree (Tree.gen ()) r.Diff.delta in
+  Alcotest.(check bool) "rebuilt tree isomorphic to T2" true
+    (Treediff_tree.Iso.equal rebuilt t2)
+
+(* A delta round-tripped through Delta_io still materializes the new tree:
+   the delta is a complete exchange format. *)
+let exchange_format_prop =
+  QCheck2.Test.make ~name:"serialized delta materializes the new tree" ~count:60
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let g = P.create seed in
+      let gen = Tree.gen () in
+      let t1 =
+        Treediff_workload.Treegen.random_document g gen ~paragraphs:(1 + P.int g 5)
+          ~vocab:(10 + P.int g 60)
+      in
+      let t2 = Treediff_workload.Treegen.perturb g gen t1 in
+      let r = Diff.diff t1 t2 in
+      let shipped = Treediff.Delta_io.to_string r.Diff.delta in
+      let received = Treediff.Delta_io.of_string shipped in
+      Treediff_tree.Iso.equal (Delta.to_new_tree (Tree.gen ()) received) t2)
+
+(* -------------------------------------------------------------- delta_io *)
+
+module Delta_io = Treediff.Delta_io
+
+let rec delta_equal (a : Delta.t) (b : Delta.t) =
+  a.Delta.label = b.Delta.label
+  && a.Delta.value = b.Delta.value
+  && a.Delta.base = b.Delta.base
+  && a.Delta.moved = b.Delta.moved
+  && List.length a.Delta.children = List.length b.Delta.children
+  && List.for_all2 delta_equal a.Delta.children b.Delta.children
+
+let test_delta_io_roundtrip () =
+  let _, _, r = diff_pair {|(D (P (S "m") (S "a") (S "a2")) (P (S "b") (S "b2")))|}
+      {|(D (P (S "a") (S "a2")) (P (S "b") (S "b2") (S "m") (S "fresh")))|}
+  in
+  let d = r.Diff.delta in
+  let s = Delta_io.to_string d in
+  let d' = Delta_io.of_string s in
+  Alcotest.(check bool) "round-trip" true (delta_equal d d');
+  (* and the serialized form is stable *)
+  Alcotest.(check string) "stable" s (Delta_io.to_string d')
+
+let test_delta_io_tricky_values () =
+  let d =
+    {
+      Delta.label = "S";
+      value = "quote \" slash \\ newline\n tab\t end";
+      base = Delta.Updated "old \"v\"";
+      moved = Some 3;
+      children = [];
+    }
+  in
+  Alcotest.(check bool) "tricky values round-trip" true
+    (delta_equal d (Delta_io.of_string (Delta_io.to_string d)))
+
+let test_delta_io_errors () =
+  let fails s =
+    match Delta_io.of_string s with
+    | exception Delta_io.Parse_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "empty" true (fails "");
+  Alcotest.(check bool) "unbalanced" true (fails "(D");
+  Alcotest.(check bool) "bad annotation" true (fails "(D [bogus])");
+  Alcotest.(check bool) "mov without number" true (fails "(D [mov])");
+  Alcotest.(check bool) "trailing" true (fails "(D) junk")
+
+let delta_io_roundtrip_prop =
+  QCheck2.Test.make ~name:"delta_io round-trips generated deltas" ~count:80
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let g = P.create seed in
+      let gen = Tree.gen () in
+      let t1 =
+        Treediff_workload.Treegen.random_document g gen ~paragraphs:(1 + P.int g 5)
+          ~vocab:(10 + P.int g 50)
+      in
+      let t2 = Treediff_workload.Treegen.perturb g gen t1 in
+      let r = Diff.diff t1 t2 in
+      let d = r.Diff.delta in
+      delta_equal d (Delta_io.of_string (Delta_io.to_string d)))
+
+(* Property: stripping the delta always reproduces T2 (labels and values),
+   and every moved annotation has a matching marker. *)
+let delta_consistency_prop =
+  QCheck2.Test.make ~name:"delta strips to T2; markers pair up" ~count:150
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let g = P.create seed in
+      let gen = Tree.gen () in
+      let t1 =
+        Treediff_workload.Treegen.random_document g gen
+          ~paragraphs:(1 + P.int g 6) ~vocab:(10 + P.int g 60)
+      in
+      let t2 = Treediff_workload.Treegen.perturb g gen t1 in
+      let r = Diff.diff t1 t2 in
+      let stripped_ok =
+        match Delta.strip r.Diff.delta with
+        | Some s -> matches_tree s t2
+        | None -> false
+      in
+      let markers = ref [] and moved = ref [] in
+      let rec walk (d : Delta.t) =
+        (match (d.Delta.base, d.Delta.moved) with
+        | Delta.Marker, Some k -> markers := k :: !markers
+        | Delta.Marker, None -> ()
+        | _, Some k -> moved := k :: !moved
+        | _, None -> ());
+        List.iter walk d.Delta.children
+      in
+      walk r.Diff.delta;
+      stripped_ok && List.sort compare !markers = List.sort compare !moved)
+
+let () =
+  Alcotest.run "delta"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "strip matches new tree" `Quick test_strip_matches_new_tree;
+          Alcotest.test_case "counts match script" `Quick test_counts_match_script;
+          Alcotest.test_case "identical trees all IDN" `Quick test_identical_all_idn;
+          Alcotest.test_case "update carries old value" `Quick test_update_carries_old_value;
+          Alcotest.test_case "deleted ghost at old position" `Quick
+            test_deleted_ghost_at_old_position;
+          Alcotest.test_case "deleted subtree is one ghost" `Quick
+            test_deleted_subtree_is_one_ghost;
+          Alcotest.test_case "move markers pair up" `Quick test_move_markers_pair_up;
+          Alcotest.test_case "moved and updated at once" `Quick
+            test_moved_and_updated_at_once;
+          Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
+          Alcotest.test_case "to_new_tree" `Quick test_to_new_tree;
+          QCheck_alcotest.to_alcotest exchange_format_prop;
+        ] );
+      ( "delta-io",
+        [
+          Alcotest.test_case "round-trip" `Quick test_delta_io_roundtrip;
+          Alcotest.test_case "tricky values" `Quick test_delta_io_tricky_values;
+          Alcotest.test_case "parse errors" `Quick test_delta_io_errors;
+          QCheck_alcotest.to_alcotest delta_io_roundtrip_prop;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest delta_consistency_prop ]);
+    ]

@@ -1,0 +1,191 @@
+(* Tests for Treediff_experiments: the measurement harness is consistent,
+   the analytic bound really bounds the measurement, the Table 1 counter is
+   monotone, and the sample run exercises every Table 2 convention.
+
+   The full corpora are used sparingly (they cost seconds); most checks run
+   on one small pair. *)
+
+module Node = Treediff_tree.Node
+module Tree = Treediff_tree.Tree
+module E = Treediff_experiments
+module Measure = Treediff_experiments.Measure
+module Docgen = Treediff_workload.Docgen
+module Mutate = Treediff_workload.Mutate
+module P = Treediff_util.Prng
+
+let small_pair seed actions =
+  let g = P.create seed in
+  let gen = Tree.gen () in
+  let t1 = Docgen.generate g gen Docgen.small in
+  let t2, _ = Mutate.mutate g gen t1 ~actions in
+  (t1, t2)
+
+let test_measure_row_consistency () =
+  let t1, t2 = small_pair 61 8 in
+  let row, result = Measure.pair t1 t2 in
+  Alcotest.(check int) "d = script length" (List.length result.Treediff.Diff.script)
+    row.Measure.d;
+  Alcotest.(check int) "n = total leaves"
+    (List.length (Node.leaves t1) + List.length (Node.leaves t2))
+    row.Measure.n;
+  Alcotest.(check bool) "comparisons positive" true (Measure.comparisons row > 0);
+  Alcotest.(check int) "ops decompose" row.Measure.d
+    (row.Measure.inserts + row.Measure.deletes + row.Measure.updates + row.Measure.moves)
+
+let test_analytic_bound_holds () =
+  (* The §5.3 bound must dominate the measured comparison count whenever
+     there are edits (e > 0). *)
+  List.iter
+    (fun seed ->
+      let t1, t2 = small_pair seed 10 in
+      let row, _ = Measure.pair t1 t2 in
+      if row.Measure.e > 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "bound >= measured (seed %d)" seed)
+          true
+          (Measure.analytic_bound row >= Measure.comparisons row))
+    [ 71; 72; 73; 74; 75 ]
+
+let test_table1_monotone () =
+  let data = E.Table1.compute ~duplicate_rate:0.05 () in
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+      a.E.Table1.mismatch_bound_pct <= b.E.Table1.mismatch_bound_pct +. 1e-9
+      && monotone rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "monotone in t" true (monotone data.E.Table1.rows);
+  Alcotest.(check int) "six thresholds" 6 (List.length data.E.Table1.rows);
+  Alcotest.(check bool) "duplicates produce violations" true
+    (data.E.Table1.violating_leaf_pct > 0.0)
+
+let test_table1_clean_corpus_low () =
+  (* Without injected duplicates, accidental near-duplicate sentences are
+     rare (this is the paper's observation that MC3 holds in practice), so
+     the mismatch bound stays small even at t = 1. *)
+  let data = E.Table1.compute ~duplicate_rate:0.0 () in
+  Alcotest.(check bool) "few accidental violations" true
+    (data.E.Table1.violating_leaf_pct < 2.0);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bound small at t=%.1f" r.E.Table1.t)
+        true
+        (r.E.Table1.mismatch_bound_pct < 5.0))
+    data.E.Table1.rows
+
+let test_sample_run_conventions () =
+  let data = E.Sample_run.compute () in
+  List.iter
+    (fun (name, seen) ->
+      Alcotest.(check bool) (Printf.sprintf "convention %S exercised" name) true seen)
+    data.E.Sample_run.conventions_seen;
+  (* the sample run's script verifies *)
+  let out = data.E.Sample_run.output in
+  Alcotest.(check bool) "sample script verifies" true
+    (Treediff.Diff.check out.Treediff_doc.Ladiff.result
+       ~t1:out.Treediff_doc.Ladiff.old_tree ~t2:out.Treediff_doc.Ladiff.new_tree
+    = Ok ())
+
+let test_sample_run_finds_moves_and_updates () =
+  let data = E.Sample_run.compute () in
+  let m = data.E.Sample_run.output.Treediff_doc.Ladiff.result.Treediff.Diff.measure in
+  Alcotest.(check bool) "moves found" true (m.Treediff_edit.Script.moves >= 2);
+  Alcotest.(check bool) "updates found" true (m.Treediff_edit.Script.updates >= 2);
+  Alcotest.(check bool) "inserts found" true (m.Treediff_edit.Script.inserts >= 1)
+
+let test_structural_lower_bound_function () =
+  let t1, t2 = small_pair 83 6 in
+  let _, result = Measure.pair t1 t2 in
+  let structural =
+    List.length (List.filter Treediff_edit.Op.is_structural result.Treediff.Diff.script)
+  in
+  (* root pair matched here (clean small pair), so the bound applies directly *)
+  if result.Treediff.Diff.dummy = None then
+    Alcotest.(check int) "script meets C.2 bound" structural
+      (E.Optimality.structural_lower_bound ~matching:result.Treediff.Diff.matching t1 t2)
+
+let test_scaling_smoke () =
+  let data = E.Scaling.compute ~zs_cutoff:60 ~sizes:[ 40; 80 ] () in
+  Alcotest.(check int) "two points" 2 (List.length data.E.Scaling.points);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "comparisons measured" true (p.E.Scaling.fast_comparisons > 0))
+    data.E.Scaling.points
+
+let test_quality_smoke () =
+  let data = E.Quality.compute () in
+  let find name =
+    List.find (fun s -> s.E.Quality.name = name) data.E.Quality.scenarios
+  in
+  let para = find "move 1 paragraph" in
+  Alcotest.(check int) "paragraph move is one op" 1 para.E.Quality.ours_ops;
+  Alcotest.(check int) "and it is a move" 1 para.E.Quality.ours_moves;
+  Alcotest.(check bool) "flat diff reports lines instead" true
+    (para.E.Quality.flat_deleted_lines >= 1 && para.E.Quality.flat_inserted_lines >= 1);
+  let upd = find "update 3 sentences" in
+  Alcotest.(check int) "updates detected as updates" 3 upd.E.Quality.ours_updates;
+  Alcotest.(check int) "no structural ops for updates" 0
+    (upd.E.Quality.ours_ins_del + upd.E.Quality.ours_moves)
+
+(* The two §5.3 bound components hold separately: r1 ≤ ne + e² leaf compares
+   and r2 ≤ 2lne partner checks. *)
+let split_bounds_prop =
+  QCheck2.Test.make ~name:"r1 <= ne+e^2 and r2 <= 2lne separately" ~count:40
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let g = Treediff_util.Prng.create seed in
+      let gen = Tree.gen () in
+      let t1 = Docgen.generate g gen Docgen.small in
+      let t2, _ = Mutate.mutate g gen t1 ~actions:(1 + Treediff_util.Prng.int g 12) in
+      let row, _ = Measure.pair t1 t2 in
+      let n = row.Measure.n and e = row.Measure.e and l = row.Measure.l in
+      e = 0
+      || (row.Measure.leaf_compares <= (n * e) + (e * e)
+         && row.Measure.partner_checks <= 2 * l * n * e))
+
+let test_ablation_curves () =
+  let data = E.Ablation.compute () in
+  (* threshold sweep: matched pairs decrease and cost increases with t *)
+  let rec pairs_monotone = function
+    | (a : E.Ablation.threshold_row) :: (b :: _ as rest) ->
+      a.E.Ablation.matched_pairs >= b.E.Ablation.matched_pairs && pairs_monotone rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "matched pairs decrease with t" true
+    (pairs_monotone data.E.Ablation.thresholds);
+  (match (data.E.Ablation.thresholds, List.rev data.E.Ablation.thresholds) with
+  | lo :: _, hi :: _ ->
+    Alcotest.(check bool) "t=0.5 at most as dear as t=1.0" true
+      (lo.E.Ablation.cost <= hi.E.Ablation.cost)
+  | _ -> Alcotest.fail "empty sweep");
+  (* A(k): the full scan is at most as dear as the LCS-only matcher *)
+  let find k = List.find (fun (r : E.Ablation.window_row) -> r.E.Ablation.k = k) data.E.Ablation.windows in
+  Alcotest.(check bool) "k=inf cost <= k=0 cost" true
+    ((find "inf").E.Ablation.cost <= (find "0").E.Ablation.cost)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "measure",
+        [
+          Alcotest.test_case "row consistency" `Quick test_measure_row_consistency;
+          Alcotest.test_case "analytic bound holds" `Quick test_analytic_bound_holds;
+          QCheck_alcotest.to_alcotest split_bounds_prop;
+        ] );
+      ( "table1",
+        [
+          Alcotest.test_case "monotone in t" `Slow test_table1_monotone;
+          Alcotest.test_case "clean corpus stays low" `Slow test_table1_clean_corpus_low;
+        ] );
+      ( "sample-run",
+        [
+          Alcotest.test_case "conventions exercised" `Quick test_sample_run_conventions;
+          Alcotest.test_case "changes detected" `Quick test_sample_run_finds_moves_and_updates;
+        ] );
+      ( "optimality",
+        [ Alcotest.test_case "lower bound function" `Quick test_structural_lower_bound_function ] );
+      ( "scaling", [ Alcotest.test_case "smoke" `Slow test_scaling_smoke ] );
+      ( "ablation", [ Alcotest.test_case "tradeoff curves" `Slow test_ablation_curves ] );
+      ( "quality", [ Alcotest.test_case "ground-truth scenarios" `Slow test_quality_smoke ] );
+    ]

@@ -1,0 +1,186 @@
+(* Cross-module integration tests: the [WZS95] hybrid (Zhang-Shasha mapping
+   fed into the paper's EditScript), keyed + value matching on documents,
+   HTML end-to-end, and whole-pipeline consistency between representations. *)
+
+module Node = Treediff_tree.Node
+module Tree = Treediff_tree.Tree
+module Iso = Treediff_tree.Iso
+module Codec = Treediff_tree.Codec
+module Diff = Treediff.Diff
+module ZS = Treediff_zs.Zhang_shasha
+module P = Treediff_util.Prng
+
+(* -------------------------------------------------- ZS + moves hybrid *)
+
+(* A Zhang-Shasha mapping (filtered to equal labels) is a valid matching for
+   EditScript — the post-processing route §2 attributes to [WZS95]. *)
+let zs_hybrid_prop =
+  QCheck2.Test.make ~name:"ZS mapping -> EditScript is correct" ~count:80
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let g = P.create seed in
+      let gen = Tree.gen () in
+      let t1 =
+        Treediff_workload.Treegen.random_labeled g gen ~max_depth:4 ~max_width:3
+          ~labels:[| "R"; "A"; "B"; "S" |] ~vocab:6
+      in
+      let t2 = Treediff_workload.Treegen.perturb g gen t1 in
+      let zs = ZS.mapping t1 t2 in
+      let matching = ZS.to_matching zs in
+      let r = Diff.diff_with_matching ~matching t1 t2 in
+      Diff.check r ~t1 ~t2 = Ok ())
+
+let test_zs_hybrid_move_detection () =
+  (* A large subtree B moves from under A to under C.  A ZS mapping cannot
+     keep both (A,A) and (B,B) — the ancestor condition forbids it — so the
+     optimal mapping sacrifices the cheap A pair and keeps the 5-node B
+     subtree mapped across parents.  Fed into EditScript, that cross-parent
+     pair becomes a single MOV: the [WZS95] "add moves in post-processing"
+     route. *)
+  let gen = Tree.gen () in
+  let t1 =
+    Codec.parse gen {|(R (A (B (S "x") (S "y") (S "z") (S "w"))) (C (S "k")))|}
+  in
+  let t2 =
+    Codec.parse gen {|(R (A) (C (B (S "x") (S "y") (S "z") (S "w")) (S "k")))|}
+  in
+  let zs = ZS.mapping t1 t2 in
+  let r = Diff.diff_with_matching ~matching:(ZS.to_matching zs) t1 t2 in
+  Alcotest.(check bool) "hybrid emits a move" true
+    (List.exists
+       (function Treediff_edit.Op.Move _ -> true | _ -> false)
+       r.Diff.script);
+  Alcotest.(check bool) "hybrid correct" true (Diff.check r ~t1 ~t2 = Ok ())
+
+(* ---------------------------------------------- keyed + value matching *)
+
+let test_keyed_then_fastmatch_document () =
+  (* Sections carry stable keys in their headings; sentences are keyless. *)
+  let gen = Tree.gen () in
+  let t1 =
+    Codec.parse gen
+      {|(Document (Section "sec:intro" (Paragraph (Sentence "alpha beta gamma")))
+                  (Section "sec:eval" (Paragraph (Sentence "delta epsilon"))))|}
+  in
+  let t2 =
+    Codec.parse gen
+      {|(Document (Section "sec:eval" (Paragraph (Sentence "delta epsilon")))
+                  (Section "sec:intro" (Paragraph (Sentence "alpha beta gamma zeta"))))|}
+  in
+  let key (n : Node.t) =
+    if String.equal n.Node.label "Section" then Some n.Node.value else None
+  in
+  let seeded = Treediff_matching.Keyed.run ~key ~t1 ~t2 in
+  Alcotest.(check int) "both sections keyed" 2
+    (Treediff_matching.Matching.cardinal seeded);
+  let criteria =
+    Treediff_matching.Criteria.make ~leaf_f:0.5
+      ~compare:Treediff_textdiff.Word_compare.distance ()
+  in
+  let ctx = Treediff_matching.Criteria.ctx criteria ~t1 ~t2 in
+  let matching = Treediff_matching.Fast_match.run ~init:seeded ctx in
+  let r =
+    Diff.diff_with_matching
+      ~config:(Treediff.Config.with_criteria criteria) ~matching t1 t2
+  in
+  Alcotest.(check bool) "correct" true (Diff.check r ~t1 ~t2 = Ok ());
+  (* swapped sections: one intra-parent move, one sentence update *)
+  let m = r.Diff.measure in
+  Alcotest.(check int) "one move" 1 m.Treediff_edit.Script.moves;
+  Alcotest.(check int) "one update" 1 m.Treediff_edit.Script.updates;
+  Alcotest.(check int) "nothing rebuilt" 0
+    (m.Treediff_edit.Script.inserts + m.Treediff_edit.Script.deletes)
+
+(* --------------------------------------------------- html end to end *)
+
+let test_html_pipeline_with_moves () =
+  let old_src =
+    "<h1>News</h1><p>First item of news. Second item follows.</p>\
+     <ul><li>Point alpha beta.</li><li>Point gamma delta.</li></ul>"
+  in
+  let new_src =
+    "<h1>News</h1><p>Second item follows. First item of news.</p>\
+     <ul><li>Point gamma delta.</li><li>Point alpha beta.</li></ul>"
+  in
+  let out = Treediff_doc.Ladiff.run ~format:Treediff_doc.Ladiff.Html ~old_src ~new_src () in
+  let r = out.Treediff_doc.Ladiff.result in
+  Alcotest.(check bool) "verifies" true
+    (Diff.check r ~t1:out.Treediff_doc.Ladiff.old_tree ~t2:out.Treediff_doc.Ladiff.new_tree
+    = Ok ());
+  (* pure reorders: only moves, no insert/delete/update *)
+  let m = r.Diff.measure in
+  Alcotest.(check int) "no inserts" 0 m.Treediff_edit.Script.inserts;
+  Alcotest.(check int) "no deletes" 0 m.Treediff_edit.Script.deletes;
+  Alcotest.(check bool) "moves detected" true (m.Treediff_edit.Script.moves >= 2)
+
+(* ----------------------------------------- representation consistency *)
+
+(* Script, delta tree and matching must tell one consistent story. *)
+let representations_agree_prop =
+  QCheck2.Test.make ~name:"script / delta / matching consistency" ~count:80
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let g = P.create seed in
+      let gen = Tree.gen () in
+      let t1 =
+        Treediff_workload.Docgen.generate g gen Treediff_workload.Docgen.small
+      in
+      let t2, _ =
+        Treediff_workload.Mutate.mutate g gen t1 ~actions:(1 + P.int g 12)
+      in
+      let r = Diff.diff ~config:Treediff_doc.Doc_tree.config t1 t2 in
+      let m = r.Diff.measure in
+      let ins, _del, upd, mov = Treediff.Delta.counts r.Diff.delta in
+      Diff.check r ~t1 ~t2 = Ok ()
+      && ins = m.Treediff_edit.Script.inserts
+      && upd = m.Treediff_edit.Script.updates
+      && mov = m.Treediff_edit.Script.moves
+      (* unmatched-T2 count = inserts; unmatched-T1 count = deletes *)
+      && m.Treediff_edit.Script.inserts
+         = List.length
+             (List.filter
+                (fun (n : Node.t) ->
+                  not (Treediff_matching.Matching.matched_new r.Diff.matching n.Node.id))
+                (Node.preorder t2))
+      && m.Treediff_edit.Script.deletes
+         = List.length
+             (List.filter
+                (fun (n : Node.t) ->
+                  not (Treediff_matching.Matching.matched_old r.Diff.matching n.Node.id))
+                (Node.preorder t1)))
+
+(* LaDiff end-to-end on generated corpora: parse(print(tree)) diffs cleanly
+   and the marked text mentions every changed sentence. *)
+let ladiff_roundtrip_prop =
+  QCheck2.Test.make ~name:"ladiff over printed documents verifies" ~count:30
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let g = P.create seed in
+      let gen = Tree.gen () in
+      let t1 = Treediff_workload.Docgen.generate g gen Treediff_workload.Docgen.small in
+      let t2, _ = Treediff_workload.Mutate.mutate g gen t1 ~actions:(1 + P.int g 8) in
+      let old_src = Treediff_doc.Latex_parser.print t1 in
+      let new_src = Treediff_doc.Latex_parser.print t2 in
+      let out = Treediff_doc.Ladiff.run ~old_src ~new_src () in
+      Diff.check out.Treediff_doc.Ladiff.result ~t1:out.Treediff_doc.Ladiff.old_tree
+        ~t2:out.Treediff_doc.Ladiff.new_tree
+      = Ok ())
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "zs-hybrid",
+        [
+          QCheck_alcotest.to_alcotest zs_hybrid_prop;
+          Alcotest.test_case "hybrid detects moves" `Quick test_zs_hybrid_move_detection;
+        ] );
+      ( "keyed",
+        [ Alcotest.test_case "keyed + FastMatch document" `Quick test_keyed_then_fastmatch_document ] );
+      ( "html",
+        [ Alcotest.test_case "html pipeline with moves" `Quick test_html_pipeline_with_moves ] );
+      ( "consistency",
+        [
+          QCheck_alcotest.to_alcotest representations_agree_prop;
+          QCheck_alcotest.to_alcotest ladiff_roundtrip_prop;
+        ] );
+    ]

@@ -1,0 +1,149 @@
+(* Tests for Treediff.Delta_query — the §9 delta querying/browsing layer. *)
+
+module Tree = Treediff_tree.Tree
+module Codec = Treediff_tree.Codec
+module Diff = Treediff.Diff
+module Delta = Treediff.Delta
+module Q = Treediff.Delta_query
+
+(* A delta with one insert, one delete, one update and one move. *)
+let sample_delta () =
+  let gen = Tree.gen () in
+  let t1 =
+    Codec.parse gen
+      {|(D (P (S "mover") (S "alpha") (S "beta"))
+          (P (S "gamma") (S "old-value") (S "delta")))|}
+  in
+  let t2 =
+    Codec.parse gen
+      {|(D (P (S "alpha") (S "beta") (S "fresh"))
+          (P (S "gamma") (S "delta") (S "mover")))|}
+  in
+  let r = Diff.diff t1 t2 in
+  r.Diff.delta
+
+let test_select_by_kind () =
+  let d = sample_delta () in
+  Alcotest.(check int) "one insert" 1 (Q.count ~kind:Q.Inserted d);
+  Alcotest.(check int) "one delete ghost subtree root" 1
+    (List.length
+       (List.filter
+          (fun (p : Q.path) ->
+            match p.Q.ancestors with
+            | parent :: _ -> parent.Delta.base <> Delta.Deleted
+            | [] -> true)
+          (Q.select ~kind:Q.Deleted d)));
+  Alcotest.(check int) "one move" 1 (Q.count ~kind:Q.Moved d);
+  Alcotest.(check int) "one marker" 1 (Q.count ~kind:Q.Marker d)
+
+let test_select_by_label () =
+  let d = sample_delta () in
+  Alcotest.(check bool) "sentences exist" true (Q.exists ~label:"S" d);
+  Alcotest.(check int) "no bogus label" 0 (Q.count ~label:"Chapter" d);
+  (* label + kind combined *)
+  Alcotest.(check int) "inserted sentences" 1 (Q.count ~label:"S" ~kind:Q.Inserted d)
+
+let test_changed_and_fold () =
+  let d = sample_delta () in
+  let changed = Q.changed d in
+  Alcotest.(check bool) "some changes" true (changed <> []);
+  List.iter
+    (fun (p : Q.path) ->
+      Alcotest.(check bool) "every result is changed" true (Q.kind_matches Q.Changed p.Q.node))
+    changed;
+  let total = Q.fold (fun acc _ -> acc + 1) 0 d in
+  Alcotest.(check bool) "fold visits every node incl. ghosts" true (total >= 11)
+
+let test_path_string () =
+  let d = sample_delta () in
+  match Q.select ~kind:Q.Inserted d with
+  | [ p ] ->
+    let s = Q.path_string p in
+    Alcotest.(check bool) "path starts at root" true (String.length s > 1 && s.[0] = 'D');
+    Alcotest.(check bool) "path mentions S" true
+      (String.length s >= 1 && s.[String.length s - 1] = ']')
+  | l -> Alcotest.failf "expected one insert, got %d" (List.length l)
+
+let test_query_descendant () =
+  let d = sample_delta () in
+  (match Q.query "S[ins]" d with
+  | Ok [ p ] -> Alcotest.(check string) "found the inserted sentence" "fresh" p.Q.node.Delta.value
+  | Ok l -> Alcotest.failf "expected 1 result, got %d" (List.length l)
+  | Error e -> Alcotest.fail e);
+  match Q.query "D//S" d with
+  | Ok l ->
+    Alcotest.(check int) "descendant finds all sentences incl. ghosts"
+      (Q.count ~label:"S" d) (List.length l)
+  | Error e -> Alcotest.fail e
+
+let test_query_child_vs_descendant () =
+  let d = sample_delta () in
+  (* sentences are not direct children of the document *)
+  (match Q.query "D/S" d with
+  | Ok l -> Alcotest.(check int) "child axis strict" 0 (List.length l)
+  | Error e -> Alcotest.fail e);
+  match Q.query "D/P/S" d with
+  | Ok l -> Alcotest.(check bool) "chained child axis" true (List.length l > 0)
+  | Error e -> Alcotest.fail e
+
+let test_query_star_and_changed () =
+  let d = sample_delta () in
+  (match Q.query "*[changed]" d with
+  | Ok l -> Alcotest.(check int) "same as combinator" (Q.count ~kind:Q.Changed d) (List.length l)
+  | Error e -> Alcotest.fail e);
+  match Q.query "P//*[mov]" d with
+  | Ok l ->
+    List.iter
+      (fun (p : Q.path) ->
+        Alcotest.(check bool) "moved under a paragraph" true (p.Q.node.Delta.moved <> None))
+      l
+  | Error e -> Alcotest.fail e
+
+let test_query_errors () =
+  let d = sample_delta () in
+  let bad s =
+    match Q.query s d with Error _ -> true | Ok _ -> false
+  in
+  Alcotest.(check bool) "empty selector" true (bad "");
+  Alcotest.(check bool) "unknown kind" true (bad "S[banana]");
+  Alcotest.(check bool) "empty step" true (bad "S//");
+  Alcotest.(check bool) "missing bracket" true (bad "S[ins");
+  Alcotest.check_raises "query_exn raises"
+    (Invalid_argument "Delta_query.query: unknown kind \"banana\" (ins|del|upd|mov|mrk|idn|changed)")
+    (fun () -> ignore (Q.query_exn "S[banana]" d))
+
+let test_query_preserves_order () =
+  let d = sample_delta () in
+  match Q.query "//S" d with
+  | Ok paths ->
+    (* document order: alpha/beta appear before gamma/delta in the new tree *)
+    let values = List.map (fun (p : Q.path) -> p.Q.node.Delta.value) paths in
+    let idx v =
+      let rec find i = function
+        | [] -> -1
+        | x :: rest -> if x = v then i else find (i + 1) rest
+      in
+      find 0 values
+    in
+    Alcotest.(check bool) "alpha before gamma" true (idx "alpha" < idx "gamma")
+  | Error e -> Alcotest.fail e
+
+let () =
+  Alcotest.run "delta-query"
+    [
+      ( "combinators",
+        [
+          Alcotest.test_case "select by kind" `Quick test_select_by_kind;
+          Alcotest.test_case "select by label" `Quick test_select_by_label;
+          Alcotest.test_case "changed and fold" `Quick test_changed_and_fold;
+          Alcotest.test_case "path string" `Quick test_path_string;
+        ] );
+      ( "selector-syntax",
+        [
+          Alcotest.test_case "descendant axis" `Quick test_query_descendant;
+          Alcotest.test_case "child vs descendant" `Quick test_query_child_vs_descendant;
+          Alcotest.test_case "star and changed" `Quick test_query_star_and_changed;
+          Alcotest.test_case "errors" `Quick test_query_errors;
+          Alcotest.test_case "document order" `Quick test_query_preserves_order;
+        ] );
+    ]

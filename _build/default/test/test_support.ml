@@ -1,0 +1,3 @@
+(* Helpers shared across the test executables. *)
+
+let structural_lower_bound = Treediff_experiments.Optimality.structural_lower_bound

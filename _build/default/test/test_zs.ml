@@ -1,0 +1,176 @@
+(* Tests for Treediff_zs.Zhang_shasha against an independent brute-force
+   forest-edit-distance oracle, plus mapping validity. *)
+
+module Node = Treediff_tree.Node
+module Tree = Treediff_tree.Tree
+module Codec = Treediff_tree.Codec
+module ZS = Treediff_zs.Zhang_shasha
+module P = Treediff_util.Prng
+
+(* Memoized forest edit distance: delete promotes children, unit costs.
+   Exponential-ish but fine for the small trees used here. *)
+let oracle (t1 : Node.t) (t2 : Node.t) =
+  let memo = Hashtbl.create 1024 in
+  let key f1 f2 =
+    ( String.concat "," (List.map (fun (n : Node.t) -> string_of_int n.id) f1),
+      String.concat "," (List.map (fun (n : Node.t) -> string_of_int n.id) f2) )
+  in
+  let rel (a : Node.t) (b : Node.t) =
+    if String.equal a.label b.label && String.equal a.value b.value then 0.0 else 1.0
+  in
+  let forest_size f = List.fold_left (fun acc n -> acc + Node.size n) 0 f in
+  let rec fdist f1 f2 =
+    match (f1, f2) with
+    | [], [] -> 0.0
+    | [], f2 -> float_of_int (forest_size f2)
+    | f1, [] -> float_of_int (forest_size f1)
+    | _ -> (
+      let k = key f1 f2 in
+      match Hashtbl.find_opt memo k with
+      | Some v -> v
+      | None ->
+        let rec split = function
+          | [ x ] -> ([], x)
+          | x :: rest ->
+            let l, last = split rest in
+            (x :: l, last)
+          | [] -> assert false
+        in
+        let r1, v1 = split f1 and r2, v2 = split f2 in
+        let del = fdist (r1 @ Node.children v1) f2 +. 1.0 in
+        let ins = fdist f1 (r2 @ Node.children v2) +. 1.0 in
+        let sub =
+          fdist r1 r2 +. fdist (Node.children v1) (Node.children v2) +. rel v1 v2
+        in
+        let v = min del (min ins sub) in
+        Hashtbl.replace memo k v;
+        v)
+  in
+  fdist [ t1 ] [ t2 ]
+
+let parse src = Codec.parse (Tree.gen ()) src
+
+let test_known_distances () =
+  let check name a b expected =
+    Alcotest.(check (float 1e-9)) name expected (ZS.distance (parse a) (parse b))
+  in
+  check "identical" {|(A (B) (C))|} {|(A (B) (C))|} 0.0;
+  check "one relabel" {|(A (B) (C))|} {|(A (B) (D))|} 1.0;
+  check "one insert" {|(A (B))|} {|(A (B) (C))|} 1.0;
+  check "one delete" {|(A (B (C)))|} {|(A (C))|} 1.0;
+  (* delete promotes children: removing B lifts C to A *)
+  check "value relabel" {|(A (B "x"))|} {|(A (B "y"))|} 1.0;
+  check "single nodes" {|(A)|} {|(B)|} 1.0
+
+let test_zs_paper_example () =
+  (* The classic example from the ZS89 paper (f(d(a c(b)) e) vs
+     f(c(d(a b)) e)): distance 2. *)
+  let t1 = parse {|(f (d (a) (c (b))) (e))|} in
+  let t2 = parse {|(f (c (d (a) (b))) (e))|} in
+  Alcotest.(check (float 1e-9)) "zs89 example" 2.0 (ZS.distance t1 t2)
+
+let test_mapping_consistency () =
+  let t1 = parse {|(A (B "x") (C (D "y") (E)))|} in
+  let t2 = parse {|(A (C (D "z") (E)) (F))|} in
+  let r = ZS.mapping t1 t2 in
+  Alcotest.(check (float 1e-9)) "mapping dist = distance" (ZS.distance t1 t2) r.ZS.dist;
+  (* mapping is one-to-one *)
+  let olds = List.map (fun ((a : Node.t), _) -> a.id) r.ZS.pairs in
+  let news = List.map (fun (_, (b : Node.t)) -> b.id) r.ZS.pairs in
+  Alcotest.(check int) "no duplicate old" (List.length olds)
+    (List.length (List.sort_uniq compare olds));
+  Alcotest.(check int) "no duplicate new" (List.length news)
+    (List.length (List.sort_uniq compare news))
+
+(* The recovered mapping's implied cost equals the reported distance:
+   relabels + unmapped deletions + unmapped insertions. *)
+let mapping_cost_identity r t1 t2 =
+  let mapped_old = List.map (fun ((a : Node.t), _) -> a.id) r.ZS.pairs in
+  let mapped_new = List.map (fun (_, (b : Node.t)) -> b.id) r.ZS.pairs in
+  let unmapped t mapped =
+    List.length
+      (List.filter (fun (n : Node.t) -> not (List.mem n.id mapped)) (Node.preorder t))
+  in
+  float_of_int (r.ZS.relabels + unmapped t1 mapped_old + unmapped t2 mapped_new)
+
+let rec random_tree g gen depth =
+  let label = P.pick g [| "A"; "B"; "C" |] in
+  let value = Printf.sprintf "v%d" (P.int g 4) in
+  let n = if depth >= 3 then 0 else P.int g 4 in
+  Tree.node gen label ~value (List.init n (fun _ -> random_tree g gen (depth + 1)))
+
+let zs_vs_oracle_prop =
+  QCheck2.Test.make ~name:"zs distance = brute-force oracle" ~count:200
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let g = P.create seed in
+      let gen = Tree.gen () in
+      let t1 = random_tree g gen 0 and t2 = random_tree g gen 0 in
+      Float.abs (ZS.distance t1 t2 -. oracle t1 t2) < 1e-9)
+
+let zs_mapping_cost_prop =
+  QCheck2.Test.make ~name:"zs mapping cost = distance" ~count:200
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let g = P.create seed in
+      let gen = Tree.gen () in
+      let t1 = random_tree g gen 0 and t2 = random_tree g gen 0 in
+      let r = ZS.mapping t1 t2 in
+      Float.abs (r.ZS.dist -. mapping_cost_identity r t1 t2) < 1e-9)
+
+let zs_triangle_prop =
+  QCheck2.Test.make ~name:"zs distance: identity and symmetry" ~count:100
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let g = P.create seed in
+      let gen = Tree.gen () in
+      let t1 = random_tree g gen 0 and t2 = random_tree g gen 0 in
+      ZS.distance t1 t1 = 0.0
+      && Float.abs (ZS.distance t1 t2 -. ZS.distance t2 t1) < 1e-9)
+
+let test_to_matching_filters_labels () =
+  let t1 = parse {|(A (B "x"))|} in
+  let t2 = parse {|(A (C "x"))|} in
+  let r = ZS.mapping t1 t2 in
+  let m_all = ZS.to_matching ~same_label_only:false r in
+  let m_filtered = ZS.to_matching r in
+  Alcotest.(check bool) "filtered <= all" true
+    (Treediff_matching.Matching.cardinal m_filtered
+    <= Treediff_matching.Matching.cardinal m_all);
+  List.iter
+    (fun (x, y) ->
+      let n1 = Option.get (Tree.find_by_id t1 x) in
+      let n2 = Option.get (Tree.find_by_id t2 y) in
+      Alcotest.(check string) "labels equal" n1.Node.label n2.Node.label)
+    (Treediff_matching.Matching.pairs m_filtered)
+
+let test_custom_cost () =
+  let t1 = parse {|(A (B "x"))|} in
+  let t2 = parse {|(A (B "y"))|} in
+  let cost =
+    { ZS.unit_cost with ZS.rel = (fun _ _ -> 0.0) (* relabels free *) }
+  in
+  Alcotest.(check (float 1e-9)) "free relabels" 0.0 (ZS.distance ~cost t1 t2)
+
+let () =
+  Alcotest.run "zs"
+    [
+      ( "distance",
+        [
+          Alcotest.test_case "known cases" `Quick test_known_distances;
+          Alcotest.test_case "ZS89 paper example" `Quick test_zs_paper_example;
+          Alcotest.test_case "custom cost" `Quick test_custom_cost;
+        ] );
+      ( "mapping",
+        [
+          Alcotest.test_case "consistency" `Quick test_mapping_consistency;
+          Alcotest.test_case "to_matching filters labels" `Quick
+            test_to_matching_filters_labels;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest zs_vs_oracle_prop;
+          QCheck_alcotest.to_alcotest zs_mapping_cost_prop;
+          QCheck_alcotest.to_alcotest zs_triangle_prop;
+        ] );
+    ]
