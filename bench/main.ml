@@ -76,7 +76,25 @@ let bechamel_tests () =
            ignore (Treediff.Diff.diff ~config small small2)));
   ]
 
-let run_bechamel () =
+(* Per-benchmark ns/run estimates as a machine-readable trajectory file.
+   Schema: {"label": <basename>, "unit": "ns/run",
+            "results": [{"name": ..., "ns_per_run": ...}, ...]}. *)
+let write_json path rows =
+  let oc = open_out path in
+  let label = Filename.remove_extension (Filename.basename path) in
+  Printf.fprintf oc "{\n  \"label\": %S,\n  \"unit\": \"ns/run\",\n  \"results\": [" label;
+  List.iteri
+    (fun i (name, est) ->
+      Printf.fprintf oc "%s\n    { \"name\": %S, \"ns_per_run\": %s }"
+        (if i > 0 then "," else "")
+        name
+        (match est with Some e -> Printf.sprintf "%.2f" e | None -> "null"))
+    rows;
+  Printf.fprintf oc "\n  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let run_bechamel ?json () =
   let open Bechamel in
   print_endline "== Bechamel wall-clock benchmarks ==";
   let tests = Test.make_grouped ~name:"treediff" (bechamel_tests ()) in
@@ -87,31 +105,50 @@ let run_bechamel () =
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
   let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  let estimates =
+    List.map
+      (fun (name, r) ->
+        match Analyze.OLS.estimates r with
+        | Some (est :: _) -> (name, Some est)
+        | Some [] | None -> (name, None))
+      rows
+  in
   let table = Treediff_util.Table.create ~headers:[ "benchmark"; "time/run" ] in
   List.iter
-    (fun (name, r) ->
+    (fun (name, est) ->
       let cell =
-        match Analyze.OLS.estimates r with
-        | Some (est :: _) ->
+        match est with
+        | Some est ->
           if est > 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
           else if est > 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
           else if est > 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
           else Printf.sprintf "%.0f ns" est
-        | Some [] | None -> "n/a"
+        | None -> "n/a"
       in
       Treediff_util.Table.add_row table [ name; cell ])
-    rows;
+    estimates;
   Treediff_util.Table.print table;
-  print_newline ()
+  print_newline ();
+  match json with None -> () | Some path -> write_json path estimates
 
 let usage () =
-  print_endline "usage: main.exe [EXPERIMENT...] [--bechamel]";
+  print_endline "usage: main.exe [EXPERIMENT...] [--bechamel] [--json OUT]";
+  print_endline "  --json OUT   with --bechamel, also write ns/run estimates to OUT";
   print_endline "experiments (default: all):";
   List.iter (fun (name, descr, _) -> Printf.printf "  %-12s %s\n" name descr) experiments
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let bech = List.mem "--bechamel" args in
+  let rec take_json acc = function
+    | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
+    | "--json" :: [] ->
+      prerr_endline "--json requires an output path";
+      exit 2
+    | a :: rest -> take_json (a :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let json, args = take_json [] args in
   let names = List.filter (fun a -> a <> "--bechamel") args in
   if List.mem "--help" names || List.mem "-h" names then usage ()
   else begin
@@ -128,5 +165,5 @@ let () =
           names
     in
     List.iter (fun (_, _, run) -> run ()) selected;
-    if bech then run_bechamel ()
+    if bech || json <> None then run_bechamel ?json ()
   end

@@ -1,0 +1,110 @@
+(* Ad-hoc phase profiler for the fastmatch hot path: not part of the
+   published tables, just `dune exec bench/profile.exe` when hunting
+   regressions. *)
+
+let time label f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let t1 = Unix.gettimeofday () in
+  Printf.printf "%-28s %8.2f ms\n%!" label ((t1 -. t0) *. 1000.0);
+  r
+
+let () =
+  let g = Treediff_util.Prng.create 4242 in
+  let gen = Treediff_tree.Tree.gen () in
+  let doc = Treediff_workload.Docgen.generate g gen Treediff_workload.Docgen.medium in
+  let doc2, _ = Treediff_workload.Mutate.mutate g gen doc ~actions:15 in
+  let criteria = Treediff_doc.Doc_tree.criteria in
+  Printf.printf "n1=%d n2=%d\n" (Treediff_tree.Tree.size doc) (Treediff_tree.Tree.size doc2);
+  let reps = 5 in
+  for _ = 1 to 2 do
+    let ctx = ref None in
+    time "ctx build x5" (fun () ->
+        for _ = 1 to reps do
+          ctx := Some (Treediff_matching.Criteria.ctx criteria ~t1:doc ~t2:doc2)
+        done);
+    let ctx = Option.get !ctx in
+    let idx1 = Treediff_matching.Criteria.index1 ctx
+    and idx2 = Treediff_matching.Criteria.index2 ctx in
+    let leaf_labels = Treediff_matching.Label_order.leaf_labels_of_indexes idx1 idx2 in
+    let internal_labels =
+      Treediff_matching.Label_order.internal_labels_of_indexes idx1 idx2
+    in
+    time "label orders x5" (fun () ->
+        for _ = 1 to reps do
+          ignore (Treediff_matching.Label_order.leaf_labels_of_indexes idx1 idx2);
+          ignore (Treediff_matching.Label_order.internal_labels_of_indexes idx1 idx2)
+        done);
+    time "fastmatch leaf phase x5" (fun () ->
+        for _ = 1 to reps do
+          let m = Treediff_matching.Matching.create () in
+          List.iter
+            (fun l -> Treediff_matching.Fast_match.match_label ctx m l ~leaf:true)
+            leaf_labels
+        done);
+    let m0 = Treediff_matching.Matching.create () in
+    List.iter
+      (fun l -> Treediff_matching.Fast_match.match_label ctx m0 l ~leaf:true)
+      leaf_labels;
+    time "fastmatch internal phase x5" (fun () ->
+        for _ = 1 to reps do
+          let m = Treediff_matching.Matching.copy m0 in
+          List.iter
+            (fun l -> Treediff_matching.Fast_match.match_label ctx m l ~leaf:false)
+            internal_labels
+        done);
+    time "full Fast_match.run x5" (fun () ->
+        for _ = 1 to reps do
+          ignore (Treediff_matching.Fast_match.run ctx)
+        done);
+    time "full diff x5" (fun () ->
+        for _ = 1 to reps do
+          ignore (Treediff.Diff.diff ~config:Treediff_doc.Doc_tree.config doc doc2)
+        done)
+  done
+
+(* Second section: where does the cold leaf phase actually go? *)
+let () =
+  let g = Treediff_util.Prng.create 4242 in
+  let gen = Treediff_tree.Tree.gen () in
+  let doc = Treediff_workload.Docgen.generate g gen Treediff_workload.Docgen.medium in
+  let doc2, _ = Treediff_workload.Mutate.mutate g gen doc ~actions:15 in
+  let calls = ref 0 in
+  let compare a b =
+    incr calls;
+    Treediff_textdiff.Word_compare.distance a b
+  in
+  let criteria =
+    Treediff_matching.Criteria.make ~leaf_f:0.5 ~internal_t:0.6 ~compare ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let ctx = Treediff_matching.Criteria.ctx criteria ~t1:doc ~t2:doc2 in
+  ignore (Treediff_matching.Fast_match.run ctx);
+  let t1 = Unix.gettimeofday () in
+  Printf.printf "cold Fast_match.run: %.2f ms, %d distance calls\n%!"
+    ((t1 -. t0) *. 1000.0) !calls;
+  (* raw distance cost on two mid-size unequal sentences from the corpus *)
+  let leaves t =
+    let acc = ref [] in
+    let rec walk n =
+      if Treediff_tree.Node.is_leaf n then acc := n :: !acc
+      else Treediff_tree.Node.iter_children walk n
+    in
+    walk t;
+    List.rev !acc
+  in
+  let l1 = leaves doc and l2 = leaves doc2 in
+  let a = (List.nth l1 3).Treediff_tree.Node.value
+  and b = (List.nth l2 7).Treediff_tree.Node.value in
+  Printf.printf "sample values: |a|=%d |b|=%d words_a=%d words_b=%d\n%!"
+    (String.length a) (String.length b)
+    (Array.length (Treediff_textdiff.Word_compare.words a))
+    (Array.length (Treediff_textdiff.Word_compare.words b));
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to 10_000 do
+    ignore (Treediff_textdiff.Word_compare.distance a b)
+  done;
+  let t1 = Unix.gettimeofday () in
+  Printf.printf "distance x10000 (unequal pair): %.2f ms (%.2f us/call)\n%!"
+    ((t1 -. t0) *. 1000.0)
+    ((t1 -. t0) *. 100.0)

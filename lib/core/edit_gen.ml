@@ -1,5 +1,7 @@
 module Node = Treediff_tree.Node
 module Tree = Treediff_tree.Tree
+module Index = Treediff_tree.Index
+module Vec = Treediff_util.Vec
 module Op = Treediff_edit.Op
 module Script = Treediff_edit.Script
 module Matching = Treediff_matching.Matching
@@ -14,11 +16,13 @@ type result = {
 
 let dummy_label = "@@root"
 
-(* Mutable state threaded through one generation run. *)
+(* Mutable state threaded through one generation run.  The working tree
+   mutates as operations are emitted, so its index stays a hashtable; T2 is
+   frozen for the whole run and gets a dense array index. *)
 type state = {
   w_root : Node.t;                       (* working tree (copy of t1, possibly dummy-rooted) *)
   w_index : (int, Node.t) Hashtbl.t;
-  t2_index : (int, Node.t) Hashtbl.t;
+  t2_index : Index.t;
   m : Matching.t;                        (* M', grows to a total matching *)
   in_order1 : (int, unit) Hashtbl.t;     (* working-tree ids marked "in order" *)
   in_order2 : (int, unit) Hashtbl.t;     (* T2 ids marked "in order" *)
@@ -51,16 +55,21 @@ let partner_of_new st (x : Node.t) =
    [moving] is the node about to be detached (for intra-parent moves). *)
 let find_pos st ?moving (x : Node.t) =
   let y = match x.Node.parent with Some y -> y | None -> assert false in
-  let lefts =
-    let rec take acc = function
-      | [] -> assert false (* x must be among its parent's children *)
-      | (c : Node.t) :: rest -> if c.id = x.id then acc else take (c :: acc) rest
-    in
-    take [] (Node.children y)
-    (* leftmost sibling last -> head is the rightmost left sibling *)
-  in
-  let v = List.find_opt (fun (c : Node.t) -> Hashtbl.mem st.in_order2 c.id) lefts in
-  match v with
+  (* Rightmost in-order left sibling of x: the last in-order child seen
+     before reaching x itself. *)
+  let v = ref None and found = ref false in
+  (try
+     Node.iter_children
+       (fun (c : Node.t) ->
+         if c.id = x.id then begin
+           found := true;
+           raise Exit
+         end;
+         if Hashtbl.mem st.in_order2 c.id then v := Some c)
+       y
+   with Exit -> ());
+  if not !found then assert false (* x must be among its parent's children *);
+  match !v with
   | None -> 1
   | Some v -> (
     let u =
@@ -71,14 +80,20 @@ let find_pos st ?moving (x : Node.t) =
     let p = match u.Node.parent with Some p -> p | None -> assert false in
     let skip_id = match moving with Some (n : Node.t) -> n.id | None -> -1 in
     (* 1-based index of u counting all children except the moving node. *)
-    let rec index pos = function
-      | [] -> assert false
-      | (c : Node.t) :: rest ->
-        if c.id = skip_id then index pos rest
-        else if c.id = u.Node.id then pos
-        else index (pos + 1) rest
-    in
-    index 1 (Node.children p) + 1)
+    let pos = ref 1 and res = ref 0 in
+    (try
+       Node.iter_children
+         (fun (c : Node.t) ->
+           if c.id = skip_id then ()
+           else if c.id = u.Node.id then begin
+             res := !pos;
+             raise Exit
+           end
+           else incr pos)
+         p
+     with Exit -> ());
+    if !res = 0 then assert false (* u must be among p's children *);
+    !res + 1)
 
 let mark_in_order st (w : Node.t) (x : Node.t) =
   Hashtbl.replace st.in_order1 w.id ();
@@ -87,49 +102,54 @@ let mark_in_order st (w : Node.t) (x : Node.t) =
 (* AlignChildren (Fig. 9): LCS the mutually-parented matched children, then
    move the misaligned remainder into place. *)
 let align_children st (w : Node.t) (x : Node.t) =
-  List.iter (fun (c : Node.t) -> Hashtbl.remove st.in_order1 c.id) (Node.children w);
-  List.iter (fun (c : Node.t) -> Hashtbl.remove st.in_order2 c.id) (Node.children x);
-  let s1 =
-    List.filter
-      (fun (a : Node.t) ->
-        match Matching.partner_of_old st.m a.id with
-        | Some bid -> (
-          match (Hashtbl.find_opt st.t2_index bid : Node.t option) with
-          | Some b -> (
-            match b.Node.parent with Some p -> p.Node.id = x.id | None -> false)
-          | None -> false)
-        | None -> false)
-      (Node.children w)
-  in
-  let s2 =
-    List.filter
-      (fun (b : Node.t) ->
-        match Matching.partner_of_new st.m b.id with
-        | Some aid -> (
-          match Hashtbl.find_opt st.w_index aid with
-          | Some (a : Node.t) -> (
-            match a.Node.parent with Some p -> p.Node.id = w.id | None -> false)
-          | None -> false)
-        | None -> false)
-      (Node.children x)
-  in
-  let arr1 = Array.of_list s1 and arr2 = Array.of_list s2 in
+  Node.iter_children (fun (c : Node.t) -> Hashtbl.remove st.in_order1 c.id) w;
+  Node.iter_children (fun (c : Node.t) -> Hashtbl.remove st.in_order2 c.id) x;
+  let s1 = Vec.create () in
+  Node.iter_children
+    (fun (a : Node.t) ->
+      match Matching.partner_of_old st.m a.id with
+      | Some bid -> (
+        match Index.node_of_id st.t2_index bid with
+        | Some b -> (
+          match b.Node.parent with
+          | Some p -> if p.Node.id = x.id then Vec.push s1 a
+          | None -> ())
+        | None -> ())
+      | None -> ())
+    w;
+  let s2 = Vec.create () in
+  Node.iter_children
+    (fun (b : Node.t) ->
+      match Matching.partner_of_new st.m b.id with
+      | Some aid -> (
+        match Hashtbl.find_opt st.w_index aid with
+        | Some (a : Node.t) -> (
+          match a.Node.parent with
+          | Some p -> if p.Node.id = w.id then Vec.push s2 b
+          | None -> ())
+        | None -> ())
+      | None -> ())
+    x;
+  let arr1 = Vec.to_array s1 and arr2 = Vec.to_array s2 in
   let equal (a : Node.t) (b : Node.t) = Matching.mem st.m a.id b.id in
   let lcs = Myers.lcs ~equal arr1 arr2 in
   List.iter (fun (i, j) -> mark_in_order st arr1.(i) arr2.(j)) lcs;
-  List.iter
+  Array.iter
     (fun (a : Node.t) ->
       if not (Hashtbl.mem st.in_order1 a.id) then begin
         let b =
           match Matching.partner_of_old st.m a.id with
-          | Some bid -> Hashtbl.find st.t2_index bid
+          | Some bid -> (
+            match Index.node_of_id st.t2_index bid with
+            | Some b -> b
+            | None -> assert false (* s1 partners live in T2 *))
           | None -> assert false (* members of s1 are matched *)
         in
         let k = find_pos st ~moving:a b in
         emit st (Op.Move { id = a.id; parent = w.id; pos = k });
         mark_in_order st a b
       end)
-    s1
+    arr1
 
 let visit st (x : Node.t) =
   (match x.Node.parent with
@@ -179,10 +199,10 @@ let delete_phase st =
     order
 
 let validate_input ~matching t1 t2 =
-  let idx1 = Tree.index_by_id t1 and idx2 = Tree.index_by_id t2 in
+  let idx1 = Index.build t1 and idx2 = Index.build t2 in
   List.iter
     (fun (xid, yid) ->
-      match (Hashtbl.find_opt idx1 xid, Hashtbl.find_opt idx2 yid) with
+      match (Index.node_of_id idx1 xid, Index.node_of_id idx2 yid) with
       | Some (x : Node.t), Some (y : Node.t) ->
         if not (String.equal x.label y.label) then
           invalid_arg
@@ -218,7 +238,7 @@ let generate ~matching t1 t2 =
     {
       w_root;
       w_index = Tree.index_by_id w_root;
-      t2_index = Tree.index_by_id t2_eff;
+      t2_index = Index.build t2_eff;
       m;
       in_order1 = Hashtbl.create 64;
       in_order2 = Hashtbl.create 64;

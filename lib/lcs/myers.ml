@@ -102,7 +102,37 @@ let lcs ~equal a b =
 
 let lcs_pairs ~equal a b = List.map (fun (i, j) -> (a.(i), b.(j))) (lcs ~equal a b)
 
-let lcs_length ~equal a b = List.length (lcs ~equal a b)
+(* Length-only queries skip the trace: one frontier array, no per-d rows, no
+   backtrack.  D determines the length directly: |LCS| = (N + M - D) / 2. *)
+let lcs_length ~equal a b =
+  let n = Array.length a and m = Array.length b in
+  if n = 0 || m = 0 then 0
+  else begin
+    let maxd = n + m in
+    let v = Array.make ((2 * maxd) + 1) 0 in
+    try
+      for d = 0 to maxd do
+        let k = ref (-d) in
+        while !k <= d do
+          let k' = !k in
+          let x0 =
+            if k' = -d || (k' <> d && v.(k' - 1 + maxd) < v.(k' + 1 + maxd))
+            then v.(k' + 1 + maxd)
+            else v.(k' - 1 + maxd) + 1
+          in
+          let x = ref x0 and y = ref (x0 - k') in
+          while !x < n && !y < m && equal a.(!x) b.(!y) do
+            incr x;
+            incr y
+          done;
+          v.(k' + maxd) <- !x;
+          if !x >= n && !x - k' >= m then raise (Found d);
+          k := !k + 2
+        done
+      done;
+      assert false (* d = n + m always suffices *)
+    with Found d -> (n + m - d) / 2
+  end
 
 let edit_distance ~equal a b =
   Array.length a + Array.length b - (2 * lcs_length ~equal a b)

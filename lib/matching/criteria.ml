@@ -1,4 +1,5 @@
 module Node = Treediff_tree.Node
+module Index = Treediff_tree.Index
 module Stats = Treediff_util.Stats
 
 type t = {
@@ -18,81 +19,169 @@ let make ?(leaf_f = 0.5) ?(internal_t = 0.6) ?(compare = all_or_nothing) () =
 
 let default = make ()
 
+(* Per-T1-rank cache for [common]: the sorted T2 preorder ranks of the
+   partners of the subtree's leaves, stamped with the Matching.version it was
+   computed at.  While a matcher scans candidates for one x the matching does
+   not change, so every comparison after the first is two binary searches
+   instead of a subtree walk — O(1) amortized per comparison. *)
+type common_entry = { mutable stamp : int; mutable partners : int array }
+
+(* Memo for [crit.compare] keyed by the pair of interned value ids (argument
+   order preserved, so asymmetric compare functions stay correct).  The
+   compare callback is required to be pure, so reusing a result is exact —
+   and on versioned documents the same sentence pairs are probed thousands
+   of times by the chain LCS.  Dense float array (nan = empty) when the
+   vocabulary is small, hashtable otherwise. *)
+type cmp_store = Cmp_dense of float array | Cmp_sparse of (int, float) Hashtbl.t
+
+let cmp_dense_max = 1 lsl 20 (* entries; 8 MB of floats at most *)
+
 type ctx = {
   crit : t;
   st : Stats.t;
-  t1 : Node.t;
-  t2 : Node.t;
-  (* Preorder entry/exit numbering of T2 for O(1) containment tests. *)
-  pre2 : (int, int) Hashtbl.t;
-  last2 : (int, int) Hashtbl.t;
-  leafcnt : (int, int) Hashtbl.t; (* both trees: node id -> |x| *)
+  idx1 : Index.t;
+  idx2 : Index.t;
+  common_cache : common_entry array; (* indexed by T1 preorder rank *)
+  nvalues : int; (* value-interner size at build: the memo's key stride *)
+  cmp_store : cmp_store;
 }
 
 let ctx ?(stats = Stats.create ()) crit ~t1 ~t2 =
-  let pre2 = Hashtbl.create 64 and last2 = Hashtbl.create 64 in
-  let counter = ref 0 in
-  let rec number (n : Node.t) =
-    let entry = !counter in
-    incr counter;
-    Hashtbl.replace pre2 n.id entry;
-    List.iter number (Node.children n);
-    Hashtbl.replace last2 n.id (!counter - 1)
+  let idx1, idx2 = Index.pair ~t1 ~t2 () in
+  let common_cache =
+    Array.init (Index.size idx1) (fun _ -> { stamp = -1; partners = [||] })
   in
-  number t2;
-  let leafcnt = Hashtbl.create 64 in
-  let rec fill (n : Node.t) =
-    let c =
-      if Node.is_leaf n then 1
-      else List.fold_left (fun acc ch -> acc + fill ch) 0 (Node.children n)
-    in
-    Hashtbl.replace leafcnt n.id c;
-    c
+  let nvalues = Index.Interner.count (Index.value_interner idx1) in
+  let cmp_store =
+    if nvalues > 0 && nvalues <= cmp_dense_max / nvalues then
+      Cmp_dense (Array.make (nvalues * nvalues) nan)
+    else Cmp_sparse (Hashtbl.create 1024)
   in
-  ignore (fill t1);
-  ignore (fill t2);
-  { crit; st = stats; t1; t2; pre2; last2; leafcnt }
+  { crit; st = stats; idx1; idx2; common_cache; nvalues; cmp_store }
+
+(* Interned value id of a node, whichever side of the pair it is on; [-1]
+   for nodes outside the indexed pair (the memo is skipped for those). *)
+let vid_of c (n : Node.t) =
+  let r = Index.rank_of_id c.idx1 n.id in
+  if r >= 0 then Index.value_id c.idx1 r
+  else
+    let r = Index.rank_of_id c.idx2 n.id in
+    if r >= 0 then Index.value_id c.idx2 r else -1
+
+let compare_vids c va vb a b =
+  if va < 0 || vb < 0 then c.crit.compare a b
+  else
+    let k = (va * c.nvalues) + vb in
+    match c.cmp_store with
+    | Cmp_dense arr ->
+      let d = arr.(k) in
+      if Float.is_nan d then begin
+        let d = c.crit.compare a b in
+        arr.(k) <- d;
+        d
+      end
+      else d
+    | Cmp_sparse tbl -> (
+      match Hashtbl.find_opt tbl k with
+      | Some d -> d
+      | None ->
+        let d = c.crit.compare a b in
+        Hashtbl.replace tbl k d;
+        d)
 
 let stats c = c.st
 
 let criteria c = c.crit
 
-let t1_root c = c.t1
+let t1_root c = Index.root c.idx1
 
-let t2_root c = c.t2
+let t2_root c = Index.root c.idx2
+
+let index1 c = c.idx1
+
+let index2 c = c.idx2
 
 let leaf_count c (n : Node.t) =
-  match Hashtbl.find_opt c.leafcnt n.id with
-  | Some k -> k
-  | None -> Node.leaf_count n (* node outside the indexed pair; degrade gracefully *)
+  let r1 = Index.rank_of_id c.idx1 n.id in
+  if r1 >= 0 then Index.leaf_count c.idx1 r1
+  else
+    let r2 = Index.rank_of_id c.idx2 n.id in
+    if r2 >= 0 then Index.leaf_count c.idx2 r2
+    else Node.leaf_count n (* node outside the indexed pair; degrade gracefully *)
 
 let equal_leaf c (x : Node.t) (y : Node.t) =
   String.equal x.label y.label
   &&
   (c.st.Stats.leaf_compares <- c.st.Stats.leaf_compares + 1;
-   c.crit.compare x.value y.value <= c.crit.leaf_f)
+   compare_vids c (vid_of c x) (vid_of c y) x.value y.value <= c.crit.leaf_f)
 
-(* z is contained in y's subtree (both in T2). *)
-let contains2 c (y : Node.t) zid =
-  match (Hashtbl.find_opt c.pre2 zid, Hashtbl.find_opt c.pre2 y.id,
-         Hashtbl.find_opt c.last2 y.id)
-  with
-  | Some pz, Some py, Some ly -> pz >= py && pz <= ly
-  | _ -> false
-
-let common c m (x : Node.t) (y : Node.t) =
+(* Out-of-index fallback: the seed's subtree walk, containment via the T2
+   interval when y is indexed (a foreign y contains no indexed partner). *)
+let common_walk c m (x : Node.t) ry =
   let count = ref 0 in
+  let contained zid =
+    ry >= 0
+    &&
+    let rz = Index.rank_of_id c.idx2 zid in
+    rz >= 0 && Index.contains c.idx2 ry rz
+  in
   let rec walk (w : Node.t) =
     if Node.is_leaf w then begin
       c.st.Stats.partner_checks <- c.st.Stats.partner_checks + 1;
       match Matching.partner_of_old m w.id with
-      | Some z when contains2 c y z -> incr count
+      | Some z when contained z -> incr count
       | Some _ | None -> ()
     end
-    else List.iter walk (Node.children w)
+    else Node.iter_children walk w
   in
   walk x;
   !count
+
+(* Number of entries of the sorted array inside [lo, hi]. *)
+let count_in_range (a : int array) lo hi =
+  let n = Array.length a in
+  let lower bound =
+    (* first index with a.(i) >= bound *)
+    let l = ref 0 and r = ref n in
+    while !l < !r do
+      let mid = (!l + !r) / 2 in
+      if a.(mid) >= bound then r := mid else l := mid + 1
+    done;
+    !l
+  in
+  let first = lower lo and beyond = lower (hi + 1) in
+  beyond - first
+
+let common c m (x : Node.t) (y : Node.t) =
+  let rx = Index.rank_of_id c.idx1 x.id
+  and ry = Index.rank_of_id c.idx2 y.id in
+  if rx < 0 || ry < 0 then common_walk c m x ry
+  else begin
+    let entry = c.common_cache.(rx) in
+    let v = Matching.version m in
+    if entry.stamp <> v then begin
+      let fl = Index.first_leaf c.idx1 rx and lc = Index.leaf_count c.idx1 rx in
+      let buf = Array.make lc 0 in
+      let k = ref 0 in
+      for i = fl to fl + lc - 1 do
+        c.st.Stats.partner_checks <- c.st.Stats.partner_checks + 1;
+        let w = Index.node c.idx1 (Index.leaf_at c.idx1 i) in
+        match Matching.partner_of_old m w.Node.id with
+        | Some z ->
+          let rz = Index.rank_of_id c.idx2 z in
+          if rz >= 0 then begin
+            buf.(!k) <- rz;
+            incr k
+          end
+        | None -> ()
+      done;
+      let partners = Array.sub buf 0 !k in
+      Array.sort (fun (a : int) b -> compare a b) partners;
+      entry.stamp <- v;
+      entry.partners <- partners
+    end;
+    count_in_range entry.partners ry (Index.last c.idx2 ry)
+  end
 
 let equal_internal c m (x : Node.t) (y : Node.t) =
   String.equal x.label y.label
@@ -107,19 +196,55 @@ let equal_nodes c m x y =
   | false, false -> equal_internal c m x y
   | true, false | false, true -> false
 
+(* Leaves with >= 2 close counterparts on the other side.  Same-label values
+   are the only candidates, so bucket the other side's leaf values by
+   interned label id first — the cross-label compares of the seed's pairwise
+   scan contribute nothing and are dropped. *)
 let mc3_violating_leaves c ~old_side =
-  let mine, theirs = if old_side then (c.t1, c.t2) else (c.t2, c.t1) in
-  let other_leaves = Node.leaves theirs in
-  List.filter
-    (fun (x : Node.t) ->
-      let close = ref 0 in
-      List.iter
-        (fun (y : Node.t) ->
-          if String.equal x.label y.label && c.crit.compare x.value y.value <= 1.0 then
-            incr close)
-        other_leaves;
-      !close >= 2)
-    (Node.leaves mine)
+  let mine, theirs = if old_side then (c.idx1, c.idx2) else (c.idx2, c.idx1) in
+  (* Per label: the other side's distinct leaf values with multiplicities —
+     duplicated sentences hit [compare] once instead of once per copy, and
+     the memo then shares results with every leaf of [mine] holding the same
+     value. *)
+  let bucket_of lid =
+    let chain = Index.leaf_chain theirs lid in
+    let counts = Hashtbl.create 16 in
+    let order = ref [] in
+    Array.iter
+      (fun r ->
+        let v = Index.value_id theirs r in
+        match Hashtbl.find_opt counts v with
+        | Some n -> Hashtbl.replace counts v (n + 1)
+        | None ->
+          Hashtbl.replace counts v 1;
+          order := (v, (Index.node theirs r).Node.value) :: !order)
+      chain;
+    Array.of_list
+      (List.rev_map (fun (v, s) -> (v, s, Hashtbl.find counts v)) !order)
+  in
+  let buckets = Hashtbl.create 16 in
+  let bucket lid =
+    match Hashtbl.find_opt buckets lid with
+    | Some b -> b
+    | None ->
+      let b = bucket_of lid in
+      Hashtbl.replace buckets lid b;
+      b
+  in
+  let violating = ref [] in
+  let ls = Index.leaves mine in
+  for i = Array.length ls - 1 downto 0 do
+    let r = ls.(i) in
+    let x = Index.node mine r in
+    let xv = Index.value_id mine r in
+    let close = ref 0 in
+    Array.iter
+      (fun (v, s, mult) ->
+        if compare_vids c xv v x.Node.value s <= 1.0 then close := !close + mult)
+      (bucket (Index.label_id mine r));
+    if !close >= 2 then violating := x :: !violating
+  done;
+  !violating
 
 let mc3_violations c =
   List.length (mc3_violating_leaves c ~old_side:true)

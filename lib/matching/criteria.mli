@@ -9,14 +9,20 @@
       has at most one close counterpart ([compare <= 1]) on the other side.
       {!mc3_violations} measures how badly a tree pair violates it.
 
-    A {!ctx} precomputes, for a fixed (immutable) tree pair, the preorder
-    intervals and leaf counts that make the internal-node test cheap, and
-    carries the instrumentation counters the §8 experiments report. *)
+    A {!ctx} builds, for a fixed (immutable) tree pair, the two dense
+    {!Treediff_tree.Index} structures (shared label interner) that make the
+    internal-node test cheap, and carries the instrumentation counters the
+    §8 experiments report.  {!common} additionally memoizes, per T1 node,
+    the sorted T2 preorder ranks of its leaves' partners — stamped with the
+    {!Matching.version} — so repeated Criterion 2 tests against different
+    candidates cost two binary searches instead of a subtree walk. *)
 
 type t = {
   leaf_f : float;       (** parameter f of Matching Criterion 1 *)
   internal_t : float;   (** parameter t of Matching Criterion 2 *)
-  compare : string -> string -> float;  (** leaf-value distance in [\[0,2\]] *)
+  compare : string -> string -> float;
+  (** leaf-value distance in [\[0,2\]]; must be a pure function of its
+      arguments — a {!ctx} memoizes results per distinct value pair *)
 }
 
 val default : t
@@ -43,8 +49,17 @@ val t1_root : ctx -> Treediff_tree.Node.t
 
 val t2_root : ctx -> Treediff_tree.Node.t
 
+val index1 : ctx -> Treediff_tree.Index.t
+(** The dense index of T1; label ids agree with {!index2} (shared
+    interner). *)
+
+val index2 : ctx -> Treediff_tree.Index.t
+
 val equal_leaf : ctx -> Treediff_tree.Node.t -> Treediff_tree.Node.t -> bool
-(** Criterion 1 test; counts one leaf-compare when labels agree. *)
+(** Criterion 1 test; counts one leaf-compare when labels agree.  The
+    [compare] result is memoized per distinct (interned) value pair, so the
+    chain LCS's repeated probes of the same sentences cost one array read
+    after the first call. *)
 
 val common : ctx -> Matching.t -> Treediff_tree.Node.t -> Treediff_tree.Node.t -> int
 (** [common ctx m x y] is [|common(x,y)|] under the current matching [m]:
@@ -63,8 +78,11 @@ val leaf_count : ctx -> Treediff_tree.Node.t -> int
 
 val mc3_violating_leaves : ctx -> old_side:bool -> Treediff_tree.Node.t list
 (** Leaves of the given side with ≥ 2 close counterparts ([compare <= 1])
-    on the other side — the leaves violating Matching Criterion 3.
-    O(n²) compares; used by the Table 1 experiment, not by matching. *)
+    on the other side — the leaves violating Matching Criterion 3.  The scan
+    buckets the other side by label and dedupes values by interned id, so
+    [compare] runs once per distinct same-label value pair rather than the
+    naive O(n₁·n₂) times.  Used by the Table 1 experiment, not by
+    matching. *)
 
 val mc3_violations : ctx -> int
 (** Total violating leaves across both sides. *)

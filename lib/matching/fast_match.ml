@@ -1,23 +1,55 @@
 module Node = Treediff_tree.Node
+module Index = Treediff_tree.Index
 
+(* The paper's chain_T(l), walking the tree.  Kept for callers that hold a
+   bare tree (tests); [run] itself reads the precomputed index chains. *)
 let chain t l ~leaf =
   List.filter
     (fun (n : Node.t) -> String.equal n.label l && Node.is_leaf n = leaf)
     (Node.preorder t)
 
-let match_label ctx m ?window l ~leaf =
-  let t1 = Criteria.t1_root ctx and t2 = Criteria.t2_root ctx in
-  let unmatched_of side nodes =
-    let keep (n : Node.t) =
-      match side with
-      | `Old -> not (Matching.matched_old m n.id)
-      | `New -> not (Matching.matched_new m n.id)
-    in
-    Array.of_list (List.filter keep nodes)
+(* Unmatched nodes of the label's chain, in preorder, as nodes. *)
+let unmatched_chain idx keep l ~leaf =
+  let ranks =
+    match Index.find_label idx l with
+    | None -> [||]
+    | Some lid -> (if leaf then Index.leaf_chain else Index.internal_chain) idx lid
   in
+  let nodes = Array.map (Index.node idx) ranks in
+  let n = Array.length nodes in
+  let kept = Array.make n false in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if keep nodes.(i) then begin
+      kept.(i) <- true;
+      incr count
+    end
+  done;
+  if !count = n then nodes
+  else begin
+    let out = Array.make !count nodes.(0) in
+    let j = ref 0 in
+    for i = 0 to n - 1 do
+      if kept.(i) then begin
+        out.(!j) <- nodes.(i);
+        incr j
+      end
+    done;
+    out
+  end
+
+let match_label ctx m ?window l ~leaf =
   (* Only unmatched nodes take part; seeded pairs (keys) must stay intact. *)
-  let s1 = unmatched_of `Old (chain t1 l ~leaf) in
-  let s2 = unmatched_of `New (chain t2 l ~leaf) in
+  let s1 =
+    unmatched_chain (Criteria.index1 ctx)
+      (fun (n : Node.t) -> not (Matching.matched_old m n.id))
+      l ~leaf
+  in
+  let s2 =
+    unmatched_chain (Criteria.index2 ctx)
+      (fun (n : Node.t) -> not (Matching.matched_new m n.id))
+      l ~leaf
+  in
   let equal (x : Node.t) (y : Node.t) = Criteria.equal_nodes ctx m x y in
   (* 2a–2d: LCS pass over the chains. *)
   let lcs = Treediff_lcs.Myers.lcs ~equal s1 s2 in
@@ -45,11 +77,11 @@ let match_label ctx m ?window l ~leaf =
 
 let run ?init ?window ctx =
   let m = match init with Some m -> Matching.copy m | None -> Matching.create () in
-  let t1 = Criteria.t1_root ctx and t2 = Criteria.t2_root ctx in
+  let idx1 = Criteria.index1 ctx and idx2 = Criteria.index2 ctx in
   List.iter
     (fun l -> match_label ctx m ?window l ~leaf:true)
-    (Label_order.leaf_labels t1 t2);
+    (Label_order.leaf_labels_of_indexes idx1 idx2);
   List.iter
     (fun l -> match_label ctx m ?window l ~leaf:false)
-    (Label_order.internal_labels t1 t2);
+    (Label_order.internal_labels_of_indexes idx1 idx2);
   m

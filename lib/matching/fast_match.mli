@@ -22,6 +22,11 @@ val run : ?init:Matching.t -> ?window:int -> Criteria.ctx -> Matching.t
     Comparison counts accumulate in the context's
     {!Treediff_util.Stats.t}. *)
 
+val match_label :
+  Criteria.ctx -> Matching.t -> ?window:int -> string -> leaf:bool -> unit
+(** One label's chain-LCS-then-scan pass, mutating the matching in place —
+    the unit {!run} iterates.  Exposed for the phase profiler and tests. *)
+
 val chain : Treediff_tree.Node.t -> string -> leaf:bool -> Treediff_tree.Node.t list
 (** [chain t l ~leaf] is the paper's [chain_T(l)]: nodes of [t] with label
     [l] in left-to-right (preorder) order, restricted to leaves or internal

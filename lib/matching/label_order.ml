@@ -1,4 +1,41 @@
 module Node = Treediff_tree.Node
+module Index = Treediff_tree.Index
+
+(* Indexed variants: same results as the Node-walking ones below, but node
+   heights come from the precomputed index arrays instead of a fresh
+   O(subtree) recursion per node. *)
+
+let order_of_indexes idx1 idx2 =
+  let h = Hashtbl.create 16 in
+  let note idx =
+    for r = 0 to Index.size idx - 1 do
+      let l = Index.label_name idx r in
+      let hn = Index.height idx r in
+      match Hashtbl.find_opt h l with
+      | Some old when old >= hn -> ()
+      | _ -> Hashtbl.replace h l hn
+    done
+  in
+  note idx1;
+  note idx2;
+  Hashtbl.fold (fun l ht acc -> (l, ht) :: acc) h []
+  |> List.sort (fun (l1, h1) (l2, h2) ->
+         if h1 <> h2 then compare h1 h2 else compare l1 l2)
+  |> List.map fst
+
+let labels_with_indexed chain_of idx1 idx2 =
+  let has idx l =
+    match Index.find_label idx l with
+    | Some lid -> Array.length (chain_of idx lid) > 0
+    | None -> false
+  in
+  List.filter (fun l -> has idx1 l || has idx2 l) (order_of_indexes idx1 idx2)
+
+let leaf_labels_of_indexes idx1 idx2 =
+  labels_with_indexed Index.leaf_chain idx1 idx2
+
+let internal_labels_of_indexes idx1 idx2 =
+  labels_with_indexed Index.internal_chain idx1 idx2
 
 let max_heights t1 t2 =
   let h = Hashtbl.create 16 in

@@ -20,6 +20,17 @@ val leaf_labels : Treediff_tree.Node.t -> Treediff_tree.Node.t -> string list
 val internal_labels : Treediff_tree.Node.t -> Treediff_tree.Node.t -> string list
 (** Labels borne by at least one internal node, in {!order} order. *)
 
+val order_of_indexes :
+  Treediff_tree.Index.t -> Treediff_tree.Index.t -> string list
+(** {!order} computed from prebuilt indexes — identical result, O(n) via the
+    precomputed height arrays. *)
+
+val leaf_labels_of_indexes :
+  Treediff_tree.Index.t -> Treediff_tree.Index.t -> string list
+
+val internal_labels_of_indexes :
+  Treediff_tree.Index.t -> Treediff_tree.Index.t -> string list
+
 val check_acyclic : Treediff_tree.Node.t -> Treediff_tree.Node.t -> (unit, string) result
 (** [Error msg] names a label pair [l1, l2] such that each appears as a
     proper descendant of the other (self-nesting of a single label, like the

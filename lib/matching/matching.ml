@@ -1,43 +1,120 @@
-type t = { fwd : (int, int) Hashtbl.t; bwd : (int, int) Hashtbl.t }
+(* Array-backed one-to-one matching.  Node ids are smallish dense integers
+   (drawn from one Tree.gen per comparison), so each direction is a plain
+   [id -> partner] array with -1 for "unmatched"; ids that are negative or
+   beyond [dense_cap] fall back to a hashtable so nothing ever breaks on
+   exotic identifiers.  [version] counts mutations, letting callers (the
+   Criteria common-leaf cache) invalidate derived state in O(1). *)
 
-let create () = { fwd = Hashtbl.create 64; bwd = Hashtbl.create 64 }
+let dense_cap = 1 lsl 20
 
-let copy m = { fwd = Hashtbl.copy m.fwd; bwd = Hashtbl.copy m.bwd }
+type t = {
+  mutable fwd : int array; (* T1 id -> T2 id, -1 = unmatched *)
+  mutable bwd : int array; (* T2 id -> T1 id, -1 = unmatched *)
+  fwd_ext : (int, int) Hashtbl.t; (* ids outside the dense range *)
+  bwd_ext : (int, int) Hashtbl.t;
+  mutable card : int;
+  mutable version : int;
+}
+
+let create () =
+  {
+    fwd = [||];
+    bwd = [||];
+    fwd_ext = Hashtbl.create 8;
+    bwd_ext = Hashtbl.create 8;
+    card = 0;
+    version = 0;
+  }
+
+let copy m =
+  {
+    fwd = Array.copy m.fwd;
+    bwd = Array.copy m.bwd;
+    fwd_ext = Hashtbl.copy m.fwd_ext;
+    bwd_ext = Hashtbl.copy m.bwd_ext;
+    card = m.card;
+    version = m.version;
+  }
+
+let version m = m.version
+
+let dense id = id >= 0 && id < dense_cap
+
+let rec next_size want have = if have >= want then have else next_size want (2 * have)
+
+let ensure arr id =
+  let len = Array.length arr in
+  if id < len then arr
+  else begin
+    let len' = min dense_cap (next_size (id + 1) (max 64 len)) in
+    let arr' = Array.make len' (-1) in
+    Array.blit arr 0 arr' 0 len;
+    arr'
+  end
+
+let get arr ext id =
+  if dense id then (if id < Array.length arr then arr.(id) else -1)
+  else (match Hashtbl.find_opt ext id with Some v -> v | None -> -1)
+
+let lookup_old m x = get m.fwd m.fwd_ext x
+
+let lookup_new m y = get m.bwd m.bwd_ext y
 
 let add m x y =
-  (match Hashtbl.find_opt m.fwd x with
-  | Some y' when y' <> y ->
-    invalid_arg (Printf.sprintf "Matching.add: T1 node %d already matched to %d" x y')
-  | _ -> ());
-  (match Hashtbl.find_opt m.bwd y with
-  | Some x' when x' <> x ->
-    invalid_arg (Printf.sprintf "Matching.add: T2 node %d already matched to %d" y x')
-  | _ -> ());
-  Hashtbl.replace m.fwd x y;
-  Hashtbl.replace m.bwd y x
+  if x < 0 || y < 0 then invalid_arg "Matching.add: negative node id";
+  let x' = lookup_old m x in
+  if x' >= 0 && x' <> y then
+    invalid_arg (Printf.sprintf "Matching.add: T1 node %d already matched to %d" x x');
+  let y' = lookup_new m y in
+  if y' >= 0 && y' <> x then
+    invalid_arg (Printf.sprintf "Matching.add: T2 node %d already matched to %d" y y');
+  if x' < 0 then begin
+    (* fresh pair (one-to-one: x' < 0 iff y' < 0 here) *)
+    if dense x then begin
+      m.fwd <- ensure m.fwd x;
+      m.fwd.(x) <- y
+    end
+    else Hashtbl.replace m.fwd_ext x y;
+    if dense y then begin
+      m.bwd <- ensure m.bwd y;
+      m.bwd.(y) <- x
+    end
+    else Hashtbl.replace m.bwd_ext y x;
+    m.card <- m.card + 1;
+    m.version <- m.version + 1
+  end
 
 let remove m x y =
-  match Hashtbl.find_opt m.fwd x with
-  | Some y' when y' = y ->
-    Hashtbl.remove m.fwd x;
-    Hashtbl.remove m.bwd y
-  | _ -> ()
+  if lookup_old m x = y && y >= 0 then begin
+    if dense x then m.fwd.(x) <- -1 else Hashtbl.remove m.fwd_ext x;
+    if dense y then m.bwd.(y) <- -1 else Hashtbl.remove m.bwd_ext y;
+    m.card <- m.card - 1;
+    m.version <- m.version + 1
+  end
 
-let mem m x y = match Hashtbl.find_opt m.fwd x with Some y' -> y' = y | None -> false
+let mem m x y = y >= 0 && lookup_old m x = y
 
-let partner_of_old m x = Hashtbl.find_opt m.fwd x
+let partner_of_old m x =
+  let y = lookup_old m x in
+  if y < 0 then None else Some y
 
-let partner_of_new m y = Hashtbl.find_opt m.bwd y
+let partner_of_new m y =
+  let x = lookup_new m y in
+  if x < 0 then None else Some x
 
-let matched_old m x = Hashtbl.mem m.fwd x
+let matched_old m x = lookup_old m x >= 0
 
-let matched_new m y = Hashtbl.mem m.bwd y
+let matched_new m y = lookup_new m y >= 0
 
-let cardinal m = Hashtbl.length m.fwd
+let cardinal m = m.card
 
 let pairs m =
-  Hashtbl.fold (fun x y acc -> (x, y) :: acc) m.fwd []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  let acc = ref [] in
+  Hashtbl.iter (fun x y -> acc := (x, y) :: !acc) m.fwd_ext;
+  for x = Array.length m.fwd - 1 downto 0 do
+    if m.fwd.(x) >= 0 then acc := (x, m.fwd.(x)) :: !acc
+  done;
+  List.sort (fun (a, _) (b, _) -> compare a b) !acc
 
 let equal a b =
   cardinal a = cardinal b && List.for_all (fun (x, y) -> mem b x y) (pairs a)

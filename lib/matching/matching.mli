@@ -11,10 +11,15 @@ val create : unit -> t
 
 val copy : t -> t
 
+val version : t -> int
+(** Mutation counter: incremented by every effective {!add} and {!remove}
+    (no-ops do not count).  Derived caches — the Criteria common-leaf
+    cache — compare versions to invalidate in O(1). *)
+
 val add : t -> int -> int -> unit
 (** [add m x y] matches T1-node [x] with T2-node [y].
     @raise Invalid_argument if either side is already matched to a different
-    node (matchings are one-to-one). *)
+    node (matchings are one-to-one), or on a negative id. *)
 
 val remove : t -> int -> int -> unit
 (** Remove the pair [(x, y)] if present. *)

@@ -1,21 +1,26 @@
 module Node = Treediff_tree.Node
+module Index = Treediff_tree.Index
 
 let run ctx m =
+  let idx1 = Criteria.index1 ctx and idx2 = Criteria.index2 ctx in
   let t1 = Criteria.t1_root ctx in
-  let t1_index = Treediff_tree.Tree.index_by_id (Criteria.t1_root ctx) in
-  let t2_index = Treediff_tree.Tree.index_by_id (Criteria.t2_root ctx) in
+  let node2 yid =
+    match Index.node_of_id idx2 yid with
+    | Some y -> y
+    | None -> invalid_arg (Printf.sprintf "Postprocess: unknown T2 node %d" yid)
+  in
   let fixed = ref 0 in
   let visit (x : Node.t) =
     match Matching.partner_of_old m x.id with
     | None -> ()
     | Some yid ->
-      let y = Hashtbl.find t2_index yid in
-      List.iter
+      let y = node2 yid in
+      Node.iter_children
         (fun (c : Node.t) ->
           match Matching.partner_of_old m c.id with
           | None -> ()
           | Some c'id ->
-            let c' = Hashtbl.find t2_index c'id in
+            let c' = node2 c'id in
             let parent_is_y =
               match c'.Node.parent with Some p -> p.Node.id = yid | None -> false
             in
@@ -26,9 +31,10 @@ let run ctx m =
               (* Prefer an unmatched candidate; otherwise swap with a matched
                  one (two crossed duplicates re-pointed in one step). *)
               let unmatched_candidate =
-                List.find_opt
-                  (fun (c'' : Node.t) -> (not (Matching.matched_new m c''.id)) && eligible c'')
-                  (Node.children y)
+                Node.find_child
+                  (fun (c'' : Node.t) ->
+                    (not (Matching.matched_new m c''.id)) && eligible c'')
+                  y
               in
               match unmatched_candidate with
               | Some c'' ->
@@ -37,28 +43,31 @@ let run ctx m =
                 incr fixed
               | None -> (
                 let swap_candidate =
-                  List.find_opt
-                    (fun (c'' : Node.t) -> Matching.matched_new m c''.id && eligible c'')
-                    (Node.children y)
+                  Node.find_child
+                    (fun (c'' : Node.t) ->
+                      Matching.matched_new m c''.id && eligible c'')
+                    y
                 in
                 match swap_candidate with
                 | Some c'' -> (
                   match Matching.partner_of_new m c''.Node.id with
-                  | Some aid ->
-                    let a = Hashtbl.find t1_index aid in
-                    (* Swap partners only if the displaced node may take c'
-                       (same label class); both pairs stay criterion-valid. *)
-                    if Criteria.equal_nodes ctx m a c' then begin
-                      Matching.remove m c.id c'id;
-                      Matching.remove m aid c''.Node.id;
-                      Matching.add m c.id c''.Node.id;
-                      Matching.add m aid c'id;
-                      incr fixed
-                    end
+                  | Some aid -> (
+                    match Index.node_of_id idx1 aid with
+                    | Some a ->
+                      (* Swap partners only if the displaced node may take c'
+                         (same label class); both pairs stay criterion-valid. *)
+                      if Criteria.equal_nodes ctx m a c' then begin
+                        Matching.remove m c.id c'id;
+                        Matching.remove m aid c''.Node.id;
+                        Matching.add m c.id c''.Node.id;
+                        Matching.add m aid c'id;
+                        incr fixed
+                      end
+                    | None -> ())
                   | None -> ())
                 | None -> ())
             end)
-        (Node.children x)
+        x
   in
   (* Top-down: parents are repaired before their children are examined. *)
   Node.iter_bfs visit t1;

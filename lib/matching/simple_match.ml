@@ -1,35 +1,50 @@
 module Node = Treediff_tree.Node
+module Index = Treediff_tree.Index
 
-(* T1 nodes in bottom-up order: height ascending, preorder within a height,
-   so every node is visited after all its descendants and — under the
-   acyclic-labels condition — after every node that could match below it. *)
-let bottom_up t =
-  let with_h = List.map (fun n -> (Node.height n, n)) (Node.preorder t) in
-  List.stable_sort (fun (h1, _) (h2, _) -> compare h1 h2) with_h |> List.map snd
-
-let candidates_by_label t =
-  let h = Hashtbl.create 16 in
-  List.iter
-    (fun (n : Node.t) ->
-      let prev = try Hashtbl.find h n.label with Not_found -> [] in
-      Hashtbl.replace h n.label (n :: prev))
-    (List.rev (Node.preorder t));
-  h
+(* T1 ranks in bottom-up order: height ascending, preorder within a height
+   (a counting sort over the index's height array — stable, so it equals the
+   seed's stable_sort over the preorder list), so every node is visited
+   after all its descendants and — under the acyclic-labels condition —
+   after every node that could match below it. *)
+let bottom_up idx =
+  let n = Index.size idx in
+  let maxh = if n = 0 then 0 else Index.height idx 0 in
+  let counts = Array.make (maxh + 1) 0 in
+  for r = 0 to n - 1 do
+    let h = Index.height idx r in
+    counts.(h) <- counts.(h) + 1
+  done;
+  let starts = Array.make (maxh + 1) 0 in
+  for h = 1 to maxh do
+    starts.(h) <- starts.(h - 1) + counts.(h - 1)
+  done;
+  let order = Array.make n 0 in
+  for r = 0 to n - 1 do
+    let h = Index.height idx r in
+    order.(starts.(h)) <- r;
+    starts.(h) <- starts.(h) + 1
+  done;
+  order
 
 let run ?init ctx =
   let m = match init with Some m -> Matching.copy m | None -> Matching.create () in
-  let by_label = candidates_by_label (Criteria.t2_root ctx) in
-  List.iter
-    (fun (x : Node.t) ->
-      if not (Matching.matched_old m x.id) then
-        let candidates = try Hashtbl.find by_label x.label with Not_found -> [] in
-        let rec scan = function
-          | [] -> ()
-          | (y : Node.t) :: rest ->
-            if (not (Matching.matched_new m y.id)) && Criteria.equal_nodes ctx m x y
-            then Matching.add m x.id y.id
-            else scan rest
+  let idx1 = Criteria.index1 ctx and idx2 = Criteria.index2 ctx in
+  Array.iter
+    (fun r ->
+      let x = Index.node idx1 r in
+      if not (Matching.matched_old m x.Node.id) then begin
+        (* Candidates: all same-label T2 nodes in preorder (the index chain;
+           label ids are shared across the pair's indexes). *)
+        let candidates = Index.chain idx2 (Index.label_id idx1 r) in
+        let k = Array.length candidates in
+        let rec scan i =
+          if i < k then
+            let y = Index.node idx2 candidates.(i) in
+            if (not (Matching.matched_new m y.Node.id)) && Criteria.equal_nodes ctx m x y
+            then Matching.add m x.Node.id y.Node.id
+            else scan (i + 1)
         in
-        scan candidates)
-    (bottom_up (Criteria.t1_root ctx));
+        scan 0
+      end)
+    (bottom_up idx1);
   m

@@ -5,10 +5,26 @@ let is_word_char c =
   | c when Char.code c >= 0x80 -> true
   | _ -> false
 
+(* Lowercasing the whole string once and then slicing equals slicing and
+   then lowercasing each word ([lowercase_ascii] is a byte-wise map); the
+   two-pass scan fills an exact-size array with no intermediate list. *)
 let words s =
+  let s = String.lowercase_ascii s in
   let n = String.length s in
-  let acc = ref [] in
-  let i = ref 0 in
+  let count = ref 0 and i = ref 0 in
+  while !i < n do
+    while !i < n && not (is_word_char s.[!i]) do
+      incr i
+    done;
+    if !i < n then begin
+      incr count;
+      while !i < n && is_word_char s.[!i] do
+        incr i
+      done
+    end
+  done;
+  let out = Array.make !count "" in
+  let j = ref 0 and i = ref 0 in
   while !i < n do
     while !i < n && not (is_word_char s.[!i]) do
       incr i
@@ -17,16 +33,58 @@ let words s =
     while !i < n && is_word_char s.[!i] do
       incr i
     done;
-    if !i > start then acc := String.lowercase_ascii (String.sub s start (!i - start)) :: !acc
+    if !i > start then begin
+      out.(!j) <- String.sub s start (!i - start);
+      incr j
+    end
   done;
-  Array.of_list (List.rev !acc)
+  out
+
+(* Tokenization memo: [words] is a pure function and versioned documents
+   compare the same sentences over and over (the chain LCS in FastMatch
+   probes each pair of nearby sentences), so cache token arrays per input
+   string.  Words are interned to ints on the way in, making the LCS probes
+   integer comparisons.  The cache is flushed wholesale when oversized; both
+   tables are generation-consistent because the flush happens only before
+   either string of a call is looked up. *)
+let token_cap = 1 lsl 16
+
+let token_tbl : (string, int array) Hashtbl.t = Hashtbl.create 1024
+
+let word_ids : (string, int) Hashtbl.t = Hashtbl.create 1024
+
+let intern_word w =
+  match Hashtbl.find_opt word_ids w with
+  | Some i -> i
+  | None ->
+    let i = Hashtbl.length word_ids in
+    Hashtbl.replace word_ids w i;
+    i
+
+let tokens s =
+  match Hashtbl.find_opt token_tbl s with
+  | Some a -> a
+  | None ->
+    let a = Array.map intern_word (words s) in
+    Hashtbl.replace token_tbl s a;
+    a
 
 let distance a b =
-  let wa = words a and wb = words b in
-  let na = Array.length wa and nb = Array.length wb in
-  if na = 0 && nb = 0 then 0.0
-  else
-    let c = Treediff_lcs.Myers.lcs_length ~equal:String.equal wa wb in
-    float_of_int (na + nb - (2 * c)) /. float_of_int (max na nb)
+  (* Equal strings tokenize identically, so the LCS is total and the
+     distance is exactly 0 — skip the tokenization, which dominates the
+     cost on mostly-unchanged documents. *)
+  if String.equal a b then 0.0
+  else begin
+    if Hashtbl.length token_tbl > token_cap then begin
+      Hashtbl.reset token_tbl;
+      Hashtbl.reset word_ids
+    end;
+    let wa = tokens a and wb = tokens b in
+    let na = Array.length wa and nb = Array.length wb in
+    if na = 0 && nb = 0 then 0.0
+    else
+      let c = Treediff_lcs.Myers.lcs_length ~equal:Int.equal wa wb in
+      float_of_int (na + nb - (2 * c)) /. float_of_int (max na nb)
+  end
 
 let similar ?(threshold = 0.5) a b = distance a b <= threshold

@@ -61,6 +61,17 @@ let rec height n =
 
 let rec depth n = match n.parent with None -> 0 | Some p -> 1 + depth p
 
+let iter_children f n = Vec.iter f n.children
+
+let iteri_children f n = Vec.iteri f n.children
+
+let fold_children f acc n = Vec.fold f acc n.children
+
+let find_child p n =
+  match Vec.index p n.children with
+  | Some i -> Some (Vec.get n.children i)
+  | None -> None
+
 let rec iter_preorder f n =
   f n;
   Vec.iter (iter_preorder f) n.children

@@ -66,6 +66,17 @@ val height : t -> int
 val depth : t -> int
 (** [0] for a root. *)
 
+val iter_children : (t -> unit) -> t -> unit
+(** Left-to-right over the direct children, without materialising the
+    {!children} list — the hot-loop alternative. *)
+
+val iteri_children : (int -> t -> unit) -> t -> unit
+
+val fold_children : ('a -> t -> 'a) -> 'a -> t -> 'a
+
+val find_child : (t -> bool) -> t -> t option
+(** Leftmost direct child satisfying the predicate. *)
+
 val iter_preorder : (t -> unit) -> t -> unit
 
 val iter_postorder : (t -> unit) -> t -> unit

@@ -16,7 +16,7 @@ let leaf g label value = node g label ~value []
 
 let rec copy (n : Node.t) =
   let n' = Node.make ~id:n.id ~label:n.label ~value:n.value () in
-  List.iter (fun c -> Node.append_child n' (copy c)) (Node.children n);
+  Node.iter_children (fun c -> Node.append_child n' (copy c)) n;
   n'
 
 let max_id n =
@@ -46,5 +46,5 @@ let find_by_id n id =
 
 let rec relabel_ids g (n : Node.t) =
   let n' = Node.make ~id:(fresh_id g) ~label:n.label ~value:n.value () in
-  List.iter (fun c -> Node.append_child n' (relabel_ids g c)) (Node.children n);
+  Node.iter_children (fun c -> Node.append_child n' (relabel_ids g c)) n;
   n'
