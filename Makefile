@@ -1,15 +1,28 @@
-.PHONY: all build test bench bench-quick doc clean examples
+.PHONY: all build lint check test bench bench-quick doc clean examples
 
 all: build
 
 build:
 	dune build @all
 
+lint:
+	dune build @lint
+
+# Static gate: build everything (check layer is warnings-as-errors), then run
+# the verifier end-to-end over every example pair.
+check: lint
+	@for p in examples/pairs/*.old.sexp; do \
+	  echo "== treediff check $$p"; \
+	  dune exec bin/treediff_cli.exe -- check "$$p" "$${p%.old.sexp}.new.sexp" || exit 1; \
+	done
+
+# The suite runs with the always-on sanitizer enabled: every Diff.diff in any
+# test raises on error-severity findings.
 test:
-	dune runtest
+	TREEDIFF_CHECK=1 dune runtest
 
 test-force:
-	dune runtest --force --no-buffer
+	TREEDIFF_CHECK=1 dune runtest --force --no-buffer
 
 bench:
 	dune exec bench/main.exe

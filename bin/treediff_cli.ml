@@ -137,7 +137,11 @@ let diff_cmd =
 let run_apply tree_file script_file format output =
   let gen = Treediff_tree.Tree.gen () in
   let t = parse_tree format gen (read_file tree_file) in
-  let script = Treediff_edit.Script_io.of_string (read_file script_file) in
+  let script =
+    match Treediff_edit.Script_io.parse (read_file script_file) with
+    | Ok script -> script
+    | Error msg -> failwith (Printf.sprintf "%s: %s" script_file msg)
+  in
   let t' = Treediff_edit.Script.apply t script in
   write_out output (print_tree format t')
 
@@ -153,6 +157,72 @@ let apply_cmd =
   Cmd.v (Cmd.info "apply" ~doc)
     Term.(const run_apply $ tree_file $ script_file $ format_arg $ output)
 
+(* ----------------------------------------------------------------- check *)
+
+module Diag = Treediff_check.Diag
+
+let run_check old_file new_file format script_file delta_file audit output =
+  let gen = Treediff_tree.Tree.gen () in
+  let t1 = parse_tree format gen (read_file old_file) in
+  let t2 = parse_tree format gen (read_file new_file) in
+  let diags =
+    match (script_file, delta_file) with
+    | Some _, Some _ -> failwith "--script and --delta are mutually exclusive"
+    | Some sf, None -> (
+      (* A serialized script: lint + conformance against the tree pair.  No
+         matching is available, so the matching analyzer does not run. *)
+      match Treediff_edit.Script_io.parse (read_file sf) with
+      | Error msg -> [ Diag.make Diag.Script_parse "%s: %s" sf msg ]
+      | Ok script -> Treediff_check.Check.verify ~t1 ~t2 script)
+    | None, Some df -> (
+      (* A serialized delta: structural rules + does it reproduce NEW. *)
+      match Treediff.Delta_io.parse (read_file df) with
+      | Error msg -> [ Diag.make Diag.Delta_parse "%s: %s" df msg ]
+      | Ok delta -> Treediff.Delta_check.run ~new_tree:t2 delta)
+    | None, None ->
+      (* Self-check: diff the pair, then verify our own artifacts. *)
+      let config = Treediff.Config.(with_check false default) in
+      let result = Treediff.Diff.diff ~config t1 t2 in
+      Treediff.Diff.verify ~config ~audit_data:audit result ~t1 ~t2
+  in
+  let buf = Buffer.create 256 in
+  List.iter (fun d -> Buffer.add_string buf (Diag.to_string d ^ "\n")) diags;
+  Buffer.add_string buf (Diag.summary diags ^ "\n");
+  write_out output (Buffer.contents buf);
+  if Diag.errors diags <> [] then exit 1
+
+let check_script =
+  Arg.(value & opt (some file) None & info [ "script" ] ~docv:"FILE"
+         ~doc:"Verify this stored edit script (Script_io format) against the \
+               tree pair instead of diffing.")
+
+let check_delta =
+  Arg.(value & opt (some file) None & info [ "delta" ] ~docv:"FILE"
+         ~doc:"Verify this stored delta (Delta_io format) against the tree \
+               pair instead of diffing.")
+
+let check_audit =
+  Arg.(value & flag & info [ "audit" ]
+         ~doc:"Also audit the data itself: Matching Criterion 3 ambiguity \
+               and label-schema cycles (warnings).")
+
+let check_cmd =
+  let doc = "statically verify diff artifacts against a tree pair" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P "Without flags, diffs OLD and NEW and runs the static verifier over \
+          the result — script lint, matching analysis and conformance audit. \
+          With $(b,--script) or $(b,--delta), verifies a stored artifact \
+          instead.  Prints one coded diagnostic per line (TD1xx script lint, \
+          TD2xx matching, TD3xx conformance, TD4xx delta structure) and \
+          exits non-zero when any error-severity finding is present.";
+    ]
+  in
+  Cmd.v (Cmd.info "check" ~doc ~man)
+    Term.(const run_check $ old_file $ new_file $ format_arg $ check_script
+          $ check_delta $ check_audit $ output)
+
 (* ------------------------------------------------------------------ main *)
 
 let cmd =
@@ -165,6 +235,7 @@ let cmd =
           of Chawathe, Rajaraman, Garcia-Molina & Widom (SIGMOD 1996).";
     ]
   in
-  Cmd.group (Cmd.info "treediff" ~version:"1.0.0" ~doc ~man) [ diff_cmd; apply_cmd ]
+  Cmd.group (Cmd.info "treediff" ~version:"1.0.0" ~doc ~man)
+    [ diff_cmd; apply_cmd; check_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,4 @@
+(Config
+  (Defaults (Timeout "60") (Retries "3"))
+  (Host (Name "alpha") (Port "8443") (Tls "on"))
+  (Host (Name "gamma") (Port "9090")))

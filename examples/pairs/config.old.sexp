@@ -1,0 +1,4 @@
+(Config
+  (Host (Name "alpha") (Port "8080") (Tls "off"))
+  (Host (Name "beta") (Port "9090"))
+  (Defaults (Timeout "30")))

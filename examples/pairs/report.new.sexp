@@ -1,0 +1,5 @@
+(Doc
+  (Sec (Para (S "the") (S "quick") (S "red"))
+       (Para (S "fox") (S "leaps") (S "high")))
+  (Sec (Para (S "over") (S "the") (S "dog"))
+       (Para (S "and") (S "sleeps"))))

@@ -1,0 +1,4 @@
+(Doc
+  (Sec (Para (S "the") (S "quick") (S "brown"))
+       (Para (S "fox") (S "jumps")))
+  (Sec (Para (S "over") (S "the") (S "lazy") (S "dog"))))

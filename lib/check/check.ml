@@ -1,0 +1,23 @@
+let env_enabled () =
+  match Sys.getenv_opt "TREEDIFF_CHECK" with
+  | None | Some ("" | "0" | "false" | "no") -> false
+  | Some _ -> true
+
+let verify ?criteria ?matching ?dummy ?audit_data ~t1 ~t2 script =
+  let lint = Script_lint.run ~tree:t1 script in
+  let lint_clean = not (List.exists Diag.is_error lint.Script_lint.diags) in
+  let m_diags =
+    match matching with
+    | Some m ->
+      Match_check.run ?criteria ?audit_data ?skip_criteria_for:dummy ~t1 ~t2 m
+    | None -> []
+  in
+  let c_diags =
+    match lint.Script_lint.sim with
+    | Some sim -> Conform.audit ?matching ~sim ~lint_clean ~t1 ~t2 script
+    | None -> []
+  in
+  lint.Script_lint.diags @ m_diags @ c_diags
+
+let assert_ok diags =
+  match Diag.errors diags with [] -> () | errs -> raise (Diag.Failed errs)

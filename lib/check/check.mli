@@ -1,0 +1,34 @@
+(** The verifier driver: lint + matching analysis + conformance audit over
+    one diff artifact set, and the [TREEDIFF_CHECK] environment gate the
+    always-on sanitizer reads.
+
+    {!verify} analyzes the artifacts {e without executing them} against real
+    trees: the script is replayed symbolically (see {!Sim}) and every
+    finding comes back as a {!Diag.t}.  Callers decide severity policy;
+    the pipeline sanitizer raises {!Diag.Failed} on errors only, because
+    warnings (criteria margins, minimality bounds) are legitimate for
+    externally supplied matchings. *)
+
+val env_enabled : unit -> bool
+(** True when the [TREEDIFF_CHECK] environment variable is set to anything
+    but [""], ["0"], ["false"] or ["no"] — the default for
+    {!Treediff.Config.t}'s [check] flag. *)
+
+val verify :
+  ?criteria:Treediff_matching.Criteria.t ->
+  ?matching:Treediff_matching.Matching.t ->
+  ?dummy:int * int ->
+  ?audit_data:bool ->
+  t1:Treediff_tree.Node.t ->
+  t2:Treediff_tree.Node.t ->
+  Treediff_edit.Script.t ->
+  Diag.t list
+(** [verify ~t1 ~t2 script] runs the script linter and the conformance
+    audit; with [~matching] it also runs the matching analyzer and the
+    matching-derived op-count bounds.  When the pipeline dummy-rooted the
+    pair (§4.1), pass the {e effective} trees, a matching extended with the
+    dummy pair, and [~dummy] so the synthetic pair is exempt from criteria
+    warnings.  Neither tree is mutated. *)
+
+val assert_ok : Diag.t list -> unit
+(** @raise Diag.Failed with the error diagnostics, if any. *)

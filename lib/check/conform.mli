@@ -1,0 +1,24 @@
+(** Conformance and minimality auditor (§3.2): does the script transform T1
+    into T2, and does it conform to — and spend no more operations than —
+    the matching it was generated from?
+
+    Isomorphism is judged on the {!Sim} state left by the linter's symbolic
+    replay, so nothing is executed against real trees here either.  The
+    matching-based checks are exact for generator output (errors:
+    DEL of a matched T1 node, INS of an id the matching claims pre-exists)
+    and bounds for everything else (warnings): the matching fixes the
+    insert count (unmatched T2 nodes), the delete count (unmatched T1
+    nodes), an upper bound on useful updates (value-changed pairs) and a
+    lower bound on moves (pairs whose parents are not matched together). *)
+
+val audit :
+  ?matching:Treediff_matching.Matching.t ->
+  sim:Sim.t ->
+  lint_clean:bool ->
+  t1:Treediff_tree.Node.t ->
+  t2:Treediff_tree.Node.t ->
+  Treediff_edit.Script.t ->
+  Diag.t list
+(** [lint_clean] tells the auditor whether the linter applied every
+    operation; when it did not, the isomorphism check is skipped (the final
+    state is known-partial and the lint errors already explain why). *)

@@ -1,0 +1,145 @@
+type severity = Error | Warning
+
+type code =
+  | Script_parse
+  | Delta_parse
+  | Use_after_delete
+  | Duplicate_insert
+  | Deleted_destination
+  | Position_oob
+  | Delete_non_leaf
+  | Phase_order
+  | Move_into_subtree
+  | Unknown_node
+  | Root_edit
+  | Not_one_to_one
+  | Unmatched_id
+  | Label_mismatch
+  | Root_mismatch
+  | Leaf_criterion
+  | Internal_criterion
+  | Kind_mismatch
+  | Mc3_ambiguous
+  | Label_cycle
+  | Not_isomorphic
+  | Deletes_matched
+  | Inserts_matched
+  | Insert_count
+  | Delete_count
+  | Redundant_update
+  | Redundant_move
+  | Move_count
+  | Marker_unpaired
+  | Marker_duplicate
+  | Ghost_structure
+  | Ghost_root
+  | Delta_mismatch
+  | Internal_invariant
+
+let id = function
+  | Script_parse -> "TD001"
+  | Delta_parse -> "TD002"
+  | Use_after_delete -> "TD101"
+  | Duplicate_insert -> "TD102"
+  | Deleted_destination -> "TD103"
+  | Position_oob -> "TD104"
+  | Delete_non_leaf -> "TD105"
+  | Phase_order -> "TD106"
+  | Move_into_subtree -> "TD107"
+  | Unknown_node -> "TD108"
+  | Root_edit -> "TD109"
+  | Not_one_to_one -> "TD201"
+  | Unmatched_id -> "TD202"
+  | Label_mismatch -> "TD203"
+  | Root_mismatch -> "TD204"
+  | Leaf_criterion -> "TD205"
+  | Internal_criterion -> "TD206"
+  | Kind_mismatch -> "TD207"
+  | Mc3_ambiguous -> "TD208"
+  | Label_cycle -> "TD209"
+  | Not_isomorphic -> "TD301"
+  | Deletes_matched -> "TD302"
+  | Inserts_matched -> "TD303"
+  | Insert_count -> "TD310"
+  | Delete_count -> "TD311"
+  | Redundant_update -> "TD312"
+  | Redundant_move -> "TD313"
+  | Move_count -> "TD314"
+  | Marker_unpaired -> "TD401"
+  | Marker_duplicate -> "TD402"
+  | Ghost_structure -> "TD403"
+  | Ghost_root -> "TD404"
+  | Delta_mismatch -> "TD405"
+  | Internal_invariant -> "TD901"
+
+let default_severity = function
+  | Leaf_criterion | Internal_criterion | Kind_mismatch | Mc3_ambiguous
+  | Label_cycle | Insert_count | Delete_count | Redundant_update
+  | Redundant_move | Move_count ->
+    Warning
+  | Script_parse | Delta_parse | Use_after_delete | Duplicate_insert
+  | Deleted_destination | Position_oob | Delete_non_leaf | Phase_order
+  | Move_into_subtree | Unknown_node | Root_edit | Not_one_to_one
+  | Unmatched_id | Label_mismatch | Root_mismatch | Not_isomorphic
+  | Deletes_matched | Inserts_matched | Marker_unpaired | Marker_duplicate
+  | Ghost_structure | Ghost_root | Delta_mismatch | Internal_invariant ->
+    Error
+
+type t = {
+  code : code;
+  severity : severity;
+  message : string;
+  op : int option;
+  nodes : int list;
+}
+
+let v ~severity ?op ?(nodes = []) code fmt =
+  Printf.ksprintf (fun message -> { code; severity; message; op; nodes }) fmt
+
+let make ?op ?nodes code fmt =
+  v ~severity:(default_severity code) ?op ?nodes code fmt
+
+let warn ?op ?nodes code fmt = v ~severity:Warning ?op ?nodes code fmt
+
+let is_error d = d.severity = Error
+
+let errors ds = List.filter is_error ds
+
+let warnings ds = List.filter (fun d -> not (is_error d)) ds
+
+let pp ppf d =
+  Format.fprintf ppf "%s %s" (id d.code)
+    (match d.severity with Error -> "error" | Warning -> "warning");
+  (match d.op with
+  | Some i -> Format.fprintf ppf " at op %d" i
+  | None -> ());
+  (match d.nodes with
+  | [] -> ()
+  | [ n ] -> Format.fprintf ppf " (node %d)" n
+  | ns ->
+    Format.fprintf ppf " (nodes %s)"
+      (String.concat "," (List.map string_of_int ns)));
+  Format.fprintf ppf ": %s" d.message
+
+let to_string d = Format.asprintf "%a" pp d
+
+let summary ds =
+  match (List.length (errors ds), List.length (warnings ds)) with
+  | 0, 0 -> "ok"
+  | e, w ->
+    let plural n = if n = 1 then "" else "s" in
+    if w = 0 then Printf.sprintf "%d error%s" e (plural e)
+    else if e = 0 then Printf.sprintf "%d warning%s" w (plural w)
+    else Printf.sprintf "%d error%s, %d warning%s" e (plural e) w (plural w)
+
+exception Failed of t list
+
+let fail d = raise (Failed [ d ])
+
+let () =
+  Printexc.register_printer (function
+    | Failed ds ->
+      Some
+        (Printf.sprintf "Treediff_check.Diag.Failed:\n  %s"
+           (String.concat "\n  " (List.map to_string ds)))
+    | _ -> None)

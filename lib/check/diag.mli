@@ -1,0 +1,97 @@
+(** Structured diagnostics for the static verifier (the check layer).
+
+    Every finding carries a stable code, a severity, the index of the
+    offending operation (for script findings) and the node identifiers
+    involved.  Code families:
+
+    - [TD0xx] — serialization (malformed script / delta text);
+    - [TD1xx] — script lint: the linear dataflow pass over an edit script;
+    - [TD2xx] — matching analysis: one-to-one-ness, roots, criteria 1–3;
+    - [TD3xx] — conformance and minimality of a script against a matching;
+    - [TD4xx] — delta-tree structure;
+    - [TD9xx] — internal invariants of the generator itself.
+
+    The generator and the verifier both report violations through this one
+    type, so a diagnostic reads the same whether it was raised
+    mid-generation ({!Failed}) or collected by [treediff check] over a
+    serialized artifact. *)
+
+type severity = Error | Warning
+
+type code =
+  | Script_parse        (** [TD001] malformed edit-script text *)
+  | Delta_parse         (** [TD002] malformed delta text *)
+  | Use_after_delete    (** [TD101] operation on a deleted node *)
+  | Duplicate_insert    (** [TD102] INS of an id that already exists (or existed) *)
+  | Deleted_destination (** [TD103] INS/MOV destination was deleted *)
+  | Position_oob        (** [TD104] 1-based position out of range *)
+  | Delete_non_leaf     (** [TD105] DEL of a node with children at deletion time *)
+  | Phase_order         (** [TD106] non-DEL operation after the delete phase began *)
+  | Move_into_subtree   (** [TD107] MOV of a node into its own subtree *)
+  | Unknown_node        (** [TD108] operation references an id that never existed *)
+  | Root_edit           (** [TD109] DEL or MOV of the root *)
+  | Not_one_to_one      (** [TD201] a node appears in two matching pairs *)
+  | Unmatched_id        (** [TD202] matching references an id outside the tree pair *)
+  | Label_mismatch      (** [TD203] matched pair with different labels *)
+  | Root_mismatch       (** [TD204] a root matched to a non-root *)
+  | Leaf_criterion      (** [TD205] leaf pair fails Matching Criterion 1 (warning) *)
+  | Internal_criterion  (** [TD206] internal pair fails Matching Criterion 2 (warning) *)
+  | Kind_mismatch       (** [TD207] leaf matched to an internal node (warning) *)
+  | Mc3_ambiguous       (** [TD208] data violates Matching Criterion 3 (warning) *)
+  | Label_cycle         (** [TD209] label schema is cyclic (warning) *)
+  | Not_isomorphic      (** [TD301] script result differs from the target tree *)
+  | Deletes_matched     (** [TD302] DEL of a matched T1 node *)
+  | Inserts_matched     (** [TD303] INS of an id the matching claims exists in T1 *)
+  | Insert_count        (** [TD310] insert count differs from unmatched-T2 count (warning) *)
+  | Delete_count        (** [TD311] delete count differs from unmatched-T1 count (warning) *)
+  | Redundant_update    (** [TD312] no-op update, or more updates than changed pairs (warning) *)
+  | Redundant_move      (** [TD313] MOV that lands the node where it already was (warning) *)
+  | Move_count          (** [TD314] fewer moves than the matching requires (warning) *)
+  | Marker_unpaired     (** [TD401] mov K without mrk K or vice versa *)
+  | Marker_duplicate    (** [TD402] marker number used twice on one side *)
+  | Ghost_structure     (** [TD403] malformed ghost subtree in a delta *)
+  | Ghost_root          (** [TD404] delta root is a ghost *)
+  | Delta_mismatch      (** [TD405] stripped delta differs from the new tree *)
+  | Internal_invariant  (** [TD901] generator invariant broken *)
+
+val id : code -> string
+(** Stable printable code, e.g. ["TD101"]. *)
+
+val default_severity : code -> severity
+
+type t = {
+  code : code;
+  severity : severity;
+  message : string;
+  op : int option;   (** 0-based index into the script, when applicable *)
+  nodes : int list;  (** node identifiers involved *)
+}
+
+val make : ?op:int -> ?nodes:int list -> code -> ('a, unit, string, t) format4 -> 'a
+(** [make ?op ?nodes code fmt …] builds a diagnostic with the code's
+    {!default_severity}. *)
+
+val warn : ?op:int -> ?nodes:int list -> code -> ('a, unit, string, t) format4 -> 'a
+(** Like {!make} but forces {!Warning} severity. *)
+
+val is_error : t -> bool
+
+val errors : t list -> t list
+
+val warnings : t list -> t list
+
+val pp : Format.formatter -> t -> unit
+(** One line: [TD101 error at op 3 (node 17): …]. *)
+
+val to_string : t -> string
+
+val summary : t list -> string
+(** ["ok"] or ["2 errors, 1 warning"]. *)
+
+exception Failed of t list
+(** Raised by the always-on sanitizer and by the generator's internal
+    checks.  A printer is registered, so an uncaught [Failed] shows the
+    diagnostics. *)
+
+val fail : t -> 'a
+(** [fail d] raises [Failed [d]]. *)

@@ -1,0 +1,83 @@
+module Node = Treediff_tree.Node
+module Index = Treediff_tree.Index
+module Matching = Treediff_matching.Matching
+module Criteria = Treediff_matching.Criteria
+module Label_order = Treediff_matching.Label_order
+
+let run ?(criteria = Criteria.default) ?(audit_data = false) ?skip_criteria_for
+    ~t1 ~t2 m =
+  let ctx = Criteria.ctx criteria ~t1 ~t2 in
+  let idx1 = Criteria.index1 ctx and idx2 = Criteria.index2 ctx in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let seen_old = Hashtbl.create 64 and seen_new = Hashtbl.create 64 in
+  let root1 = (Index.root idx1).Node.id and root2 = (Index.root idx2).Node.id in
+  List.iter
+    (fun (x, y) ->
+      (* One-to-one-ness.  The Matching.t representation enforces this, but
+         the analyzer re-checks so pair lists from any source are covered. *)
+      if Hashtbl.mem seen_old x then
+        add (Diag.make ~nodes:[ x ] Not_one_to_one "T1 node %d matched twice" x);
+      if Hashtbl.mem seen_new y then
+        add (Diag.make ~nodes:[ y ] Not_one_to_one "T2 node %d matched twice" y);
+      Hashtbl.replace seen_old x ();
+      Hashtbl.replace seen_new y ();
+      let r1 = Index.rank_of_id idx1 x and r2 = Index.rank_of_id idx2 y in
+      if r1 < 0 then
+        add (Diag.make ~nodes:[ x ] Unmatched_id "matching references unknown T1 id %d" x);
+      if r2 < 0 then
+        add (Diag.make ~nodes:[ y ] Unmatched_id "matching references unknown T2 id %d" y);
+      if r1 >= 0 && r2 >= 0 then begin
+        if Index.label_id idx1 r1 <> Index.label_id idx2 r2 then
+          add
+            (Diag.make ~nodes:[ x; y ] Label_mismatch
+               "pair (%d,%d) has different labels (%S vs %S); updates cannot \
+                change labels"
+               x y (Index.label_name idx1 r1) (Index.label_name idx2 r2));
+        (* §3.1: x is a root iff y is a root. *)
+        if x = root1 && y <> root2 then
+          add
+            (Diag.make ~nodes:[ x; y ] Root_mismatch
+               "T1 root %d matched to non-root %d" x y)
+        else if y = root2 && x <> root1 then
+          add
+            (Diag.make ~nodes:[ x; y ] Root_mismatch
+               "T2 root %d matched to non-root %d" y x);
+        let skip =
+          match skip_criteria_for with Some (a, b) -> a = x && b = y | None -> false
+        in
+        if not skip then begin
+          let nx = Index.node idx1 r1 and ny = Index.node idx2 r2 in
+          match (Index.is_leaf_rank idx1 r1, Index.is_leaf_rank idx2 r2) with
+          | true, true ->
+            if not (Criteria.equal_leaf ctx nx ny) then
+              add
+                (Diag.warn ~nodes:[ x; y ] Leaf_criterion
+                   "leaf pair (%d,%d) fails Criterion 1: compare(%S,%S) > %g" x y
+                   nx.Node.value ny.Node.value criteria.Criteria.leaf_f)
+          | false, false ->
+            if not (Criteria.equal_internal ctx m nx ny) then
+              add
+                (Diag.warn ~nodes:[ x; y ] Internal_criterion
+                   "internal pair (%d,%d) fails Criterion 2: common/max <= %g" x y
+                   criteria.Criteria.internal_t)
+          | true, false | false, true ->
+            add
+              (Diag.warn ~nodes:[ x; y ] Kind_mismatch
+                 "pair (%d,%d) matches a leaf with an internal node" x y)
+        end
+      end)
+    (Matching.pairs m);
+  if audit_data then begin
+    (match Label_order.check_acyclic t1 t2 with
+    | Ok () -> ()
+    | Error msg -> add (Diag.warn Label_cycle "%s" msg));
+    let v = Criteria.mc3_violations ctx in
+    if v > 0 then
+      add
+        (Diag.warn Mc3_ambiguous
+           "%d leaves have two or more close counterparts (Criterion 3 does \
+            not hold; matching quality may degrade)"
+           v)
+  end;
+  List.rev !diags

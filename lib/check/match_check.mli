@@ -1,0 +1,27 @@
+(** Matching analyzer: §3.1 validity and §5.1 criteria, checked against a
+    dense {!Treediff_tree.Index} pair.
+
+    Errors are violations of the matching {e contract}: a node in two pairs,
+    identifiers outside the tree pair, matched labels disagreeing, a root
+    matched to a non-root.  Criteria findings are {e warnings} — externally
+    supplied matchings (keyed data, Zhang–Shasha mappings) are legitimate
+    matchings that need not satisfy the paper's criteria, and §8
+    post-processing can trade a Criterion 2 margin for better child
+    alignment.
+
+    The optional data audit adds two whole-input warnings: Matching
+    Criterion 3 violations ({!Treediff_matching.Criteria.mc3_violations})
+    and label-schema cycles ({!Treediff_matching.Label_order.check_acyclic}).
+    Both describe the {e data}, not the matching, so they are off by default
+    and surfaced only by [treediff check --audit]. *)
+
+val run :
+  ?criteria:Treediff_matching.Criteria.t ->
+  ?audit_data:bool ->
+  ?skip_criteria_for:int * int ->
+  t1:Treediff_tree.Node.t ->
+  t2:Treediff_tree.Node.t ->
+  Treediff_matching.Matching.t ->
+  Diag.t list
+(** [skip_criteria_for] names one pair (normally the synthetic dummy-root
+    pair) exempt from the criteria warnings. *)

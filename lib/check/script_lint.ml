@@ -1,0 +1,144 @@
+module Op = Treediff_edit.Op
+
+type result = { diags : Diag.t list; sim : Sim.t option }
+
+(* Abstract state of one node id.  Ids of the initial tree are implicitly
+   [Live] (resolved through the simulator); in script-only mode an id is
+   assumed live the first time it appears. *)
+type state = Live | Inserted | Deleted
+
+let run ?tree script =
+  let sim = Option.map Sim.of_tree tree in
+  let status : (int, state) Hashtbl.t = Hashtbl.create 64 in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let state_of id =
+    match Hashtbl.find_opt status id with
+    | Some s -> Some s
+    | None -> (
+      match sim with
+      | Some s -> if Sim.mem s id then Some Live else None
+      | None ->
+        Hashtbl.replace status id Live;
+        Some Live)
+  in
+  let delete_seen = ref false in
+  let check i op =
+    let bad = ref false in
+    let err ?nodes code fmt =
+      Printf.ksprintf
+        (fun m ->
+          bad := true;
+          add (Diag.make ~op:i ?nodes code "%s" m))
+        fmt
+    in
+    let warn ?nodes code fmt =
+      Printf.ksprintf (fun m -> add (Diag.warn ~op:i ?nodes code "%s" m)) fmt
+    in
+    (* Source operand: the node the op acts on (DEL/UPD/MOV). *)
+    let source id what =
+      match state_of id with
+      | Some Deleted ->
+        err ~nodes:[ id ] Use_after_delete "%s of node %d after its deletion" what id
+      | Some (Live | Inserted) -> ()
+      | None -> err ~nodes:[ id ] Unknown_node "%s references unknown node %d" what id
+    in
+    (* Destination operand: the parent an INS/MOV attaches under. *)
+    let dest id what =
+      match state_of id with
+      | Some Deleted ->
+        err ~nodes:[ id ] Deleted_destination "%s into deleted node %d" what id
+      | Some (Live | Inserted) -> ()
+      | None -> err ~nodes:[ id ] Unknown_node "%s destination %d is unknown" what id
+    in
+    let phase what =
+      if !delete_seen then
+        err Phase_order "%s after the delete phase began (deletes must come last)" what
+    in
+    match op with
+    | Op.Insert { id; label; value; parent; pos } ->
+      phase "INS";
+      (match state_of id with
+      | Some (Live | Inserted) ->
+        err ~nodes:[ id ] Duplicate_insert "INS of id %d, which already exists" id
+      | Some Deleted ->
+        err ~nodes:[ id ] Duplicate_insert
+          "INS reuses id %d after its deletion (ids must be script-unique)" id
+      | None -> ());
+      dest parent "INS";
+      if pos < 1 then
+        err ~nodes:[ parent ] Position_oob "INS position %d (positions are 1-based)" pos
+      else
+        Option.iter
+          (fun s ->
+            if Sim.mem s parent && pos > Sim.arity s parent + 1 then
+              err ~nodes:[ parent ] Position_oob
+                "INS position %d out of range at node %d (arity %d)" pos parent
+                (Sim.arity s parent))
+          sim;
+      if not !bad then begin
+        Hashtbl.replace status id Inserted;
+        Option.iter (fun s -> Sim.insert s ~id ~label ~value ~parent ~pos) sim
+      end
+    | Op.Delete { id } ->
+      source id "DEL";
+      Option.iter
+        (fun s ->
+          if Sim.mem s id then begin
+            if Sim.arity s id > 0 then
+              err ~nodes:[ id ] Delete_non_leaf
+                "DEL of node %d, which still has %d children" id (Sim.arity s id);
+            if id = Sim.root s then err ~nodes:[ id ] Root_edit "DEL of the root"
+          end)
+        sim;
+      delete_seen := true;
+      if not !bad then begin
+        Hashtbl.replace status id Deleted;
+        Option.iter (fun s -> if Sim.mem s id then Sim.delete s id) sim
+      end
+    | Op.Update { id; value } ->
+      phase "UPD";
+      source id "UPD";
+      if not !bad then
+        Option.iter
+          (fun s ->
+            match Sim.find s id with
+            | Some n ->
+              if String.equal n.Sim.value value then
+                warn ~nodes:[ id ] Redundant_update
+                  "UPD of node %d to its current value" id;
+              Sim.update s id value
+            | None -> ())
+          sim
+    | Op.Move { id; parent; pos } ->
+      phase "MOV";
+      source id "MOV";
+      dest parent "MOV";
+      if pos < 1 then
+        err ~nodes:[ parent ] Position_oob "MOV position %d (positions are 1-based)" pos;
+      Option.iter
+        (fun s ->
+          match Sim.find s id with
+          | Some n when Sim.mem s parent ->
+            if id = Sim.root s then err ~nodes:[ id ] Root_edit "MOV of the root";
+            if Sim.in_subtree s ~root:id parent then
+              err ~nodes:[ id; parent ] Move_into_subtree
+                "MOV of node %d into its own subtree (under %d)" id parent;
+            (* Post-detach arity: an intra-parent move indexes the child list
+               without the moved node. *)
+            let post =
+              Sim.arity s parent - (if n.Sim.parent = parent then 1 else 0)
+            in
+            if pos >= 1 && pos > post + 1 then
+              err ~nodes:[ parent ] Position_oob
+                "MOV position %d out of range at node %d (arity %d)" pos parent post;
+            if (not !bad) && n.Sim.parent = parent && Sim.child_index s id = pos - 1
+            then
+              warn ~nodes:[ id ] Redundant_move
+                "MOV of node %d to the position it already occupies" id
+          | Some _ | None -> ())
+        sim;
+      if not !bad then Option.iter (fun s -> Sim.move s ~id ~parent ~pos) sim
+  in
+  List.iteri check script;
+  { diags = List.rev !diags; sim }

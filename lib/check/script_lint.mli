@@ -1,0 +1,27 @@
+(** Script linter: one linear dataflow pass over an edit script.
+
+    Each node identifier is tracked through an abstract state — live (present
+    in the initial tree), inserted, deleted — and every operation is checked
+    against it: use-after-delete, duplicate-identifier inserts, destinations
+    inside deleted content, and the §4 phase order (the delete phase is
+    strictly trailing; UPD/INS/MOV interleave in BFS order before it, so the
+    only order a script can violate is a non-DEL operation after the first
+    DEL).
+
+    When the initial tree is supplied the pass additionally replays the
+    script on a {!Sim} snapshot, which makes the structural checks exact:
+    out-of-range positions, DEL of a non-leaf {e at deletion time}, MOV into
+    the node's own subtree, DEL/MOV of the root — and yields the final tree
+    for the conformance auditor.  Erroneous operations are skipped (not
+    applied), so one mistake does not cascade into a wall of spurious
+    findings. *)
+
+type result = {
+  diags : Diag.t list;  (** in script order *)
+  sim : Sim.t option;   (** final symbolic tree, when a tree was supplied *)
+}
+
+val run : ?tree:Treediff_tree.Node.t -> Treediff_edit.Script.t -> result
+(** [run ~tree script] lints [script] against initial tree [tree] (not
+    mutated).  Without [tree], identifiers first seen in an operand are
+    assumed live, and only the state-machine and phase checks apply. *)

@@ -1,0 +1,112 @@
+module Node = Treediff_tree.Node
+module Vec = Treediff_util.Vec
+
+type node = {
+  id : int;
+  label : string;
+  mutable value : string;
+  mutable parent : int;
+  children : int Vec.t;
+}
+
+type t = { nodes : (int, node) Hashtbl.t; root : int }
+
+let of_tree (r : Node.t) =
+  let nodes = Hashtbl.create 256 in
+  let rec walk parent (n : Node.t) =
+    let s =
+      { id = n.id; label = n.label; value = n.value; parent; children = Vec.create () }
+    in
+    Hashtbl.replace nodes n.id s;
+    Node.iter_children
+      (fun c ->
+        Vec.push s.children c.Node.id;
+        walk n.id c)
+      n
+  in
+  walk (-1) r;
+  { nodes; root = r.Node.id }
+
+let root t = t.root
+
+let size t = Hashtbl.length t.nodes
+
+let mem t id = Hashtbl.mem t.nodes id
+
+let find t id = Hashtbl.find_opt t.nodes id
+
+let get t id = Hashtbl.find t.nodes id
+
+let arity t id =
+  match find t id with Some n -> Vec.length n.children | None -> 0
+
+let child_index t id =
+  match find t id with
+  | Some n when n.parent >= 0 -> (
+    let p = get t n.parent in
+    match Vec.index (fun c -> c = id) p.children with Some i -> i | None -> -1)
+  | Some _ | None -> -1
+
+let in_subtree t ~root:r id =
+  let rec up id = id = r || (id >= 0 && match find t id with
+    | Some n -> up n.parent
+    | None -> false)
+  in
+  up id
+
+let detach t id =
+  let n = get t id in
+  if n.parent >= 0 then begin
+    let p = get t n.parent in
+    (match Vec.index (fun c -> c = id) p.children with
+    | Some i -> ignore (Vec.remove p.children i)
+    | None -> ());
+    n.parent <- -1
+  end
+
+let insert t ~id ~label ~value ~parent ~pos =
+  let s = { id; label; value; parent; children = Vec.create () } in
+  Hashtbl.replace t.nodes id s;
+  let p = get t parent in
+  Vec.insert p.children (pos - 1) id
+
+let delete t id =
+  detach t id;
+  Hashtbl.remove t.nodes id
+
+let update t id value = (get t id).value <- value
+
+let move t ~id ~parent ~pos =
+  detach t id;
+  let p = get t parent in
+  Vec.insert p.children (pos - 1) id;
+  (get t id).parent <- parent
+
+let first_difference t (target : Node.t) =
+  let exception Diff of string in
+  let rec walk path sid (y : Node.t) =
+    let s = get t sid in
+    let where () = if path = "" then "/" else path in
+    if not (String.equal s.label y.Node.label) then
+      raise
+        (Diff
+           (Printf.sprintf "%s: label %S vs %S (nodes %d vs %d)" (where ())
+              s.label y.Node.label sid y.Node.id));
+    if not (String.equal s.value y.Node.value) then
+      raise
+        (Diff
+           (Printf.sprintf "%s: value %S vs %S (nodes %d vs %d)" (where ())
+              s.value y.Node.value sid y.Node.id));
+    let n1 = Vec.length s.children and n2 = Node.child_count y in
+    if n1 <> n2 then
+      raise
+        (Diff
+           (Printf.sprintf "%s: %d children vs %d (nodes %d vs %d)" (where ())
+              n1 n2 sid y.Node.id));
+    Vec.iteri
+      (fun i c -> walk (Printf.sprintf "%s/%d" path i) c (Node.child y i))
+      s.children
+  in
+  match walk "" t.root target with
+  | () -> None
+  | exception Diff msg -> Some msg

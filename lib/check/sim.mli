@@ -1,0 +1,53 @@
+(** Symbolic working tree: the abstract store the script analyses run on.
+
+    A [Sim.t] mirrors the shape of a real tree — labels, values, ordered
+    child lists — but stores plain node records keyed by identifier, so the
+    verifier can replay a script {e symbolically}, without touching (or
+    copying) caller-owned {!Treediff_tree.Node.t} values and without the
+    edit machinery's preconditions getting in the way: the linter decides
+    what is an error, the simulator just tracks state. *)
+
+type node = {
+  id : int;
+  label : string;
+  mutable value : string;
+  mutable parent : int;  (** [-1] for the root *)
+  children : int Treediff_util.Vec.t;
+}
+
+type t
+
+val of_tree : Treediff_tree.Node.t -> t
+(** Snapshot a real tree (which is not retained or mutated). *)
+
+val root : t -> int
+
+val size : t -> int
+
+val mem : t -> int -> bool
+
+val find : t -> int -> node option
+
+val arity : t -> int -> int
+(** Child count; [0] for unknown ids. *)
+
+val child_index : t -> int -> int
+(** 0-based position among the parent's children; [-1] for the root. *)
+
+val in_subtree : t -> root:int -> int -> bool
+(** Reflexive: walks the parent chain of the second id. *)
+
+val insert : t -> id:int -> label:string -> value:string -> parent:int -> pos:int -> unit
+(** [pos] is 1-based, as in {!Treediff_edit.Op}.  Preconditions are the
+    caller's responsibility (the linter checks before applying). *)
+
+val delete : t -> int -> unit
+
+val update : t -> int -> string -> unit
+
+val move : t -> id:int -> parent:int -> pos:int -> unit
+
+val first_difference : t -> Treediff_tree.Node.t -> string option
+(** Isomorphism check of the simulated tree against a real tree: [None]
+    when they agree on labels, values and child order everywhere, otherwise
+    a description of the first (preorder) disagreement. *)

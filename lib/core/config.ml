@@ -6,6 +6,7 @@ type t = {
   postprocess : bool;
   cost : Treediff_edit.Cost.t;
   scan_window : int option;
+  check : bool;
 }
 
 let default =
@@ -15,6 +16,7 @@ let default =
     postprocess = true;
     cost = Treediff_edit.Cost.unit;
     scan_window = None;
+    check = Treediff_check.Check.env_enabled ();
   }
 
 let with_criteria criteria =
@@ -26,3 +28,5 @@ let with_criteria criteria =
 
 let with_compare compare =
   with_criteria (Treediff_matching.Criteria.make ~compare ())
+
+let with_check check config = { config with check }

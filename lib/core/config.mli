@@ -16,6 +16,13 @@ type t = {
           positions; [None] (default) is the paper's full scan.  Smaller k is
           faster but may report far-moved content as delete+insert.  Ignored
           by [Simple_match]. *)
+  check : bool;
+      (** run the {!Treediff_check} static verifier on every {!Diff.diff}
+          result and raise {!Treediff_check.Diag.Failed} on error-severity
+          findings — the always-on sanitizer.  Defaults to the
+          [TREEDIFF_CHECK] environment variable (see
+          {!Treediff_check.Check.env_enabled}), so an entire test suite can
+          opt in without code changes. *)
 }
 
 val default : t
@@ -25,3 +32,6 @@ val with_criteria : Treediff_matching.Criteria.t -> t
 val with_compare : (string -> string -> float) -> t
 (** Default config with a custom leaf-value distance used both for matching
     (criterion 1) and for update costs. *)
+
+val with_check : bool -> t -> t
+(** Force the sanitizer on or off, overriding the environment default. *)

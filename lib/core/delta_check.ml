@@ -1,0 +1,110 @@
+module Iso = Treediff_tree.Iso
+module Tree = Treediff_tree.Tree
+module Diag = Treediff_check.Diag
+
+(* Paths make diagnostics on id-less delta nodes locatable: the delta carries
+   no node identifiers, so positions ("/0/2") stand in for them. *)
+let child_path path i = Printf.sprintf "%s/%d" path i
+
+let describe (d : Delta.t) =
+  if d.value = "" then d.label else Printf.sprintf "%s %S" d.label d.value
+
+let run ?new_tree (delta : Delta.t) =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  (match delta.base with
+  | Delta.Deleted | Delta.Marker ->
+    add
+      (Diag.make Diag.Ghost_root "the delta root (%s) is a ghost"
+         (describe delta))
+  | Delta.Identical | Delta.Updated _ | Delta.Inserted -> ());
+  (* One walk collects structure violations and both sides of the marker
+     pairing: flags on real nodes vs numbers on Marker ghosts. *)
+  let flagged : (int, string list ref) Hashtbl.t = Hashtbl.create 8 in
+  let markers : (int, string list ref) Hashtbl.t = Hashtbl.create 8 in
+  let record tbl k path =
+    match Hashtbl.find_opt tbl k with
+    | Some r -> r := path :: !r
+    | None -> Hashtbl.replace tbl k (ref [ path ])
+  in
+  let rec walk ~in_deleted path (d : Delta.t) =
+    (match (d.base, d.moved) with
+    | Delta.Marker, Some k -> record markers k path
+    | Delta.Marker, None ->
+      add
+        (Diag.make Diag.Marker_unpaired "marker ghost %s at %s has no number"
+           (describe d) path)
+    | (Delta.Identical | Delta.Updated _), Some k -> record flagged k path
+    | Delta.Inserted, Some _ ->
+      add
+        (Diag.make Diag.Ghost_structure
+           "inserted node %s at %s carries a move flag (inserted subtrees \
+            have no old position)"
+           (describe d) path)
+    | (Delta.Identical | Delta.Updated _ | Delta.Inserted), None -> ()
+    | Delta.Deleted, Some _ ->
+      add
+        (Diag.make Diag.Ghost_structure
+           "deleted ghost %s at %s carries a move flag" (describe d) path)
+    | Delta.Deleted, None -> ());
+    (match d.base with
+    | Delta.Marker ->
+      if d.children <> [] then
+        add
+          (Diag.make Diag.Ghost_structure
+             "marker ghost %s at %s has %d children (markers are leaves; the \
+              moved subtree lives at its new position)"
+             (describe d) path (List.length d.children))
+    | Delta.Deleted -> ()
+    | Delta.Identical | Delta.Updated _ | Delta.Inserted ->
+      if in_deleted then
+        add
+          (Diag.make Diag.Ghost_structure
+             "real node %s at %s sits inside a deleted ghost subtree"
+             (describe d) path));
+    let in_deleted = in_deleted || d.base = Delta.Deleted in
+    List.iteri (fun i c -> walk ~in_deleted (child_path path i) c) d.children
+  in
+  walk ~in_deleted:false "" delta;
+  let dup what tbl =
+    Hashtbl.iter
+      (fun k r ->
+        if List.length !r > 1 then
+          add
+            (Diag.make Diag.Marker_duplicate "marker %d %s %d times (at %s)" k
+               what (List.length !r)
+               (String.concat ", " (List.rev !r))))
+      tbl
+  in
+  dup "flags moved nodes" flagged;
+  dup "appears on marker ghosts" markers;
+  Hashtbl.iter
+    (fun k r ->
+      if not (Hashtbl.mem markers k) then
+        add
+          (Diag.make Diag.Marker_unpaired
+             "moved node at %s is flagged with marker %d but no marker ghost \
+              carries that number"
+             (List.hd !r) k))
+    flagged;
+  Hashtbl.iter
+    (fun k r ->
+      if not (Hashtbl.mem flagged k) then
+        add
+          (Diag.make Diag.Marker_unpaired
+             "marker ghost %d at %s pairs with no moved node" k (List.hd !r)))
+    markers;
+  (match new_tree with
+  | None -> ()
+  | Some expected -> (
+    match delta.base with
+    | Delta.Deleted | Delta.Marker -> () (* Ghost_root already reported *)
+    | Delta.Identical | Delta.Updated _ | Delta.Inserted ->
+      let start = Tree.max_id expected + 1 in
+      let got = Delta.to_new_tree (Tree.gen ~start ()) delta in
+      if not (Iso.equal got expected) then
+        add
+          (Diag.make Diag.Delta_mismatch
+             "the delta does not reproduce the new tree: %s"
+             (Option.value ~default:"?" (Iso.first_difference got expected)))));
+  List.rev !diags

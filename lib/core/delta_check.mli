@@ -1,0 +1,18 @@
+(** Static verification of delta trees (the TD4xx family).
+
+    A well-formed delta (§6, {!Delta}) obeys structural rules that {!Delta.build}
+    guarantees but hand-written or deserialized deltas may not:
+
+    - the root is never a ghost;
+    - [Marker] ghosts are leaves, and everything below a [Deleted] ghost is
+      itself a ghost;
+    - move marker numbers pair up: every flagged real node has exactly one
+      [Marker] ghost with the same number, and vice versa.
+
+    With [?new_tree], the delta is also materialized ({!Delta.to_new_tree})
+    and compared against the expected new version. *)
+
+val run :
+  ?new_tree:Treediff_tree.Node.t -> Delta.t -> Treediff_check.Diag.t list
+(** All findings on the delta, in discovery order.  Error severity means the
+    delta is structurally invalid or does not reproduce [new_tree]. *)

@@ -108,7 +108,9 @@ let tokenize s =
       while !i < n && match s.[!i] with '0' .. '9' -> true | _ -> false do
         incr i
       done;
-      toks := (Int (int_of_string (String.sub s start (!i - start))), start) :: !toks
+      (match int_of_string_opt (String.sub s start (!i - start)) with
+      | Some k -> toks := (Int k, start) :: !toks
+      | None -> fail start "integer literal %s out of range" (String.sub s start (!i - start)))
     | c when is_atom c ->
       let start = !i in
       while
@@ -138,33 +140,44 @@ let of_string s =
   (* [... ] group: base + optional move flag *)
   let parse_annots () =
     let base = ref Delta.Identical and moved = ref None in
+    let base_set = ref false and moved_set = ref false in
+    let set_base p b =
+      if !base_set then fail p "duplicate base annotation (ins|del|mrk|upd)";
+      base_set := true;
+      base := b
+    in
+    let set_moved p m =
+      if !moved_set then fail p "duplicate move annotation";
+      moved_set := true;
+      moved := m
+    in
     ignore (next ()) (* Lbrack *);
     let rec loop () =
       match next () with
       | Rbrack, _ -> ()
-      | Atom "ins", _ ->
-        base := Delta.Inserted;
+      | Atom "ins", p ->
+        set_base p Delta.Inserted;
         loop ()
-      | Atom "del", _ ->
-        base := Delta.Deleted;
+      | Atom "del", p ->
+        set_base p Delta.Deleted;
         loop ()
       | Atom "mrk", p -> (
         match next () with
         | Int k, _ ->
-          base := Delta.Marker;
-          moved := (if k = 0 then None else Some k);
+          set_base p Delta.Marker;
+          set_moved p (if k = 0 then None else Some k);
           loop ()
         | _, _ -> fail p "mrk needs a marker number")
       | Atom "upd", p -> (
         match next () with
         | Str old, _ ->
-          base := Delta.Updated old;
+          set_base p (Delta.Updated old);
           loop ()
         | _, _ -> fail p "upd needs the old value string")
       | Atom "mov", p -> (
         match next () with
         | Int k, _ ->
-          moved := Some k;
+          set_moved p (Some k);
           loop ()
         | _, _ -> fail p "mov needs a marker number")
       | _, p -> fail p "unknown annotation"
@@ -205,3 +218,12 @@ let of_string s =
   let d = parse_node () in
   (match peek () with Some (_, p) -> fail p "trailing input" | None -> ());
   d
+
+let parse s =
+  match of_string s with
+  | d -> Ok d
+  | exception Parse_error msg -> Error msg
+  | exception exn ->
+    (* A parser must never escalate bad input into a crash; anything else
+       escaping [of_string] is reported, not propagated. *)
+    Error ("unexpected parser failure: " ^ Printexc.to_string exn)

@@ -25,3 +25,8 @@ val to_string : Delta.t -> string
 
 val of_string : string -> Delta.t
 (** @raise Parse_error on malformed input. *)
+
+val parse : string -> (Delta.t, string) result
+(** Exception-free front end to {!of_string}: malformed input — truncated
+    trees, duplicate annotations, out-of-range integers — comes back as
+    [Error] with an offset-tagged message.  Never raises. *)

@@ -27,6 +27,23 @@ let dummy_rooted result t1 =
   | None -> Tree.copy t1
   | Some (d1, _) -> with_dummy d1 "@@root" t1
 
+(* Static verification of a result (the check layer): analyze the script,
+   matching and their conformance symbolically.  The dummy-root convention is
+   resolved here — the verifier sees the effective (possibly dummy-rooted)
+   trees and a matching extended with the dummy pair — so callers hand over
+   the same [t1]/[t2] they gave [diff]. *)
+let verify ?(config = Config.default) ?audit_data result ~t1 ~t2 =
+  let eff1 = dummy_rooted result.dummy t1 in
+  let eff2 =
+    match result.dummy with
+    | None -> t2
+    | Some (_, d2) -> with_dummy d2 "@@root" t2
+  in
+  let m = Matching.copy result.matching in
+  (match result.dummy with Some (d1, d2) -> Matching.add m d1 d2 | None -> ());
+  Treediff_check.Check.verify ~criteria:config.Config.criteria ~matching:m
+    ?dummy:result.dummy ?audit_data ~t1:eff1 ~t2:eff2 result.script
+
 let finish ?(config = Config.default) ~matching ~stats ~postprocess_fixes t1 t2 =
   let gen = Edit_gen.generate ~matching t1 t2 in
   let base = dummy_rooted gen.Edit_gen.dummy t1 in
@@ -34,16 +51,21 @@ let finish ?(config = Config.default) ~matching ~stats ~postprocess_fixes t1 t2 
   let delta =
     Delta.build ~t1 ~t2 ~total:gen.Edit_gen.total ~script:gen.Edit_gen.script
   in
-  {
-    matching;
-    total = gen.Edit_gen.total;
-    script = gen.Edit_gen.script;
-    delta;
-    dummy = gen.Edit_gen.dummy;
-    measure;
-    stats;
-    postprocess_fixes;
-  }
+  let result =
+    {
+      matching;
+      total = gen.Edit_gen.total;
+      script = gen.Edit_gen.script;
+      delta;
+      dummy = gen.Edit_gen.dummy;
+      measure;
+      stats;
+      postprocess_fixes;
+    }
+  in
+  if config.Config.check then
+    Treediff_check.Check.assert_ok (verify ~config result ~t1 ~t2);
+  result
 
 let diff ?(config = Config.default) t1 t2 =
   let stats = Treediff_util.Stats.create () in

@@ -47,6 +47,21 @@ val apply : t -> Treediff_tree.Node.t -> Treediff_tree.Node.t
     @raise Treediff_edit.Script.Apply_error if [t1] is not the tree the
     result was computed from. *)
 
+val verify :
+  ?config:Config.t ->
+  ?audit_data:bool ->
+  t ->
+  t1:Treediff_tree.Node.t ->
+  t2:Treediff_tree.Node.t ->
+  Treediff_check.Diag.t list
+(** Run the {!Treediff_check} static verifier — script lint, matching
+    analysis, conformance audit — on a result, resolving the dummy-root
+    convention.  Returns all findings; error-severity findings mean the
+    result is invalid.  [audit_data] adds the whole-input data audits
+    (Criterion 3 ambiguity, label-schema cycles).  When [config.check] is
+    set (or [TREEDIFF_CHECK] is in the environment), {!diff} runs this
+    automatically and raises {!Treediff_check.Diag.Failed} on errors. *)
+
 val check : t -> t1:Treediff_tree.Node.t -> t2:Treediff_tree.Node.t -> (unit, string) result
 (** Verify the §3 contract on a result: replaying the script transforms [t1]
     into a tree isomorphic to [t2], and the script conforms to the matching

@@ -6,6 +6,15 @@ module Op = Treediff_edit.Op
 module Script = Treediff_edit.Script
 module Matching = Treediff_matching.Matching
 module Myers = Treediff_lcs.Myers
+module Diag = Treediff_check.Diag
+
+(* Internal invariants of Algorithm EditScript.  Violations surface as the
+   same structured diagnostics the standalone verifier emits, instead of the
+   bare asserts they used to be. *)
+let broken ?nodes fmt =
+  Printf.ksprintf
+    (fun m -> Diag.fail (Diag.make ?nodes Diag.Internal_invariant "EditScript: %s" m))
+    fmt
 
 type result = {
   script : Script.t;
@@ -42,7 +51,7 @@ let emit st op =
 let working st id =
   match Hashtbl.find_opt st.w_index id with
   | Some n -> n
-  | None -> invalid_arg (Printf.sprintf "EditScript: unknown working node %d" id)
+  | None -> broken ~nodes:[ id ] "unknown working node %d" id
 
 let partner_of_new st (x : Node.t) =
   match Matching.partner_of_new st.m x.id with
@@ -54,7 +63,11 @@ let partner_of_new st (x : Node.t) =
    partner of x's rightmost in-order left sibling; 1 when there is none.
    [moving] is the node about to be detached (for intra-parent moves). *)
 let find_pos st ?moving (x : Node.t) =
-  let y = match x.Node.parent with Some y -> y | None -> assert false in
+  let y =
+    match x.Node.parent with
+    | Some y -> y
+    | None -> broken ~nodes:[ x.id ] "FindPos on the root %d (roots never move)" x.id
+  in
   (* Rightmost in-order left sibling of x: the last in-order child seen
      before reaching x itself. *)
   let v = ref None and found = ref false in
@@ -68,16 +81,27 @@ let find_pos st ?moving (x : Node.t) =
          if Hashtbl.mem st.in_order2 c.id then v := Some c)
        y
    with Exit -> ());
-  if not !found then assert false (* x must be among its parent's children *);
+  if not !found then
+    broken ~nodes:[ x.id; y.id ]
+      "FindPos: node %d is not among the children of its parent %d" x.id y.id;
   match !v with
   | None -> 1
   | Some v -> (
     let u =
       match Matching.partner_of_new st.m v.Node.id with
       | Some uid -> working st uid
-      | None -> assert false (* in-order nodes are matched by construction *)
+      | None ->
+        broken ~nodes:[ v.Node.id ]
+          "FindPos: in-order node %d has no partner (in-order nodes are \
+           matched by construction)"
+          v.Node.id
     in
-    let p = match u.Node.parent with Some p -> p | None -> assert false in
+    let p =
+      match u.Node.parent with
+      | Some p -> p
+      | None ->
+        broken ~nodes:[ u.Node.id ] "FindPos: working node %d is detached" u.Node.id
+    in
     let skip_id = match moving with Some (n : Node.t) -> n.id | None -> -1 in
     (* 1-based index of u counting all children except the moving node. *)
     let pos = ref 1 and res = ref 0 in
@@ -92,7 +116,9 @@ let find_pos st ?moving (x : Node.t) =
            else incr pos)
          p
      with Exit -> ());
-    if !res = 0 then assert false (* u must be among p's children *);
+    if !res = 0 then
+      broken ~nodes:[ u.Node.id; p.Node.id ]
+        "FindPos: node %d is not among the children of %d" u.Node.id p.Node.id;
     !res + 1)
 
 let mark_in_order st (w : Node.t) (x : Node.t) =
@@ -142,8 +168,12 @@ let align_children st (w : Node.t) (x : Node.t) =
           | Some bid -> (
             match Index.node_of_id st.t2_index bid with
             | Some b -> b
-            | None -> assert false (* s1 partners live in T2 *))
-          | None -> assert false (* members of s1 are matched *)
+            | None ->
+              broken ~nodes:[ a.id; bid ]
+                "AlignChildren: partner %d of node %d is not in T2" bid a.id)
+          | None ->
+            broken ~nodes:[ a.id ]
+              "AlignChildren: node %d entered S1 without a partner" a.id
         in
         let k = find_pos st ~moving:a b in
         emit st (Op.Move { id = a.id; parent = w.id; pos = k });
@@ -156,14 +186,24 @@ let visit st (x : Node.t) =
   | None ->
     (* Root: matched by construction; Fig. 8 skips the update for it, which
        would drop a root value change — handle it explicitly. *)
-    let w = match partner_of_new st x with Some w -> w | None -> assert false in
+    let w =
+      match partner_of_new st x with
+      | Some w -> w
+      | None ->
+        broken ~nodes:[ x.id ]
+          "root %d is unmatched after dummy-rooting" x.id
+    in
     if not (String.equal w.Node.value x.Node.value) then
       emit st (Op.Update { id = w.Node.id; value = x.Node.value })
   | Some y -> (
     let z =
       match Matching.partner_of_new st.m y.Node.id with
       | Some zid -> working st zid
-      | None -> assert false (* BFS visits parents first, so y is matched *)
+      | None ->
+        broken ~nodes:[ y.Node.id ]
+          "parent %d of visited node %d is unmatched (BFS visits parents \
+           first)"
+          y.Node.id x.id
     in
     match partner_of_new st x with
     | None ->
@@ -178,7 +218,13 @@ let visit st (x : Node.t) =
       if not (String.equal w.Node.value x.Node.value) then
         emit st (Op.Update { id = w.Node.id; value = x.Node.value });
       (* Move phase (inter-parent moves). *)
-      let v = match w.Node.parent with Some v -> v | None -> assert false in
+      let v =
+        match w.Node.parent with
+        | Some v -> v
+        | None ->
+          broken ~nodes:[ w.Node.id ]
+            "working partner %d of non-root node %d is detached" w.Node.id x.id
+      in
       if not (Matching.mem st.m v.Node.id y.Node.id) then begin
         let k = find_pos st ~moving:w x in
         emit st (Op.Move { id = w.Node.id; parent = z.Node.id; pos = k });
@@ -187,7 +233,9 @@ let visit st (x : Node.t) =
   (* Align phase for x's children. *)
   match partner_of_new st x with
   | Some w -> align_children st w x
-  | None -> assert false
+  | None ->
+    broken ~nodes:[ x.id ]
+      "node %d is still unmatched after the insert phase" x.id
 
 let delete_phase st =
   (* Post-order: children are deleted before their parents, so every delete
@@ -205,13 +253,19 @@ let validate_input ~matching t1 t2 =
       match (Index.node_of_id idx1 xid, Index.node_of_id idx2 yid) with
       | Some (x : Node.t), Some (y : Node.t) ->
         if not (String.equal x.label y.label) then
-          invalid_arg
-            (Printf.sprintf
-               "EditScript: matched pair (%d,%d) has different labels (%S vs %S); \
-                updates cannot change labels"
+          Diag.fail
+            (Diag.make ~nodes:[ xid; yid ] Diag.Label_mismatch
+               "EditScript: matched pair (%d,%d) has different labels (%S vs \
+                %S); updates cannot change labels"
                xid yid x.label y.label)
-      | None, _ -> invalid_arg (Printf.sprintf "EditScript: matching references unknown T1 id %d" xid)
-      | _, None -> invalid_arg (Printf.sprintf "EditScript: matching references unknown T2 id %d" yid))
+      | None, _ ->
+        Diag.fail
+          (Diag.make ~nodes:[ xid ] Diag.Unmatched_id
+             "EditScript: matching references unknown T1 id %d" xid)
+      | _, None ->
+        Diag.fail
+          (Diag.make ~nodes:[ yid ] Diag.Unmatched_id
+             "EditScript: matching references unknown T2 id %d" yid))
     (Matching.pairs matching)
 
 let generate ~matching t1 t2 =

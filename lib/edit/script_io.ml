@@ -58,7 +58,10 @@ let int_lit c =
     c.pos <- c.pos + 1
   done;
   if c.pos = start then fail c "expected an integer";
-  int_of_string (String.sub c.line start (c.pos - start))
+  let digits = String.sub c.line start (c.pos - start) in
+  match int_of_string_opt digits with
+  | Some n -> n
+  | None -> fail c "integer literal %s out of range" digits
 
 let ident c =
   let start = c.pos in
@@ -175,6 +178,15 @@ let of_string s =
          let line = String.trim line in
          if line = "" || line.[0] = '#' then [] else [ parse_line (i + 1) line ])
        lines)
+
+let parse s =
+  match of_string s with
+  | script -> Ok script
+  | exception Parse_error msg -> Error msg
+  | exception exn ->
+    (* A parser must never escalate bad input into a crash; anything else
+       escaping [of_string] is reported, not propagated. *)
+    Error ("unexpected parser failure: " ^ Printexc.to_string exn)
 
 let of_channel ic =
   let buf = Buffer.create 1024 in

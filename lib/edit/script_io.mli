@@ -23,6 +23,11 @@ val to_string : Script.t -> string
 val of_string : string -> Script.t
 (** @raise Parse_error with a line-numbered message on malformed input. *)
 
+val parse : string -> (Script.t, string) result
+(** Exception-free front end to {!of_string}: malformed input — truncated
+    lines, bad escapes, out-of-range integers — comes back as [Error] with
+    the line-numbered message.  Never raises. *)
+
 val to_channel : out_channel -> Script.t -> unit
 
 val of_channel : in_channel -> Script.t

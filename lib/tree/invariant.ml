@@ -24,3 +24,52 @@ let check root =
 
 let check_exn root =
   match check root with Ok () -> () | Error msg -> invalid_arg ("Invariant: " ^ msg)
+
+let check_index idx root =
+  let exception Stale of string in
+  let stale fmt = Printf.ksprintf (fun m -> raise (Stale m)) fmt in
+  (* One preorder walk recomputes every fact the index snapshotted; [walk]
+     returns (next free rank, leaf count of the subtree). *)
+  let rec walk ~parent_rank (n : Node.t) r =
+    let got = Index.rank_of_id idx n.id in
+    if got <> r then
+      if got < 0 then stale "node %d is not in the index" n.id
+      else stale "node %d has rank %d in the index, but preorder rank %d" n.id got r;
+    if not (String.equal (Index.label_name idx r) n.label) then
+      stale "node %d: index label %S, tree label %S" n.id
+        (Index.label_name idx r) n.label;
+    (match Index.Interner.find (Index.value_interner idx) n.value with
+    | Some v when v = Index.value_id idx r -> ()
+    | Some _ | None ->
+      stale "node %d: interned value id %d no longer denotes %S" n.id
+        (Index.value_id idx r) n.value);
+    if Index.parent_rank idx r <> parent_rank then
+      stale "node %d: index parent rank %d, tree parent rank %d" n.id
+        (Index.parent_rank idx r) parent_rank;
+    let pos = match n.parent with Some _ -> Node.child_index n | None -> 0 in
+    if Index.child_pos idx r <> pos then
+      stale "node %d: index child position %d, tree child position %d" n.id
+        (Index.child_pos idx r) pos;
+    let next, leaves =
+      List.fold_left
+        (fun (next, leaves) c ->
+          let next, l = walk ~parent_rank:r c next in
+          (next, leaves + l))
+        (r + 1, 0) (Node.children n)
+    in
+    let leaves = if Node.children n = [] then 1 else leaves in
+    if Index.last idx r <> next - 1 then
+      stale "node %d: index subtree interval ends at %d, tree at %d" n.id
+        (Index.last idx r) (next - 1);
+    if Index.leaf_count idx r <> leaves then
+      stale "node %d: index leaf count %d, tree leaf count %d" n.id
+        (Index.leaf_count idx r) leaves;
+    (next, leaves)
+  in
+  match walk ~parent_rank:(-1) root 0 with
+  | n, _ ->
+    if Index.size idx <> n then
+      Error
+        (Printf.sprintf "index holds %d nodes, tree holds %d" (Index.size idx) n)
+    else Ok ()
+  | exception Stale msg -> Error msg

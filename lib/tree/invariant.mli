@@ -10,3 +10,10 @@ val check : Node.t -> (unit, string) result
 
 val check_exn : Node.t -> unit
 (** @raise Invalid_argument with the violation description. *)
+
+val check_index : Index.t -> Node.t -> (unit, string) result
+(** [check_index idx root] verifies that [idx] is a faithful snapshot of the
+    tree at [root]: every node's preorder rank, parent/child-position links,
+    subtree interval, leaf count, label and interned value still agree with
+    the live tree.  An index is a snapshot ({!Index.build}); this detects the
+    stale-index bug class where the tree was mutated after the build. *)

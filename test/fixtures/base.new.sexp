@@ -1,0 +1,1 @@
+(D (P (S "a")) (P (S "c") (S "b")))

@@ -1,0 +1,1 @@
+(D (P (S "a") (S "b")) (P (S "c")))

@@ -1,0 +1,563 @@
+(* Tests for the check layer (Treediff_check + Treediff.Delta_check): the
+   structured diagnostics, the three analyzers, the pipeline sanitizer, and
+   the soundness/completeness properties the layer is specified by — zero
+   errors on everything the pipeline produces, loud coded errors on broken
+   artifacts. *)
+
+module Node = Treediff_tree.Node
+module Tree = Treediff_tree.Tree
+module Iso = Treediff_tree.Iso
+module Codec = Treediff_tree.Codec
+module Op = Treediff_edit.Op
+module Script = Treediff_edit.Script
+module Matching = Treediff_matching.Matching
+module Criteria = Treediff_matching.Criteria
+module Diag = Treediff_check.Diag
+module Lint = Treediff_check.Script_lint
+module Match_check = Treediff_check.Match_check
+module Check = Treediff_check.Check
+module Diff = Treediff.Diff
+module Config = Treediff.Config
+module Delta = Treediff.Delta
+module Delta_check = Treediff.Delta_check
+module Treegen = Treediff_workload.Treegen
+module P = Treediff_util.Prng
+
+(* The base pair used throughout; the codec assigns post-order ids:
+   OLD  a=1 b=2 P=3 c=4 P=5 D=6
+   NEW  a=7 P=8 c=9 b=10 P=11 D=12 *)
+let base_pair () =
+  let gen = Tree.gen () in
+  let t1 = Codec.parse gen {|(D (P (S "a") (S "b")) (P (S "c")))|} in
+  let t2 = Codec.parse gen {|(D (P (S "a")) (P (S "c") (S "b")))|} in
+  (t1, t2)
+
+let base_matching () =
+  let m = Matching.create () in
+  List.iter (fun (x, y) -> Matching.add m x y)
+    [ (1, 7); (2, 10); (3, 8); (4, 9); (5, 11); (6, 12) ];
+  m
+
+let codes diags = List.map (fun d -> d.Diag.code) diags
+
+let ids diags = List.map (fun d -> Diag.id d.Diag.code) diags
+
+let has code diags = List.mem code (codes diags)
+
+let check_has name code diags =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (%s present in %s)" name (Diag.id code)
+       (String.concat "," (ids diags)))
+    true (has code diags)
+
+(* ------------------------------------------------------------ diagnostics *)
+
+let test_diag_codes () =
+  Alcotest.(check string) "TD101" "TD101" (Diag.id Diag.Use_after_delete);
+  Alcotest.(check string) "TD204" "TD204" (Diag.id Diag.Root_mismatch);
+  Alcotest.(check string) "TD405" "TD405" (Diag.id Diag.Delta_mismatch);
+  Alcotest.(check string) "TD901" "TD901" (Diag.id Diag.Internal_invariant);
+  let d = Diag.make ~op:3 ~nodes:[ 17 ] Diag.Use_after_delete "gone" in
+  Alcotest.(check bool) "error severity" true (Diag.is_error d);
+  Alcotest.(check bool) "pp mentions code, op and node" true
+    (let s = Diag.to_string d in
+     let contains sub =
+       let n = String.length s and m = String.length sub in
+       let rec loop i = i + m <= n && (String.sub s i m = sub || loop (i + 1)) in
+       loop 0
+     in
+     contains "TD101" && contains "op 3" && contains "17")
+
+let test_diag_summary () =
+  Alcotest.(check string) "ok" "ok" (Diag.summary []);
+  let e = Diag.make Diag.Unknown_node "x" and w = Diag.warn Diag.Redundant_move "y" in
+  Alcotest.(check string) "counts" "2 errors, 1 warning" (Diag.summary [ e; w; e ]);
+  Alcotest.(check int) "errors" 2 (List.length (Diag.errors [ e; w; e ]));
+  Alcotest.(check int) "warnings" 1 (List.length (Diag.warnings [ e; w; e ]))
+
+(* ------------------------------------------------------------ script lint *)
+
+let lint script =
+  let t1, _ = base_pair () in
+  (Lint.run ~tree:t1 script).Lint.diags
+
+let test_lint_clean () =
+  Alcotest.(check (list string)) "good script lints clean" []
+    (List.map Diag.to_string (lint [ Op.Move { id = 2; parent = 5; pos = 2 } ]))
+
+let test_lint_use_after_delete () =
+  check_has "UPD after DEL" Diag.Use_after_delete
+    (lint [ Op.Delete { id = 2 }; Op.Update { id = 2; value = "x" } ])
+
+let test_lint_duplicate_insert () =
+  check_has "INS of an existing id" Diag.Duplicate_insert
+    (lint [ Op.Insert { id = 1; label = "S"; value = "x"; parent = 5; pos = 1 } ]);
+  check_has "INS of the same fresh id twice" Diag.Duplicate_insert
+    (lint
+       [
+         Op.Insert { id = 20; label = "S"; value = "x"; parent = 5; pos = 1 };
+         Op.Insert { id = 20; label = "S"; value = "y"; parent = 5; pos = 1 };
+       ])
+
+let test_lint_deleted_destination () =
+  check_has "MOV into a deleted target" Diag.Deleted_destination
+    (lint [ Op.Delete { id = 4 }; Op.Move { id = 2; parent = 4; pos = 1 } ])
+
+let test_lint_position_oob () =
+  check_has "INS position past arity+1" Diag.Position_oob
+    (lint [ Op.Insert { id = 20; label = "S"; value = "x"; parent = 3; pos = 5 } ]);
+  check_has "position 0" Diag.Position_oob
+    (lint [ Op.Insert { id = 20; label = "S"; value = "x"; parent = 3; pos = 0 } ])
+
+let test_lint_delete_non_leaf () =
+  check_has "DEL of an internal node" Diag.Delete_non_leaf
+    (lint [ Op.Delete { id = 3 } ])
+
+let test_lint_phase_order () =
+  check_has "INS after first DEL" Diag.Phase_order
+    (lint
+       [
+         Op.Delete { id = 1 };
+         Op.Insert { id = 20; label = "S"; value = "a"; parent = 3; pos = 1 };
+       ])
+
+let test_lint_move_into_subtree () =
+  check_has "MOV under own descendant" Diag.Move_into_subtree
+    (lint [ Op.Move { id = 3; parent = 1; pos = 1 } ])
+
+let test_lint_unknown_node () =
+  check_has "UPD of an id that never existed" Diag.Unknown_node
+    (lint [ Op.Update { id = 99; value = "x" } ])
+
+let test_lint_root_edit () =
+  check_has "DEL of the root" Diag.Root_edit (lint [ Op.Delete { id = 6 } ]);
+  check_has "MOV of the root" Diag.Root_edit
+    (lint [ Op.Move { id = 6; parent = 3; pos = 1 } ])
+
+let test_lint_redundant_warnings () =
+  let diags =
+    lint [ Op.Update { id = 1; value = "a" }; Op.Move { id = 1; parent = 3; pos = 1 } ]
+  in
+  Alcotest.(check (list string)) "no errors" []
+    (ids (Diag.errors diags));
+  check_has "no-op update" Diag.Redundant_update diags;
+  check_has "no-op move" Diag.Redundant_move diags
+
+let test_lint_recovers_after_error () =
+  (* The op on the deleted node is skipped; later ops still lint. *)
+  let diags =
+    lint
+      [
+        Op.Delete { id = 2 };
+        Op.Update { id = 2; value = "x" };
+        Op.Delete { id = 99 };
+      ]
+  in
+  check_has "first error" Diag.Use_after_delete diags;
+  check_has "later error still found" Diag.Unknown_node diags
+
+(* ------------------------------------------------------- matching analyzer *)
+
+let match_diags m =
+  let t1, t2 = base_pair () in
+  Match_check.run ~t1 ~t2 m
+
+let test_match_valid () =
+  Alcotest.(check (list string)) "the true matching has no errors" []
+    (ids (Diag.errors (match_diags (base_matching ()))))
+
+let test_match_unknown_id () =
+  let m = Matching.create () in
+  Matching.add m 99 7;
+  check_has "unknown T1 id" Diag.Unmatched_id (match_diags m)
+
+let test_match_label_mismatch () =
+  let m = Matching.create () in
+  Matching.add m 1 8;
+  (* S matched to P *)
+  check_has "S-P pair" Diag.Label_mismatch (match_diags m)
+
+let test_match_root_mismatch () =
+  let m = Matching.create () in
+  Matching.add m 5 12;
+  (* non-root matched to the T2 root *)
+  check_has "root to non-root" Diag.Root_mismatch (match_diags m)
+
+let test_match_criteria_are_warnings () =
+  (* Match leaves with wildly different values: MC1 fails, but that is a
+     warning — external matchings need not satisfy the paper's criteria. *)
+  let gen = Tree.gen () in
+  let t1 = Codec.parse gen {|(D (S "aaaa"))|} in
+  let t2 = Codec.parse gen {|(D (S "zzzz"))|} in
+  (* ids: t1 S=1 D=2; t2 S=3 D=4 *)
+  let m = Matching.create () in
+  Matching.add m 1 3;
+  Matching.add m 2 4;
+  let diags = Match_check.run ~t1 ~t2 m in
+  Alcotest.(check (list string)) "no errors" []
+    (ids (Diag.errors diags));
+  check_has "MC1 warning" Diag.Leaf_criterion diags
+
+(* ------------------------------------------------------ conformance audit *)
+
+let verify_script ?matching script =
+  let t1, t2 = base_pair () in
+  Check.verify ?matching ~t1 ~t2 script
+
+let test_conform_ok () =
+  Alcotest.(check (list string)) "good script verifies" []
+    (ids
+       (Diag.errors
+          (verify_script ~matching:(base_matching ())
+             [ Op.Move { id = 2; parent = 5; pos = 2 } ])))
+
+let test_conform_not_isomorphic () =
+  check_has "wrong result tree" Diag.Not_isomorphic
+    (verify_script [ Op.Update { id = 1; value = "zzz" } ])
+
+let test_conform_deletes_matched () =
+  check_has "DEL of a matched node" Diag.Deletes_matched
+    (verify_script ~matching:(base_matching ()) [ Op.Delete { id = 2 } ])
+
+let test_conform_inserts_matched () =
+  check_has "INS of a matched T1 id" Diag.Inserts_matched
+    (verify_script ~matching:(base_matching ())
+       [ Op.Insert { id = 2; label = "S"; value = "x"; parent = 5; pos = 1 } ])
+
+let test_conform_count_bounds_warn () =
+  (* One move is required (b changes parents); a script with an extra
+     insert+delete pair still produces T2 but trips the count warnings. *)
+  let diags =
+    verify_script ~matching:(base_matching ())
+      [
+        Op.Move { id = 2; parent = 5; pos = 2 };
+        Op.Insert { id = 20; label = "S"; value = "tmp"; parent = 3; pos = 2 };
+        Op.Delete { id = 20 };
+      ]
+  in
+  Alcotest.(check (list string)) "still no errors" []
+    (ids (Diag.errors diags));
+  check_has "insert count warning" Diag.Insert_count diags;
+  check_has "delete count warning" Diag.Delete_count diags
+
+(* ---------------------------------------------------------- delta checker *)
+
+let dleaf ?(base = Delta.Identical) ?moved label value =
+  { Delta.label; value; base; moved; children = [] }
+
+let dnode ?(base = Delta.Identical) ?moved label children =
+  { Delta.label; value = ""; base; moved; children }
+
+let test_delta_pipeline_clean () =
+  let t1, t2 = base_pair () in
+  let r = Diff.diff t1 t2 in
+  Alcotest.(check (list string)) "pipeline delta is clean" []
+    (ids (Delta_check.run ~new_tree:t2 r.Diff.delta))
+
+let test_delta_ghost_root () =
+  check_has "deleted root" Diag.Ghost_root
+    (Delta_check.run (dnode ~base:Delta.Deleted "D" []))
+
+let test_delta_ghost_structure () =
+  check_has "marker with children" Diag.Ghost_structure
+    (Delta_check.run
+       (dnode "D" [ dnode ~base:Delta.Marker ~moved:1 "P" [ dleaf "S" "x" ] ]));
+  check_has "real node inside a deleted ghost" Diag.Ghost_structure
+    (Delta_check.run
+       (dnode "D" [ dnode ~base:Delta.Deleted "P" [ dleaf "S" "x" ] ]))
+
+let test_delta_marker_pairing () =
+  (* mov 1 on a real node, but no mrk 1 ghost anywhere *)
+  check_has "unpaired mov" Diag.Marker_unpaired
+    (Delta_check.run (dnode "D" [ dnode ~moved:1 "P" [] ]));
+  (* mrk 2 ghost with no moved node *)
+  check_has "unpaired mrk" Diag.Marker_unpaired
+    (Delta_check.run (dnode "D" [ dnode ~base:Delta.Marker ~moved:2 "P" [] ]));
+  (* an unnumbered marker ghost *)
+  check_has "unnumbered mrk" Diag.Marker_unpaired
+    (Delta_check.run (dnode "D" [ dnode ~base:Delta.Marker "P" [] ]));
+  (* marker number used twice on the same side *)
+  let dup =
+    dnode "D"
+      [
+        dnode ~moved:1 "P" [];
+        dnode ~moved:1 "Q" [];
+        dnode ~base:Delta.Marker ~moved:1 "P" [];
+      ]
+  in
+  check_has "duplicate marker number" Diag.Marker_duplicate (Delta_check.run dup)
+
+let test_delta_mismatch () =
+  let _, t2 = base_pair () in
+  let bogus = dnode "D" [ dleaf ~base:Delta.Inserted "S" "x" ] in
+  check_has "delta does not rebuild NEW" Diag.Delta_mismatch
+    (Delta_check.run ~new_tree:t2 bogus)
+
+(* -------------------------------------------------------------- sanitizer *)
+
+let test_sanitizer_passes_good_diff () =
+  let t1, t2 = base_pair () in
+  let config = Config.(with_check true default) in
+  let r = Diff.diff ~config t1 t2 in
+  (* also: explicit verify returns no errors *)
+  Alcotest.(check (list string)) "no errors" []
+    (ids (Diag.errors (Diff.verify ~config r ~t1 ~t2)))
+
+let test_sanitizer_raises_on_broken_result () =
+  let t1, t2 = base_pair () in
+  let config = Config.(with_check false default) in
+  let r = Diff.diff ~config t1 t2 in
+  let broken = { r with Diff.script = Op.Delete { id = 2 } :: r.Diff.script } in
+  Alcotest.(check bool) "Failed raised" true
+    (match Check.assert_ok (Diff.verify ~config broken ~t1 ~t2) with
+    | () -> false
+    | exception Diag.Failed (_ :: _) -> true)
+
+let test_generator_rejects_broken_matching_with_diag () =
+  let gen = Tree.gen () in
+  let t1 = Codec.parse gen {|(D (S "a"))|} in
+  let t2 = Codec.parse gen {|(D (P (S "a")))|} in
+  let bad = Matching.create () in
+  Matching.add bad 1 4;
+  (* S (id 1) matched to P (id 4) *)
+  Alcotest.(check bool) "TD203 from the generator" true
+    (match Diff.diff_with_matching ~matching:bad t1 t2 with
+    | exception Diag.Failed [ d ] -> d.Diag.code = Diag.Label_mismatch
+    | _ -> false)
+
+(* ------------------------------------------------------------- properties *)
+
+(* The central acceptance property: everything Diff.diff produces — scripts,
+   matchings, deltas — passes the verifier with zero diagnostics, across
+   random labeled trees, random documents, and both matching algorithms,
+   with the sanitizer enabled the whole way. *)
+let clean_on_random_pairs_prop =
+  QCheck2.Test.make ~name:"verifier accepts 320 random Diff.diff outputs"
+    ~count:320
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let g = P.create seed in
+      let gen = Tree.gen () in
+      let t1, t2 =
+        if P.bool g then begin
+          let t1 =
+            Treegen.random_labeled g gen ~max_depth:4 ~max_width:4
+              ~labels:[| "R"; "A"; "B"; "S" |] ~vocab:(5 + P.int g 60)
+          in
+          (t1, Treegen.perturb g gen t1)
+        end
+        else begin
+          let t1 =
+            Treegen.random_document g gen ~paragraphs:(1 + P.int g 5)
+              ~vocab:(10 + P.int g 60)
+          in
+          let t2, _ =
+            Treediff_workload.Mutate.mutate g gen t1 ~actions:(1 + P.int g 8)
+          in
+          (t1, t2)
+        end
+      in
+      let algorithm = if P.bool g then Config.Fast_match else Config.Simple_match in
+      let config = Config.(with_check true { default with algorithm }) in
+      let r = Diff.diff ~config t1 t2 in
+      let diags = Diff.verify ~config r ~t1 ~t2 in
+      (* delta artifacts too *)
+      let d_diags = Delta_check.run ~new_tree:t2 r.Diff.delta in
+      if diags <> [] || d_diags <> [] then
+        QCheck2.Test.fail_reportf "diagnostics on pipeline output:@\n%s"
+          (String.concat "\n" (List.map Diag.to_string (diags @ d_diags)))
+      else true)
+
+(* Soundness on broken scripts: a random mutation of a pipeline script either
+   draws an error diagnostic, or is genuinely harmless (applies and still
+   produces T2).  Also checks the verifier flags a healthy share. *)
+let mutation_prop =
+  let flagged = ref 0 and total = ref 0 in
+  QCheck2.Test.make ~name:"mutated scripts are flagged or harmless" ~count:200
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let g = P.create seed in
+      let gen = Tree.gen () in
+      let t1 =
+        Treegen.random_labeled g gen ~max_depth:4 ~max_width:4
+          ~labels:[| "R"; "A"; "B"; "S" |] ~vocab:(5 + P.int g 40)
+      in
+      let t2 = Treegen.perturb g gen t1 in
+      let config = Config.(with_check false default) in
+      let r = Diff.diff ~config t1 t2 in
+      (* effective (dummy-rooted) trees, mirroring Diff.verify *)
+      let eff t d =
+        match d with
+        | None -> Tree.copy t
+        | Some id ->
+          let w = Node.make ~id ~label:"@@root" () in
+          Node.append_child w (Tree.copy t);
+          w
+      in
+      let eff1 = eff t1 (Option.map fst r.Diff.dummy) in
+      let eff2 = eff t2 (Option.map snd r.Diff.dummy) in
+      let script = Array.of_list r.Diff.script in
+      let n = Array.length script in
+      if n = 0 then true
+      else begin
+        (* one random mutation *)
+        let mutated =
+          match P.int g 4 with
+          | 0 ->
+            (* swap two ops *)
+            let i = P.int g n and j = P.int g n in
+            let a = Array.copy script in
+            let t = a.(i) in
+            a.(i) <- a.(j);
+            a.(j) <- t;
+            Array.to_list a
+          | 1 ->
+            (* retarget an op at a random node id *)
+            let i = P.int g n in
+            let any = 1 + P.int g (Tree.max_id eff2) in
+            let a = Array.copy script in
+            (a.(i) <-
+              (match a.(i) with
+              | Op.Insert ins -> Op.Insert { ins with id = any }
+              | Op.Delete _ -> Op.Delete { id = any }
+              | Op.Update u -> Op.Update { u with id = any }
+              | Op.Move m -> Op.Move { m with id = any }));
+            Array.to_list a
+          | 2 ->
+            (* perturb a position *)
+            let i = P.int g n in
+            let a = Array.copy script in
+            (a.(i) <-
+              (match a.(i) with
+              | Op.Insert ins -> Op.Insert { ins with pos = ins.pos + 1 + P.int g 3 }
+              | Op.Move m -> Op.Move { m with pos = m.pos + 1 + P.int g 3 }
+              | (Op.Delete _ | Op.Update _) as op -> op));
+            Array.to_list a
+          | _ ->
+            (* duplicate an op *)
+            let i = P.int g n in
+            let rec dup k = function
+              | [] -> []
+              | x :: rest when k = 0 -> x :: x :: rest
+              | x :: rest -> x :: dup (k - 1) rest
+            in
+            dup i (Array.to_list script)
+        in
+        if mutated = r.Diff.script then true
+        else begin
+          incr total;
+          let diags = Check.verify ~t1:eff1 ~t2:eff2 mutated in
+          if Diag.errors diags <> [] then begin
+            incr flagged;
+            true
+          end
+          else
+            (* claimed clean: it must really transform T1 into T2 *)
+            match Script.apply (Tree.copy eff1) mutated with
+            | out -> Iso.equal out eff2
+            | exception Script.Apply_error msg ->
+              QCheck2.Test.fail_reportf
+                "verifier passed a script that does not apply: %s" msg
+        end
+      end)
+
+(* Postprocess output must still be a valid matching. *)
+let postprocess_prop =
+  QCheck2.Test.make ~name:"postprocessed matchings pass the analyzer" ~count:120
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let g = P.create seed in
+      let gen = Tree.gen () in
+      let t1 =
+        Treegen.random_document g gen ~paragraphs:(1 + P.int g 4)
+          ~vocab:(3 + P.int g 6) (* tiny vocab: many equal values, MC3 stress *)
+      in
+      let t2, _ = Treediff_workload.Mutate.mutate g gen t1 ~actions:(1 + P.int g 6) in
+      let stats = Treediff_util.Stats.create () in
+      let ctx = Criteria.ctx ~stats Criteria.default ~t1 ~t2 in
+      let m = Treediff_matching.Fast_match.run ctx in
+      ignore (Treediff_matching.Postprocess.run ctx m);
+      let diags = Match_check.run ~criteria:Criteria.default ~t1 ~t2 m in
+      Diag.errors diags = [])
+
+(* LaDiff end to end: the document pipeline's artifacts verify too. *)
+let test_ladiff_verifies () =
+  let old_src =
+    "\\section{One}\n\nAlpha beta gamma. Delta epsilon.\n\
+     \\section{Two}\n\nZeta eta theta iota.\n"
+  in
+  let new_src =
+    "\\section{Two}\n\nZeta eta theta iota. Fresh closing words.\n\
+     \\section{One}\n\nAlpha beta gamma delta. Delta epsilon.\n"
+  in
+  let out = Treediff_doc.Ladiff.run ~old_src ~new_src () in
+  let diags =
+    Diff.verify out.Treediff_doc.Ladiff.result
+      ~t1:out.Treediff_doc.Ladiff.old_tree ~t2:out.Treediff_doc.Ladiff.new_tree
+  in
+  Alcotest.(check (list string)) "no errors" []
+    (ids (Diag.errors diags))
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "diag",
+        [
+          Alcotest.test_case "codes and pp" `Quick test_diag_codes;
+          Alcotest.test_case "summary" `Quick test_diag_summary;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "clean script" `Quick test_lint_clean;
+          Alcotest.test_case "use after delete" `Quick test_lint_use_after_delete;
+          Alcotest.test_case "duplicate insert" `Quick test_lint_duplicate_insert;
+          Alcotest.test_case "deleted destination" `Quick test_lint_deleted_destination;
+          Alcotest.test_case "position out of bounds" `Quick test_lint_position_oob;
+          Alcotest.test_case "delete non-leaf" `Quick test_lint_delete_non_leaf;
+          Alcotest.test_case "phase order" `Quick test_lint_phase_order;
+          Alcotest.test_case "move into own subtree" `Quick test_lint_move_into_subtree;
+          Alcotest.test_case "unknown node" `Quick test_lint_unknown_node;
+          Alcotest.test_case "root edits" `Quick test_lint_root_edit;
+          Alcotest.test_case "redundant ops warn" `Quick test_lint_redundant_warnings;
+          Alcotest.test_case "recovers after error" `Quick test_lint_recovers_after_error;
+        ] );
+      ( "matching",
+        [
+          Alcotest.test_case "valid matching" `Quick test_match_valid;
+          Alcotest.test_case "unknown id" `Quick test_match_unknown_id;
+          Alcotest.test_case "label mismatch" `Quick test_match_label_mismatch;
+          Alcotest.test_case "root mismatch" `Quick test_match_root_mismatch;
+          Alcotest.test_case "criteria are warnings" `Quick test_match_criteria_are_warnings;
+        ] );
+      ( "conform",
+        [
+          Alcotest.test_case "good script" `Quick test_conform_ok;
+          Alcotest.test_case "not isomorphic" `Quick test_conform_not_isomorphic;
+          Alcotest.test_case "deletes matched" `Quick test_conform_deletes_matched;
+          Alcotest.test_case "inserts matched" `Quick test_conform_inserts_matched;
+          Alcotest.test_case "count bounds warn" `Quick test_conform_count_bounds_warn;
+        ] );
+      ( "delta",
+        [
+          Alcotest.test_case "pipeline delta clean" `Quick test_delta_pipeline_clean;
+          Alcotest.test_case "ghost root" `Quick test_delta_ghost_root;
+          Alcotest.test_case "ghost structure" `Quick test_delta_ghost_structure;
+          Alcotest.test_case "marker pairing" `Quick test_delta_marker_pairing;
+          Alcotest.test_case "delta mismatch" `Quick test_delta_mismatch;
+        ] );
+      ( "sanitizer",
+        [
+          Alcotest.test_case "passes good diffs" `Quick test_sanitizer_passes_good_diff;
+          Alcotest.test_case "raises on broken results" `Quick
+            test_sanitizer_raises_on_broken_result;
+          Alcotest.test_case "generator diagnostics" `Quick
+            test_generator_rejects_broken_matching_with_diag;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest clean_on_random_pairs_prop;
+          QCheck_alcotest.to_alcotest mutation_prop;
+          QCheck_alcotest.to_alcotest postprocess_prop;
+          Alcotest.test_case "ladiff verifies" `Quick test_ladiff_verifies;
+        ] );
+    ]

@@ -116,6 +116,65 @@ let test_gen_corpus_pipeline () =
   Alcotest.(check int) "ladiff over generated corpus" 0 code;
   Alcotest.(check bool) "non-empty delta" true (not (contains ~sub:"0 inserted, 0 deleted, 0 updated, 0 moved" summary))
 
+(* --------------------------------------------------------- treediff check *)
+
+(* Fixtures are dune deps, copied next to the test's cwd. *)
+let fx name = Filename.concat "fixtures" name
+
+let run_check args =
+  run
+    (Printf.sprintf "%s check %s %s %s" (bin "treediff_cli")
+       (fx "base.old.sexp") (fx "base.new.sexp") args)
+
+let test_check_self () =
+  let code, out = run_check "" in
+  Alcotest.(check int) "self-check exits 0" 0 code;
+  Alcotest.(check bool) "prints ok" true (contains ~sub:"ok" out)
+
+let test_check_good_script () =
+  let code, out = run_check ("--script " ^ fx "good.script") in
+  Alcotest.(check int) "good script exits 0" 0 code;
+  Alcotest.(check bool) "prints ok" true (contains ~sub:"ok" out)
+
+let test_check_use_after_delete () =
+  let code, out = run_check ("--script " ^ fx "use_after_delete.script") in
+  Alcotest.(check bool) "exits nonzero" true (code <> 0);
+  Alcotest.(check bool) "TD101 reported" true (contains ~sub:"TD101" out)
+
+let test_check_phase_order () =
+  let code, out = run_check ("--script " ^ fx "phase_order.script") in
+  Alcotest.(check bool) "exits nonzero" true (code <> 0);
+  Alcotest.(check bool) "TD106 reported" true (contains ~sub:"TD106" out)
+
+let test_check_nonconforming () =
+  let code, out = run_check ("--script " ^ fx "nonconforming.script") in
+  Alcotest.(check bool) "exits nonzero" true (code <> 0);
+  Alcotest.(check bool) "TD301 reported" true (contains ~sub:"TD301" out)
+
+let test_check_parse_error () =
+  let truncated = tmp_file "MOV(2,5\n" in
+  let code, out = run_check ("--script " ^ truncated) in
+  Alcotest.(check bool) "exits nonzero" true (code <> 0);
+  Alcotest.(check bool) "TD001 reported" true (contains ~sub:"TD001" out)
+
+let test_check_delta_roundtrip () =
+  (* diff -m delta, then check the stored delta against the pair *)
+  let delta = Filename.temp_file "delta" ".txt" in
+  let code, _ =
+    run
+      (Printf.sprintf "%s diff %s %s -m delta -o %s" (bin "treediff_cli")
+         (fx "base.old.sexp") (fx "base.new.sexp") delta)
+  in
+  Alcotest.(check int) "diff exits 0" 0 code;
+  let code, out = run_check ("--delta " ^ delta) in
+  Alcotest.(check int) "stored delta checks out" 0 code;
+  Alcotest.(check bool) "prints ok" true (contains ~sub:"ok" out);
+  (* a delta for the wrong pair is caught *)
+  let bogus = tmp_file "(D (S \"x\" [ins]))" in
+  let code, out = run_check ("--delta " ^ bogus) in
+  Alcotest.(check bool) "wrong delta exits nonzero" true (code <> 0);
+  Alcotest.(check bool) "TD405 reported" true (contains ~sub:"TD405" out)
+
 let test_experiments_help () =
   let code, out = run (Printf.sprintf "%s --help=plain" (bin "experiments")) in
   Alcotest.(check int) "help exit 0" 0 code;
@@ -135,6 +194,16 @@ let () =
           Alcotest.test_case "diff/apply round-trip" `Quick test_treediff_roundtrip_sexp;
           Alcotest.test_case "xml input" `Quick test_treediff_xml;
           Alcotest.test_case "zhang-shasha flag" `Quick test_treediff_zs_flag;
+        ] );
+      ( "check",
+        [
+          Alcotest.test_case "self-check" `Quick test_check_self;
+          Alcotest.test_case "good script" `Quick test_check_good_script;
+          Alcotest.test_case "use after delete" `Quick test_check_use_after_delete;
+          Alcotest.test_case "phase order" `Quick test_check_phase_order;
+          Alcotest.test_case "nonconforming" `Quick test_check_nonconforming;
+          Alcotest.test_case "parse error" `Quick test_check_parse_error;
+          Alcotest.test_case "delta round-trip" `Quick test_check_delta_roundtrip;
         ] );
       ( "gen-corpus",
         [ Alcotest.test_case "generate then ladiff" `Quick test_gen_corpus_pipeline ] );

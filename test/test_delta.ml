@@ -219,7 +219,27 @@ let test_delta_io_errors () =
   Alcotest.(check bool) "unbalanced" true (fails "(D");
   Alcotest.(check bool) "bad annotation" true (fails "(D [bogus])");
   Alcotest.(check bool) "mov without number" true (fails "(D [mov])");
-  Alcotest.(check bool) "trailing" true (fails "(D) junk")
+  Alcotest.(check bool) "trailing" true (fails "(D) junk");
+  (* hardened parse: duplicate annotations are rejected, not last-wins *)
+  Alcotest.(check bool) "duplicate base" true (fails "(D [ins del])");
+  Alcotest.(check bool) "duplicate upd" true (fails {|(D [upd "a" upd "b"])|});
+  Alcotest.(check bool) "duplicate mov" true (fails "(D [mov 1 mov 2])");
+  Alcotest.(check bool) "mrk then mov" true (fails "(D [mrk 1 mov 2])")
+
+let test_delta_io_parse_result () =
+  (match Delta_io.parse {|(D (S "x" [ins]))|} with
+  | Ok d -> Alcotest.(check int) "one child" 1 (List.length d.Delta.children)
+  | Error e -> Alcotest.fail ("unexpected error: " ^ e));
+  let err s =
+    match Delta_io.parse s with
+    | Error msg -> msg
+    | Ok _ -> Alcotest.fail (Printf.sprintf "parse accepted %S" s)
+  in
+  Alcotest.(check bool) "truncated tree is an Error" true (err "(D (S" <> "");
+  Alcotest.(check bool) "duplicate field is an Error" true
+    (err "(D [del ins])" <> "");
+  Alcotest.(check bool) "overflow is an Error, not a crash" true
+    (err "(D [mov 99999999999999999999999999])" <> "")
 
 let delta_io_roundtrip_prop =
   QCheck2.Test.make ~name:"delta_io round-trips generated deltas" ~count:80
@@ -292,6 +312,7 @@ let () =
           Alcotest.test_case "round-trip" `Quick test_delta_io_roundtrip;
           Alcotest.test_case "tricky values" `Quick test_delta_io_tricky_values;
           Alcotest.test_case "parse errors" `Quick test_delta_io_errors;
+          Alcotest.test_case "result-typed parse" `Quick test_delta_io_parse_result;
           QCheck_alcotest.to_alcotest delta_io_roundtrip_prop;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest delta_consistency_prop ]);

@@ -222,6 +222,31 @@ let test_script_io_errors () =
   Alcotest.(check bool) "unterminated string" true (fails "UPD(1,\"oops)");
   Alcotest.(check bool) "bad escape" true (fails {|UPD(1,"\q")|})
 
+let test_script_io_parse_result () =
+  (* The exception-free front end: truncated, overflowing and duplicate-ish
+     inputs all come back as Error, never as an exception. *)
+  (match Script_io.parse "MOV(2,5,2)\nDEL(7)\n" with
+  | Ok s -> Alcotest.(check int) "two ops parsed" 2 (List.length s)
+  | Error e -> Alcotest.fail ("unexpected error: " ^ e));
+  let err s =
+    match Script_io.parse s with
+    | Error msg -> msg
+    | Ok _ -> Alcotest.fail (Printf.sprintf "parse accepted %S" s)
+  in
+  let contains ~sub s =
+    let n = String.length s and m = String.length sub in
+    let rec loop i = i + m <= n && (String.sub s i m = sub || loop (i + 1)) in
+    m = 0 || loop 0
+  in
+  Alcotest.(check bool) "truncated op is a located Error" true
+    (contains ~sub:"line 1" (err "MOV(2,5"));
+  Alcotest.(check bool) "truncated INS tuple" true
+    (contains ~sub:"line 1" (err "INS((21,S"));
+  Alcotest.(check bool) "overflow is an Error, not a crash" true
+    (contains ~sub:"out of range" (err "DEL(99999999999999999999999999)"));
+  Alcotest.(check bool) "duplicated field" true
+    (err "UPD(1,\"a\",\"b\")" <> "")
+
 (* Any generated script round-trips, including applying identically. *)
 let script_io_roundtrip_prop =
   QCheck2.Test.make ~name:"script_io round-trips generated scripts" ~count:100
@@ -279,6 +304,7 @@ let () =
           Alcotest.test_case "tricky values" `Quick test_script_io_tricky_values;
           Alcotest.test_case "comments and blanks" `Quick test_script_io_comments_and_blanks;
           Alcotest.test_case "parse errors" `Quick test_script_io_errors;
+          Alcotest.test_case "result-typed parse" `Quick test_script_io_parse_result;
           QCheck_alcotest.to_alcotest script_io_roundtrip_prop;
         ] );
     ]

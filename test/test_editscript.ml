@@ -214,16 +214,18 @@ let test_invalid_matching_rejected () =
   let t2 = parse gen {|(D (P (S "a")))|} in
   let bad = Matching.create () in
   Matching.add bad (Node.child t1 0).Node.id (Node.child t2 0).Node.id;
-  (* S matched to P: label mismatch must be rejected *)
+  (* S matched to P: label mismatch must be rejected, as a TD203 diagnostic *)
   Alcotest.(check bool) "label mismatch rejected" true
     (match Edit_gen.generate ~matching:bad t1 t2 with
-    | exception Invalid_argument _ -> true
+    | exception Treediff_check.Diag.Failed [ d ] ->
+      d.Treediff_check.Diag.code = Treediff_check.Diag.Label_mismatch
     | _ -> false);
   let unknown = Matching.create () in
   Matching.add unknown 999 (Node.child t2 0).Node.id;
   Alcotest.(check bool) "unknown id rejected" true
     (match Edit_gen.generate ~matching:unknown t1 t2 with
-    | exception Invalid_argument _ -> true
+    | exception Treediff_check.Diag.Failed [ d ] ->
+      d.Treediff_check.Diag.code = Treediff_check.Diag.Unmatched_id
     | _ -> false)
 
 (* ------------------------------------------------- the paper's running example *)

@@ -338,6 +338,45 @@ let mc3_bucketing_equals_seed_prop =
       && ids (Criteria.mc3_violating_leaves ctx ~old_side:false)
          = ids (reference ~mine:t2 ~theirs:t1))
 
+(* ------------------------------------------------- stale-index detection *)
+
+let test_check_index_fresh () =
+  let gen = Tree.gen () in
+  let t = Codec.parse gen {|(D (P (S "a") (S "b")) (P (S "c")))|} in
+  let idx = Index.build t in
+  Alcotest.(check bool) "fresh index passes" true
+    (Treediff_tree.Invariant.check_index idx t = Ok ())
+
+let test_check_index_stale () =
+  let expect_stale what mutate =
+    let gen = Tree.gen () in
+    let t = Codec.parse gen {|(D (P (S "a") (S "b")) (P (S "c")))|} in
+    let idx = Index.build t in
+    mutate t;
+    match Treediff_tree.Invariant.check_index idx t with
+    | Ok () -> Alcotest.fail (what ^ ": stale index not detected")
+    | Error _ -> ()
+  in
+  expect_stale "value update" (fun t ->
+      (Node.child (Node.child t 0) 0).Node.value <- "changed");
+  expect_stale "detach" (fun t -> Node.detach (Node.child t 1));
+  expect_stale "reorder" (fun t ->
+      let p = Node.child t 0 in
+      let b = Node.child p 1 in
+      Node.detach b;
+      Node.insert_child p 0 b);
+  expect_stale "insert" (fun t ->
+      Node.append_child (Node.child t 1) (Node.make ~id:99 ~label:"S" ()))
+
+let test_check_index_other_tree () =
+  (* an index built for one tree never validates another *)
+  let gen = Tree.gen () in
+  let t1 = Codec.parse gen {|(D (S "a"))|} in
+  let t2 = Codec.parse gen {|(D (S "a"))|} in
+  let idx = Index.build t1 in
+  Alcotest.(check bool) "different ids rejected" true
+    (Treediff_tree.Invariant.check_index idx t2 <> Ok ())
+
 let () =
   Alcotest.run "index"
     [
@@ -347,6 +386,10 @@ let () =
           Alcotest.test_case "random trees" `Quick test_index_invariants_random;
           Alcotest.test_case "pair shares label ids" `Quick test_index_pair_shares_labels;
           Alcotest.test_case "out-of-range ids" `Quick test_index_out_of_range_ids;
+          Alcotest.test_case "check_index accepts fresh" `Quick test_check_index_fresh;
+          Alcotest.test_case "check_index detects stale" `Quick test_check_index_stale;
+          Alcotest.test_case "check_index rejects other trees" `Quick
+            test_check_index_other_tree;
         ] );
       ( "seed-equivalence",
         [
