@@ -1,4 +1,4 @@
-.PHONY: all build lint check test bench bench-quick doc clean examples
+.PHONY: all build lint check test bench bench-quick doc clean examples fault-tests
 
 all: build
 
@@ -23,6 +23,30 @@ test:
 
 test-force:
 	TREEDIFF_CHECK=1 dune runtest --force --no-buffer
+
+# Fault-injection sweep: run the resilience suite unarmed, then re-run it
+# with TREEDIFF_FAULT armed at representative points (the suite switches to
+# its env-sweep mode and asserts every outcome is a verified result or a
+# typed error — never an uncaught exception).
+FAULT_SPECS = \
+  fast_match.chain:raise \
+  fast_match.lcs:deadline \
+  simple_match.node:overflow \
+  keyed.match:raise \
+  postprocess.run:raise \
+  edit_gen.visit:raise \
+  edit_gen.align:deadline \
+  edit_gen.delete:overflow \
+  delta.build:raise \
+  fast_match.chain:raise,keyed.match:raise
+
+fault-tests:
+	dune build test/test_fault.exe
+	dune exec test/test_fault.exe -- -c
+	@for spec in $(FAULT_SPECS); do \
+	  echo "== TREEDIFF_FAULT=$$spec"; \
+	  TREEDIFF_FAULT=$$spec dune exec test/test_fault.exe -- -c || exit 1; \
+	done
 
 bench:
 	dune exec bench/main.exe

@@ -131,9 +131,57 @@ let run_bechamel ?json () =
   print_newline ();
   match json with None -> () | Some path -> write_json path estimates
 
+(* ------------------------------------------------ degradation frequency *)
+
+(* How often does a wall-clock budget push the pipeline off the primary
+   algorithm?  Diff a corpus of growing documents under the given deadline
+   and tabulate which ladder rung produced each result. *)
+let run_budget ms =
+  Printf.printf "== Degradation frequency under a %.3g ms budget ==\n" ms;
+  let g = Treediff_util.Prng.create 97 in
+  let table =
+    Treediff_util.Table.create
+      ~headers:[ "paragraphs"; "nodes"; "primary"; "windowed"; "keyed"; "rebuild"; "failed" ]
+  in
+  List.iter
+    (fun paragraphs ->
+      let counts = [| 0; 0; 0; 0; 0 |] in
+      let nodes = ref 0 in
+      let trials = 10 in
+      for _ = 1 to trials do
+        let gen = Treediff_tree.Tree.gen () in
+        let t1 =
+          Treediff_workload.Treegen.random_document g gen ~paragraphs ~vocab:60
+        in
+        let t2 = Treediff_workload.Treegen.perturb g gen ~ops:(paragraphs / 2) t1 in
+        nodes := !nodes + Treediff_tree.Node.size t1;
+        let budget = Treediff_util.Budget.make ~deadline_ms:ms () in
+        let slot =
+          match Treediff.Diff.diff_result ~budget t1 t2 with
+          | Ok { Treediff.Diff.degraded = None; _ } -> 0
+          | Ok { Treediff.Diff.degraded = Some Treediff.Diff.Windowed; _ } -> 1
+          | Ok { Treediff.Diff.degraded = Some Treediff.Diff.Keyed; _ } -> 2
+          | Ok { Treediff.Diff.degraded = Some Treediff.Diff.Rebuild; _ } -> 3
+          | Error _ -> 4
+        in
+        counts.(slot) <- counts.(slot) + 1
+      done;
+      Treediff_util.Table.add_row table
+        (string_of_int paragraphs
+        :: string_of_int (!nodes / trials)
+        :: List.map
+             (fun i -> Printf.sprintf "%d/%d" counts.(i) trials)
+             [ 0; 1; 2; 3; 4 ]))
+    [ 10; 30; 100; 300; 1000 ];
+  Treediff_util.Table.print table;
+  print_newline ()
+
 let usage () =
-  print_endline "usage: main.exe [EXPERIMENT...] [--bechamel] [--json OUT]";
-  print_endline "  --json OUT   with --bechamel, also write ns/run estimates to OUT";
+  print_endline
+    "usage: main.exe [EXPERIMENT...] [--bechamel] [--json OUT] [--budget-ms MS]";
+  print_endline "  --json OUT      with --bechamel, also write ns/run estimates to OUT";
+  print_endline
+    "  --budget-ms MS  tabulate ladder-rung frequency under an MS-millisecond deadline";
   print_endline "experiments (default: all):";
   List.iter (fun (name, descr, _) -> Printf.printf "  %-12s %s\n" name descr) experiments
 
@@ -149,21 +197,38 @@ let () =
     | [] -> (None, List.rev acc)
   in
   let json, args = take_json [] args in
+  let rec take_budget acc = function
+    | "--budget-ms" :: ms :: rest -> (
+      match float_of_string_opt ms with
+      | Some ms -> (Some ms, List.rev_append acc rest)
+      | None ->
+        prerr_endline "--budget-ms requires a number of milliseconds";
+        exit 2)
+    | "--budget-ms" :: [] ->
+      prerr_endline "--budget-ms requires a number of milliseconds";
+      exit 2
+    | a :: rest -> take_budget (a :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let budget_ms, args = take_budget [] args in
   let names = List.filter (fun a -> a <> "--bechamel") args in
   if List.mem "--help" names || List.mem "-h" names then usage ()
   else begin
-    let selected =
-      if names = [] then experiments
-      else
-        List.filter_map
-          (fun n ->
-            match List.find_opt (fun (name, _, _) -> name = n) experiments with
-            | Some e -> Some e
-            | None ->
-              Printf.printf "unknown experiment %S (try --help)\n" n;
-              None)
-          names
-    in
-    List.iter (fun (_, _, run) -> run ()) selected;
-    if bech || json <> None then run_bechamel ?json ()
+    match budget_ms with
+    | Some ms -> run_budget ms
+    | None ->
+      let selected =
+        if names = [] then experiments
+        else
+          List.filter_map
+            (fun n ->
+              match List.find_opt (fun (name, _, _) -> name = n) experiments with
+              | Some e -> Some e
+              | None ->
+                Printf.printf "unknown experiment %S (try --help)\n" n;
+                None)
+            names
+      in
+      List.iter (fun (_, _, run) -> run ()) selected;
+      if bech || json <> None then run_bechamel ?json ()
   end

@@ -9,7 +9,13 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let run old_file new_file format threshold leaf_f output mode check =
+(* Exit codes, also documented in the man page: 2 = parse error,
+   4 = internal diagnostic failure. *)
+let exit_parse_error = 2
+let exit_internal = 4
+
+let run old_file new_file format lenient threshold leaf_f output mode check =
+  try
   let format =
     match format with
     | "latex" -> Treediff_doc.Ladiff.Latex
@@ -20,7 +26,10 @@ let run old_file new_file format threshold leaf_f output mode check =
     Treediff_doc.Doc_tree.config_with ~leaf_f ~internal_t:threshold ()
   in
   let old_src = read_file old_file and new_src = read_file new_file in
-  let out = Treediff_doc.Ladiff.run ~format ~config ~old_src ~new_src () in
+  let out = Treediff_doc.Ladiff.run ~format ~lenient ~config ~old_src ~new_src () in
+  List.iter
+    (fun w -> Printf.eprintf "ladiff: warning: %s\n" w)
+    out.Treediff_doc.Ladiff.warnings;
   let result = out.Treediff_doc.Ladiff.result in
   (if check then
      match
@@ -42,13 +51,23 @@ let run old_file new_file format threshold leaf_f output mode check =
     | m ->
       failwith (Printf.sprintf "unknown output mode %S (latex|html|text|script|summary)" m)
   in
-  match output with
+  (match output with
   | None -> print_string text
   | Some path ->
     let oc = open_out_bin path in
     Fun.protect
       ~finally:(fun () -> close_out_noerr oc)
-      (fun () -> output_string oc text)
+      (fun () -> output_string oc text))
+  with
+  | Treediff_doc.Latex_parser.Parse_error m
+  | Treediff_doc.Html_parser.Parse_error m ->
+    Printf.eprintf "ladiff: parse error: %s\n" m;
+    exit exit_parse_error
+  | Treediff_check.Diag.Failed ds ->
+    List.iter
+      (fun d -> prerr_endline (Treediff_check.Diag.to_string d))
+      ds;
+    exit exit_internal
 
 let old_file =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD" ~doc:"Old version.")
@@ -59,6 +78,12 @@ let new_file =
 let format =
   Arg.(value & opt string "latex" & info [ "f"; "format" ] ~docv:"FMT"
          ~doc:"Input format: $(b,latex) or $(b,html).")
+
+let lenient =
+  Arg.(value & flag & info [ "lenient" ]
+         ~doc:"Recover from malformed input instead of failing: each \
+               recovery (unbalanced braces, stray \\\\item, tag soup) is \
+               reported as a warning on stderr and parsing continues.")
 
 let threshold =
   Arg.(value & opt float 0.6 & info [ "t"; "threshold" ] ~docv:"T"
@@ -94,8 +119,14 @@ let cmd =
           font, updates in italics, moves labelled and footnoted.";
     ]
   in
+  let exits =
+    Cmd.Exit.info ~doc:"on malformed input (parse error)." exit_parse_error
+    :: Cmd.Exit.info ~doc:"on an internal diagnostic failure." exit_internal
+    :: Cmd.Exit.defaults
+  in
   Cmd.v
-    (Cmd.info "ladiff" ~version:"1.0.0" ~doc ~man)
-    Term.(const run $ old_file $ new_file $ format $ threshold $ leaf_f $ output $ mode $ check)
+    (Cmd.info "ladiff" ~version:"1.0.0" ~doc ~man ~exits)
+    Term.(const run $ old_file $ new_file $ format $ lenient $ threshold $ leaf_f
+          $ output $ mode $ check)
 
 let () = exit (Cmd.eval cmd)

@@ -15,11 +15,36 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let parse_tree format gen src =
+(* Exit codes, also documented in each subcommand's man page:
+   2 = parse error, 3 = budget exceeded (degraded output was produced),
+   4 = internal diagnostic failure. *)
+let exit_parse_error = 2
+let exit_degraded = 3
+let exit_internal = 4
+
+let parse_tree ?(lenient = false) format gen src =
   match format with
-  | "sexp" -> Treediff_tree.Codec.parse gen src
-  | "xml" -> Treediff_doc.Xml_parser.parse gen src
+  | "sexp" -> Treediff_tree.Codec.parse gen src (* the codec has no lenient mode *)
+  | "xml" ->
+    if lenient then (
+      match Treediff_doc.Xml_parser.parse_result ~lenient:true gen src with
+      | Ok (t, warnings) ->
+        List.iter (fun w -> Printf.eprintf "treediff: xml: %s\n" w) warnings;
+        t
+      | Error m -> raise (Treediff_doc.Xml_parser.Parse_error m))
+    else Treediff_doc.Xml_parser.parse gen src
   | f -> failwith (Printf.sprintf "unknown tree format %S (sexp|xml)" f)
+
+let handle_errors f =
+  try f () with
+  | Treediff_tree.Codec.Parse_error m | Treediff_doc.Xml_parser.Parse_error m ->
+    Printf.eprintf "treediff: parse error: %s\n" m;
+    exit exit_parse_error
+  | Treediff_check.Diag.Failed ds ->
+    List.iter
+      (fun d -> prerr_endline (Treediff_check.Diag.to_string d))
+      ds;
+    exit exit_internal
 
 let print_tree format t =
   match format with
@@ -40,17 +65,53 @@ let write_out output text =
 
 (* ------------------------------------------------------------------ diff *)
 
-let run_diff old_file new_file format algorithm threshold leaf_f window mode zs output =
+let render_result mode output (result : Treediff.Diff.t) =
+  let text =
+    match mode with
+    | "script" -> Treediff_edit.Script_io.to_string result.Treediff.Diff.script
+    | "delta" -> Treediff.Delta_io.to_string result.Treediff.Diff.delta ^ "\n"
+    | "stats" ->
+      let m = result.Treediff.Diff.measure in
+      Printf.sprintf
+        "ops: %d (ins %d, del %d, upd %d, mov %d)\ncost: %.2f\nweighted distance e: %d\n\
+         matching: %d pairs\ncomparisons: %d leaf compares, %d partner checks\n"
+        (Treediff_edit.Script.unweighted m)
+        m.Treediff_edit.Script.inserts m.Treediff_edit.Script.deletes
+        m.Treediff_edit.Script.updates m.Treediff_edit.Script.moves
+        m.Treediff_edit.Script.cost m.Treediff_edit.Script.weighted
+        (Treediff_matching.Matching.cardinal result.Treediff.Diff.matching)
+        result.Treediff.Diff.stats.Treediff_util.Stats.leaf_compares
+        result.Treediff.Diff.stats.Treediff_util.Stats.partner_checks
+    | m -> failwith (Printf.sprintf "unknown mode %S (script|delta|stats)" m)
+  in
+  write_out output text
+
+let make_budget budget_ms max_comparisons max_nodes =
+  if budget_ms = None && max_comparisons = None && max_nodes = None then None
+  else
+    Some
+      (Treediff_util.Budget.make ?deadline_ms:budget_ms ?max_comparisons
+         ?max_nodes ())
+
+let run_diff old_file new_file format lenient algorithm threshold leaf_f window
+    mode zs budget_ms max_comparisons max_nodes output =
+  handle_errors @@ fun () ->
   let gen = Treediff_tree.Tree.gen () in
-  let t1 = parse_tree format gen (read_file old_file) in
-  let t2 = parse_tree format gen (read_file new_file) in
+  let t1 = parse_tree ~lenient format gen (read_file old_file) in
+  let t2 = parse_tree ~lenient format gen (read_file new_file) in
+  let budget = make_budget budget_ms max_comparisons max_nodes in
   if zs then begin
-    let r = Treediff_zs.Zhang_shasha.mapping t1 t2 in
-    write_out output
-      (Printf.sprintf "zhang-shasha distance: %.2f (%d mapped pairs, %d relabels)\n"
-         r.Treediff_zs.Zhang_shasha.dist
-         (List.length r.Treediff_zs.Zhang_shasha.pairs)
-         r.Treediff_zs.Zhang_shasha.relabels)
+    match Treediff_zs.Zhang_shasha.mapping ?budget t1 t2 with
+    | r ->
+      write_out output
+        (Printf.sprintf "zhang-shasha distance: %.2f (%d mapped pairs, %d relabels)\n"
+           r.Treediff_zs.Zhang_shasha.dist
+           (List.length r.Treediff_zs.Zhang_shasha.pairs)
+           r.Treediff_zs.Zhang_shasha.relabels)
+    | exception Treediff_util.Budget.Exceeded e ->
+      (* no degradation ladder for the baseline; report and stop *)
+      Printf.eprintf "treediff: %s\n" (Treediff_util.Budget.describe e);
+      exit exit_degraded
   end
   else begin
     let algorithm =
@@ -66,29 +127,32 @@ let run_diff old_file new_file format algorithm threshold leaf_f window mode zs 
     let config =
       { (Treediff.Config.with_criteria criteria) with algorithm; scan_window = window }
     in
-    let result = Treediff.Diff.diff ~config t1 t2 in
-    (match Treediff.Diff.check result ~t1 ~t2 with
-    | Ok () -> ()
-    | Error e -> failwith ("internal check failed: " ^ e));
-    let text =
-      match mode with
-      | "script" -> Treediff_edit.Script_io.to_string result.Treediff.Diff.script
-      | "delta" -> Treediff.Delta_io.to_string result.Treediff.Diff.delta ^ "\n"
-      | "stats" ->
-        let m = result.Treediff.Diff.measure in
-        Printf.sprintf
-          "ops: %d (ins %d, del %d, upd %d, mov %d)\ncost: %.2f\nweighted distance e: %d\n\
-           matching: %d pairs\ncomparisons: %d leaf compares, %d partner checks\n"
-          (Treediff_edit.Script.unweighted m)
-          m.Treediff_edit.Script.inserts m.Treediff_edit.Script.deletes
-          m.Treediff_edit.Script.updates m.Treediff_edit.Script.moves
-          m.Treediff_edit.Script.cost m.Treediff_edit.Script.weighted
-          (Treediff_matching.Matching.cardinal result.Treediff.Diff.matching)
-          result.Treediff.Diff.stats.Treediff_util.Stats.leaf_compares
-          result.Treediff.Diff.stats.Treediff_util.Stats.partner_checks
-      | m -> failwith (Printf.sprintf "unknown mode %S (script|delta|stats)" m)
-    in
-    write_out output text
+    match Treediff.Diff.diff_result ~config ?budget t1 t2 with
+    | Ok result -> (
+      (match Treediff.Diff.check result ~t1 ~t2 with
+      | Ok () -> ()
+      | Error e ->
+        Printf.eprintf "treediff: internal check failed: %s\n" e;
+        exit exit_internal);
+      render_result mode output result;
+      match result.Treediff.Diff.degraded with
+      | None -> ()
+      | Some rung ->
+        Printf.eprintf
+          "treediff: budget exceeded; degraded to the %s rung (output verified)\n"
+          (Treediff.Diff.rung_name rung);
+        exit exit_degraded)
+    | Error f ->
+      List.iter
+        (fun (attempt, reason) ->
+          Printf.eprintf "treediff: %s attempt failed: %s\n" attempt reason)
+        f.Treediff.Diff.attempts;
+      (* last resort: a flat line diff of the two outlines *)
+      write_out output (Treediff_textdiff.Line_diff.render f.Treediff.Diff.flat);
+      exit
+        (match f.Treediff.Diff.cause with
+        | Treediff.Diff.Budget_exhausted _ -> exit_degraded
+        | _ -> exit_internal)
   end
 
 let old_file =
@@ -126,17 +190,56 @@ let output =
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
          ~doc:"Write to $(docv) instead of stdout.")
 
+let lenient =
+  Arg.(value & flag & info [ "lenient" ]
+         ~doc:"Recover from malformed XML input instead of failing: each \
+               recovery is reported as a warning on stderr and parsing \
+               continues.  Ignored for the sexp format.")
+
+let budget_ms =
+  Arg.(value & opt (some float) None & info [ "budget-ms" ] ~docv:"MS"
+         ~doc:"Wall-clock budget in milliseconds.  When exceeded, the \
+               pipeline degrades through cheaper rungs (windowed, keyed, \
+               rebuild) and exits with code 3 while still producing verified \
+               output.")
+
+let max_comparisons =
+  Arg.(value & opt (some int) None & info [ "max-comparisons" ] ~docv:"N"
+         ~doc:"Cap the number of leaf/internal node comparisons before \
+               degrading (see $(b,--budget-ms)).")
+
+let max_nodes =
+  Arg.(value & opt (some int) None & info [ "max-nodes" ] ~docv:"N"
+         ~doc:"Refuse inputs with more than $(docv) total nodes before \
+               degrading (see $(b,--budget-ms)).")
+
+let exit_parse_info =
+  Cmd.Exit.info ~doc:"on malformed input (parse error)." exit_parse_error
+
+let exit_internal_info =
+  Cmd.Exit.info ~doc:"on an internal diagnostic failure." exit_internal
+
+let diff_exits =
+  exit_parse_info
+  :: Cmd.Exit.info
+       ~doc:"when a resource budget was exceeded: the output was produced by \
+             a degraded rung (or a flat line diff) and verified."
+       exit_degraded
+  :: exit_internal_info :: Cmd.Exit.defaults
+
 let diff_cmd =
   let doc = "compute a minimum-cost edit script between two trees" in
-  Cmd.v (Cmd.info "diff" ~doc)
-    Term.(const run_diff $ old_file $ new_file $ format_arg $ algorithm $ threshold
-          $ leaf_f $ window $ mode $ zs $ output)
+  Cmd.v (Cmd.info "diff" ~doc ~exits:diff_exits)
+    Term.(const run_diff $ old_file $ new_file $ format_arg $ lenient
+          $ algorithm $ threshold $ leaf_f $ window $ mode $ zs $ budget_ms
+          $ max_comparisons $ max_nodes $ output)
 
 (* ----------------------------------------------------------------- apply *)
 
-let run_apply tree_file script_file format output =
+let run_apply tree_file script_file format lenient output =
+  handle_errors @@ fun () ->
   let gen = Treediff_tree.Tree.gen () in
-  let t = parse_tree format gen (read_file tree_file) in
+  let t = parse_tree ~lenient format gen (read_file tree_file) in
   let script =
     match Treediff_edit.Script_io.parse (read_file script_file) with
     | Ok script -> script
@@ -154,17 +257,21 @@ let script_file =
 
 let apply_cmd =
   let doc = "replay a stored edit script on a tree" in
-  Cmd.v (Cmd.info "apply" ~doc)
-    Term.(const run_apply $ tree_file $ script_file $ format_arg $ output)
+  let exits = exit_parse_info :: exit_internal_info :: Cmd.Exit.defaults in
+  Cmd.v (Cmd.info "apply" ~doc ~exits)
+    Term.(const run_apply $ tree_file $ script_file $ format_arg $ lenient
+          $ output)
 
 (* ----------------------------------------------------------------- check *)
 
 module Diag = Treediff_check.Diag
 
-let run_check old_file new_file format script_file delta_file audit output =
+let run_check old_file new_file format lenient script_file delta_file audit
+    output =
+  handle_errors @@ fun () ->
   let gen = Treediff_tree.Tree.gen () in
-  let t1 = parse_tree format gen (read_file old_file) in
-  let t2 = parse_tree format gen (read_file new_file) in
+  let t1 = parse_tree ~lenient format gen (read_file old_file) in
+  let t2 = parse_tree ~lenient format gen (read_file new_file) in
   let diags =
     match (script_file, delta_file) with
     | Some _, Some _ -> failwith "--script and --delta are mutually exclusive"
@@ -219,9 +326,10 @@ let check_cmd =
           exits non-zero when any error-severity finding is present.";
     ]
   in
-  Cmd.v (Cmd.info "check" ~doc ~man)
-    Term.(const run_check $ old_file $ new_file $ format_arg $ check_script
-          $ check_delta $ check_audit $ output)
+  let exits = exit_parse_info :: exit_internal_info :: Cmd.Exit.defaults in
+  Cmd.v (Cmd.info "check" ~doc ~man ~exits)
+    Term.(const run_check $ old_file $ new_file $ format_arg $ lenient
+          $ check_script $ check_delta $ check_audit $ output)
 
 (* ------------------------------------------------------------------ main *)
 

@@ -13,7 +13,44 @@ type t = {
   children : t list;
 }
 
+(* Stack-safe bottom-up construction of an immutable [t] from a node tree:
+   a frame per open node collects built children (reversed); closing a frame
+   hands the finished subtree to its parent frame.  [expand] decides, per
+   child, whether to open a frame (Recurse) or emit a ready leaf subtree. *)
+type 'a step = Recurse of 'a | Ready of t
+
+type 'a ghost_frame = {
+  g_node : 'a;
+  mutable g_todo : 'a step list;
+  mutable g_acc : t list; (* reversed *)
+}
+
+let fold_tree ~expand ~close root =
+  let frame n = { g_node = n; g_todo = expand n; g_acc = [] } in
+  let result = ref None in
+  let stack = ref [ frame root ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | fr :: rest -> (
+      match fr.g_todo with
+      | Ready ghost :: tl ->
+        fr.g_todo <- tl;
+        fr.g_acc <- ghost :: fr.g_acc
+      | Recurse c :: tl ->
+        fr.g_todo <- tl;
+        stack := frame c :: !stack
+      | [] -> (
+        let built = close fr.g_node (List.rev fr.g_acc) in
+        stack := rest;
+        match rest with
+        | parent :: _ -> parent.g_acc <- built :: parent.g_acc
+        | [] -> result := Some built))
+  done;
+  match !result with Some t -> t | None -> assert false
+
 let build ~t1 ~t2 ~total ~script =
+  Treediff_util.Fault.point "delta.build";
   let t1_index = Tree.index_by_id t1 in
   let in_t1 id = Hashtbl.mem t1_index id in
   (* Marker numbers in script order; a node moves at most once per script. *)
@@ -29,21 +66,20 @@ let build ~t1 ~t2 ~total ~script =
   (* Ghost subtree for a deleted T1 node: unmatched descendants stay as
      [Deleted]; matched descendants were necessarily moved out, so they leave
      a [Marker] behind. *)
-  let rec deleted_ghost (u : Node.t) =
-    {
-      label = u.label;
-      value = u.value;
-      base = Deleted;
-      moved = None;
-      children =
-        List.map
-          (fun (c : Node.t) ->
-            if Matching.matched_old total c.id then marker_ghost c else deleted_ghost c)
-          (Node.children u);
-    }
-  and marker_ghost (c : Node.t) =
+  let marker_ghost (c : Node.t) =
     { label = c.label; value = c.value; base = Marker;
       moved = Hashtbl.find_opt markers c.id; children = [] }
+  in
+  let deleted_ghost (u : Node.t) =
+    fold_tree u
+      ~expand:(fun (n : Node.t) ->
+        List.map
+          (fun (c : Node.t) ->
+            if Matching.matched_old total c.id then Ready (marker_ghost c)
+            else Recurse c)
+          (Node.children n))
+      ~close:(fun (n : Node.t) children ->
+        { label = n.label; value = n.value; base = Deleted; moved = None; children })
   in
   (* Ghosts anchored under matched T1 parents, keyed by the partner's T2 id. *)
   let anchored : (int, (int * t) list ref) Hashtbl.t = Hashtbl.create 16 in
@@ -99,22 +135,25 @@ let build ~t1 ~t2 ~total ~script =
           ins idx acc)
         children ghosts
   in
-  let rec build_new (y : Node.t) =
-    let wid = Matching.partner_of_new total y.id in
-    let base, moved =
-      match wid with
-      | Some wid when in_t1 wid ->
-        let old = Hashtbl.find t1_index wid in
-        let base =
-          if String.equal old.Node.value y.value then Identical
-          else Updated old.Node.value
+  let build_new (y0 : Node.t) =
+    fold_tree y0
+      ~expand:(fun (y : Node.t) -> List.map (fun c -> Recurse c) (Node.children y))
+      ~close:(fun (y : Node.t) built ->
+        let wid = Matching.partner_of_new total y.id in
+        let base, moved =
+          match wid with
+          | Some wid when in_t1 wid ->
+            let old = Hashtbl.find t1_index wid in
+            let base =
+              if String.equal old.Node.value y.value then Identical
+              else Updated old.Node.value
+            in
+            (base, Hashtbl.find_opt markers wid)
+          | Some _ -> (Inserted, None) (* fresh id: node was inserted *)
+          | None -> (Inserted, None)   (* unmatched new node (pre-script delta) *)
         in
-        (base, Hashtbl.find_opt markers wid)
-      | Some _ -> (Inserted, None) (* fresh id: node was inserted *)
-      | None -> (Inserted, None)   (* unmatched new node (pre-script delta) *)
-    in
-    let children = insert_ghosts y.id (List.map build_new (Node.children y)) in
-    { label = y.label; value = y.value; base; moved; children }
+        let children = insert_ghosts y.id built in
+        { label = y.label; value = y.value; base; moved; children })
   in
   let root = build_new t2 in
   (* Ghosts whose old parent has no counterpart (e.g. a replaced root) hang
@@ -125,38 +164,59 @@ let build ~t1 ~t2 ~total ~script =
     let gs = List.map snd (List.sort (fun (i, _) (j, _) -> compare i j) gs) in
     { root with children = gs @ root.children }
 
-let rec strip d =
-  match d.base with
-  | Deleted | Marker -> None
-  | Identical | Updated _ | Inserted ->
-    Some { d with children = List.filter_map strip d.children }
+let is_ghost d = match d.base with Deleted | Marker -> true | _ -> false
+
+let strip d =
+  if is_ghost d then None
+  else
+    Some
+      (fold_tree d
+         ~expand:(fun d ->
+           List.filter_map
+             (fun c -> if is_ghost c then None else Some (Recurse c))
+             d.children)
+         ~close:(fun d children -> { d with children }))
 
 let to_new_tree gen d =
-  let rec build (d : t) =
-    match d.base with
-    | Deleted | Marker -> None
-    | Identical | Updated _ | Inserted ->
-      Some (Tree.node gen d.label ~value:d.value (List.filter_map build d.children))
-  in
-  match build d with
-  | Some t -> t
-  | None -> invalid_arg "Delta.to_new_tree: the root is a ghost"
+  if is_ghost d then invalid_arg "Delta.to_new_tree: the root is a ghost";
+  let node_of d = Tree.node gen d.label ~value:d.value [] in
+  let root = node_of d in
+  let stack = ref [ (d.children, root) ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | (kids, parent) :: rest ->
+      stack := rest;
+      List.iter
+        (fun c ->
+          if not (is_ghost c) then begin
+            let n = node_of c in
+            Node.append_child parent n;
+            stack := (c.children, n) :: !stack
+          end)
+        kids
+  done;
+  root
 
 let counts d =
   let ins = ref 0 and del = ref 0 and upd = ref 0 and mov = ref 0 in
-  let rec walk ~in_ghost d =
-    (match d.base with
-    | Inserted -> incr ins
-    | Deleted -> if not in_ghost then incr del
-    | Updated _ -> incr upd
-    | Identical | Marker -> ());
-    (match (d.base, d.moved) with
-    | (Identical | Updated _), Some _ -> incr mov
-    | _ -> ());
-    let in_ghost = in_ghost || d.base = Deleted in
-    List.iter (walk ~in_ghost) d.children
-  in
-  walk ~in_ghost:false d;
+  let stack = ref [ (d, false) ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | (d, in_ghost) :: rest ->
+      stack := rest;
+      (match d.base with
+      | Inserted -> incr ins
+      | Deleted -> if not in_ghost then incr del
+      | Updated _ -> incr upd
+      | Identical | Marker -> ());
+      (match (d.base, d.moved) with
+      | (Identical | Updated _), Some _ -> incr mov
+      | _ -> ());
+      let in_ghost = in_ghost || d.base = Deleted in
+      List.iter (fun c -> stack := (c, in_ghost) :: !stack) d.children
+  done;
   (!ins, !del, !upd, !mov)
 
 let marker_of d = match d.base with Marker -> d.moved | _ -> None

@@ -5,6 +5,18 @@ module Op = Treediff_edit.Op
 module Script = Treediff_edit.Script
 module Matching = Treediff_matching.Matching
 module Criteria = Treediff_matching.Criteria
+module Index = Treediff_tree.Index
+module Budget = Treediff_util.Budget
+module Fault = Treediff_util.Fault
+module Diag = Treediff_check.Diag
+module Line_diff = Treediff_textdiff.Line_diff
+
+type rung = Windowed | Keyed | Rebuild
+
+let rung_name = function
+  | Windowed -> "windowed"
+  | Keyed -> "keyed"
+  | Rebuild -> "rebuild"
 
 type t = {
   matching : Matching.t;
@@ -15,6 +27,19 @@ type t = {
   measure : Script.measure;
   stats : Treediff_util.Stats.t;
   postprocess_fixes : int;
+  degraded : rung option;
+}
+
+type failure_cause =
+  | Budget_exhausted of Budget.exhausted
+  | Diagnostics of Diag.t list
+  | Fault of string
+  | Exception of string
+
+type failure = {
+  cause : failure_cause;
+  attempts : (string * string) list;
+  flat : Line_diff.hunk list;
 }
 
 let with_dummy id label t =
@@ -44,8 +69,9 @@ let verify ?(config = Config.default) ?audit_data result ~t1 ~t2 =
   Treediff_check.Check.verify ~criteria:config.Config.criteria ~matching:m
     ?dummy:result.dummy ?audit_data ~t1:eff1 ~t2:eff2 result.script
 
-let finish ?(config = Config.default) ~matching ~stats ~postprocess_fixes t1 t2 =
-  let gen = Edit_gen.generate ~matching t1 t2 in
+let finish ?(config = Config.default) ?budget ?degraded ~matching ~stats
+    ~postprocess_fixes t1 t2 =
+  let gen = Edit_gen.generate ?budget ~matching t1 t2 in
   let base = dummy_rooted gen.Edit_gen.dummy t1 in
   let measure = Script.measure ~model:config.Config.cost base gen.Edit_gen.script in
   let delta =
@@ -61,15 +87,24 @@ let finish ?(config = Config.default) ~matching ~stats ~postprocess_fixes t1 t2 
       measure;
       stats;
       postprocess_fixes;
+      degraded;
     }
   in
   if config.Config.check then
     Treediff_check.Check.assert_ok (verify ~config result ~t1 ~t2);
   result
 
-let diff ?(config = Config.default) t1 t2 =
+let diff ?(config = Config.default) ?budget t1 t2 =
+  let budget =
+    match budget with Some b -> b | None -> Budget.unlimited ()
+  in
+  Budget.set_phase budget "setup";
   let stats = Treediff_util.Stats.create () in
-  let ctx = Criteria.ctx ~stats config.Config.criteria ~t1 ~t2 in
+  let ctx = Criteria.ctx ~stats ~budget config.Config.criteria ~t1 ~t2 in
+  let idx1 = Criteria.index1 ctx and idx2 = Criteria.index2 ctx in
+  Budget.admit budget
+    ~nodes:(Index.size idx1 + Index.size idx2)
+    ~depth:(1 + max (Index.height idx1 0) (Index.height idx2 0));
   let matching =
     match config.Config.algorithm with
     | Config.Fast_match ->
@@ -80,11 +115,11 @@ let diff ?(config = Config.default) t1 t2 =
     if config.Config.postprocess then Treediff_matching.Postprocess.run ctx matching
     else 0
   in
-  finish ~config ~matching ~stats ~postprocess_fixes t1 t2
+  finish ~config ~budget ~matching ~stats ~postprocess_fixes t1 t2
 
-let diff_with_matching ?(config = Config.default) ~matching t1 t2 =
-  finish ~config ~matching ~stats:(Treediff_util.Stats.create ()) ~postprocess_fixes:0
-    t1 t2
+let diff_with_matching ?(config = Config.default) ?budget ~matching t1 t2 =
+  finish ~config ?budget ~matching ~stats:(Treediff_util.Stats.create ())
+    ~postprocess_fixes:0 t1 t2
 
 let apply result t1 =
   let base = dummy_rooted result.dummy t1 in
@@ -124,3 +159,133 @@ let check result ~t1 ~t2 =
   with
   | ok_or_err -> ok_or_err
   | exception Script.Apply_error msg -> Error ("script does not apply: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* Degradation ladder (resilience layer).                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Stack-safe outline rendering for the flat last-resort diff: one line per
+   node, indentation capped so a pathological path tree stays linear in
+   output size. *)
+let outline t =
+  let buf = Buffer.create 1024 in
+  let stack = ref [ (t, 0) ] in
+  let continue = ref true in
+  while !continue do
+    match !stack with
+    | [] -> continue := false
+    | (n, d) :: rest ->
+      stack := rest;
+      Buffer.add_string buf (String.make (2 * min d 20) ' ');
+      Buffer.add_string buf n.Node.label;
+      if not (String.equal n.Node.value "") then begin
+        Buffer.add_string buf ": ";
+        Buffer.add_string buf n.Node.value
+      end;
+      Buffer.add_char buf '\n';
+      let kids = Node.fold_children (fun acc c -> (c, d + 1) :: acc) [] n in
+      stack := List.rev_append kids !stack
+  done;
+  Buffer.contents buf
+
+let flat_script t1 t2 = Line_diff.diff (outline t1) (outline t2)
+
+(* Degraded rungs never raise from the embedded checker: [diff_result]
+   re-verifies each rung's output explicitly and descends on any
+   error-severity finding, so a degraded result is never wrong-but-silent. *)
+let rung_config config = Config.with_check false config
+
+let run_windowed ~config ~budget t1 t2 =
+  let config =
+    {
+      (rung_config config) with
+      Config.algorithm = Config.Fast_match;
+      scan_window = Some 4;
+      postprocess = false;
+    }
+  in
+  diff ~config ~budget t1 t2
+
+(* Keyed rung: leaves keyed by (label, value); duplicates are excluded by
+   {!Treediff_matching.Keyed}.  A root paired with a non-root would be a hard
+   error (TD204), so such pairs are dropped and the root pair is seeded when
+   the labels agree. *)
+let leaf_key (n : Node.t) =
+  if Node.is_leaf n && not (String.equal n.Node.value "") then Some n.Node.value
+  else None
+
+let run_keyed ~config ~budget t1 t2 =
+  Fault.point "keyed.match";
+  Budget.set_phase budget "keyed_match";
+  let m = Treediff_matching.Keyed.run ~key:leaf_key ~t1 ~t2 in
+  let r1 = t1.Node.id and r2 = t2.Node.id in
+  List.iter
+    (fun (a, b) ->
+      if (a = r1) <> (b = r2) then Matching.remove m a b)
+    (Matching.pairs m);
+  if
+    (not (Matching.matched_old m r1))
+    && (not (Matching.matched_new m r2))
+    && String.equal t1.Node.label t2.Node.label
+  then Matching.add m r1 r2;
+  diff_with_matching ~config:(rung_config config) ~budget ~matching:m t1 t2
+
+(* Rebuild rung: empty matching — delete T1, insert T2.  Linear and
+   deliberately unbudgeted, so it terminates under any deadline. *)
+let run_rebuild ~config t1 t2 =
+  diff_with_matching ~config:(rung_config config) ~matching:(Matching.create ())
+    t1 t2
+
+let describe_exn = function
+  | Budget.Exceeded e -> "budget exhausted: " ^ Budget.describe e
+  | Fault.Injected p -> "injected fault: " ^ p
+  | Diag.Failed ds -> "diagnostics: " ^ Diag.summary ds
+  | e -> Printexc.to_string e
+
+let cause_of_exn = function
+  | Budget.Exceeded e -> Budget_exhausted e
+  | Fault.Injected p -> Fault p
+  | Diag.Failed ds -> Diagnostics ds
+  | e -> Exception (Printexc.to_string e)
+
+let ladder = [ Windowed; Keyed; Rebuild ]
+
+let diff_result ?(config = Config.default) ?budget t1 t2 =
+  let budget =
+    match budget with Some b -> b | None -> Budget.unlimited ()
+  in
+  let attempts = ref [] in
+  let note name msg = attempts := (name, msg) :: !attempts in
+  let fail cause =
+    Error { cause; attempts = List.rev !attempts; flat = flat_script t1 t2 }
+  in
+  let rec descend cause = function
+    | [] -> fail cause
+    | rung :: rest -> (
+      (* Each rung runs under a rearmed budget so a slow primary attempt does
+         not starve the cheaper fallbacks. *)
+      let b = Budget.rearm budget in
+      match
+        match rung with
+        | Windowed -> run_windowed ~config ~budget:b t1 t2
+        | Keyed -> run_keyed ~config ~budget:b t1 t2
+        | Rebuild -> run_rebuild ~config t1 t2
+      with
+      | r -> (
+        let diags = verify ~config:(rung_config config) r ~t1 ~t2 in
+        match Diag.errors diags with
+        | [] -> Ok { r with degraded = Some rung }
+        | errs ->
+          note (rung_name rung) ("verification failed: " ^ Diag.summary errs);
+          descend cause rest)
+      | exception Out_of_memory -> raise Out_of_memory
+      | exception e ->
+        note (rung_name rung) (describe_exn e);
+        descend cause rest)
+  in
+  match diff ~config ~budget t1 t2 with
+  | r -> Ok r
+  | exception Out_of_memory -> raise Out_of_memory
+  | exception e ->
+    note "primary" (describe_exn e);
+    descend (cause_of_exn e) ladder

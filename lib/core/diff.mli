@@ -10,6 +10,19 @@
     Input trees are never mutated.  Node identifiers must be unique across
     the two trees (build both from one {!Treediff_tree.Tree.gen}). *)
 
+type rung = Windowed | Keyed | Rebuild
+(** Rungs of the degradation ladder, cheapest last:
+    {ul
+    {- [Windowed] — FastMatch with a tight straggler window ([A(k) = 4]) and
+       no §8 post-processing pass;}
+    {- [Keyed] — leaf-value keyed matching ({!Treediff_matching.Keyed}): no
+       pairwise comparisons at all, so comparison caps cannot trip it;}
+    {- [Rebuild] — the empty matching: delete [T1], insert [T2].  Linear and
+       unbudgeted, so it terminates under any deadline.}} *)
+
+val rung_name : rung -> string
+(** ["windowed"], ["keyed"] or ["rebuild"]. *)
+
 type t = {
   matching : Treediff_matching.Matching.t;
       (** the good matching found (before edit-script extension) *)
@@ -23,23 +36,67 @@ type t = {
       (** cost / weighted distance / op counts under the config's cost model *)
   stats : Treediff_util.Stats.t;  (** matching comparison counters (§8) *)
   postprocess_fixes : int;  (** pairs repaired by the §8 pass (0 if disabled) *)
+  degraded : rung option;
+      (** [None] for a full-quality result; [Some r] when {!diff_result} fell
+          back to ladder rung [r] *)
+}
+
+type failure_cause =
+  | Budget_exhausted of Treediff_util.Budget.exhausted
+      (** the primary attempt ran out of budget (and so did every rung) *)
+  | Diagnostics of Treediff_check.Diag.t list
+      (** the primary attempt produced error-severity findings *)
+  | Fault of string  (** an injected fault point fired (argument: its name) *)
+  | Exception of string  (** any other exception, printed *)
+
+type failure = {
+  cause : failure_cause;  (** why the {e primary} attempt failed *)
+  attempts : (string * string) list;
+      (** what was tried and how each attempt failed, in order:
+          [("primary" | "windowed" | "keyed" | "rebuild", reason)] *)
+  flat : Treediff_textdiff.Line_diff.hunk list;
+      (** last-resort flat line diff of the two trees' outlines — always
+          available, computed without budgets or tree matching *)
 }
 
 val diff :
   ?config:Config.t ->
+  ?budget:Treediff_util.Budget.t ->
   Treediff_tree.Node.t ->
   Treediff_tree.Node.t ->
   t
-(** [diff t1 t2] detects changes from old tree [t1] to new tree [t2]. *)
+(** [diff t1 t2] detects changes from old tree [t1] to new tree [t2].
+    [budget] (default: unlimited) bounds the run; input caps are checked
+    up front, comparison and clock checks ride the hot loops.
+    @raise Treediff_util.Budget.Exceeded when a limit trips — use
+    {!diff_result} to degrade instead of fail. *)
 
 val diff_with_matching :
   ?config:Config.t ->
+  ?budget:Treediff_util.Budget.t ->
   matching:Treediff_matching.Matching.t ->
   Treediff_tree.Node.t ->
   Treediff_tree.Node.t ->
   t
 (** Skip the matching phase — for keyed data or externally computed
     matchings (e.g. Zhang–Shasha mappings). *)
+
+val diff_result :
+  ?config:Config.t ->
+  ?budget:Treediff_util.Budget.t ->
+  Treediff_tree.Node.t ->
+  Treediff_tree.Node.t ->
+  (t, failure) result
+(** Resilient front door: run {!diff} under [budget]; on {e any} exception
+    (budget exhaustion, injected fault, internal diagnostic — everything
+    except [Out_of_memory], which is re-raised) descend the degradation
+    ladder [Windowed → Keyed → Rebuild], each rung under a rearmed budget.
+    Every rung's output is re-verified with the static checker; a rung whose
+    result carries error-severity findings is discarded and the descent
+    continues, so a degraded result is never wrong-but-silent.  [Ok r] with
+    [r.degraded = Some rung] reports which rung produced the result; if even
+    [Rebuild] fails, [Error] carries the primary failure's cause, the
+    per-attempt failure log, and a flat line diff as a last resort. *)
 
 val apply : t -> Treediff_tree.Node.t -> Treediff_tree.Node.t
 (** [apply result t1] replays the script on a copy of [t1], handling the

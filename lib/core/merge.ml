@@ -46,7 +46,9 @@ let same_ops a b =
   norm a = norm b
 
 let correlate ?config ?diff ~base ~ours ~theirs () =
-  let diff = match diff with Some f -> f | None -> Diff.diff ?config in
+  let diff =
+    match diff with Some f -> f | None -> fun a b -> Diff.diff ?config a b
+  in
   let d_ours = diff base ours in
   let d_theirs = diff base theirs in
   let base_index = Tree.index_by_id base in

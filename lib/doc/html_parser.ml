@@ -98,7 +98,7 @@ let skip_tags = [ "script"; "style"; "head"; "title" ]
    implicit paragraph flushed at block boundaries. *)
 type frame = { node : Node.t; kind : string }
 
-let parse gen src =
+let parse_state ~lenient ~warnings gen src =
   let toks = tokenize src in
   let doc = Tree.node gen Doc_tree.document [] in
   let stack = ref [ { node = doc; kind = "doc" } ] in
@@ -208,8 +208,11 @@ let parse gen src =
       | Close "p" -> flush_para ()
       | Open ("ul" | "ol" | "dl") -> push Doc_tree.list "list"
       | Close ("ul" | "ol" | "dl") ->
-        if not (List.exists (fun f -> f.kind = "list" || f.kind = "item") !stack) then
-          fail "closing list tag with no open list";
+        if not (List.exists (fun f -> f.kind = "list" || f.kind = "item") !stack)
+        then
+          if lenient then
+            warnings := "closing list tag with no open list" :: !warnings
+          else fail "closing list tag with no open list";
         close_until [ "item" ];
         pop_kind "list"
       | Open ("li" | "dt" | "dd") ->
@@ -224,3 +227,11 @@ let parse gen src =
     toks;
   flush_para ();
   doc
+
+let parse gen src = parse_state ~lenient:false ~warnings:(ref []) gen src
+
+let parse_result ?(lenient = false) gen src =
+  let warnings = ref [] in
+  match parse_state ~lenient ~warnings gen src with
+  | t -> Ok (t, List.rev !warnings)
+  | exception Parse_error m -> Error m

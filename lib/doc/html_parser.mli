@@ -16,3 +16,13 @@ val parse : Treediff_tree.Tree.gen -> string -> Treediff_tree.Node.t
     is lenient about tag soup (unclosed [<p>], [<li>]), as real pages
     require; @raise Parse_error only on structurally hopeless input
     (a [</ul>] with no open list). *)
+
+val parse_result :
+  ?lenient:bool ->
+  Treediff_tree.Tree.gen ->
+  string ->
+  (Treediff_tree.Node.t * string list, string) result
+(** Non-raising front door.  With [lenient] (default [false]) the one
+    remaining hard error — a [</ul>] with no open list — is downgraded to a
+    warning and the tag ignored.  Strict mode returns [Error message] where
+    {!parse} would raise. *)

@@ -6,6 +6,7 @@ type output = {
   marked_text : string;
   old_tree : Treediff_tree.Node.t;
   new_tree : Treediff_tree.Node.t;
+  warnings : string list;
 }
 
 let parse ?(format = Latex) gen src =
@@ -13,10 +14,25 @@ let parse ?(format = Latex) gen src =
   | Latex -> Latex_parser.parse gen src
   | Html -> Html_parser.parse gen src
 
-let run ?(format = Latex) ?(config = Doc_tree.config) ~old_src ~new_src () =
+let run ?(format = Latex) ?(lenient = false) ?(config = Doc_tree.config)
+    ~old_src ~new_src () =
   let gen = Treediff_tree.Tree.gen () in
-  let old_tree = parse ~format gen old_src in
-  let new_tree = parse ~format gen new_src in
+  let parse_one src =
+    if lenient then
+      match
+        match format with
+        | Latex -> Latex_parser.parse_result ~lenient:true gen src
+        | Html -> Html_parser.parse_result ~lenient:true gen src
+      with
+      | Ok (t, warnings) -> (t, warnings)
+      | Error m -> (
+        match format with
+        | Latex -> raise (Latex_parser.Parse_error m)
+        | Html -> raise (Html_parser.Parse_error m))
+    else (parse ~format gen src, [])
+  in
+  let old_tree, old_warnings = parse_one old_src in
+  let new_tree, new_warnings = parse_one new_src in
   let result = Treediff.Diff.diff ~config old_tree new_tree in
   {
     result;
@@ -24,4 +40,5 @@ let run ?(format = Latex) ?(config = Doc_tree.config) ~old_src ~new_src () =
     marked_text = Markup.to_text result.Treediff.Diff.delta;
     old_tree;
     new_tree;
+    warnings = old_warnings @ new_warnings;
   }

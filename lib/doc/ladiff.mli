@@ -11,10 +11,12 @@ type output = {
   marked_text : string;          (** plain-text rendering of the delta *)
   old_tree : Treediff_tree.Node.t;
   new_tree : Treediff_tree.Node.t;
+  warnings : string list;        (** lenient-parse recoveries, old then new *)
 }
 
 val run :
   ?format:format ->
+  ?lenient:bool ->
   ?config:Treediff.Config.t ->
   old_src:string ->
   new_src:string ->
@@ -22,7 +24,8 @@ val run :
   output
 (** [run ~old_src ~new_src ()] parses both versions (default {!Latex};
     config defaults to {!Doc_tree.config}, the word-LCS criteria) and diffs
-    old → new.
+    old → new.  With [lenient] (default [false]) parser errors are recovered
+    from and reported in [warnings] instead of raised.
     @raise Latex_parser.Parse_error or {!Html_parser.Parse_error} on
     malformed input. *)
 

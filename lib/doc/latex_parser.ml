@@ -14,6 +14,11 @@ type tok =
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
 
+(* Lenient-mode context: recoveries collect here instead of raising. *)
+type env = { lenient : bool; mutable warnings : string list (* reversed *) }
+
+let warn env fmt = Printf.ksprintf (fun s -> env.warnings <- s :: env.warnings) fmt
+
 let list_envs = [ "itemize"; "enumerate"; "description" ]
 
 (* Strip comments; keep \% as a literal. *)
@@ -58,30 +63,39 @@ let body s =
 
 (* Read a balanced {...} group starting at s.[i] = '{'; returns contents and
    the position after the closing brace. *)
-let braced s i =
+let braced env s i =
   let n = String.length s in
-  if i >= n || s.[i] <> '{' then fail "expected '{' at offset %d" i;
-  let depth = ref 1 in
-  let j = ref (i + 1) in
-  let buf = Buffer.create 32 in
-  while !depth > 0 && !j < n do
-    (match s.[!j] with
-    | '{' ->
-      incr depth;
-      if !depth > 1 then Buffer.add_char buf '{'
-    | '}' ->
-      decr depth;
-      if !depth > 0 then Buffer.add_char buf '}'
-    | c -> Buffer.add_char buf c);
-    incr j
-  done;
-  if !depth > 0 then fail "unbalanced '{' at offset %d" i;
-  (Buffer.contents buf, !j)
+  if i >= n || s.[i] <> '{' then
+    if env.lenient then begin
+      warn env "expected '{' at offset %d" i;
+      ("", i)
+    end
+    else fail "expected '{' at offset %d" i
+  else begin
+    let depth = ref 1 in
+    let j = ref (i + 1) in
+    let buf = Buffer.create 32 in
+    while !depth > 0 && !j < n do
+      (match s.[!j] with
+      | '{' ->
+        incr depth;
+        if !depth > 1 then Buffer.add_char buf '{'
+      | '}' ->
+        decr depth;
+        if !depth > 0 then Buffer.add_char buf '}'
+      | c -> Buffer.add_char buf c);
+      incr j
+    done;
+    if !depth > 0 then
+      if env.lenient then warn env "unbalanced '{' at offset %d" i
+      else fail "unbalanced '{' at offset %d" i;
+    (Buffer.contents buf, !j)
+  end
 
 let starts_with s i prefix =
   i + String.length prefix <= String.length s && String.sub s i (String.length prefix) = prefix
 
-let tokenize src =
+let tokenize env src =
   let s = body (strip_comments src) in
   let n = String.length s in
   let toks = ref [] in
@@ -115,18 +129,18 @@ let tokenize src =
     else if s.[!i] = '\\' then begin
       if starts_with s !i "\\section" then begin
         flush_text ();
-        let title, j = braced s (!i + String.length "\\section") in
+        let title, j = braced env s (!i + String.length "\\section") in
         toks := Sec (Sentence.normalize title) :: !toks;
         i := j
       end
       else if starts_with s !i "\\subsection" then begin
         flush_text ();
-        let title, j = braced s (!i + String.length "\\subsection") in
+        let title, j = braced env s (!i + String.length "\\subsection") in
         toks := Subsec (Sentence.normalize title) :: !toks;
         i := j
       end
       else if starts_with s !i "\\begin{" then begin
-        let env, j = braced s (!i + String.length "\\begin") in
+        let env, j = braced env s (!i + String.length "\\begin") in
         if List.mem env list_envs then begin
           flush_text ();
           toks := Begin_list :: !toks;
@@ -139,7 +153,7 @@ let tokenize src =
         end
       end
       else if starts_with s !i "\\end{" then begin
-        let env, j = braced s (!i + String.length "\\end") in
+        let env, j = braced env s (!i + String.length "\\end") in
         if List.mem env list_envs then begin
           flush_text ();
           toks := End_list :: !toks;
@@ -173,7 +187,7 @@ let tokenize src =
 
 (* Blocks (paragraphs and lists) until a stopper token; returns the built
    child nodes and the remaining tokens (with the stopper still present). *)
-let rec parse_blocks gen toks ~in_list =
+let rec parse_blocks env gen toks ~in_list =
   let blocks = ref [] in
   let para = Buffer.create 128 in
   let flush_para () =
@@ -190,11 +204,29 @@ let rec parse_blocks gen toks ~in_list =
     match toks with
     | [] -> []
     | (Sec _ | Subsec _) :: _ ->
-      if in_list then fail "section heading inside a list";
+      if in_list then
+        if env.lenient then
+          (* heading terminates the list early; reprocessed by the caller *)
+          warn env "section heading inside a list"
+        else fail "section heading inside a list";
       toks
     | (End_list | Item) :: _ when in_list -> toks
-    | End_list :: _ -> fail "\\end{list} without matching \\begin"
-    | Item :: _ -> fail "\\item outside of a list environment"
+    | End_list :: rest ->
+      if env.lenient then begin
+        warn env "\\end{list} without matching \\begin";
+        loop rest
+      end
+      else fail "\\end{list} without matching \\begin"
+    | Item :: _ as toks ->
+      if env.lenient then begin
+        (* open an implicit list around the stray items *)
+        warn env "\\item outside of a list environment";
+        flush_para ();
+        let items, rest = parse_items env gen toks in
+        blocks := Tree.node gen Doc_tree.list items :: !blocks;
+        loop rest
+      end
+      else fail "\\item outside of a list environment"
     | Par_break :: rest ->
       flush_para ();
       loop rest
@@ -204,7 +236,7 @@ let rec parse_blocks gen toks ~in_list =
       loop rest
     | Begin_list :: rest ->
       flush_para ();
-      let items, rest = parse_items gen rest in
+      let items, rest = parse_items env gen rest in
       blocks := Tree.node gen Doc_tree.list items :: !blocks;
       loop rest
   in
@@ -212,50 +244,107 @@ let rec parse_blocks gen toks ~in_list =
   flush_para ();
   (List.rev !blocks, rest)
 
-and parse_items gen toks =
+and parse_items env gen toks =
   let items = ref [] in
   let rec loop toks =
     match toks with
     | Item :: rest ->
-      let blocks, rest = parse_blocks gen rest ~in_list:true in
+      let blocks, rest = parse_blocks env gen rest ~in_list:true in
       items := Tree.node gen Doc_tree.item blocks :: !items;
       loop rest
     | End_list :: rest -> rest
     | Par_break :: rest -> loop rest (* stray breaks between items *)
-    | Text t :: _ -> fail "text %S before first \\item" (String.trim t)
-    | (Sec _ | Subsec _) :: _ -> fail "section heading inside a list"
-    | Begin_list :: _ -> fail "nested list before first \\item"
-    | [] -> fail "unterminated list environment"
+    | Text t :: _ ->
+      if env.lenient then begin
+        (* wrap leading content in an implicit item *)
+        warn env "text %S before first \\item" (String.trim t);
+        let blocks, rest = parse_blocks env gen toks ~in_list:true in
+        items := Tree.node gen Doc_tree.item blocks :: !items;
+        loop rest
+      end
+      else fail "text %S before first \\item" (String.trim t)
+    | (Sec _ | Subsec _) :: _ ->
+      if env.lenient then begin
+        (* heading terminates the unterminated list *)
+        warn env "section heading inside a list";
+        toks
+      end
+      else fail "section heading inside a list"
+    | Begin_list :: _ ->
+      if env.lenient then begin
+        warn env "nested list before first \\item";
+        let blocks, rest = parse_blocks env gen toks ~in_list:true in
+        items := Tree.node gen Doc_tree.item blocks :: !items;
+        loop rest
+      end
+      else fail "nested list before first \\item"
+    | [] ->
+      if env.lenient then begin
+        warn env "unterminated list environment";
+        []
+      end
+      else fail "unterminated list environment"
   in
   let rest = loop toks in
   (List.rev !items, rest)
 
-let rec parse_subsections gen toks =
+let rec parse_subsections env gen toks =
   match toks with
   | Subsec title :: rest ->
-    let blocks, rest = parse_blocks gen rest ~in_list:false in
-    let subs, rest = parse_subsections gen rest in
+    let blocks, rest = parse_blocks env gen rest ~in_list:false in
+    let subs, rest = parse_subsections env gen rest in
     (Tree.node gen Doc_tree.subsection ~value:title blocks :: subs, rest)
   | _ -> ([], toks)
 
-let rec parse_sections gen toks =
+let rec parse_sections env gen toks =
   match toks with
   | Sec title :: rest ->
-    let blocks, rest = parse_blocks gen rest ~in_list:false in
-    let subs, rest = parse_subsections gen rest in
-    let secs, rest = parse_sections gen rest in
+    let blocks, rest = parse_blocks env gen rest ~in_list:false in
+    let subs, rest = parse_subsections env gen rest in
+    let secs, rest = parse_sections env gen rest in
     (Tree.node gen Doc_tree.section ~value:title (blocks @ subs) :: secs, rest)
   | _ -> ([], toks)
 
-let parse gen src =
-  let toks = tokenize src in
-  let preamble, rest = parse_blocks gen toks ~in_list:false in
-  let sections, rest = parse_sections gen rest in
-  (match rest with
-  | [] -> ()
-  | Subsec t :: _ -> fail "\\subsection{%s} outside any section" t
-  | _ -> fail "unparsed trailing structure");
-  Tree.node gen Doc_tree.document (preamble @ sections)
+let parse_env env gen src =
+  let toks = tokenize env src in
+  let preamble, rest = parse_blocks env gen toks ~in_list:false in
+  let sections, rest = parse_sections env gen rest in
+  let trailing =
+    if env.lenient then begin
+      (* Drain whatever structure is left: top-level subsections are kept as
+         section-level children; anything else is dropped one token at a
+         time so the scan always terminates. *)
+      let rec drain acc toks =
+        match toks with
+        | [] -> List.rev acc
+        | Subsec _ :: _ ->
+          warn env "\\subsection outside any section";
+          let subs, rest = parse_subsections env gen toks in
+          let secs, rest = parse_sections env gen rest in
+          drain (List.rev_append secs (List.rev_append subs acc)) rest
+        | _ :: rest ->
+          warn env "unparsed trailing structure";
+          drain acc rest
+      in
+      drain [] rest
+    end
+    else begin
+      (match rest with
+      | [] -> ()
+      | Subsec t :: _ -> fail "\\subsection{%s} outside any section" t
+      | _ -> fail "unparsed trailing structure");
+      []
+    end
+  in
+  Tree.node gen Doc_tree.document (preamble @ sections @ trailing)
+
+let parse gen src = parse_env { lenient = false; warnings = [] } gen src
+
+let parse_result ?(lenient = false) gen src =
+  let env = { lenient; warnings = [] } in
+  match parse_env env gen src with
+  | t -> Ok (t, List.rev env.warnings)
+  | exception Parse_error m -> Error m
 
 (* --- tree -> LaTeX ------------------------------------------------------- *)
 

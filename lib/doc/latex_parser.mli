@@ -19,6 +19,19 @@ val parse : Treediff_tree.Tree.gen -> string -> Treediff_tree.Node.t
 (** [parse gen src] builds the document tree.
     @raise Parse_error on unbalanced braces or environments. *)
 
+val parse_result :
+  ?lenient:bool ->
+  Treediff_tree.Tree.gen ->
+  string ->
+  (Treediff_tree.Node.t * string list, string) result
+(** Non-raising front door.  With [lenient] (default [false]) every strict
+    error recovers — unbalanced braces close at end-of-input, stray [\item]s
+    get an implicit list, content before the first [\item] becomes an
+    implicit item, a heading terminates an unterminated list, and top-level
+    [\subsection]s are kept as section-level children — with each recovery
+    reported as a warning alongside the tree.  Strict mode returns
+    [Error message] where {!parse} would raise. *)
+
 val print : Treediff_tree.Node.t -> string
 (** Render a document tree back to LaTeX source (lists re-emitted as
     [itemize]; the merged label loses the original environment name).

@@ -12,7 +12,18 @@ let text_label = "#text"
 
 (* ------------------------------------------------------------- scanning *)
 
-type t_state = { src : string; mutable pos : int }
+type t_state = {
+  src : string;
+  mutable pos : int;
+  lenient : bool;
+  mutable warnings : string list;  (* reversed *)
+}
+
+let warn st pos fmt =
+  Printf.ksprintf
+    (fun m ->
+      st.warnings <- Printf.sprintf "at offset %d: %s" pos m :: st.warnings)
+    fmt
 
 let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
 
@@ -50,9 +61,17 @@ let decode_entity st =
   advance st 1;
   let stop =
     match String.index_from_opt st.src st.pos ';' with
-    | Some i when i - st.pos <= 8 -> i
-    | _ -> fail start "unterminated entity reference"
+    | Some i when i - st.pos <= 8 -> Some i
+    | _ ->
+      if st.lenient then begin
+        warn st start "unterminated entity reference";
+        None
+      end
+      else fail start "unterminated entity reference"
   in
+  match stop with
+  | None -> "&" (* lenient: keep the ampersand as literal text *)
+  | Some stop -> (
   let body = String.sub st.src st.pos (stop - st.pos) in
   st.pos <- stop + 1;
   match body with
@@ -70,7 +89,7 @@ let decode_entity st =
       in
       match code with
       | Some c when c >= 0 && c < 128 -> String.make 1 (Char.chr c)
-      | Some c when c < 0x110000 ->
+      | Some c when c >= 0 && c < 0x110000 ->
         (* UTF-8 encode the code point *)
         let buf = Buffer.create 4 in
         if c < 0x800 then begin
@@ -89,33 +108,57 @@ let decode_entity st =
           Buffer.add_char buf (Char.chr (0x80 lor (c land 0x3F)))
         end;
         Buffer.contents buf
-      | _ -> fail start "invalid character reference &%s;" body
+      | _ ->
+        if st.lenient then begin
+          warn st start "invalid character reference &%s;" body;
+          "&" ^ body ^ ";"
+        end
+        else fail start "invalid character reference &%s;" body
     end
-    else fail start "unknown entity &%s;" body
+    else if st.lenient then begin
+      warn st start "unknown entity &%s;" body;
+      "&" ^ body ^ ";"
+    end
+    else fail start "unknown entity &%s;" body)
 
 let attr_value st =
-  let quote =
-    match peek st with
-    | Some (('"' | '\'') as q) ->
-      advance st 1;
-      q
-    | _ -> fail st.pos "expected a quoted attribute value"
-  in
-  let buf = Buffer.create 16 in
-  let rec loop () =
-    match peek st with
-    | None -> fail st.pos "unterminated attribute value"
-    | Some c when c = quote -> advance st 1
-    | Some '&' ->
-      Buffer.add_string buf (decode_entity st);
-      loop ()
-    | Some c ->
-      Buffer.add_char buf c;
-      advance st 1;
-      loop ()
-  in
-  loop ();
-  Buffer.contents buf
+  match peek st with
+  | Some (('"' | '\'') as quote) ->
+    advance st 1;
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match peek st with
+      | None ->
+        if st.lenient then warn st st.pos "unterminated attribute value"
+        else fail st.pos "unterminated attribute value"
+      | Some c when c = quote -> advance st 1
+      | Some '&' ->
+        Buffer.add_string buf (decode_entity st);
+        loop ()
+      | Some c ->
+        Buffer.add_char buf c;
+        advance st 1;
+        loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  | _ ->
+    if st.lenient then begin
+      (* bare attribute value: read up to whitespace or tag end *)
+      warn st st.pos "expected a quoted attribute value";
+      let buf = Buffer.create 16 in
+      let rec bare () =
+        match peek st with
+        | Some (' ' | '\t' | '\n' | '\r' | '>' | '/') | None -> ()
+        | Some c ->
+          Buffer.add_char buf c;
+          advance st 1;
+          bare ()
+      in
+      bare ();
+      Buffer.contents buf
+    end
+    else fail st.pos "expected a quoted attribute value"
 
 let attributes st =
   let attrs = ref [] in
@@ -172,8 +215,8 @@ let normalize_text s =
     s;
   Buffer.contents buf
 
-let parse gen src =
-  let st = { src; pos = 0 } in
+let parse_state st gen =
+  let src = st.src in
   let skip_misc () =
     (* whitespace, comments, PIs, doctype between markup *)
     let rec loop () =
@@ -190,21 +233,36 @@ let parse gen src =
         | Some i ->
           st.pos <- i + 3;
           loop ()
-        | None -> fail st.pos "unterminated comment"
+        | None ->
+          if st.lenient then begin
+            warn st st.pos "unterminated comment";
+            st.pos <- String.length src
+          end
+          else fail st.pos "unterminated comment"
       end
       else if starts_with st "<?" then begin
         match String.index_from_opt src st.pos '>' with
         | Some i ->
           st.pos <- i + 1;
           loop ()
-        | None -> fail st.pos "unterminated processing instruction"
+        | None ->
+          if st.lenient then begin
+            warn st st.pos "unterminated processing instruction";
+            st.pos <- String.length src
+          end
+          else fail st.pos "unterminated processing instruction"
       end
       else if starts_with st "<!DOCTYPE" || starts_with st "<!doctype" then begin
         match String.index_from_opt src st.pos '>' with
         | Some i ->
           st.pos <- i + 1;
           loop ()
-        | None -> fail st.pos "unterminated DOCTYPE"
+        | None ->
+          if st.lenient then begin
+            warn st st.pos "unterminated DOCTYPE";
+            st.pos <- String.length src
+          end
+          else fail st.pos "unterminated DOCTYPE"
       end
     in
     loop ()
@@ -214,6 +272,10 @@ let parse gen src =
     Buffer.clear buf;
     if t <> "" then Node.append_child node (Tree.leaf gen text_label t)
   in
+  let at_name st = match peek st with Some c -> is_name_char c | None -> false in
+  (* [fill node closer] parses mixed content into [node].  [closer] is
+     [Some (tag, open_pos)] inside an element, [None] for the lenient
+     top-level forest scan. *)
   let rec element () =
     (* at '<' of an open tag *)
     let open_pos = st.pos in
@@ -228,64 +290,158 @@ let parse gen src =
     end
     else if peek st = Some '>' then begin
       advance st 1;
-      let buf = Buffer.create 64 in
-      let rec content () =
-        if st.pos >= String.length src then
-          fail open_pos "element <%s> is never closed" tag
-        else if starts_with st "</" then begin
-          flush_text node buf;
-          advance st 2;
+      fill node (Some (tag, open_pos));
+      node
+    end
+    else if st.lenient then begin
+      warn st st.pos "expected '>' or '/>' in tag <%s>" tag;
+      (match String.index_from_opt src st.pos '>' with
+      | Some i ->
+        st.pos <- i + 1;
+        fill node (Some (tag, open_pos))
+      | None -> st.pos <- String.length src);
+      node
+    end
+    else fail st.pos "expected '>' or '/>' in tag <%s>" tag
+  and fill node closer =
+    let buf = Buffer.create 64 in
+    let rec content () =
+      if st.pos >= String.length src then begin
+        match closer with
+        | Some (tag, open_pos) ->
+          if st.lenient then begin
+            warn st open_pos "element <%s> is never closed" tag;
+            flush_text node buf
+          end
+          else fail open_pos "element <%s> is never closed" tag
+        | None -> flush_text node buf
+      end
+      else if starts_with st "</" then begin
+        flush_text node buf;
+        let close_pos = st.pos in
+        advance st 2;
+        if st.lenient && not (at_name st) then begin
+          warn st close_pos "malformed closing tag";
+          (match String.index_from_opt src st.pos '>' with
+          | Some i -> st.pos <- i + 1
+          | None -> st.pos <- String.length src);
+          content ()
+        end
+        else begin
           let close = name st in
           skip_ws st;
           (match peek st with
           | Some '>' -> advance st 1
-          | _ -> fail st.pos "expected '>' in closing tag");
-          if close <> tag then
-            fail open_pos "element <%s> closed by </%s>" tag close
+          | _ ->
+            if st.lenient then begin
+              warn st st.pos "expected '>' in closing tag";
+              match String.index_from_opt src st.pos '>' with
+              | Some i -> st.pos <- i + 1
+              | None -> st.pos <- String.length src
+            end
+            else fail st.pos "expected '>' in closing tag");
+          match closer with
+          | Some (tag, open_pos) ->
+            if close <> tag then
+              if st.lenient then
+                (* mismatched close: end this element here anyway *)
+                warn st open_pos "element <%s> closed by </%s>" tag close
+              else fail open_pos "element <%s> closed by </%s>" tag close
+          | None ->
+            (* top level (lenient only): stray closing tag is junk *)
+            warn st close_pos "stray closing tag </%s>" close;
+            content ()
         end
-        else if starts_with st "<![CDATA[" then begin
-          advance st 9;
-          let rec find i =
-            if i + 3 > String.length src then fail st.pos "unterminated CDATA"
-            else if String.sub src i 3 = "]]>" then i
-            else find (i + 1)
-          in
-          let stop = find st.pos in
+      end
+      else if starts_with st "<![CDATA[" then begin
+        advance st 9;
+        let limit = String.length src in
+        let rec find i =
+          if i + 3 > limit then None
+          else if String.sub src i 3 = "]]>" then Some i
+          else find (i + 1)
+        in
+        (match find st.pos with
+        | Some stop ->
           Buffer.add_string buf (String.sub src st.pos (stop - st.pos));
-          st.pos <- stop + 3;
+          st.pos <- stop + 3
+        | None ->
+          if st.lenient then begin
+            warn st st.pos "unterminated CDATA";
+            Buffer.add_string buf (String.sub src st.pos (limit - st.pos));
+            st.pos <- limit
+          end
+          else fail st.pos "unterminated CDATA");
+        content ()
+      end
+      else if
+        starts_with st "<!--" || starts_with st "<?"
+        || (closer = None
+           && (starts_with st "<!DOCTYPE" || starts_with st "<!doctype"))
+      then begin
+        flush_text node buf;
+        skip_misc ();
+        content ()
+      end
+      else if peek st = Some '<' then
+        if st.lenient && not (st.pos + 1 < String.length src && is_name_char src.[st.pos + 1])
+        then begin
+          (* stray '<' that opens no tag: literal text *)
+          Buffer.add_char buf '<';
+          advance st 1;
           content ()
         end
-        else if starts_with st "<!--" || starts_with st "<?" then begin
-          flush_text node buf;
-          skip_misc ();
-          content ()
-        end
-        else if peek st = Some '<' then begin
+        else begin
           flush_text node buf;
           Node.append_child node (element ());
           content ()
         end
-        else if peek st = Some '&' then begin
-          Buffer.add_string buf (decode_entity st);
-          content ()
-        end
-        else begin
-          Buffer.add_char buf (Option.get (peek st));
-          advance st 1;
-          content ()
-        end
-      in
-      content ();
-      node
-    end
-    else fail st.pos "expected '>' or '/>' in tag <%s>" tag
+      else if peek st = Some '&' then begin
+        Buffer.add_string buf (decode_entity st);
+        content ()
+      end
+      else begin
+        Buffer.add_char buf (Option.get (peek st));
+        advance st 1;
+        content ()
+      end
+    in
+    content ()
   in
-  skip_misc ();
-  if peek st <> Some '<' then fail st.pos "expected a root element";
-  let root = element () in
-  skip_misc ();
-  if st.pos <> String.length src then fail st.pos "content after the root element";
-  root
+  if st.lenient then begin
+    (* Lenient: parse a top-level forest; a lone element stays the root,
+       anything else is wrapped in a synthetic #document node. *)
+    let doc = Tree.node gen "#document" [] in
+    fill doc None;
+    match Node.children doc with
+    | [ only ] when not (String.equal only.Node.label text_label) ->
+      Node.detach only;
+      only
+    | [] ->
+      warn st st.pos "expected a root element";
+      doc
+    | _ ->
+      warn st 0 "multiple top-level items wrapped under #document";
+      doc
+  end
+  else begin
+    skip_misc ();
+    if peek st <> Some '<' then fail st.pos "expected a root element";
+    let root = element () in
+    skip_misc ();
+    if st.pos <> String.length src then
+      fail st.pos "content after the root element";
+    root
+  end
+
+let parse gen src =
+  parse_state { src; pos = 0; lenient = false; warnings = [] } gen
+
+let parse_result ?(lenient = false) gen src =
+  let st = { src; pos = 0; lenient; warnings = [] } in
+  match parse_state st gen with
+  | t -> Ok (t, List.rev st.warnings)
+  | exception Parse_error m -> Error m
 
 (* ----------------------------------------------------------------- print *)
 

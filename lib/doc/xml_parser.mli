@@ -25,6 +25,19 @@ val parse : Treediff_tree.Tree.gen -> string -> Treediff_tree.Node.t
 (** @raise Parse_error on malformed input (unbalanced or crossing tags,
     bad entity syntax, multiple roots). *)
 
+val parse_result :
+  ?lenient:bool ->
+  Treediff_tree.Tree.gen ->
+  string ->
+  (Treediff_tree.Node.t * string list, string) result
+(** Non-raising front door.  With [lenient] (default [false]) every strict
+    error is recovered from — unknown entities stay literal text, unclosed
+    elements end at end-of-input, mismatched closing tags end the innermost
+    open element, bare attribute values are accepted, multiple top-level
+    items are wrapped in a synthetic [#document] node — and each recovery is
+    reported as a warning string alongside the tree.  Strict mode returns
+    [Error message] where {!parse} would raise. *)
+
 val print : Treediff_tree.Node.t -> string
 (** Serialize a tree back to XML.  [#text] leaves become text; other nodes
     become elements with their value re-parsed as attributes (values written

@@ -1,6 +1,7 @@
 module Node = Treediff_tree.Node
 module Index = Treediff_tree.Index
 module Stats = Treediff_util.Stats
+module Budget = Treediff_util.Budget
 
 type t = {
   leaf_f : float;
@@ -39,6 +40,7 @@ let cmp_dense_max = 1 lsl 20 (* entries; 8 MB of floats at most *)
 type ctx = {
   crit : t;
   st : Stats.t;
+  bgt : Budget.t;
   idx1 : Index.t;
   idx2 : Index.t;
   common_cache : common_entry array; (* indexed by T1 preorder rank *)
@@ -46,7 +48,8 @@ type ctx = {
   cmp_store : cmp_store;
 }
 
-let ctx ?(stats = Stats.create ()) crit ~t1 ~t2 =
+let ctx ?(stats = Stats.create ()) ?budget crit ~t1 ~t2 =
+  let bgt = match budget with Some b -> b | None -> Budget.unlimited () in
   let idx1, idx2 = Index.pair ~t1 ~t2 () in
   let common_cache =
     Array.init (Index.size idx1) (fun _ -> { stamp = -1; partners = [||] })
@@ -57,7 +60,7 @@ let ctx ?(stats = Stats.create ()) crit ~t1 ~t2 =
       Cmp_dense (Array.make (nvalues * nvalues) nan)
     else Cmp_sparse (Hashtbl.create 1024)
   in
-  { crit; st = stats; idx1; idx2; common_cache; nvalues; cmp_store }
+  { crit; st = stats; bgt; idx1; idx2; common_cache; nvalues; cmp_store }
 
 (* Interned value id of a node, whichever side of the pair it is on; [-1]
    for nodes outside the indexed pair (the memo is skipped for those). *)
@@ -91,6 +94,8 @@ let compare_vids c va vb a b =
 
 let stats c = c.st
 
+let budget c = c.bgt
+
 let criteria c = c.crit
 
 let t1_root c = Index.root c.idx1
@@ -113,6 +118,7 @@ let equal_leaf c (x : Node.t) (y : Node.t) =
   String.equal x.label y.label
   &&
   (c.st.Stats.leaf_compares <- c.st.Stats.leaf_compares + 1;
+   Budget.tick c.bgt;
    compare_vids c (vid_of c x) (vid_of c y) x.value y.value <= c.crit.leaf_f)
 
 (* Out-of-index fallback: the seed's subtree walk, containment via the T2
@@ -125,16 +131,16 @@ let common_walk c m (x : Node.t) ry =
     let rz = Index.rank_of_id c.idx2 zid in
     rz >= 0 && Index.contains c.idx2 ry rz
   in
-  let rec walk (w : Node.t) =
-    if Node.is_leaf w then begin
-      c.st.Stats.partner_checks <- c.st.Stats.partner_checks + 1;
-      match Matching.partner_of_old m w.id with
-      | Some z when contained z -> incr count
-      | Some _ | None -> ()
-    end
-    else Node.iter_children walk w
-  in
-  walk x;
+  Node.iter_preorder
+    (fun (w : Node.t) ->
+      if Node.is_leaf w then begin
+        c.st.Stats.partner_checks <- c.st.Stats.partner_checks + 1;
+        Budget.tick c.bgt;
+        match Matching.partner_of_old m w.id with
+        | Some z when contained z -> incr count
+        | Some _ | None -> ()
+      end)
+    x;
   !count
 
 (* Number of entries of the sorted array inside [lo, hi]. *)
@@ -165,6 +171,7 @@ let common c m (x : Node.t) (y : Node.t) =
       let k = ref 0 in
       for i = fl to fl + lc - 1 do
         c.st.Stats.partner_checks <- c.st.Stats.partner_checks + 1;
+        Budget.tick c.bgt;
         let w = Index.node c.idx1 (Index.leaf_at c.idx1 i) in
         match Matching.partner_of_old m w.Node.id with
         | Some z ->

@@ -36,12 +36,16 @@ val make : ?leaf_f:float -> ?internal_t:float ->
 
 type ctx
 
-val ctx : ?stats:Treediff_util.Stats.t -> t ->
+val ctx : ?stats:Treediff_util.Stats.t -> ?budget:Treediff_util.Budget.t -> t ->
   t1:Treediff_tree.Node.t -> t2:Treediff_tree.Node.t -> ctx
 (** Precompute over a tree pair.  The trees must not be mutated while the
-    context is in use. *)
+    context is in use.  Every leaf compare and partner check charges one
+    comparison against [budget] (default: unlimited), so any matcher driven
+    through this context is deadline- and cap-bounded. *)
 
 val stats : ctx -> Treediff_util.Stats.t
+
+val budget : ctx -> Treediff_util.Budget.t
 
 val criteria : ctx -> t
 

@@ -39,6 +39,9 @@ let unmatched_chain idx keep l ~leaf =
   end
 
 let match_label ctx m ?window l ~leaf =
+  let budget = Criteria.budget ctx in
+  Treediff_util.Fault.point "fast_match.chain";
+  Treediff_util.Budget.poll budget;
   (* Only unmatched nodes take part; seeded pairs (keys) must stay intact. *)
   let s1 =
     unmatched_chain (Criteria.index1 ctx)
@@ -52,13 +55,16 @@ let match_label ctx m ?window l ~leaf =
   in
   let equal (x : Node.t) (y : Node.t) = Criteria.equal_nodes ctx m x y in
   (* 2a–2d: LCS pass over the chains. *)
+  Treediff_util.Fault.point "fast_match.lcs";
   let lcs = Treediff_lcs.Myers.lcs ~equal s1 s2 in
   List.iter (fun (i, j) -> Matching.add m s1.(i).Node.id s2.(j).Node.id) lcs;
   (* 2e: pair the stragglers as in Algorithm Match — within the A(k) window
      around the node's own chain position when one is set. *)
+  Treediff_util.Fault.point "fast_match.scan";
   Array.iteri
     (fun i (x : Node.t) ->
       if not (Matching.matched_old m x.id) then begin
+        Treediff_util.Budget.visit budget;
         let lo, hi =
           match window with
           | None -> (0, Array.length s2 - 1)
@@ -77,6 +83,7 @@ let match_label ctx m ?window l ~leaf =
 
 let run ?init ?window ctx =
   let m = match init with Some m -> Matching.copy m | None -> Matching.create () in
+  Treediff_util.Budget.set_phase (Criteria.budget ctx) "fast_match";
   let idx1 = Criteria.index1 ctx and idx2 = Criteria.index2 ctx in
   List.iter
     (fun l -> match_label ctx m ?window l ~leaf:true)

@@ -2,6 +2,9 @@ module Node = Treediff_tree.Node
 module Index = Treediff_tree.Index
 
 let run ctx m =
+  Treediff_util.Fault.point "postprocess.run";
+  let budget = Criteria.budget ctx in
+  Treediff_util.Budget.set_phase budget "postprocess";
   let idx1 = Criteria.index1 ctx and idx2 = Criteria.index2 ctx in
   let t1 = Criteria.t1_root ctx in
   let node2 yid =
@@ -11,6 +14,7 @@ let run ctx m =
   in
   let fixed = ref 0 in
   let visit (x : Node.t) =
+    Treediff_util.Budget.visit budget;
     match Matching.partner_of_old m x.id with
     | None -> ()
     | Some yid ->

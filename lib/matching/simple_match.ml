@@ -28,9 +28,13 @@ let bottom_up idx =
 
 let run ?init ctx =
   let m = match init with Some m -> Matching.copy m | None -> Matching.create () in
+  let budget = Criteria.budget ctx in
+  Treediff_util.Budget.set_phase budget "simple_match";
   let idx1 = Criteria.index1 ctx and idx2 = Criteria.index2 ctx in
   Array.iter
     (fun r ->
+      Treediff_util.Fault.point "simple_match.node";
+      Treediff_util.Budget.visit budget;
       let x = Index.node idx1 r in
       if not (Matching.matched_old m x.Node.id) then begin
         (* Candidates: all same-label T2 nodes in preorder (the index chain;

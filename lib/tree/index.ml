@@ -61,39 +61,48 @@ let build ?interner ?values (root : Node.t) =
   let value_id = Array.make n 0 in
   let leaves = Vec.create () in
   let pre = ref 0 and postc = ref 0 and max_id = ref 0 in
-  let rec walk p cp d (x : Node.t) =
-    if x.Node.id < 0 then invalid_arg "Index.build: negative node id";
-    if x.Node.id > !max_id then max_id := x.Node.id;
-    let r = !pre in
-    incr pre;
-    nodes.(r) <- x;
-    parent.(r) <- p;
-    child_pos.(r) <- cp;
-    depth.(r) <- d;
-    label.(r) <- Interner.intern interner x.Node.label;
-    value_id.(r) <- Interner.intern values x.Node.value;
-    first_leaf.(r) <- Vec.length leaves;
-    if Node.is_leaf x then begin
-      Vec.push leaves r;
-      leaf_count.(r) <- 1
-    end
-    else begin
-      let lc = ref 0 and h = ref 0 in
-      Vec.iteri
-        (fun i c ->
-          let cr = walk r i (d + 1) c in
-          lc := !lc + leaf_count.(cr);
-          if height.(cr) + 1 > !h then h := height.(cr) + 1)
-        x.Node.children;
-      leaf_count.(r) <- !lc;
-      height.(r) <- !h
-    end;
-    last.(r) <- !pre - 1;
-    post.(r) <- !postc;
-    incr postc;
-    r
-  in
-  ignore (walk (-1) 0 0 root);
+  (* Explicit-stack traversal (deep trees must not overflow the call stack):
+     [Enter] assigns the preorder rank, [Exit] finalizes the subtree extent
+     and folds leaf_count/height into the parent — exactly the work the old
+     recursion did before and after its child loop. *)
+  let module Ev = struct
+    type t = Enter of int * int * int * Node.t | Exit of int
+  end in
+  let stack = ref [ Ev.Enter (-1, 0, 0, root) ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | Ev.Exit r :: rest ->
+      stack := rest;
+      last.(r) <- !pre - 1;
+      post.(r) <- !postc;
+      incr postc;
+      let p = parent.(r) in
+      if p >= 0 then begin
+        leaf_count.(p) <- leaf_count.(p) + leaf_count.(r);
+        if height.(r) + 1 > height.(p) then height.(p) <- height.(r) + 1
+      end
+    | Ev.Enter (p, cp, d, x) :: rest ->
+      stack := rest;
+      if x.Node.id < 0 then invalid_arg "Index.build: negative node id";
+      if x.Node.id > !max_id then max_id := x.Node.id;
+      let r = !pre in
+      incr pre;
+      nodes.(r) <- x;
+      parent.(r) <- p;
+      child_pos.(r) <- cp;
+      depth.(r) <- d;
+      label.(r) <- Interner.intern interner x.Node.label;
+      value_id.(r) <- Interner.intern values x.Node.value;
+      first_leaf.(r) <- Vec.length leaves;
+      if Node.is_leaf x then Vec.push leaves r;
+      leaf_count.(r) <- (if Node.is_leaf x then 1 else 0);
+      stack := Ev.Exit r :: !stack;
+      (* children pushed above the Exit, leftmost on top *)
+      let rev = ref [] in
+      Vec.iteri (fun i c -> rev := Ev.Enter (r, i, d + 1, c) :: !rev) x.Node.children;
+      List.iter (fun ev -> stack := ev :: !stack) !rev
+  done;
   let rank_of = Array.make (!max_id + 1) (-1) in
   Array.iteri (fun r (x : Node.t) -> rank_of.(x.Node.id) <- r) nodes;
   (* Per-label chains: exact-size arrays, filled in preorder. *)

@@ -1,28 +1,54 @@
-let rec equal (a : Node.t) (b : Node.t) =
+(* Explicit-stack walks: isomorphism checks run on the resilience tests'
+   100k-deep trees, where recursion would overflow. *)
+
+let node_agrees (a : Node.t) (b : Node.t) =
   String.equal a.label b.label
   && String.equal a.value b.value
   && Node.child_count a = Node.child_count b
-  && List.for_all2 equal (Node.children a) (Node.children b)
+
+let equal (a : Node.t) (b : Node.t) =
+  let ok = ref true in
+  let stack = ref [ (a, b) ] in
+  while !ok && !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | (x, y) :: rest ->
+      stack := rest;
+      if node_agrees x y then
+        List.iter2
+          (fun cx cy -> stack := (cx, cy) :: !stack)
+          (Node.children x) (Node.children y)
+      else ok := false
+  done;
+  !ok
 
 let first_difference a b =
-  let rec walk path (a : Node.t) (b : Node.t) =
-    if not (String.equal a.label b.label) then
-      Some (Printf.sprintf "%s: label %S vs %S" path a.label b.label)
-    else if not (String.equal a.value b.value) then
-      Some (Printf.sprintf "%s: value %S vs %S" path a.value b.value)
-    else if Node.child_count a <> Node.child_count b then
-      Some
-        (Printf.sprintf "%s: child count %d vs %d" path (Node.child_count a)
-           (Node.child_count b))
-    else
-      let rec loop i = function
-        | [], [] -> None
-        | ca :: ra, cb :: rb -> (
-          match walk (Printf.sprintf "%s/%d" path i) ca cb with
-          | Some _ as d -> d
-          | None -> loop (i + 1) (ra, rb))
-        | _ -> assert false
-      in
-      loop 0 (Node.children a, Node.children b)
-  in
-  walk "" a b
+  let diff = ref None in
+  let stack = ref [ ("", a, b) ] in
+  while !diff = None && !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | (path, (x : Node.t), (y : Node.t)) :: rest ->
+      stack := rest;
+      if not (String.equal x.label y.label) then
+        diff := Some (Printf.sprintf "%s: label %S vs %S" path x.label y.label)
+      else if not (String.equal x.value y.value) then
+        diff := Some (Printf.sprintf "%s: value %S vs %S" path x.value y.value)
+      else if Node.child_count x <> Node.child_count y then
+        diff :=
+          Some
+            (Printf.sprintf "%s: child count %d vs %d" path (Node.child_count x)
+               (Node.child_count y))
+      else begin
+        (* push child pairs so the leftmost is examined first *)
+        let frames = ref [] in
+        let i = ref 0 in
+        List.iter2
+          (fun cx cy ->
+            frames := (Printf.sprintf "%s/%d" path !i, cx, cy) :: !frames;
+            incr i)
+          (Node.children x) (Node.children y);
+        List.iter (fun f -> stack := f :: !stack) !frames
+      end
+  done;
+  !diff

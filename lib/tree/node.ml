@@ -51,15 +51,17 @@ let rec is_ancestor a n =
   | None -> false
   | Some p -> p.id = a.id || is_ancestor a p
 
-let rec size n = Vec.fold (fun acc c -> acc + size c) 1 n.children
-
-let rec leaf_count n =
-  if is_leaf n then 1 else Vec.fold (fun acc c -> acc + leaf_count c) 0 n.children
-
-let rec height n =
-  if is_leaf n then 0 else 1 + Vec.fold (fun acc c -> max acc (height c)) 0 n.children
-
-let rec depth n = match n.parent with None -> 0 | Some p -> 1 + depth p
+let depth n =
+  let d = ref 0 and cur = ref n in
+  let continue = ref true in
+  while !continue do
+    match !cur.parent with
+    | Some p ->
+      incr d;
+      cur := p
+    | None -> continue := false
+  done;
+  !d
 
 let iter_children f n = Vec.iter f n.children
 
@@ -72,13 +74,32 @@ let find_child p n =
   | Some i -> Some (Vec.get n.children i)
   | None -> None
 
-let rec iter_preorder f n =
-  f n;
-  Vec.iter (iter_preorder f) n.children
+(* All whole-tree walks use explicit stacks: trees can be deeper than the
+   OCaml call stack (100k-node paths appear in the resilience tests). *)
+let iter_preorder f n =
+  let stack = ref [ n ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | x :: rest ->
+      stack := rest;
+      f x;
+      (* push children so the leftmost ends up on top *)
+      let rev = Vec.fold (fun acc c -> c :: acc) [] x.children in
+      List.iter (fun c -> stack := c :: !stack) rev
+  done
 
-let rec iter_postorder f n =
-  Vec.iter (iter_postorder f) n.children;
-  f n
+let iter_postorder f n =
+  (* frames: a node paired with its not-yet-visited children *)
+  let stack = ref [ (n, children n) ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | (x, []) :: rest ->
+      stack := rest;
+      f x
+    | (x, c :: cs) :: rest -> stack := (c, children c) :: (x, cs) :: rest
+  done
 
 let iter_bfs f n =
   let q = Queue.create () in
@@ -88,6 +109,29 @@ let iter_bfs f n =
     f x;
     Vec.iter (fun c -> Queue.add c q) x.children
   done
+
+let size n =
+  let c = ref 0 in
+  iter_preorder (fun _ -> incr c) n;
+  !c
+
+let leaf_count n =
+  let c = ref 0 in
+  iter_preorder (fun x -> if is_leaf x then incr c) n;
+  !c
+
+let height n =
+  let h = ref 0 in
+  let stack = ref [ (n, 0) ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | (x, d) :: rest ->
+      stack := rest;
+      if d > !h then h := d;
+      Vec.iter (fun c -> stack := (c, d + 1) :: !stack) x.children
+  done;
+  !h
 
 let collect iter n =
   let acc = ref [] in

@@ -14,10 +14,33 @@ let node g label ?(value = "") children =
 
 let leaf g label value = node g label ~value []
 
-let rec copy (n : Node.t) =
-  let n' = Node.make ~id:n.id ~label:n.label ~value:n.value () in
-  Node.iter_children (fun c -> Node.append_child n' (copy c)) n;
-  n'
+(* Explicit-stack preorder clone: copies must survive trees deeper than the
+   call stack.  Nodes are created in preorder (so [relabel_ids] numbers them
+   exactly as the old recursive version did) and appended to their parent
+   copy as they are visited. *)
+let clone_with make_node (n : Node.t) =
+  let root = make_node n in
+  let push stack src dst =
+    let rev = Node.fold_children (fun acc c -> (c, dst) :: acc) [] src in
+    List.iter (fun frame -> stack := frame :: !stack) rev
+  in
+  let stack = ref [] in
+  push stack n root;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | (src, dst_parent) :: rest ->
+      stack := rest;
+      let dst = make_node src in
+      Node.append_child dst_parent dst;
+      push stack src dst
+  done;
+  root
+
+let copy (n : Node.t) =
+  clone_with
+    (fun (x : Node.t) -> Node.make ~id:x.id ~label:x.label ~value:x.value ())
+    n
 
 let max_id n =
   let m = ref 0 in
@@ -44,7 +67,7 @@ let find_by_id n id =
    with Exit -> ());
   !found
 
-let rec relabel_ids g (n : Node.t) =
-  let n' = Node.make ~id:(fresh_id g) ~label:n.label ~value:n.value () in
-  Node.iter_children (fun c -> Node.append_child n' (relabel_ids g c)) n;
-  n'
+let relabel_ids g (n : Node.t) =
+  clone_with
+    (fun (x : Node.t) -> Node.make ~id:(fresh_id g) ~label:x.label ~value:x.value ())
+    n

@@ -1,0 +1,128 @@
+exception Injected of string
+
+type action = Raise | Deadline | Overflow
+
+let action_name = function
+  | Raise -> "raise"
+  | Deadline -> "deadline"
+  | Overflow -> "overflow"
+
+type spec = { point : string; action : action; at : int }
+
+(* The canonical instrumentation points.  Tests sweep this list; keep it in
+   sync with the [point] call sites (grep for [Fault.point]). *)
+let registry =
+  [
+    "fast_match.chain";
+    "fast_match.lcs";
+    "fast_match.scan";
+    "simple_match.node";
+    "keyed.match";
+    "postprocess.run";
+    "edit_gen.visit";
+    "edit_gen.align";
+    "edit_gen.delete";
+    "delta.build";
+    "zs.forest_dist";
+  ]
+
+let parse_action = function
+  | "raise" -> Ok Raise
+  | "deadline" -> Ok Deadline
+  | "overflow" -> Ok Overflow
+  | a -> Error (Printf.sprintf "unknown fault action %S (raise|deadline|overflow)" a)
+
+let parse_spec s =
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "bad fault spec %S (want <point>:<action>[@N])" s)
+  | Some i -> (
+    let point = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    let action_s, at =
+      match String.index_opt rest '@' with
+      | None -> (rest, Ok 1)
+      | Some j -> (
+        let n = String.sub rest (j + 1) (String.length rest - j - 1) in
+        ( String.sub rest 0 j,
+          match int_of_string_opt n with
+          | Some k when k >= 1 -> Ok k
+          | _ -> Error (Printf.sprintf "bad fault hit count %S" n) ))
+    in
+    if point = "" then Error (Printf.sprintf "empty fault point in %S" s)
+    else
+      match (parse_action action_s, at) with
+      | Ok action, Ok at -> Ok { point; action; at }
+      | (Error _ as e), _ | _, (Error _ as e) -> e)
+
+(* Each armed spec carries its own hit counter. *)
+let active : (spec * int ref) list ref = ref []
+
+let set_all specs = active := List.map (fun s -> (s, ref 0)) specs
+
+let set = function None -> set_all [] | Some s -> set_all [ s ]
+
+let clear () = set_all []
+
+let current () =
+  match !active with [] -> None | (s, _) :: _ -> Some s
+
+let armed () = List.map fst !active
+
+let hits () = List.fold_left (fun acc (_, c) -> acc + !c) 0 !active
+
+let matches spec name =
+  String.equal spec.point name
+  ||
+  let n = String.length spec.point in
+  n > 0
+  && spec.point.[n - 1] = '*'
+  && String.length name >= n - 1
+  && String.sub name 0 (n - 1) = String.sub spec.point 0 (n - 1)
+
+let synthetic_exhausted name reason =
+  {
+    Budget.phase = "fault:" ^ name;
+    reason;
+    comparisons = 0;
+    visits = 0;
+    elapsed_ms = 0.;
+  }
+
+let fire action name =
+  match action with
+  | Raise -> raise (Injected name)
+  | Deadline -> raise (Budget.Exceeded (synthetic_exhausted name Budget.Deadline))
+  | Overflow -> raise (Budget.Exceeded (synthetic_exhausted name Budget.Comparisons))
+
+let point name =
+  List.iter
+    (fun (s, c) ->
+      if matches s name then begin
+        incr c;
+        if !c >= s.at then fire s.action name
+      end)
+    !active
+
+(* A comma-separated list of specs, e.g.
+   [fast_match.chain:raise,keyed.match:raise]. *)
+let parse s =
+  let rec loop acc = function
+    | [] -> Ok (List.rev acc)
+    | one :: rest -> (
+      match parse_spec one with
+      | Ok spec -> loop (spec :: acc) rest
+      | Error _ as e -> e)
+  in
+  loop [] (String.split_on_char ',' s)
+
+let env_var = "TREEDIFF_FAULT"
+
+(* Environment-driven activation, read once at program start, so any binary
+   linking the pipeline honors TREEDIFF_FAULT without plumbing. *)
+let () =
+  match Sys.getenv_opt env_var with
+  | None | Some "" -> ()
+  | Some s -> (
+    match parse s with
+    | Ok specs -> set_all specs
+    | Error msg -> Printf.eprintf "treediff: ignoring %s: %s\n%!" env_var msg)

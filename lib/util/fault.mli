@@ -1,0 +1,58 @@
+(** Deterministic fault injection for resilience testing.
+
+    The pipeline's hot-loop boundaries carry named instrumentation points
+    ([Fault.point "fast_match.lcs"]).  Normally a point is one load and one
+    branch.  When a fault is armed — programmatically via {!set} or through
+    the [TREEDIFF_FAULT] environment variable, read once at startup — the
+    matching point raises on its [at]-th hit: a plain {!Injected} exception,
+    a synthetic deadline expiry, or a synthetic counter overflow (the latter
+    two as {!Budget.Exceeded}, exactly what a real budget trip raises).
+
+    Spec syntax: [<point>:<action>[@N]] where action is [raise], [deadline]
+    or [overflow] and [N] (default 1) is the hit index that fires; a point
+    ending in [*] matches by prefix ([fast_match.*:raise]); several specs
+    separated by commas arm together, each with its own hit counter.  Once
+    fired, a fault keeps firing on every later hit — degraded reruns that
+    pass through the same point fail too, which is what the ladder tests
+    want. *)
+
+exception Injected of string
+(** Argument is the point name that fired. *)
+
+type action = Raise | Deadline | Overflow
+
+val action_name : action -> string
+
+type spec = { point : string; action : action; at : int }
+
+val registry : string list
+(** The canonical point names; the fault-sweep tests iterate this list. *)
+
+val parse_spec : string -> (spec, string) result
+(** Parse [<point>:<action>[@N]]. *)
+
+val parse : string -> (spec list, string) result
+(** Parse a comma-separated list of specs (the [TREEDIFF_FAULT] syntax). *)
+
+val set : spec option -> unit
+(** Arm (or with [None] disarm) a single fault; resets the hit counters. *)
+
+val set_all : spec list -> unit
+(** Arm several faults at once, each with its own hit counter. *)
+
+val clear : unit -> unit
+
+val current : unit -> spec option
+(** The first armed spec, if any. *)
+
+val armed : unit -> spec list
+
+val hits : unit -> int
+(** Total times the armed specs have matched a point so far. *)
+
+val point : string -> unit
+(** Declare an instrumentation point.  No-op unless an armed spec matches.
+    @raise Injected or Budget.Exceeded per the armed action. *)
+
+val env_var : string
+(** ["TREEDIFF_FAULT"]. *)

@@ -48,8 +48,11 @@ let view t =
   { nodes; lml; keyroots = !keyroots }
 
 (* Forest distance for keyroot pair (i, j); fills the permanent treedist
-   table [td] for the subtree pairs this computation closes. *)
-let forest_dist cost v1 v2 td i j =
+   table [td] for the subtree pairs this computation closes.  One visit per
+   table cell is charged row-wise, so a deadline interrupts the O(n²) fill
+   within one row. *)
+let forest_dist ~budget cost v1 v2 td i j =
+  Treediff_util.Fault.point "zs.forest_dist";
   let li = v1.lml.(i) and lj = v2.lml.(j) in
   let mi = i - li + 2 and mj = j - lj + 2 in
   let fd = Array.make_matrix mi mj 0.0 in
@@ -60,6 +63,7 @@ let forest_dist cost v1 v2 td i j =
     fd.(0).(y) <- fd.(0).(y - 1) +. cost.ins v2.nodes.(lj + y - 1)
   done;
   for x = 1 to mi - 1 do
+    Treediff_util.Budget.visit_n budget (mj - 1);
     let nx = li + x - 1 in
     for y = 1 to mj - 1 do
       let ny = lj + y - 1 in
@@ -79,23 +83,37 @@ let forest_dist cost v1 v2 td i j =
   done;
   fd
 
-let treedist cost t1 t2 =
+let resolve_budget = function
+  | Some b -> b
+  | None -> Treediff_util.Budget.unlimited ()
+
+let treedist ~budget cost t1 t2 =
+  Treediff_util.Budget.set_phase budget "zs";
   let v1 = view t1 and v2 = view t2 in
   let n1 = Array.length v1.nodes and n2 = Array.length v2.nodes in
+  Treediff_util.Budget.admit budget ~nodes:(n1 + n2)
+    ~depth:(1 + max (Node.height t1) (Node.height t2));
   let td = Array.make_matrix n1 n2 infinity in
   List.iter
-    (fun i -> List.iter (fun j -> ignore (forest_dist cost v1 v2 td i j)) v2.keyroots)
+    (fun i ->
+      List.iter
+        (fun j ->
+          Treediff_util.Budget.poll budget;
+          ignore (forest_dist ~budget cost v1 v2 td i j))
+        v2.keyroots)
     v1.keyroots;
   (v1, v2, td)
 
-let distance ?(cost = unit_cost) t1 t2 =
-  let v1, v2, td = treedist cost t1 t2 in
+let distance ?(cost = unit_cost) ?budget t1 t2 =
+  let budget = resolve_budget budget in
+  let v1, v2, td = treedist ~budget cost t1 t2 in
   td.(Array.length v1.nodes - 1).(Array.length v2.nodes - 1)
 
 type result = { dist : float; pairs : (Node.t * Node.t) list; relabels : int }
 
-let mapping ?(cost = unit_cost) t1 t2 =
-  let v1, v2, td = treedist cost t1 t2 in
+let mapping ?(cost = unit_cost) ?budget t1 t2 =
+  let budget = resolve_budget budget in
+  let v1, v2, td = treedist ~budget cost t1 t2 in
   let n1 = Array.length v1.nodes and n2 = Array.length v2.nodes in
   let pairs = ref [] in
   (* Backtrack through forest distances, spawning subtree subproblems at
@@ -105,7 +123,7 @@ let mapping ?(cost = unit_cost) t1 t2 =
   while not (Queue.is_empty todo) do
     let i, j = Queue.take todo in
     let li = v1.lml.(i) and lj = v2.lml.(j) in
-    let fd = forest_dist cost v1 v2 td i j in
+    let fd = forest_dist ~budget cost v1 v2 td i j in
     let x = ref (i - li + 1) and y = ref (j - lj + 1) in
     let eps = 1e-9 in
     while !x > 0 || !y > 0 do

@@ -21,8 +21,17 @@ type cost = {
 val unit_cost : cost
 (** del = ins = 1; rel = 0 when label and value both agree, else 1. *)
 
-val distance : ?cost:cost -> Treediff_tree.Node.t -> Treediff_tree.Node.t -> float
-(** Minimum edit distance between the two trees. *)
+val distance :
+  ?cost:cost ->
+  ?budget:Treediff_util.Budget.t ->
+  Treediff_tree.Node.t ->
+  Treediff_tree.Node.t ->
+  float
+(** Minimum edit distance between the two trees.  [budget] (default:
+    unlimited) is admitted against the input caps up front and charged one
+    visit per dynamic-programming cell, so a deadline interrupts the
+    quadratic fill promptly.
+    @raise Treediff_util.Budget.Exceeded when a limit trips. *)
 
 type result = {
   dist : float;
@@ -31,8 +40,14 @@ type result = {
   relabels : int;  (** pairs with non-zero relabel cost *)
 }
 
-val mapping : ?cost:cost -> Treediff_tree.Node.t -> Treediff_tree.Node.t -> result
-(** Optimal mapping; [dist] equals {!distance} under the same cost. *)
+val mapping :
+  ?cost:cost ->
+  ?budget:Treediff_util.Budget.t ->
+  Treediff_tree.Node.t ->
+  Treediff_tree.Node.t ->
+  result
+(** Optimal mapping; [dist] equals {!distance} under the same cost.
+    Budgeted like {!distance} (the backtracking pass is charged too). *)
 
 val to_matching : ?same_label_only:bool -> result -> Treediff_matching.Matching.t
 (** Convert a mapping into a matching.  [same_label_only] (default [true])

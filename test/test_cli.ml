@@ -175,6 +175,70 @@ let test_check_delta_roundtrip () =
   Alcotest.(check bool) "wrong delta exits nonzero" true (code <> 0);
   Alcotest.(check bool) "TD405 reported" true (contains ~sub:"TD405" out)
 
+(* ------------------------------------------------------------ exit codes *)
+
+(* 0 = success, 2 = parse error, 3 = budget exceeded (degraded output was
+   still produced), 4 = internal failure (here: an injected fault that kills
+   every rung, leaving only the flat fallback). *)
+
+let test_exit_parse_error () =
+  let bad = tmp_file "<a><b>never closed" and good = tmp_file "<a>ok</a>" in
+  let code, _ =
+    run (Printf.sprintf "%s diff %s %s -f xml" (bin "treediff_cli") bad good)
+  in
+  Alcotest.(check int) "exit 2" 2 code
+
+let test_exit_lenient_recovers () =
+  let bad = tmp_file "<a><b>never closed" and good = tmp_file "<a>ok</a>" in
+  let code, _ =
+    run
+      (Printf.sprintf "%s diff %s %s -f xml --lenient" (bin "treediff_cli") bad
+         good)
+  in
+  Alcotest.(check int) "exit 0" 0 code
+
+let test_exit_degraded () =
+  let o = tmp_file {|(D (P (S "a b") (S "c d")) (P (S "e f")))|} in
+  let n = tmp_file {|(D (P (S "a x") (S "c d")) (P (S "e f g")))|} in
+  let code, out =
+    run
+      (Printf.sprintf "%s diff %s %s --max-comparisons 1 -m script"
+         (bin "treediff_cli") o n)
+  in
+  Alcotest.(check int) "exit 3" 3 code;
+  (* degraded, but output was still produced *)
+  Alcotest.(check bool) "script emitted" true (String.length out > 0)
+
+let test_exit_internal_fault () =
+  let o = tmp_file {|(D (P (S "a b")))|} and n = tmp_file {|(D (P (S "a c")))|} in
+  (* edit_gen runs in every rung, so a sticky fault there exhausts the
+     ladder: flat fallback on stdout, exit 4 *)
+  let code, out =
+    run
+      (Printf.sprintf "TREEDIFF_FAULT=edit_gen.visit:raise %s diff %s %s"
+         (bin "treediff_cli") o n)
+  in
+  Alcotest.(check int) "exit 4" 4 code;
+  Alcotest.(check bool) "flat fallback emitted" true (contains ~sub:"a b" out)
+
+let test_exit_budget_fault_is_3 () =
+  let o = tmp_file {|(D (P (S "a b")))|} and n = tmp_file {|(D (P (S "a c")))|} in
+  let code, _ =
+    run
+      (Printf.sprintf "TREEDIFF_FAULT=edit_gen.visit:deadline %s diff %s %s"
+         (bin "treediff_cli") o n)
+  in
+  Alcotest.(check int) "deadline-cause failure exits 3" 3 code
+
+let test_ladiff_lenient () =
+  let o = tmp_file "\\begin{itemize} no item ever" and n = tmp_file "fine text.\n" in
+  let code, _ =
+    run (Printf.sprintf "%s %s %s --lenient -m summary" (bin "ladiff") o n)
+  in
+  Alcotest.(check int) "lenient ladiff exits 0" 0 code;
+  let code, _ = run (Printf.sprintf "%s %s %s" (bin "ladiff") o n) in
+  Alcotest.(check int) "strict ladiff exits 2" 2 code
+
 let test_experiments_help () =
   let code, out = run (Printf.sprintf "%s --help=plain" (bin "experiments")) in
   Alcotest.(check int) "help exit 0" 0 code;
@@ -204,6 +268,15 @@ let () =
           Alcotest.test_case "nonconforming" `Quick test_check_nonconforming;
           Alcotest.test_case "parse error" `Quick test_check_parse_error;
           Alcotest.test_case "delta round-trip" `Quick test_check_delta_roundtrip;
+        ] );
+      ( "exit-codes",
+        [
+          Alcotest.test_case "parse error is 2" `Quick test_exit_parse_error;
+          Alcotest.test_case "lenient recovers to 0" `Quick test_exit_lenient_recovers;
+          Alcotest.test_case "degraded output is 3" `Quick test_exit_degraded;
+          Alcotest.test_case "exhausted ladder is 4" `Quick test_exit_internal_fault;
+          Alcotest.test_case "budget-cause failure is 3" `Quick test_exit_budget_fault_is_3;
+          Alcotest.test_case "ladiff lenient flag" `Quick test_ladiff_lenient;
         ] );
       ( "gen-corpus",
         [ Alcotest.test_case "generate then ladiff" `Quick test_gen_corpus_pipeline ] );
