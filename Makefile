@@ -1,4 +1,4 @@
-.PHONY: all build lint check test bench bench-quick doc clean examples fault-tests
+.PHONY: all build lint check test bench bench-quick doc clean examples fault-tests store-tests
 
 all: build
 
@@ -48,8 +48,29 @@ fault-tests:
 	  TREEDIFF_FAULT=$$spec dune exec test/test_fault.exe -- -c || exit 1; \
 	done
 
+# Version-store suite: algebra properties, archive round-trips and the CLI
+# unarmed, then the crash sweep — with TREEDIFF_FAULT armed at the store's
+# points, the suite switches to env-sweep mode: commit under fire, reopen,
+# and verify every surviving version against its stored hash.
+STORE_FAULT_SPECS = \
+  store.commit:raise@3 \
+  store.append:raise@2 \
+  store.append:deadline@2 \
+  store.replay:raise@4
+
+store-tests:
+	dune build test/test_store.exe
+	dune exec test/test_store.exe -- -c
+	@for spec in $(STORE_FAULT_SPECS); do \
+	  echo "== TREEDIFF_FAULT=$$spec"; \
+	  TREEDIFF_FAULT=$$spec dune exec test/test_store.exe -- -c || exit 1; \
+	done
+
 bench:
 	dune exec bench/main.exe
+
+bench-store:
+	dune exec bench/main.exe -- store
 
 bench-timing:
 	dune exec bench/main.exe -- --bechamel

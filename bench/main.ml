@@ -79,7 +79,7 @@ let bechamel_tests () =
 (* Per-benchmark ns/run estimates as a machine-readable trajectory file.
    Schema: {"label": <basename>, "unit": "ns/run",
             "results": [{"name": ..., "ns_per_run": ...}, ...]}. *)
-let write_json path rows =
+let write_json ~out path rows =
   let oc = open_out path in
   let label = Filename.remove_extension (Filename.basename path) in
   Printf.fprintf oc "{\n  \"label\": %S,\n  \"unit\": \"ns/run\",\n  \"results\": [" label;
@@ -92,11 +92,11 @@ let write_json path rows =
     rows;
   Printf.fprintf oc "\n  ]\n}\n";
   close_out oc;
-  Printf.printf "wrote %s\n" path
+  Printf.fprintf out "wrote %s\n" path
 
-let run_bechamel ?json () =
+let run_bechamel ?json ~out () =
   let open Bechamel in
-  print_endline "== Bechamel wall-clock benchmarks ==";
+  Printf.fprintf out "== Bechamel wall-clock benchmarks ==\n";
   let tests = Test.make_grouped ~name:"treediff" (bechamel_tests ()) in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
@@ -127,17 +127,135 @@ let run_bechamel ?json () =
       in
       Treediff_util.Table.add_row table [ name; cell ])
     estimates;
-  Treediff_util.Table.print table;
-  print_newline ();
-  match json with None -> () | Some path -> write_json path estimates
+  Treediff_util.Table.print_to out table;
+  Printf.fprintf out "\n%!";
+  match json with None -> () | Some path -> write_json ~out path estimates
+
+(* ------------------------------------------------------- store benchmark *)
+
+module Store = Treediff_store.Store
+
+(* Commit latency, materialization latency vs chain depth, and bytes per
+   version — the same lineage committed twice: once under the default
+   checkpoint policy and once with checkpoints disabled, so the depth sweep
+   isolates what checkpoints buy. *)
+let run_store ?json ~out () =
+  Printf.fprintf out "== Store: delta chain vs checkpoint policy ==\n";
+  let commits = 50 in
+  let g = Treediff_util.Prng.create 2026 in
+  let gen = Treediff_tree.Tree.gen () in
+  let docs =
+    let first =
+      Treediff_workload.Docgen.generate g gen Treediff_workload.Docgen.medium
+    in
+    let rec grow acc doc k =
+      if k = 0 then List.rev acc
+      else
+        let doc', _ = Treediff_workload.Mutate.mutate g gen doc ~actions:6 in
+        grow (doc' :: acc) doc' (k - 1)
+    in
+    grow [ first ] first commits
+  in
+  let tmp suffix =
+    let path =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "treediff_bench_%d_%s.tds" (Unix.getpid ()) suffix)
+    in
+    if Sys.file_exists path then Sys.remove path;
+    path
+  in
+  let ok = function
+    | Ok v -> v
+    | Error msg -> failwith ("bench store: " ^ msg)
+  in
+  let time_ns f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1e9)
+  in
+  let ckpt_path = tmp "ckpt" and linear_path = tmp "linear" in
+  let ckpt = ok (Store.init ckpt_path) in
+  let linear = ok (Store.init ~interval:0 ~max_replay_ops:0 linear_path) in
+  let commit_ns =
+    List.map
+      (fun doc ->
+        ignore (ok (Store.commit linear doc));
+        let _, ns = time_ns (fun () -> ok (Store.commit ckpt doc)) in
+        ns)
+      docs
+  in
+  let mean l = List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l) in
+  let reps = 20 in
+  let mat store v =
+    let _, first = time_ns (fun () -> ok (Store.materialize store v)) in
+    let rec go k acc =
+      if k = 0 then acc
+      else
+        let _, ns = time_ns (fun () -> ok (Store.materialize store v)) in
+        go (k - 1) (ns :: acc)
+    in
+    mean (go (reps - 1) [ first ])
+  in
+  let depths = [ 1; 5; 10; 25; 50 ] in
+  let sweep = List.map (fun v -> (v, mat ckpt v, mat linear v)) depths in
+  let archive_bytes path = (Unix.stat path).Unix.st_size in
+  let snapshot_bytes =
+    List.fold_left
+      (fun acc v ->
+        acc
+        + String.length (Treediff_tree.Codec.encode (ok (Store.materialize ckpt v))))
+      0
+      (List.init (commits + 1) Fun.id)
+  in
+  let per v = float_of_int v /. float_of_int (commits + 1) in
+  Printf.fprintf out "commit latency: %.2f us mean over %d commits\n"
+    (mean commit_ns /. 1e3) commits;
+  Printf.fprintf out
+    "archive bytes/version: %.0f checkpointed, %.0f checkpoint-free, %.0f as \
+     full snapshots\n"
+    (per (archive_bytes ckpt_path))
+    (per (archive_bytes linear_path))
+    (per snapshot_bytes);
+  let table =
+    Treediff_util.Table.create
+      ~headers:[ "depth"; "checkpointed"; "checkpoint-free"; "speedup" ]
+  in
+  List.iter
+    (fun (v, c, l) ->
+      Treediff_util.Table.add_row table
+        [
+          string_of_int v;
+          Printf.sprintf "%.2f us" (c /. 1e3);
+          Printf.sprintf "%.2f us" (l /. 1e3);
+          Printf.sprintf "%.1fx" (l /. c);
+        ])
+    sweep;
+  Treediff_util.Table.print_to out table;
+  Printf.fprintf out "\n%!";
+  (match json with
+  | None -> ()
+  | Some path ->
+    let rows =
+      ("store/commit-mean", Some (mean commit_ns))
+      :: List.concat_map
+           (fun (v, c, l) ->
+             [
+               (Printf.sprintf "store/materialize-depth-%d-checkpointed" v, Some c);
+               (Printf.sprintf "store/materialize-depth-%d-linear" v, Some l);
+             ])
+           sweep
+    in
+    write_json ~out path rows);
+  Sys.remove ckpt_path;
+  Sys.remove linear_path
 
 (* ------------------------------------------------ degradation frequency *)
 
 (* How often does a wall-clock budget push the pipeline off the primary
    algorithm?  Diff a corpus of growing documents under the given deadline
    and tabulate which ladder rung produced each result. *)
-let run_budget ms =
-  Printf.printf "== Degradation frequency under a %.3g ms budget ==\n" ms;
+let run_budget ~out ms =
+  Printf.fprintf out "== Degradation frequency under a %.3g ms budget ==\n" ms;
   let g = Treediff_util.Prng.create 97 in
   let table =
     Treediff_util.Table.create
@@ -173,17 +291,23 @@ let run_budget ms =
              (fun i -> Printf.sprintf "%d/%d" counts.(i) trials)
              [ 0; 1; 2; 3; 4 ]))
     [ 10; 30; 100; 300; 1000 ];
-  Treediff_util.Table.print table;
-  print_newline ()
+  Treediff_util.Table.print_to out table;
+  Printf.fprintf out "\n%!"
 
 let usage () =
   print_endline
     "usage: main.exe [EXPERIMENT...] [--bechamel] [--json OUT] [--budget-ms MS]";
-  print_endline "  --json OUT      with --bechamel, also write ns/run estimates to OUT";
+  print_endline "  --json OUT      with --bechamel or store, write ns/run estimates to OUT";
+  print_endline "                  (human tables move to stderr so OUT-producing runs";
+  print_endline "                   keep stdout machine-parseable)";
   print_endline
     "  --budget-ms MS  tabulate ladder-rung frequency under an MS-millisecond deadline";
   print_endline "experiments (default: all):";
-  List.iter (fun (name, descr, _) -> Printf.printf "  %-12s %s\n" name descr) experiments
+  List.iter (fun (name, descr, _) -> Printf.printf "  %-12s %s\n" name descr) experiments;
+  print_endline
+    "  store        delta-chain archive: commit latency, materialization vs\n\
+    \               depth with/without checkpoints, bytes per version";
+  print_endline "               (runs alone; with --json, writes BENCH_store.json rows)"
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -212,23 +336,31 @@ let () =
   in
   let budget_ms, args = take_budget [] args in
   let names = List.filter (fun a -> a <> "--bechamel") args in
+  (* With --json, stdout is reserved for machine-readable consumers: every
+     human table and banner this harness prints itself moves to stderr. *)
+  let out = if json <> None then stderr else stdout in
   if List.mem "--help" names || List.mem "-h" names then usage ()
   else begin
     match budget_ms with
-    | Some ms -> run_budget ms
+    | Some ms ->
+      run_budget ~out ms;
+      if bech then run_bechamel ?json ~out ()
     | None ->
-      let selected =
-        if names = [] then experiments
-        else
-          List.filter_map
-            (fun n ->
-              match List.find_opt (fun (name, _, _) -> name = n) experiments with
-              | Some e -> Some e
-              | None ->
-                Printf.printf "unknown experiment %S (try --help)\n" n;
-                None)
-            names
-      in
-      List.iter (fun (_, _, run) -> run ()) selected;
-      if bech || json <> None then run_bechamel ?json ()
+      if names = [ "store" ] then run_store ?json ~out ()
+      else begin
+        let selected =
+          if names = [] then experiments
+          else
+            List.filter_map
+              (fun n ->
+                match List.find_opt (fun (name, _, _) -> name = n) experiments with
+                | Some e -> Some e
+                | None ->
+                  Printf.eprintf "unknown experiment %S (try --help)\n" n;
+                  None)
+              names
+        in
+        List.iter (fun (_, _, run) -> run ()) selected;
+        if bech || json <> None then run_bechamel ?json ~out ()
+      end
   end

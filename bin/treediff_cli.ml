@@ -33,7 +33,18 @@ let parse_tree ?(lenient = false) format gen src =
         t
       | Error m -> raise (Treediff_doc.Xml_parser.Parse_error m))
     else Treediff_doc.Xml_parser.parse gen src
-  | f -> failwith (Printf.sprintf "unknown tree format %S (sexp|xml)" f)
+  | "bin" -> (
+    (* Id-preserving binary codec: unlike the textual formats, the [gen] is
+       not consulted — node identifiers come from the file.  This is what
+       lets scripts stored in an archive be checked against materialized
+       trees. *)
+    match Treediff_tree.Codec.decode src with
+    | Ok t -> t
+    | Error e ->
+      raise
+        (Treediff_tree.Codec.Parse_error
+           (Treediff_tree.Codec.decode_error_to_string e)))
+  | f -> failwith (Printf.sprintf "unknown tree format %S (sexp|xml|bin)" f)
 
 let handle_errors f =
   try f () with
@@ -45,16 +56,26 @@ let handle_errors f =
       (fun d -> prerr_endline (Treediff_check.Diag.to_string d))
       ds;
     exit exit_internal
+  | Treediff_util.Fault.Injected p ->
+    (* A TREEDIFF_FAULT crash simulation fired; report it instead of dying
+       with an uncaught exception so the resilience sweeps get a stable
+       exit code. *)
+    Printf.eprintf "treediff: injected fault fired at %s\n" p;
+    exit exit_internal
 
 let print_tree format t =
   match format with
   | "sexp" -> Treediff_tree.Codec.to_string t ^ "\n"
   | "xml" -> Treediff_doc.Xml_parser.print t ^ "\n"
-  | f -> failwith (Printf.sprintf "unknown tree format %S (sexp|xml)" f)
+  | "bin" -> Treediff_tree.Codec.encode t
+  | f -> failwith (Printf.sprintf "unknown tree format %S (sexp|xml|bin)" f)
 
 let format_arg =
   Cmdliner.Arg.(value & opt string "sexp" & info [ "f"; "format" ] ~docv:"FMT"
-         ~doc:"Tree file format: $(b,sexp) (the codec) or $(b,xml).")
+         ~doc:"Tree file format: $(b,sexp) (the codec), $(b,xml), or \
+               $(b,bin) (the id-preserving binary codec — required when \
+               checking scripts from a $(b,store) archive, whose operations \
+               reference node identifiers).")
 
 let write_out output text =
   match output with
@@ -245,8 +266,11 @@ let run_apply tree_file script_file format lenient output =
     | Ok script -> script
     | Error msg -> failwith (Printf.sprintf "%s: %s" script_file msg)
   in
-  let t' = Treediff_edit.Script.apply t script in
-  write_out output (print_tree format t')
+  match Treediff_edit.Script.apply_result t script with
+  | Ok t' -> write_out output (print_tree format t')
+  | Error msg ->
+    Printf.eprintf "treediff: script does not apply: %s\n" msg;
+    exit exit_internal
 
 let tree_file =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"TREE" ~doc:"Tree to transform.")
@@ -331,6 +355,205 @@ let check_cmd =
     Term.(const run_check $ old_file $ new_file $ format_arg $ lenient
           $ check_script $ check_delta $ check_audit $ output)
 
+(* ----------------------------------------------------------------- store *)
+
+module Store = Treediff_store.Store
+
+(* Store-level errors (missing versions, refused deltas, damaged archives)
+   are user-facing operational failures, not internal bugs: exit 1. *)
+let ok_or_die = function
+  | Ok v -> v
+  | Error msg ->
+    Printf.eprintf "treediff: store: %s\n" msg;
+    exit 1
+
+let open_store archive =
+  let store = ok_or_die (Store.open_ archive) in
+  if Store.truncated_tail store then
+    Printf.eprintf
+      "treediff: store: %s has a damaged tail (interrupted commit); %d \
+       version(s) remain readable and the next commit reclaims the space\n"
+      archive (Store.versions store);
+  store
+
+let run_store_init archive interval max_replay_ops =
+  handle_errors @@ fun () ->
+  let store = ok_or_die (Store.init ~interval ~max_replay_ops archive) in
+  let policy =
+    match (Store.interval store, Store.max_replay_ops store) with
+    | 0, 0 -> "checkpoints disabled"
+    | n, 0 -> Printf.sprintf "checkpoint every %d commits" n
+    | 0, m -> Printf.sprintf "checkpoint beyond %d replay ops" m
+    | n, m -> Printf.sprintf "checkpoint every %d commits or %d replay ops" n m
+  in
+  Printf.printf "initialized %s (%s)\n" (Store.path store) policy
+
+let run_store_commit archive tree_file format lenient =
+  handle_errors @@ fun () ->
+  let store = open_store archive in
+  let gen = Treediff_tree.Tree.gen () in
+  let doc = parse_tree ~lenient format gen (read_file tree_file) in
+  let entry = ok_or_die (Store.commit store doc) in
+  Printf.printf "committed version %d (%s, %d ops, %d bytes)\n"
+    entry.Store.version
+    (Store.kind_name entry.Store.kind)
+    entry.Store.ops entry.Store.bytes
+
+let run_store_log archive =
+  handle_errors @@ fun () ->
+  let store = open_store archive in
+  Printf.printf "%-8s %-10s %6s %8s %8s  %s\n" "version" "kind" "ops" "bytes"
+    "next_id" "hash";
+  List.iter
+    (fun (e : Store.entry) ->
+      Printf.printf "%-8d %-10s %6d %8d %8d  %016Lx\n" e.Store.version
+        (Store.kind_name e.Store.kind)
+        e.Store.ops e.Store.bytes e.Store.next_id e.Store.hash)
+    (Store.log store)
+
+let run_store_show archive version output =
+  handle_errors @@ fun () ->
+  let store = open_store archive in
+  let e = ok_or_die (Store.entry store version) in
+  let header =
+    Printf.sprintf "version %d: %s, %d ops, %d bytes, next_id %d, hash %016Lx\n"
+      e.Store.version
+      (Store.kind_name e.Store.kind)
+      e.Store.ops e.Store.bytes e.Store.next_id e.Store.hash
+  in
+  let body =
+    match e.Store.kind with
+    | Store.Snapshot -> ""
+    | Store.Delta | Store.Checkpoint ->
+      Treediff_edit.Script_io.to_string (ok_or_die (Store.script_of store version))
+  in
+  write_out output (header ^ body)
+
+let run_store_materialize archive version verify budget_ms format output =
+  handle_errors @@ fun () ->
+  let store = open_store archive in
+  let budget =
+    Option.map (fun ms -> Treediff_util.Budget.make ~deadline_ms:ms ()) budget_ms
+  in
+  match Store.materialize ~verify ?budget store version with
+  | Ok tree -> write_out output (print_tree format tree)
+  | Error msg -> ok_or_die (Error msg)
+  | exception Treediff_util.Budget.Exceeded e ->
+    Printf.eprintf "treediff: store: %s\n" (Treediff_util.Budget.describe e);
+    exit exit_degraded
+
+let run_store_diff archive from_ to_ output =
+  handle_errors @@ fun () ->
+  let store = open_store archive in
+  let script = ok_or_die (Store.diff_between store ~from_ ~to_) in
+  write_out output (Treediff_edit.Script_io.to_string script)
+
+let run_store_gc archive prune_before =
+  handle_errors @@ fun () ->
+  let store = open_store archive in
+  let before, after = ok_or_die (Store.gc ?prune_before store) in
+  Printf.printf "compacted %s: %d -> %d bytes (base version %d)\n"
+    (Store.path store) before after (Store.base_version store)
+
+let archive_new =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"ARCHIVE"
+         ~doc:"Archive file to create.")
+
+let archive =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"ARCHIVE"
+         ~doc:"Version archive (created by $(b,store init)).")
+
+let store_interval =
+  Arg.(value & opt int 8 & info [ "interval" ] ~docv:"N"
+         ~doc:"Take a full-snapshot checkpoint every $(docv) commits \
+               ($(b,0) disables the counter).")
+
+let store_max_replay =
+  Arg.(value & opt int 512 & info [ "max-replay-ops" ] ~docv:"N"
+         ~doc:"Take a checkpoint as soon as replaying the chain from the \
+               last one would exceed $(docv) edit operations ($(b,0) \
+               disables the cost trigger).")
+
+let store_version_pos =
+  Arg.(required & pos 1 (some int) None & info [] ~docv:"VERSION"
+         ~doc:"Version number (see $(b,store log)).")
+
+let store_verify =
+  Arg.(value & flag & info [ "verify" ]
+         ~doc:"Check the materialized tree against the hash stored at \
+               commit time.")
+
+let store_from =
+  Arg.(required & opt (some int) None & info [ "from" ] ~docv:"I"
+         ~doc:"Source version.")
+
+let store_to =
+  Arg.(required & opt (some int) None & info [ "to" ] ~docv:"J"
+         ~doc:"Target version.")
+
+let store_prune =
+  Arg.(value & opt (some int) None & info [ "prune-before" ] ~docv:"P"
+         ~doc:"Discard history older than version $(docv); $(docv) becomes \
+               the new base snapshot (version numbers are preserved).")
+
+let tree_file_pos1 =
+  Arg.(required & pos 1 (some file) None & info [] ~docv:"TREE"
+         ~doc:"Document to commit as the next version.")
+
+let store_exit_info =
+  Cmd.Exit.info ~doc:"on a store-level failure: missing version, refused \
+                      delta, damaged or incompatible archive." 1
+
+let store_cmds =
+  let exits = store_exit_info :: exit_parse_info :: exit_internal_info
+              :: Cmd.Exit.defaults in
+  [
+    Cmd.v
+      (Cmd.info "init" ~doc:"create an empty version archive" ~exits)
+      Term.(const run_store_init $ archive_new $ store_interval
+            $ store_max_replay);
+    Cmd.v
+      (Cmd.info "commit" ~doc:"append a document as the next version" ~exits)
+      Term.(const run_store_commit $ archive $ tree_file_pos1 $ format_arg
+            $ lenient);
+    Cmd.v
+      (Cmd.info "log" ~doc:"list stored versions, oldest first" ~exits)
+      Term.(const run_store_log $ archive);
+    Cmd.v
+      (Cmd.info "show" ~doc:"print one version's metadata and stored delta"
+         ~exits)
+      Term.(const run_store_show $ archive $ store_version_pos $ output);
+    Cmd.v
+      (Cmd.info "materialize" ~doc:"reconstruct a stored version" ~exits)
+      Term.(const run_store_materialize $ archive $ store_version_pos
+            $ store_verify $ budget_ms $ format_arg $ output);
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:"compose the stored chain into one script between two versions"
+         ~exits)
+      Term.(const run_store_diff $ archive $ store_from $ store_to $ output);
+    Cmd.v
+      (Cmd.info "gc" ~doc:"compact the archive, optionally pruning history"
+         ~exits)
+      Term.(const run_store_gc $ archive $ store_prune);
+  ]
+
+let store_cmd =
+  let doc = "delta-chain version archive for a document lineage" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P "An archive stores a document's history as a base snapshot plus a \
+          chain of forward edit scripts, with periodic full-snapshot \
+          checkpoints so $(b,materialize) costs O(distance to the nearest \
+          checkpoint).  Every commit is re-verified by the static checker \
+          before it is written, and each record is checksummed so an \
+          interrupted commit is isolated on reopen rather than corrupting \
+          the history.";
+    ]
+  in
+  Cmd.group (Cmd.info "store" ~doc ~man) store_cmds
+
 (* ------------------------------------------------------------------ main *)
 
 let cmd =
@@ -344,6 +567,6 @@ let cmd =
     ]
   in
   Cmd.group (Cmd.info "treediff" ~version:"1.0.0" ~doc ~man)
-    [ diff_cmd; apply_cmd; check_cmd ]
+    [ diff_cmd; apply_cmd; check_cmd; store_cmd ]
 
 let () = exit (Cmd.eval cmd)

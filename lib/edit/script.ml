@@ -63,6 +63,148 @@ let apply t1 script =
   List.iter (apply_into ~root ~index) script;
   root
 
+let apply_result t1 script =
+  match apply t1 script with
+  | t -> Ok t
+  | exception Apply_error msg -> Error msg
+
+(* ----------------------------------------------------------------- invert *)
+
+(* Replay the script on a working copy, recording each operation's inverse
+   against the pre-operation state, and reverse the list.  Because undo runs
+   in reverse order, the tree state at each undo step equals the state the
+   forward operation saw, so positions recorded before the forward step are
+   exact: the inverse restores the source tree identically, identifiers
+   included. *)
+let invert t1 script =
+  let root = Tree.copy t1 in
+  let index = Tree.index_by_id root in
+  let parent_pos id =
+    let n = lookup index id in
+    match n.Node.parent with
+    | None -> err "invert: operation on the root (node %d)" id
+    | Some p -> (n, p.Node.id, Node.child_index n + 1)
+  in
+  List.fold_left
+    (fun acc op ->
+      let iop =
+        match op with
+        | Op.Insert { id; _ } -> Op.Delete { id }
+        | Op.Delete { id } ->
+          let n, parent, pos = parent_pos id in
+          Op.Insert { id; label = n.Node.label; value = n.Node.value; parent; pos }
+        | Op.Update { id; value = _ } ->
+          let n = lookup index id in
+          Op.Update { id; value = n.Node.value }
+        | Op.Move { id; _ } ->
+          let _, parent, pos = parent_pos id in
+          Op.Move { id; parent; pos }
+      in
+      apply_into ~root ~index op;
+      iop :: acc)
+    [] script
+
+(* ---------------------------------------------------------------- compose *)
+
+let max_id_mentioned script =
+  List.fold_left
+    (fun acc op ->
+      match op with
+      | Op.Insert { id; parent; _ } -> max acc (max id parent)
+      | Op.Delete { id } | Op.Update { id; _ } -> max acc id
+      | Op.Move { id; parent; _ } -> max acc (max id parent))
+    (-1) script
+
+(* Identifiers [s2] may not re-introduce: anything [s1] inserted (even if it
+   later deleted it — the script linter flags re-insertion of an id that ever
+   existed) and anything [s1] deleted from the source tree. *)
+let burned_ids s1 =
+  let set = Hashtbl.create 16 in
+  List.iter
+    (fun op ->
+      match op with
+      | Op.Insert { id; _ } | Op.Delete { id } -> Hashtbl.replace set id ()
+      | Op.Update _ | Op.Move _ -> ())
+    s1;
+  set
+
+(* Rename an inserted id and every later reference to it. *)
+let substitute_from ~from_op ~old_id ~fresh ops =
+  List.mapi
+    (fun i op ->
+      if i < from_op then op
+      else
+        match op with
+        | Op.Insert { id; label; value; parent; pos } ->
+          let id = if i = from_op then fresh else id in
+          let parent = if parent = old_id then fresh else parent in
+          Op.Insert { id; label; value; parent; pos }
+        | Op.Delete { id } -> if id = old_id then Op.Delete { id = fresh } else op
+        | Op.Update { id; value } ->
+          if id = old_id then Op.Update { id = fresh; value } else op
+        | Op.Move { id; parent; pos } ->
+          let id = if id = old_id then fresh else id in
+          let parent = if parent = old_id then fresh else parent in
+          Op.Move { id; parent; pos })
+    ops
+
+let compose s1 s2 =
+  (* Step 1: remap id collisions.  [s2]'s inserted ids must be fresh with
+     respect to everything [s1] created or destroyed, or the concatenation
+     re-uses an id and fails the dataflow lint (TD102). *)
+  let burned = burned_ids s1 in
+  let next = ref (max (max_id_mentioned s1) (max_id_mentioned s2) + 1) in
+  let s2 =
+    let ops = ref s2 in
+    List.iteri
+      (fun i op ->
+        match op with
+        | Op.Insert { id; _ } when Hashtbl.mem burned id ->
+          let fresh = !next in
+          incr next;
+          ops := substitute_from ~from_op:i ~old_id:id ~fresh !ops
+        | Op.Insert _ | Op.Delete _ | Op.Update _ | Op.Move _ -> ())
+      s2;
+    !ops
+  in
+  (* Step 2: value fusion over the concatenation.  Only value-carrying ops
+     fuse — an earlier UPD (or the value of an INS) of a node is invisible
+     once a later UPD overwrites it, and values never affect the positions
+     other operations resolve against, so dropping the earlier setter is
+     always semantics-preserving.  Structural fusion (MOV∘MOV, INS∘DEL
+     cancellation) is deliberately not attempted: positions are interpreted
+     against the tree state at application time, so removing a structural
+     op can invalidate every later position. *)
+  let ops = Array.of_list (s1 @ s2) in
+  let keep = Array.make (Array.length ops) true in
+  let setter : (int, [ `Ins of int | `Upd of int ]) Hashtbl.t = Hashtbl.create 16 in
+  Array.iteri
+    (fun i op ->
+      match op with
+      | Op.Insert { id; _ } -> Hashtbl.replace setter id (`Ins i)
+      | Op.Delete { id } -> Hashtbl.remove setter id
+      | Op.Update { id; value } -> (
+        match Hashtbl.find_opt setter id with
+        | Some (`Ins j) -> (
+          (* fold the newest value into the insert and drop this update;
+             the insert stays the node's registered setter *)
+          keep.(i) <- false;
+          match ops.(j) with
+          | Op.Insert { id; label; parent; pos; value = _ } ->
+            ops.(j) <- Op.Insert { id; label; value; parent; pos }
+          | Op.Delete _ | Op.Update _ | Op.Move _ -> assert false)
+        | Some (`Upd j) ->
+          keep.(j) <- false;
+          Hashtbl.replace setter id (`Upd i)
+        | None -> Hashtbl.replace setter id (`Upd i))
+      | Op.Move _ -> ())
+    ops;
+  let out = ref [] in
+  for i = Array.length ops - 1 downto 0 do
+    if keep.(i) then out := ops.(i) :: !out
+  done;
+  !out
+
 let measure ?(model = Cost.unit) t1 script =
   Cost.check model;
   let root = Tree.copy t1 in

@@ -32,6 +32,32 @@ val apply : Treediff_tree.Node.t -> t -> Treediff_tree.Node.t
     the transformed root.  The input tree is not modified.
     @raise Apply_error if any operation is invalid. *)
 
+val apply_result : Treediff_tree.Node.t -> t -> (Treediff_tree.Node.t, string) result
+(** Exception-free front end to {!apply}, for replaying persisted scripts
+    that may be malformed (the version store's materialization path, the
+    CLI's [apply]).  Never raises {!Apply_error}. *)
+
+val invert : Treediff_tree.Node.t -> t -> t
+(** [invert t1 script] is the inverse script: applying it to [apply t1
+    script] restores [t1] exactly — labels, values, positions {e and}
+    identifiers — so a version store can walk backward from a checkpoint.
+    Computed by replaying [script] on a working copy and recording each
+    operation's inverse against the pre-operation state.
+    @raise Apply_error if [script] is not valid on [t1]. *)
+
+val compose : t -> t -> t
+(** [compose s1 s2] fuses two adjacent scripts over one identifier space
+    ([s1] carrying a tree [t] to [apply t s1], [s2] carrying that result
+    further) into a single script with
+    [apply t (compose s1 s2) ≡ apply (apply t s1) s2].  Inserted ids in
+    [s2] that collide with ids [s1] created or destroyed are remapped to
+    fresh ones so the composition stays lint-clean, and value-carrying
+    operations are fused (an update overwritten by a later update is
+    dropped; an update of a freshly inserted node folds into the insert).
+    Structural operations are never elided: positions are interpreted
+    against the tree state at application time, so cancelling them is not
+    semantics-preserving in general. *)
+
 val measure : ?model:Cost.t -> Treediff_tree.Node.t -> t -> measure
 (** [measure t1 script] applies the script to a copy of [t1] (to observe old
     values for update costs and subtree leaf counts for move weights) and

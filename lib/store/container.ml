@@ -1,0 +1,155 @@
+module B = Treediff_util.Binio
+module Fault = Treediff_util.Fault
+
+let magic = "TDST"
+
+let format_version = 1
+
+type error =
+  | Io of string
+  | Bad_magic
+  | Unsupported_version of int
+
+let error_to_string = function
+  | Io msg -> msg
+  | Bad_magic -> "not a treediff store (bad magic)"
+  | Unsupported_version v ->
+    Printf.sprintf "unsupported store format version %d (this build reads %d)" v
+      format_version
+
+type record = { tag : char; payload : string }
+
+type opened = {
+  records : record list;
+  valid_end : int;
+  truncated_tail : bool;
+  interval : int;
+  max_replay_ops : int;
+}
+
+let guard_io f =
+  match f () with
+  | v -> Ok v
+  | exception Sys_error msg -> Error (Io msg)
+  | exception Failure msg -> Error (Io msg)
+  | exception Unix.Unix_error (e, fn, arg) ->
+    Error (Io (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e)))
+
+let header ~interval ~max_replay_ops =
+  let buf = Buffer.create 16 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf (Char.chr format_version);
+  B.add_varint buf interval;
+  B.add_varint buf max_replay_ops;
+  Buffer.contents buf
+
+(* tag, payload length, checksum, payload — see the .mli wire grammar. *)
+let record_bytes { tag; payload } =
+  let buf = Buffer.create (String.length payload + 16) in
+  Buffer.add_char buf tag;
+  B.add_varint buf (String.length payload);
+  B.add_i64 buf (B.fnv1a64 payload);
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+let create ~path ~interval ~max_replay_ops =
+  if Sys.file_exists path then
+    Error (Io (Printf.sprintf "%s already exists" path))
+  else
+    guard_io @@ fun () ->
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (header ~interval ~max_replay_ops))
+
+let scan path =
+  let read () =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match guard_io read with
+  | Error _ as e -> e
+  | Ok src -> (
+    let r = B.reader src in
+    if not (B.expect r magic) then Error Bad_magic
+    else
+      match B.read_byte r with
+      | exception B.Truncated _ -> Error Bad_magic
+      | v when v <> format_version -> Error (Unsupported_version v)
+      | _ -> (
+        match
+          let interval = B.read_varint r in
+          let max_replay_ops = B.read_varint r in
+          (interval, max_replay_ops)
+        with
+        | exception (B.Truncated _ | B.Malformed _) -> Error Bad_magic
+        | interval, max_replay_ops ->
+          (* Records until the data runs out or stops checksumming.  A
+             damaged record poisons everything after it: with no resync
+             marker, the remainder of an append-only file cannot be
+             trusted, so it is reported as a truncated tail. *)
+          let records = ref [] in
+          let valid_end = ref r.B.pos in
+          let damaged = ref false in
+          (try
+             while B.remaining r > 0 do
+               let tag = Char.chr (B.read_byte r) in
+               let len = B.read_varint r in
+               let sum = B.read_i64 r in
+               if B.remaining r < len then raise (B.Truncated r.B.pos);
+               let payload = String.sub r.B.src r.B.pos len in
+               r.B.pos <- r.B.pos + len;
+               if not (Int64.equal sum (B.fnv1a64 payload)) then
+                 raise (B.Malformed (!valid_end, "record checksum mismatch"));
+               records := { tag; payload } :: !records;
+               valid_end := r.B.pos
+             done
+           with B.Truncated _ | B.Malformed _ -> damaged := true);
+          Ok
+            {
+              records = List.rev !records;
+              valid_end = !valid_end;
+              truncated_tail = !damaged;
+              interval;
+              max_replay_ops;
+            }))
+
+let append ~path ~valid_end record =
+  guard_io @@ fun () ->
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* Drop any damaged tail left by an earlier interrupted append, then
+         write the record in two halves around the crash fault point. *)
+      Unix.ftruncate fd valid_end;
+      ignore (Unix.lseek fd valid_end Unix.SEEK_SET);
+      let bytes = record_bytes record in
+      let write s off len =
+        if Unix.write_substring fd s off len <> len then failwith "short write"
+      in
+      let half = String.length bytes / 2 in
+      write bytes 0 half;
+      (* Simulated crash: part of the record is on disk, the rest never
+         lands.  Scan must isolate the damage on reopen. *)
+      Fault.point "store.append";
+      write bytes half (String.length bytes - half);
+      valid_end + String.length bytes)
+
+let rewrite ~path ~interval ~max_replay_ops records =
+  guard_io @@ fun () ->
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (match
+     output_string oc (header ~interval ~max_replay_ops);
+     List.iter (fun r -> output_string oc (record_bytes r)) records
+   with
+  | () -> close_out oc
+  | exception e ->
+    close_out_noerr oc;
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e);
+  Sys.rename tmp path;
+  (Unix.stat path).Unix.st_size

@@ -1,0 +1,59 @@
+(** The version archive's on-disk container: a header followed by an
+    append-only sequence of checksummed records.
+
+    Wire format (version 1):
+
+    {v
+    header  := "TDST" version-byte(1) varint(interval) varint(max_replay_ops)
+    record  := tag-byte varint(payload-length) fnv64(payload, 8 bytes LE) payload
+    v}
+
+    The container refuses files whose magic or format version it does not
+    know ({!Bad_magic} / {!Unsupported_version}) instead of misreading them.
+    Records are self-delimiting and checksummed, so a crash mid-append
+    leaves a tail {!scan} detects and isolates: every record before the tail
+    stays readable, [truncated_tail] reports the damage, and the next
+    {!append} truncates the garbage before writing.  Payload semantics
+    (snapshots, delta chains) live one layer up, in {!Store}. *)
+
+type error =
+  | Io of string
+  | Bad_magic
+  | Unsupported_version of int  (** header version byte this build cannot read *)
+
+val error_to_string : error -> string
+
+val format_version : int
+
+type record = { tag : char; payload : string }
+
+type opened = {
+  records : record list;  (** every well-formed record, in file order *)
+  valid_end : int;  (** byte offset just past the last well-formed record *)
+  truncated_tail : bool;  (** bytes after [valid_end] were damaged/partial *)
+  interval : int;  (** checkpoint policy persisted at [create] time *)
+  max_replay_ops : int;
+}
+
+val create :
+  path:string -> interval:int -> max_replay_ops:int -> (unit, error) result
+(** Write a fresh header-only container.  Refuses an existing file. *)
+
+val scan : string -> (opened, error) result
+(** Read and validate the whole container.  Never raises. *)
+
+val append : path:string -> valid_end:int -> record -> (int, error) result
+(** Truncate the file to [valid_end] (dropping any damaged tail), append one
+    record and return the new end offset.  Carries the [store.append] fault
+    point mid-write, after part of the payload has reached the file — the
+    crash the scan layer must survive. *)
+
+val rewrite :
+  path:string ->
+  interval:int ->
+  max_replay_ops:int ->
+  record list ->
+  (int, error) result
+(** Atomically replace the container (write a sibling temp file, rename
+    over) with a fresh header and the given records; returns the new file
+    size.  The [gc] path. *)

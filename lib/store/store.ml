@@ -1,0 +1,549 @@
+module B = Treediff_util.Binio
+module Budget = Treediff_util.Budget
+module Fault = Treediff_util.Fault
+module Node = Treediff_tree.Node
+module Tree = Treediff_tree.Tree
+module Codec = Treediff_tree.Codec
+module Iso = Treediff_tree.Iso
+module Script = Treediff_edit.Script
+module Script_io = Treediff_edit.Script_io
+module Diag = Treediff_check.Diag
+
+type kind = Snapshot | Delta | Checkpoint
+
+let kind_name = function
+  | Snapshot -> "snapshot"
+  | Delta -> "delta"
+  | Checkpoint -> "checkpoint"
+
+type entry = {
+  version : int;
+  kind : kind;
+  ops : int;
+  bytes : int;
+  hash : int64;
+  next_id : int;
+}
+
+(* One fully decoded record.  [snap] stays in its binary form until a
+   materialization actually needs it; [raw] is kept verbatim for gc's
+   rewrite. *)
+type parsed = {
+  meta : entry;
+  dummy : int option;
+  fwd : Script.t;
+  inv : Script.t;
+  snap : string option;
+  raw : Container.record;
+}
+
+type t = {
+  path : string;
+  interval : int;
+  max_replay_ops : int;
+  mutable entries : parsed array;  (* in version order; index 0 = base *)
+  mutable valid_end : int;
+  mutable truncated : bool;
+  mutable head : (int * Node.t) option;  (* cached latest version *)
+}
+
+let path t = t.path
+
+let interval t = t.interval
+
+let max_replay_ops t = t.max_replay_ops
+
+let truncated_tail t = t.truncated
+
+let versions t = Array.length t.entries
+
+let base_version t =
+  if Array.length t.entries = 0 then 0 else t.entries.(0).meta.version
+
+let log t = Array.to_list (Array.map (fun p -> p.meta) t.entries)
+
+let find t v =
+  let base = base_version t in
+  let i = v - base in
+  if Array.length t.entries = 0 then Error "empty archive: no versions committed"
+  else if i < 0 || i >= Array.length t.entries then
+    Error
+      (Printf.sprintf "no version %d (store holds %d..%d)" v base
+         (base + Array.length t.entries - 1))
+  else Ok t.entries.(i)
+
+let entry t v = Result.map (fun p -> p.meta) (find t v)
+
+let script_of t v =
+  match find t v with
+  | Error _ as e -> e
+  | Ok { meta = { kind = Snapshot; _ }; _ } ->
+    Error (Printf.sprintf "version %d is a full snapshot, not a delta" v)
+  | Ok p -> Ok p.fwd
+
+(* ------------------------------------------------------- record payloads *)
+
+let tag_snapshot = 'S'
+
+let tag_delta = 'D'
+
+let tag_checkpoint = 'C'
+
+let snapshot_payload ~version ~next_id ~hash tree_bytes =
+  let buf = Buffer.create (String.length tree_bytes + 32) in
+  B.add_varint buf version;
+  B.add_varint buf next_id;
+  B.add_i64 buf hash;
+  B.add_string buf tree_bytes;
+  Buffer.contents buf
+
+let delta_payload ?snapshot ~version ~next_id ~hash ~dummy ~fwd ~inv () =
+  let buf = Buffer.create 256 in
+  B.add_varint buf version;
+  B.add_varint buf next_id;
+  B.add_i64 buf hash;
+  B.add_varint buf (match dummy with None -> 0 | Some d1 -> d1 + 1);
+  B.add_string buf (Script_io.to_string fwd);
+  B.add_string buf (Script_io.to_string inv);
+  (match snapshot with None -> () | Some tree_bytes -> B.add_string buf tree_bytes);
+  Buffer.contents buf
+
+let parse_record (record : Container.record) =
+  let r = B.reader record.Container.payload in
+  let bytes = String.length record.Container.payload in
+  let script what s =
+    match Script_io.parse s with
+    | Ok script -> script
+    | Error msg -> raise (B.Malformed (0, Printf.sprintf "%s script: %s" what msg))
+  in
+  match
+    let version = B.read_varint r in
+    let next_id = B.read_varint r in
+    let hash = B.read_i64 r in
+    if record.Container.tag = tag_snapshot then
+      let snap = B.read_string r in
+      {
+        meta = { version; kind = Snapshot; ops = 0; bytes; hash; next_id };
+        dummy = None;
+        fwd = [];
+        inv = [];
+        snap = Some snap;
+        raw = record;
+      }
+    else begin
+      let dummy =
+        match B.read_varint r with 0 -> None | d -> Some (d - 1)
+      in
+      let fwd = script "forward" (B.read_string r) in
+      let inv = script "inverse" (B.read_string r) in
+      let kind, snap =
+        if record.Container.tag = tag_checkpoint then
+          (Checkpoint, Some (B.read_string r))
+        else (Delta, None)
+      in
+      {
+        meta = { version; kind; ops = List.length fwd; bytes; hash; next_id };
+        dummy;
+        fwd;
+        inv;
+        snap;
+        raw = record;
+      }
+    end
+  with
+  | parsed ->
+    if B.remaining r > 0 then Error "trailing bytes in record payload"
+    else Ok parsed
+  | exception B.Truncated off ->
+    Error (Printf.sprintf "record payload truncated at offset %d" off)
+  | exception B.Malformed (_, reason) -> Error reason
+
+(* -------------------------------------------------------------- open/init *)
+
+let of_scan path (scan : Container.opened) =
+  let rec parse_all i acc = function
+    | [] -> Ok (List.rev acc)
+    | (record : Container.record) :: rest -> (
+      if
+        record.Container.tag <> tag_snapshot
+        && record.Container.tag <> tag_delta
+        && record.Container.tag <> tag_checkpoint
+      then Error (Printf.sprintf "record %d: unknown tag %C" i record.Container.tag)
+      else
+        match parse_record record with
+        | Error msg -> Error (Printf.sprintf "record %d: %s" i msg)
+        | Ok p -> parse_all (i + 1) (p :: acc) rest)
+  in
+  match parse_all 0 [] scan.Container.records with
+  | Error _ as e -> e
+  | Ok parsed ->
+    (* The chain must be contiguous and start with a snapshot. *)
+    let ok =
+      match parsed with
+      | [] -> true
+      | first :: _ ->
+        first.meta.kind = Snapshot
+        && List.for_all2
+             (fun p v -> p.meta.version = v)
+             parsed
+             (List.init (List.length parsed) (fun i -> first.meta.version + i))
+    in
+    if not ok then Error "archive records do not form a contiguous version chain"
+    else
+      Ok
+        {
+          path;
+          interval = scan.Container.interval;
+          max_replay_ops = scan.Container.max_replay_ops;
+          entries = Array.of_list parsed;
+          valid_end = scan.Container.valid_end;
+          truncated = scan.Container.truncated_tail;
+          head = None;
+        }
+
+let open_ path =
+  match Container.scan path with
+  | Error e -> Error (Container.error_to_string e)
+  | Ok scan -> of_scan path scan
+
+let init ?(interval = 8) ?(max_replay_ops = 512) path =
+  if interval < 0 || max_replay_ops < 0 then
+    Error "checkpoint policy values must be non-negative"
+  else
+    match Container.create ~path ~interval ~max_replay_ops with
+    | Error e -> Error (Container.error_to_string e)
+    | Ok () -> open_ path
+
+(* ----------------------------------------------------------- materialize *)
+
+let with_dummy d1 tree =
+  let w = Node.make ~id:d1 ~label:"@@root" () in
+  Node.append_child w tree;
+  w
+
+let unwrap_dummy root =
+  match Node.children root with
+  | [ real ] ->
+    Node.detach real;
+    Ok real
+  | _ -> Error "dummy root does not have exactly one child after replay"
+
+(* Replay one chain step in place on [cur] (which is consumed). *)
+let replay_step ?budget cur (p : parsed) ~backward =
+  let script = if backward then p.inv else p.fwd in
+  Fault.point "store.replay";
+  (match budget with
+  | None -> ()
+  | Some b -> Budget.visit_n b (List.length script));
+  let base = match p.dummy with None -> cur | Some d1 -> with_dummy d1 cur in
+  let index = Tree.index_by_id base in
+  match List.iter (Script.apply_into ~root:base ~index) script with
+  | () -> ( match p.dummy with None -> Ok base | Some _ -> unwrap_dummy base)
+  | exception Script.Apply_error msg ->
+    Error
+      (Printf.sprintf "version %d: stored %s script does not apply: %s"
+         p.meta.version
+         (if backward then "inverse" else "forward")
+         msg)
+
+let decode_snapshot (p : parsed) =
+  match p.snap with
+  | None -> Error (Printf.sprintf "version %d carries no snapshot" p.meta.version)
+  | Some bytes -> (
+    match Codec.decode bytes with
+    | Ok tree -> Ok tree
+    | Error e ->
+      Error
+        (Printf.sprintf "version %d snapshot: %s" p.meta.version
+           (Codec.decode_error_to_string e)))
+
+(* Nearest snapshot-bearing entry at or below [i], and the cheaper of the
+   two replay plans (forward from below, backward from above). *)
+let plan t i =
+  let n = Array.length t.entries in
+  let rec below j = if t.entries.(j).snap <> None then j else below (j - 1) in
+  let rec above j =
+    if j >= n then None
+    else if t.entries.(j).snap <> None then Some j
+    else above (j + 1)
+  in
+  let start = below i in
+  let fwd_cost = ref 0 in
+  for j = start + 1 to i do
+    fwd_cost := !fwd_cost + t.entries.(j).meta.ops
+  done;
+  match above (i + 1) with
+  | None -> (start, false)
+  | Some start' ->
+    let bwd_cost = ref 0 in
+    for j = i + 1 to start' do
+      bwd_cost := !bwd_cost + t.entries.(j).meta.ops
+    done;
+    if !bwd_cost < !fwd_cost then (start', true) else (start, false)
+
+let materialize ?(verify = false) ?budget t v =
+  match find t v with
+  | Error _ as e -> e
+  | Ok target -> (
+    let i = v - base_version t in
+    let start, backward = plan t i in
+    match decode_snapshot t.entries.(start) with
+    | Error _ as e -> e
+    | Ok tree ->
+      let rec walk cur j =
+        if (not backward && j > i) || (backward && j <= i) then Ok cur
+        else
+          match replay_step ?budget cur t.entries.(j) ~backward with
+          | Error _ as e -> e
+          | Ok cur -> walk cur (if backward then j - 1 else j + 1)
+      in
+      let first = if backward then start else start + 1 in
+      Result.bind (walk tree first) @@ fun tree ->
+      if verify && not (Int64.equal (Iso.hash tree) target.meta.hash) then
+        Error
+          (Printf.sprintf
+             "version %d: materialized tree does not match the stored hash" v)
+      else Ok tree)
+
+(* ----------------------------------------------------------------- commit *)
+
+let head_tree t =
+  match t.head with
+  | Some (v, tree) when v = base_version t + Array.length t.entries - 1 ->
+    Ok tree
+  | _ ->
+    let latest = base_version t + Array.length t.entries - 1 in
+    Result.map
+      (fun tree ->
+        t.head <- Some (latest, tree);
+        tree)
+      (materialize t latest)
+
+let append_parsed t (p : parsed) =
+  match Container.append ~path:t.path ~valid_end:t.valid_end p.raw with
+  | Error e -> Error (Container.error_to_string e)
+  | Ok valid_end ->
+    t.valid_end <- valid_end;
+    t.truncated <- false;
+    t.entries <- Array.append t.entries [| p |];
+    Ok p.meta
+
+(* Cost accumulated since (and commits since) the last snapshot-bearing
+   record — the inputs of the checkpoint policy. *)
+let since_checkpoint t =
+  let n = Array.length t.entries in
+  let rec scan j commits ops =
+    if j < 0 || t.entries.(j).snap <> None then (commits, ops)
+    else scan (j - 1) (commits + 1) (ops + t.entries.(j).meta.ops)
+  in
+  scan (n - 1) 0 0
+
+let checkpoint_due t ~ops =
+  let commits, pending = since_checkpoint t in
+  (t.interval > 0 && commits + 1 >= t.interval)
+  || (t.max_replay_ops > 0 && pending + ops > t.max_replay_ops)
+
+let commit ?(config = Treediff.Config.default) t doc =
+  match
+    Fault.point "store.commit";
+    if Array.length t.entries = 0 then begin
+      (* Base snapshot: the whole chain's id space starts here. *)
+      let gen = Tree.gen () in
+      let tree = Tree.relabel_ids gen doc in
+      let bytes = Codec.encode tree in
+      let payload =
+        snapshot_payload ~version:0 ~next_id:(Tree.max_id tree + 1)
+          ~hash:(Iso.hash tree) bytes
+      in
+      let record = { Container.tag = tag_snapshot; payload } in
+      match parse_record record with
+      | Error msg -> Error ("internal: base snapshot does not re-parse: " ^ msg)
+      | Ok p ->
+        Result.map
+          (fun meta ->
+            t.head <- Some (0, tree);
+            meta)
+          (append_parsed t p)
+    end
+    else
+      Result.bind (head_tree t) @@ fun head ->
+      let version = base_version t + Array.length t.entries in
+      let prev_next_id = t.entries.(Array.length t.entries - 1).meta.next_id in
+      let gen = Tree.gen ~start:prev_next_id () in
+      let t_new = Tree.relabel_ids gen doc in
+      match Treediff.Diff.diff ~config head t_new with
+      | exception Diag.Failed ds ->
+        Error
+          ("delta rejected by the static checker: "
+          ^ String.concat "; " (List.map Diag.to_string ds))
+      | result -> (
+        (* Re-verify before anything touches the disk: a delta that fails
+           the checker is refused, not archived. *)
+        match
+          Diag.errors (Treediff.Diff.verify ~config result ~t1:head ~t2:t_new)
+        with
+        | _ :: _ as ds ->
+          Error
+            ("delta rejected by the static checker: "
+            ^ String.concat "; " (List.map Diag.to_string ds))
+        | [] ->
+          let dummy = Option.map fst result.Treediff.Diff.dummy in
+          let base =
+            match dummy with
+            | None -> head
+            | Some d1 -> with_dummy d1 (Tree.copy head)
+          in
+          let fwd = result.Treediff.Diff.script in
+          let inv = Script.invert base fwd in
+          let new_head = Treediff.Diff.apply result head in
+          let hash = Iso.hash new_head in
+          let next_id =
+            let dmax =
+              match result.Treediff.Diff.dummy with
+              | None -> -1
+              | Some (d1, d2) -> max d1 d2
+            in
+            1 + max (max (Tree.max_id new_head) (Tree.max_id t_new)) dmax
+          in
+          let ops = List.length fwd in
+          let snapshot, tag =
+            if checkpoint_due t ~ops then
+              (Some (Codec.encode new_head), tag_checkpoint)
+            else (None, tag_delta)
+          in
+          let payload =
+            delta_payload ?snapshot ~version ~next_id ~hash ~dummy ~fwd ~inv ()
+          in
+          let record = { Container.tag; payload } in
+          (match parse_record record with
+          | Error msg -> Error ("internal: delta record does not re-parse: " ^ msg)
+          | Ok p ->
+            Result.map
+              (fun meta ->
+                t.head <- Some (version, new_head);
+                meta)
+              (append_parsed t p)))
+  with
+  | r -> r
+  | exception Budget.Exceeded e -> Error (Budget.describe e)
+  | exception Script.Apply_error msg -> Error ("internal: " ^ msg)
+
+(* ----------------------------------------------------------- diff_between *)
+
+(* The §4 phase order the lint enforces: once the delete phase begins,
+   nothing but deletes may follow. *)
+let phase_ordered script =
+  let rec go deleting = function
+    | [] -> true
+    | Treediff_edit.Op.Delete _ :: rest -> go true rest
+    | _ :: rest -> (not deleting) && go deleting rest
+  in
+  go false script
+
+let node_ids tree =
+  let ids = Hashtbl.create 64 in
+  Node.iter_preorder (fun n -> Hashtbl.replace ids n.Node.id ()) tree;
+  ids
+
+(* Concatenating chain steps interleaves their delete phases, which the
+   §4 convention (and the lint) forbids.  Because every composable range
+   lives in one id space, the canonical equivalent falls out of Algorithm
+   EditScript run under the identity matching on shared ids: same
+   endpoints, phase-ordered, and minimal (redundant chain churn cancels). *)
+let canonicalize t ~from_ ~to_ composed =
+  if phase_ordered composed then Ok composed
+  else
+    Result.bind (materialize t from_) @@ fun t_from ->
+    Result.bind (materialize t to_) @@ fun t_to ->
+    let ids_from = node_ids t_from and ids_to = node_ids t_to in
+    let m = Treediff_matching.Matching.create () in
+    Hashtbl.iter
+      (fun id () -> if Hashtbl.mem ids_to id then Treediff_matching.Matching.add m id id)
+      ids_from;
+    match Treediff.Edit_gen.generate ~matching:m t_from t_to with
+    | r -> Ok r.Treediff.Edit_gen.script
+    | exception Diag.Failed ds ->
+      Error
+        ("internal: canonicalizing the composed script failed: "
+        ^ String.concat "; " (List.map Diag.to_string ds))
+
+let diff_between t ~from_ ~to_ =
+  Result.bind (find t from_) @@ fun _ ->
+  Result.bind (find t to_) @@ fun _ ->
+  if from_ = to_ then Ok []
+  else begin
+    let base = base_version t in
+    let lo, hi = if from_ < to_ then (from_, to_) else (to_, from_) in
+    let steps = List.init (hi - lo) (fun k -> t.entries.(lo + 1 + k - base)) in
+    match List.find_opt (fun p -> p.dummy <> None) steps with
+    | Some p ->
+      Error
+        (Printf.sprintf
+           "version %d was committed with unmatched roots (dummy-rooted \
+            delta); its script is not composable — materialize both \
+            versions and diff them directly"
+           p.meta.version)
+    | None ->
+      let scripts =
+        if from_ < to_ then List.map (fun p -> p.fwd) steps
+        else List.rev_map (fun p -> p.inv) steps
+      in
+      let composed =
+        match scripts with
+        | [] -> []
+        | first :: rest -> List.fold_left Script.compose first rest
+      in
+      canonicalize t ~from_ ~to_ composed
+  end
+
+(* --------------------------------------------------------------------- gc *)
+
+let gc ?prune_before t =
+  let p = Option.value prune_before ~default:(base_version t) in
+  let last = base_version t + Array.length t.entries - 1 in
+  if Array.length t.entries = 0 then
+    Error "empty archive: nothing to collect"
+  else if p < base_version t || p > last then
+    Error
+      (Printf.sprintf "prune point %d outside stored versions %d..%d" p
+         (base_version t) last)
+  else
+    let before =
+      match (Unix.stat t.path).Unix.st_size with
+      | n -> n
+      | exception Unix.Unix_error _ -> t.valid_end
+    in
+    let rebase () =
+      if p = base_version t then Ok (Array.to_list t.entries)
+      else
+        Result.bind (materialize t p) @@ fun tree ->
+        Result.bind (find t p) @@ fun at ->
+        let payload =
+          snapshot_payload ~version:p ~next_id:at.meta.next_id
+            ~hash:at.meta.hash (Codec.encode tree)
+        in
+        Result.bind (parse_record { Container.tag = tag_snapshot; payload })
+        @@ fun base ->
+        let keep =
+          Array.to_list
+            (Array.sub t.entries
+               (p - base_version t + 1)
+               (last - p))
+        in
+        Ok (base :: keep)
+    in
+    Result.bind (rebase ()) @@ fun parsed ->
+    match
+      Container.rewrite ~path:t.path ~interval:t.interval
+        ~max_replay_ops:t.max_replay_ops
+        (List.map (fun q -> q.raw) parsed)
+    with
+    | Error e -> Error (Container.error_to_string e)
+    | Ok after ->
+      t.entries <- Array.of_list parsed;
+      t.valid_end <- after;
+      t.truncated <- false;
+      (match t.head with
+      | Some (v, _) when v < p -> t.head <- None
+      | Some _ | None -> ());
+      Ok (before, after)

@@ -1,0 +1,126 @@
+(** Delta-chain version store: the paper's motivating warehouse (§1) made
+    concrete.  A document lineage is archived as a base snapshot plus a
+    chain of forward deltas, with periodic full-snapshot checkpoints so
+    materializing version [k] costs O(distance to the nearest checkpoint)
+    rather than O(k).
+
+    {b Record kinds.}  Version 0 is a {!Snapshot}.  Every later commit
+    stores the forward edit script {e and} its inverse (computed with
+    {!Treediff_edit.Script.invert} while the source tree is still in hand),
+    so materialization can walk the chain in either direction from the
+    nearest checkpoint.  A {!Checkpoint} additionally embeds the full
+    encoded tree; the delta chain stays unbroken across it, which keeps
+    {!diff_between} compositional over any range.
+
+    {b Identifier discipline.}  Scripts reference node identifiers, so the
+    chain lives in one id space: committed trees are relabelled from a
+    persisted generator floor ([next_id]), snapshots are stored in the
+    id-preserving binary codec, and replay reproduces each version with
+    exactly the ids its successor's script expects.
+
+    {b Integrity.}  Every commit re-verifies its delta with the
+    {!Treediff_check} static verifier before anything is written, and every
+    record carries the {!Treediff_tree.Iso.hash} of its version so
+    materialization can be verified end to end.  The container's checksummed
+    records make a crash mid-commit recoverable: reopening isolates the
+    damaged tail and every previously committed version stays readable.
+
+    Single-writer by design: one process appends at a time. *)
+
+type kind = Snapshot | Delta | Checkpoint
+
+val kind_name : kind -> string
+
+type entry = {
+  version : int;
+  kind : kind;
+  ops : int;  (** forward-script length; [0] for the base snapshot *)
+  bytes : int;  (** record payload size on disk *)
+  hash : int64;  (** {!Treediff_tree.Iso.hash} of this version's tree *)
+  next_id : int;  (** id-generator floor after this version *)
+}
+
+type t
+
+val init : ?interval:int -> ?max_replay_ops:int -> string -> (t, string) result
+(** [init path] creates a fresh archive (refusing an existing file) with the
+    given checkpoint policy: a checkpoint is taken every [interval] commits
+    (default 8, [0] disables) or as soon as the accumulated forward-replay
+    cost since the last checkpoint would exceed [max_replay_ops] operations
+    (default 512, [0] disables).  The policy is persisted in the header. *)
+
+val open_ : string -> (t, string) result
+(** Open an existing archive, validating magic and format version.  A
+    damaged tail (crash mid-commit) is isolated, reported via
+    {!truncated_tail}, and reclaimed by the next successful commit. *)
+
+val path : t -> string
+
+val interval : t -> int
+
+val max_replay_ops : t -> int
+
+val truncated_tail : t -> bool
+
+val versions : t -> int
+(** Number of stored versions. *)
+
+val base_version : t -> int
+(** Oldest materializable version: [0] unless {!gc} pruned history. *)
+
+val log : t -> entry list
+(** Oldest first. *)
+
+val entry : t -> int -> (entry, string) result
+
+val script_of : t -> int -> (Treediff_edit.Script.t, string) result
+(** The stored forward delta carrying version [v-1] to [v] (an error for the
+    base snapshot, which has no incoming delta). *)
+
+val commit :
+  ?config:Treediff.Config.t ->
+  t ->
+  Treediff_tree.Node.t ->
+  (entry, string) result
+(** [commit store doc] appends [doc] as the next version: relabel into the
+    store's id space, diff against the current head, statically verify the
+    delta (refusing to write one that fails the checker), compute its
+    inverse, and append a delta — or, when the checkpoint policy says so, a
+    checkpoint.  The caller's tree is never mutated.  On [Error], nothing
+    was appended. *)
+
+val materialize :
+  ?verify:bool ->
+  ?budget:Treediff_util.Budget.t ->
+  t ->
+  int ->
+  (Treediff_tree.Node.t, string) result
+(** Reconstruct version [v]: decode the nearest checkpoint (in either
+    direction) and replay forward deltas or stored inverses toward [v],
+    whichever direction is cheaper in total operations.  [verify] (default
+    [false]) additionally checks the result against the stored tree hash.
+    [budget] is charged one visit per replayed operation, so a deadline
+    bounds replay.  The returned tree is fresh — mutating it cannot corrupt
+    the store.
+    @raise Treediff_util.Budget.Exceeded when [budget] trips. *)
+
+val diff_between :
+  t -> from_:int -> to_:int -> (Treediff_edit.Script.t, string) result
+(** One composed script carrying version [from_] to version [to_]
+    ({!Treediff_edit.Script.compose} over the stored chain — forward deltas
+    when [from_ < to_], stored inverses when [from_ > to_]), applicable
+    directly to [materialize from_].  When concatenation interleaves the
+    steps' delete phases (forbidden by the §4 convention the lint
+    enforces), the script is re-emitted in canonical phase order by running
+    Algorithm EditScript under the identity matching on the chain's shared
+    id space — same endpoints, and minimal, so churn that cancels across
+    the range disappears.  Versions whose roots did not match at commit
+    time (dummy-rooted deltas) changed root identity, which no plain script
+    can express; these ranges are refused with an explanatory error. *)
+
+val gc : ?prune_before:int -> t -> (int * int, string) result
+(** Compact the archive in place (atomic rewrite: temp file + rename),
+    dropping any damaged tail.  With [prune_before:p], history older than
+    version [p] is discarded and [p] becomes the new base snapshot; version
+    numbers of surviving records are unchanged.  Returns
+    [(bytes_before, bytes_after)]. *)

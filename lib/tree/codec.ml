@@ -114,6 +114,102 @@ let escape v =
     v;
   Buffer.contents buf
 
+(* ----------------------------------------------------------------- binary *)
+
+module B = Treediff_util.Binio
+
+let binary_magic = "TDTB"
+
+let binary_version = 1
+
+type decode_error =
+  | Bad_magic
+  | Unsupported_version of int
+  | Truncated of int
+  | Corrupt of int * string
+
+let decode_error_to_string = function
+  | Bad_magic -> "not a binary tree (bad magic)"
+  | Unsupported_version v ->
+    Printf.sprintf "unsupported binary tree format version %d (this build reads %d)"
+      v binary_version
+  | Truncated off -> Printf.sprintf "truncated binary tree at offset %d" off
+  | Corrupt (off, reason) ->
+    Printf.sprintf "corrupt binary tree at offset %d: %s" off reason
+
+let encode t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf binary_magic;
+  Buffer.add_char buf (Char.chr binary_version);
+  B.add_varint buf (Node.size t);
+  (* Preorder with an explicit stack: safe on very deep trees. *)
+  let stack = ref [ [ t ] ] in
+  let continue_ = ref true in
+  while !continue_ do
+    match !stack with
+    | [] -> continue_ := false
+    | [] :: rest -> stack := rest
+    | (n :: siblings) :: rest ->
+      B.add_varint buf n.Node.id;
+      B.add_string buf n.Node.label;
+      B.add_string buf n.Node.value;
+      B.add_varint buf (Node.child_count n);
+      stack := Node.children n :: siblings :: rest
+  done;
+  Buffer.contents buf
+
+let decode s =
+  let r = B.reader s in
+  let corrupt reason = Error (Corrupt (r.B.pos, reason)) in
+  if not (B.expect r binary_magic) then Error Bad_magic
+  else
+    match B.read_byte r with
+    | exception B.Truncated off -> Error (Truncated off)
+    | v when v <> binary_version -> Error (Unsupported_version v)
+    | _ -> (
+      let seen = Hashtbl.create 64 in
+      let read_node () =
+        let id = B.read_varint r in
+        if Hashtbl.mem seen id then
+          raise (B.Malformed (r.B.pos, Printf.sprintf "duplicate node id %d" id));
+        Hashtbl.replace seen id ();
+        let label = B.read_string r in
+        let value = B.read_string r in
+        let arity = B.read_varint r in
+        (Node.make ~id ~label ~value (), arity)
+      in
+      match
+        let count = B.read_varint r in
+        if count = 0 then raise (B.Malformed (r.B.pos, "empty tree"));
+        let root, arity = read_node () in
+        let read = ref 1 in
+        (* Stack of (parent, children still to read) frames. *)
+        let stack = ref (if arity = 0 then [] else [ (root, ref arity) ]) in
+        while !stack <> [] do
+          match !stack with
+          | [] -> ()
+          | (parent, left) :: rest ->
+            if !left = 0 then stack := rest
+            else begin
+              decr left;
+              let n, arity = read_node () in
+              incr read;
+              Node.append_child parent n;
+              if arity > 0 then stack := (n, ref arity) :: !stack
+            end
+        done;
+        if !read <> count then
+          raise
+            (B.Malformed
+               (r.B.pos, Printf.sprintf "node count %d, found %d" count !read));
+        root
+      with
+      | root ->
+        if B.remaining r > 0 then corrupt "trailing bytes after tree"
+        else Ok root
+      | exception B.Truncated off -> Error (Truncated off)
+      | exception B.Malformed (off, reason) -> Error (Corrupt (off, reason)))
+
 let to_string ?(indent = true) t =
   let buf = Buffer.create 256 in
   let rec emit depth (n : Node.t) =

@@ -16,3 +16,35 @@ val parse : Tree.gen -> string -> Node.t
 val to_string : ?indent:bool -> Node.t -> string
 (** [to_string t] renders in the codec grammar; [~indent:true] (default)
     pretty-prints one node per line. *)
+
+(** {1 Binary encoding}
+
+    The version store persists snapshots whose edit-script chains reference
+    node identifiers, so unlike the textual form the binary form is
+    {e id-preserving}: [decode] returns a tree with exactly the encoded
+    identifiers and needs no generator.
+
+    Wire format (version 1): the magic bytes ["TDTB"], one format-version
+    byte, a varint node count, then the nodes in preorder, each as
+    [varint id, string label, string value, varint child-count] with
+    varint-length-prefixed strings.  Decoding a file whose version byte is
+    unknown returns the typed {!Unsupported_version} instead of misparsing
+    it, and truncated or trailing input is rejected rather than silently
+    yielding a partial tree. *)
+
+val binary_version : int
+(** The format version this build writes (currently [1]). *)
+
+type decode_error =
+  | Bad_magic  (** the input does not start with the binary magic *)
+  | Unsupported_version of int  (** header carries a version we cannot read *)
+  | Truncated of int  (** input ended at the given offset *)
+  | Corrupt of int * string  (** structurally invalid data at the offset *)
+
+val decode_error_to_string : decode_error -> string
+
+val encode : Node.t -> string
+
+val decode : string -> (Node.t, decode_error) result
+(** Never raises.  Rejects duplicate identifiers, child-count mismatches and
+    trailing bytes. *)

@@ -22,6 +22,34 @@ let equal (a : Node.t) (b : Node.t) =
   done;
   !ok
 
+(* Structural hash: fold an open/close-bracketed preorder token stream, so
+   two trees hash equally iff they emit the same stream — exactly the
+   [equal] relation (up to 64-bit collisions).  Labels and values are
+   length-prefixed into the fold to keep the stream self-delimiting. *)
+let hash (t : Node.t) =
+  let module B = Treediff_util.Binio in
+  let h = ref B.fnv_init in
+  let enter (n : Node.t) =
+    h := B.fnv_byte !h 0x01;
+    h := B.fnv_int !h (String.length n.label);
+    h := B.fnv_string !h n.label;
+    h := B.fnv_int !h (String.length n.value);
+    h := B.fnv_string !h n.value
+  in
+  let stack = ref [ [ t ] ] in
+  let continue_ = ref true in
+  while !continue_ do
+    match !stack with
+    | [] -> continue_ := false
+    | [] :: rest ->
+      h := B.fnv_byte !h 0x02;
+      stack := rest
+    | (n :: siblings) :: rest ->
+      enter n;
+      stack := Node.children n :: siblings :: rest
+  done;
+  !h
+
 let first_difference a b =
   let diff = ref None in
   let stack = ref [ ("", a, b) ] in

@@ -6,6 +6,12 @@
 
 val equal : Node.t -> Node.t -> bool
 
+val hash : Node.t -> int64
+(** Structural 64-bit hash of the isomorphism class: [equal a b] implies
+    [hash a = hash b], and unequal trees collide only with ordinary 64-bit
+    hash probability.  The version store records it per version so
+    materialization can be verified without storing the full tree. *)
+
 val first_difference : Node.t -> Node.t -> string option
 (** A human-readable description of the first structural difference found
     (preorder), or [None] if isomorphic.  For test diagnostics. *)

@@ -1,0 +1,92 @@
+let add_varint buf n =
+  if n < 0 then invalid_arg "Binio.add_varint: negative";
+  let rec loop n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      loop (n lsr 7)
+    end
+  in
+  loop n
+
+let add_i64 buf x =
+  for i = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical x (8 * i)) 0xFFL)))
+  done
+
+let add_string buf s =
+  add_varint buf (String.length s);
+  Buffer.add_string buf s
+
+exception Truncated of int
+
+exception Malformed of int * string
+
+type reader = { src : string; mutable pos : int }
+
+let reader ?(pos = 0) src = { src; pos }
+
+let remaining r = String.length r.src - r.pos
+
+let read_byte r =
+  if r.pos >= String.length r.src then raise (Truncated r.pos);
+  let b = Char.code r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  b
+
+let read_varint r =
+  let start = r.pos in
+  let rec loop acc shift =
+    if shift > 62 then raise (Malformed (start, "varint too wide"));
+    let b = read_byte r in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then
+      if b = 0 && shift > 0 then raise (Malformed (start, "non-minimal varint"))
+      else acc
+    else loop acc (shift + 7)
+  in
+  loop 0 0
+
+let read_i64 r =
+  let x = ref 0L in
+  for i = 0 to 7 do
+    x := Int64.logor !x (Int64.shift_left (Int64.of_int (read_byte r)) (8 * i))
+  done;
+  !x
+
+let read_string r =
+  let n = read_varint r in
+  if remaining r < n then raise (Truncated r.pos);
+  let s = String.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let expect r s =
+  let n = String.length s in
+  if remaining r >= n && String.sub r.src r.pos n = s then begin
+    r.pos <- r.pos + n;
+    true
+  end
+  else false
+
+let fnv_init = 0xcbf29ce484222325L
+
+let fnv_prime = 0x100000001b3L
+
+let fnv_byte h b =
+  Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) fnv_prime
+
+let fnv_string h s =
+  let h = ref h in
+  String.iter (fun c -> h := fnv_byte !h (Char.code c)) s;
+  !h
+
+let fnv_int h n =
+  let h = ref h in
+  for i = 0 to 7 do
+    h := fnv_byte !h ((n asr (8 * i)) land 0xff)
+  done;
+  !h
+
+let fnv1a64 s = fnv_string fnv_init s

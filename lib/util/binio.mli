@@ -1,0 +1,57 @@
+(** Binary-encoding primitives shared by the tree codec and the version-store
+    container: unsigned LEB128 varints, little-endian fixed-width integers,
+    and an incremental 64-bit FNV-1a hash.
+
+    Writers append to a [Buffer.t]; readers consume a string through a
+    mutable cursor and raise {!Truncated} or {!Malformed} with the byte
+    offset, which the callers convert into their own typed errors. *)
+
+val add_varint : Buffer.t -> int -> unit
+(** Unsigned LEB128. @raise Invalid_argument on a negative value. *)
+
+val add_i64 : Buffer.t -> int64 -> unit
+(** Little-endian, 8 bytes. *)
+
+val add_string : Buffer.t -> string -> unit
+(** Varint length prefix followed by the raw bytes. *)
+
+exception Truncated of int
+(** The input ran out at the given offset. *)
+
+exception Malformed of int * string
+(** Structurally invalid data at the given offset. *)
+
+type reader = { src : string; mutable pos : int }
+
+val reader : ?pos:int -> string -> reader
+
+val remaining : reader -> int
+
+val read_byte : reader -> int
+(** @raise Truncated at end of input. *)
+
+val read_varint : reader -> int
+(** @raise Truncated / Malformed (non-minimal or > 62-bit encodings). *)
+
+val read_i64 : reader -> int64
+
+val read_string : reader -> string
+(** Varint length prefix, then that many raw bytes. *)
+
+val expect : reader -> string -> bool
+(** [expect r s] consumes [s] if the input continues with it verbatim and
+    returns whether it did; the cursor does not move on a mismatch. *)
+
+(** {1 FNV-1a (64-bit)} *)
+
+val fnv_init : int64
+
+val fnv_byte : int64 -> int -> int64
+
+val fnv_string : int64 -> string -> int64
+
+val fnv_int : int64 -> int -> int64
+(** Folds the two's-complement 8-byte image of the int. *)
+
+val fnv1a64 : string -> int64
+(** One-shot convenience: [fnv_string fnv_init s]. *)

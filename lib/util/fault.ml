@@ -24,6 +24,9 @@ let registry =
     "edit_gen.delete";
     "delta.build";
     "zs.forest_dist";
+    "store.commit";
+    "store.append";
+    "store.replay";
   ]
 
 let parse_action = function

@@ -60,6 +60,8 @@ let render t =
 
 let print t = print_string (render t)
 
+let print_to oc t = output_string oc (render t)
+
 let cell_int n = string_of_int n
 
 let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x

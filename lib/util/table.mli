@@ -25,6 +25,10 @@ val render : t -> string
 val print : t -> unit
 (** [render] to stdout followed by a newline. *)
 
+val print_to : out_channel -> t -> unit
+(** [render] to the given channel — the bench harness routes human tables to
+    stderr when stdout must stay machine-parseable ([--json]). *)
+
 val cell_int : int -> string
 
 val cell_float : ?decimals:int -> float -> string
