@@ -1,4 +1,4 @@
-.PHONY: all build lint check test bench bench-quick doc clean examples fault-tests store-tests
+.PHONY: all build lint check test bench bench-quick doc clean examples fault-tests store-tests par-tests bench-parallel
 
 all: build
 
@@ -66,11 +66,24 @@ store-tests:
 	  TREEDIFF_FAULT=$$spec dune exec test/test_store.exe -- -c || exit 1; \
 	done
 
+# Parallelism suite: pool unit tests, the jobs:1 vs jobs:4 byte-identity
+# property (with per-pair budgets and armed faults), crash isolation, and
+# parallel store replay.
+par-tests:
+	dune build test/test_batch.exe
+	dune exec test/test_batch.exe -- -c
+
 bench:
 	dune exec bench/main.exe
 
 bench-store:
 	dune exec bench/main.exe -- store
+
+# Domain-parallel batch diffing over the fig13 corpora at jobs 1/2/4, with a
+# cross-jobs output-identity check; writes BENCH_parallel.json.  Speedup
+# tracks the core count of the host (a 1-core container stays around 1x).
+bench-parallel:
+	dune exec bench/main.exe -- batch --json BENCH_parallel.json
 
 bench-timing:
 	dune exec bench/main.exe -- --bechamel

@@ -249,6 +249,89 @@ let run_store ?json ~out () =
   Sys.remove ckpt_path;
   Sys.remove linear_path
 
+(* ------------------------------------------------- parallel batch diffing *)
+
+(* Wall-clock of [Batch.run] over the fig13 corpora at several domain
+   counts, with a byte-identity check across them.  Speedup tracks the
+   machine: on a single-core container every level measures the same work
+   plus domain overhead, so ~1.0x (or slightly below) is the honest
+   expectation there, while multi-core hosts see the fan-out. *)
+let run_batch_bench ?json ~out ~jobs () =
+  let cores = Domain.recommended_domain_count () in
+  Printf.fprintf out "== Parallel batch diffing (%d core%s available) ==\n"
+    cores (if cores = 1 then "" else "s");
+  let pairs =
+    Treediff_workload.Corpus.standard ()
+    |> List.concat_map Treediff_workload.Corpus.consecutive_pairs
+    |> Array.of_list
+  in
+  Printf.fprintf out "corpus: %d consecutive version pairs\n" (Array.length pairs);
+  let levels =
+    List.sort_uniq compare (match jobs with None -> [ 1; 2; 4 ] | Some j -> [ 1; j ])
+  in
+  let fingerprint outcomes =
+    Array.to_list outcomes
+    |> List.map (function
+         | Ok (r : Treediff.Diff.t) ->
+           (match r.Treediff.Diff.degraded with
+           | None -> "full|"
+           | Some rung -> Treediff.Diff.rung_name rung ^ "|")
+           ^ Treediff_edit.Script_io.to_string r.Treediff.Diff.script
+         | Error _ -> "error")
+    |> String.concat "\x00"
+  in
+  let reps = 3 in
+  let time_run jobs =
+    Treediff_util.Pool.with_pool ~jobs @@ fun pool ->
+    let best = ref infinity in
+    let fp = ref "" in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      let outcomes = Treediff.Batch.run ~pool pairs in
+      let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+      if ms < !best then best := ms;
+      fp := fingerprint outcomes
+    done;
+    (!best, !fp)
+  in
+  let runs = List.map (fun j -> (j, time_run j)) levels in
+  let base_ms, base_fp =
+    match runs with (_, r) :: _ -> r | [] -> assert false
+  in
+  let table =
+    Treediff_util.Table.create ~headers:[ "jobs"; "wall (best of 3)"; "speedup"; "identical" ]
+  in
+  List.iter
+    (fun (j, (ms, fp)) ->
+      Treediff_util.Table.add_row table
+        [
+          string_of_int j;
+          Printf.sprintf "%.1f ms" ms;
+          Printf.sprintf "%.2fx" (base_ms /. ms);
+          (if String.equal fp base_fp then "yes" else "NO");
+        ])
+    runs;
+  Treediff_util.Table.print_to out table;
+  List.iter
+    (fun (j, (_, fp)) ->
+      if not (String.equal fp base_fp) then
+        failwith
+          (Printf.sprintf "bench batch: jobs:%d output differs from jobs:1" j))
+    runs;
+  Printf.fprintf out "\n%!";
+  match json with
+  | None -> ()
+  | Some path ->
+    let rows =
+      ("batch/cores", Some (float_of_int cores))
+      :: ("batch/pairs", Some (float_of_int (Array.length pairs)))
+      :: List.map
+           (fun (j, (ms, _)) ->
+             (Printf.sprintf "batch/jobs-%d-wall" j, Some (ms *. 1e6)))
+           runs
+    in
+    write_json ~out path rows
+
 (* ------------------------------------------------ degradation frequency *)
 
 (* How often does a wall-clock budget push the pipeline off the primary
@@ -274,8 +357,9 @@ let run_budget ~out ms =
         let t2 = Treediff_workload.Treegen.perturb g gen ~ops:(paragraphs / 2) t1 in
         nodes := !nodes + Treediff_tree.Node.size t1;
         let budget = Treediff_util.Budget.make ~deadline_ms:ms () in
+        let exec = Treediff_util.Exec.create ~budget () in
         let slot =
-          match Treediff.Diff.diff_result ~budget t1 t2 with
+          match Treediff.Diff.diff_result ~exec t1 t2 with
           | Ok { Treediff.Diff.degraded = None; _ } -> 0
           | Ok { Treediff.Diff.degraded = Some Treediff.Diff.Windowed; _ } -> 1
           | Ok { Treediff.Diff.degraded = Some Treediff.Diff.Keyed; _ } -> 2
@@ -307,7 +391,11 @@ let usage () =
   print_endline
     "  store        delta-chain archive: commit latency, materialization vs\n\
     \               depth with/without checkpoints, bytes per version";
-  print_endline "               (runs alone; with --json, writes BENCH_store.json rows)"
+  print_endline "               (runs alone; with --json, writes BENCH_store.json rows)";
+  print_endline
+    "  batch        domain-parallel batch diffing over the fig13 corpora at\n\
+    \               jobs 1/2/4 (or --jobs N), with a cross-jobs identity check";
+  print_endline "               (runs alone; with --json, writes BENCH_parallel.json rows)"
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -335,6 +423,20 @@ let () =
     | [] -> (None, List.rev acc)
   in
   let budget_ms, args = take_budget [] args in
+  let rec take_jobs acc = function
+    | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 -> (Some n, List.rev_append acc rest)
+      | _ ->
+        prerr_endline "--jobs requires a positive integer";
+        exit 2)
+    | "--jobs" :: [] ->
+      prerr_endline "--jobs requires a positive integer";
+      exit 2
+    | a :: rest -> take_jobs (a :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let jobs, args = take_jobs [] args in
   let names = List.filter (fun a -> a <> "--bechamel") args in
   (* With --json, stdout is reserved for machine-readable consumers: every
      human table and banner this harness prints itself moves to stderr. *)
@@ -347,6 +449,7 @@ let () =
       if bech then run_bechamel ?json ~out ()
     | None ->
       if names = [ "store" ] then run_store ?json ~out ()
+      else if names = [ "batch" ] then run_batch_bench ?json ~out ~jobs ()
       else begin
         let selected =
           if names = [] then experiments

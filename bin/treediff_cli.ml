@@ -114,15 +114,20 @@ let make_budget budget_ms max_comparisons max_nodes =
       (Treediff_util.Budget.make ?deadline_ms:budget_ms ?max_comparisons
          ?max_nodes ())
 
+let make_exec budget_ms max_comparisons max_nodes =
+  Option.map
+    (fun budget -> Treediff_util.Exec.create ~budget ())
+    (make_budget budget_ms max_comparisons max_nodes)
+
 let run_diff old_file new_file format lenient algorithm threshold leaf_f window
     mode zs budget_ms max_comparisons max_nodes output =
   handle_errors @@ fun () ->
   let gen = Treediff_tree.Tree.gen () in
   let t1 = parse_tree ~lenient format gen (read_file old_file) in
   let t2 = parse_tree ~lenient format gen (read_file new_file) in
-  let budget = make_budget budget_ms max_comparisons max_nodes in
+  let exec = make_exec budget_ms max_comparisons max_nodes in
   if zs then begin
-    match Treediff_zs.Zhang_shasha.mapping ?budget t1 t2 with
+    match Treediff_zs.Zhang_shasha.mapping ?exec t1 t2 with
     | r ->
       write_out output
         (Printf.sprintf "zhang-shasha distance: %.2f (%d mapped pairs, %d relabels)\n"
@@ -148,7 +153,7 @@ let run_diff old_file new_file format lenient algorithm threshold leaf_f window
     let config =
       { (Treediff.Config.with_criteria criteria) with algorithm; scan_window = window }
     in
-    match Treediff.Diff.diff_result ~config ?budget t1 t2 with
+    match Treediff.Diff.diff_result ~config ?exec t1 t2 with
     | Ok result -> (
       (match Treediff.Diff.check result ~t1 ~t2 with
       | Ok () -> ()
@@ -285,6 +290,213 @@ let apply_cmd =
   Cmd.v (Cmd.info "apply" ~doc ~exits)
     Term.(const run_apply $ tree_file $ script_file $ format_arg $ lenient
           $ output)
+
+(* ----------------------------------------------------------------- batch *)
+
+(* Inputs for one batch item: a display name, a filesystem-safe output stem
+   and the two tree files. *)
+type batch_item = {
+  b_name : string;
+  b_stem : string;
+  b_old : string;
+  b_new : string;
+}
+
+let collect_dir dir =
+  let entries = Sys.readdir dir in
+  Array.sort compare entries;
+  Array.to_list entries
+  |> List.filter_map (fun entry ->
+         match String.index_opt entry '.' with
+         | None -> None
+         | Some _ ->
+           (* accept X.old.EXT and pair it with X.new.EXT *)
+           let rec find_marker from =
+             match String.index_from_opt entry from '.' with
+             | None -> None
+             | Some i ->
+               if
+                 i + 4 < String.length entry
+                 && String.sub entry i 5 = ".old."
+               then Some i
+               else find_marker (i + 1)
+           in
+           (match find_marker 0 with
+           | None -> None
+           | Some i ->
+             let stem = String.sub entry 0 i in
+             let ext = String.sub entry (i + 5) (String.length entry - i - 5) in
+             let new_name = Printf.sprintf "%s.new.%s" stem ext in
+             Some
+               {
+                 b_name = stem;
+                 b_stem = stem;
+                 b_old = Filename.concat dir entry;
+                 b_new = Filename.concat dir new_name;
+               }))
+
+let collect_manifest path =
+  let base = Filename.dirname path in
+  let resolve p =
+    if Filename.is_relative p then Filename.concat base p else p
+  in
+  let lines = String.split_on_char '\n' (read_file path) in
+  List.filteri (fun _ l -> String.trim l <> "") lines
+  |> List.filter (fun l -> (String.trim l).[0] <> '#')
+  |> List.mapi (fun i line ->
+         match
+           String.split_on_char ' ' (String.trim line)
+           |> List.concat_map (String.split_on_char '\t')
+           |> List.filter (fun s -> s <> "")
+         with
+         | [ old_f; new_f ] ->
+           {
+             b_name = Printf.sprintf "%s -> %s" old_f new_f;
+             b_stem = Printf.sprintf "pair-%03d" i;
+             b_old = resolve old_f;
+             b_new = resolve new_f;
+           }
+         | _ ->
+           failwith
+             (Printf.sprintf
+                "manifest line %d: expected two whitespace-separated paths"
+                (i + 1)))
+
+let run_batch input format lenient jobs mode budget_ms max_comparisons
+    max_nodes out_dir =
+  handle_errors @@ fun () ->
+  let items =
+    if Sys.is_directory input then collect_dir input else collect_manifest input
+  in
+  if items = [] then begin
+    Printf.eprintf "treediff: batch: no *.old.* pairs found in %s\n" input;
+    exit exit_parse_error
+  end;
+  (* Parse sequentially (I/O-bound); a malformed pair is reported and scored
+     like a `diff` parse error without sinking the rest of the batch. *)
+  let parsed =
+    List.map
+      (fun item ->
+        match
+          let gen = Treediff_tree.Tree.gen () in
+          let t1 = parse_tree ~lenient format gen (read_file item.b_old) in
+          let t2 = parse_tree ~lenient format gen (read_file item.b_new) in
+          (t1, t2)
+        with
+        | pair -> (item, Ok pair)
+        | exception
+            ( Treediff_tree.Codec.Parse_error m
+            | Treediff_doc.Xml_parser.Parse_error m ) ->
+          (item, Error m)
+        | exception Sys_error m -> (item, Error m))
+      items
+  in
+  let good = List.filter_map (fun (i, r) -> Result.to_option r |> Option.map (fun p -> (i, p))) parsed in
+  let pairs = Array.of_list (List.map snd good) in
+  (* One context per pair, budgets rearmed per pair: a straggler degrades
+     alone instead of starving its successors. *)
+  let execs _ =
+    match make_exec budget_ms max_comparisons max_nodes with
+    | Some e -> e
+    | None -> Treediff_util.Exec.create ()
+  in
+  let outcomes = Treediff.Batch.run ~execs ?jobs pairs in
+  let by_item = Hashtbl.create 16 in
+  List.iteri (fun i (item, _) -> Hashtbl.replace by_item item.b_stem outcomes.(i)) good;
+  (match out_dir with
+  | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
+  | _ -> ());
+  let severity = ref 0 in
+  let bump code = if code > !severity then severity := code in
+  List.iter
+    (fun (item, parse_result) ->
+      match parse_result with
+      | Error m ->
+        bump exit_parse_error;
+        Printf.printf "parse-error  %s: %s\n" item.b_name m
+      | Ok _ -> (
+        match Hashtbl.find by_item item.b_stem with
+        | Ok (result : Treediff.Diff.t) ->
+          let m = result.Treediff.Diff.measure in
+          (match result.Treediff.Diff.degraded with
+          | None ->
+            Printf.printf "ok           %s (%d ops, cost %.2f)\n" item.b_name
+              (Treediff_edit.Script.unweighted m)
+              m.Treediff_edit.Script.cost
+          | Some rung ->
+            bump exit_degraded;
+            Printf.printf "degraded     %s (%s rung, %d ops, verified)\n"
+              item.b_name
+              (Treediff.Diff.rung_name rung)
+              (Treediff_edit.Script.unweighted m));
+          Option.iter
+            (fun dir ->
+              render_result mode
+                (Some (Filename.concat dir (item.b_stem ^ "." ^ mode)))
+                result)
+            out_dir
+        | Error (f : Treediff.Diff.failure) ->
+          bump exit_internal;
+          let reason =
+            match f.Treediff.Diff.attempts with
+            | (_, r) :: _ -> r
+            | [] -> "unknown"
+          in
+          Printf.printf "failed       %s: %s\n" item.b_name reason;
+          Option.iter
+            (fun dir ->
+              write_out
+                (Some (Filename.concat dir (item.b_stem ^ ".flat")))
+                (Treediff_textdiff.Line_diff.render f.Treediff.Diff.flat))
+            out_dir))
+    parsed;
+  let n_ok =
+    List.length parsed
+    - List.length (List.filter (fun (_, r) -> Result.is_error r) parsed)
+  in
+  Printf.eprintf "treediff: batch: %d pairs (%d parsed), %d degraded, %d failed\n"
+    (List.length parsed) n_ok
+    (Treediff.Batch.degraded_count outcomes)
+    (Treediff.Batch.failed_count outcomes);
+  if !severity > 0 then exit !severity
+
+let batch_input =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT"
+         ~doc:"Either a directory of $(i,X).old.$(i,EXT) / $(i,X).new.$(i,EXT) \
+               pairs, or a manifest file with one $(i,OLD NEW) path pair per \
+               line (blank lines and $(b,#) comments ignored; relative paths \
+               resolve against the manifest's directory).")
+
+let batch_jobs =
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Diff $(docv) pairs in parallel (OCaml domains).  Default: the \
+               number of cores.  Results are identical at any $(docv): each \
+               pair runs in its own execution context.")
+
+let batch_out_dir =
+  Arg.(value & opt (some string) None & info [ "o"; "output-dir" ] ~docv:"DIR"
+         ~doc:"Write each pair's rendering (see $(b,-m)) to \
+               $(docv)/$(i,STEM).$(i,MODE); failed pairs leave a \
+               $(i,STEM).flat line diff.  Without it only per-pair status \
+               lines are printed.")
+
+let batch_cmd =
+  let doc = "diff many tree pairs in parallel" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P "Runs the full diff pipeline over every pair, fanning the pairs out \
+          over a domain pool.  Each pair gets its own budget and execution \
+          context, so one enormous pair degrades (or fails) alone while the \
+          rest complete, and the combined output is byte-identical to a \
+          sequential run.  The exit code is the worst per-pair outcome: \
+          $(b,0) all clean, $(b,2) some pair failed to parse, $(b,3) some \
+          pair degraded, $(b,4) some pair failed outright.";
+    ]
+  in
+  Cmd.v (Cmd.info "batch" ~doc ~man ~exits:diff_exits)
+    Term.(const run_batch $ batch_input $ format_arg $ lenient $ batch_jobs
+          $ mode $ budget_ms $ max_comparisons $ max_nodes $ batch_out_dir)
 
 (* ----------------------------------------------------------------- check *)
 
@@ -432,10 +644,13 @@ let run_store_show archive version output =
 let run_store_materialize archive version verify budget_ms format output =
   handle_errors @@ fun () ->
   let store = open_store archive in
-  let budget =
-    Option.map (fun ms -> Treediff_util.Budget.make ~deadline_ms:ms ()) budget_ms
+  let exec =
+    Option.map
+      (fun ms ->
+        Treediff_util.Exec.create ~budget:(Treediff_util.Budget.make ~deadline_ms:ms ()) ())
+      budget_ms
   in
-  match Store.materialize ~verify ?budget store version with
+  match Store.materialize ~verify ?exec store version with
   | Ok tree -> write_out output (print_tree format tree)
   | Error msg -> ok_or_die (Error msg)
   | exception Treediff_util.Budget.Exceeded e ->
@@ -567,6 +782,6 @@ let cmd =
     ]
   in
   Cmd.group (Cmd.info "treediff" ~version:"1.0.0" ~doc ~man)
-    [ diff_cmd; apply_cmd; check_cmd; store_cmd ]
+    [ diff_cmd; batch_cmd; apply_cmd; check_cmd; store_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -87,7 +87,7 @@ let config = Treediff.Config.with_compare compare_values
 
 let diff_against_base ~use_keys base other =
   if use_keys then
-    let seeded = Treediff_matching.Keyed.run ~key:key_of ~t1:base ~t2:other in
+    let seeded = Treediff_matching.Keyed.run ~key:key_of ~t1:base ~t2:other () in
     let ctx =
       Treediff_matching.Criteria.ctx
         (Treediff_matching.Criteria.make ~compare:compare_values ())

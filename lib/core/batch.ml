@@ -1,0 +1,50 @@
+module Node = Treediff_tree.Node
+module Stats = Treediff_util.Stats
+module Exec = Treediff_util.Exec
+module Pool = Treediff_util.Pool
+
+type outcome = (Diff.t, Diff.failure) result
+
+(* Each pair runs in its own execution context, created up front in
+   submission order — so context construction (env fault arming, budget
+   creation via [execs]) is deterministic no matter how the pool schedules
+   the items.  The diff itself only touches state reachable from its
+   context, which is what makes a parallel run byte-identical to the
+   sequential one. *)
+let contexts ?execs n =
+  let mk = match execs with Some f -> f | None -> fun _ -> Exec.create () in
+  Array.init n mk
+
+let with_pool ?jobs ?pool f =
+  match pool with
+  | Some p -> f p
+  | None ->
+    let jobs = match jobs with Some j -> j | None -> Pool.recommended_jobs () in
+    Pool.with_pool ~jobs f
+
+let run ?(config = Config.default) ?execs ?jobs ?pool pairs =
+  let n = Array.length pairs in
+  let execs = contexts ?execs n in
+  with_pool ?jobs ?pool @@ fun p ->
+  Pool.map p n (fun i ->
+      let t1, t2 = pairs.(i) in
+      Diff.diff_result ~config ~exec:execs.(i) t1 t2)
+
+let total_stats outcomes =
+  let acc = Stats.create () in
+  Array.iter
+    (function Ok (r : Diff.t) -> Stats.add acc r.Diff.stats | Error _ -> ())
+    outcomes;
+  acc
+
+let degraded_count outcomes =
+  Array.fold_left
+    (fun k -> function
+      | Ok { Diff.degraded = Some _; _ } -> k + 1
+      | Ok _ | Error _ -> k)
+    0 outcomes
+
+let failed_count outcomes =
+  Array.fold_left
+    (fun k -> function Error _ -> k + 1 | Ok _ -> k)
+    0 outcomes

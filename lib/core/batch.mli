@@ -1,0 +1,44 @@
+(** Domain-parallel batch diffing.
+
+    [run pairs] pushes every [(t1, t2)] pair through the resilient
+    {!Diff.diff_result} front door, fanning the pairs out over a
+    {!Treediff_util.Pool} of domains.  Results come back in submission
+    order and are {e identical} to a sequential run: each pair gets its own
+    {!Treediff_util.Exec} context (created up front, in order), the engine
+    writes no ambient state, and comparison-cap budgets and fault specs are
+    deterministic per pair.  A pair that fails — injected fault, exhausted
+    ladder — yields its own [Error]; the other pairs complete normally.
+
+    Wall-clock-deadline budgets remain scheduling-dependent (a loaded
+    machine trips them at different points); use comparison/node caps when
+    byte-identical degradation behaviour across [jobs] settings matters.
+
+    The input trees must not be mutated during the run, and — as everywhere
+    in this library — node ids must be unique within each pair.  Sharing
+    one tree {e value} between pairs is fine: diffing never mutates
+    inputs. *)
+
+type outcome = (Diff.t, Diff.failure) result
+
+val run :
+  ?config:Config.t ->
+  ?execs:(int -> Treediff_util.Exec.t) ->
+  ?jobs:int ->
+  ?pool:Treediff_util.Pool.t ->
+  (Treediff_tree.Node.t * Treediff_tree.Node.t) array ->
+  outcome array
+(** [run pairs] diffs every pair; [Array.length] and order of the result
+    mirror the input.  [execs i] supplies pair [i]'s context (default: a
+    fresh [Exec.create ()] — unlimited budget, faults armed from the
+    environment); contexts are created in index order before any diff
+    starts.  Uses [pool] if given (callers batching repeatedly should reuse
+    one), else a temporary pool of [jobs] domains (default:
+    {!Treediff_util.Pool.recommended_jobs}). *)
+
+val total_stats : outcome array -> Treediff_util.Stats.t
+(** Sum of the comparison counters over the successful outcomes. *)
+
+val degraded_count : outcome array -> int
+(** Successful outcomes that fell down the degradation ladder. *)
+
+val failed_count : outcome array -> int

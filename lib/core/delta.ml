@@ -49,8 +49,10 @@ let fold_tree ~expand ~close root =
   done;
   match !result with Some t -> t | None -> assert false
 
-let build ~t1 ~t2 ~total ~script =
-  Treediff_util.Fault.point "delta.build";
+let build ?exec ~t1 ~t2 ~total ~script () =
+  (match exec with
+  | Some ex -> Treediff_util.Exec.fault ex "delta.build"
+  | None -> Treediff_util.Fault.point (Treediff_util.Fault.create ()) "delta.build");
   let t1_index = Tree.index_by_id t1 in
   let in_t1 id = Hashtbl.mem t1_index id in
   (* Marker numbers in script order; a node moves at most once per script. *)

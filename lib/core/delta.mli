@@ -31,15 +31,19 @@ type t = {
 }
 
 val build :
+  ?exec:Treediff_util.Exec.t ->
   t1:Treediff_tree.Node.t ->
   t2:Treediff_tree.Node.t ->
   total:Treediff_matching.Matching.t ->
   script:Treediff_edit.Script.t ->
+  unit ->
   t
-(** [build ~t1 ~t2 ~total ~script] constructs the delta tree from the
+(** [build ~t1 ~t2 ~total ~script ()] constructs the delta tree from the
     original trees, the total matching and the script produced by
     {!Edit_gen.generate}.  Ghost positions are clamped to the current child
-    list when earlier edits shifted them (presentational, per DESIGN.md). *)
+    list when earlier edits shifted them (presentational, per DESIGN.md).
+    The ["delta.build"] fault point fires on [exec]'s registry (or, without
+    an exec, on a fresh environment-armed registry). *)
 
 val strip : t -> t option
 (** Remove all ghosts ([Deleted]/[Marker] subtrees).  The result matches the

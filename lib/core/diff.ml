@@ -8,6 +8,7 @@ module Criteria = Treediff_matching.Criteria
 module Index = Treediff_tree.Index
 module Budget = Treediff_util.Budget
 module Fault = Treediff_util.Fault
+module Exec = Treediff_util.Exec
 module Diag = Treediff_check.Diag
 module Line_diff = Treediff_textdiff.Line_diff
 
@@ -69,13 +70,15 @@ let verify ?(config = Config.default) ?audit_data result ~t1 ~t2 =
   Treediff_check.Check.verify ~criteria:config.Config.criteria ~matching:m
     ?dummy:result.dummy ?audit_data ~t1:eff1 ~t2:eff2 result.script
 
-let finish ?(config = Config.default) ?budget ?degraded ~matching ~stats
+let finish ?(config = Config.default) ~exec ?degraded ~matching
     ~postprocess_fixes t1 t2 =
-  let gen = Edit_gen.generate ?budget ~matching t1 t2 in
+  let stats = Exec.stats exec in
+  let gen = Edit_gen.generate ~exec ~matching t1 t2 in
   let base = dummy_rooted gen.Edit_gen.dummy t1 in
   let measure = Script.measure ~model:config.Config.cost base gen.Edit_gen.script in
   let delta =
-    Delta.build ~t1 ~t2 ~total:gen.Edit_gen.total ~script:gen.Edit_gen.script
+    Delta.build ~exec ~t1 ~t2 ~total:gen.Edit_gen.total
+      ~script:gen.Edit_gen.script ()
   in
   let result =
     {
@@ -94,13 +97,11 @@ let finish ?(config = Config.default) ?budget ?degraded ~matching ~stats
     Treediff_check.Check.assert_ok (verify ~config result ~t1 ~t2);
   result
 
-let diff ?(config = Config.default) ?budget t1 t2 =
-  let budget =
-    match budget with Some b -> b | None -> Budget.unlimited ()
-  in
+let diff ?(config = Config.default) ?exec t1 t2 =
+  let exec = match exec with Some e -> e | None -> Exec.create () in
+  let budget = Exec.budget exec in
   Budget.set_phase budget "setup";
-  let stats = Treediff_util.Stats.create () in
-  let ctx = Criteria.ctx ~stats ~budget config.Config.criteria ~t1 ~t2 in
+  let ctx = Criteria.ctx ~exec config.Config.criteria ~t1 ~t2 in
   let idx1 = Criteria.index1 ctx and idx2 = Criteria.index2 ctx in
   Budget.admit budget
     ~nodes:(Index.size idx1 + Index.size idx2)
@@ -115,11 +116,11 @@ let diff ?(config = Config.default) ?budget t1 t2 =
     if config.Config.postprocess then Treediff_matching.Postprocess.run ctx matching
     else 0
   in
-  finish ~config ~budget ~matching ~stats ~postprocess_fixes t1 t2
+  finish ~config ~exec ~matching ~postprocess_fixes t1 t2
 
-let diff_with_matching ?(config = Config.default) ?budget ~matching t1 t2 =
-  finish ~config ?budget ~matching ~stats:(Treediff_util.Stats.create ())
-    ~postprocess_fixes:0 t1 t2
+let diff_with_matching ?(config = Config.default) ?exec ~matching t1 t2 =
+  let exec = match exec with Some e -> e | None -> Exec.create () in
+  finish ~config ~exec ~matching ~postprocess_fixes:0 t1 t2
 
 let apply result t1 =
   let base = dummy_rooted result.dummy t1 in
@@ -195,7 +196,7 @@ let flat_script t1 t2 = Line_diff.diff (outline t1) (outline t2)
    error-severity finding, so a degraded result is never wrong-but-silent. *)
 let rung_config config = Config.with_check false config
 
-let run_windowed ~config ~budget t1 t2 =
+let run_windowed ~config ~exec t1 t2 =
   let config =
     {
       (rung_config config) with
@@ -204,7 +205,7 @@ let run_windowed ~config ~budget t1 t2 =
       postprocess = false;
     }
   in
-  diff ~config ~budget t1 t2
+  diff ~config ~exec t1 t2
 
 (* Keyed rung: leaves keyed by (label, value); duplicates are excluded by
    {!Treediff_matching.Keyed}.  A root paired with a non-root would be a hard
@@ -214,10 +215,9 @@ let leaf_key (n : Node.t) =
   if Node.is_leaf n && not (String.equal n.Node.value "") then Some n.Node.value
   else None
 
-let run_keyed ~config ~budget t1 t2 =
-  Fault.point "keyed.match";
-  Budget.set_phase budget "keyed_match";
-  let m = Treediff_matching.Keyed.run ~key:leaf_key ~t1 ~t2 in
+let run_keyed ~config ~exec t1 t2 =
+  Budget.set_phase (Exec.budget exec) "keyed_match";
+  let m = Treediff_matching.Keyed.run ~exec ~key:leaf_key ~t1 ~t2 () in
   let r1 = t1.Node.id and r2 = t2.Node.id in
   List.iter
     (fun (a, b) ->
@@ -228,13 +228,16 @@ let run_keyed ~config ~budget t1 t2 =
     && (not (Matching.matched_new m r2))
     && String.equal t1.Node.label t2.Node.label
   then Matching.add m r1 r2;
-  diff_with_matching ~config:(rung_config config) ~budget ~matching:m t1 t2
+  diff_with_matching ~config:(rung_config config) ~exec ~matching:m t1 t2
 
 (* Rebuild rung: empty matching — delete T1, insert T2.  Linear and
-   deliberately unbudgeted, so it terminates under any deadline. *)
-let run_rebuild ~config t1 t2 =
-  diff_with_matching ~config:(rung_config config) ~matching:(Matching.create ())
-    t1 t2
+   deliberately unbudgeted (fresh unlimited budget, but the same fault
+   registry so sticky faults keep firing), so it terminates under any
+   deadline. *)
+let run_rebuild ~config ~exec t1 t2 =
+  let exec = Exec.create ~faults:(Exec.faults exec) () in
+  diff_with_matching ~config:(rung_config config) ~exec
+    ~matching:(Matching.create ()) t1 t2
 
 let describe_exn = function
   | Budget.Exceeded e -> "budget exhausted: " ^ Budget.describe e
@@ -250,10 +253,8 @@ let cause_of_exn = function
 
 let ladder = [ Windowed; Keyed; Rebuild ]
 
-let diff_result ?(config = Config.default) ?budget t1 t2 =
-  let budget =
-    match budget with Some b -> b | None -> Budget.unlimited ()
-  in
+let diff_result ?(config = Config.default) ?exec t1 t2 =
+  let exec = match exec with Some e -> e | None -> Exec.create () in
   let attempts = ref [] in
   let note name msg = attempts := (name, msg) :: !attempts in
   let fail cause =
@@ -262,14 +263,16 @@ let diff_result ?(config = Config.default) ?budget t1 t2 =
   let rec descend cause = function
     | [] -> fail cause
     | rung :: rest -> (
-      (* Each rung runs under a rearmed budget so a slow primary attempt does
-         not starve the cheaper fallbacks. *)
-      let b = Budget.rearm budget in
+      (* Each rung runs in a respawned context — fresh stats, the budget
+         rearmed so a slow primary attempt does not starve the cheaper
+         fallbacks, but the same fault registry so fired faults stay
+         sticky across rungs. *)
+      let e = Exec.respawn exec in
       match
         match rung with
-        | Windowed -> run_windowed ~config ~budget:b t1 t2
-        | Keyed -> run_keyed ~config ~budget:b t1 t2
-        | Rebuild -> run_rebuild ~config t1 t2
+        | Windowed -> run_windowed ~config ~exec:e t1 t2
+        | Keyed -> run_keyed ~config ~exec:e t1 t2
+        | Rebuild -> run_rebuild ~config ~exec:e t1 t2
       with
       | r -> (
         let diags = verify ~config:(rung_config config) r ~t1 ~t2 in
@@ -283,7 +286,7 @@ let diff_result ?(config = Config.default) ?budget t1 t2 =
         note (rung_name rung) (describe_exn e);
         descend cause rest)
   in
-  match diff ~config ~budget t1 t2 with
+  match diff ~config ~exec t1 t2 with
   | r -> Ok r
   | exception Out_of_memory -> raise Out_of_memory
   | exception e ->

@@ -61,19 +61,23 @@ type failure = {
 
 val diff :
   ?config:Config.t ->
-  ?budget:Treediff_util.Budget.t ->
+  ?exec:Treediff_util.Exec.t ->
   Treediff_tree.Node.t ->
   Treediff_tree.Node.t ->
   t
 (** [diff t1 t2] detects changes from old tree [t1] to new tree [t2].
-    [budget] (default: unlimited) bounds the run; input caps are checked
-    up front, comparison and clock checks ride the hot loops.
+    All per-run mutable state — budget, stats, fault registry, memo
+    caches — lives in [exec] (default: a fresh [Exec.create ()], i.e.
+    unlimited budget, faults armed from [TREEDIFF_FAULT]).  The exec's
+    budget bounds the run: input caps are checked up front, comparison and
+    clock checks ride the hot loops.  Concurrent diffs must use distinct
+    execs; nothing ambient is written.
     @raise Treediff_util.Budget.Exceeded when a limit trips — use
     {!diff_result} to degrade instead of fail. *)
 
 val diff_with_matching :
   ?config:Config.t ->
-  ?budget:Treediff_util.Budget.t ->
+  ?exec:Treediff_util.Exec.t ->
   matching:Treediff_matching.Matching.t ->
   Treediff_tree.Node.t ->
   Treediff_tree.Node.t ->
@@ -83,14 +87,16 @@ val diff_with_matching :
 
 val diff_result :
   ?config:Config.t ->
-  ?budget:Treediff_util.Budget.t ->
+  ?exec:Treediff_util.Exec.t ->
   Treediff_tree.Node.t ->
   Treediff_tree.Node.t ->
   (t, failure) result
-(** Resilient front door: run {!diff} under [budget]; on {e any} exception
+(** Resilient front door: run {!diff} under [exec]; on {e any} exception
     (budget exhaustion, injected fault, internal diagnostic — everything
     except [Out_of_memory], which is re-raised) descend the degradation
-    ladder [Windowed → Keyed → Rebuild], each rung under a rearmed budget.
+    ladder [Windowed → Keyed → Rebuild], each rung in a respawned context
+    (fresh stats, rearmed budget, the {e same} fault registry so fired
+    faults stay sticky).
     Every rung's output is re-verified with the static checker; a rung whose
     result carries error-severity findings is discarded and the descent
     continues, so a degraded result is never wrong-but-silent.  [Ok r] with

@@ -35,6 +35,7 @@ type state = {
   m : Matching.t;                        (* M', grows to a total matching *)
   in_order1 : (int, unit) Hashtbl.t;     (* working-tree ids marked "in order" *)
   in_order2 : (int, unit) Hashtbl.t;     (* T2 ids marked "in order" *)
+  ex : Treediff_util.Exec.t;
   budget : Treediff_util.Budget.t;
   mutable next_id : int;
   mutable ops : Op.t list;               (* reversed *)
@@ -129,7 +130,7 @@ let mark_in_order st (w : Node.t) (x : Node.t) =
 (* AlignChildren (Fig. 9): LCS the mutually-parented matched children, then
    move the misaligned remainder into place. *)
 let align_children st (w : Node.t) (x : Node.t) =
-  Treediff_util.Fault.point "edit_gen.align";
+  Treediff_util.Exec.fault st.ex "edit_gen.align";
   Node.iter_children (fun (c : Node.t) -> Hashtbl.remove st.in_order1 c.id) w;
   Node.iter_children (fun (c : Node.t) -> Hashtbl.remove st.in_order2 c.id) x;
   let s1 = Vec.create () in
@@ -184,7 +185,7 @@ let align_children st (w : Node.t) (x : Node.t) =
     arr1
 
 let visit st (x : Node.t) =
-  Treediff_util.Fault.point "edit_gen.visit";
+  Treediff_util.Exec.fault st.ex "edit_gen.visit";
   Treediff_util.Budget.visit st.budget;
   (match x.Node.parent with
   | None ->
@@ -242,7 +243,7 @@ let visit st (x : Node.t) =
       "node %d is still unmatched after the insert phase" x.id
 
 let delete_phase st =
-  Treediff_util.Fault.point "edit_gen.delete";
+  Treediff_util.Exec.fault st.ex "edit_gen.delete";
   (* Post-order: children are deleted before their parents, so every delete
      targets a leaf (Theorem C.2, stage 2). *)
   let order = Node.postorder st.w_root in
@@ -274,10 +275,11 @@ let validate_input ~matching t1 t2 =
              "EditScript: matching references unknown T2 id %d" yid))
     (Matching.pairs matching)
 
-let generate ?budget ~matching t1 t2 =
-  let budget =
-    match budget with Some b -> b | None -> Treediff_util.Budget.unlimited ()
+let generate ?exec ~matching t1 t2 =
+  let ex =
+    match exec with Some e -> e | None -> Treediff_util.Exec.create ()
   in
+  let budget = Treediff_util.Exec.budget ex in
   Treediff_util.Budget.set_phase budget "edit_gen";
   validate_input ~matching t1 t2;
   let next_id = ref (max (Tree.max_id t1) (Tree.max_id t2) + 1) in
@@ -306,6 +308,7 @@ let generate ?budget ~matching t1 t2 =
       m;
       in_order1 = Hashtbl.create 64;
       in_order2 = Hashtbl.create 64;
+      ex;
       budget;
       next_id = !next_id;
       ops = [];

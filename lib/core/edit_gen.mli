@@ -35,15 +35,16 @@ type result = {
 }
 
 val generate :
-  ?budget:Treediff_util.Budget.t ->
+  ?exec:Treediff_util.Exec.t ->
   matching:Treediff_matching.Matching.t ->
   Treediff_tree.Node.t ->
   Treediff_tree.Node.t ->
   result
 (** [generate ~matching t1 t2].  [matching] must be one-to-one between node
-    ids of [t1] and [t2] (it is not mutated).  [budget] (default: unlimited)
-    is charged one visit per BFS step and per delete-phase node, so a
-    wall-clock deadline also bounds script generation.
+    ids of [t1] and [t2] (it is not mutated).  [exec] (default: a fresh
+    context — unlimited budget, faults armed from the environment) supplies
+    the budget, charged one visit per BFS step and per delete-phase node, so
+    a wall-clock deadline also bounds script generation.
     @raise Treediff_check.Diag.Failed if [matching] references unknown ids or
     matches nodes with different labels (updates cannot change labels).
     @raise Treediff_util.Budget.Exceeded on deadline expiry. *)

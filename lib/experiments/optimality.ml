@@ -106,7 +106,8 @@ let compute () =
           (fun i (t1, t2) ->
             let run algorithm =
               let stats = Stats.create () in
-              let ctx = Criteria.ctx ~stats Doc.criteria ~t1 ~t2 in
+              let exec = Treediff_util.Exec.create ~stats () in
+              let ctx = Criteria.ctx ~exec Doc.criteria ~t1 ~t2 in
               let m =
                 match algorithm with
                 | `Fast -> Treediff_matching.Fast_match.run ctx

@@ -2,6 +2,7 @@ module Node = Treediff_tree.Node
 module Index = Treediff_tree.Index
 module Stats = Treediff_util.Stats
 module Budget = Treediff_util.Budget
+module Exec = Treediff_util.Exec
 
 type t = {
   leaf_f : float;
@@ -39,6 +40,7 @@ let cmp_dense_max = 1 lsl 20 (* entries; 8 MB of floats at most *)
 
 type ctx = {
   crit : t;
+  ex : Exec.t;
   st : Stats.t;
   bgt : Budget.t;
   idx1 : Index.t;
@@ -48,8 +50,9 @@ type ctx = {
   cmp_store : cmp_store;
 }
 
-let ctx ?(stats = Stats.create ()) ?budget crit ~t1 ~t2 =
-  let bgt = match budget with Some b -> b | None -> Budget.unlimited () in
+let ctx ?exec crit ~t1 ~t2 =
+  let ex = match exec with Some e -> e | None -> Exec.create () in
+  let stats = Exec.stats ex and bgt = Exec.budget ex in
   let idx1, idx2 = Index.pair ~t1 ~t2 () in
   let common_cache =
     Array.init (Index.size idx1) (fun _ -> { stamp = -1; partners = [||] })
@@ -60,7 +63,7 @@ let ctx ?(stats = Stats.create ()) ?budget crit ~t1 ~t2 =
       Cmp_dense (Array.make (nvalues * nvalues) nan)
     else Cmp_sparse (Hashtbl.create 1024)
   in
-  { crit; st = stats; bgt; idx1; idx2; common_cache; nvalues; cmp_store }
+  { crit; ex; st = stats; bgt; idx1; idx2; common_cache; nvalues; cmp_store }
 
 (* Interned value id of a node, whichever side of the pair it is on; [-1]
    for nodes outside the indexed pair (the memo is skipped for those). *)
@@ -92,9 +95,13 @@ let compare_vids c va vb a b =
         Hashtbl.replace tbl k d;
         d)
 
+let exec c = c.ex
+
 let stats c = c.st
 
 let budget c = c.bgt
+
+let fault c name = Exec.fault c.ex name
 
 let criteria c = c.crit
 

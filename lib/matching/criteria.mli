@@ -36,16 +36,23 @@ val make : ?leaf_f:float -> ?internal_t:float ->
 
 type ctx
 
-val ctx : ?stats:Treediff_util.Stats.t -> ?budget:Treediff_util.Budget.t -> t ->
+val ctx : ?exec:Treediff_util.Exec.t -> t ->
   t1:Treediff_tree.Node.t -> t2:Treediff_tree.Node.t -> ctx
 (** Precompute over a tree pair.  The trees must not be mutated while the
-    context is in use.  Every leaf compare and partner check charges one
-    comparison against [budget] (default: unlimited), so any matcher driven
+    context is in use.  Stats, budget and fault registry come from [exec]
+    (default: a fresh [Exec.create ()], i.e. unlimited budget and faults
+    armed from the environment).  Every leaf compare and partner check
+    charges one comparison against the exec's budget, so any matcher driven
     through this context is deadline- and cap-bounded. *)
+
+val exec : ctx -> Treediff_util.Exec.t
 
 val stats : ctx -> Treediff_util.Stats.t
 
 val budget : ctx -> Treediff_util.Budget.t
+
+val fault : ctx -> string -> unit
+(** Fire the named fault-injection point of the context's registry. *)
 
 val criteria : ctx -> t
 

@@ -40,7 +40,7 @@ let unmatched_chain idx keep l ~leaf =
 
 let match_label ctx m ?window l ~leaf =
   let budget = Criteria.budget ctx in
-  Treediff_util.Fault.point "fast_match.chain";
+  Criteria.fault ctx "fast_match.chain";
   Treediff_util.Budget.poll budget;
   (* Only unmatched nodes take part; seeded pairs (keys) must stay intact. *)
   let s1 =
@@ -55,12 +55,12 @@ let match_label ctx m ?window l ~leaf =
   in
   let equal (x : Node.t) (y : Node.t) = Criteria.equal_nodes ctx m x y in
   (* 2a–2d: LCS pass over the chains. *)
-  Treediff_util.Fault.point "fast_match.lcs";
+  Criteria.fault ctx "fast_match.lcs";
   let lcs = Treediff_lcs.Myers.lcs ~equal s1 s2 in
   List.iter (fun (i, j) -> Matching.add m s1.(i).Node.id s2.(j).Node.id) lcs;
   (* 2e: pair the stragglers as in Algorithm Match — within the A(k) window
      around the node's own chain position when one is set. *)
-  Treediff_util.Fault.point "fast_match.scan";
+  Criteria.fault ctx "fast_match.scan";
   Array.iteri
     (fun i (x : Node.t) ->
       if not (Matching.matched_old m x.id) then begin

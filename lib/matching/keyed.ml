@@ -15,7 +15,10 @@ let collect key t =
     t;
   h
 
-let run ~key ~t1 ~t2 =
+let run ?exec ~key ~t1 ~t2 () =
+  (match exec with
+  | Some ex -> Treediff_util.Exec.fault ex "keyed.match"
+  | None -> ());
   let m = Matching.create () in
   let h1 = collect key t1 and h2 = collect key t2 in
   Hashtbl.iter

@@ -8,11 +8,14 @@
     {!Simple_match.run} or {!Fast_match.run}). *)
 
 val run :
+  ?exec:Treediff_util.Exec.t ->
   key:(Treediff_tree.Node.t -> string option) ->
   t1:Treediff_tree.Node.t ->
   t2:Treediff_tree.Node.t ->
+  unit ->
   Matching.t
-(** [run ~key ~t1 ~t2] pairs nodes with equal labels and equal keys.  Keys
-    duplicated within one tree, or present on only one side, are ignored
-    (left to the value-based matchers).  [key] returning [None] marks a node
-    keyless. *)
+(** [run ~key ~t1 ~t2 ()] pairs nodes with equal labels and equal keys.
+    Keys duplicated within one tree, or present on only one side, are
+    ignored (left to the value-based matchers).  [key] returning [None]
+    marks a node keyless.  When [exec] is given, fires its
+    ["keyed.match"] fault point on entry. *)

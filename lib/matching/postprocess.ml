@@ -2,7 +2,7 @@ module Node = Treediff_tree.Node
 module Index = Treediff_tree.Index
 
 let run ctx m =
-  Treediff_util.Fault.point "postprocess.run";
+  Criteria.fault ctx "postprocess.run";
   let budget = Criteria.budget ctx in
   Treediff_util.Budget.set_phase budget "postprocess";
   let idx1 = Criteria.index1 ctx and idx2 = Criteria.index2 ctx in

@@ -33,7 +33,7 @@ let run ?init ctx =
   let idx1 = Criteria.index1 ctx and idx2 = Criteria.index2 ctx in
   Array.iter
     (fun r ->
-      Treediff_util.Fault.point "simple_match.node";
+      Criteria.fault ctx "simple_match.node";
       Treediff_util.Budget.visit budget;
       let x = Index.node idx1 r in
       if not (Matching.matched_old m x.Node.id) then begin

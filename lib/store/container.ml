@@ -116,7 +116,12 @@ let scan path =
               max_replay_ops;
             }))
 
-let append ~path ~valid_end record =
+let append ?faults ~path ~valid_end record =
+  let fault name =
+    match faults with
+    | Some f -> Fault.point f name
+    | None -> Fault.point (Fault.create ()) name
+  in
   guard_io @@ fun () ->
   let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
   Fun.protect
@@ -134,7 +139,7 @@ let append ~path ~valid_end record =
       write bytes 0 half;
       (* Simulated crash: part of the record is on disk, the rest never
          lands.  Scan must isolate the damage on reopen. *)
-      Fault.point "store.append";
+      fault "store.append";
       write bytes half (String.length bytes - half);
       valid_end + String.length bytes)
 

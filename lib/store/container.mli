@@ -42,9 +42,16 @@ val create :
 val scan : string -> (opened, error) result
 (** Read and validate the whole container.  Never raises. *)
 
-val append : path:string -> valid_end:int -> record -> (int, error) result
+val append :
+  ?faults:Treediff_util.Fault.t ->
+  path:string ->
+  valid_end:int ->
+  record ->
+  (int, error) result
 (** Truncate the file to [valid_end] (dropping any damaged tail), append one
-    record and return the new end offset.  Carries the [store.append] fault
+    record and return the new end offset.  [faults] is the fault registry to
+    fire (default: a fresh environment-armed one).  Carries the
+    [store.append] fault
     point mid-write, after part of the payload has reached the file — the
     crash the scan layer must survive. *)
 

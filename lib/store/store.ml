@@ -1,6 +1,8 @@
 module B = Treediff_util.Binio
 module Budget = Treediff_util.Budget
 module Fault = Treediff_util.Fault
+module Exec = Treediff_util.Exec
+module Pool = Treediff_util.Pool
 module Node = Treediff_tree.Node
 module Tree = Treediff_tree.Tree
 module Codec = Treediff_tree.Codec
@@ -41,11 +43,14 @@ type t = {
   path : string;
   interval : int;
   max_replay_ops : int;
+  exec : Exec.t;  (* handle-level context: fault counters persist across ops *)
   mutable entries : parsed array;  (* in version order; index 0 = base *)
   mutable valid_end : int;
   mutable truncated : bool;
   mutable head : (int * Node.t) option;  (* cached latest version *)
 }
+
+let exec t = t.exec
 
 let path t = t.path
 
@@ -160,7 +165,8 @@ let parse_record (record : Container.record) =
 
 (* -------------------------------------------------------------- open/init *)
 
-let of_scan path (scan : Container.opened) =
+let of_scan ?exec path (scan : Container.opened) =
+  let exec = match exec with Some e -> e | None -> Exec.create () in
   let rec parse_all i acc = function
     | [] -> Ok (List.rev acc)
     | (record : Container.record) :: rest -> (
@@ -195,24 +201,25 @@ let of_scan path (scan : Container.opened) =
           path;
           interval = scan.Container.interval;
           max_replay_ops = scan.Container.max_replay_ops;
+          exec;
           entries = Array.of_list parsed;
           valid_end = scan.Container.valid_end;
           truncated = scan.Container.truncated_tail;
           head = None;
         }
 
-let open_ path =
+let open_ ?exec path =
   match Container.scan path with
   | Error e -> Error (Container.error_to_string e)
-  | Ok scan -> of_scan path scan
+  | Ok scan -> of_scan ?exec path scan
 
-let init ?(interval = 8) ?(max_replay_ops = 512) path =
+let init ?(interval = 8) ?(max_replay_ops = 512) ?exec path =
   if interval < 0 || max_replay_ops < 0 then
     Error "checkpoint policy values must be non-negative"
   else
     match Container.create ~path ~interval ~max_replay_ops with
     | Error e -> Error (Container.error_to_string e)
-    | Ok () -> open_ path
+    | Ok () -> open_ ?exec path
 
 (* ----------------------------------------------------------- materialize *)
 
@@ -229,12 +236,10 @@ let unwrap_dummy root =
   | _ -> Error "dummy root does not have exactly one child after replay"
 
 (* Replay one chain step in place on [cur] (which is consumed). *)
-let replay_step ?budget cur (p : parsed) ~backward =
+let replay_step ~exec cur (p : parsed) ~backward =
   let script = if backward then p.inv else p.fwd in
-  Fault.point "store.replay";
-  (match budget with
-  | None -> ()
-  | Some b -> Budget.visit_n b (List.length script));
+  Exec.fault exec "store.replay";
+  Budget.visit_n (Exec.budget exec) (List.length script);
   let base = match p.dummy with None -> cur | Some d1 -> with_dummy d1 cur in
   let index = Tree.index_by_id base in
   match List.iter (Script.apply_into ~root:base ~index) script with
@@ -281,7 +286,8 @@ let plan t i =
     done;
     if !bwd_cost < !fwd_cost then (start', true) else (start, false)
 
-let materialize ?(verify = false) ?budget t v =
+let materialize ?(verify = false) ?exec t v =
+  let exec = match exec with Some e -> e | None -> t.exec in
   match find t v with
   | Error _ as e -> e
   | Ok target -> (
@@ -293,7 +299,7 @@ let materialize ?(verify = false) ?budget t v =
       let rec walk cur j =
         if (not backward && j > i) || (backward && j <= i) then Ok cur
         else
-          match replay_step ?budget cur t.entries.(j) ~backward with
+          match replay_step ~exec cur t.entries.(j) ~backward with
           | Error _ as e -> e
           | Ok cur -> walk cur (if backward then j - 1 else j + 1)
       in
@@ -304,6 +310,23 @@ let materialize ?(verify = false) ?budget t v =
           (Printf.sprintf
              "version %d: materialized tree does not match the stored hash" v)
       else Ok tree)
+
+(* Parallel bulk materialization.  [materialize] only reads the handle (the
+   head cache is untouched), so distinct versions can replay in separate
+   domains as long as each task gets its own context.  Do not run commits or
+   gc concurrently with this. *)
+let materialize_all ?(verify = false) ?jobs ?pool ?execs t versions =
+  let n = Array.length versions in
+  let execs =
+    let mk = match execs with Some f -> f | None -> fun _ -> Exec.create () in
+    Array.init n mk
+  in
+  let item i = materialize ~verify ~exec:execs.(i) t versions.(i) in
+  match pool with
+  | Some p -> Pool.map p n item
+  | None ->
+    let jobs = match jobs with Some j -> j | None -> Pool.recommended_jobs () in
+    Pool.with_pool ~jobs (fun p -> Pool.map p n item)
 
 (* ----------------------------------------------------------------- commit *)
 
@@ -319,8 +342,11 @@ let head_tree t =
         tree)
       (materialize t latest)
 
-let append_parsed t (p : parsed) =
-  match Container.append ~path:t.path ~valid_end:t.valid_end p.raw with
+let append_parsed ~exec t (p : parsed) =
+  match
+    Container.append ~faults:(Exec.faults exec) ~path:t.path
+      ~valid_end:t.valid_end p.raw
+  with
   | Error e -> Error (Container.error_to_string e)
   | Ok valid_end ->
     t.valid_end <- valid_end;
@@ -343,9 +369,10 @@ let checkpoint_due t ~ops =
   (t.interval > 0 && commits + 1 >= t.interval)
   || (t.max_replay_ops > 0 && pending + ops > t.max_replay_ops)
 
-let commit ?(config = Treediff.Config.default) t doc =
+let commit ?(config = Treediff.Config.default) ?exec t doc =
+  let exec = match exec with Some e -> e | None -> t.exec in
   match
-    Fault.point "store.commit";
+    Exec.fault exec "store.commit";
     if Array.length t.entries = 0 then begin
       (* Base snapshot: the whole chain's id space starts here. *)
       let gen = Tree.gen () in
@@ -363,7 +390,7 @@ let commit ?(config = Treediff.Config.default) t doc =
           (fun meta ->
             t.head <- Some (0, tree);
             meta)
-          (append_parsed t p)
+          (append_parsed ~exec t p)
     end
     else
       Result.bind (head_tree t) @@ fun head ->
@@ -371,7 +398,7 @@ let commit ?(config = Treediff.Config.default) t doc =
       let prev_next_id = t.entries.(Array.length t.entries - 1).meta.next_id in
       let gen = Tree.gen ~start:prev_next_id () in
       let t_new = Tree.relabel_ids gen doc in
-      match Treediff.Diff.diff ~config head t_new with
+      match Treediff.Diff.diff ~config ~exec head t_new with
       | exception Diag.Failed ds ->
         Error
           ("delta rejected by the static checker: "
@@ -422,7 +449,7 @@ let commit ?(config = Treediff.Config.default) t doc =
               (fun meta ->
                 t.head <- Some (version, new_head);
                 meta)
-              (append_parsed t p)))
+              (append_parsed ~exec t p)))
   with
   | r -> r
   | exception Budget.Exceeded e -> Error (Budget.describe e)

@@ -25,7 +25,16 @@
     records make a crash mid-commit recoverable: reopening isolates the
     damaged tail and every previously committed version stays readable.
 
-    Single-writer by design: one process appends at a time. *)
+    Single-writer by design: one process appends at a time.
+
+    {b Execution contexts.}  A handle owns an {!Treediff_util.Exec} context
+    (override at {!init}/{!open_}): its budget and fault registry govern
+    every operation on the handle, and fault hit counters persist across
+    operations — [store.commit:raise@3] fires on the third commit of the
+    handle, exactly like the old process-global registry.  Per-operation
+    overrides ([commit ~exec] / [materialize ~exec]) leave the handle
+    context untouched; {!materialize_all} replays many versions in
+    parallel, one fresh context per task. *)
 
 type kind = Snapshot | Delta | Checkpoint
 
@@ -42,14 +51,19 @@ type entry = {
 
 type t
 
-val init : ?interval:int -> ?max_replay_ops:int -> string -> (t, string) result
+val init :
+  ?interval:int ->
+  ?max_replay_ops:int ->
+  ?exec:Treediff_util.Exec.t ->
+  string ->
+  (t, string) result
 (** [init path] creates a fresh archive (refusing an existing file) with the
     given checkpoint policy: a checkpoint is taken every [interval] commits
     (default 8, [0] disables) or as soon as the accumulated forward-replay
     cost since the last checkpoint would exceed [max_replay_ops] operations
     (default 512, [0] disables).  The policy is persisted in the header. *)
 
-val open_ : string -> (t, string) result
+val open_ : ?exec:Treediff_util.Exec.t -> string -> (t, string) result
 (** Open an existing archive, validating magic and format version.  A
     damaged tail (crash mid-commit) is isolated, reported via
     {!truncated_tail}, and reclaimed by the next successful commit. *)
@@ -61,6 +75,9 @@ val interval : t -> int
 val max_replay_ops : t -> int
 
 val truncated_tail : t -> bool
+
+val exec : t -> Treediff_util.Exec.t
+(** The handle's execution context. *)
 
 val versions : t -> int
 (** Number of stored versions. *)
@@ -79,6 +96,7 @@ val script_of : t -> int -> (Treediff_edit.Script.t, string) result
 
 val commit :
   ?config:Treediff.Config.t ->
+  ?exec:Treediff_util.Exec.t ->
   t ->
   Treediff_tree.Node.t ->
   (entry, string) result
@@ -91,7 +109,7 @@ val commit :
 
 val materialize :
   ?verify:bool ->
-  ?budget:Treediff_util.Budget.t ->
+  ?exec:Treediff_util.Exec.t ->
   t ->
   int ->
   (Treediff_tree.Node.t, string) result
@@ -99,10 +117,25 @@ val materialize :
     direction) and replay forward deltas or stored inverses toward [v],
     whichever direction is cheaper in total operations.  [verify] (default
     [false]) additionally checks the result against the stored tree hash.
-    [budget] is charged one visit per replayed operation, so a deadline
-    bounds replay.  The returned tree is fresh — mutating it cannot corrupt
-    the store.
-    @raise Treediff_util.Budget.Exceeded when [budget] trips. *)
+    The exec's budget (default: the handle's) is charged one visit per
+    replayed operation, so a deadline bounds replay.  The returned tree is
+    fresh — mutating it cannot corrupt the store.
+    @raise Treediff_util.Budget.Exceeded when the budget trips. *)
+
+val materialize_all :
+  ?verify:bool ->
+  ?jobs:int ->
+  ?pool:Treediff_util.Pool.t ->
+  ?execs:(int -> Treediff_util.Exec.t) ->
+  t ->
+  int array ->
+  (Treediff_tree.Node.t, string) result array
+(** Materialize many versions in parallel (one result per requested version,
+    in order).  Each task runs in its own context — [execs i] (default: a
+    fresh [Exec.create ()]) — so replay is domain-safe; the handle itself is
+    only read.  Do not run {!commit} or {!gc} concurrently.  Uses [pool] if
+    given, else a temporary pool of [jobs] domains (default:
+    {!Treediff_util.Pool.recommended_jobs}). *)
 
 val diff_between :
   t -> from_:int -> to_:int -> (Treediff_edit.Script.t, string) result

@@ -46,40 +46,55 @@ let words s =
    string.  Words are interned to ints on the way in, making the LCS probes
    integer comparisons.  The cache is flushed wholesale when oversized; both
    tables are generation-consistent because the flush happens only before
-   either string of a call is looked up. *)
-let token_cap = 1 lsl 16
+   either string of a call is looked up.
 
-let token_tbl : (string, int array) Hashtbl.t = Hashtbl.create 1024
+   Caches are values, not module state: each execution context (or domain)
+   owns its own, so concurrent diffs never share a table. *)
+module Cache = struct
+  type t = {
+    token_tbl : (string, int array) Hashtbl.t;
+    word_ids : (string, int) Hashtbl.t;
+    cap : int;
+  }
 
-let word_ids : (string, int) Hashtbl.t = Hashtbl.create 1024
+  let default_cap = 1 lsl 16
 
-let intern_word w =
-  match Hashtbl.find_opt word_ids w with
+  let create ?(cap = default_cap) () =
+    if cap < 1 then invalid_arg "Word_compare.Cache.create: cap < 1";
+    { token_tbl = Hashtbl.create 1024; word_ids = Hashtbl.create 1024; cap }
+
+  let clear c =
+    Hashtbl.reset c.token_tbl;
+    Hashtbl.reset c.word_ids
+
+  let size c = Hashtbl.length c.token_tbl
+  let cap c = c.cap
+end
+
+let intern_word c w =
+  match Hashtbl.find_opt c.Cache.word_ids w with
   | Some i -> i
   | None ->
-    let i = Hashtbl.length word_ids in
-    Hashtbl.replace word_ids w i;
+    let i = Hashtbl.length c.Cache.word_ids in
+    Hashtbl.replace c.Cache.word_ids w i;
     i
 
-let tokens s =
-  match Hashtbl.find_opt token_tbl s with
+let tokens c s =
+  match Hashtbl.find_opt c.Cache.token_tbl s with
   | Some a -> a
   | None ->
-    let a = Array.map intern_word (words s) in
-    Hashtbl.replace token_tbl s a;
+    let a = Array.map (intern_word c) (words s) in
+    Hashtbl.replace c.Cache.token_tbl s a;
     a
 
-let distance a b =
+let distance_with cache a b =
   (* Equal strings tokenize identically, so the LCS is total and the
      distance is exactly 0 — skip the tokenization, which dominates the
      cost on mostly-unchanged documents. *)
   if String.equal a b then 0.0
   else begin
-    if Hashtbl.length token_tbl > token_cap then begin
-      Hashtbl.reset token_tbl;
-      Hashtbl.reset word_ids
-    end;
-    let wa = tokens a and wb = tokens b in
+    if Cache.size cache > cache.Cache.cap then Cache.clear cache;
+    let wa = tokens cache a and wb = tokens cache b in
     let na = Array.length wa and nb = Array.length wb in
     if na = 0 && nb = 0 then 0.0
     else
@@ -87,4 +102,22 @@ let distance a b =
       float_of_int (na + nb - (2 * c)) /. float_of_int (max na nb)
   end
 
+(* The default [distance] keeps its historical closure-friendly signature by
+   memoizing through a domain-local cache: safe under domains (each gets its
+   own tables) and still bounded by [Cache.default_cap].  Pipelines that
+   want per-run isolation use [exec_cache]/[distance_in] instead. *)
+let domain_cache_key = Domain.DLS.new_key (fun () -> Cache.create ())
+
+let domain_cache () = Domain.DLS.get domain_cache_key
+
+let distance a b = distance_with (domain_cache ()) a b
+
 let similar ?(threshold = 0.5) a b = distance a b <= threshold
+
+let exec_key : Cache.t Treediff_util.Exec.Key.t =
+  Treediff_util.Exec.Key.create "word_compare.cache"
+
+let exec_cache exec =
+  Treediff_util.Exec.memo exec exec_key (fun () -> Cache.create ())
+
+let distance_in exec a b = distance_with (exec_cache exec) a b

@@ -10,7 +10,7 @@ let action_name = function
 type spec = { point : string; action : action; at : int }
 
 (* The canonical instrumentation points.  Tests sweep this list; keep it in
-   sync with the [point] call sites (grep for [Fault.point]). *)
+   sync with the [point] call sites (grep for [Exec.fault] / [Fault.point]). *)
 let registry =
   [
     "fast_match.chain";
@@ -57,21 +57,55 @@ let parse_spec s =
       | Ok action, Ok at -> Ok { point; action; at }
       | (Error _ as e), _ | _, (Error _ as e) -> e)
 
-(* Each armed spec carries its own hit counter. *)
-let active : (spec * int ref) list ref = ref []
+(* A comma-separated list of specs, e.g.
+   [fast_match.chain:raise,keyed.match:raise]. *)
+let parse s =
+  let rec loop acc = function
+    | [] -> Ok (List.rev acc)
+    | one :: rest -> (
+      match parse_spec one with
+      | Ok spec -> loop (spec :: acc) rest
+      | Error _ as e -> e)
+  in
+  loop [] (String.split_on_char ',' s)
 
-let set_all specs = active := List.map (fun s -> (s, ref 0)) specs
+let env_var = "TREEDIFF_FAULT"
 
-let set = function None -> set_all [] | Some s -> set_all [ s ]
+(* The environment is read once at program start into an immutable spec list;
+   each registry instance armed from it carries its own hit counters, so
+   concurrent pipelines under TREEDIFF_FAULT count hits independently and
+   sweeps stay exact under --jobs > 1. *)
+let env_specs =
+  match Sys.getenv_opt env_var with
+  | None | Some "" -> []
+  | Some s -> (
+    match parse s with
+    | Ok specs -> specs
+    | Error msg ->
+      Printf.eprintf "treediff: ignoring %s: %s\n%!" env_var msg;
+      [])
 
-let clear () = set_all []
+(* A registry is an execution-context-local value: never share one [t]
+   between domains.  Each armed spec carries its own hit counter. *)
+type t = { mutable active : (spec * int ref) list }
 
-let current () =
-  match !active with [] -> None | (s, _) :: _ -> Some s
+let create ?(specs = env_specs) () =
+  { active = List.map (fun s -> (s, ref 0)) specs }
 
-let armed () = List.map fst !active
+let none () = create ~specs:[] ()
 
-let hits () = List.fold_left (fun acc (_, c) -> acc + !c) 0 !active
+let arm t specs = t.active <- List.map (fun s -> (s, ref 0)) specs
+
+let arm_one t = function None -> arm t [] | Some s -> arm t [ s ]
+
+let disarm t = arm t []
+
+let current t =
+  match t.active with [] -> None | (s, _) :: _ -> Some s
+
+let armed t = List.map fst t.active
+
+let hits t = List.fold_left (fun acc (_, c) -> acc + !c) 0 t.active
 
 let matches spec name =
   String.equal spec.point name
@@ -97,35 +131,11 @@ let fire action name =
   | Deadline -> raise (Budget.Exceeded (synthetic_exhausted name Budget.Deadline))
   | Overflow -> raise (Budget.Exceeded (synthetic_exhausted name Budget.Comparisons))
 
-let point name =
+let point t name =
   List.iter
     (fun (s, c) ->
       if matches s name then begin
         incr c;
         if !c >= s.at then fire s.action name
       end)
-    !active
-
-(* A comma-separated list of specs, e.g.
-   [fast_match.chain:raise,keyed.match:raise]. *)
-let parse s =
-  let rec loop acc = function
-    | [] -> Ok (List.rev acc)
-    | one :: rest -> (
-      match parse_spec one with
-      | Ok spec -> loop (spec :: acc) rest
-      | Error _ as e -> e)
-  in
-  loop [] (String.split_on_char ',' s)
-
-let env_var = "TREEDIFF_FAULT"
-
-(* Environment-driven activation, read once at program start, so any binary
-   linking the pipeline honors TREEDIFF_FAULT without plumbing. *)
-let () =
-  match Sys.getenv_opt env_var with
-  | None | Some "" -> ()
-  | Some s -> (
-    match parse s with
-    | Ok specs -> set_all specs
-    | Error msg -> Printf.eprintf "treediff: ignoring %s: %s\n%!" env_var msg)
+    t.active

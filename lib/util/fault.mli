@@ -1,12 +1,13 @@
 (** Deterministic fault injection for resilience testing.
 
     The pipeline's hot-loop boundaries carry named instrumentation points
-    ([Fault.point "fast_match.lcs"]).  Normally a point is one load and one
-    branch.  When a fault is armed — programmatically via {!set} or through
-    the [TREEDIFF_FAULT] environment variable, read once at startup — the
-    matching point raises on its [at]-th hit: a plain {!Injected} exception,
-    a synthetic deadline expiry, or a synthetic counter overflow (the latter
-    two as {!Budget.Exceeded}, exactly what a real budget trip raises).
+    ([Fault.point faults "fast_match.lcs"]).  Normally a point is a short
+    list walk (usually over the empty list).  When a fault is armed — at
+    {!create} time from the [TREEDIFF_FAULT] environment variable, or
+    programmatically via {!arm} — the matching point raises on its [at]-th
+    hit: a plain {!Injected} exception, a synthetic deadline expiry, or a
+    synthetic counter overflow (the latter two as {!Budget.Exceeded},
+    exactly what a real budget trip raises).
 
     Spec syntax: [<point>:<action>[@N]] where action is [raise], [deadline]
     or [overflow] and [N] (default 1) is the hit index that fires; a point
@@ -14,7 +15,12 @@
     separated by commas arm together, each with its own hit counter.  Once
     fired, a fault keeps firing on every later hit — degraded reruns that
     pass through the same point fail too, which is what the ladder tests
-    want. *)
+    want.
+
+    Registries are per-execution-context values (see {!Exec}): each carries
+    its own hit counters, so concurrent pipelines under [TREEDIFF_FAULT]
+    count hits independently and env sweeps stay exact under [--jobs > 1].
+    A single [t] must never be shared between domains. *)
 
 exception Injected of string
 (** Argument is the point name that fired. *)
@@ -34,25 +40,40 @@ val parse_spec : string -> (spec, string) result
 val parse : string -> (spec list, string) result
 (** Parse a comma-separated list of specs (the [TREEDIFF_FAULT] syntax). *)
 
-val set : spec option -> unit
-(** Arm (or with [None] disarm) a single fault; resets the hit counters. *)
-
-val set_all : spec list -> unit
-(** Arm several faults at once, each with its own hit counter. *)
-
-val clear : unit -> unit
-
-val current : unit -> spec option
-(** The first armed spec, if any. *)
-
-val armed : unit -> spec list
-
-val hits : unit -> int
-(** Total times the armed specs have matched a point so far. *)
-
-val point : string -> unit
-(** Declare an instrumentation point.  No-op unless an armed spec matches.
-    @raise Injected or Budget.Exceeded per the armed action. *)
-
 val env_var : string
 (** ["TREEDIFF_FAULT"]. *)
+
+val env_specs : spec list
+(** The specs parsed from [TREEDIFF_FAULT] once at program start (empty when
+    unset or malformed; malformed values print one warning to stderr). *)
+
+type t
+(** A fault registry: an immutable set of armed specs plus per-spec mutable
+    hit counters.  Context-local; never share across domains. *)
+
+val create : ?specs:spec list -> unit -> t
+(** Fresh registry with zeroed counters.  [specs] defaults to {!env_specs},
+    so a plain [create ()] honours the environment sweep. *)
+
+val none : unit -> t
+(** Registry with nothing armed (ignores the environment). *)
+
+val arm : t -> spec list -> unit
+(** Re-arm with [specs], resetting all hit counters. *)
+
+val arm_one : t -> spec option -> unit
+(** Arm a single spec (or disarm with [None]); resets the hit counters. *)
+
+val disarm : t -> unit
+
+val current : t -> spec option
+(** The first armed spec, if any. *)
+
+val armed : t -> spec list
+
+val hits : t -> int
+(** Total times the armed specs have matched a point so far. *)
+
+val point : t -> string -> unit
+(** Declare an instrumentation point.  No-op unless an armed spec matches.
+    @raise Injected or Budget.Exceeded per the armed action. *)

@@ -1,0 +1,222 @@
+(* A small work-stealing pool over OCaml 5 domains.
+
+   Work items are integer indices [0, n).  The range is pre-split into one
+   contiguous block per participant; an owner pops from the bottom of its
+   own block, an idle participant steals the top half of a victim's block.
+   Each block has its own mutex and a participant never holds two block
+   locks at once, so there is no lock-ordering hazard.  Because items are
+   indices and results are written into caller-owned per-index cells, the
+   schedule (who ran what) cannot affect the result order. *)
+
+type block = { lock : Mutex.t; mutable lo : int; mutable hi : int }
+
+type work = {
+  blocks : block array;
+  run_item : int -> unit;
+  mutable failed : exn option; (* guarded by the pool mutex *)
+}
+
+type t = {
+  jobs : int;
+  m : Mutex.t;
+  start : Condition.t;
+  finished : Condition.t;
+  mutable work : work option;
+  mutable generation : int;
+  mutable active : int;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let jobs t = t.jobs
+
+let recommended_jobs () = max 1 (Domain.recommended_domain_count ())
+
+let take_own b =
+  Mutex.lock b.lock;
+  let r =
+    if b.lo < b.hi then begin
+      let i = b.lo in
+      b.lo <- b.lo + 1;
+      Some i
+    end
+    else None
+  in
+  Mutex.unlock b.lock;
+  r
+
+let steal_from victim =
+  Mutex.lock victim.lock;
+  let n = victim.hi - victim.lo in
+  let r =
+    if n <= 0 then None
+    else begin
+      let take = (n + 1) / 2 in
+      let mid = victim.hi - take in
+      victim.hi <- mid;
+      Some (mid, mid + take)
+    end
+  in
+  Mutex.unlock victim.lock;
+  r
+
+let refill b (lo, hi) =
+  Mutex.lock b.lock;
+  b.lo <- lo;
+  b.hi <- hi;
+  Mutex.unlock b.lock
+
+let drain_all blocks =
+  Array.iter
+    (fun b ->
+      Mutex.lock b.lock;
+      b.lo <- b.hi;
+      Mutex.unlock b.lock)
+    blocks
+
+(* Run items until the whole range is exhausted.  Never raises: a failing
+   item records the first exception and drains the remaining work so every
+   participant winds down promptly. *)
+let participate pool w p =
+  let jobs = Array.length w.blocks in
+  let mine = w.blocks.(p) in
+  let run i =
+    match w.run_item i with
+    | () -> ()
+    | exception e ->
+      Mutex.lock pool.m;
+      if w.failed = None then w.failed <- Some e;
+      Mutex.unlock pool.m;
+      drain_all w.blocks
+  in
+  let rec loop () =
+    match take_own mine with
+    | Some i ->
+      run i;
+      loop ()
+    | None ->
+      let rec scan k =
+        if k >= jobs - 1 then false
+        else
+          let v = w.blocks.((p + 1 + k) mod jobs) in
+          match steal_from v with
+          | Some range ->
+            refill mine range;
+            true
+          | None -> scan (k + 1)
+      in
+      if scan 0 then loop ()
+  in
+  loop ()
+
+let worker pool p =
+  Mutex.lock pool.m;
+  (* Generations start at 1, so a fresh worker always treats the first
+     broadcast it observes as new — even when [run] fired before this domain
+     was first scheduled (a guaranteed race on few-core machines). *)
+  let seen = ref 0 in
+  let rec loop () =
+    if pool.stop then ()
+    else if pool.generation <> !seen then begin
+      seen := pool.generation;
+      match pool.work with
+      | None -> loop ()
+      | Some w ->
+        Mutex.unlock pool.m;
+        participate pool w p;
+        Mutex.lock pool.m;
+        pool.active <- pool.active - 1;
+        if pool.active = 0 then Condition.signal pool.finished;
+        loop ()
+    end
+    else begin
+      Condition.wait pool.start pool.m;
+      loop ()
+    end
+  in
+  loop ();
+  Mutex.unlock pool.m
+
+let create ?jobs () =
+  let jobs =
+    match jobs with Some j when j >= 1 -> j | Some _ -> 1 | None -> recommended_jobs ()
+  in
+  let pool =
+    {
+      jobs;
+      m = Mutex.create ();
+      start = Condition.create ();
+      finished = Condition.create ();
+      work = None;
+      generation = 0;
+      active = 0;
+      stop = false;
+      domains = [];
+    }
+  in
+  if jobs > 1 then
+    pool.domains <-
+      List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker pool (i + 1)));
+  pool
+
+let shutdown pool =
+  if pool.domains <> [] then begin
+    Mutex.lock pool.m;
+    pool.stop <- true;
+    Condition.broadcast pool.start;
+    Mutex.unlock pool.m;
+    List.iter Domain.join pool.domains;
+    pool.domains <- []
+  end
+
+let run pool n f =
+  if n < 0 then invalid_arg "Pool.run: negative count";
+  if n = 0 then ()
+  else if pool.jobs = 1 || n = 1 then
+    for i = 0 to n - 1 do
+      f i
+    done
+  else begin
+    if pool.stop then invalid_arg "Pool.run: pool is shut down";
+    let chunk = n / pool.jobs and rem = n mod pool.jobs in
+    let blocks =
+      Array.init pool.jobs (fun p ->
+          let lo = (p * chunk) + min p rem in
+          let hi = lo + chunk + if p < rem then 1 else 0 in
+          { lock = Mutex.create (); lo; hi })
+    in
+    let w = { blocks; run_item = f; failed = None } in
+    Mutex.lock pool.m;
+    if pool.work <> None then begin
+      Mutex.unlock pool.m;
+      invalid_arg "Pool.run: not re-entrant"
+    end;
+    pool.work <- Some w;
+    pool.generation <- pool.generation + 1;
+    pool.active <- pool.jobs - 1;
+    Condition.broadcast pool.start;
+    Mutex.unlock pool.m;
+    participate pool w 0;
+    Mutex.lock pool.m;
+    while pool.active > 0 do
+      Condition.wait pool.finished pool.m
+    done;
+    pool.work <- None;
+    let failed = w.failed in
+    Mutex.unlock pool.m;
+    match failed with Some e -> raise e | None -> ()
+  end
+
+let map pool n f =
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    run pool n (fun i -> out.(i) <- Some (f i));
+    Array.map
+      (function Some v -> v | None -> invalid_arg "Pool.map: item not run")
+      out
+  end
+
+let with_pool ?jobs f =
+  let pool = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

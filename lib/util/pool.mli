@@ -1,0 +1,46 @@
+(** A work-stealing pool of OCaml 5 domains.
+
+    Work is a range of integer indices [0, n).  {!run} pre-splits the range
+    into one contiguous block per participant; an owner pops from the
+    bottom of its own block while idle participants steal the top half of a
+    victim's block, so uneven item costs still balance.  Results never
+    depend on the schedule: items are identified by index and the caller
+    writes each result into its own cell ({!map} does this for you), so a
+    parallel run is order-preserving and deterministic whenever the items
+    themselves are (see Batch).
+
+    The pool spawns [jobs - 1] worker domains at {!create} and parks them
+    between runs; the calling domain participates too.  With [jobs = 1]
+    everything runs inline — no domains, no locking on the work path.
+
+    Wall-clock speedup is bounded by the machine's core count
+    ({!recommended_jobs}); on a single-core host a multi-domain run is
+    correct but not faster. *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains.  [jobs] defaults to
+    {!recommended_jobs}; values [< 1] are clamped to 1. *)
+
+val jobs : t -> int
+
+val recommended_jobs : unit -> int
+(** [max 1 (Domain.recommended_domain_count ())]. *)
+
+val run : t -> int -> (int -> unit) -> unit
+(** [run pool n f] evaluates [f i] once for every [i] in [0, n), in
+    parallel across the pool's domains.  Blocks until all items finish.
+    If an item raises, the first exception is re-raised here after the
+    remaining queued items are cancelled (items already running complete).
+    Not re-entrant: do not call [run] from inside an item. *)
+
+val map : t -> int -> (int -> 'a) -> 'a array
+(** [map pool n f] is [[| f 0; …; f (n-1) |]] computed in parallel, results
+    in index order regardless of schedule. *)
+
+val shutdown : t -> unit
+(** Join the worker domains.  Idempotent; the pool cannot be used after. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] creates a pool, runs [f], and always shuts down. *)

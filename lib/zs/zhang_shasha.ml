@@ -51,8 +51,9 @@ let view t =
    table [td] for the subtree pairs this computation closes.  One visit per
    table cell is charged row-wise, so a deadline interrupts the O(n²) fill
    within one row. *)
-let forest_dist ~budget cost v1 v2 td i j =
-  Treediff_util.Fault.point "zs.forest_dist";
+let forest_dist ~exec cost v1 v2 td i j =
+  Treediff_util.Exec.fault exec "zs.forest_dist";
+  let budget = Treediff_util.Exec.budget exec in
   let li = v1.lml.(i) and lj = v2.lml.(j) in
   let mi = i - li + 2 and mj = j - lj + 2 in
   let fd = Array.make_matrix mi mj 0.0 in
@@ -83,11 +84,12 @@ let forest_dist ~budget cost v1 v2 td i j =
   done;
   fd
 
-let resolve_budget = function
-  | Some b -> b
-  | None -> Treediff_util.Budget.unlimited ()
+let resolve_exec = function
+  | Some e -> e
+  | None -> Treediff_util.Exec.create ()
 
-let treedist ~budget cost t1 t2 =
+let treedist ~exec cost t1 t2 =
+  let budget = Treediff_util.Exec.budget exec in
   Treediff_util.Budget.set_phase budget "zs";
   let v1 = view t1 and v2 = view t2 in
   let n1 = Array.length v1.nodes and n2 = Array.length v2.nodes in
@@ -99,21 +101,21 @@ let treedist ~budget cost t1 t2 =
       List.iter
         (fun j ->
           Treediff_util.Budget.poll budget;
-          ignore (forest_dist ~budget cost v1 v2 td i j))
+          ignore (forest_dist ~exec cost v1 v2 td i j))
         v2.keyroots)
     v1.keyroots;
   (v1, v2, td)
 
-let distance ?(cost = unit_cost) ?budget t1 t2 =
-  let budget = resolve_budget budget in
-  let v1, v2, td = treedist ~budget cost t1 t2 in
+let distance ?(cost = unit_cost) ?exec t1 t2 =
+  let exec = resolve_exec exec in
+  let v1, v2, td = treedist ~exec cost t1 t2 in
   td.(Array.length v1.nodes - 1).(Array.length v2.nodes - 1)
 
 type result = { dist : float; pairs : (Node.t * Node.t) list; relabels : int }
 
-let mapping ?(cost = unit_cost) ?budget t1 t2 =
-  let budget = resolve_budget budget in
-  let v1, v2, td = treedist ~budget cost t1 t2 in
+let mapping ?(cost = unit_cost) ?exec t1 t2 =
+  let exec = resolve_exec exec in
+  let v1, v2, td = treedist ~exec cost t1 t2 in
   let n1 = Array.length v1.nodes and n2 = Array.length v2.nodes in
   let pairs = ref [] in
   (* Backtrack through forest distances, spawning subtree subproblems at
@@ -123,7 +125,7 @@ let mapping ?(cost = unit_cost) ?budget t1 t2 =
   while not (Queue.is_empty todo) do
     let i, j = Queue.take todo in
     let li = v1.lml.(i) and lj = v2.lml.(j) in
-    let fd = forest_dist ~budget cost v1 v2 td i j in
+    let fd = forest_dist ~exec cost v1 v2 td i j in
     let x = ref (i - li + 1) and y = ref (j - lj + 1) in
     let eps = 1e-9 in
     while !x > 0 || !y > 0 do

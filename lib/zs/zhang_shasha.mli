@@ -23,14 +23,14 @@ val unit_cost : cost
 
 val distance :
   ?cost:cost ->
-  ?budget:Treediff_util.Budget.t ->
+  ?exec:Treediff_util.Exec.t ->
   Treediff_tree.Node.t ->
   Treediff_tree.Node.t ->
   float
-(** Minimum edit distance between the two trees.  [budget] (default:
-    unlimited) is admitted against the input caps up front and charged one
-    visit per dynamic-programming cell, so a deadline interrupts the
-    quadratic fill promptly.
+(** Minimum edit distance between the two trees.  [exec]'s budget (default:
+    a fresh unlimited context) is admitted against the input caps up front
+    and charged one visit per dynamic-programming cell, so a deadline
+    interrupts the quadratic fill promptly.
     @raise Treediff_util.Budget.Exceeded when a limit trips. *)
 
 type result = {
@@ -42,7 +42,7 @@ type result = {
 
 val mapping :
   ?cost:cost ->
-  ?budget:Treediff_util.Budget.t ->
+  ?exec:Treediff_util.Exec.t ->
   Treediff_tree.Node.t ->
   Treediff_tree.Node.t ->
   result

@@ -473,8 +473,8 @@ let postprocess_prop =
           ~vocab:(3 + P.int g 6) (* tiny vocab: many equal values, MC3 stress *)
       in
       let t2, _ = Treediff_workload.Mutate.mutate g gen t1 ~actions:(1 + P.int g 6) in
-      let stats = Treediff_util.Stats.create () in
-      let ctx = Criteria.ctx ~stats Criteria.default ~t1 ~t2 in
+      let exec = Treediff_util.Exec.create () in
+      let ctx = Criteria.ctx ~exec Criteria.default ~t1 ~t2 in
       let m = Treediff_matching.Fast_match.run ctx in
       ignore (Treediff_matching.Postprocess.run ctx m);
       let diags = Match_check.run ~criteria:Criteria.default ~t1 ~t2 m in

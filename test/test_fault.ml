@@ -13,6 +13,7 @@
 
 module Budget = Treediff_util.Budget
 module Fault = Treediff_util.Fault
+module Exec = Treediff_util.Exec
 module Prng = Treediff_util.Prng
 module Tree = Treediff_tree.Tree
 module Node = Treediff_tree.Node
@@ -148,55 +149,71 @@ let test_fault_parse () =
   bad "p:raise@0"
 
 let test_fault_fire () =
-  Fault.set (Some { Fault.point = "p.q"; action = Fault.Raise; at = 2 });
-  Fault.point "p.q";
-  Alcotest.(check int) "first hit counted, not fired" 1 (Fault.hits ());
+  let f =
+    Fault.create ~specs:[ { Fault.point = "p.q"; action = Fault.Raise; at = 2 } ] ()
+  in
+  Fault.point f "p.q";
+  Alcotest.(check int) "first hit counted, not fired" 1 (Fault.hits f);
   (try
-     Fault.point "p.q";
+     Fault.point f "p.q";
      Alcotest.fail "second hit should fire"
    with Fault.Injected p -> Alcotest.(check string) "point name" "p.q" p);
   (* sticky: keeps firing after the at-th hit *)
   (try
-     Fault.point "p.q";
+     Fault.point f "p.q";
      Alcotest.fail "sticky fault should keep firing"
    with Fault.Injected _ -> ());
-  Fault.clear ();
-  Fault.point "p.q" (* disarmed: no-op *)
+  Fault.disarm f;
+  Fault.point f "p.q" (* disarmed: no-op *);
+  (* counters are per registry, not shared: a second registry with the same
+     spec starts from zero *)
+  let g =
+    Fault.create ~specs:[ { Fault.point = "p.q"; action = Fault.Raise; at = 2 } ] ()
+  in
+  Fault.point g "p.q";
+  Alcotest.(check int) "independent counters" 1 (Fault.hits g)
 
 let test_fault_prefix_and_actions () =
-  Fault.set (Some { Fault.point = "edit_gen.*"; action = Fault.Deadline; at = 1 });
+  let f =
+    Fault.create
+      ~specs:[ { Fault.point = "edit_gen.*"; action = Fault.Deadline; at = 1 } ]
+      ()
+  in
   (try
-     Fault.point "edit_gen.align";
+     Fault.point f "edit_gen.align";
      Alcotest.fail "prefix should match"
    with Budget.Exceeded e ->
      Alcotest.(check bool) "deadline reason" true (e.Budget.reason = Budget.Deadline));
-  Fault.point "fast_match.lcs" (* prefix does not match: no-op *);
-  Fault.set (Some { Fault.point = "x"; action = Fault.Overflow; at = 1 });
+  Fault.point f "fast_match.lcs" (* prefix does not match: no-op *);
+  Fault.arm_one f (Some { Fault.point = "x"; action = Fault.Overflow; at = 1 });
   (try
-     Fault.point "x";
+     Fault.point f "x";
      Alcotest.fail "overflow should fire"
    with Budget.Exceeded e ->
      Alcotest.(check bool) "overflow is a comparisons trip" true
-       (e.Budget.reason = Budget.Comparisons));
-  Fault.clear ()
+       (e.Budget.reason = Budget.Comparisons))
 
 let test_fault_multi () =
-  Fault.set_all
-    [
-      { Fault.point = "a"; action = Fault.Raise; at = 1 };
-      { Fault.point = "b"; action = Fault.Raise; at = 1 };
-    ];
+  let f =
+    Fault.create
+      ~specs:
+        [
+          { Fault.point = "a"; action = Fault.Raise; at = 1 };
+          { Fault.point = "b"; action = Fault.Raise; at = 1 };
+        ]
+      ()
+  in
   (try
-     Fault.point "b";
+     Fault.point f "b";
      Alcotest.fail "second armed spec should fire"
    with Fault.Injected p -> Alcotest.(check string) "fired b" "b" p);
   (try
-     Fault.point "a";
+     Fault.point f "a";
      Alcotest.fail "first armed spec should fire"
    with Fault.Injected p -> Alcotest.(check string) "fired a" "a" p);
-  Fault.clear ();
+  Fault.disarm f;
   Alcotest.(check (list string)) "disarmed" []
-    (List.map (fun s -> s.Fault.point) (Fault.armed ()))
+    (List.map (fun s -> s.Fault.point) (Fault.armed f))
 
 (* ----------------------------------------------------------------- ladder *)
 
@@ -235,8 +252,8 @@ let test_ladder_comparison_cap_degrades () =
   let rng = Prng.create 23 in
   let gen = Tree.gen () in
   let t1, t2 = random_pair rng gen in
-  let budget = Budget.make ~max_comparisons:1 () in
-  match Diff.diff_result ~budget t1 t2 with
+  let exec = Exec.create ~budget:(Budget.make ~max_comparisons:1 ()) () in
+  match Diff.diff_result ~exec t1 t2 with
   | Error _ -> Alcotest.fail "ladder should absorb a comparison cap"
   | Ok r ->
     (match r.Diff.degraded with
@@ -247,13 +264,13 @@ let test_ladder_comparison_cap_degrades () =
 (* Force a specific rung with armed faults and run the soundness contract
    over many random pairs.  Sticky faults make every higher rung fail. *)
 let force_rung ~seed ~pairs ~specs ~expect () =
-  Fun.protect ~finally:Fault.clear @@ fun () ->
   let rng = Prng.create seed in
   for i = 1 to pairs do
     let gen = Tree.gen () in
     let t1, t2 = random_pair rng gen in
-    Fault.set_all specs (* reset hit counters for each pair *);
-    match Diff.diff_result t1 t2 with
+    (* a fresh per-pair context: hit counters start at zero each pair *)
+    let exec = Exec.create ~faults:(Fault.create ~specs ()) () in
+    match Diff.diff_result ~exec t1 t2 with
     | Error f ->
       Alcotest.fail
         (Printf.sprintf "pair %d: rung %s unreachable: %s" i
@@ -272,9 +289,7 @@ let force_rung ~seed ~pairs ~specs ~expect () =
         Alcotest.fail
           (Printf.sprintf "pair %d: fault did not degrade (expected %s)" i
              (Diff.rung_name expect)));
-      (* disarm before verifying: the verifier replays no faulted code, but
-         the armed spec must not fire inside apply/verify either *)
-      Fault.clear ();
+      (* apply/verify run outside the exec: the armed spec cannot fire *)
       assert_sound ~what:(Diff.rung_name expect) t1 t2 r
   done
 
@@ -303,7 +318,6 @@ let test_ladder_rebuild =
    verified Ok or a typed Error — never an uncaught exception, never a
    wrong-but-silent script. *)
 let test_fault_sweep () =
-  Fun.protect ~finally:Fault.clear @@ fun () ->
   let rng = Prng.create 77 in
   List.iter
     (fun point ->
@@ -311,14 +325,17 @@ let test_fault_sweep () =
         (fun action ->
           let gen = Tree.gen () in
           let t1, t2 = random_pair rng gen in
-          Fault.set (Some { Fault.point = point; action; at = 1 });
+          let exec =
+            Exec.create
+              ~faults:
+                (Fault.create ~specs:[ { Fault.point = point; action; at = 1 } ] ())
+              ()
+          in
           let what =
             Printf.sprintf "%s:%s" point (Fault.action_name action)
           in
-          (match Diff.diff_result t1 t2 with
-          | Ok r ->
-            Fault.clear ();
-            assert_sound ~what t1 t2 r
+          (match Diff.diff_result ~exec t1 t2 with
+          | Ok r -> assert_sound ~what t1 t2 r
           | Error f ->
             (* typed failure: the cause must reflect the armed action *)
             let ok =
@@ -333,8 +350,7 @@ let test_fault_sweep () =
             if f.Diff.attempts = [] then
               Alcotest.fail (what ^ ": no attempt log");
             if f.Diff.flat = [] then
-              Alcotest.fail (what ^ ": no flat fallback"));
-          Fault.clear ())
+              Alcotest.fail (what ^ ": no flat fallback")))
         [ Fault.Raise; Fault.Deadline; Fault.Overflow ])
     Fault.registry
 
@@ -344,14 +360,17 @@ let test_zs_budget_and_fault () =
   let rng = Prng.create 55 in
   let gen = Tree.gen () in
   let t1, t2 = random_pair rng gen in
-  let budget = Budget.make ~deadline_ms:(-1.0) () in
-  (match Treediff_zs.Zhang_shasha.distance ~budget t1 t2 with
+  let exec = Exec.create ~budget:(Budget.make ~deadline_ms:(-1.0) ()) () in
+  (match Treediff_zs.Zhang_shasha.distance ~exec t1 t2 with
   | _ -> Alcotest.fail "expired deadline should trip the baseline"
   | exception Budget.Exceeded e ->
     Alcotest.(check string) "phase" "zs" e.Budget.phase);
-  Fun.protect ~finally:Fault.clear @@ fun () ->
-  Fault.set (Some (raise_at "zs.forest_dist"));
-  match Treediff_zs.Zhang_shasha.distance t1 t2 with
+  let exec =
+    Exec.create
+      ~faults:(Fault.create ~specs:[ raise_at "zs.forest_dist" ] ())
+      ()
+  in
+  match Treediff_zs.Zhang_shasha.distance ~exec t1 t2 with
   | _ -> Alcotest.fail "armed fault should fire in forest_dist"
   | exception Fault.Injected _ -> ()
 

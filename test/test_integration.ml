@@ -70,7 +70,7 @@ let test_keyed_then_fastmatch_document () =
   let key (n : Node.t) =
     if String.equal n.Node.label "Section" then Some n.Node.value else None
   in
-  let seeded = Treediff_matching.Keyed.run ~key ~t1 ~t2 in
+  let seeded = Treediff_matching.Keyed.run ~key ~t1 ~t2 () in
   Alcotest.(check int) "both sections keyed" 2
     (Treediff_matching.Matching.cardinal seeded);
   let criteria =

@@ -289,7 +289,7 @@ let test_keyed () =
       Some (String.sub v 4 (stop - 4))
     else None
   in
-  let m = Keyed.run ~key ~t1 ~t2 in
+  let m = Keyed.run ~key ~t1 ~t2 () in
   (* a and b matched; "dup" has no key; c exists on one side only *)
   Alcotest.(check int) "two keyed pairs" 2 (Matching.cardinal m);
   let r_a1 = Node.child t1 0 and r_a2 = Node.child t2 1 in
@@ -301,7 +301,7 @@ let test_keyed_duplicate_keys_skipped () =
     doc_pair {|(D (R "key=a") (R "key=a"))|} {|(D (R "key=a"))|}
   in
   let key (n : Node.t) = if n.Node.label = "R" then Some n.Node.value else None in
-  let m = Keyed.run ~key ~t1 ~t2 in
+  let m = Keyed.run ~key ~t1 ~t2 () in
   Alcotest.(check int) "ambiguous key ignored" 0 (Matching.cardinal m)
 
 let test_keyed_seeds_fastmatch () =

@@ -518,12 +518,18 @@ let test_store_budget () =
   let store = ok_exn "init" (Store.init ~interval:0 ~max_replay_ops:0 path) in
   List.iter (fun doc -> ignore (ok_exn "commit" (Store.commit store doc))) docs;
   let expired = Budget.make ~deadline_ms:(-1.0) () in
-  (match Store.materialize ~budget:expired store 8 with
+  (match
+     Store.materialize
+       ~exec:(Treediff_util.Exec.create ~budget:expired ())
+       store 8
+   with
   | exception Budget.Exceeded e ->
     Alcotest.(check bool) "deadline reason" true (e.Budget.reason = Budget.Deadline)
   | Ok _ -> Alcotest.fail "expired budget materialized"
   | Error msg -> Alcotest.fail ("typed error instead of Exceeded: " ^ msg));
-  (match Store.materialize ~budget:(Budget.unlimited ()) store 8 with
+  (match
+     Store.materialize ~exec:(Treediff_util.Exec.create ()) store 8
+   with
   | Ok _ -> ()
   | Error msg -> Alcotest.fail msg
   | exception Budget.Exceeded _ -> Alcotest.fail "unlimited budget tripped");
@@ -531,11 +537,13 @@ let test_store_budget () =
 
 (* ----------------------------------------------------------- crash safety *)
 
-let with_fault spec f =
+(* Arm a fault on a store handle's own registry for the duration of [f]. *)
+let with_fault store spec f =
+  let faults = Treediff_util.Exec.faults (Store.exec store) in
   (match Fault.parse_spec spec with
-  | Ok s -> Fault.set (Some s)
+  | Ok s -> Fault.arm_one faults (Some s)
   | Error e -> Alcotest.fail e);
-  Fun.protect ~finally:(fun () -> Fault.clear ()) f
+  Fun.protect ~finally:(fun () -> Fault.disarm faults) f
 
 let test_crash_mid_append () =
   let path = tmp_path "crash" in
@@ -547,7 +555,8 @@ let test_crash_mid_append () =
   let size_before = (Unix.stat path).Unix.st_size in
   (* the 6th commit dies mid-write: half a record lands on disk *)
   (match
-     with_fault "store.append:raise" (fun () -> Store.commit store (List.nth docs 5))
+     with_fault store "store.append:raise" (fun () ->
+         Store.commit store (List.nth docs 5))
    with
   | exception Fault.Injected _ -> ()
   | Ok _ -> Alcotest.fail "commit survived the injected crash"
@@ -583,7 +592,8 @@ let test_crash_before_write () =
   ignore (ok_exn "commit" (Store.commit store (List.hd docs)));
   let size_before = (Unix.stat path).Unix.st_size in
   (match
-     with_fault "store.commit:raise" (fun () -> Store.commit store (List.nth docs 1))
+     with_fault store "store.commit:raise" (fun () ->
+         Store.commit store (List.nth docs 1))
    with
   | exception Fault.Injected _ -> ()
   | _ -> Alcotest.fail "commit survived the injected crash");

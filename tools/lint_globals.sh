@@ -1,0 +1,26 @@
+#!/bin/sh
+# Fail on new module-level mutable state in lib/.
+#
+# A top-level `let x = ref ...` or `let x = Hashtbl.create ...` is ambient
+# per-process state: it breaks re-entrancy and domain-parallel batch runs.
+# All such state now lives in Treediff_util.Exec contexts (or, for the rare
+# legitimate global, in `tools/lint_globals.allow` — one literal line
+# fragment per entry, `#` comments allowed).  Function-local mutable state
+# (indented) is fine and not matched.
+set -eu
+root=${1:-.}
+allow="$root/tools/lint_globals.allow"
+bad=$(grep -rn -E '^let [^=]*= *(ref |ref$|Hashtbl\.create)' "$root/lib" --include='*.ml' || true)
+if [ -f "$allow" ]; then
+  while IFS= read -r pat; do
+    case $pat in ''|'#'*) continue ;; esac
+    bad=$(printf '%s\n' "$bad" | grep -v -F "$pat" || true)
+  done < "$allow"
+fi
+bad=$(printf '%s\n' "$bad" | sed '/^$/d')
+if [ -n "$bad" ]; then
+  echo 'lint_globals: module-level mutable state in lib/ (thread a Treediff_util.Exec instead):' >&2
+  printf '%s\n' "$bad" >&2
+  exit 1
+fi
+echo 'lint_globals: ok'
