@@ -1,4 +1,4 @@
-.PHONY: all build lint check test bench bench-quick doc clean examples fault-tests store-tests par-tests bench-parallel
+.PHONY: all build lint check test bench bench-quick doc clean examples fault-tests store-tests par-tests bench-parallel sim-tests bench-sim bench-compare
 
 all: build
 
@@ -31,9 +31,12 @@ test-force:
 FAULT_SPECS = \
   fast_match.chain:raise \
   fast_match.lcs:deadline \
+  fast_match.sim:raise \
   simple_match.node:overflow \
   keyed.match:raise \
+  sim.greedy:raise \
   postprocess.run:raise \
+  postprocess.scan:deadline \
   edit_gen.visit:raise \
   edit_gen.align:deadline \
   edit_gen.delete:overflow \
@@ -73,6 +76,15 @@ par-tests:
 	dune build test/test_batch.exe
 	dune exec test/test_batch.exe -- -c
 
+# Similarity-layer suite: SimHash/LSH unit tests, the prefilter recall and
+# budget-charge properties, the approx ladder rung (via the fault suite's
+# ladder cases) and jobs-parity with the prefilter engaged.
+sim-tests:
+	dune build test/test_matching.exe test/test_batch.exe test/test_fault.exe
+	dune exec test/test_matching.exe -- test similarity -c
+	dune exec test/test_batch.exe -- test batch -c
+	dune exec test/test_fault.exe -- test ladder -c
+
 bench:
 	dune exec bench/main.exe
 
@@ -84,6 +96,21 @@ bench-store:
 # tracks the core count of the host (a 1-core container stays around 1x).
 bench-parallel:
 	dune exec bench/main.exe -- batch --json BENCH_parallel.json
+
+# Similarity layer: exact FastMatch vs the LSH prefilter vs the greedy
+# approx matcher on the adversarial long-chain corpus, plus precision /
+# recall over every corpus; writes BENCH_sim.json.
+bench-sim:
+	dune exec bench/main.exe -- sim --json BENCH_sim.json
+
+# Gate on a benchmark trajectory: compare two BENCH_*.json files by shared
+# benchmark name and fail on >10% ns/run regressions, e.g.
+#   make bench-compare OLD=BENCH_sim.json NEW=BENCH_sim_new.json
+OLD = BENCH_baseline.json
+NEW = BENCH_indexed.json
+MAX_REGRESS = 10
+bench-compare:
+	tools/bench_compare.sh $(OLD) $(NEW) --max-regress $(MAX_REGRESS)
 
 bench-timing:
 	dune exec bench/main.exe -- --bechamel

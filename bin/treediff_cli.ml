@@ -119,8 +119,9 @@ let make_exec budget_ms max_comparisons max_nodes =
     (fun budget -> Treediff_util.Exec.create ~budget ())
     (make_budget budget_ms max_comparisons max_nodes)
 
-let run_diff old_file new_file format lenient algorithm threshold leaf_f window
-    mode zs budget_ms max_comparisons max_nodes output =
+let run_diff old_file new_file format lenient algorithm approx threshold leaf_f
+    window sim_threshold sim_top_k mode zs budget_ms max_comparisons max_nodes
+    output =
   handle_errors @@ fun () ->
   let gen = Treediff_tree.Tree.gen () in
   let t1 = parse_tree ~lenient format gen (read_file old_file) in
@@ -141,17 +142,25 @@ let run_diff old_file new_file format lenient algorithm threshold leaf_f window
   end
   else begin
     let algorithm =
-      match algorithm with
-      | "fast" -> Treediff.Config.Fast_match
-      | "simple" -> Treediff.Config.Simple_match
-      | a -> failwith (Printf.sprintf "unknown algorithm %S (fast|simple)" a)
+      match (algorithm, approx) with
+      | _, true | "approx", false -> Treediff.Config.Approx_match
+      | "fast", false -> Treediff.Config.Fast_match
+      | "simple", false -> Treediff.Config.Simple_match
+      | a, false ->
+        failwith (Printf.sprintf "unknown algorithm %S (fast|simple|approx)" a)
     in
     let criteria =
       Treediff_matching.Criteria.make ~leaf_f ~internal_t:threshold
         ~compare:Treediff_textdiff.Word_compare.distance ()
     in
     let config =
-      { (Treediff.Config.with_criteria criteria) with algorithm; scan_window = window }
+      {
+        (Treediff.Config.with_criteria criteria) with
+        algorithm;
+        scan_window = window;
+        sim_threshold;
+        sim_top_k;
+      }
     in
     match Treediff.Diff.diff_result ~config ?exec t1 t2 with
     | Ok result -> (
@@ -189,7 +198,15 @@ let new_file =
 
 let algorithm =
   Arg.(value & opt string "fast" & info [ "a"; "algorithm" ] ~docv:"ALG"
-         ~doc:"Matching algorithm: $(b,fast) (FastMatch, §5.3) or $(b,simple) (Match, §5.2).")
+         ~doc:"Matching algorithm: $(b,fast) (FastMatch, §5.3), $(b,simple) \
+               (Match, §5.2) or $(b,approx) (greedy SimHash matching — \
+               fastest, least minimal scripts).")
+
+let approx =
+  Arg.(value & flag & info [ "approx" ]
+         ~doc:"Shorthand for $(b,-a approx): match greedily on subtree \
+               SimHash signatures with no similarity-criterion tests.  \
+               Output is still re-verified by the static checker.")
 
 let threshold =
   Arg.(value & opt float 0.6 & info [ "t"; "threshold" ] ~docv:"T"
@@ -203,6 +220,19 @@ let window =
   Arg.(value & opt (some int) None & info [ "k"; "window" ] ~docv:"K"
          ~doc:"A(k) scan window: bound FastMatch's straggler scan to $(docv) chain \
                positions (faster, may miss far moves).  Default: unbounded.")
+
+let sim_threshold =
+  Arg.(value & opt (some int) None & info [ "sim-threshold" ] ~docv:"N"
+         ~doc:"Enable FastMatch's similarity prefilter: label chains longer \
+               than $(docv) skip the near-quadratic LCS+scan for banded-LSH \
+               top-k candidate retrieval over subtree SimHash signatures; \
+               every candidate is still verified with the real matching \
+               criterion.  Default: off (exact FastMatch).")
+
+let sim_top_k =
+  Arg.(value & opt int 8 & info [ "sim-top-k" ] ~docv:"K"
+         ~doc:"Candidates retrieved per LSH probe when $(b,--sim-threshold) \
+               or the approx matcher is active.")
 
 let mode =
   Arg.(value & opt string "script" & info [ "m"; "mode" ] ~docv:"MODE"
@@ -257,8 +287,9 @@ let diff_cmd =
   let doc = "compute a minimum-cost edit script between two trees" in
   Cmd.v (Cmd.info "diff" ~doc ~exits:diff_exits)
     Term.(const run_diff $ old_file $ new_file $ format_arg $ lenient
-          $ algorithm $ threshold $ leaf_f $ window $ mode $ zs $ budget_ms
-          $ max_comparisons $ max_nodes $ output)
+          $ algorithm $ approx $ threshold $ leaf_f $ window $ sim_threshold
+          $ sim_top_k $ mode $ zs $ budget_ms $ max_comparisons $ max_nodes
+          $ output)
 
 (* ----------------------------------------------------------------- apply *)
 
@@ -362,9 +393,19 @@ let collect_manifest path =
                 "manifest line %d: expected two whitespace-separated paths"
                 (i + 1)))
 
-let run_batch input format lenient jobs mode budget_ms max_comparisons
-    max_nodes out_dir =
+let run_batch input format lenient jobs approx sim_threshold sim_top_k mode
+    budget_ms max_comparisons max_nodes out_dir =
   handle_errors @@ fun () ->
+  let config =
+    {
+      Treediff.Config.default with
+      algorithm =
+        (if approx then Treediff.Config.Approx_match
+         else Treediff.Config.default.Treediff.Config.algorithm);
+      sim_threshold;
+      sim_top_k;
+    }
+  in
   let items =
     if Sys.is_directory input then collect_dir input else collect_manifest input
   in
@@ -400,7 +441,7 @@ let run_batch input format lenient jobs mode budget_ms max_comparisons
     | Some e -> e
     | None -> Treediff_util.Exec.create ()
   in
-  let outcomes = Treediff.Batch.run ~execs ?jobs pairs in
+  let outcomes = Treediff.Batch.run ~config ~execs ?jobs pairs in
   let by_item = Hashtbl.create 16 in
   List.iteri (fun i (item, _) -> Hashtbl.replace by_item item.b_stem outcomes.(i)) good;
   (match out_dir with
@@ -496,7 +537,8 @@ let batch_cmd =
   in
   Cmd.v (Cmd.info "batch" ~doc ~man ~exits:diff_exits)
     Term.(const run_batch $ batch_input $ format_arg $ lenient $ batch_jobs
-          $ mode $ budget_ms $ max_comparisons $ max_nodes $ batch_out_dir)
+          $ approx $ sim_threshold $ sim_top_k $ mode $ budget_ms
+          $ max_comparisons $ max_nodes $ batch_out_dir)
 
 (* ----------------------------------------------------------------- check *)
 

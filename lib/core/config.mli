@@ -3,6 +3,11 @@
 type algorithm =
   | Fast_match    (** Algorithm FastMatch (§5.3) — the default *)
   | Simple_match  (** Algorithm Match (§5.2) — the O(n²) reference *)
+  | Approx_match
+      (** Greedy SimHash matching ({!Treediff_matching.Sim_index.greedy}):
+          no criterion tests at all — fastest, least minimal scripts.  The
+          degradation ladder's [approx] rung; selectable directly for huge
+          or hostile inputs. *)
 
 type t = {
   criteria : Treediff_matching.Criteria.t;
@@ -16,6 +21,14 @@ type t = {
           positions; [None] (default) is the paper's full scan.  Smaller k is
           faster but may report far-moved content as delete+insert.  Ignored
           by [Simple_match]. *)
+  sim_threshold : int option;
+      (** enable FastMatch's similarity prefilter: label chains longer than
+          this skip the near-quadratic LCS+scan for exact value-id pairing
+          plus banded-LSH top-k retrieval (see {!Fast_match.run}).  [None]
+          (default) leaves the prefilter off. *)
+  sim_top_k : int;
+      (** candidates retrieved per LSH probe when the prefilter or the
+          [approx] rung runs (default 8). *)
   check : bool;
       (** run the {!Treediff_check} static verifier on every {!Diff.diff}
           result and raise {!Treediff_check.Diag.Failed} on error-severity

@@ -12,11 +12,12 @@ module Exec = Treediff_util.Exec
 module Diag = Treediff_check.Diag
 module Line_diff = Treediff_textdiff.Line_diff
 
-type rung = Windowed | Keyed | Rebuild
+type rung = Windowed | Keyed | Approx | Rebuild
 
 let rung_name = function
   | Windowed -> "windowed"
   | Keyed -> "keyed"
+  | Approx -> "approx"
   | Rebuild -> "rebuild"
 
 type t = {
@@ -109,8 +110,17 @@ let diff ?(config = Config.default) ?exec t1 t2 =
   let matching =
     match config.Config.algorithm with
     | Config.Fast_match ->
-      Treediff_matching.Fast_match.run ?window:config.Config.scan_window ctx
+      let sim =
+        Option.map
+          (fun threshold -> (threshold, config.Config.sim_top_k))
+          config.Config.sim_threshold
+      in
+      Treediff_matching.Fast_match.run ?window:config.Config.scan_window ?sim
+        ctx
     | Config.Simple_match -> Treediff_matching.Simple_match.run ctx
+    | Config.Approx_match ->
+      Treediff_matching.Sim_index.greedy_indexed ~exec
+        ~top_k:config.Config.sim_top_k ~idx1 ~idx2 ()
   in
   let postprocess_fixes =
     if config.Config.postprocess then Treediff_matching.Postprocess.run ctx matching
@@ -230,6 +240,22 @@ let run_keyed ~config ~exec t1 t2 =
   then Matching.add m r1 r2;
   diff_with_matching ~config:(rung_config config) ~exec ~matching:m t1 t2
 
+(* Approx rung: greedy SimHash matching (no criterion tests, no string
+   compares) through the full diff pipeline, postprocess off.  Near-linear —
+   one bottom-up signature pass plus one LSH probe per node — so it survives
+   budgets that starve both FastMatch and the keyed pass, while still
+   producing a real matched diff rather than rebuild's delete-everything
+   script.  Like every rung its output is re-verified by the caller. *)
+let run_approx ~config ~exec t1 t2 =
+  let config =
+    {
+      (rung_config config) with
+      Config.algorithm = Config.Approx_match;
+      postprocess = false;
+    }
+  in
+  diff ~config ~exec t1 t2
+
 (* Rebuild rung: empty matching — delete T1, insert T2.  Linear and
    deliberately unbudgeted (fresh unlimited budget, but the same fault
    registry so sticky faults keep firing), so it terminates under any
@@ -251,7 +277,7 @@ let cause_of_exn = function
   | Diag.Failed ds -> Diagnostics ds
   | e -> Exception (Printexc.to_string e)
 
-let ladder = [ Windowed; Keyed; Rebuild ]
+let ladder = [ Windowed; Keyed; Approx; Rebuild ]
 
 let diff_result ?(config = Config.default) ?exec t1 t2 =
   let exec = match exec with Some e -> e | None -> Exec.create () in
@@ -272,6 +298,7 @@ let diff_result ?(config = Config.default) ?exec t1 t2 =
         match rung with
         | Windowed -> run_windowed ~config ~exec:e t1 t2
         | Keyed -> run_keyed ~config ~exec:e t1 t2
+        | Approx -> run_approx ~config ~exec:e t1 t2
         | Rebuild -> run_rebuild ~config ~exec:e t1 t2
       with
       | r -> (

@@ -10,18 +10,22 @@
     Input trees are never mutated.  Node identifiers must be unique across
     the two trees (build both from one {!Treediff_tree.Tree.gen}). *)
 
-type rung = Windowed | Keyed | Rebuild
+type rung = Windowed | Keyed | Approx | Rebuild
 (** Rungs of the degradation ladder, cheapest last:
     {ul
     {- [Windowed] — FastMatch with a tight straggler window ([A(k) = 4]) and
        no §8 post-processing pass;}
     {- [Keyed] — leaf-value keyed matching ({!Treediff_matching.Keyed}): no
        pairwise comparisons at all, so comparison caps cannot trip it;}
+    {- [Approx] — greedy SimHash matching
+       ({!Treediff_matching.Sim_index.greedy}): near-linear, no string
+       comparisons, tolerates near-duplicate leaves that defeat the keyed
+       rung's exact-value keys;}
     {- [Rebuild] — the empty matching: delete [T1], insert [T2].  Linear and
        unbudgeted, so it terminates under any deadline.}} *)
 
 val rung_name : rung -> string
-(** ["windowed"], ["keyed"] or ["rebuild"]. *)
+(** ["windowed"], ["keyed"], ["approx"] or ["rebuild"]. *)
 
 type t = {
   matching : Treediff_matching.Matching.t;
@@ -53,7 +57,8 @@ type failure = {
   cause : failure_cause;  (** why the {e primary} attempt failed *)
   attempts : (string * string) list;
       (** what was tried and how each attempt failed, in order:
-          [("primary" | "windowed" | "keyed" | "rebuild", reason)] *)
+          [("primary" | "windowed" | "keyed" | "approx" | "rebuild",
+          reason)] *)
   flat : Treediff_textdiff.Line_diff.hunk list;
       (** last-resort flat line diff of the two trees' outlines — always
           available, computed without budgets or tree matching *)
@@ -94,7 +99,8 @@ val diff_result :
 (** Resilient front door: run {!diff} under [exec]; on {e any} exception
     (budget exhaustion, injected fault, internal diagnostic — everything
     except [Out_of_memory], which is re-raised) descend the degradation
-    ladder [Windowed → Keyed → Rebuild], each rung in a respawned context
+    ladder [Windowed → Keyed → Approx → Rebuild], each rung in a respawned
+    context
     (fresh stats, rearmed budget, the {e same} fault registry so fired
     faults stay sticky).
     Every rung's output is re-verified with the static checker; a rung whose

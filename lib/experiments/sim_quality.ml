@@ -1,0 +1,140 @@
+module Table = Treediff_util.Table
+module P = Treediff_util.Prng
+module Tree = Treediff_tree.Tree
+module Node = Treediff_tree.Node
+module Matching = Treediff_matching.Matching
+module Criteria = Treediff_matching.Criteria
+module Fast_match = Treediff_matching.Fast_match
+module Sim_index = Treediff_matching.Sim_index
+module Corpus = Treediff_workload.Corpus
+module Treegen = Treediff_workload.Treegen
+module Word_compare = Treediff_textdiff.Word_compare
+
+type score = { exact : int; cand : int; agree : int }
+
+let empty = { exact = 0; cand = 0; agree = 0 }
+
+let merge a b =
+  { exact = a.exact + b.exact; cand = a.cand + b.cand; agree = a.agree + b.agree }
+
+let score ~exact m =
+  let pairs = Matching.pairs m in
+  let agree =
+    List.length (List.filter (fun (x, y) -> Matching.mem exact x y) pairs)
+  in
+  { exact = Matching.cardinal exact; cand = List.length pairs; agree }
+
+let precision s = if s.cand = 0 then 1.0 else float_of_int s.agree /. float_of_int s.cand
+let recall s = if s.exact = 0 then 1.0 else float_of_int s.agree /. float_of_int s.exact
+
+(* -------------------------------------------- adversarial long chain *)
+
+(* Twelve words per sentence: four shared across the whole chain (similar
+   enough that every cross-pair compare runs the full word-LCS DP, and no
+   length heuristic can bail early) and eight carrying the sentence index
+   (so cross-pairs score (24-8)/12 = 4/3 > f and stay unmatchable, while a
+   one-word rewording scores 2/12 and stays well inside f = 0.5).  All
+   values are distinct, so interned-value-id shortcuts never fire. *)
+let sentence ~reworded i =
+  let b = Buffer.create 96 in
+  Buffer.add_string b "alpha beta gamma delta";
+  for k = 0 to 7 do
+    if k = 7 && reworded then Buffer.add_string b (Printf.sprintf " r%dx" i)
+    else Buffer.add_string b (Printf.sprintf " q%dw%d" i k)
+  done;
+  Buffer.contents b
+
+let long_chain_pair ?(seed = 11) ?(reword = 0.3) ~n gen =
+  let g = P.create seed in
+  let t1 =
+    Tree.node gen "D"
+      (List.init n (fun i -> Tree.leaf gen "S" (sentence ~reworded:false i)))
+  in
+  let order = Array.init n Fun.id in
+  P.shuffle g order;
+  let t2 =
+    Tree.node gen "D"
+      (List.init n (fun k ->
+           let i = order.(k) in
+           Tree.leaf gen "S" (sentence ~reworded:(P.chance g reword) i)))
+  in
+  (t1, t2)
+
+(* ------------------------------------------------------------ scoring *)
+
+let criteria = lazy (Criteria.make ~compare:Word_compare.distance ())
+
+let score_pair ~sim (t1, t2) =
+  let criteria = Lazy.force criteria in
+  let exact = Fast_match.run (Criteria.ctx criteria ~t1 ~t2) in
+  let prefilter = Fast_match.run ~sim (Criteria.ctx criteria ~t1 ~t2) in
+  let approx = Sim_index.greedy ~t1 ~t2 () in
+  (score ~exact prefilter, score ~exact approx)
+
+type row = { corpus : string; pairs : int; prefilter : score; approx : score }
+type data = { rows : row list }
+
+let score_corpus ~sim name pairs =
+  let prefilter, approx =
+    List.fold_left
+      (fun (p, a) pair ->
+        let p', a' = score_pair ~sim pair in
+        (merge p p', merge a a'))
+      (empty, empty) pairs
+  in
+  { corpus = name; pairs = List.length pairs; prefilter; approx }
+
+let generated_pairs ~seed ~count =
+  let g = P.create seed in
+  List.init count (fun _ ->
+      let gen = Tree.gen () in
+      let t1 = Treegen.random_document g gen ~paragraphs:(8 + P.int g 16) ~vocab:40 in
+      let t2 = Treegen.perturb g gen ~ops:(2 + P.int g 8) t1 in
+      (t1, t2))
+
+let compute ?(sim = (0, 8)) () =
+  let seed_rows =
+    List.map
+      (fun set ->
+        score_corpus ~sim set.Corpus.name (Corpus.consecutive_pairs set))
+      (Corpus.standard ())
+  in
+  let generated =
+    score_corpus ~sim "generated" (generated_pairs ~seed:71 ~count:20)
+  in
+  let long_chain =
+    let gen = Tree.gen () in
+    score_corpus ~sim "long-chain-400" [ long_chain_pair ~n:400 gen ]
+  in
+  { rows = seed_rows @ [ generated; long_chain ] }
+
+let print data =
+  print_endline "== Similarity layer: matching quality vs exact FastMatch ==";
+  let t =
+    Table.create
+      ~headers:
+        [
+          "corpus"; "tree pairs"; "exact pairs"; "prefilter P"; "prefilter R";
+          "approx P"; "approx R";
+        ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          r.corpus;
+          string_of_int r.pairs;
+          string_of_int r.prefilter.exact;
+          Printf.sprintf "%.3f" (precision r.prefilter);
+          Printf.sprintf "%.3f" (recall r.prefilter);
+          Printf.sprintf "%.3f" (precision r.approx);
+          Printf.sprintf "%.3f" (recall r.approx);
+        ])
+    data.rows;
+  Table.print t;
+  print_newline ()
+
+let run () =
+  let data = compute () in
+  print data;
+  data

@@ -1,0 +1,65 @@
+(** Matching-quality harness for the similarity layer: precision/recall of
+    the prefiltered FastMatch and of the greedy [approx] matcher against
+    exact FastMatch matchings, over the seed corpora, generated documents
+    and the adversarial long-chain corpus.
+
+    Recall is the fraction of exact-FastMatch pairs the candidate matcher
+    reproduces; precision the fraction of its pairs that exact FastMatch
+    also chose.  Both matchers under test are deterministic, so every
+    number here is reproducible run to run. *)
+
+type score = {
+  exact : int;  (** pairs in the exact FastMatch matching *)
+  cand : int;   (** pairs in the candidate matching *)
+  agree : int;  (** pairs present in both *)
+}
+
+val empty : score
+
+val merge : score -> score -> score
+
+val score :
+  exact:Treediff_matching.Matching.t -> Treediff_matching.Matching.t -> score
+(** [score ~exact m] counts [m]'s agreement with the reference matching. *)
+
+val precision : score -> float
+(** [agree / cand]; 1.0 on an empty candidate matching. *)
+
+val recall : score -> float
+(** [agree / exact]; 1.0 on an empty reference matching. *)
+
+val long_chain_pair :
+  ?seed:int ->
+  ?reword:float ->
+  n:int ->
+  Treediff_tree.Tree.gen ->
+  (Treediff_tree.Node.t * Treediff_tree.Node.t)
+(** The adversarial corpus for the similarity layer: a flat document whose
+    [n] sentences share a third of their words (mutually similar — every
+    cross-pair costs a full word-LCS compare — yet below the Criterion 1
+    bar), each with distinct distinguishing words (so value-id shortcuts
+    never fire).  The new version shuffles the chain and rewords a
+    [reword] fraction (default 0.3) of sentences by one word.  Exact
+    FastMatch goes near-quadratic here — the chain LCS degenerates and the
+    straggler scan probes ~half the chain per node — while the prefilter
+    pays one LSH probe per node. *)
+
+type row = {
+  corpus : string;
+  pairs : int;                  (** tree pairs scored *)
+  prefilter : score;            (** FastMatch with [sim] always on *)
+  approx : score;               (** {!Treediff_matching.Sim_index.greedy} *)
+}
+
+type data = { rows : row list }
+
+val compute : ?sim:int * int -> unit -> data
+(** Score both matchers against exact FastMatch over every consecutive pair
+    of the three seed corpora, random generated documents, and one
+    long-chain pair.  [sim] (default [(0, 8)], i.e. prefilter always on)
+    is passed to {!Treediff_matching.Fast_match.run}. *)
+
+val print : data -> unit
+
+val run : unit -> data
+(** [compute] + [print]. *)

@@ -1,0 +1,154 @@
+module Index = Treediff_tree.Index
+module Node = Treediff_tree.Node
+
+(* 64-bit feature hashing: FNV-1a over the bytes, then a splitmix64-style
+   finalizer so that near-identical inputs still land on uncorrelated
+   bit patterns (FNV alone keeps low bits too regular for SimHash). *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let hash_sub ~seed s lo len =
+  let h = ref (Int64.logxor fnv_offset (Int64.of_int seed)) in
+  for i = lo to lo + len - 1 do
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code s.[i]))) fnv_prime
+  done;
+  mix64 !h
+
+let hash_string ~seed s = hash_sub ~seed s 0 (String.length s)
+
+(* Distinct seeds keep the three feature families (labels, word tokens,
+   character q-grams) from colliding even on equal byte content. *)
+let label_seed = 0x1a
+let token_seed = 0x2b
+let gram_seed = 0x3c
+let child_seed = 0x4d
+
+let q = 3
+
+(* Weighted feature multiset of one leaf value: one token feature per
+   whitespace-separated word (weight 2 — word identity should dominate) and
+   one q-gram feature per character trigram (weight 1 — tolerance to small
+   rewordings).  Values shorter than [q] contribute their whole text as a
+   single gram so no value is featureless. *)
+let value_features v =
+  let feats = ref [] in
+  let n = String.length v in
+  let word lo len = if len > 0 then feats := (hash_sub ~seed:token_seed v lo len, 2) :: !feats in
+  let start = ref 0 in
+  for i = 0 to n do
+    if i = n || v.[i] = ' ' || v.[i] = '\t' || v.[i] = '\n' then begin
+      word !start (i - !start);
+      start := i + 1
+    end
+  done;
+  if n < q then feats := (hash_sub ~seed:gram_seed v 0 n, 1) :: !feats
+  else
+    for i = 0 to n - q do
+      feats := (hash_sub ~seed:gram_seed v i q, 1) :: !feats
+    done;
+  !feats
+
+(* ------------------------------------------------------------- simhash *)
+
+let sign counters =
+  let s = ref 0L in
+  for b = 0 to 63 do
+    if counters.(b) > 0 then s := Int64.logor !s (Int64.shift_left 1L b)
+  done;
+  !s
+
+let add_feature counters h w =
+  for b = 0 to 63 do
+    if Int64.logand (Int64.shift_right_logical h b) 1L = 1L then
+      counters.(b) <- counters.(b) + w
+    else counters.(b) <- counters.(b) - w
+  done
+
+let simhash feats =
+  let counters = Array.make 64 0 in
+  List.iter (fun (h, w) -> add_feature counters h w) feats;
+  sign counters
+
+let value_signature v = simhash (value_features v)
+
+(* Children contribute their whole-subtree signature as a single feature,
+   weighted by (capped) leaf mass, so a subtree's signature approximates the
+   SimHash of its leaf contents while staying one bottom-up pass over the
+   preorder arrays — no per-node counter matrices are retained. *)
+let child_weight_cap = 8
+
+let signatures idx =
+  let n = Index.size idx in
+  let sigs = Array.make n 0L in
+  let counters = Array.make 64 0 in
+  (* value features memoized per interned value id: versioned documents
+     repeat sentences, and the pair's two indexes share one interner *)
+  let nvalues = Index.Interner.count (Index.value_interner idx) in
+  let vfeats = Array.make (max nvalues 1) None in
+  let features_of_value vid v =
+    if vid < 0 || vid >= nvalues then value_features v
+    else
+      match vfeats.(vid) with
+      | Some f -> f
+      | None ->
+        let f = value_features v in
+        vfeats.(vid) <- Some f;
+        f
+  in
+  (* Preorder ranks place every descendant after its ancestor, so a
+     descending scan is a postorder: children are signed before parents. *)
+  for r = n - 1 downto 0 do
+    Array.fill counters 0 64 0;
+    let node = Index.node idx r in
+    add_feature counters
+      (hash_string ~seed:label_seed node.Node.label)
+      2;
+    if not (String.equal node.Node.value "") then
+      List.iter
+        (fun (h, w) -> add_feature counters h w)
+        (features_of_value (Index.value_id idx r) node.Node.value);
+    (* children of r: first is r+1 (if any); siblings follow each other's
+       subtree extents *)
+    let last = Index.last idx r in
+    let c = ref (r + 1) in
+    while !c <= last do
+      let w = max 1 (min (Index.leaf_count idx !c) child_weight_cap) in
+      add_feature counters (mix64 (Int64.add sigs.(!c) (Int64.of_int child_seed))) w;
+      c := Index.last idx !c + 1
+    done;
+    sigs.(r) <- sign counters
+  done;
+  sigs
+
+(* ------------------------------------------------------------- hamming *)
+
+let popcount32 x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
+let hamming a b =
+  let x = Int64.logxor a b in
+  popcount32 (Int64.to_int (Int64.logand x 0xFFFFFFFFL))
+  + popcount32 (Int64.to_int (Int64.shift_right_logical x 32))
+
+(* ------------------------------------------------------------- banding *)
+
+(* 8 bands of 8 bits: a probe and a candidate are retrieved together iff
+   some band of their signatures is bit-identical.  Narrow bands favor
+   recall — an edited value flips a handful of signature bits, and the
+   chance that all 8 bands catch a flip is small — at the cost of noisier
+   buckets, which the top-k Hamming ranking absorbs. *)
+let bands = 8
+let band_bits = 8
+
+let band_key sg b =
+  Int64.to_int
+    (Int64.logand
+       (Int64.shift_right_logical sg (b * band_bits))
+       0xFFL)

@@ -1,0 +1,44 @@
+(** Per-node feature vectors and SimHash signatures (the similarity layer's
+    ground floor).
+
+    Every node of an {!Treediff_tree.Index} gets a weighted feature multiset
+    — its label, word-token and character q-gram features over its value,
+    and (for internal nodes) the signatures of its children weighted by
+    capped leaf mass — folded into one 64-bit SimHash signature.  Similar
+    content yields signatures at small Hamming distance, so candidate search
+    can be done with bit arithmetic instead of string comparisons.
+
+    Signatures are computed in one bottom-up pass over the index's dense
+    preorder arrays ([last]/[leaf_count]), with value features memoized per
+    interned value id — O(nodes + total value bytes) per tree.  Everything
+    is a pure function of the tree's content: equal trees get equal
+    signature arrays in any domain, on any run. *)
+
+val value_features : string -> (int64 * int) list
+(** Weighted feature hashes of one leaf value: word tokens (weight 2) and
+    character {i q}-grams, q = 3 (weight 1). *)
+
+val value_signature : string -> int64
+(** SimHash of a bare value's features — for tests and ad-hoc probes. *)
+
+val signatures : Treediff_tree.Index.t -> int64 array
+(** [signatures idx] is the per-preorder-rank signature array of the indexed
+    tree: rank [r] holds the SimHash of the subtree rooted at [r] (leaves:
+    label + value features; internal nodes additionally fold in child
+    subtree signatures). *)
+
+val hamming : int64 -> int64 -> int
+(** Hamming distance between two signatures, in [\[0, 64\]]. *)
+
+val simhash : (int64 * int) list -> int64
+(** SimHash of an explicit weighted feature list. *)
+
+val bands : int
+(** Number of LSH bands a signature splits into (8). *)
+
+val band_bits : int
+(** Bits per band (8; [bands * band_bits = 64]). *)
+
+val band_key : int64 -> int -> int
+(** [band_key sg b] is band [b] of signature [sg] as a non-negative int —
+    two signatures sharing any band key are LSH candidates. *)

@@ -29,7 +29,13 @@ let run ctx m =
               match c'.Node.parent with Some p -> p.Node.id = yid | None -> false
             in
             if not parent_is_y then begin
+              Criteria.fault ctx "postprocess.scan";
+              (* Each candidate examined by the repair scan is charged as a
+                 comparison: label-mismatched candidates short-circuit inside
+                 [equal_nodes] without ticking, so without this the scan over
+                 a wide mixed-label family would be budget-invisible. *)
               let eligible (c'' : Node.t) =
+                Treediff_util.Budget.tick budget;
                 c''.id <> c'id && Criteria.equal_nodes ctx m c c''
               in
               (* Prefer an unmatched candidate; otherwise swap with a matched

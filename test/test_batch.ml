@@ -190,6 +190,29 @@ let test_batch_parity () =
   Alcotest.(check bool) "stats accumulated" true
     (Stats.total (Batch.total_stats seq) > 0)
 
+(* Same parity property with the similarity prefilter engaged on every
+   chain longer than 2: signature memos live in per-pair Exec typed slots
+   and all LSH tie-breaks are positional, so the prefilter must not
+   introduce any jobs-count dependence. *)
+let test_batch_parity_with_prefilter () =
+  let pairs = random_pairs ~seed:1371 200 in
+  let config =
+    {
+      Treediff.Config.default with
+      Treediff.Config.sim_threshold = Some 2;
+      sim_top_k = 4;
+    }
+  in
+  let seq = Batch.run ~config ~execs:recipe ~jobs:1 pairs in
+  let par = Batch.run ~config ~execs:recipe ~jobs:4 pairs in
+  Alcotest.(check int) "lengths" (Array.length seq) (Array.length par);
+  Array.iteri
+    (fun i s ->
+      let a = encode_outcome s and b = encode_outcome par.(i) in
+      if not (String.equal a b) then
+        Alcotest.failf "pair %d diverged:\n  jobs:1 %s\n  jobs:4 %s" i a b)
+    seq
+
 let test_batch_crash_isolation () =
   let pairs = random_pairs ~seed:97 12 in
   let crash = 5 in
@@ -291,6 +314,8 @@ let () =
         [
           Alcotest.test_case "jobs:4 byte-identical to jobs:1" `Quick
             test_batch_parity;
+          Alcotest.test_case "jobs parity with the sim prefilter on" `Quick
+            test_batch_parity_with_prefilter;
           Alcotest.test_case "crash in one pair is isolated" `Quick
             test_batch_crash_isolation;
           Alcotest.test_case "store materialize_all parity" `Quick

@@ -308,10 +308,20 @@ let test_ladder_keyed =
     ~specs:[ raise_at "fast_match.chain" ]
     ~expect:Diff.Keyed
 
-(* killing both matchers leaves only the delete-all/insert-all rebuild *)
+(* with fast_match and keyed dead, the greedy SimHash matcher takes over *)
+let test_ladder_approx =
+  force_rung ~seed:404 ~pairs:200
+    ~specs:[ raise_at "fast_match.chain"; raise_at "keyed.match" ]
+    ~expect:Diff.Approx
+
+(* killing every matcher leaves only the delete-all/insert-all rebuild *)
 let test_ladder_rebuild =
   force_rung ~seed:303 ~pairs:200
-    ~specs:[ raise_at "fast_match.chain"; raise_at "keyed.match" ]
+    ~specs:
+      [
+        raise_at "fast_match.chain"; raise_at "keyed.match";
+        raise_at "sim.greedy";
+      ]
     ~expect:Diff.Rebuild
 
 (* Every (registry point, action) combination: the outcome must be a
@@ -492,6 +502,7 @@ let () =
               test_ladder_comparison_cap_degrades;
             quick "windowed rung x200" test_ladder_windowed;
             quick "keyed rung x200" test_ladder_keyed;
+            quick "approx rung x200" test_ladder_approx;
             quick "rebuild rung x200" test_ladder_rebuild;
             quick "registry sweep: never uncaught" test_fault_sweep;
             quick "zhang-shasha budget and fault" test_zs_budget_and_fault;

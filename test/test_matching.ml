@@ -380,6 +380,175 @@ let test_postprocess_noop_on_clean () =
   let m = Fast.run ctx in
   Alcotest.(check int) "no fixes needed" 0 (Treediff_matching.Postprocess.run ctx m)
 
+(* ------------------------------------------------------------ similarity *)
+
+module Feature = Treediff_matching.Feature
+module Sim_index = Treediff_matching.Sim_index
+module Index = Treediff_tree.Index
+module Treegen = Treediff_workload.Treegen
+module Word_compare = Treediff_textdiff.Word_compare
+module SQ = Treediff_experiments.Sim_quality
+module Exec = Treediff_util.Exec
+module Budget = Treediff_util.Budget
+
+let test_feature_signature_distance () =
+  let a = "the quick brown fox jumps over the lazy dog by the river" in
+  let b = "the quick brown fox leaps over the lazy dog by the river" in
+  let c = "entirely different words sharing nothing with that other sentence" in
+  Alcotest.(check int) "self distance" 0
+    (Feature.hamming (Feature.value_signature a) (Feature.value_signature a));
+  let near = Feature.hamming (Feature.value_signature a) (Feature.value_signature b) in
+  let far = Feature.hamming (Feature.value_signature a) (Feature.value_signature c) in
+  Alcotest.(check bool) (Printf.sprintf "near %d < far %d" near far) true (near < far);
+  (* fewer than [bands] flipped bits leave at least one 8-bit band intact, so
+     a one-word rewording is guaranteed retrievable by the LSH index *)
+  Alcotest.(check bool)
+    (Printf.sprintf "one-word edit flips %d < %d bits" near Feature.bands)
+    true (near < Feature.bands)
+
+let test_feature_subtree_signatures () =
+  let src = {|(D (P (S "a b c") (S "d e f")) (P (S "a b c")))|} in
+  let gen = Tree.gen () in
+  let t1 = Codec.parse gen src and t2 = Codec.parse gen src in
+  let idx1, idx2 = Index.pair ~t1 ~t2 () in
+  let s1 = Feature.signatures idx1 and s2 = Feature.signatures idx2 in
+  Alcotest.(check int) "array sizes" (Array.length s1) (Array.length s2);
+  (* signatures are a pure function of content: equal trees, equal arrays *)
+  Array.iteri
+    (fun r sg -> Alcotest.(check int) "equal content, equal signature" 0 (Feature.hamming sg s2.(r)))
+    s1;
+  (* equal-value leaves coincide, distinct-value leaves do not; the two P
+     subtrees differ, so their aggregated signatures differ too *)
+  Alcotest.(check int) "duplicate leaves coincide" 0 (Feature.hamming s1.(2) s1.(5));
+  Alcotest.(check bool) "distinct leaves differ" true (Feature.hamming s1.(2) s1.(3) > 0);
+  Alcotest.(check bool) "distinct subtrees differ" true (Feature.hamming s1.(1) s1.(4) > 0)
+
+let test_sim_index_query () =
+  let values =
+    Array.init 16 (fun i -> Printf.sprintf "alpha beta w%da w%db w%dc" i i i)
+  in
+  let sigs = Array.map Feature.value_signature values in
+  let ranks = Array.init 16 Fun.id in
+  let t = Sim_index.build ~sigs ranks in
+  Alcotest.(check int) "length" 16 (Sim_index.length t);
+  Array.iteri
+    (fun i sg ->
+      match Sim_index.query ~k:1 t sg with
+      | pos :: _ -> Alcotest.(check int) "nearest is itself" i (Sim_index.rank t pos)
+      | [] -> Alcotest.failf "query %d found nothing" i)
+    sigs;
+  let q3 = Sim_index.query ~k:3 t sigs.(0) in
+  Alcotest.(check (list int)) "deterministic" q3 (Sim_index.query ~k:3 t sigs.(0));
+  Alcotest.(check bool) "k bounds the answer" true (List.length q3 <= 3);
+  let q8 = Sim_index.query ~k:8 t sigs.(0) in
+  let prefix = List.filteri (fun i _ -> i < List.length q3) q8 in
+  Alcotest.(check (list int)) "smaller k is a prefix of larger k" q3 prefix
+
+(* The prefilter must reproduce exact FastMatch almost everywhere: aggregate
+   recall >= 0.95 over 200 random document pairs, with the prefilter forced
+   on for every chain (threshold 0) — the adversarial setting; production
+   only engages it past the chain-length threshold. *)
+let test_prefilter_recall_200 () =
+  let g = P.create 2026 in
+  let criteria = Criteria.make ~compare:Word_compare.distance () in
+  let totals = ref SQ.empty in
+  for _ = 1 to 200 do
+    let gen = Tree.gen () in
+    let t1 = Treegen.random_document g gen ~paragraphs:(4 + P.int g 12) ~vocab:30 in
+    let t2 = Treegen.perturb g gen ~ops:(1 + P.int g 8) t1 in
+    let exact = Fast.run (Criteria.ctx criteria ~t1 ~t2) in
+    let pre = Fast.run ~sim:(0, 8) (Criteria.ctx criteria ~t1 ~t2) in
+    totals := SQ.merge !totals (SQ.score ~exact pre)
+  done;
+  let r = SQ.recall !totals and p = SQ.precision !totals in
+  Alcotest.(check bool) (Printf.sprintf "recall %.4f >= 0.95" r) true (r >= 0.95);
+  (* criterion verification of every retrieved candidate keeps the pairs a
+     near-subset of the exact matching *)
+  Alcotest.(check bool) (Printf.sprintf "precision %.4f >= 0.98" p) true (p >= 0.98)
+
+(* On the long-chain corpus the prefilter must cut criterion comparisons by
+   a large factor while keeping recall — the whole point of the layer. *)
+let test_prefilter_cuts_comparisons () =
+  let gen = Tree.gen () in
+  let t1, t2 = SQ.long_chain_pair ~n:250 gen in
+  let criteria = Criteria.make ~compare:Word_compare.distance () in
+  let run ?sim () =
+    let exec = Exec.create () in
+    let ctx = Criteria.ctx ~exec criteria ~t1 ~t2 in
+    let m = Fast.run ?sim ctx in
+    (m, (Exec.stats exec).Treediff_util.Stats.leaf_compares)
+  in
+  let exact, exact_compares = run () in
+  let pre, pre_compares = run ~sim:(64, 8) () in
+  let s = SQ.score ~exact pre in
+  Alcotest.(check bool)
+    (Printf.sprintf "recall %.4f >= 0.95" (SQ.recall s))
+    true
+    (SQ.recall s >= 0.95);
+  Alcotest.(check bool)
+    (Printf.sprintf "compares %d at least 5x below %d" pre_compares exact_compares)
+    true
+    (pre_compares * 5 <= exact_compares)
+
+(* The sim path is budget-charged like every other matching phase: a tight
+   comparison cap trips inside FastMatch, not after it. *)
+let test_prefilter_budget_charged () =
+  let gen = Tree.gen () in
+  let t1, t2 = SQ.long_chain_pair ~n:100 gen in
+  let exec = Exec.create ~budget:(Budget.make ~max_comparisons:50 ()) () in
+  let ctx = Criteria.ctx ~exec (Criteria.make ~compare:Word_compare.distance ()) ~t1 ~t2 in
+  match Fast.run ~sim:(0, 8) ctx with
+  | _ -> Alcotest.fail "expected Budget.Exceeded"
+  | exception Budget.Exceeded e ->
+    Alcotest.(check string) "tripped in fast_match" "fast_match" e.Budget.phase
+
+(* Postprocess repair scans are charged too (the satellite fix): the crossed
+   fixture under a two-comparison cap must trip with phase "postprocess". *)
+let test_postprocess_budget_charged () =
+  let t1, t2 =
+    doc_pair {|(D (P (S "x") (S "p1")) (P (S "x") (S "p2")))|}
+      {|(D (P (S "x") (S "p1")) (P (S "x") (S "p2")))|}
+  in
+  let exec = Exec.create ~budget:(Budget.make ~max_comparisons:2 ()) () in
+  let ctx = Criteria.ctx ~exec Criteria.default ~t1 ~t2 in
+  let m = Matching.create () in
+  let p t i = Node.child t i in
+  let s t i j = Node.child (Node.child t i) j in
+  Matching.add m t1.Node.id t2.Node.id;
+  Matching.add m (p t1 0).Node.id (p t2 0).Node.id;
+  Matching.add m (p t1 1).Node.id (p t2 1).Node.id;
+  Matching.add m (s t1 0 0).Node.id (s t2 1 0).Node.id;
+  Matching.add m (s t1 1 0).Node.id (s t2 0 0).Node.id;
+  Matching.add m (s t1 0 1).Node.id (s t2 0 1).Node.id;
+  Matching.add m (s t1 1 1).Node.id (s t2 1 1).Node.id;
+  match Treediff_matching.Postprocess.run ctx m with
+  | _ -> Alcotest.fail "expected Budget.Exceeded"
+  | exception Budget.Exceeded e ->
+    Alcotest.(check string) "tripped in postprocess" "postprocess" e.Budget.phase
+
+let test_greedy_deterministic_and_scored () =
+  let gen = Tree.gen () in
+  let t1, t2 = SQ.long_chain_pair ~n:120 gen in
+  let a = Sim_index.greedy ~t1 ~t2 () in
+  let b = Sim_index.greedy ~t1 ~t2 () in
+  Alcotest.(check bool) "deterministic" true (Matching.equal a b);
+  (* one-to-one and label-respecting by construction *)
+  let by_id1 = Tree.index_by_id t1 and by_id2 = Tree.index_by_id t2 in
+  List.iter
+    (fun (x, y) ->
+      match (Hashtbl.find_opt by_id1 x, Hashtbl.find_opt by_id2 y) with
+      | Some (a : Node.t), Some (b : Node.t) ->
+        Alcotest.(check string) "labels agree" a.Node.label b.Node.label
+      | _ -> Alcotest.fail "pair outside the tree pair")
+    (Matching.pairs a);
+  let criteria = Criteria.make ~compare:Word_compare.distance () in
+  let exact = Fast.run (Criteria.ctx criteria ~t1 ~t2) in
+  let s = SQ.score ~exact a in
+  Alcotest.(check bool)
+    (Printf.sprintf "greedy recall %.4f >= 0.9 on the long chain" (SQ.recall s))
+    true
+    (SQ.recall s >= 0.9)
+
 let () =
   Alcotest.run "matching"
     [
@@ -426,6 +595,25 @@ let () =
         [
           Alcotest.test_case "repairs crossed pairs" `Quick test_postprocess_repairs;
           Alcotest.test_case "no-op on clean matchings" `Quick test_postprocess_noop_on_clean;
+          Alcotest.test_case "repair scan is budget-charged" `Quick
+            test_postprocess_budget_charged;
           QCheck_alcotest.to_alcotest postprocess_validity_prop;
+        ] );
+      ( "similarity",
+        [
+          Alcotest.test_case "signature distance tracks similarity" `Quick
+            test_feature_signature_distance;
+          Alcotest.test_case "subtree signatures are content-pure" `Quick
+            test_feature_subtree_signatures;
+          Alcotest.test_case "LSH query: nearest, deterministic, k-bounded" `Quick
+            test_sim_index_query;
+          Alcotest.test_case "prefilter recall >= 0.95 over 200 pairs" `Quick
+            test_prefilter_recall_200;
+          Alcotest.test_case "prefilter cuts long-chain comparisons 5x" `Quick
+            test_prefilter_cuts_comparisons;
+          Alcotest.test_case "prefilter is budget-charged" `Quick
+            test_prefilter_budget_charged;
+          Alcotest.test_case "greedy matcher deterministic and scored" `Quick
+            test_greedy_deterministic_and_scored;
         ] );
     ]

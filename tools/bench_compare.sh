@@ -1,0 +1,89 @@
+#!/bin/sh
+# Compare two BENCH_*.json trajectory files and fail on regressions.
+#
+#   tools/bench_compare.sh OLD.json NEW.json [--max-regress PCT]
+#
+# Both files use the bench harness schema: a "results" array of
+# { "name": ..., "ns_per_run": ... } rows (plus a provenance header with
+# the git rev and core count, printed here for context).  Benchmarks are
+# joined by name; a shared name whose ns/run grew by more than PCT percent
+# (default 10) is a regression and the script exits 1.  Names present in
+# only one file are listed but never fail the comparison — benches come
+# and go across PRs.
+set -eu
+
+max_regress=10
+old= new=
+for arg in "$@"; do
+  case $arg in
+    --max-regress) max_regress=__next__ ;;
+    --max-regress=*) max_regress=${arg#--max-regress=} ;;
+    *)
+      if [ "$max_regress" = __next__ ]; then max_regress=$arg
+      elif [ -z "$old" ]; then old=$arg
+      elif [ -z "$new" ]; then new=$arg
+      else echo "bench_compare: unexpected argument $arg" >&2; exit 2
+      fi ;;
+  esac
+done
+if [ -z "$old" ] || [ -z "$new" ] || [ "$max_regress" = __next__ ]; then
+  echo "usage: tools/bench_compare.sh OLD.json NEW.json [--max-regress PCT]" >&2
+  exit 2
+fi
+for f in "$old" "$new"; do
+  [ -f "$f" ] || { echo "bench_compare: no such file: $f" >&2; exit 2; }
+done
+
+# One "name value" line per benchmark row (the harness emits one row per
+# line, so line-oriented extraction is reliable without a JSON parser).
+extract() {
+  awk 'match($0, /"name": *"[^"]*", *"ns_per_run": *[0-9.null][0-9.]*/) {
+    s = substr($0, RSTART, RLENGTH)
+    sub(/^"name": *"/, "", s)
+    name = s; sub(/".*/, "", name)
+    val = s; sub(/.*"ns_per_run": */, "", val)
+    if (val != "null") print name, val
+  }' "$1"
+}
+
+header() {
+  awk -v f="$1" '
+    /"git":/   { gsub(/.*"git": *"|".*/, ""); git = $0 }
+    /"cores":/ { gsub(/[^0-9]/, ""); cores = $0 }
+    /"results":/ { exit }
+    END { printf "%s: git %s, %s core(s)\n", f, (git ? git : "?"), (cores ? cores : "?") }
+  ' "$1"
+}
+
+header "$old"
+header "$new"
+
+extract "$old" > "${TMPDIR:-/tmp}/bench_old.$$"
+extract "$new" > "${TMPDIR:-/tmp}/bench_new.$$"
+trap 'rm -f "${TMPDIR:-/tmp}/bench_old.$$" "${TMPDIR:-/tmp}/bench_new.$$"' EXIT
+
+awk -v max="$max_regress" '
+  NR == FNR { old[$1] = $2; next }
+  { new_[$1] = $2 }
+  END {
+    worst = 0; fails = 0; shared = 0
+    printf "%-48s %12s %12s %9s\n", "benchmark", "old ns/run", "new ns/run", "delta"
+    for (n in new_) {
+      if (n in old) {
+        shared++
+        d = (new_[n] - old[n]) / old[n] * 100
+        flag = (d > max) ? "  REGRESSED" : ""
+        if (d > max) fails++
+        if (d > worst) worst = d
+        printf "%-48s %12.0f %12.0f %+8.1f%%%s\n", n, old[n], new_[n], d, flag
+      } else printf "%-48s %12s %12.0f     (new)\n", n, "-", new_[n]
+    }
+    for (n in old) if (!(n in new_))
+      printf "%-48s %12.0f %12s  (removed)\n", n, old[n], "-"
+    if (shared == 0) { print "bench_compare: no shared benchmark names" ; exit 2 }
+    if (fails > 0) {
+      printf "bench_compare: %d benchmark(s) regressed more than %s%% (worst %+.1f%%)\n", fails, max, worst
+      exit 1
+    }
+    printf "bench_compare: ok — %d shared benchmark(s), none above %s%% (worst %+.1f%%)\n", shared, max, worst
+  }' "${TMPDIR:-/tmp}/bench_old.$$" "${TMPDIR:-/tmp}/bench_new.$$"
