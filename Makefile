@@ -1,4 +1,4 @@
-.PHONY: all build lint check test bench bench-quick doc clean examples fault-tests store-tests par-tests bench-parallel sim-tests bench-sim bench-compare
+.PHONY: all build lint check test bench bench-quick doc clean examples fault-tests store-tests par-tests bench-parallel sim-tests bench-sim bench-compare analyze-tests bench-check ci ci-bench-compare
 
 all: build
 
@@ -85,6 +85,18 @@ sim-tests:
 	dune exec test/test_batch.exe -- test batch -c
 	dune exec test/test_fault.exe -- test ladder -c
 
+# Interference-analyzer suite (TD5xx/TD6xx): dependence-graph pair
+# classification, the canonical-form and parallel-apply properties, and the
+# minimality oracle's agreement with Edit_gen on tiny pairs — plus the
+# analyzer's two fault points, armed via the environment.
+analyze-tests:
+	dune build test/test_analyze.exe test/test_fault.exe
+	dune exec test/test_analyze.exe -- -c
+	@for spec in check.depgraph:raise check.oracle:raise; do \
+	  echo "== TREEDIFF_FAULT=$$spec"; \
+	  TREEDIFF_FAULT=$$spec dune exec test/test_fault.exe -- -c || exit 1; \
+	done
+
 bench:
 	dune exec bench/main.exe
 
@@ -112,8 +124,26 @@ MAX_REGRESS = 10
 bench-compare:
 	tools/bench_compare.sh $(OLD) $(NEW) --max-regress $(MAX_REGRESS)
 
+# Interference analyzer ns/op, the minimality oracle's node-budget cost
+# curve, and oracle-audited minimality rates; writes BENCH_check.json (the
+# committed trajectory behind EXPERIMENTS.md's minimality table).
+bench-check:
+	dune exec bench/main.exe -- check --json BENCH_check.json
+
 bench-timing:
 	dune exec bench/main.exe -- --bechamel
+
+# Full local CI umbrella: build + the whole suite under the sanitizer +
+# lint + every fault sweep + a bench trajectory gate against the committed
+# BENCH_check.json.  The bench gate re-measures on this host, so the
+# regression threshold is generous — it catches complexity cliffs, not
+# noise.
+ci: build test lint fault-tests store-tests par-tests sim-tests analyze-tests ci-bench-compare
+	@echo "ci: all gates passed"
+
+ci-bench-compare:
+	dune exec bench/main.exe -- check --json $(or $(TMPDIR),/tmp)/BENCH_check_ci.json
+	tools/bench_compare.sh BENCH_check.json $(or $(TMPDIR),/tmp)/BENCH_check_ci.json --max-regress 100
 
 examples:
 	dune exec examples/quickstart.exe

@@ -548,6 +548,225 @@ let run_budget ~out ms =
   Treediff_util.Table.print_to out table;
   Printf.fprintf out "\n%!"
 
+(* ----------------------------------------- analyzer and oracle benchmark *)
+
+module Depgraph = Treediff_check.Depgraph
+module Oracle = Treediff_check.Oracle
+
+(* Throughput of the TD5xx dependence analyzer (ns per script op for graph
+   construction, canonicalization and the full equivalence audit), the
+   TD6xx oracle's cost curve against the node budget, and oracle-audited
+   minimality rates over the seed corpora — the numbers behind
+   EXPERIMENTS.md's minimality table. *)
+let run_check_bench ?json ~out () =
+  Printf.fprintf out "== Interference analyzer and minimality oracle ==\n";
+  let g = Treediff_util.Prng.create 0xc0ffee in
+  let config = Treediff.Config.(with_check false default) in
+  (* Pipeline-produced (base tree, script) cases; dummy-rooted pairs are
+     skipped so scripts address real base-tree nodes. *)
+  let cases = ref [] in
+  let total_ops = ref 0 in
+  let made = ref 0 and tries = ref 0 in
+  let n_pairs = 150 in
+  while !made < n_pairs && !tries < n_pairs * 4 do
+    incr tries;
+    let gen = Treediff_tree.Tree.gen () in
+    let t1 =
+      if !tries mod 2 = 0 then
+        Treediff_workload.Treegen.random_labeled g gen ~max_depth:4
+          ~max_width:4
+          ~labels:[| "D"; "P"; "S"; "W" |]
+          ~vocab:8
+      else
+        Treediff_workload.Treegen.random_document g gen ~paragraphs:5 ~vocab:10
+    in
+    let t2 = Treediff_workload.Treegen.perturb g gen ~ops:5 t1 in
+    let r = Treediff.Diff.diff ~config t1 t2 in
+    if r.Treediff.Diff.dummy = None && r.Treediff.Diff.script <> [] then begin
+      incr made;
+      total_ops := !total_ops + List.length r.Treediff.Diff.script;
+      cases := (t1, r.Treediff.Diff.script) :: !cases
+    end
+  done;
+  let cases = !cases in
+  let time_ns f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    (Unix.gettimeofday () -. t0) *. 1e9
+  in
+  let per_op total_ns = total_ns /. float_of_int (max 1 !total_ops) in
+  let reps = 5 in
+  let best stage =
+    let b = ref infinity in
+    for _ = 1 to reps do
+      let ns = time_ns (fun () -> List.iter stage cases) in
+      if ns < !b then b := ns
+    done;
+    per_op !b
+  in
+  let build_ns = best (fun (t, s) -> ignore (Depgraph.build ~tree:t s)) in
+  let canon_ns = best (fun (t, s) -> ignore (Depgraph.canonicalize ~tree:t s)) in
+  let audit_ns = best (fun (t, s) -> ignore (Depgraph.audit ~tree:t s)) in
+  let table =
+    Treediff_util.Table.create ~headers:[ "analyzer stage"; "ns/op" ]
+  in
+  List.iter
+    (fun (name, ns) ->
+      Treediff_util.Table.add_row table [ name; Printf.sprintf "%.0f" ns ])
+    [
+      ("depgraph build", build_ns);
+      ("canonicalize", canon_ns);
+      ("full audit (canonicalize + prove equivalent)", audit_ns);
+    ];
+  Treediff_util.Table.print_to out table;
+  Printf.fprintf out "(%d scripts, %d ops total)\n\n%!" (List.length cases)
+    !total_ops;
+  (* Oracle cost vs node budget: random tiny pairs per size class, the ub
+     from a standalone pipeline diff of the pair. *)
+  let budgets = [ 4; 5; 6; 7; 8 ] in
+  let curve =
+    List.map
+      (fun b ->
+        let pairs = ref [] in
+        let tries = ref 0 in
+        while List.length !pairs < 25 && !tries < 600 do
+          incr tries;
+          let gen = Treediff_tree.Tree.gen () in
+          let t1 =
+            Treediff_workload.Treegen.random_labeled g gen ~max_depth:3
+              ~max_width:3
+              ~labels:[| "D"; "P"; "S" |]
+              ~vocab:4
+          in
+          let t2 = Treediff_workload.Treegen.perturb g gen ~ops:2 t1 in
+          let sz = Treediff_tree.Node.size in
+          if sz t1 <= b && sz t2 <= b && sz t1 >= 2 then begin
+            let r = Treediff.Diff.diff ~config t1 t2 in
+            if r.Treediff.Diff.dummy = None then
+              pairs :=
+                (t1, t2, Treediff_edit.Script.unweighted r.Treediff.Diff.measure)
+                :: !pairs
+          end
+        done;
+        let pairs = !pairs in
+        let proved = ref 0 and unproven = ref 0 in
+        let ns =
+          time_ns (fun () ->
+              List.iter
+                (fun (t1, t2, ub) ->
+                  match Oracle.search ~max_states:100_000 ~ub t1 t2 with
+                  | Oracle.Proved _ -> incr proved
+                  | Oracle.Unproven _ -> incr unproven)
+                pairs)
+        in
+        (b, List.length pairs, !proved, !unproven,
+         ns /. float_of_int (max 1 (List.length pairs))))
+      budgets
+  in
+  let otable =
+    Treediff_util.Table.create
+      ~headers:[ "node budget"; "pairs"; "proved"; "unproven"; "time/pair" ]
+  in
+  List.iter
+    (fun (b, n, p, u, ns) ->
+      Treediff_util.Table.add_row otable
+        [
+          string_of_int b; string_of_int n; string_of_int p; string_of_int u;
+          (if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+           else Printf.sprintf "%.1f us" (ns /. 1e3));
+        ])
+    curve;
+  Treediff_util.Table.print_to out otable;
+  Printf.fprintf out "\n%!";
+  (* Oracle-audited minimality rate on the seed corpora. *)
+  let corpora =
+    [
+      ("docgen-small", Treediff_workload.Docgen.small, 8, 30);
+      ("docgen-medium", Treediff_workload.Docgen.medium, 12, 10);
+    ]
+  in
+  let minimality =
+    List.map
+      (fun (name, profile, actions, pairs) ->
+        let acc = ref (0, 0, 0, 0) in
+        for _ = 1 to pairs do
+          let gen = Treediff_tree.Tree.gen () in
+          let doc = Treediff_workload.Docgen.generate g gen profile in
+          let doc', _ =
+            Treediff_workload.Mutate.mutate g gen doc ~actions
+          in
+          let r = Treediff.Diff.diff ~config doc doc' in
+          let report =
+            Treediff.Oracle_audit.run ~matching:r.Treediff.Diff.matching
+              ~t1:doc ~t2:doc' ()
+          in
+          let a, p, n, u = !acc in
+          acc :=
+            ( a + report.Treediff.Oracle_audit.audited,
+              p + report.Treediff.Oracle_audit.proved_minimal,
+              n + report.Treediff.Oracle_audit.non_minimal,
+              u + report.Treediff.Oracle_audit.unproven )
+        done;
+        (name, pairs, !acc))
+      corpora
+  in
+  let mtable =
+    Treediff_util.Table.create
+      ~headers:
+        [
+          "corpus"; "tree pairs"; "subtrees audited"; "proved minimal";
+          "non-minimal"; "unproven"; "minimality rate";
+        ]
+  in
+  List.iter
+    (fun (name, pairs, (a, p, n, u)) ->
+      Treediff_util.Table.add_row mtable
+        [
+          name; string_of_int pairs; string_of_int a; string_of_int p;
+          string_of_int n; string_of_int u;
+          (if a = 0 then "n/a"
+           else Printf.sprintf "%.1f%%" (100. *. float_of_int p /. float_of_int a));
+        ])
+    minimality;
+  Treediff_util.Table.print_to out mtable;
+  Printf.fprintf out "\n%!";
+  match json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    json_header oc (Filename.remove_extension (Filename.basename path));
+    Printf.fprintf oc "  \"results\": [";
+    let rows =
+      [
+        ("check/depgraph-build-ns-op", build_ns);
+        ("check/canonicalize-ns-op", canon_ns);
+        ("check/audit-ns-op", audit_ns);
+      ]
+      @ List.map
+          (fun (b, _, _, _, ns) ->
+            (Printf.sprintf "check/oracle-budget-%d-ns-pair" b, ns))
+          curve
+    in
+    List.iteri
+      (fun i (name, ns) ->
+        Printf.fprintf oc "%s\n    { \"name\": %S, \"ns_per_run\": %.2f }"
+          (if i > 0 then "," else "")
+          name ns)
+      rows;
+    Printf.fprintf oc "\n  ],\n";
+    Printf.fprintf oc "  \"minimality\": [";
+    List.iteri
+      (fun i (name, pairs, (a, p, n, u)) ->
+        Printf.fprintf oc
+          "%s\n    { \"corpus\": %S, \"tree_pairs\": %d, \"audited\": %d, \
+           \"proved_minimal\": %d, \"non_minimal\": %d, \"unproven\": %d }"
+          (if i > 0 then "," else "")
+          name pairs a p n u)
+      minimality;
+    Printf.fprintf oc "\n  ]\n}\n";
+    close_out oc;
+    Printf.fprintf out "wrote %s\n" path
+
 let usage () =
   print_endline
     "usage: main.exe [EXPERIMENT...] [--bechamel] [--json OUT] [--budget-ms MS]";
@@ -570,7 +789,12 @@ let usage () =
     "  sim          similarity layer: exact FastMatch vs the LSH prefilter vs\n\
     \               the greedy approx matcher on the adversarial long-chain\n\
     \               corpus, plus precision/recall tables over every corpus";
-  print_endline "               (runs alone; with --json, writes BENCH_sim.json rows)"
+  print_endline "               (runs alone; with --json, writes BENCH_sim.json rows)";
+  print_endline
+    "  check        interference analyzer ns/op, the minimality oracle's\n\
+    \               node-budget cost curve, and oracle-audited minimality\n\
+    \               rates over the seed corpora";
+  print_endline "               (runs alone; with --json, writes BENCH_check.json rows)"
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -626,6 +850,7 @@ let () =
       if names = [ "store" ] then run_store ?json ~out ()
       else if names = [ "batch" ] then run_batch_bench ?json ~out ~jobs ()
       else if names = [ "sim" ] then run_sim ?json ~out ()
+      else if names = [ "check" ] then run_check_bench ?json ~out ()
       else begin
         let selected =
           if names = [] then experiments

@@ -293,7 +293,7 @@ let diff_cmd =
 
 (* ----------------------------------------------------------------- apply *)
 
-let run_apply tree_file script_file format lenient output =
+let run_apply tree_file script_file format lenient jobs output =
   handle_errors @@ fun () ->
   let gen = Treediff_tree.Tree.gen () in
   let t = parse_tree ~lenient format gen (read_file tree_file) in
@@ -302,7 +302,17 @@ let run_apply tree_file script_file format lenient output =
     | Ok script -> script
     | Error msg -> failwith (Printf.sprintf "%s: %s" script_file msg)
   in
-  match Treediff_edit.Script.apply_result t script with
+  let apply () =
+    match jobs with
+    | None -> Treediff_edit.Script.apply_result t script
+    | Some j -> (
+      (* Parallel replay over the commuting slices of the script's
+         dependence graph; byte-identical to the sequential path. *)
+      match Treediff_check.Depgraph.apply_parallel ~jobs:j t script with
+      | t' -> Ok t'
+      | exception Treediff_edit.Script.Apply_error msg -> Error msg)
+  in
+  match apply () with
   | Ok t' -> write_out output (print_tree format t')
   | Error msg ->
     Printf.eprintf "treediff: script does not apply: %s\n" msg;
@@ -315,12 +325,18 @@ let script_file =
   Arg.(required & pos 1 (some file) None & info [] ~docv:"SCRIPT"
          ~doc:"Edit script (Script_io format, as produced by $(b,diff -m script)).")
 
+let apply_jobs =
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Replay independent slices of the script's dependence graph \
+               in parallel over $(docv) domains.  The result is \
+               byte-identical to the sequential replay at any $(docv).")
+
 let apply_cmd =
   let doc = "replay a stored edit script on a tree" in
   let exits = exit_parse_info :: exit_internal_info :: Cmd.Exit.defaults in
   Cmd.v (Cmd.info "apply" ~doc ~exits)
     Term.(const run_apply $ tree_file $ script_file $ format_arg $ lenient
-          $ output)
+          $ apply_jobs $ output)
 
 (* ----------------------------------------------------------------- batch *)
 
@@ -545,33 +561,47 @@ let batch_cmd =
 module Diag = Treediff_check.Diag
 
 let run_check old_file new_file format lenient script_file delta_file audit
-    output =
+    exhaustive output =
   handle_errors @@ fun () ->
   let gen = Treediff_tree.Tree.gen () in
   let t1 = parse_tree ~lenient format gen (read_file old_file) in
   let t2 = parse_tree ~lenient format gen (read_file new_file) in
-  let diags =
+  if exhaustive && (script_file <> None || delta_file <> None) then
+    failwith "--audit-exhaustive requires the self-check mode (no --script/--delta)";
+  let diags, oracle_summary =
     match (script_file, delta_file) with
     | Some _, Some _ -> failwith "--script and --delta are mutually exclusive"
     | Some sf, None -> (
       (* A serialized script: lint + conformance against the tree pair.  No
          matching is available, so the matching analyzer does not run. *)
       match Treediff_edit.Script_io.parse (read_file sf) with
-      | Error msg -> [ Diag.make Diag.Script_parse "%s: %s" sf msg ]
-      | Ok script -> Treediff_check.Check.verify ~t1 ~t2 script)
+      | Error msg -> ([ Diag.make Diag.Script_parse "%s: %s" sf msg ], None)
+      | Ok script -> (Treediff_check.Check.verify ~t1 ~t2 script, None))
     | None, Some df -> (
       (* A serialized delta: structural rules + does it reproduce NEW. *)
       match Treediff.Delta_io.parse (read_file df) with
-      | Error msg -> [ Diag.make Diag.Delta_parse "%s: %s" df msg ]
-      | Ok delta -> Treediff.Delta_check.run ~new_tree:t2 delta)
+      | Error msg -> ([ Diag.make Diag.Delta_parse "%s: %s" df msg ], None)
+      | Ok delta -> (Treediff.Delta_check.run ~new_tree:t2 delta, None))
     | None, None ->
       (* Self-check: diff the pair, then verify our own artifacts. *)
       let config = Treediff.Config.(with_check false default) in
       let result = Treediff.Diff.diff ~config t1 t2 in
-      Treediff.Diff.verify ~config ~audit_data:audit result ~t1 ~t2
+      let diags = Treediff.Diff.verify ~config ~audit_data:audit result ~t1 ~t2 in
+      if exhaustive then begin
+        (* Minimality audit: prove the generator's op count minimal on
+           every maximal matched subtree pair small enough to decide. *)
+        let report =
+          Treediff.Oracle_audit.run ~matching:result.Treediff.Diff.matching
+            ~t1 ~t2 ()
+        in
+        (diags @ report.Treediff.Oracle_audit.diags,
+         Some (Treediff.Oracle_audit.summary report))
+      end
+      else (diags, None)
   in
   let buf = Buffer.create 256 in
   List.iter (fun d -> Buffer.add_string buf (Diag.to_string d ^ "\n")) diags;
+  Option.iter (fun s -> Buffer.add_string buf (s ^ "\n")) oracle_summary;
   Buffer.add_string buf (Diag.summary diags ^ "\n");
   write_out output (Buffer.contents buf);
   if Diag.errors diags <> [] then exit 1
@@ -591,6 +621,14 @@ let check_audit =
          ~doc:"Also audit the data itself: Matching Criterion 3 ambiguity \
                and label-schema cycles (warnings).")
 
+let check_exhaustive =
+  Arg.(value & flag & info [ "audit-exhaustive" ]
+         ~doc:"Also prove (or refute) true minimality of the generated \
+               script on every maximal matched subtree pair of at most 8 \
+               nodes, by exhaustive bidirectional search.  Non-minimal \
+               pairs print as TD601 and exhausted searches as TD602 \
+               (warnings).  Self-check mode only.")
+
 let check_cmd =
   let doc = "statically verify diff artifacts against a tree pair" in
   let man =
@@ -602,12 +640,17 @@ let check_cmd =
           instead.  Prints one coded diagnostic per line (TD1xx script lint, \
           TD2xx matching, TD3xx conformance, TD4xx delta structure) and \
           exits non-zero when any error-severity finding is present.";
+      `P "With $(b,--audit-exhaustive), the self-check additionally runs the \
+          exhaustive minimality oracle over every tiny matched subtree pair \
+          and reports where the generated script is provably non-minimal \
+          (TD6xx) plus a one-line summary of the audit.";
     ]
   in
   let exits = exit_parse_info :: exit_internal_info :: Cmd.Exit.defaults in
   Cmd.v (Cmd.info "check" ~doc ~man ~exits)
     Term.(const run_check $ old_file $ new_file $ format_arg $ lenient
-          $ check_script $ check_delta $ check_audit $ output)
+          $ check_script $ check_delta $ check_audit $ check_exhaustive
+          $ output)
 
 (* ----------------------------------------------------------------- store *)
 

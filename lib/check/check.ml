@@ -3,7 +3,7 @@ let env_enabled () =
   | None | Some ("" | "0" | "false" | "no") -> false
   | Some _ -> true
 
-let verify ?criteria ?matching ?dummy ?audit_data ~t1 ~t2 script =
+let verify ?exec ?criteria ?matching ?dummy ?audit_data ~t1 ~t2 script =
   let lint = Script_lint.run ~tree:t1 script in
   let lint_clean = not (List.exists Diag.is_error lint.Script_lint.diags) in
   let m_diags =
@@ -17,7 +17,18 @@ let verify ?criteria ?matching ?dummy ?audit_data ~t1 ~t2 script =
     | Some sim -> Conform.audit ?matching ~sim ~lint_clean ~t1 ~t2 script
     | None -> []
   in
-  lint.Script_lint.diags @ m_diags @ c_diags
+  (* Interference analysis (TD5xx): prove the canonical reorder of the
+     script equivalent to the original — the always-on tripwire for the
+     dependence analyzer itself and for any fused/reordered script that
+     reaches the verifier.  Dead-op findings (TD503) are audit-only: a
+     generator may legitimately emit a dead move.  Only meaningful on a
+     lint-clean script. *)
+  let d_diags =
+    if lint_clean then
+      Depgraph.audit ?exec ~dead:(audit_data = Some true) ~tree:t1 script
+    else []
+  in
+  lint.Script_lint.diags @ m_diags @ c_diags @ d_diags
 
 let assert_ok diags =
   match Diag.errors diags with [] -> () | errs -> raise (Diag.Failed errs)

@@ -15,6 +15,7 @@ val env_enabled : unit -> bool
     {!Treediff.Config.t}'s [check] flag. *)
 
 val verify :
+  ?exec:Treediff_util.Exec.t ->
   ?criteria:Treediff_matching.Criteria.t ->
   ?matching:Treediff_matching.Matching.t ->
   ?dummy:int * int ->
@@ -25,10 +26,15 @@ val verify :
   Diag.t list
 (** [verify ~t1 ~t2 script] runs the script linter and the conformance
     audit; with [~matching] it also runs the matching analyzer and the
-    matching-derived op-count bounds.  When the pipeline dummy-rooted the
-    pair (§4.1), pass the {e effective} trees, a matching extended with the
-    dummy pair, and [~dummy] so the synthetic pair is exempt from criteria
-    warnings.  Neither tree is mutated. *)
+    matching-derived op-count bounds.  On a lint-clean script it also runs
+    the interference analyzer ({!Depgraph.audit}): the canonical reorder of
+    the script is proved equivalent to the original (TD501 on divergence),
+    and with [~audit_data:true] dead operations are reported as TD503.
+    When the pipeline dummy-rooted the pair (§4.1), pass the {e effective}
+    trees, a matching extended with the dummy pair, and [~dummy] so the
+    synthetic pair is exempt from criteria warnings.  [?exec] threads
+    budget and fault injection into the analyzer.  Neither tree is
+    mutated. *)
 
 val assert_ok : Diag.t list -> unit
 (** @raise Diag.Failed with the error diagnostics, if any. *)

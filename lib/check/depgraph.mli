@@ -1,0 +1,143 @@
+(** Op-level interference analysis over edit scripts (the TD5xx family).
+
+    The analyzer replays a script symbolically (see {!Sim}) to resolve each
+    operation's application-time facts — subject, destination parent,
+    source parent — and classifies every op pair as {e commuting} or
+    {e interfering} with a per-kind decision procedure:
+
+    - same subject: interfering (def-use, anti-, output dependence), except
+      the UPD/MOV mix, which writes disjoint fields (value vs. position);
+    - a shared child list: interfering — positions are literal 1-based
+      indices into one sibling vector;
+    - destination = the other's structural subject: interfering (creation,
+      deletion, and conservatively relocation of a destination);
+    - DEL vs. any edit of the subject's child list: interfering (the leaf
+      precondition);
+    - MOV vs. MOV: interfering wholesale — ancestry ("move into own
+      subtree") is transitive and two id sets cannot decide it, so moves
+      keep their relative order.  This is the one deliberately conservative
+      rule.
+
+    The interference edges form a DAG (edges always point forward in script
+    order).  Three derived services:
+
+    - {b canonical normal form} ({!canonicalize}): the deterministic
+      minimum-key topological reorder.  Equal final trees, §4 phase order
+      preserved for valid scripts, idempotent — the checkable contract the
+      store's [diff_between] promises for composed scripts;
+    - {b dead-op elision} ({!normalize}, TD503): structural ops whose
+      effect is provably unobservable (a MOV overwritten by the next MOV or
+      DEL of the same node, an INS cancelled by its own DEL) are dropped
+      before canonicalizing;
+    - {b parallel apply} ({!apply_parallel}): weakly-connected components
+      of the DAG touch pairwise-disjoint mutable state, so the slices can
+      be applied concurrently on a {!Treediff_util.Pool} with results
+      byte-identical to {!Treediff_edit.Script.apply}.
+
+    Scripts handed to the analyzer are assumed lint-clean
+    ({!Script_lint.run} reports no errors); {!apply_parallel} checks this
+    itself, the other entry points leave it to the caller (the verifier
+    runs the linter first). *)
+
+type info = {
+  op : Treediff_edit.Op.t;
+  index : int;              (** position in the analyzed script *)
+  subject : int;            (** the id the op acts on *)
+  dest : int option;        (** INS/MOV destination parent *)
+  old_parent : int option;  (** application-time parent, for MOV/DEL *)
+  touched : int list;       (** child lists the op rewrites *)
+}
+
+type t
+
+val build :
+  ?exec:Treediff_util.Exec.t -> tree:Treediff_tree.Node.t ->
+  Treediff_edit.Script.t -> t
+(** Construct the dependence graph for [script] applied to [tree] (which is
+    not retained or mutated).  Budget-charged (one visit per op, one tick
+    per edge) and guarded by the [check.depgraph] fault point.  Edge
+    construction is chain-based — linear in ops plus edges — and its
+    transitive closure covers every interfering pair (it may also order
+    some commuting pairs; that costs parallelism, never soundness). *)
+
+val length : t -> int
+val edges : t -> int
+val info : t -> int -> info
+val ops : t -> Treediff_edit.Script.t
+
+val interferes : t -> int -> int -> bool
+(** The precise pairwise decision procedure, by op index.  Symmetric;
+    [interferes g i i] is false. *)
+
+val commutes : t -> int -> int -> bool
+
+val components : t -> int array array
+(** The commuting slices: weakly-connected components of the dependence
+    DAG, each an ascending array of op indices, ordered by smallest
+    member.  Ops in different slices touch pairwise-disjoint state. *)
+
+val canonical_order : t -> int array
+(** Deterministic Kahn topological order: among ready ops, the least
+    (delete-phase, kind, subject id, original index) key first.  Deletes
+    sink to the end, so for a §4-valid input the §4 phase convention is
+    preserved.
+    @raise Diag.Failed [TD901] if the graph is cyclic (impossible for
+    scripts built by {!build}, whose edges all point forward). *)
+
+val canonicalize :
+  ?exec:Treediff_util.Exec.t -> tree:Treediff_tree.Node.t ->
+  Treediff_edit.Script.t -> Treediff_edit.Script.t
+(** [reorder] by {!canonical_order}: same ops, same final tree, canonical
+    order.  Idempotent. *)
+
+val is_canonical :
+  ?exec:Treediff_util.Exec.t -> tree:Treediff_tree.Node.t ->
+  Treediff_edit.Script.t -> bool
+
+val dead_ops : t -> (int * Diag.t) list
+(** Provably dead structural ops with their TD503 diagnostics, in script
+    order.  Each finding is individually sound: dropping {e that one} op
+    (for a dead INS, the op and its cancelling DEL) leaves an equivalent
+    script.  Simultaneous drops are not sound in general — see
+    {!normalize}. *)
+
+val normalize :
+  ?exec:Treediff_util.Exec.t -> tree:Treediff_tree.Node.t ->
+  Treediff_edit.Script.t -> Treediff_edit.Script.t
+(** Elide dead ops one at a time to a fixpoint (re-analyzing after every
+    drop), then {!canonicalize}.  The composition-churn cleaner the store
+    uses on chained scripts. *)
+
+val equivalent :
+  ?exec:Treediff_util.Exec.t -> tree:Treediff_tree.Node.t ->
+  Treediff_edit.Script.t -> Treediff_edit.Script.t -> (unit, string) result
+(** Replay both scripts on [tree] symbolically and compare the results
+    structurally, {e ignoring node ids} (because
+    {!Treediff_edit.Script.compose} remaps colliding insert ids).
+    [Error msg] describes the first divergence, or the first invalid op. *)
+
+val verify_rewrite :
+  ?exec:Treediff_util.Exec.t -> tree:Treediff_tree.Node.t ->
+  original:Treediff_edit.Script.t -> rewritten:Treediff_edit.Script.t ->
+  unit -> Diag.t list
+(** The canonicalization contract, as diagnostics: TD501 (error) if
+    [rewritten] is not equivalent to [original] over [tree], else TD502
+    (warning) if [rewritten] is not in canonical order. *)
+
+val audit :
+  ?exec:Treediff_util.Exec.t -> ?dead:bool -> tree:Treediff_tree.Node.t ->
+  Treediff_edit.Script.t -> Diag.t list
+(** The verifier's depgraph pass: canonicalize and prove the reorder
+    equivalent (TD501 on any divergence — an analyzer or script
+    inconsistency).  With [~dead:true] also report TD503 dead-op warnings
+    (off by default: a generator may legitimately emit a dead move, and the
+    always-on sanitizer must stay silent on clean pipelines). *)
+
+val apply_parallel :
+  ?exec:Treediff_util.Exec.t -> ?pool:Treediff_util.Pool.t -> ?jobs:int ->
+  Treediff_tree.Node.t -> Treediff_edit.Script.t -> Treediff_tree.Node.t
+(** Apply [script] to a copy of the tree by running the commuting slices of
+    its dependence graph concurrently ([?pool] if given, else a fresh pool
+    of [jobs]; [jobs <= 1] or a single slice runs inline).  The result is
+    byte-identical to {!Treediff_edit.Script.apply} under any schedule.
+    @raise Treediff_edit.Script.Apply_error if the script does not lint. *)

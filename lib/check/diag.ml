@@ -34,6 +34,11 @@ type code =
   | Ghost_structure
   | Ghost_root
   | Delta_mismatch
+  | Illegal_fusion
+  | Non_canonical
+  | False_dependence
+  | Non_minimal
+  | Oracle_budget
   | Internal_invariant
 
 let id = function
@@ -70,19 +75,26 @@ let id = function
   | Ghost_structure -> "TD403"
   | Ghost_root -> "TD404"
   | Delta_mismatch -> "TD405"
+  | Illegal_fusion -> "TD501"
+  | Non_canonical -> "TD502"
+  | False_dependence -> "TD503"
+  | Non_minimal -> "TD601"
+  | Oracle_budget -> "TD602"
   | Internal_invariant -> "TD901"
 
 let default_severity = function
   | Leaf_criterion | Internal_criterion | Kind_mismatch | Mc3_ambiguous
   | Label_cycle | Insert_count | Delete_count | Redundant_update
-  | Redundant_move | Move_count ->
+  | Redundant_move | Move_count | Non_canonical | False_dependence
+  | Non_minimal | Oracle_budget ->
     Warning
   | Script_parse | Delta_parse | Use_after_delete | Duplicate_insert
   | Deleted_destination | Position_oob | Delete_non_leaf | Phase_order
   | Move_into_subtree | Unknown_node | Root_edit | Not_one_to_one
   | Unmatched_id | Label_mismatch | Root_mismatch | Not_isomorphic
   | Deletes_matched | Inserts_matched | Marker_unpaired | Marker_duplicate
-  | Ghost_structure | Ghost_root | Delta_mismatch | Internal_invariant ->
+  | Ghost_structure | Ghost_root | Delta_mismatch | Illegal_fusion
+  | Internal_invariant ->
     Error
 
 type t = {

@@ -9,6 +9,9 @@
     - [TD2xx] — matching analysis: one-to-one-ness, roots, criteria 1–3;
     - [TD3xx] — conformance and minimality of a script against a matching;
     - [TD4xx] — delta-tree structure;
+    - [TD5xx] — interference analysis: fusion legality, canonical order,
+      false dependences (see {!Depgraph});
+    - [TD6xx] — exhaustive minimality oracle verdicts (see {!Oracle});
     - [TD9xx] — internal invariants of the generator itself.
 
     The generator and the verifier both report violations through this one
@@ -52,6 +55,11 @@ type code =
   | Ghost_structure     (** [TD403] malformed ghost subtree in a delta *)
   | Ghost_root          (** [TD404] delta root is a ghost *)
   | Delta_mismatch      (** [TD405] stripped delta differs from the new tree *)
+  | Illegal_fusion      (** [TD501] composed/reordered script is not equivalent to the original *)
+  | Non_canonical       (** [TD502] script order differs from the canonical normal form (warning) *)
+  | False_dependence    (** [TD503] provably dead op: its effect is overwritten unobserved (warning) *)
+  | Non_minimal         (** [TD601] oracle found a strictly cheaper script (warning) *)
+  | Oracle_budget       (** [TD602] oracle budget exhausted before a minimality proof (warning) *)
   | Internal_invariant  (** [TD901] generator invariant broken *)
 
 val id : code -> string

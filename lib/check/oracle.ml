@@ -1,0 +1,270 @@
+module Node = Treediff_tree.Node
+module Exec = Treediff_util.Exec
+module Budget = Treediff_util.Budget
+
+(* Immutable tree states, compared structurally (ids are irrelevant to the
+   distance: any script achieving a shape can renumber its inserts). *)
+type st = { l : string; v : string; k : st array }
+
+let rec of_node (n : Node.t) =
+  {
+    l = n.Node.label;
+    v = n.Node.value;
+    k = Array.of_list (List.map of_node (Node.children n));
+  }
+
+let rec st_size s = Array.fold_left (fun a c -> a + st_size c) 1 s.k
+
+(* Canonical serialization: length-prefixed fields, so labels and values
+   containing delimiters cannot collide. *)
+let key s =
+  let buf = Buffer.create 64 in
+  let rec go s =
+    Buffer.add_string buf (string_of_int (String.length s.l));
+    Buffer.add_char buf ':';
+    Buffer.add_string buf s.l;
+    Buffer.add_string buf (string_of_int (String.length s.v));
+    Buffer.add_char buf ':';
+    Buffer.add_string buf s.v;
+    Buffer.add_char buf '[';
+    Array.iter go s.k;
+    Buffer.add_char buf ']'
+  in
+  go s;
+  Buffer.contents buf
+
+(* ------------------------------------------------- functional tree edits *)
+
+(* Paths are child-index lists from the root. *)
+let nodes_with_paths s =
+  let acc = ref [] in
+  let rec go path s =
+    acc := (List.rev path, s) :: !acc;
+    Array.iteri (fun i c -> go (i :: path) c) s.k
+  in
+  go [] s;
+  List.rev !acc
+
+let replace_children s k = { s with k }
+
+let rec update_at s path v =
+  match path with
+  | [] -> { s with v }
+  | i :: rest ->
+    let k = Array.copy s.k in
+    k.(i) <- update_at k.(i) rest v;
+    replace_children s k
+
+(* Remove the subtree at a non-empty path; returns (subtree, remaining). *)
+let rec remove_at s path =
+  match path with
+  | [] -> invalid_arg "remove_at: root"
+  | [ i ] ->
+    let sub = s.k.(i) in
+    let k =
+      Array.init
+        (Array.length s.k - 1)
+        (fun j -> if j < i then s.k.(j) else s.k.(j + 1))
+    in
+    (sub, replace_children s k)
+  | i :: rest ->
+    let sub, child = remove_at s.k.(i) rest in
+    let k = Array.copy s.k in
+    k.(i) <- child;
+    (sub, replace_children s k)
+
+let rec insert_at s path pos sub =
+  match path with
+  | [] ->
+    let n = Array.length s.k in
+    let k =
+      Array.init (n + 1) (fun j ->
+          if j < pos then s.k.(j) else if j = pos then sub else s.k.(j - 1))
+    in
+    replace_children s k
+  | i :: rest ->
+    let k = Array.copy s.k in
+    k.(i) <- insert_at k.(i) rest pos sub;
+    replace_children s k
+
+(* ------------------------------------------------------------- successors *)
+
+(* Candidate pools from both endpoint trees.  Union pools keep the edge
+   relation symmetric (the backward search from [t2] walks the same graph:
+   every op is invertible and the inverse's label/value is in the union),
+   and they are complete for minimality: a minimal script never inserts a
+   node it later deletes nor updates through a value absent from both
+   endpoints, so restricting INS/UPD to the union cannot lose an optimal
+   path. *)
+type pools = {
+  leaves : (string * string) list;           (* (label, value) for INS *)
+  values : (string, string list) Hashtbl.t;  (* label -> UPD candidates *)
+}
+
+let pools_of t1 t2 =
+  let leaves = Hashtbl.create 32 in
+  let values : (string, string list) Hashtbl.t = Hashtbl.create 32 in
+  let add s =
+    let rec go s =
+      Hashtbl.replace leaves (s.l, s.v) ();
+      let vs = Option.value ~default:[] (Hashtbl.find_opt values s.l) in
+      if not (List.mem s.v vs) then Hashtbl.replace values s.l (s.v :: vs);
+      Array.iter go s.k
+    in
+    go s
+  in
+  add t1;
+  add t2;
+  { leaves = Hashtbl.fold (fun p () acc -> p :: acc) leaves []; values }
+
+let successors pools max_size s =
+  let out = ref [] in
+  let emit s' = out := s' :: !out in
+  let all = nodes_with_paths s in
+  let size = st_size s in
+  (* DEL: any non-root leaf. *)
+  List.iter
+    (fun (path, n) ->
+      if path <> [] && Array.length n.k = 0 then
+        emit (snd (remove_at s path)))
+    all;
+  (* UPD: any node, to any candidate value for its label. *)
+  List.iter
+    (fun (path, n) ->
+      match Hashtbl.find_opt pools.values n.l with
+      | None -> ()
+      | Some vs ->
+        List.iter (fun v -> if not (String.equal v n.v) then emit (update_at s path v)) vs)
+    all;
+  (* INS: any pooled leaf, under any node, at any position. *)
+  if size < max_size then
+    List.iter
+      (fun (path, n) ->
+        let a = Array.length n.k in
+        List.iter
+          (fun (l, v) ->
+            for pos = 0 to a do
+              emit (insert_at s path pos { l; v; k = [||] })
+            done)
+          pools.leaves)
+      all;
+  (* MOV: remove any non-root subtree, re-insert anywhere in the rest. *)
+  List.iter
+    (fun (path, _) ->
+      if path <> [] then begin
+        let sub, rest = remove_at s path in
+        List.iter
+          (fun (ppath, pn) ->
+            let a = Array.length pn.k in
+            for pos = 0 to a do
+              emit (insert_at rest ppath pos sub)
+            done)
+          (nodes_with_paths rest)
+      end)
+    all;
+  !out
+
+(* ----------------------------------------------------------------- search *)
+
+type verdict =
+  | Proved of int       (* the true minimum unweighted cost *)
+  | Unproven of string  (* budget exhausted before a proof *)
+
+(* Bidirectional unit-cost BFS between the two endpoint shapes.
+
+   Every operation is invertible (INS/DEL, UPD/UPD, MOV/MOV) with the
+   inverse drawn from the same union pools, so the state graph is
+   undirected and a backward level from [t2] uses the same successor
+   function.  Levels alternate (smaller frontier first); a state inserted
+   on one side and already visited by the other witnesses a path, and once
+   [df + db >= best - 1] every path shorter than [best] has been seen, so
+   [best] is the exact minimum.
+
+   The caller passes [ub], a cost it can already achieve (the generator's
+   unweighted measure).  Sequences found here ignore the §4 delete-last
+   convention, but that loses nothing: deletes always commute to the end
+   of a sequence with positions renumbered, at equal length, so the
+   unrestricted minimum equals the phase-ordered minimum.
+
+   Expansion is capped by [max_states] and charged to the exec budget (one
+   visit per expanded state), so a deadline or node cap aborts the search
+   as a typed [Budget.Exceeded]. *)
+let search ?(exec = Exec.create ()) ?(max_states = 200_000) ~ub t1 t2 =
+  Exec.fault exec "check.oracle";
+  let budget = Exec.budget exec in
+  let s1 = of_node t1 and s2 = of_node t2 in
+  if ub < 0 then invalid_arg "Oracle.search: negative ub";
+  if String.equal (key s1) (key s2) then Proved 0
+  else if ub = 0 then
+    (* The caller claims cost 0 but the shapes differ — impossible for a
+       correct script; report the contradiction as unproven. *)
+    Unproven "ub = 0 but the trees differ"
+  else begin
+    let pools = pools_of s1 s2 in
+    let max_size = max (st_size s1) (st_size s2) + ub in
+    let visited_f : (string, int) Hashtbl.t = Hashtbl.create 1024 in
+    let visited_b : (string, int) Hashtbl.t = Hashtbl.create 1024 in
+    Hashtbl.replace visited_f (key s1) 0;
+    Hashtbl.replace visited_b (key s2) 0;
+    let frontier_f = ref [ s1 ] and frontier_b = ref [ s2 ] in
+    let df = ref 0 and db = ref 0 in
+    let best = ref ub in
+    let expanded = ref 0 in
+    let target_size_f = st_size s2 and target_size_b = st_size s1 in
+    (try
+       while !df + !db < !best - 1 && !frontier_f <> [] && !frontier_b <> [] do
+         let forward = List.length !frontier_f <= List.length !frontier_b in
+         let frontier, visited, other, depth, target_size =
+           if forward then (frontier_f, visited_f, visited_b, df, target_size_f)
+           else (frontier_b, visited_b, visited_f, db, target_size_b)
+         in
+         let next = ref [] in
+         let g = !depth + 1 in
+         List.iter
+           (fun s ->
+             incr expanded;
+             Budget.visit budget;
+             if !expanded > max_states then raise Exit;
+             List.iter
+               (fun s' ->
+                 (* Size-gap pruning: a path through s' costs at least
+                    g + |target - size|; drop it if that cannot beat best. *)
+                 if g + abs (target_size - st_size s') < !best then begin
+                   let ks' = key s' in
+                   if not (Hashtbl.mem visited ks') then begin
+                     Hashtbl.replace visited ks' g;
+                     next := s' :: !next;
+                     match Hashtbl.find_opt other ks' with
+                     | Some d -> if g + d < !best then best := g + d
+                     | None -> ()
+                   end
+                 end)
+               (successors pools max_size s))
+           !frontier;
+         frontier := !next;
+         depth := g
+       done;
+       Proved !best
+     with Exit ->
+       Unproven
+         (Printf.sprintf "state budget exhausted (%d states, depths %d+%d, best %d)"
+            max_states !df !db !best))
+  end
+
+(* ------------------------------------------------------------ diagnostics *)
+
+let diags ?nodes ~ub verdict =
+  match verdict with
+  | Proved d when d < ub ->
+    [
+      Diag.warn ?nodes Non_minimal
+        "script is provably non-minimal: oracle found cost %d, generator \
+         produced %d"
+        d ub;
+    ]
+  | Proved _ -> []
+  | Unproven reason ->
+    [
+      Diag.warn ?nodes Oracle_budget
+        "minimality unproven (generator cost %d): %s" ub reason;
+    ]

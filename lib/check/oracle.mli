@@ -1,0 +1,35 @@
+(** Exhaustive minimal-script oracle for tiny trees (the TD6xx family).
+
+    The generator's scripts are minimum-cost only {e relative to the
+    matching} (§4); this module plays SAT-DIFF's role and computes the true
+    minimum unweighted cost [d] between two small trees by bidirectional
+    unit-cost search over tree {e shapes} (ids ignored — a script achieving
+    a shape can always renumber its inserts).  Intended for subtrees of at
+    most ~8 nodes: the state space is exponential, so the search is
+    budget-bounded and returns {!Unproven} rather than guessing.
+
+    Soundness notes: INS/UPD candidates are drawn from the union of both
+    endpoints' labels and values (a minimal script never inserts a node it
+    later deletes, nor updates through a foreign value), and the search
+    ignores the delete-last phase convention, which loses nothing — deletes
+    commute to the end of any sequence at equal length. *)
+
+type verdict =
+  | Proved of int       (** the true minimum unweighted cost *)
+  | Unproven of string  (** state budget exhausted before a proof *)
+
+val search :
+  ?exec:Treediff_util.Exec.t -> ?max_states:int -> ub:int ->
+  Treediff_tree.Node.t -> Treediff_tree.Node.t -> verdict
+(** [search ~ub t1 t2] proves the minimum edit cost between the trees,
+    given [ub], a cost the caller already achieves (the generator's
+    unweighted measure — the search never explores deeper).  [max_states]
+    (default 200_000) caps expanded states; the exec budget is charged one
+    visit per expansion, so deadlines abort as {!Treediff_util.Budget.Exceeded}.
+    Guarded by the [check.oracle] fault point.  Neither tree is retained or
+    mutated. *)
+
+val diags : ?nodes:int list -> ub:int -> verdict -> Diag.t list
+(** Render a verdict against the generator's cost: TD601 (warning) when a
+    strictly cheaper script exists, TD602 (warning) when the budget ran out
+    first, nothing when the generator is proved minimal. *)

@@ -82,6 +82,36 @@ let move t ~id ~parent ~pos =
   Vec.insert p.children (pos - 1) id;
   (get t id).parent <- parent
 
+let first_difference_sims a b =
+  let exception Diff of string in
+  let rec walk path xid yid =
+    let x = get a xid and y = get b yid in
+    let where () = if path = "" then "/" else path in
+    if not (String.equal x.label y.label) then
+      raise
+        (Diff
+           (Printf.sprintf "%s: label %S vs %S (nodes %d vs %d)" (where ())
+              x.label y.label xid yid));
+    if not (String.equal x.value y.value) then
+      raise
+        (Diff
+           (Printf.sprintf "%s: value %S vs %S (nodes %d vs %d)" (where ())
+              x.value y.value xid yid));
+    let n1 = Vec.length x.children and n2 = Vec.length y.children in
+    if n1 <> n2 then
+      raise
+        (Diff
+           (Printf.sprintf "%s: %d children vs %d (nodes %d vs %d)" (where ())
+              n1 n2 xid yid));
+    Vec.iteri
+      (fun i c ->
+        walk (Printf.sprintf "%s/%d" path i) c (Vec.get y.children i))
+      x.children
+  in
+  match walk "" a.root b.root with
+  | () -> None
+  | exception Diff msg -> Some msg
+
 let first_difference t (target : Node.t) =
   let exception Diff of string in
   let rec walk path sid (y : Node.t) =

@@ -51,3 +51,8 @@ val first_difference : t -> Treediff_tree.Node.t -> string option
 (** Isomorphism check of the simulated tree against a real tree: [None]
     when they agree on labels, values and child order everywhere, otherwise
     a description of the first (preorder) disagreement. *)
+
+val first_difference_sims : t -> t -> string option
+(** Like {!first_difference} but between two simulated trees, ignoring node
+    identifiers — the comparison the interference analyzer needs, because
+    {!Treediff_edit.Script.compose} may remap inserted ids. *)

@@ -1,7 +1,30 @@
 exception Parse_error of string
 
-let fail pos fmt =
-  Printf.ksprintf (fun m -> raise (Parse_error (Printf.sprintf "at offset %d: %s" pos m))) fmt
+(* Tokenizer-stage failure: locate by byte offset and quote the raw input
+   slice under the cursor (up to the next whitespace, capped). *)
+let fail_src s pos fmt =
+  Printf.ksprintf
+    (fun m ->
+      let n = String.length s in
+      let extra =
+        if pos >= n then ""
+        else begin
+          let stop = ref pos in
+          while
+            !stop < n
+            && !stop - pos < 20
+            && match s.[!stop] with ' ' | '\t' | '\n' | '\r' -> false | _ -> true
+          do
+            incr stop
+          done;
+          if !stop = pos then ""
+          else
+            Printf.sprintf " (offending input %S)"
+              (String.sub s pos (!stop - pos))
+        end
+      in
+      raise (Parse_error (Printf.sprintf "at offset %d: %s%s" pos m extra)))
+    fmt
 
 (* ----------------------------------------------------------------- print *)
 
@@ -65,6 +88,27 @@ let to_string d =
 
 type token = Lparen | Rparen | Lbrack | Rbrack | Atom of string | Str of string | Int of int
 
+let token_text = function
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Lbrack -> "["
+  | Rbrack -> "]"
+  | Atom a -> a
+  | Str v -> "\"" ^ escape v ^ "\""
+  | Int k -> string_of_int k
+
+(* Parser-stage failure: locate by the token's 1-based ordinal in the
+   stream (the "op index" of this format) and its byte offset, and quote
+   the offending token itself. *)
+let fail_tok (tok, pos, ord) fmt =
+  Printf.ksprintf
+    (fun m ->
+      raise
+        (Parse_error
+           (Printf.sprintf "at token %d (offset %d): %s (offending token %S)"
+              ord pos m (token_text tok))))
+    fmt
+
 let tokenize s =
   let n = String.length s in
   let toks = ref [] in
@@ -90,18 +134,18 @@ let tokenize s =
         (match s.[!i] with
         | '"' -> closed := true
         | '\\' ->
-          if !i + 1 >= n then fail start "unterminated escape";
+          if !i + 1 >= n then fail_src s start "unterminated escape";
           incr i;
           (match s.[!i] with
           | 'n' -> Buffer.add_char buf '\n'
           | 't' -> Buffer.add_char buf '\t'
           | '\\' -> Buffer.add_char buf '\\'
           | '"' -> Buffer.add_char buf '"'
-          | c -> fail !i "unknown escape '\\%c'" c)
+          | c -> fail_src s !i "unknown escape '\\%c'" c)
         | c -> Buffer.add_char buf c);
         incr i
       done;
-      if not !closed then fail start "unterminated string";
+      if not !closed then fail_src s start "unterminated string";
       toks := (Str (Buffer.contents buf), start) :: !toks
     | '0' .. '9' ->
       let start = !i in
@@ -110,7 +154,7 @@ let tokenize s =
       done;
       (match int_of_string_opt (String.sub s start (!i - start)) with
       | Some k -> toks := (Int k, start) :: !toks
-      | None -> fail start "integer literal %s out of range" (String.sub s start (!i - start)))
+      | None -> fail_src s start "integer literal %s out of range" (String.sub s start (!i - start)))
     | c when is_atom c ->
       let start = !i in
       while
@@ -122,17 +166,24 @@ let tokenize s =
         incr i
       done;
       toks := (Atom (String.sub s start (!i - start)), start) :: !toks
-    | c -> fail !i "unexpected character %C" c);
+    | c -> fail_src s !i "unexpected character %C" c);
     ()
   done;
   List.rev !toks
 
 let of_string s =
-  let toks = ref (tokenize s) in
+  (* Number the tokens (1-based) so errors can name the token ordinal. *)
+  let toks =
+    ref (List.mapi (fun i (t, p) -> (t, p, i + 1)) (tokenize s))
+  in
   let peek () = match !toks with [] -> None | t :: _ -> Some t in
   let next () =
     match !toks with
-    | [] -> fail (String.length s) "unexpected end of input"
+    | [] ->
+      raise
+        (Parse_error
+           (Printf.sprintf "at offset %d: unexpected end of input"
+              (String.length s)))
     | t :: rest ->
       toks := rest;
       t
@@ -141,82 +192,85 @@ let of_string s =
   let parse_annots () =
     let base = ref Delta.Identical and moved = ref None in
     let base_set = ref false and moved_set = ref false in
-    let set_base p b =
-      if !base_set then fail p "duplicate base annotation (ins|del|mrk|upd)";
+    let set_base t b =
+      if !base_set then fail_tok t "duplicate base annotation (ins|del|mrk|upd)";
       base_set := true;
       base := b
     in
-    let set_moved p m =
-      if !moved_set then fail p "duplicate move annotation";
+    let set_moved t m =
+      if !moved_set then fail_tok t "duplicate move annotation";
       moved_set := true;
       moved := m
     in
     ignore (next ()) (* Lbrack *);
     let rec loop () =
       match next () with
-      | Rbrack, _ -> ()
-      | Atom "ins", p ->
-        set_base p Delta.Inserted;
+      | Rbrack, _, _ -> ()
+      | (Atom "ins", _, _) as t ->
+        set_base t Delta.Inserted;
         loop ()
-      | Atom "del", p ->
-        set_base p Delta.Deleted;
+      | (Atom "del", _, _) as t ->
+        set_base t Delta.Deleted;
         loop ()
-      | Atom "mrk", p -> (
+      | (Atom "mrk", _, _) as t -> (
         match next () with
-        | Int k, _ ->
-          set_base p Delta.Marker;
-          set_moved p (if k = 0 then None else Some k);
+        | Int k, _, _ ->
+          set_base t Delta.Marker;
+          set_moved t (if k = 0 then None else Some k);
           loop ()
-        | _, _ -> fail p "mrk needs a marker number")
-      | Atom "upd", p -> (
+        | bad -> fail_tok bad "mrk needs a marker number")
+      | (Atom "upd", _, _) as t -> (
         match next () with
-        | Str old, _ ->
-          set_base p (Delta.Updated old);
+        | Str old, _, _ ->
+          set_base t (Delta.Updated old);
           loop ()
-        | _, _ -> fail p "upd needs the old value string")
-      | Atom "mov", p -> (
+        | bad -> fail_tok bad "upd needs the old value string")
+      | (Atom "mov", _, _) as t -> (
         match next () with
-        | Int k, _ ->
-          set_moved p (Some k);
+        | Int k, _, _ ->
+          set_moved t (Some k);
           loop ()
-        | _, _ -> fail p "mov needs a marker number")
-      | _, p -> fail p "unknown annotation"
+        | bad -> fail_tok bad "mov needs a marker number")
+      | bad -> fail_tok bad "unknown annotation"
     in
     loop ();
     (!base, !moved)
   in
   let rec parse_node () =
-    (match next () with Lparen, _ -> () | _, p -> fail p "expected '('");
+    (match next () with Lparen, _, _ -> () | bad -> fail_tok bad "expected '('");
     let label =
-      match next () with Atom a, _ -> a | _, p -> fail p "expected label"
+      match next () with Atom a, _, _ -> a | bad -> fail_tok bad "expected label"
     in
     let value =
       match peek () with
-      | Some (Str v, _) ->
+      | Some (Str v, _, _) ->
         ignore (next ());
         v
       | _ -> ""
     in
     let base, moved =
       match peek () with
-      | Some (Lbrack, _) -> parse_annots ()
+      | Some (Lbrack, _, _) -> parse_annots ()
       | _ -> (Delta.Identical, None)
     in
     let children = ref [] in
     let rec loop () =
       match peek () with
-      | Some (Rparen, _) -> ignore (next ())
-      | Some (Lparen, _) ->
+      | Some (Rparen, _, _) -> ignore (next ())
+      | Some (Lparen, _, _) ->
         children := parse_node () :: !children;
         loop ()
-      | Some (_, p) -> fail p "expected child or ')'"
-      | None -> fail (String.length s) "missing ')'"
+      | Some bad -> fail_tok bad "expected child or ')'"
+      | None ->
+        raise
+          (Parse_error
+             (Printf.sprintf "at offset %d: missing ')'" (String.length s)))
     in
     loop ();
     { Delta.label; value; base; moved; children = List.rev !children }
   in
   let d = parse_node () in
-  (match peek () with Some (_, p) -> fail p "trailing input" | None -> ());
+  (match peek () with Some bad -> fail_tok bad "trailing input" | None -> ());
   d
 
 let parse s =

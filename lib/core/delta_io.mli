@@ -24,9 +24,13 @@ exception Parse_error of string
 val to_string : Delta.t -> string
 
 val of_string : string -> Delta.t
-(** @raise Parse_error on malformed input. *)
+(** @raise Parse_error on malformed input.  Parser-stage errors name the
+    offending token — its 1-based ordinal in the stream, byte offset, and
+    text; tokenizer-stage errors quote the raw input slice at the failing
+    offset. *)
 
 val parse : string -> (Delta.t, string) result
 (** Exception-free front end to {!of_string}: malformed input — truncated
     trees, duplicate annotations, out-of-range integers — comes back as
-    [Error] with an offset-tagged message.  Never raises. *)
+    [Error] with the token-indexed, offset-tagged message.  Never
+    raises. *)

@@ -1,0 +1,59 @@
+(** Exhaustive minimality audit of the generator's output on tiny subtrees
+    (the [treediff check --audit-exhaustive] harness).
+
+    Algorithm EditScript is minimum-cost only {e relative to the matching}
+    (§4); this module measures how far that is from true minimality where
+    the question is decidable: it walks the old tree top-down, carves out
+    every {e maximal} matched subtree pair with both sides at or under the
+    node budget (default 8 — SAT-DIFF's regime), regenerates the standalone
+    script for the pair under the restriction of the global matching, and
+    asks {!Treediff_check.Oracle.search} to prove that op count minimal.
+    Only pairs {e closed} under the matching are audited — every matched
+    node of either subtree must have its partner in the other, since a
+    boundary-crossing pair makes the standalone instance lie about the
+    global script's local cost.  Audited regions are disjoint, so one diff
+    yields many independent, cheaply decidable instances instead of one
+    intractable one.
+
+    Verdicts render as TD601 (provably non-minimal: the oracle found a
+    strictly cheaper script) and TD602 (state budget exhausted before a
+    proof); a proved-minimal pair is silent.  Both are warnings — matching
+    -relative minimality is the documented contract, and the audit exists
+    to quantify the gap, not to fail builds over it. *)
+
+type audit = {
+  old_root : int;  (** root id of the audited old subtree *)
+  new_root : int;  (** its partner in the new tree *)
+  nodes : int;  (** size of the old subtree (at most the node budget) *)
+  generated : int;  (** op count Edit_gen produced for the pair *)
+  verdict : Treediff_check.Oracle.verdict;
+}
+
+type report = {
+  audited : int;
+  proved_minimal : int;  (** verdicts proving [generated] exactly minimal *)
+  non_minimal : int;  (** verdicts with a strictly cheaper script (TD601) *)
+  unproven : int;  (** state budget ran out first (TD602) *)
+  audits : audit list;  (** per-pair detail, in old-tree preorder *)
+  diags : Treediff_check.Diag.t list;  (** rendered TD6xx findings *)
+}
+
+val run :
+  ?exec:Treediff_util.Exec.t ->
+  ?max_nodes:int ->
+  ?max_states:int ->
+  matching:Treediff_matching.Matching.t ->
+  t1:Treediff_tree.Node.t ->
+  t2:Treediff_tree.Node.t ->
+  unit ->
+  report
+(** [run ~matching ~t1 ~t2 ()] audits every maximal matched subtree pair of
+    size at most [max_nodes] (default 8).  [matching] is the diff's
+    pre-extension matching ({!Diff.t}'s [matching] field); neither tree is
+    mutated.  [max_states] bounds each oracle search (see
+    {!Treediff_check.Oracle.search}); the exec budget is charged one visit
+    per audited pair plus the oracle's own per-state charges, so a deadline
+    aborts as {!Treediff_util.Budget.Exceeded}. *)
+
+val summary : report -> string
+(** One human-readable line with the four counters. *)

@@ -35,12 +35,45 @@ let to_channel oc script = output_string oc (to_string script)
 
 (* ----------------------------------------------------------------- parse *)
 
-(* A tiny cursor over one line. *)
-type cursor = { line : string; lineno : int; mutable pos : int }
+(* A tiny cursor over one line.  [opno] is the 1-based ordinal of the
+   operation in the script (comment and blank lines do not count), so an
+   error in a long stored script names the op to look at, not just a
+   file position. *)
+type cursor = { line : string; lineno : int; opno : int; mutable pos : int }
+
+(* The token under the cursor, for error messages: a maximal run of
+   label/number/string characters, or the single delimiter itself. *)
+let token_at c =
+  let n = String.length c.line in
+  if c.pos >= n then None
+  else
+    let is_tok = function
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | ':' | '#'
+      | '@' | '"' | '\\' ->
+        true
+      | _ -> false
+    in
+    if not (is_tok c.line.[c.pos]) then Some (String.make 1 c.line.[c.pos])
+    else begin
+      let e = ref c.pos in
+      while !e < n && is_tok c.line.[!e] do
+        incr e
+      done;
+      Some (String.sub c.line c.pos (!e - c.pos))
+    end
 
 let fail c fmt =
   Printf.ksprintf
-    (fun msg -> raise (Parse_error (Printf.sprintf "line %d, column %d: %s" c.lineno (c.pos + 1) msg)))
+    (fun msg ->
+      let where =
+        match token_at c with
+        | Some tok -> Printf.sprintf " (offending token %S)" tok
+        | None -> " (at end of line)"
+      in
+      raise
+        (Parse_error
+           (Printf.sprintf "op %d, line %d, column %d: %s%s" c.opno c.lineno
+              (c.pos + 1) msg where)))
     fmt
 
 let peek c = if c.pos < String.length c.line then Some c.line.[c.pos] else None
@@ -126,8 +159,8 @@ let string_lit c =
   loop ();
   Buffer.contents buf
 
-let parse_line lineno line =
-  let c = { line; lineno; pos = 0 } in
+let parse_line ~opno lineno line =
+  let c = { line; lineno; opno; pos = 0 } in
   let op_name = ident c in
   expect c '(';
   let op =
@@ -172,11 +205,16 @@ let parse_line lineno line =
 
 let of_string s =
   let lines = String.split_on_char '\n' s in
+  let opno = ref 0 in
   List.concat
     (List.mapi
        (fun i line ->
          let line = String.trim line in
-         if line = "" || line.[0] = '#' then [] else [ parse_line (i + 1) line ])
+         if line = "" || line.[0] = '#' then []
+         else begin
+           incr opno;
+           [ parse_line ~opno:!opno (i + 1) line ]
+         end)
        lines)
 
 let parse s =

@@ -21,12 +21,14 @@ exception Parse_error of string
 val to_string : Script.t -> string
 
 val of_string : string -> Script.t
-(** @raise Parse_error with a line-numbered message on malformed input. *)
+(** @raise Parse_error on malformed input.  The message locates the fault
+    precisely: the 1-based op ordinal (comment and blank lines do not
+    count), line, column, and the offending token under the cursor. *)
 
 val parse : string -> (Script.t, string) result
 (** Exception-free front end to {!of_string}: malformed input — truncated
     lines, bad escapes, out-of-range integers — comes back as [Error] with
-    the line-numbered message.  Never raises. *)
+    the op-indexed, line-numbered message.  Never raises. *)
 
 val to_channel : out_channel -> Script.t -> unit
 

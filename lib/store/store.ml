@@ -10,6 +10,7 @@ module Iso = Treediff_tree.Iso
 module Script = Treediff_edit.Script
 module Script_io = Treediff_edit.Script_io
 module Diag = Treediff_check.Diag
+module Depgraph = Treediff_check.Depgraph
 
 type kind = Snapshot | Delta | Checkpoint
 
@@ -472,27 +473,53 @@ let node_ids tree =
   Node.iter_preorder (fun n -> Hashtbl.replace ids n.Node.id ()) tree;
   ids
 
-(* Concatenating chain steps interleaves their delete phases, which the
-   §4 convention (and the lint) forbids.  Because every composable range
-   lives in one id space, the canonical equivalent falls out of Algorithm
-   EditScript run under the identity matching on shared ids: same
-   endpoints, phase-ordered, and minimal (redundant chain churn cancels). *)
+(* Concatenating chain steps interleaves their delete phases, which the §4
+   convention (and the lint) forbids.  The dependence analyzer repairs
+   that: {!Depgraph.normalize} elides churn the composition left behind
+   and reorders the script into canonical form, which sinks every delete
+   that nothing depends on to the tail.  Cross-version scripts can carry a
+   true non-DEL-after-DEL dependence (a later step editing a child list a
+   deletion already renumbered) that no reordering removes; those fall
+   back to Algorithm EditScript under the identity matching on shared ids
+   — same endpoints, phase-ordered, minimal — and the analyzer then
+   canonically orders that emission too.  Either way the result is checked
+   before it escapes: {!Depgraph.verify_rewrite} proves the returned
+   script equivalent to the raw composition (TD501 on divergence) and in
+   canonical order (TD502), so [diff_between]'s output contract —
+   canonical, §4 phase-ordered, same effect as the chain — is enforced,
+   not assumed. *)
 let canonicalize t ~from_ ~to_ composed =
-  if phase_ordered composed then Ok composed
-  else
-    Result.bind (materialize t from_) @@ fun t_from ->
-    Result.bind (materialize t to_) @@ fun t_to ->
-    let ids_from = node_ids t_from and ids_to = node_ids t_to in
-    let m = Treediff_matching.Matching.create () in
-    Hashtbl.iter
-      (fun id () -> if Hashtbl.mem ids_to id then Treediff_matching.Matching.add m id id)
-      ids_from;
-    match Treediff.Edit_gen.generate ~matching:m t_from t_to with
-    | r -> Ok r.Treediff.Edit_gen.script
-    | exception Diag.Failed ds ->
-      Error
-        ("internal: canonicalizing the composed script failed: "
-        ^ String.concat "; " (List.map Diag.to_string ds))
+  Result.bind (materialize t from_) @@ fun t_from ->
+  let exec = t.exec in
+  let candidate =
+    match Depgraph.normalize ~exec ~tree:t_from composed with
+    | s when phase_ordered s -> Ok s
+    | _ | (exception Diag.Failed _) ->
+      Result.bind (materialize t to_) @@ fun t_to ->
+      let ids_from = node_ids t_from and ids_to = node_ids t_to in
+      let m = Treediff_matching.Matching.create () in
+      Hashtbl.iter
+        (fun id () ->
+          if Hashtbl.mem ids_to id then Treediff_matching.Matching.add m id id)
+        ids_from;
+      (match Treediff.Edit_gen.generate ~matching:m t_from t_to with
+      | r -> Ok (Depgraph.canonicalize ~exec ~tree:t_from r.Treediff.Edit_gen.script)
+      | exception Diag.Failed ds ->
+        Error
+          ("internal: canonicalizing the composed script failed: "
+          ^ String.concat "; " (List.map Diag.to_string ds)))
+  in
+  Result.bind candidate @@ fun script ->
+  let diags =
+    Depgraph.verify_rewrite ~exec ~tree:t_from ~original:composed
+      ~rewritten:script ()
+  in
+  match Diag.errors diags with
+  | [] -> Ok script
+  | errs ->
+    Error
+      ("internal: canonicalized script does not match the composed chain: "
+      ^ String.concat "; " (List.map Diag.to_string errs))
 
 let diff_between t ~from_ ~to_ =
   Result.bind (find t from_) @@ fun _ ->
@@ -520,7 +547,9 @@ let diff_between t ~from_ ~to_ =
         | [] -> []
         | first :: rest -> List.fold_left Script.compose first rest
       in
-      canonicalize t ~from_ ~to_ composed
+      (match canonicalize t ~from_ ~to_ composed with
+      | r -> r
+      | exception Budget.Exceeded e -> Error (Budget.describe e))
   end
 
 (* --------------------------------------------------------------------- gc *)

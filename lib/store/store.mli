@@ -142,14 +142,22 @@ val diff_between :
 (** One composed script carrying version [from_] to version [to_]
     ({!Treediff_edit.Script.compose} over the stored chain — forward deltas
     when [from_ < to_], stored inverses when [from_ > to_]), applicable
-    directly to [materialize from_].  When concatenation interleaves the
-    steps' delete phases (forbidden by the §4 convention the lint
-    enforces), the script is re-emitted in canonical phase order by running
-    Algorithm EditScript under the identity matching on the chain's shared
-    id space — same endpoints, and minimal, so churn that cancels across
-    the range disappears.  Versions whose roots did not match at commit
-    time (dummy-rooted deltas) changed root identity, which no plain script
-    can express; these ranges are refused with an explanatory error. *)
+    directly to [materialize from_].
+
+    Output contract, enforced by the interference analyzer
+    ({!Treediff_check.Depgraph}) rather than assumed: the returned script
+    is in canonical dependence order ({!Treediff_check.Depgraph.is_canonical}),
+    §4 phase-ordered, and proved equivalent to the raw composition — a
+    divergence (TD501) is returned as an [Error], never as a silently
+    wrong script.  The analyzer first normalizes the composition (eliding
+    churn that cancels across the range, then reordering canonically);
+    when a genuine cross-step dependence pins a non-delete after a delete,
+    the script is instead re-emitted by Algorithm EditScript under the
+    identity matching on the chain's shared id space — same endpoints, and
+    minimal — then canonically ordered.  Versions whose roots did not
+    match at commit time (dummy-rooted deltas) changed root identity,
+    which no plain script can express; these ranges are refused with an
+    explanatory error. *)
 
 val gc : ?prune_before:int -> t -> (int * int, string) result
 (** Compact the archive in place (atomic rewrite: temp file + rename),

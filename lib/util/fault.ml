@@ -26,6 +26,8 @@ let registry =
     "edit_gen.align";
     "edit_gen.delete";
     "delta.build";
+    "check.depgraph";
+    "check.oracle";
     "zs.forest_dist";
     "store.commit";
     "store.append";

@@ -241,6 +241,31 @@ let test_delta_io_parse_result () =
   Alcotest.(check bool) "overflow is an Error, not a crash" true
     (err "(D [mov 99999999999999999999999999])" <> "")
 
+(* Parser-stage errors locate the offending token by 1-based ordinal and
+   quote it; tokenizer-stage errors quote the raw input slice. *)
+let test_delta_io_error_context () =
+  let err s =
+    match Delta_io.parse s with
+    | Error msg -> msg
+    | Ok _ -> Alcotest.fail (Printf.sprintf "parse accepted %S" s)
+  in
+  let contains ~sub s =
+    let n = String.length s and m = String.length sub in
+    let rec loop i = i + m <= n && (String.sub s i m = sub || loop (i + 1)) in
+    m = 0 || loop 0
+  in
+  (* ( D [ bogus -> the fourth token is the offender *)
+  let msg = err "(D [bogus])" in
+  Alcotest.(check bool) "token ordinal" true (contains ~sub:"token 4" msg);
+  Alcotest.(check bool) "token quoted" true (contains ~sub:{|"bogus"|} msg);
+  (* mov's argument (fifth token) is the wrong kind *)
+  let msg = err "(D [mov x])" in
+  Alcotest.(check bool) "wrong-kind argument located" true
+    (contains ~sub:"token 5" msg);
+  (* tokenizer failure: the raw slice is quoted *)
+  let msg = err "(D %oops)" in
+  Alcotest.(check bool) "raw input quoted" true (contains ~sub:"%oops" msg)
+
 let delta_io_roundtrip_prop =
   QCheck2.Test.make ~name:"delta_io round-trips generated deltas" ~count:80
     QCheck2.Gen.(int_bound 1_000_000)
@@ -312,6 +337,8 @@ let () =
           Alcotest.test_case "round-trip" `Quick test_delta_io_roundtrip;
           Alcotest.test_case "tricky values" `Quick test_delta_io_tricky_values;
           Alcotest.test_case "parse errors" `Quick test_delta_io_errors;
+          Alcotest.test_case "error token-index and text" `Quick
+            test_delta_io_error_context;
           Alcotest.test_case "result-typed parse" `Quick test_delta_io_parse_result;
           QCheck_alcotest.to_alcotest delta_io_roundtrip_prop;
         ] );

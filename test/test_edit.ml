@@ -247,6 +247,31 @@ let test_script_io_parse_result () =
   Alcotest.(check bool) "duplicated field" true
     (err "UPD(1,\"a\",\"b\")" <> "")
 
+(* Errors locate the op by its 1-based ordinal (comment and blank lines do
+   not count) and quote the offending token. *)
+let test_script_io_error_context () =
+  let err s =
+    match Script_io.parse s with
+    | Error msg -> msg
+    | Ok _ -> Alcotest.fail (Printf.sprintf "parse accepted %S" s)
+  in
+  let contains ~sub s =
+    let n = String.length s and m = String.length sub in
+    let rec loop i = i + m <= n && (String.sub s i m = sub || loop (i + 1)) in
+    m = 0 || loop 0
+  in
+  let msg = err "# header\n\nDEL(1)\nUPD(2,\"x\")\nMOV(bogus,1,1)\n" in
+  Alcotest.(check bool) "names the third op" true (contains ~sub:"op 3" msg);
+  Alcotest.(check bool) "names the line" true (contains ~sub:"line 5" msg);
+  Alcotest.(check bool) "quotes the offending token" true
+    (contains ~sub:{|"bogus"|} msg);
+  let msg = err "FOO(1)" in
+  Alcotest.(check bool) "first op is op 1" true (contains ~sub:"op 1" msg);
+  Alcotest.(check bool) "unknown op is quoted" true (contains ~sub:"FOO" msg);
+  let msg = err "DEL(4" in
+  Alcotest.(check bool) "end of line reported" true
+    (contains ~sub:"end of line" msg)
+
 (* Any generated script round-trips, including applying identically. *)
 let script_io_roundtrip_prop =
   QCheck2.Test.make ~name:"script_io round-trips generated scripts" ~count:100
@@ -304,6 +329,8 @@ let () =
           Alcotest.test_case "tricky values" `Quick test_script_io_tricky_values;
           Alcotest.test_case "comments and blanks" `Quick test_script_io_comments_and_blanks;
           Alcotest.test_case "parse errors" `Quick test_script_io_errors;
+          Alcotest.test_case "error op-index and token" `Quick
+            test_script_io_error_context;
           Alcotest.test_case "result-typed parse" `Quick test_script_io_parse_result;
           QCheck_alcotest.to_alcotest script_io_roundtrip_prop;
         ] );

@@ -1,26 +1,49 @@
 #!/bin/sh
-# Fail on new module-level mutable state in lib/.
-#
-# A top-level `let x = ref ...` or `let x = Hashtbl.create ...` is ambient
-# per-process state: it breaks re-entrancy and domain-parallel batch runs.
-# All such state now lives in Treediff_util.Exec contexts (or, for the rare
-# legitimate global, in `tools/lint_globals.allow` — one literal line
-# fragment per entry, `#` comments allowed).  Function-local mutable state
-# (indented) is fine and not matched.
+# Source hygiene lints over lib/.  Each @lint rule greps for a forbidden
+# pattern; hits are filtered through `tools/lint_globals.allow` (one
+# literal line fragment per entry, `#` comments allowed) before failing.
 set -eu
 root=${1:-.}
 allow="$root/tools/lint_globals.allow"
+status=0
+
+filter_allowed() {
+  hits=$1
+  if [ -f "$allow" ]; then
+    while IFS= read -r pat; do
+      case $pat in ''|'#'*) continue ;; esac
+      hits=$(printf '%s\n' "$hits" | grep -v -F "$pat" || true)
+    done < "$allow"
+  fi
+  printf '%s\n' "$hits" | sed '/^$/d'
+}
+
+# @lint no-module-level-mutable-state
+# A top-level `let x = ref ...` or `let x = Hashtbl.create ...` is ambient
+# per-process state: it breaks re-entrancy and domain-parallel batch runs.
+# All such state now lives in Treediff_util.Exec contexts.  Function-local
+# mutable state (indented) is fine and not matched.
 bad=$(grep -rn -E '^let [^=]*= *(ref |ref$|Hashtbl\.create)' "$root/lib" --include='*.ml' || true)
-if [ -f "$allow" ]; then
-  while IFS= read -r pat; do
-    case $pat in ''|'#'*) continue ;; esac
-    bad=$(printf '%s\n' "$bad" | grep -v -F "$pat" || true)
-  done < "$allow"
-fi
-bad=$(printf '%s\n' "$bad" | sed '/^$/d')
+bad=$(filter_allowed "$bad")
 if [ -n "$bad" ]; then
   echo 'lint_globals: module-level mutable state in lib/ (thread a Treediff_util.Exec instead):' >&2
   printf '%s\n' "$bad" >&2
-  exit 1
+  status=1
 fi
+
+# @lint no-catch-all-handlers
+# A `try ... with _ ->` handler swallows Budget.Exceeded, Fault.Injected
+# and Diag.Failed alike, silently converting typed degradation and
+# injected faults into wrong answers.  Catch the specific exceptions the
+# expression can raise; a genuine catch-all belongs behind an allow entry
+# with a justification comment next to it.
+bad=$(grep -rn -E 'with[[:space:]]+_[[:space:]]*(->|$)' "$root/lib" --include='*.ml' || true)
+bad=$(filter_allowed "$bad")
+if [ -n "$bad" ]; then
+  echo 'lint_globals: catch-all "try ... with _ ->" handler in lib/ (match the specific exceptions instead):' >&2
+  printf '%s\n' "$bad" >&2
+  status=1
+fi
+
+if [ "$status" -ne 0 ]; then exit "$status"; fi
 echo 'lint_globals: ok'
