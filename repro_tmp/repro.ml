@@ -1,0 +1,35 @@
+module Tree = Treediff_tree.Tree
+module Codec = Treediff_tree.Codec
+module Op = Treediff_edit.Op
+module Script = Treediff_edit.Script
+module Depgraph = Treediff_check.Depgraph
+module Diag = Treediff_check.Diag
+
+(* Post-order ids: x=1 A=2 B=3 C=4 D=5 *)
+let () =
+  let gen = Tree.gen () in
+  let t = Codec.parse gen {|(D (A (S "x")) (B) (C))|} in
+  let script =
+    [
+      Op.Move { id = 1; parent = 3; pos = 1 };  (* MOV x: A -> B *)
+      Op.Delete { id = 2 };                     (* DEL A (now a leaf) *)
+      Op.Move { id = 1; parent = 4; pos = 1 };  (* MOV x: B -> C *)
+    ]
+  in
+  (* original script is valid? *)
+  (match Script.apply_result (Tree.copy t) script with
+   | Ok t' -> Printf.printf "original applies: %s\n" (Codec.to_string ~indent:false t')
+   | Error m -> Printf.printf "original INVALID: %s\n" m);
+  let g = Depgraph.build ~tree:t script in
+  let dead = Depgraph.audit ~dead:true ~tree:t script in
+  List.iter (fun d -> Printf.printf "diag: %s\n" (Diag.to_string d)) dead;
+  ignore g;
+  let norm = Depgraph.normalize ~tree:t script in
+  Printf.printf "normalized (%d ops):\n%s" (List.length norm)
+    (Treediff_edit.Script_io.to_string norm);
+  (match Script.apply_result (Tree.copy t) norm with
+   | Ok t' -> Printf.printf "normalized applies: %s\n" (Codec.to_string ~indent:false t')
+   | Error m -> Printf.printf "normalized INVALID: %s\n" m);
+  (match Depgraph.equivalent ~tree:t script norm with
+   | Ok () -> Printf.printf "equivalent: yes\n"
+   | Error m -> Printf.printf "equivalent: NO (%s)\n" m)
