@@ -767,6 +767,390 @@ let run_check_bench ?json ~out () =
     close_out oc;
     Printf.fprintf out "wrote %s\n" path
 
+(* ------------------------------------------------------ service benchmark *)
+
+module Server = Treediff_serve.Server
+module Client = Treediff_serve.Client
+module Protocol = Treediff_serve.Protocol
+module Sjson = Treediff_serve.Json
+
+(* Open-loop load generation against an in-process daemon.  Closed-loop
+   calibration first measures the full-quality service time; the open-loop
+   phases then offer 0.5x / 1x / 2x that rate on one pipelined connection —
+   the writer sends on schedule regardless of responses (a reader domain
+   drains them), so queueing at the server is real, not an artifact of the
+   client waiting.  A strict-admission probe (degradation disabled) then
+   offers 2x to force typed [overloaded] rejects, and a crash segment
+   verifies the daemon answers everything sent after a handler crash. *)
+
+type serve_phase = {
+  sp_label : string;
+  sp_offered : float;  (* target req/s *)
+  sp_achieved : float;  (* send rate actually sustained *)
+  sp_requests : int;
+  sp_ok : int;  (* full-quality answers *)
+  sp_degraded : int;  (* forced approx/flat rungs *)
+  sp_cached : int;  (* cache hits (subset of ok) *)
+  sp_overloaded : int;
+  sp_shed : int;  (* typed deadline answers *)
+  sp_failed : int;  (* other typed errors *)
+  sp_unanswered : int;
+  sp_p50_ms : float;
+  sp_p99_ms : float;
+}
+
+let serve_start_server config =
+  let port = Atomic.make 0 in
+  let dom =
+    Domain.spawn (fun () ->
+        Server.run ~config ~on_listen:(fun p -> Atomic.set port p) ())
+  in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while Atomic.get port = 0 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.002
+  done;
+  if Atomic.get port = 0 then failwith "bench serve: server did not listen";
+  (dom, Atomic.get port)
+
+let serve_shutdown ~port =
+  match Client.connect ~host:"127.0.0.1" ~port with
+  | Error _ -> ()
+  | Ok c ->
+    ignore
+      (Client.call c
+         { Protocol.id = 999_999; verb = "shutdown"; params = Sjson.Obj [] });
+    Client.close c
+
+let serve_diff_request ~id ~deadline_ms (old_s, new_s) =
+  {
+    Protocol.id;
+    verb = "diff";
+    params =
+      Sjson.Obj
+        [
+          ("old", Sjson.Str old_s);
+          ("new", Sjson.Str new_s);
+          ("deadline_ms", Sjson.Num deadline_ms);
+        ];
+  }
+
+let serve_gen_pairs g n =
+  Array.init n (fun _ ->
+      let gen = Treediff_tree.Tree.gen () in
+      let doc =
+        Treediff_workload.Docgen.generate g gen Treediff_workload.Docgen.small
+      in
+      let doc', _ = Treediff_workload.Mutate.mutate g gen doc ~actions:6 in
+      (Treediff_tree.Codec.to_string doc, Treediff_tree.Codec.to_string doc'))
+
+let serve_percentile p sorted =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(int_of_float (p *. float_of_int (n - 1)))
+
+(* One open-loop phase: [n] requests at [rate]/s over a fresh connection.
+   Requests cycle [pairs] (unique per request except a small hot set that
+   exercises the cache).  Returns aggregate counters and ok-answer latency
+   percentiles. *)
+let serve_phase ~port ~pairs ~hot ~rate ~n ~deadline_ms label =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  (* Safety valves: a wedged peer surfaces as a timeout, not a hang. *)
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 15.0;
+  Unix.setsockopt_float fd Unix.SO_SNDTIMEO 15.0;
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (* outcome codes: 0 ok, 1 degraded, 2 cached, 3 overloaded, 4 deadline,
+     5 other typed error, 6 unanswered *)
+  let reader =
+    Domain.spawn (fun () ->
+        let outcome = Array.make n 6 in
+        let recv = Array.make n 0.0 in
+        let remaining = ref n in
+        (try
+           while !remaining > 0 do
+             match Protocol.read_frame ic with
+             | Ok (Some payload) -> (
+               let t = Unix.gettimeofday () in
+               match Protocol.parse_response payload with
+               | Ok (id, resp) when id >= 1 && id <= n ->
+                 let i = id - 1 in
+                 recv.(i) <- t;
+                 outcome.(i) <-
+                   (match resp with
+                   | Protocol.Ok_resp body ->
+                     if Sjson.mem_bool "cached" body = Some true then 2
+                     else if
+                       match Sjson.member "degraded" body with
+                       | Some (Sjson.Str _) -> true
+                       | Some _ | None -> false
+                     then 1
+                     else 0
+                   | Protocol.Err_resp { kind = Protocol.Overloaded; _ } -> 3
+                   | Protocol.Err_resp { kind = Protocol.Deadline; _ } -> 4
+                   | Protocol.Err_resp _ -> 5);
+                 decr remaining
+               | Ok _ | Error _ -> decr remaining)
+             | Ok None | Error _ -> remaining := 0
+           done
+         with Unix.Unix_error _ | Sys_error _ | End_of_file -> ());
+        (outcome, recv))
+  in
+  let send_t = Array.make n 0.0 in
+  let np = Array.length pairs in
+  let nh = Array.length hot in
+  let t0 = Unix.gettimeofday () in
+  (try
+     for i = 0 to n - 1 do
+       let target = t0 +. (float_of_int i /. rate) in
+       let now = Unix.gettimeofday () in
+       if target > now then Unix.sleepf (target -. now);
+       let pair =
+         if nh > 0 && i mod 10 = 0 then hot.(i / 10 mod nh)
+         else pairs.(i mod np)
+       in
+       send_t.(i) <- Unix.gettimeofday ();
+       output_string oc
+         (Protocol.encode_frame
+            (Sjson.to_string
+               (Protocol.request_to_json
+                  (serve_diff_request ~id:(i + 1) ~deadline_ms pair))));
+       flush oc
+     done
+   with Unix.Unix_error _ | Sys_error _ -> ());
+  let outcome, recv = Domain.join reader in
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  let count c = Array.fold_left (fun a x -> if x = c then a + 1 else a) 0 outcome in
+  let lats = ref [] in
+  Array.iteri
+    (fun i o ->
+      if o <= 2 && recv.(i) > 0.0 && send_t.(i) > 0.0 then
+        lats := ((recv.(i) -. send_t.(i)) *. 1e3) :: !lats)
+    outcome;
+  let lats = Array.of_list !lats in
+  Array.sort compare lats;
+  let span = send_t.(n - 1) -. send_t.(0) in
+  {
+    sp_label = label;
+    sp_offered = rate;
+    sp_achieved = (if span > 0.0 then float_of_int (n - 1) /. span else rate);
+    sp_requests = n;
+    sp_ok = count 0;
+    sp_degraded = count 1;
+    sp_cached = count 2;
+    sp_overloaded = count 3;
+    sp_shed = count 4;
+    sp_failed = count 5;
+    sp_unanswered = count 6;
+    sp_p50_ms = serve_percentile 0.50 lats;
+    sp_p99_ms = serve_percentile 0.99 lats;
+  }
+
+let run_serve_bench ?json ~out () =
+  Printf.fprintf out "== Diff service under open-loop load ==\n";
+  let g = Treediff_util.Prng.create 0x5e12e in
+  let deadline_ms = 250.0 in
+  (* Calibration: closed-loop over unique pairs on the default policy. *)
+  let graceful_cfg =
+    {
+      Server.default_config with
+      Server.port = 0;
+      degrade_queue = 8;
+      flat_queue = 24;
+      max_queue = 48;
+      cache_entries = 512;
+      allow_crash = true;
+    }
+  in
+  let dom, port = serve_start_server graceful_cfg in
+  let calib_pairs = serve_gen_pairs g 48 in
+  let hot = serve_gen_pairs g 8 in
+  let service_ms =
+    match Client.connect ~host:"127.0.0.1" ~port with
+    | Error msg -> failwith ("bench serve: " ^ msg)
+    | Ok c ->
+      let one i pair =
+        let t0 = Unix.gettimeofday () in
+        (match
+           Client.call c (serve_diff_request ~id:(i + 1) ~deadline_ms:1000. pair)
+         with
+        | Ok (Protocol.Ok_resp _) -> ()
+        | Ok (Protocol.Err_resp { message; _ }) ->
+          failwith ("bench serve calibration: " ^ message)
+        | Error msg -> failwith ("bench serve calibration: " ^ msg));
+        (Unix.gettimeofday () -. t0) *. 1e3
+      in
+      (* Warm the hot set into the cache while we are at it. *)
+      Array.iteri (fun i p -> ignore (one i p)) hot;
+      let samples = Array.mapi one calib_pairs in
+      Client.close c;
+      Array.sort compare samples;
+      serve_percentile 0.5 samples
+  in
+  let saturation = Float.min 20_000.0 (Float.max 50.0 (1000.0 /. service_ms)) in
+  Printf.fprintf out
+    "calibration: %.3f ms median service time, %.0f req/s saturation\n%!"
+    service_ms saturation;
+  let phase_n rate =
+    int_of_float (Float.min 1200.0 (Float.max 300.0 (rate *. 1.2)))
+  in
+  let run_mult label mult =
+    let rate = saturation *. mult in
+    let n = phase_n rate in
+    let pairs = serve_gen_pairs g n in
+    serve_phase ~port ~pairs ~hot ~rate ~n ~deadline_ms label
+  in
+  let phases =
+    [ run_mult "0.5x" 0.5; run_mult "1x" 1.0; run_mult "2x" 2.0 ]
+  in
+  (* Crash isolation: a handler crash answers typed [internal]; everything
+     sent afterwards is still answered. *)
+  let crash_answer, after_ok, after_total =
+    match Client.connect ~host:"127.0.0.1" ~port with
+    | Error msg -> failwith ("bench serve: " ^ msg)
+    | Ok c ->
+      let answer =
+        match
+          Client.call c { Protocol.id = 1; verb = "crash"; params = Sjson.Obj [] }
+        with
+        | Ok (Protocol.Err_resp { kind = Protocol.Internal; _ }) -> "internal"
+        | Ok (Protocol.Err_resp { kind; _ }) -> Protocol.error_kind_name kind
+        | Ok (Protocol.Ok_resp _) -> "ok?!"
+        | Error msg -> "transport: " ^ msg
+      in
+      let after = serve_gen_pairs g 40 in
+      let ok = ref 0 in
+      Array.iteri
+        (fun i pair ->
+          match
+            Client.call c (serve_diff_request ~id:(i + 2) ~deadline_ms:1000. pair)
+          with
+          | Ok (Protocol.Ok_resp _) -> incr ok
+          | Ok (Protocol.Err_resp _) | Error _ -> ())
+        after;
+      Client.close c;
+      (answer, !ok, Array.length after)
+  in
+  serve_shutdown ~port;
+  Domain.join dom;
+  (* Strict-admission probe: degradation disabled, so 2x the full-quality
+     saturation must overflow the queue and draw typed [overloaded]
+     rejects (the graceful policy above absorbs 2x by degrading first). *)
+  let strict_cfg =
+    {
+      graceful_cfg with
+      Server.max_queue = 32;
+      degrade_queue = 33;
+      flat_queue = 33;
+      cache_entries = 0;
+      allow_crash = false;
+    }
+  in
+  let sdom, sport = serve_start_server strict_cfg in
+  let probe =
+    let rate = saturation *. 2.0 in
+    let n = phase_n rate in
+    let pairs = serve_gen_pairs g n in
+    serve_phase ~port:sport ~pairs ~hot:[||] ~rate ~n ~deadline_ms
+      "strict-2x"
+  in
+  let alive_after =
+    match Client.connect ~host:"127.0.0.1" ~port:sport with
+    | Error _ -> false
+    | Ok c ->
+      let r =
+        Client.call c { Protocol.id = 7; verb = "ping"; params = Sjson.Obj [] }
+      in
+      Client.close c;
+      (match r with Ok (Protocol.Ok_resp _) -> true | _ -> false)
+  in
+  serve_shutdown ~port:sport;
+  Domain.join sdom;
+  let all = phases @ [ probe ] in
+  let table =
+    Treediff_util.Table.create
+      ~headers:
+        [
+          "phase"; "offered"; "sent"; "ok"; "degraded"; "cached"; "overloaded";
+          "shed"; "p50"; "p99";
+        ]
+  in
+  List.iter
+    (fun p ->
+      Treediff_util.Table.add_row table
+        [
+          p.sp_label;
+          Printf.sprintf "%.0f/s" p.sp_offered;
+          Printf.sprintf "%.0f/s" p.sp_achieved;
+          string_of_int p.sp_ok;
+          string_of_int p.sp_degraded;
+          string_of_int p.sp_cached;
+          string_of_int p.sp_overloaded;
+          string_of_int p.sp_shed;
+          Printf.sprintf "%.2f ms" p.sp_p50_ms;
+          Printf.sprintf "%.2f ms" p.sp_p99_ms;
+        ])
+    all;
+  Treediff_util.Table.print_to out table;
+  Printf.fprintf out
+    "strict 2x probe: %d overloaded / %d sent, alive after: %b\n"
+    probe.sp_overloaded probe.sp_requests alive_after;
+  Printf.fprintf out "crash isolation: crash answered %s; %d/%d diffs ok after\n\n%!"
+    crash_answer after_ok after_total;
+  match json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    json_header oc (Filename.remove_extension (Filename.basename path));
+    Printf.fprintf oc
+      "  \"serve\": {\n\
+      \    \"deadline_ms\": %.0f,\n\
+      \    \"calibration\": { \"service_ms\": %.4f, \"saturation_rps\": %.1f },\n"
+      deadline_ms service_ms saturation;
+    Printf.fprintf oc "    \"phases\": [";
+    List.iteri
+      (fun i p ->
+        Printf.fprintf oc
+          "%s\n      { \"label\": %S, \"offered_rps\": %.1f, \
+           \"achieved_rps\": %.1f, \"requests\": %d, \"ok\": %d, \
+           \"degraded\": %d, \"cache_hits\": %d, \"overloaded\": %d, \
+           \"shed_deadline\": %d, \"failed\": %d, \"unanswered\": %d, \
+           \"p50_ms\": %.3f, \"p99_ms\": %.3f, \
+           \"p99_within_deadline\": %b }"
+          (if i > 0 then "," else "")
+          p.sp_label p.sp_offered p.sp_achieved p.sp_requests p.sp_ok
+          p.sp_degraded p.sp_cached p.sp_overloaded p.sp_shed p.sp_failed
+          p.sp_unanswered p.sp_p50_ms p.sp_p99_ms
+          (p.sp_p99_ms <= deadline_ms))
+      all;
+    Printf.fprintf oc
+      "\n    ],\n\
+      \    \"strict_probe_alive_after\": %b,\n\
+      \    \"crash_isolation\": { \"crash_answer\": %S, \
+       \"answered_after_crash\": %d, \"requests_after_crash\": %d }\n\
+      \  },\n"
+      alive_after crash_answer after_ok after_total;
+    Printf.fprintf oc "  \"results\": [";
+    let rows =
+      ("serve/closed-loop-service", service_ms *. 1e6)
+      :: List.concat_map
+           (fun p ->
+             [
+               (Printf.sprintf "serve/rate-%s-p50" p.sp_label, p.sp_p50_ms *. 1e6);
+               (Printf.sprintf "serve/rate-%s-p99" p.sp_label, p.sp_p99_ms *. 1e6);
+             ])
+           all
+    in
+    List.iteri
+      (fun i (name, ns) ->
+        Printf.fprintf oc "%s\n    { \"name\": %S, \"ns_per_run\": %.2f }"
+          (if i > 0 then "," else "")
+          name ns)
+      rows;
+    Printf.fprintf oc "\n  ]\n}\n";
+    close_out oc;
+    Printf.fprintf out "wrote %s\n" path
+
 let usage () =
   print_endline
     "usage: main.exe [EXPERIMENT...] [--bechamel] [--json OUT] [--budget-ms MS]";
@@ -794,7 +1178,12 @@ let usage () =
     "  check        interference analyzer ns/op, the minimality oracle's\n\
     \               node-budget cost curve, and oracle-audited minimality\n\
     \               rates over the seed corpora";
-  print_endline "               (runs alone; with --json, writes BENCH_check.json rows)"
+  print_endline "               (runs alone; with --json, writes BENCH_check.json rows)";
+  print_endline
+    "  serve        open-loop load against an in-process daemon at 0.5x/1x/2x\n\
+    \               saturation, a strict-admission overload probe, and a\n\
+    \               crash-isolation segment";
+  print_endline "               (runs alone; with --json, writes BENCH_serve.json rows)"
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -851,6 +1240,7 @@ let () =
       else if names = [ "batch" ] then run_batch_bench ?json ~out ~jobs ()
       else if names = [ "sim" ] then run_sim ?json ~out ()
       else if names = [ "check" ] then run_check_bench ?json ~out ()
+      else if names = [ "serve" ] then run_serve_bench ?json ~out ()
       else begin
         let selected =
           if names = [] then experiments

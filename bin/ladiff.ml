@@ -129,4 +129,19 @@ let cmd =
     Term.(const run $ old_file $ new_file $ format $ lenient $ threshold $ leaf_f
           $ output $ mode $ check)
 
-let () = exit (Cmd.eval cmd)
+(* A closed downstream ([ladiff … | head]) is a normal way to stop consuming
+   output: SIGPIPE is ignored so the write surfaces as
+   [Sys_error "Broken pipe"], which maps to a clean exit 0. *)
+let broken_pipe = function
+  | Sys_error m ->
+    let needle = "Broken pipe" in
+    let n = String.length m and nl = String.length needle in
+    let rec scan i = i + nl <= n && (String.sub m i nl = needle || scan (i + 1)) in
+    scan 0
+  | _ -> false
+
+let () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  match Cmd.eval ~catch:false cmd with
+  | code -> exit code
+  | exception e when broken_pipe e -> exit 0

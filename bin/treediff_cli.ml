@@ -854,6 +854,250 @@ let store_cmd =
   in
   Cmd.group (Cmd.info "store" ~doc ~man) store_cmds
 
+(* ----------------------------------------------------------------- serve *)
+
+module Server = Treediff_serve.Server
+module Client = Treediff_serve.Client
+module Sjson = Treediff_serve.Json
+module Sproto = Treediff_serve.Protocol
+
+let run_serve host port stdio max_queue degrade_queue flat_queue
+    default_deadline_ms max_deadline_ms cache_entries allow_crash =
+  handle_errors @@ fun () ->
+  let config =
+    {
+      Server.default_config with
+      Server.host;
+      port;
+      max_queue;
+      degrade_queue;
+      flat_queue;
+      default_deadline_ms;
+      max_deadline_ms;
+      cache_entries;
+      allow_crash;
+    }
+  in
+  if stdio then Server.serve_stdio ~config stdin stdout
+  else
+    Server.run ~config
+      ~on_listen:(fun p -> Printf.printf "listening on %s:%d\n%!" host p)
+      ()
+
+let serve_host =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR"
+         ~doc:"Address to bind (serve) or connect to (remote).")
+
+let serve_port =
+  Arg.(value & opt int 7433 & info [ "port" ] ~docv:"PORT"
+         ~doc:"TCP port; $(b,0) binds an ephemeral port and prints it.")
+
+let serve_stdio_flag =
+  Arg.(value & flag & info [ "stdio" ]
+         ~doc:"Serve frames on stdin/stdout instead of TCP (one request at \
+               a time, no admission control); used by the tests.")
+
+let serve_max_queue =
+  Arg.(value & opt int 64 & info [ "max-queue" ] ~docv:"N"
+         ~doc:"Admission bound: requests beyond a queue depth of $(docv) \
+               are rejected with a typed $(b,overloaded) answer.")
+
+let serve_degrade_queue =
+  Arg.(value & opt int 8 & info [ "degrade-queue" ] ~docv:"N"
+         ~doc:"Queue depth at which diff requests are forced onto the \
+               cheap approx rung.")
+
+let serve_flat_queue =
+  Arg.(value & opt int 32 & info [ "flat-queue" ] ~docv:"N"
+         ~doc:"Queue depth at which structural diffing is bypassed for the \
+               flat line diff.")
+
+let serve_default_deadline =
+  Arg.(value & opt float 1000. & info [ "default-deadline-ms" ] ~docv:"MS"
+         ~doc:"Per-request deadline when the client does not ask for one.")
+
+let serve_max_deadline =
+  Arg.(value & opt float 5000. & info [ "max-deadline-ms" ] ~docv:"MS"
+         ~doc:"Server-enforced cap on client-requested deadlines.")
+
+let serve_cache_entries =
+  Arg.(value & opt int 256 & info [ "cache-entries" ] ~docv:"N"
+         ~doc:"LRU result-cache capacity, keyed by the structural hash of \
+               the input pair; $(b,0) disables the cache.")
+
+let serve_allow_crash =
+  Arg.(value & flag & info [ "allow-crash" ]
+         ~doc:"Enable the debug $(b,crash) verb (a handler that raises), \
+               used by the crash-isolation tests.")
+
+let serve_cmd =
+  let doc = "run the diff daemon" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P "A long-running server answering diff/batch/check/store requests \
+          over length-prefixed JSON frames.  Each request runs in its own \
+          execution context under its own deadline; queue pressure degrades \
+          service (full pipeline, then forced approx rung, then flat line \
+          diffs) before rejecting with typed $(b,overloaded) answers; a \
+          request that crashes is answered with a typed $(b,internal) error \
+          while the server keeps serving.  SIGINT/SIGTERM drain the queue, \
+          flush, and exit 0.";
+    ]
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~man)
+    Term.(const run_serve $ serve_host $ serve_port $ serve_stdio_flag
+          $ serve_max_queue $ serve_degrade_queue $ serve_flat_queue
+          $ serve_default_deadline $ serve_max_deadline $ serve_cache_entries
+          $ serve_allow_crash)
+
+(* ---------------------------------------------------------------- remote *)
+
+let remote_exit_of_kind = function
+  | Sproto.Bad_request -> exit_parse_error
+  | Sproto.Deadline -> exit_degraded
+  | Sproto.Internal -> exit_internal
+  | Sproto.Overloaded | Sproto.Shutting_down -> 1
+
+let run_remote verb old_file new_file host port mode deadline_ms approx
+    params_json attempts base_ms max_ms seed verbose output =
+  handle_errors @@ fun () ->
+  let base =
+    (match old_file with
+    | Some f -> [ ("old", Sjson.Str (read_file f)) ]
+    | None -> [])
+    @ (match new_file with
+      | Some f -> [ ("new", Sjson.Str (read_file f)) ]
+      | None -> [])
+    @ [ ("mode", Sjson.Str mode) ]
+    @ (match deadline_ms with
+      | Some ms -> [ ("deadline_ms", Sjson.Num ms) ]
+      | None -> [])
+    @ if approx then [ ("approx", Sjson.Bool true) ] else []
+  in
+  let extra =
+    match params_json with
+    | None -> []
+    | Some s -> (
+      match Sjson.parse s with
+      | Ok (Sjson.Obj kvs) -> kvs
+      | Ok _ ->
+        Printf.eprintf "treediff: remote: --params must be a JSON object\n";
+        exit exit_parse_error
+      | Error e ->
+        Printf.eprintf "treediff: remote: --params: %s\n" e;
+        exit exit_parse_error)
+  in
+  (* --params wins over the derived fields *)
+  let params =
+    Sjson.Obj
+      (List.filter (fun (k, _) -> not (List.mem_assoc k extra)) base @ extra)
+  in
+  let req = { Sproto.id = 1; verb; params } in
+  let on_attempt (a : Client.attempt) =
+    if verbose then
+      Printf.eprintf "treediff: remote: attempt %d failed (%s); retrying in %.0fms\n%!"
+        a.Client.number a.Client.reason a.Client.delay_ms
+  in
+  match
+    Client.call_with_retry ~attempts ~base_ms ~max_ms ~on_attempt
+      ~prng:(Treediff_util.Prng.create seed)
+      ~connect:(fun () -> Client.connect ~host ~port)
+      req
+  with
+  | Error msg ->
+    Printf.eprintf "treediff: remote: %s\n" msg;
+    exit 1
+  | Ok (Sproto.Err_resp { kind; message; _ }) ->
+    Printf.eprintf "treediff: remote: %s: %s\n" (Sproto.error_kind_name kind)
+      message;
+    exit (remote_exit_of_kind kind)
+  | Ok (Sproto.Ok_resp body) ->
+    (match Sjson.mem_str "output" body with
+    | Some s -> write_out output s
+    | None -> write_out output (Sjson.to_string body ^ "\n"));
+    (match Sjson.member "degraded" body with
+    | Some (Sjson.Str _) -> exit exit_degraded
+    | Some _ | None -> ())
+
+let remote_verb =
+  Arg.(value & pos 0 string "diff" & info [] ~docv:"VERB"
+         ~doc:"Request verb: $(b,ping), $(b,stats), $(b,diff), $(b,check), \
+               $(b,batch), $(b,store/log), $(b,store/materialize), \
+               $(b,store/commit), $(b,store/diff) or $(b,shutdown).")
+
+let remote_old =
+  Arg.(value & pos 1 (some file) None & info [] ~docv:"OLD"
+         ~doc:"Old tree file (diff/check).")
+
+let remote_new =
+  Arg.(value & pos 2 (some file) None & info [] ~docv:"NEW"
+         ~doc:"New tree file (diff/check).")
+
+let remote_deadline =
+  Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS"
+         ~doc:"Deadline requested from the server (it may cap it; queueing \
+               time counts against it).")
+
+let remote_params =
+  Arg.(value & opt (some string) None & info [ "params" ] ~docv:"JSON"
+         ~doc:"Extra request parameters as a JSON object, merged over the \
+               derived ones (e.g. \
+               $(b,'{\"archive\":\"docs.tda\",\"version\":3}') for store \
+               verbs).")
+
+let remote_attempts =
+  Arg.(value & opt int 5 & info [ "attempts" ] ~docv:"N"
+         ~doc:"Total tries on $(b,overloaded)/$(b,shutting_down) answers \
+               and connection errors.")
+
+let remote_base_ms =
+  Arg.(value & opt float 25. & info [ "base-ms" ] ~docv:"MS"
+         ~doc:"Base backoff delay; attempt $(i,i) waits up to \
+               base * 2^i with jitter.")
+
+let remote_max_ms =
+  Arg.(value & opt float 1600. & info [ "max-ms" ] ~docv:"MS"
+         ~doc:"Backoff delay cap.")
+
+let remote_seed =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N"
+         ~doc:"PRNG seed for backoff jitter: the retry schedule is a pure \
+               function of this seed.")
+
+let remote_verbose =
+  Arg.(value & flag & info [ "v"; "verbose" ]
+         ~doc:"Report each retry decision on stderr.")
+
+let remote_cmd =
+  let doc = "send one request to a running diff daemon" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P "Connects to $(b,treediff serve), sends one framed request, prints \
+          the answer.  Typed $(b,overloaded) and $(b,shutting_down) answers \
+          and connection failures are retried with exponential backoff and \
+          seeded jitter (honouring the server's $(b,retry_after_ms) hint); \
+          other errors map to the same exit codes as the local subcommands.";
+    ]
+  in
+  let exits =
+    exit_parse_info
+    :: Cmd.Exit.info
+         ~doc:"when the server answered $(b,deadline) or the result was \
+               degraded." exit_degraded
+    :: exit_internal_info
+    :: Cmd.Exit.info
+         ~doc:"on connection failure or an $(b,overloaded) answer that \
+               survived all retries." 1
+    :: Cmd.Exit.defaults
+  in
+  Cmd.v (Cmd.info "remote" ~doc ~man ~exits)
+    Term.(const run_remote $ remote_verb $ remote_old $ remote_new
+          $ serve_host $ serve_port $ mode $ remote_deadline $ approx
+          $ remote_params $ remote_attempts $ remote_base_ms $ remote_max_ms
+          $ remote_seed $ remote_verbose $ output)
+
 (* ------------------------------------------------------------------ main *)
 
 let cmd =
@@ -867,6 +1111,23 @@ let cmd =
     ]
   in
   Cmd.group (Cmd.info "treediff" ~version:"1.0.0" ~doc ~man)
-    [ diff_cmd; batch_cmd; apply_cmd; check_cmd; store_cmd ]
+    [ diff_cmd; batch_cmd; apply_cmd; check_cmd; store_cmd; serve_cmd;
+      remote_cmd ]
 
-let () = exit (Cmd.eval cmd)
+(* A closed downstream ([treediff batch … | head]) is a normal way to stop
+   consuming output, not a failure: SIGPIPE is ignored so the write surfaces
+   as EPIPE / [Sys_error "Broken pipe"], which maps to a clean exit 0. *)
+let broken_pipe = function
+  | Unix.Unix_error (Unix.EPIPE, _, _) -> true
+  | Sys_error m ->
+    let needle = "Broken pipe" in
+    let n = String.length m and nl = String.length needle in
+    let rec scan i = i + nl <= n && (String.sub m i nl = needle || scan (i + 1)) in
+    scan 0
+  | _ -> false
+
+let () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  match Cmd.eval ~catch:false cmd with
+  | code -> exit code
+  | exception e when broken_pipe e -> exit 0

@@ -1,0 +1,86 @@
+(* Classic hash-table-over-doubly-linked-list LRU.  [head] is most recent,
+   [tail] least; nodes are unlinked/relinked in O(1). *)
+
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+}
+
+type 'a t = {
+  cap : int;
+  table : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option;
+  mutable tail : 'a node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create cap =
+  { cap; table = Hashtbl.create (max 16 cap); head = None; tail = None;
+    hits = 0; misses = 0; evictions = 0 }
+
+let capacity t = t.cap
+
+let length t = Hashtbl.length t.table
+
+let hits t = t.hits
+
+let misses t = t.misses
+
+let evictions t = t.evictions
+
+let unlink t n =
+  (match n.prev with
+  | Some p -> p.next <- n.next
+  | None -> t.head <- n.next);
+  (match n.next with
+  | Some s -> s.prev <- n.prev
+  | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some n ->
+    t.hits <- t.hits + 1;
+    unlink t n;
+    push_front t n;
+    Some n.value
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let evict_tail t =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.table n.key;
+    t.evictions <- t.evictions + 1
+
+let put t key value =
+  if t.cap > 0 then
+    match Hashtbl.find_opt t.table key with
+    | Some n ->
+      n.value <- value;
+      unlink t n;
+      push_front t n
+    | None ->
+      let n = { key; value; prev = None; next = None } in
+      Hashtbl.replace t.table key n;
+      push_front t n;
+      if Hashtbl.length t.table > t.cap then evict_tail t
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None

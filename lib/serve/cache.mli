@@ -1,0 +1,37 @@
+(** Bounded LRU result cache for the daemon.
+
+    Keys are strings (the server keys on the {!Treediff_tree.Iso.hash} of
+    both input trees plus the render mode and the config knobs that change
+    the output); values are fully rendered response bodies, so a hit skips
+    parsing, matching and rendering alike.
+
+    O(1) get/put via a hash table over an intrusive doubly-linked recency
+    list.  Single-owner like every other mutable structure in this
+    codebase: the server touches its cache only from the accept-loop
+    domain, never from pool workers. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** [create capacity] holds at most [capacity] entries; [capacity <= 0]
+    disables the cache (every lookup misses, nothing is stored). *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+
+val find : 'a t -> string -> 'a option
+(** A hit refreshes the entry's recency and is counted in {!hits}. *)
+
+val put : 'a t -> string -> 'a -> unit
+(** Insert or refresh; evicts the least-recently-used entry beyond
+    capacity.  Replacing an existing key updates its value and recency. *)
+
+val hits : 'a t -> int
+
+val misses : 'a t -> int
+
+val evictions : 'a t -> int
+
+val clear : 'a t -> unit
+(** Drop all entries (counters are kept). *)

@@ -1,0 +1,46 @@
+(** Minimal JSON values for the service protocol.
+
+    The daemon speaks length-prefixed JSON frames; this module is the
+    self-contained codec behind them (the repository deliberately has no
+    external JSON dependency).  It covers exactly RFC 8259's value grammar —
+    objects, arrays, strings with escapes, numbers, booleans, null — and
+    nothing more: no streaming, no comments, no NaN/Infinity literals.
+
+    Numbers are carried as OCaml [float]s; the printer renders integral
+    floats without a fractional part so identifiers round-trip textually. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list  (** member order is preserved *)
+
+val to_string : t -> string
+(** Compact (single-line) rendering with full string escaping. *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON value; trailing non-whitespace input is an error.  The
+    error message carries a byte offset.  Never raises. *)
+
+val equal : t -> t -> bool
+(** Structural equality; object members compare in order (the codec always
+    preserves order, so [parse (to_string v)] is [equal] to [v]). *)
+
+(** {1 Accessors}
+
+    Total lookups for picking request parameters apart; all return [None]
+    on a type mismatch rather than raising. *)
+
+val member : string -> t -> t option
+(** First binding of the name in an object; [None] for non-objects. *)
+
+val str : t -> string option
+val num : t -> float option
+val bool : t -> bool option
+val arr : t -> t list option
+
+val mem_str : string -> t -> string option
+val mem_num : string -> t -> float option
+val mem_bool : string -> t -> bool option

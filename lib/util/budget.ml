@@ -90,6 +90,10 @@ let exceeded b reason = raise (Exceeded (exhausted_of b reason))
 
 let poll b = if b.deadline < infinity && now () > b.deadline then exceeded b Deadline
 
+let remaining_ms b =
+  if b.deadline = infinity then infinity
+  else Float.max 0. ((b.deadline -. now ()) *. 1000.)
+
 (* The deadline clock is only read every 256 events, so the hot-loop cost of
    a budget check is an increment, a compare and a mask. *)
 let mask = 255

@@ -76,5 +76,14 @@ val admit : t -> nodes:int -> depth:int -> unit
 val poll : t -> unit
 (** Read the deadline clock now.  @raise Exceeded. *)
 
+val remaining_ms : t -> float
+(** Milliseconds left before this budget's deadline: [infinity] when no
+    deadline was set, clamped at [0.] once it has passed.  Never raises.
+    This is the residual allowance a caller should propagate into nested
+    work that runs under its own budget — e.g. the serve layer hands
+    [remaining_ms] of the per-request budget to a nested store
+    materialize/commit instead of re-deriving the deadline from its own
+    clock (which would silently re-grant time already spent). *)
+
 val exceeded : t -> reason -> 'a
 (** Raise {!Exceeded} for this budget's current phase and counters. *)

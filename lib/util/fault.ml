@@ -32,6 +32,10 @@ let registry =
     "store.commit";
     "store.append";
     "store.replay";
+    "serve.accept";
+    "serve.decode";
+    "serve.cache";
+    "serve.drain";
   ]
 
 let parse_action = function

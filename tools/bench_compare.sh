@@ -1,7 +1,7 @@
 #!/bin/sh
 # Compare two BENCH_*.json trajectory files and fail on regressions.
 #
-#   tools/bench_compare.sh OLD.json NEW.json [--max-regress PCT]
+#   tools/bench_compare.sh OLD.json NEW.json [--max-regress PCT] [--only RE]
 #
 # Both files use the bench harness schema: a "results" array of
 # { "name": ..., "ns_per_run": ... } rows (plus a provenance header with
@@ -10,24 +10,34 @@
 # (default 10) is a regression and the script exits 1.  Names present in
 # only one file are listed but never fail the comparison — benches come
 # and go across PRs.
+#
+# --only RE restricts the comparison to benchmark names matching the awk
+# regular expression RE — e.g. --only 'serve/.*-p99' gates the service
+# load test on tail latency alone, ignoring the noisier p50/throughput
+# rows in the same file.
 set -eu
 
 max_regress=10
+only=
 old= new=
 for arg in "$@"; do
   case $arg in
     --max-regress) max_regress=__next__ ;;
     --max-regress=*) max_regress=${arg#--max-regress=} ;;
+    --only) only=__next__ ;;
+    --only=*) only=${arg#--only=} ;;
     *)
       if [ "$max_regress" = __next__ ]; then max_regress=$arg
+      elif [ "$only" = __next__ ]; then only=$arg
       elif [ -z "$old" ]; then old=$arg
       elif [ -z "$new" ]; then new=$arg
       else echo "bench_compare: unexpected argument $arg" >&2; exit 2
       fi ;;
   esac
 done
-if [ -z "$old" ] || [ -z "$new" ] || [ "$max_regress" = __next__ ]; then
-  echo "usage: tools/bench_compare.sh OLD.json NEW.json [--max-regress PCT]" >&2
+if [ -z "$old" ] || [ -z "$new" ] || [ "$max_regress" = __next__ ] \
+   || [ "$only" = __next__ ]; then
+  echo "usage: tools/bench_compare.sh OLD.json NEW.json [--max-regress PCT] [--only RE]" >&2
   exit 2
 fi
 for f in "$old" "$new"; do
@@ -37,12 +47,12 @@ done
 # One "name value" line per benchmark row (the harness emits one row per
 # line, so line-oriented extraction is reliable without a JSON parser).
 extract() {
-  awk 'match($0, /"name": *"[^"]*", *"ns_per_run": *[0-9.null][0-9.]*/) {
+  awk -v pat="$only" 'match($0, /"name": *"[^"]*", *"ns_per_run": *[0-9.null][0-9.]*/) {
     s = substr($0, RSTART, RLENGTH)
     sub(/^"name": *"/, "", s)
     name = s; sub(/".*/, "", name)
     val = s; sub(/.*"ns_per_run": */, "", val)
-    if (val != "null") print name, val
+    if (val != "null" && (pat == "" || name ~ pat)) print name, val
   }' "$1"
 }
 
