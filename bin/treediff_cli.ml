@@ -960,7 +960,7 @@ let remote_exit_of_kind = function
   | Sproto.Overloaded | Sproto.Shutting_down -> 1
 
 let run_remote verb old_file new_file host port mode deadline_ms approx
-    params_json attempts base_ms max_ms seed verbose output =
+    params_json attempts base_ms max_ms seed verbose retry_unsafe output =
   handle_errors @@ fun () ->
   let base =
     (match old_file with
@@ -1001,6 +1001,7 @@ let run_remote verb old_file new_file host port mode deadline_ms approx
   in
   match
     Client.call_with_retry ~attempts ~base_ms ~max_ms ~on_attempt
+      ~retry_unsafe
       ~prng:(Treediff_util.Prng.create seed)
       ~connect:(fun () -> Client.connect ~host ~port)
       req
@@ -1069,6 +1070,15 @@ let remote_verbose =
   Arg.(value & flag & info [ "v"; "verbose" ]
          ~doc:"Report each retry decision on stderr.")
 
+let remote_retry_unsafe =
+  Arg.(value & flag & info [ "retry-unsafe" ]
+         ~doc:"Also retry connection errors that happen $(i,after) a \
+               non-idempotent request ($(b,store/commit), $(b,shutdown)) \
+               was sent.  Off by default: the server may already have \
+               executed the request, so a blind retry risks a duplicate \
+               commit.  Typed $(b,overloaded)/$(b,shutting_down) answers \
+               are always retried — the server refused without executing.")
+
 let remote_cmd =
   let doc = "send one request to a running diff daemon" in
   let man =
@@ -1078,7 +1088,9 @@ let remote_cmd =
           the answer.  Typed $(b,overloaded) and $(b,shutting_down) answers \
           and connection failures are retried with exponential backoff and \
           seeded jitter (honouring the server's $(b,retry_after_ms) hint); \
-          other errors map to the same exit codes as the local subcommands.";
+          a connection that drops after a non-idempotent request was sent \
+          is not retried unless $(b,--retry-unsafe) is given.  Other errors \
+          map to the same exit codes as the local subcommands.";
     ]
   in
   let exits =
@@ -1096,7 +1108,7 @@ let remote_cmd =
     Term.(const run_remote $ remote_verb $ remote_old $ remote_new
           $ serve_host $ serve_port $ mode $ remote_deadline $ approx
           $ remote_params $ remote_attempts $ remote_base_ms $ remote_max_ms
-          $ remote_seed $ remote_verbose $ output)
+          $ remote_seed $ remote_verbose $ remote_retry_unsafe $ output)
 
 (* ------------------------------------------------------------------ main *)
 

@@ -60,6 +60,15 @@ let backoff_schedule ~attempts ~base_ms ~max_ms prng =
 
 type attempt = { number : int; reason : string; delay_ms : float }
 
+(* Verbs a retry may safely re-send after an ambiguous transport failure:
+   read-only or pure, so running them twice is the same as once.  Anything
+   else (store/commit, shutdown, crash, future verbs) defaults to unsafe. *)
+let idempotent_verb = function
+  | "ping" | "stats" | "diff" | "check" | "batch" | "store/log"
+  | "store/materialize" | "store/diff" ->
+    true
+  | _ -> false
+
 let retryable = function
   | Error reason -> Some reason (* transport: refused, reset, short frame *)
   | Ok (Protocol.Err_resp { kind = Protocol.Overloaded; retry_after_ms; _ }) ->
@@ -76,19 +85,40 @@ let server_hint = function
   | _ -> 0.
 
 let call_with_retry ?(attempts = 5) ?(base_ms = 25.) ?(max_ms = 1600.)
-    ?(sleep = fun ms -> Unix.sleepf (ms /. 1000.)) ?on_attempt ~prng ~connect
-    req =
+    ?(sleep = fun ms -> Unix.sleepf (ms /. 1000.)) ?on_attempt
+    ?(retry_unsafe = false) ~prng ~connect req =
   let delays = Array.of_list (backoff_schedule ~attempts ~base_ms ~max_ms prng) in
+  let safe = retry_unsafe || idempotent_verb req.Protocol.verb in
   let rec go n =
+    (* [sent] separates "the frame never left this process" (connect
+       failure — always safe to re-send) from a transport error after the
+       request went out, when the server may already have executed it *)
+    let sent = ref false in
     let outcome =
       match connect () with
       | Error e -> Error e
       | Ok c ->
+        sent := true;
         let r = call c req in
         close c;
         r
     in
+    let transport_error =
+      match outcome with Error _ -> true | Ok _ -> false
+    in
     match retryable outcome with
+    | Some _ when transport_error && !sent && not safe -> (
+      (* re-sending a non-idempotent verb after an ambiguous failure risks
+         a duplicate commit; typed overloaded/shutting_down answers stay
+         retryable for every verb — the server refused without executing *)
+      match outcome with
+      | Error e ->
+        Error
+          (Printf.sprintf
+             "%s (not retried: %S is not idempotent and the request may \
+              already have been executed)"
+             e req.Protocol.verb)
+      | Ok _ as r -> r)
     | None -> outcome
     | Some reason when n < attempts ->
       let delay_ms =

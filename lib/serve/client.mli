@@ -38,20 +38,33 @@ type attempt = {
   delay_ms : float;  (** sleep before the next attempt *)
 }
 
+val idempotent_verb : string -> bool
+(** Verbs that are safe to re-send after an ambiguous transport failure
+    (read-only or pure: [ping], [stats], [diff], [check], [batch],
+    [store/log], [store/materialize], [store/diff]).  Unknown verbs are
+    conservatively non-idempotent. *)
+
 val call_with_retry :
   ?attempts:int ->
   ?base_ms:float ->
   ?max_ms:float ->
   ?sleep:(float -> unit) ->
   ?on_attempt:(attempt -> unit) ->
+  ?retry_unsafe:bool ->
   prng:Treediff_util.Prng.t ->
   connect:(unit -> (t, string) result) ->
   Protocol.request ->
   (Protocol.response, string) result
 (** Run [call] with up to [attempts] (default 5) tries, reconnecting each
     time via [connect] (a fresh connection tolerates a server restart
-    mid-sequence).  Retryable outcomes: transport errors, [overloaded] and
-    [shutting_down] answers.  Everything else returns immediately.
-    [sleep] (default [Unix.sleepf], taking milliseconds) is injectable so
-    the tests can record delays instead of waiting them out;
-    [on_attempt] observes each retry decision. *)
+    mid-sequence).  Retryable outcomes: typed [overloaded] and
+    [shutting_down] answers (the server refused without executing, so any
+    verb may retry), connect failures (the request never left this
+    process), and — only for {!idempotent_verb}s — transport errors after
+    the request was sent, when the server may already have executed it.
+    [retry_unsafe] (default [false]) lifts that last restriction for
+    non-idempotent verbs, accepting the risk of a duplicate
+    [store/commit].  Everything else returns immediately.  [sleep]
+    (default [Unix.sleepf], taking milliseconds) is injectable so the
+    tests can record delays instead of waiting them out; [on_attempt]
+    observes each retry decision. *)

@@ -167,9 +167,13 @@ let parse_string st =
         | 'b' -> Buffer.add_char buf '\b'
         | 'f' -> Buffer.add_char buf '\012'
         | 'u' ->
-          let hi = parse_u16 st in
-          if hi >= 0xD800 && hi <= 0xDBFF then
-            if
+          (* every unpaired surrogate half — a lone low, a high with no
+             \u-escape following, or a high whose partner is not a low —
+             becomes U+FFFD so the output is always well-formed UTF-8 *)
+          let rec emit_u16 u =
+            if u >= 0xDC00 && u <= 0xDFFF then add_utf8 buf 0xFFFD
+            else if u < 0xD800 || u > 0xDBFF then add_utf8 buf u
+            else if
               st.pos + 1 < String.length st.src
               && st.src.[st.pos] = '\\'
               && st.src.[st.pos + 1] = 'u'
@@ -177,15 +181,16 @@ let parse_string st =
               st.pos <- st.pos + 2;
               let lo = parse_u16 st in
               if lo >= 0xDC00 && lo <= 0xDFFF then
-                add_utf8 buf
-                  (0x10000 + ((hi - 0xD800) lsl 10) + (lo - 0xDC00))
+                add_utf8 buf (0x10000 + ((u - 0xD800) lsl 10) + (lo - 0xDC00))
               else begin
                 add_utf8 buf 0xFFFD;
-                add_utf8 buf lo
+                (* [lo] may itself be a high surrogate starting a pair *)
+                emit_u16 lo
               end
             end
             else add_utf8 buf 0xFFFD
-          else add_utf8 buf hi
+          in
+          emit_u16 (parse_u16 st)
         | c -> error st (Printf.sprintf "bad escape \\%c" c));
         loop ())
     | Some c when Char.code c < 0x20 -> error st "raw control byte in string"

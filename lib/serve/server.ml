@@ -13,6 +13,7 @@ type config = {
   max_deadline_ms : float;
   cache_entries : int;
   allow_crash : bool;
+  max_pending_out : int;
 }
 
 let default_config =
@@ -28,16 +29,23 @@ let default_config =
     max_deadline_ms = 5000.;
     cache_entries = 256;
     allow_crash = false;
+    max_pending_out = 4 * 1024 * 1024;
   }
 
 (* ---------------------------------------------------------- connections *)
 
+(* A connection's teardown has two independent steps: [closing] stops
+   reads (no new requests), while the fd itself is only closed — and the
+   conn removed from [st.conns] — once [closed] flips in [close_conn].
+   Keeping them separate lets a framing-error answer flush out before the
+   hangup without ever leaking the descriptor. *)
 type conn = {
   fd : Unix.file_descr;
   framer : Protocol.Framer.t;
   out : Buffer.t;
   mutable out_pos : int;  (* bytes of [out] already written *)
-  mutable alive : bool;
+  mutable closing : bool;  (* stop reading; close once [out] is flushed *)
+  mutable closed : bool;  (* fd closed, conn removed from [st.conns] *)
 }
 
 type state = {
@@ -53,16 +61,23 @@ type state = {
 
 let pending_out c = Buffer.length c.out - c.out_pos
 
-let enqueue_out c payload =
-  if c.alive then Buffer.add_string c.out (Protocol.encode_frame payload)
-
 let close_conn st c =
-  if c.alive then begin
-    c.alive <- false;
+  if not c.closed then begin
+    c.closed <- true;
+    c.closing <- true;
     (match Unix.close c.fd with
     | () -> ()
     | exception Unix.Unix_error _ -> ());
     st.conns <- List.filter (fun c' -> c' != c) st.conns
+  end
+
+let enqueue_out st c payload =
+  if not c.closed then begin
+    Buffer.add_string c.out (Protocol.encode_frame payload);
+    (* a client that pipelines requests but never reads answers must not
+       grow [out] without bound: admission caps the queue, this caps the
+       response side *)
+    if pending_out c > st.cfg.max_pending_out then close_conn st c
   end
 
 (* ------------------------------------------------------------- pressure *)
@@ -89,7 +104,7 @@ let admit st c payload =
   in
   match parsed with
   | Error msg ->
-    enqueue_out c (Protocol.error_payload ~id:0 Protocol.Bad_request msg)
+    enqueue_out st c (Protocol.error_payload ~id:0 Protocol.Bad_request msg)
   | Ok req ->
     (* control verbs are cheap and must work precisely when the server is
        busiest: they bypass the admission bound (but not the queue) *)
@@ -99,11 +114,11 @@ let admit st c payload =
       | _ -> false
     in
     if st.draining then
-      enqueue_out c
+      enqueue_out st c
         (Protocol.error_payload ~id:req.Protocol.id Protocol.Shutting_down
            "server is draining")
     else if (not control) && Queue.length st.queue >= st.cfg.max_queue then
-      enqueue_out c
+      enqueue_out st c
         (Protocol.error_payload ~id:req.Protocol.id
            ~retry_after_ms:st.cfg.retry_after_ms Protocol.Overloaded
            (Printf.sprintf "queue full (%d requests)" (Queue.length st.queue)))
@@ -144,8 +159,8 @@ let handle_readable st c =
         drain_frames ()
       | Error msg ->
         (* framing is out of sync beyond repair: answer and hang up *)
-        enqueue_out c (Protocol.error_payload ~id:0 Protocol.Bad_request msg);
-        c.alive <- false (* flushed below, then closed *)
+        enqueue_out st c (Protocol.error_payload ~id:0 Protocol.Bad_request msg);
+        c.closing <- true (* flushed below, then closed *)
     in
     drain_frames ()
   | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
@@ -180,7 +195,7 @@ let handle_accept st fd =
       Unix.set_nonblock cfd;
       st.conns <-
         { fd = cfd; framer = Protocol.Framer.create (); out = Buffer.create 512;
-          out_pos = 0; alive = true }
+          out_pos = 0; closing = false; closed = false }
         :: st.conns
     | exception Fault.Injected _ | exception Budget.Exceeded _ -> (
       (* the accepted connection is dropped on the floor; accepting first
@@ -188,7 +203,16 @@ let handle_accept st fd =
       match Unix.close cfd with
       | () -> ()
       | exception Unix.Unix_error _ -> ()))
-  | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> ()
+  | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE | Unix.ENOBUFS), _, _)
+    ->
+    (* out of descriptors/buffers: the listener stays readable, so back off
+       briefly instead of letting select spin; existing connections keep
+       being served and the accept is retried on the next wakeup *)
+    Unix.sleepf 0.05
+  | exception Unix.Unix_error _ ->
+    (* any other transient accept failure (EINTR, ECONNABORTED, remote
+       reset mid-handshake, ...) must never take the daemon down *)
+    ()
 
 (* -------------------------------------------------------------- request *)
 
@@ -196,20 +220,22 @@ let run_one st (c, received_at, req) =
   (* depth seen by this request excludes itself: it already left the queue *)
   let depth = Queue.length st.queue in
   let pressure = pressure_of_depth st.cfg depth in
-  if not c.alive then ()
+  (* a closing connection still gets answers to requests it already sent;
+     only a closed one is past answering *)
+  if c.closed then ()
   else
     match
       Handler.deadline_error st.handler ~id:req.Protocol.id ~received_at req
     with
-    | Some payload -> enqueue_out c payload
+    | Some payload -> enqueue_out st c payload
     | None -> (
       match
         Handler.handle st.handler ~queue_depth:depth ~pressure
           ~draining:st.draining ~received_at req
       with
-      | Handler.Payload payload -> enqueue_out c payload
+      | Handler.Payload payload -> enqueue_out st c payload
       | Handler.Shutdown payload ->
-        enqueue_out c payload;
+        enqueue_out st c payload;
         begin_drain st)
 
 (* ------------------------------------------------------------ main loop *)
@@ -277,7 +303,7 @@ let run ?(config = default_config) ?faults ?on_listen () =
       let reads =
         sig_r
         :: (match st.listen_fd with Some fd -> [ fd ] | None -> [])
-        @ List.filter_map (fun c -> if c.alive then Some c.fd else None)
+        @ List.filter_map (fun c -> if c.closing then None else Some c.fd)
             st.conns
       in
       let writes =
@@ -300,21 +326,23 @@ let run ?(config = default_config) ?faults ?on_listen () =
         | Some fd when List.mem fd rs -> handle_accept st fd
         | Some _ | None -> ());
         List.iter
-          (fun c -> if c.alive && List.mem c.fd rs then handle_readable st c)
+          (fun c ->
+            if (not c.closing) && (not c.closed) && List.mem c.fd rs then
+              handle_readable st c)
           st.conns;
         List.iter
-          (fun c -> if List.mem c.fd ws then handle_writable st c)
+          (fun c -> if (not c.closed) && List.mem c.fd ws then handle_writable st c)
           st.conns;
         (* one request per wakeup keeps the loop responsive to signals and
            keeps queue-depth pressure readings honest *)
         (match Queue.take_opt st.queue with
         | Some item -> run_one st item
         | None -> ());
-        (* a connection marked dead for a framing error closes once its
-           error answer is out *)
+        (* a connection hung up for a framing error closes once its error
+           answer is out *)
         List.iter
-          (fun c -> if (not c.alive) && pending_out c = 0 then close_conn st c)
-          (List.filter (fun c -> not c.alive) st.conns)
+          (fun c -> if c.closing && pending_out c = 0 then close_conn st c)
+          st.conns
     done
   in
   let cleanup () =

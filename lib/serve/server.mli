@@ -44,6 +44,10 @@ type config = {
   max_deadline_ms : float;  (** server-enforced cap on requested deadlines *)
   cache_entries : int;  (** LRU result-cache capacity; [0] disables *)
   allow_crash : bool;  (** enable the debug [crash] verb *)
+  max_pending_out : int;
+      (** per-connection cap (bytes) on buffered unread answers; a client
+          that pipelines requests but never reads responses is dropped
+          when its output backlog exceeds this *)
 }
 
 val default_config : config

@@ -73,6 +73,14 @@ let test_json_parse_cases () =
     "{\"a\":[1,2.5,-300],\"b\":\"x\\n\xc3\xa9\xf0\x9f\x98\x80\"}";
   ok {|[true,false,null]|} "[true,false,null]";
   ok "\"\\\"\\\\\\/\\b\\f\\n\\r\\t\"" "\"\\\"\\\\/\\b\\f\\n\\r\\t\"";
+  (* surrogate escapes: pairs combine; every unpaired half must come out
+     as U+FFFD (ef bf bd), never as raw surrogate bytes (invalid UTF-8) *)
+  ok {|"\uD83D\uDE00"|} "\"\xf0\x9f\x98\x80\"";
+  ok {|"\uDC00"|} "\"\xef\xbf\xbd\"";
+  ok {|"\uD800x"|} "\"\xef\xbf\xbdx\"";
+  ok {|"\uD800\u0041"|} "\"\xef\xbf\xbdA\"";
+  (* a second high escape may itself start a (complete) pair *)
+  ok {|"\uD800\uD800\uDC00"|} "\"\xef\xbf\xbd\xf0\x90\x80\x80\"";
   List.iter
     (fun src ->
       match Json.parse src with
@@ -400,6 +408,111 @@ let test_retry_honours_server_hint () =
       Alcotest.(check bool) "server hint dominates tiny backoff" true (d >= 123.))
     !delays
 
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* A listener that accepts and immediately hangs up: every call against it
+   is a transport error *after* the request frame went out. *)
+let with_hangup_server f =
+  let srv = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt srv Unix.SO_REUSEADDR true;
+  Unix.bind srv (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen srv 16;
+  let port =
+    match Unix.getsockname srv with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  let accepted = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let acceptor =
+    Domain.spawn (fun () ->
+        let rec loop () =
+          match Unix.accept srv with
+          | fd, _ ->
+            Unix.close fd;
+            if not (Atomic.get stop) then begin
+              Atomic.incr accepted;
+              loop ()
+            end
+          | exception Unix.Unix_error _ -> ()
+        in
+        loop ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      (* one last connect wakes the blocked accept so the domain can exit *)
+      (let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+       (match
+          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+        with
+       | () -> ()
+       | exception Unix.Unix_error _ -> ());
+       match Unix.close fd with
+       | () -> ()
+       | exception Unix.Unix_error _ -> ());
+      Domain.join acceptor;
+      Unix.close srv)
+    (fun () -> f port accepted)
+
+let test_retry_idempotency_gate () =
+  Alcotest.(check bool) "commit is not idempotent" false
+    (Client.idempotent_verb "store/commit");
+  Alcotest.(check bool) "shutdown is not idempotent" false
+    (Client.idempotent_verb "shutdown");
+  Alcotest.(check bool) "diff is idempotent" true (Client.idempotent_verb "diff");
+  (* a connect failure means the request never left this process: even a
+     non-idempotent verb retries *)
+  let tries = ref 0 in
+  (match
+     Client.call_with_retry ~attempts:3 ~base_ms:1. ~max_ms:2.
+       ~sleep:(fun _ -> ())
+       ~on_attempt:(fun _ -> incr tries)
+       ~prng:(Prng.create 1)
+       ~connect:(fun () -> Error "connection refused (simulated)")
+       (req "store/commit" (Json.Obj []))
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "cannot succeed without a server");
+  Alcotest.(check int) "unsent commit still retries" 2 !tries;
+  with_hangup_server (fun port accepted ->
+      let connect () = Client.connect ~host:"127.0.0.1" ~port in
+      (* the request was sent when the transport failed: the server may
+         already have executed it, so store/commit must NOT be re-sent *)
+      (match
+         Client.call_with_retry ~attempts:4 ~base_ms:1. ~max_ms:2.
+           ~sleep:(fun _ -> ()) ~prng:(Prng.create 2) ~connect
+           (req "store/commit" (Json.Obj []))
+       with
+      | Error msg ->
+        Alcotest.(check bool) "explains the gate" true (contains msg "not retried")
+      | Ok _ -> Alcotest.fail "hangup server cannot answer");
+      Alcotest.(check int) "commit sent exactly once" 1 (Atomic.get accepted);
+      (* an idempotent verb retries through the same failure *)
+      let before = Atomic.get accepted in
+      (match
+         Client.call_with_retry ~attempts:3 ~base_ms:1. ~max_ms:2.
+           ~sleep:(fun _ -> ()) ~prng:(Prng.create 3) ~connect
+           (req "ping" (Json.Obj []))
+       with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "hangup server cannot answer");
+      Alcotest.(check int) "ping retried" 3 (Atomic.get accepted - before);
+      (* retry_unsafe lifts the gate explicitly *)
+      let before = Atomic.get accepted in
+      (match
+         Client.call_with_retry ~attempts:3 ~base_ms:1. ~max_ms:2.
+           ~sleep:(fun _ -> ()) ~retry_unsafe:true ~prng:(Prng.create 4)
+           ~connect
+           (req "store/commit" (Json.Obj []))
+       with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "hangup server cannot answer");
+      Alcotest.(check int) "retry_unsafe re-sends" 3 (Atomic.get accepted - before))
+
 (* ------------------------------------------------------------ tcp daemon *)
 
 let best_effort_shutdown port =
@@ -540,7 +653,66 @@ let test_server_crash_isolation () =
       | Protocol.Err_resp { message; _ } -> Alcotest.failf "after crash: %s" message);
       shutdown port)
 
-(* ------------------------------------------------------------ subprocess *)
+let test_server_bad_frame_closes () =
+  (* a desynchronized frame gets one typed answer and then the connection
+     is actually closed — the fd must not linger half-dead in the loop *)
+  with_server (fun port ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      output_string oc "\xFF\xFF\xFF\xFF";
+      flush oc;
+      (match Protocol.read_frame ic with
+      | Ok (Some p) -> (
+        match Protocol.parse_response p with
+        | Ok (0, Protocol.Err_resp { kind = Protocol.Bad_request; _ }) -> ()
+        | Ok _ | Error _ -> Alcotest.fail "typed bad_request expected")
+      | Ok None | Error _ -> Alcotest.fail "error answer expected first");
+      (* the error answer was the last frame: the server hangs up *)
+      (match Protocol.read_frame ic with
+      | Ok None -> ()
+      | Error _ -> ()
+      | Ok (Some _) -> Alcotest.fail "frame after a framing error"
+      | exception End_of_file -> ()
+      | exception Sys_error _ -> ()
+      | exception Unix.Unix_error _ -> ());
+      Unix.close fd;
+      (* and keeps serving fresh connections *)
+      (match call_once port (req "ping" (Json.Obj [])) with
+      | Protocol.Ok_resp _ -> ()
+      | Protocol.Err_resp { message; _ } ->
+        Alcotest.failf "after bad frame: %s" message);
+      shutdown port)
+
+let test_server_output_cap () =
+  (* a cap below any answer size: the first response overflows it at
+     enqueue and the connection is dropped instead of buffering forever *)
+  let config = { Server.default_config with Server.max_pending_out = 16 } in
+  with_server ~config (fun port ->
+      let probe () =
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        output_string oc
+          (Protocol.encode_frame
+             (Json.to_string (Protocol.request_to_json (req "ping" (Json.Obj [])))));
+        flush oc;
+        let dropped =
+          match Protocol.read_frame ic with
+          | Ok None | Error _ -> true
+          | Ok (Some _) -> false
+          | exception End_of_file -> true
+          | exception Sys_error _ -> true
+          | exception Unix.Unix_error _ -> true
+        in
+        Unix.close fd;
+        dropped
+      in
+      Alcotest.(check bool) "over-cap answer drops the connection" true (probe ());
+      (* the server is still alive and applies the same policy afresh *)
+      Alcotest.(check bool) "still serving (and still capping)" true (probe ()))
 
 let test_stdio_subprocess () =
   let cmd = Printf.sprintf "%s serve --stdio" (bin "treediff_cli") in
@@ -673,6 +845,9 @@ let test_env_sweep () =
 (* ------------------------------------------------------------------ main *)
 
 let () =
+  (* several tests write frames to sockets the peer already closed; the
+     write must surface as an error value, not a SIGPIPE death *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let quick name f = Alcotest.test_case name `Quick f in
   match Sys.getenv_opt Fault.env_var with
   | Some s when s <> "" ->
@@ -714,12 +889,18 @@ let () =
             quick "schedule is seed-deterministic" test_backoff_deterministic;
             quick "retries replay the seeded schedule" test_retry_replays_schedule;
             quick "server retry hint dominates" test_retry_honours_server_hint;
+            quick "non-idempotent verbs are not re-sent"
+              test_retry_idempotency_gate;
           ] );
         ( "daemon",
           [
             quick "e2e: ping, diff, cache, deadline" test_server_e2e;
             quick "overload rejects with typed answers" test_server_overload_rejects;
             quick "handler crash leaves the daemon serving" test_server_crash_isolation;
+            quick "framing error answers then closes the fd"
+              test_server_bad_frame_closes;
+            quick "unread answers over the cap drop the connection"
+              test_server_output_cap;
           ] );
         ( "process",
           [
