@@ -1,4 +1,4 @@
-.PHONY: all build lint check test bench bench-quick doc clean examples fault-tests store-tests par-tests bench-parallel sim-tests bench-sim bench-compare analyze-tests bench-check serve-tests bench-serve ci ci-bench-compare ci-serve-compare
+.PHONY: all build lint check test bench bench-quick doc clean examples fault-tests store-tests par-tests bench-parallel sim-tests bench-sim bench-compare analyze-tests bench-check serve-tests bench-serve bench-store bench-store-scale ci ci-bench-compare ci-serve-compare ci-store-scale-compare
 
 all: build
 
@@ -54,19 +54,27 @@ fault-tests:
 # Version-store suite: algebra properties, archive round-trips and the CLI
 # unarmed, then the crash sweep — with TREEDIFF_FAULT armed at the store's
 # points, the suite switches to env-sweep mode: commit under fire, reopen,
-# and verify every surviving version against its stored hash.
+# and verify every surviving version against its stored hash.  The corpus
+# suite (test_corpus) runs the same sweep against the sharded store, where
+# the armed points additionally cover the write-ahead manifest and the
+# per-shard commit locks.
 STORE_FAULT_SPECS = \
   store.commit:raise@3 \
   store.append:raise@2 \
   store.append:deadline@2 \
-  store.replay:raise@4
+  store.replay:raise@4 \
+  store.manifest:raise@2 \
+  store.manifest:deadline@2 \
+  store.shard_lock:raise@2
 
 store-tests:
-	dune build test/test_store.exe
+	dune build test/test_store.exe test/test_corpus.exe bin/treediff_cli.exe
 	dune exec test/test_store.exe -- -c
+	dune exec test/test_corpus.exe -- -c
 	@for spec in $(STORE_FAULT_SPECS); do \
 	  echo "== TREEDIFF_FAULT=$$spec"; \
 	  TREEDIFF_FAULT=$$spec dune exec test/test_store.exe -- -c || exit 1; \
+	  TREEDIFF_FAULT=$$spec dune exec test/test_corpus.exe -- -c || exit 1; \
 	done
 
 # Parallelism suite: pool unit tests, the jobs:1 vs jobs:4 byte-identity
@@ -123,6 +131,13 @@ bench:
 bench-store:
 	dune exec bench/main.exe -- store
 
+# Sharded corpus store at scale: the committed BENCH_store_scale.json
+# trajectory is the full synthetic corpus (10k docs x 100 versions = 1M),
+# measuring commits/s, bytes/version, cold-cache materialize p99 and ingest
+# scaling across jobs with a byte-identity check.  Takes a few minutes.
+bench-store-scale:
+	dune exec bench/main.exe -- store-scale --json BENCH_store_scale.json
+
 # Domain-parallel batch diffing over the fig13 corpora at jobs 1/2/4, with a
 # cross-jobs output-identity check; writes BENCH_parallel.json.  Speedup
 # tracks the core count of the host (a 1-core container stays around 1x).
@@ -165,12 +180,23 @@ bench-timing:
 # BENCH_check.json.  The bench gate re-measures on this host, so the
 # regression threshold is generous — it catches complexity cliffs, not
 # noise.
-ci: build test lint fault-tests store-tests par-tests sim-tests analyze-tests serve-tests ci-bench-compare ci-serve-compare
+ci: build test lint fault-tests store-tests par-tests sim-tests analyze-tests serve-tests ci-bench-compare ci-serve-compare ci-store-scale-compare
 	@echo "ci: all gates passed"
 
 ci-bench-compare:
 	dune exec bench/main.exe -- check --json $(or $(TMPDIR),/tmp)/BENCH_check_ci.json
 	tools/bench_compare.sh BENCH_check.json $(or $(TMPDIR),/tmp)/BENCH_check_ci.json --max-regress 100
+
+# The store-scale gate re-runs the smoke corpus (100 docs; the committed
+# trajectory is the full 1M-version run) and compares the store_scale/ rows
+# only.  CI re-measures on an arbitrary host AND a 100x smaller corpus, so
+# the threshold is deliberately loose: it exists to catch complexity
+# cliffs in the commit/materialize paths and any loss of the cross-jobs
+# byte-identity property (which fails the bench outright), not noise.
+STORE_SCALE_MAX_REGRESS = 400
+ci-store-scale-compare:
+	dune exec bench/main.exe -- store-scale --smoke --json $(or $(TMPDIR),/tmp)/BENCH_store_scale_ci.json
+	tools/bench_compare.sh BENCH_store_scale.json $(or $(TMPDIR),/tmp)/BENCH_store_scale_ci.json --only 'store_scale/(commit-mean|ingest-jobs-)' --max-regress $(STORE_SCALE_MAX_REGRESS)
 
 # The serve gate re-runs the load generator and compares tail latency only
 # (--only 'serve/.*-p99'): p50/throughput rows are dominated by scheduler

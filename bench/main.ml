@@ -271,6 +271,203 @@ let run_store ?json ~out () =
   Sys.remove ckpt_path;
   Sys.remove linear_path
 
+(* ------------------------------------------------ sharded corpus at scale *)
+
+module Shard = Treediff_store.Shard
+
+(* The corpus store at scale: a synthetic many-document corpus bulk-loaded
+   through the write-ahead manifest, then measured for commit throughput,
+   bytes per version, cold-cache materialization tail latency and ingest
+   scaling across --jobs (with the byte-identity check that makes the jobs
+   knob safe to turn).  Full mode is the committed BENCH_store_scale.json
+   trajectory: 10k documents x 100 versions = 1M versions; --smoke drops to
+   100 documents for the CI gate.  Speedup across jobs tracks the host's
+   core count — on a 1-core container every level measures the same work
+   plus domain overhead, so ~1.0x is the honest expectation there. *)
+let run_store_scale ?json ~out ~jobs ~smoke () =
+  let docs, versions = if smoke then (100, 100) else (10_000, 100) in
+  let shards = if smoke then 8 else 64 in
+  let cores = Domain.recommended_domain_count () in
+  Printf.fprintf out
+    "== Sharded store at scale: %d docs x %d versions, %d shards (%d core%s) \
+     ==\n"
+    docs versions shards cores
+    (if cores = 1 then "" else "s");
+  let ok = function
+    | Ok v -> v
+    | Error msg -> failwith ("bench store-scale: " ^ msg)
+  in
+  let tmp_root suffix =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "treediff_scale_%d_%s" (Unix.getpid ()) suffix)
+  in
+  let rm_rf dir =
+    ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)))
+  in
+  (* tiny trees whose consecutive versions differ in three leaf texts:
+     update-only deltas, so the measurement weighs the store machinery
+     (manifest, shard appends, checkpoint policy), not diff complexity *)
+  let gen_tree d v =
+    let gen = Treediff_tree.Tree.gen () in
+    Treediff_tree.Codec.parse gen
+      (Printf.sprintf
+         {|(D (P (S "alpha %d") (S "beta %d rev %d")) (P (S "gamma %d") (S "delta rev %d")) (P (S "epsilon %d")))|}
+         d d v d v (d + v))
+  in
+  let sources n_docs n_versions =
+    List.init n_docs (fun d ->
+        {
+          Shard.name = Printf.sprintf "doc-%05d" d;
+          count = n_versions;
+          load = (fun v -> Ok (gen_tree d v));
+        })
+  in
+  (* ---- the main ingest: one pass, commit throughput + bytes/version *)
+  let main_jobs = Option.value jobs ~default:1 in
+  let dir = tmp_root "corpus" in
+  rm_rf dir;
+  let corpus = ok (Shard.init ~shards dir) in
+  let t0 = Unix.gettimeofday () in
+  let last_tick = ref t0 in
+  let report =
+    ok
+      (Shard.ingest ~jobs:main_jobs ~chunk_docs:32
+         ~on_chunk:(fun ~done_ ~total ->
+           let now = Unix.gettimeofday () in
+           if now -. !last_tick > 10.0 || done_ = total then begin
+             last_tick := now;
+             Printf.fprintf out "  ingest chunk %d/%d (%.0f s)\n%!" done_ total
+               (now -. t0)
+           end)
+         corpus (sources docs versions))
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let appended = max 1 report.Shard.versions_appended in
+  let commits_per_s = float_of_int appended /. wall in
+  let commit_mean_ns = wall *. 1e9 /. float_of_int appended in
+  if report.Shard.docs_failed <> [] then
+    failwith
+      (Printf.sprintf "bench store-scale: %d documents failed to ingest"
+         (List.length report.Shard.docs_failed));
+  let st = Shard.stats corpus in
+  let total_bytes =
+    Array.fold_left ( + ) 0 st.Shard.stat_shard_bytes
+    + st.Shard.stat_manifest_bytes
+  in
+  let bytes_per_version =
+    float_of_int total_bytes /. float_of_int (max 1 st.Shard.stat_versions)
+  in
+  Printf.fprintf out
+    "ingest: %d versions in %.1f s — %.0f commits/s, %.1f us/commit (jobs %d)\n"
+    appended wall commits_per_s (commit_mean_ns /. 1e3) main_jobs;
+  Printf.fprintf out "on disk: %.1f bytes/version (%d docs, %d versions)\n"
+    bytes_per_version st.Shard.stat_docs st.Shard.stat_versions;
+  (* ---- cold-cache materialize p99: a fresh handle has no chains loaded,
+     so each first-touch document load scans its shard file *)
+  let cold = ok (Shard.open_ dir) in
+  let prng = Treediff_util.Prng.create 7 in
+  let samples = min docs 256 in
+  let lat =
+    Array.init samples (fun _ ->
+        let doc = Printf.sprintf "doc-%05d" (Treediff_util.Prng.int prng docs) in
+        let t0 = Unix.gettimeofday () in
+        ignore (ok (Shard.materialize cold ~doc (versions - 1)));
+        (Unix.gettimeofday () -. t0) *. 1e9)
+  in
+  Array.sort compare lat;
+  let pct p = lat.(min (samples - 1) (int_of_float (p *. float_of_int samples))) in
+  let p50 = pct 0.50 and p99 = pct 0.99 in
+  Printf.fprintf out
+    "cold-cache materialize (head version, %d random docs): p50 %.2f ms, p99 \
+     %.2f ms\n"
+    samples (p50 /. 1e6) (p99 /. 1e6);
+  (* ---- ingest scaling vs --jobs on a subset corpus, with the byte-identity
+     check: the corpus must come out identical whatever the job count *)
+  let sub_docs = max 16 (docs / 20) and sub_versions = 20 in
+  let corpus_digest dir =
+    let entries = Sys.readdir dir in
+    Array.sort compare entries;
+    Digest.to_hex
+      (Digest.string
+         (String.concat "|"
+            (Array.to_list
+               (Array.map
+                  (fun f ->
+                    f ^ ":" ^ Digest.to_hex (Digest.file (Filename.concat dir f)))
+                  entries))))
+  in
+  let scaling =
+    List.map
+      (fun j ->
+        let d = tmp_root (Printf.sprintf "jobs%d" j) in
+        rm_rf d;
+        let c = ok (Shard.init ~shards:8 d) in
+        let t0 = Unix.gettimeofday () in
+        let r = ok (Shard.ingest ~jobs:j ~chunk_docs:16 c (sources sub_docs sub_versions)) in
+        let wall = Unix.gettimeofday () -. t0 in
+        (j, d, wall *. 1e9 /. float_of_int (max 1 r.Shard.versions_appended)))
+      [ 1; 2; 4 ]
+  in
+  let digests = List.map (fun (_, d, _) -> corpus_digest d) scaling in
+  let identical =
+    match digests with [] -> true | h :: t -> List.for_all (( = ) h) t
+  in
+  let table =
+    Treediff_util.Table.create ~headers:[ "jobs"; "ns/version"; "speedup" ]
+  in
+  let base_ns = match scaling with (_, _, ns) :: _ -> ns | [] -> 1.0 in
+  List.iter
+    (fun (j, _, ns) ->
+      Treediff_util.Table.add_row table
+        [
+          string_of_int j;
+          Printf.sprintf "%.0f" ns;
+          Printf.sprintf "%.2fx" (base_ns /. ns);
+        ])
+    scaling;
+  Treediff_util.Table.print_to out table;
+  Printf.fprintf out
+    "corpus bytes across jobs 1/2/4: %s (%d docs x %d versions subset)\n%!"
+    (if identical then "identical" else "DIVERGED")
+    sub_docs sub_versions;
+  if not identical then
+    failwith "bench store-scale: corpus bytes diverged across job counts";
+  (match json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    json_header oc (Filename.remove_extension (Filename.basename path));
+    Printf.fprintf oc
+      "  \"corpus\": { \"docs\": %d, \"versions\": %d, \"shards\": %d, \
+       \"total_versions\": %d },\n"
+      docs versions shards st.Shard.stat_versions;
+    Printf.fprintf oc "  \"jobs\": %d,\n" main_jobs;
+    Printf.fprintf oc "  \"commits_per_s\": %.2f,\n" commits_per_s;
+    Printf.fprintf oc "  \"bytes_per_version\": %.2f,\n" bytes_per_version;
+    Printf.fprintf oc "  \"ingest_jobs_identical\": %b,\n" identical;
+    Printf.fprintf oc "  \"results\": [";
+    let rows =
+      [
+        ("store_scale/commit-mean", commit_mean_ns);
+        ("store_scale/materialize-cold-p50", p50);
+        ("store_scale/materialize-cold-p99", p99);
+      ]
+      @ List.map
+          (fun (j, _, ns) -> (Printf.sprintf "store_scale/ingest-jobs-%d" j, ns))
+          scaling
+    in
+    List.iteri
+      (fun i (name, v) ->
+        Printf.fprintf oc "%s\n    { \"name\": %S, \"ns_per_run\": %.2f }"
+          (if i > 0 then "," else "")
+          name v)
+      rows;
+    Printf.fprintf oc "\n  ]\n}\n";
+    close_out oc;
+    Printf.fprintf out "wrote %s\n" path);
+  rm_rf dir;
+  List.iter (fun (_, d, _) -> rm_rf d) scaling
+
 (* ------------------------------------------------- parallel batch diffing *)
 
 (* Wall-clock of [Batch.run] over the fig13 corpora at several domain
@@ -1166,6 +1363,14 @@ let usage () =
     \               depth with/without checkpoints, bytes per version";
   print_endline "               (runs alone; with --json, writes BENCH_store.json rows)";
   print_endline
+    "  store-scale  sharded corpus store at scale: a synthetic 10k-doc x\n\
+    \               100-version (1M total) bulk ingest — commits/s, bytes per\n\
+    \               version, cold-cache materialize p99 and ingest scaling\n\
+    \               across --jobs with a byte-identity check (--smoke: 100\n\
+    \               docs, the CI gate)";
+  print_endline
+    "               (runs alone; with --json, writes BENCH_store_scale.json rows)";
+  print_endline
     "  batch        domain-parallel batch diffing over the fig13 corpora at\n\
     \               jobs 1/2/4 (or --jobs N), with a cross-jobs identity check";
   print_endline "               (runs alone; with --json, writes BENCH_parallel.json rows)";
@@ -1225,6 +1430,8 @@ let () =
     | [] -> (None, List.rev acc)
   in
   let jobs, args = take_jobs [] args in
+  let smoke = List.mem "--smoke" args in
+  let args = List.filter (fun a -> a <> "--smoke") args in
   let names = List.filter (fun a -> a <> "--bechamel") args in
   (* With --json, stdout is reserved for machine-readable consumers: every
      human table and banner this harness prints itself moves to stderr. *)
@@ -1237,6 +1444,8 @@ let () =
       if bech then run_bechamel ?json ~out ()
     | None ->
       if names = [ "store" ] then run_store ?json ~out ()
+      else if names = [ "store-scale" ] then
+        run_store_scale ?json ~out ~jobs ~smoke ()
       else if names = [ "batch" ] then run_batch_bench ?json ~out ~jobs ()
       else if names = [ "sim" ] then run_sim ?json ~out ()
       else if names = [ "check" ] then run_check_bench ?json ~out ()

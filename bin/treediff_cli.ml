@@ -655,6 +655,7 @@ let check_cmd =
 (* ----------------------------------------------------------------- store *)
 
 module Store = Treediff_store.Store
+module Shard = Treediff_store.Shard
 
 (* Store-level errors (missing versions, refused deltas, damaged archives)
    are user-facing operational failures, not internal bugs: exit 1. *)
@@ -673,32 +674,80 @@ let open_store archive =
       archive (Store.versions store);
   store
 
-let run_store_init archive interval max_replay_ops =
-  handle_errors @@ fun () ->
-  let store = ok_or_die (Store.init ~interval ~max_replay_ops archive) in
-  let policy =
-    match (Store.interval store, Store.max_replay_ops store) with
-    | 0, 0 -> "checkpoints disabled"
-    | n, 0 -> Printf.sprintf "checkpoint every %d commits" n
-    | 0, m -> Printf.sprintf "checkpoint beyond %d replay ops" m
-    | n, m -> Printf.sprintf "checkpoint every %d commits or %d replay ops" n m
-  in
-  Printf.printf "initialized %s (%s)\n" (Store.path store) policy
+let open_corpus dir =
+  let corpus = ok_or_die (Shard.open_ dir) in
+  if Shard.manifest_truncated corpus then
+    Printf.eprintf
+      "treediff: store: %s: manifest had a damaged tail (interrupted commit \
+       isolated on replay)\n"
+      dir;
+  (match Shard.aborted_commits corpus with
+  | [] -> ()
+  | aborted ->
+    Printf.eprintf
+      "treediff: store: %s: %d aborted commit(s) from an earlier crash; \
+       their versions are invisible and $(b,store gc) reclaims the bytes\n"
+      dir (List.length aborted));
+  corpus
 
-let run_store_commit archive tree_file format lenient =
+(* A corpus directory and a single-file archive share the verbs; per-document
+   verbs on a corpus need [--doc] to say which chain they mean. *)
+let require_doc = function
+  | Some doc -> doc
+  | None -> ok_or_die (Error "this archive is a corpus; pick a chain with --doc")
+
+let refuse_doc archive = function
+  | None -> ()
+  | Some _ ->
+    ok_or_die
+      (Error
+         (Printf.sprintf
+            "%s is a single-document archive (--doc applies to a corpus \
+             created with store init --shards)"
+            archive))
+
+let policy_string ~interval ~max_replay_ops =
+  match (interval, max_replay_ops) with
+  | 0, 0 -> "checkpoints disabled"
+  | n, 0 -> Printf.sprintf "checkpoint every %d commits" n
+  | 0, m -> Printf.sprintf "checkpoint beyond %d replay ops" m
+  | n, m -> Printf.sprintf "checkpoint every %d commits or %d replay ops" n m
+
+let run_store_init archive interval max_replay_ops shards =
   handle_errors @@ fun () ->
-  let store = open_store archive in
+  if shards > 0 then begin
+    let corpus = ok_or_die (Shard.init ~interval ~max_replay_ops ~shards archive) in
+    Printf.printf "initialized corpus %s (%d shards, %s)\n" (Shard.dir corpus)
+      (Shard.shards corpus)
+      (policy_string ~interval:(Shard.interval corpus)
+         ~max_replay_ops:(Shard.max_replay_ops corpus))
+  end
+  else begin
+    let store = ok_or_die (Store.init ~interval ~max_replay_ops archive) in
+    Printf.printf "initialized %s (%s)\n" (Store.path store)
+      (policy_string ~interval:(Store.interval store)
+         ~max_replay_ops:(Store.max_replay_ops store))
+  end
+
+let run_store_commit archive tree_file format lenient doc =
+  handle_errors @@ fun () ->
   let gen = Treediff_tree.Tree.gen () in
-  let doc = parse_tree ~lenient format gen (read_file tree_file) in
-  let entry = ok_or_die (Store.commit store doc) in
+  let tree = parse_tree ~lenient format gen (read_file tree_file) in
+  let entry =
+    if Shard.is_corpus archive then
+      let corpus = open_corpus archive in
+      ok_or_die (Shard.commit corpus ~doc:(require_doc doc) tree)
+    else begin
+      refuse_doc archive doc;
+      ok_or_die (Store.commit (open_store archive) tree)
+    end
+  in
   Printf.printf "committed version %d (%s, %d ops, %d bytes)\n"
     entry.Store.version
     (Store.kind_name entry.Store.kind)
     entry.Store.ops entry.Store.bytes
 
-let run_store_log archive =
-  handle_errors @@ fun () ->
-  let store = open_store archive in
+let print_entries entries =
   Printf.printf "%-8s %-10s %6s %8s %8s  %s\n" "version" "kind" "ops" "bytes"
     "next_id" "hash";
   List.iter
@@ -706,7 +755,30 @@ let run_store_log archive =
       Printf.printf "%-8d %-10s %6d %8d %8d  %016Lx\n" e.Store.version
         (Store.kind_name e.Store.kind)
         e.Store.ops e.Store.bytes e.Store.next_id e.Store.hash)
-    (Store.log store)
+    entries
+
+let run_store_log archive doc =
+  handle_errors @@ fun () ->
+  if Shard.is_corpus archive then begin
+    let corpus = open_corpus archive in
+    match doc with
+    | Some doc -> print_entries (ok_or_die (Shard.log corpus doc))
+    | None ->
+      Printf.printf "%-24s %8s %5s  %s\n" "document" "versions" "shard"
+        "head hash";
+      List.iter
+        (fun d ->
+          Printf.printf "%-24s %8d %5d  %s\n" d (Shard.versions corpus d)
+            (Shard.shard_of corpus d)
+            (match Shard.head_hash corpus d with
+            | Some h -> Printf.sprintf "%016Lx" h
+            | None -> "-"))
+        (Shard.docs corpus)
+  end
+  else begin
+    refuse_doc archive doc;
+    print_entries (Store.log (open_store archive))
+  end
 
 let run_store_show archive version output =
   handle_errors @@ fun () ->
@@ -726,34 +798,182 @@ let run_store_show archive version output =
   in
   write_out output (header ^ body)
 
-let run_store_materialize archive version verify budget_ms format output =
+let run_store_materialize archive version verify budget_ms format output doc =
   handle_errors @@ fun () ->
-  let store = open_store archive in
   let exec =
     Option.map
       (fun ms ->
         Treediff_util.Exec.create ~budget:(Treediff_util.Budget.make ~deadline_ms:ms ()) ())
       budget_ms
   in
-  match Store.materialize ~verify ?exec store version with
+  let result =
+    if Shard.is_corpus archive then
+      Shard.materialize ~verify ?exec (open_corpus archive)
+        ~doc:(require_doc doc) version
+    else begin
+      refuse_doc archive doc;
+      Store.materialize ~verify ?exec (open_store archive) version
+    end
+  in
+  match result with
   | Ok tree -> write_out output (print_tree format tree)
   | Error msg -> ok_or_die (Error msg)
   | exception Treediff_util.Budget.Exceeded e ->
     Printf.eprintf "treediff: store: %s\n" (Treediff_util.Budget.describe e);
     exit exit_degraded
 
-let run_store_diff archive from_ to_ output =
+let run_store_diff archive from_ to_ output doc =
   handle_errors @@ fun () ->
-  let store = open_store archive in
-  let script = ok_or_die (Store.diff_between store ~from_ ~to_) in
+  let script =
+    if Shard.is_corpus archive then
+      ok_or_die
+        (Shard.diff_between (open_corpus archive) ~doc:(require_doc doc) ~from_
+           ~to_)
+    else begin
+      refuse_doc archive doc;
+      ok_or_die (Store.diff_between (open_store archive) ~from_ ~to_)
+    end
+  in
   write_out output (Treediff_edit.Script_io.to_string script)
 
-let run_store_gc archive prune_before =
+let run_store_gc archive prune_before jobs =
   handle_errors @@ fun () ->
-  let store = open_store archive in
-  let before, after = ok_or_die (Store.gc ?prune_before store) in
-  Printf.printf "compacted %s: %d -> %d bytes (base version %d)\n"
-    (Store.path store) before after (Store.base_version store)
+  if Shard.is_corpus archive then begin
+    (match prune_before with
+    | None -> ()
+    | Some _ ->
+      ok_or_die (Error "--prune-before applies to single-document archives"));
+    let corpus = open_corpus archive in
+    let before, after = ok_or_die (Shard.gc ?jobs corpus) in
+    Printf.printf "compacted corpus %s: %d -> %d bytes (%d shards)\n"
+      (Shard.dir corpus) before after (Shard.shards corpus)
+  end
+  else begin
+    let store = open_store archive in
+    let before, after = ok_or_die (Store.gc ?prune_before store) in
+    Printf.printf "compacted %s: %d -> %d bytes (base version %d)\n"
+      (Store.path store) before after (Store.base_version store)
+  end
+
+(* ---------------------------------------------------- corpus-only verbs *)
+
+(* An ingest source directory: one subdirectory per document, whose files
+   (in lexicographic order) are the successive versions. *)
+let sources_of_dir ~format ~lenient docs_dir =
+  let entries = Sys.readdir docs_dir in
+  Array.sort compare entries;
+  let sources =
+    Array.to_list entries
+    |> List.filter_map (fun name ->
+           let dir = Filename.concat docs_dir name in
+           if not (Sys.is_directory dir) then None
+           else begin
+             let files = Sys.readdir dir in
+             Array.sort compare files;
+             let files =
+               Array.to_list files
+               |> List.filter (fun f ->
+                      let p = Filename.concat dir f in
+                      String.length f > 0 && f.[0] <> '.'
+                      && not (Sys.is_directory p))
+               |> List.map (Filename.concat dir)
+               |> Array.of_list
+             in
+             if Array.length files = 0 then None
+             else
+               Some
+                 {
+                   Shard.name;
+                   count = Array.length files;
+                   load =
+                     (fun v ->
+                       (* called from pool domains: fresh generator per call,
+                          failures reported as typed errors so one bad file
+                          skips its document, not the ingest *)
+                       match
+                         let gen = Treediff_tree.Tree.gen () in
+                         parse_tree ~lenient format gen (read_file files.(v))
+                       with
+                       | tree -> Ok tree
+                       | exception
+                           ( Treediff_tree.Codec.Parse_error m
+                           | Treediff_doc.Xml_parser.Parse_error m ) ->
+                         Error (Printf.sprintf "%s: parse error: %s" files.(v) m)
+                       | exception Sys_error m -> Error m);
+                 }
+           end)
+  in
+  sources
+
+let run_store_ingest archive docs_dir jobs chunk_docs budget_ms format lenient =
+  handle_errors @@ fun () ->
+  let corpus = open_corpus archive in
+  let sources = sources_of_dir ~format ~lenient docs_dir in
+  if sources = [] then
+    ok_or_die
+      (Error
+         (Printf.sprintf "%s has no document subdirectories to ingest" docs_dir));
+  let on_chunk ~done_ ~total =
+    Printf.eprintf "treediff: store: ingest chunk %d/%d\n%!" done_ total
+  in
+  let report =
+    ok_or_die
+      (Shard.ingest ?jobs ?chunk_docs ?budget_ms ~on_chunk corpus sources)
+  in
+  List.iter
+    (fun (doc, msg) ->
+      Printf.eprintf "treediff: store: skipped %s: %s\n" doc msg)
+    report.Shard.docs_failed;
+  Printf.printf
+    "ingested %d document(s): %d version(s) appended in %d commit(s), %d \
+     already complete, %d failed\n"
+    report.Shard.docs_ingested report.Shard.versions_appended
+    report.Shard.chunks report.Shard.docs_skipped
+    (List.length report.Shard.docs_failed)
+
+let run_store_stats archive =
+  handle_errors @@ fun () ->
+  if Shard.is_corpus archive then begin
+    let corpus = open_corpus archive in
+    let s = Shard.stats corpus in
+    let shard_total = Array.fold_left ( + ) 0 s.Shard.stat_shard_bytes in
+    let largest = Array.fold_left max 0 s.Shard.stat_shard_bytes in
+    Printf.printf "%s: %d shards, %d document(s), %d version(s)\n" archive
+      s.Shard.stat_shards s.Shard.stat_docs s.Shard.stat_versions;
+    Printf.printf "shard bytes: %d total, %d largest; manifest bytes: %d\n"
+      shard_total largest s.Shard.stat_manifest_bytes;
+    Printf.printf "epoch %d; %d aborted commit(s) awaiting gc\n" s.Shard.stat_epoch
+      s.Shard.stat_aborted
+  end
+  else begin
+    (* the single-file archive is the 1-shard special case *)
+    let store = open_store archive in
+    let bytes =
+      match Unix.stat archive with
+      | { Unix.st_size; _ } -> st_size
+      | exception Unix.Unix_error _ -> 0
+    in
+    Printf.printf "%s: 1 shard (single-file archive), %d version(s), %d bytes\n"
+      archive (Store.versions store) bytes
+  end
+
+let run_store_verify archive jobs =
+  handle_errors @@ fun () ->
+  if Shard.is_corpus archive then begin
+    let corpus = open_corpus archive in
+    let n = ok_or_die (Shard.verify ?jobs corpus) in
+    Printf.printf "verified %d version(s) across %d document(s)\n" n
+      (Shard.doc_count corpus)
+  end
+  else begin
+    let store = open_store archive in
+    for v = 0 to Store.versions store - 1 do
+      match Store.materialize ~verify:true store v with
+      | Ok _ -> ()
+      | Error msg -> ok_or_die (Error msg)
+    done;
+    Printf.printf "verified %d version(s)\n" (Store.versions store)
+  end
 
 let archive_new =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"ARCHIVE"
@@ -794,7 +1014,37 @@ let store_to =
 let store_prune =
   Arg.(value & opt (some int) None & info [ "prune-before" ] ~docv:"P"
          ~doc:"Discard history older than version $(docv); $(docv) becomes \
-               the new base snapshot (version numbers are preserved).")
+               the new base snapshot (version numbers are preserved).  \
+               Single-document archives only.")
+
+let store_shards =
+  Arg.(value & opt int 0 & info [ "shards" ] ~docv:"N"
+         ~doc:"Create a sharded corpus directory with $(docv) hash-bucketed \
+               shard files and a write-ahead manifest, instead of a \
+               single-file archive.  The shard count is fixed for the \
+               corpus's lifetime.")
+
+let store_doc =
+  Arg.(value & opt (some string) None & info [ "doc" ] ~docv:"DOC"
+         ~doc:"Document name inside a corpus.  Required for per-document \
+               verbs on a corpus; rejected on a single-document archive.")
+
+let store_jobs =
+  Arg.(value & opt (some int) None & info [ "jobs" ] ~docv:"N"
+         ~doc:"Worker domains for the parallel phases (default: the \
+               machine's recommendation).")
+
+let store_chunk_docs =
+  Arg.(value & opt (some int) None & info [ "chunk-docs" ] ~docv:"N"
+         ~doc:"Documents per write-ahead commit during ingest (default 16): \
+               a crash loses at most one chunk, and smaller chunks checkpoint \
+               progress more often.")
+
+let docs_dir_pos =
+  Arg.(required & pos 1 (some dir) None & info [] ~docv:"DOCS"
+         ~doc:"Ingest source: a directory with one subdirectory per \
+               document, whose files in lexicographic order are the \
+               successive versions.")
 
 let tree_file_pos1 =
   Arg.(required & pos 1 (some file) None & info [] ~docv:"TREE"
@@ -809,16 +1059,20 @@ let store_cmds =
               :: Cmd.Exit.defaults in
   [
     Cmd.v
-      (Cmd.info "init" ~doc:"create an empty version archive" ~exits)
+      (Cmd.info "init"
+         ~doc:"create an empty version archive, or a sharded corpus with \
+               $(b,--shards)"
+         ~exits)
       Term.(const run_store_init $ archive_new $ store_interval
-            $ store_max_replay);
+            $ store_max_replay $ store_shards);
     Cmd.v
       (Cmd.info "commit" ~doc:"append a document as the next version" ~exits)
       Term.(const run_store_commit $ archive $ tree_file_pos1 $ format_arg
-            $ lenient);
+            $ lenient $ store_doc);
     Cmd.v
-      (Cmd.info "log" ~doc:"list stored versions, oldest first" ~exits)
-      Term.(const run_store_log $ archive);
+      (Cmd.info "log"
+         ~doc:"list stored versions (or, for a corpus, its documents)" ~exits)
+      Term.(const run_store_log $ archive $ store_doc);
     Cmd.v
       (Cmd.info "show" ~doc:"print one version's metadata and stored delta"
          ~exits)
@@ -826,20 +1080,35 @@ let store_cmds =
     Cmd.v
       (Cmd.info "materialize" ~doc:"reconstruct a stored version" ~exits)
       Term.(const run_store_materialize $ archive $ store_version_pos
-            $ store_verify $ budget_ms $ format_arg $ output);
+            $ store_verify $ budget_ms $ format_arg $ output $ store_doc);
     Cmd.v
       (Cmd.info "diff"
          ~doc:"compose the stored chain into one script between two versions"
          ~exits)
-      Term.(const run_store_diff $ archive $ store_from $ store_to $ output);
+      Term.(const run_store_diff $ archive $ store_from $ store_to $ output
+            $ store_doc);
     Cmd.v
       (Cmd.info "gc" ~doc:"compact the archive, optionally pruning history"
          ~exits)
-      Term.(const run_store_gc $ archive $ store_prune);
+      Term.(const run_store_gc $ archive $ store_prune $ store_jobs);
+    Cmd.v
+      (Cmd.info "ingest"
+         ~doc:"bulk-load a document corpus from a directory tree" ~exits)
+      Term.(const run_store_ingest $ archive $ docs_dir_pos $ store_jobs
+            $ store_chunk_docs $ budget_ms $ format_arg $ lenient);
+    Cmd.v
+      (Cmd.info "stats" ~doc:"corpus shape and on-disk size, without scanning"
+         ~exits)
+      Term.(const run_store_stats $ archive);
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:"materialize every stored version against its committed hash"
+         ~exits)
+      Term.(const run_store_verify $ archive $ store_jobs);
   ]
 
 let store_cmd =
-  let doc = "delta-chain version archive for a document lineage" in
+  let doc = "delta-chain version archives and sharded document corpora" in
   let man =
     [
       `S Manpage.s_description;
@@ -850,6 +1119,12 @@ let store_cmd =
           before it is written, and each record is checksummed so an \
           interrupted commit is isolated on reopen rather than corrupting \
           the history.";
+      `P "$(b,store init --shards N) creates a $(i,corpus): a directory of N \
+          hash-bucketed shard files fronted by a checksummed write-ahead \
+          manifest, holding many documents' chains.  Commits are atomic \
+          across documents (a crash loses at most the in-flight commit, and \
+          reopen needs no repair step), $(b,ingest) bulk-loads and resumes \
+          deterministically, and the per-document verbs take $(b,--doc).";
     ]
   in
   Cmd.group (Cmd.info "store" ~doc ~man) store_cmds

@@ -10,6 +10,7 @@ module Script = Treediff_edit.Script
 module Script_io = Treediff_edit.Script_io
 module Line_diff = Treediff_textdiff.Line_diff
 module Store = Treediff_store.Store
+module Shard = Treediff_store.Shard
 
 type pressure = Full | Forced_approx | Flat_only
 
@@ -18,12 +19,24 @@ let pressure_name = function
   | Forced_approx -> "approx"
   | Flat_only -> "flat"
 
+(* An open archive handle kept warm between store requests: reopening a
+   large archive (or corpus manifest) per request is the dominant cost of
+   the store verbs.  The fingerprint is the identity+mtime+size of the
+   backing file (the MANIFEST, for a corpus): a hit is trusted only while
+   it still matches, so an archive modified by another process — or
+   rewritten by gc, which renames a fresh inode into place — is silently
+   reopened rather than served stale. *)
+type store_handle = Single of Store.t | Corpus of Shard.t
+
+type cached_store = { handle : store_handle; fingerprint : string }
+
 type t = {
   default_deadline_ms : float;
   max_deadline_ms : float;
   allow_crash : bool;
   faults : Fault.t;  (* server registry: the serve.* points *)
   cache : string Cache.t;
+  stores : cached_store Cache.t;  (* archive path -> warm handle *)
   started_at : float;
   mutable served : int;
   mutable ok : int;
@@ -32,16 +45,20 @@ type t = {
   mutable shed : int;
   mutable bad : int;
   mutable cache_faults : int;  (* serve.cache injections absorbed *)
+  mutable store_hits : int;  (* store verbs served on a warm, valid handle *)
+  mutable store_misses : int;  (* cold or stale: the archive was (re)opened *)
 }
 
 let create ?(default_deadline_ms = 1000.) ?(max_deadline_ms = 5000.)
-    ?(cache_entries = 256) ?(allow_crash = false) ?faults () =
+    ?(cache_entries = 256) ?(store_handles = 8) ?(allow_crash = false) ?faults
+    () =
   {
     default_deadline_ms;
     max_deadline_ms;
     allow_crash;
     faults = (match faults with Some f -> f | None -> Fault.create ());
     cache = Cache.create cache_entries;
+    stores = Cache.create store_handles;
     started_at = Unix.gettimeofday ();
     served = 0;
     ok = 0;
@@ -50,6 +67,8 @@ let create ?(default_deadline_ms = 1000.) ?(max_deadline_ms = 5000.)
     shed = 0;
     bad = 0;
     cache_faults = 0;
+    store_hits = 0;
+    store_misses = 0;
   }
 
 let served t = t.served
@@ -59,6 +78,8 @@ let internal_count t = t.internal
 let shed_count t = t.shed
 let cache_hits t = Cache.hits t.cache
 let cache t = t.cache
+let store_handle_hits t = t.store_hits
+let store_handle_misses t = t.store_misses
 
 (* --------------------------------------------------------------- deadline *)
 
@@ -374,11 +395,14 @@ let run_check ~deadline_ms req =
 
 (* Store requests operate on server-side archives by path: the daemon is a
    trusted-perimeter service (compare github/semantic's worker model), not
-   a public API.  Each verb opens the archive, performs one operation under
-   the request's residual deadline, and closes the handle.  The residual is
-   what {!Treediff_util.Budget.remaining_ms} was added for: the nested
-   operation must spend what is left of this request's allowance, not a
-   fresh grant. *)
+   a public API.  Handles are cached across requests (see {!cached_store});
+   each operation still runs under the request's residual deadline — the
+   residual is what {!Treediff_util.Budget.remaining_ms} was added for: the
+   nested operation must spend what is left of this request's allowance,
+   not a fresh grant.  The per-request budget travels as an explicit
+   [~exec] override, never inside the cached handle, so a handle opened
+   during one request cannot carry that request's expired deadline into
+   the next. *)
 
 let archive_param params =
   match Json.mem_str "archive" params with
@@ -391,20 +415,74 @@ let version_param name params =
   | Some _ -> raise (Bad_params (Printf.sprintf "param %S must be a version number" name))
   | None -> raise (Bad_params (Printf.sprintf "missing numeric param %S" name))
 
-let with_store ~budget params f =
+let doc_param params = Json.mem_str "doc" params
+
+let require_doc_param = function
+  | Some doc -> Ok doc
+  | None -> Error "this archive is a corpus; pass \"doc\""
+
+let store_fingerprint path =
+  let target =
+    if Sys.file_exists path && Sys.is_directory path then
+      Filename.concat path "MANIFEST"
+    else path
+  in
+  match Unix.stat target with
+  | { Unix.st_ino; st_mtime; st_size; _ } ->
+    Some (Printf.sprintf "%d:%h:%d" st_ino st_mtime st_size)
+  | exception Unix.Unix_error _ -> None
+
+(* Refresh a cached handle's fingerprint after the handle itself wrote the
+   archive: the bytes changed underneath the stat, but this handle is the
+   writer and is exactly current. *)
+let store_revalidate t path handle =
+  match store_fingerprint path with
+  | Some fingerprint -> Cache.put t.stores path { handle; fingerprint }
+  | None -> ()
+
+let with_store t ~budget params f =
   let path = archive_param params in
-  if not (Sys.file_exists path) then
+  match store_fingerprint path with
+  | None ->
     Error (Protocol.Bad_request, Printf.sprintf "store: no such archive %s" path)
-  else
-    (* hand the store the residual allowance of this request's budget *)
-    let exec =
-      Exec.create
-        ~budget:(Budget.make ~deadline_ms:(Budget.remaining_ms budget) ())
-        ()
+  | Some fp -> (
+    let cached =
+      match Cache.find t.stores path with
+      | Some { handle; fingerprint } when fingerprint = fp -> Some handle
+      | Some _ (* stale: modified or gc-rewritten since it was opened *)
+      | None -> None
     in
-    match Store.open_ ~exec path with
-    | Error msg -> Error (Protocol.Bad_request, "store: " ^ msg)
-    | Ok store -> f store
+    let opened =
+      match cached with
+      | Some handle ->
+        t.store_hits <- t.store_hits + 1;
+        Ok handle
+      | None -> (
+        t.store_misses <- t.store_misses + 1;
+        (* the cached handle outlives this request, so it gets a plain
+           context; budgets are passed per operation *)
+        let exec = Exec.create () in
+        let fresh =
+          if Shard.is_corpus path then
+            Result.map (fun c -> Corpus c) (Shard.open_ ~exec path)
+          else Result.map (fun s -> Single s) (Store.open_ ~exec path)
+        in
+        match fresh with
+        | Error msg -> Error (Protocol.Bad_request, "store: " ^ msg)
+        | Ok handle ->
+          Cache.put t.stores path { handle; fingerprint = fp };
+          Ok handle)
+    in
+    match opened with
+    | Error _ as e -> e
+    | Ok handle ->
+      (* hand the operation the residual allowance of this request *)
+      let exec =
+        Exec.create
+          ~budget:(Budget.make ~deadline_ms:(Budget.remaining_ms budget) ())
+          ()
+      in
+      f ~exec handle)
 
 let entry_json (e : Store.entry) =
   Json.Obj
@@ -416,43 +494,107 @@ let entry_json (e : Store.entry) =
       ("hash", Json.Str (Printf.sprintf "%016Lx" e.Store.hash));
     ]
 
-let run_store ~budget verb req =
+let run_store t ~budget verb req =
   let params = req.Protocol.params in
+  let store_err msg = Error (Protocol.Bad_request, "store: " ^ msg) in
   match verb with
   | "store/log" ->
-    with_store ~budget params (fun store ->
-        Ok
-          (Json.Obj
-             [
-               ("versions", Json.Num (float_of_int (Store.versions store)));
-               ("truncated_tail", Json.Bool (Store.truncated_tail store));
-               ("entries", Json.Arr (List.map entry_json (Store.log store)));
-             ]))
+    with_store t ~budget params (fun ~exec:_ handle ->
+        match (handle, doc_param params) with
+        | Single store, _ ->
+          Ok
+            (Json.Obj
+               [
+                 ("versions", Json.Num (float_of_int (Store.versions store)));
+                 ("truncated_tail", Json.Bool (Store.truncated_tail store));
+                 ("entries", Json.Arr (List.map entry_json (Store.log store)));
+               ])
+        | Corpus corpus, Some doc -> (
+          match Shard.log corpus doc with
+          | Ok entries ->
+            Ok
+              (Json.Obj
+                 [
+                   ("doc", Json.Str doc);
+                   ("versions", Json.Num (float_of_int (List.length entries)));
+                   ("entries", Json.Arr (List.map entry_json entries));
+                 ])
+          | Error msg -> store_err msg)
+        | Corpus corpus, None ->
+          (* no doc: the corpus catalog, one row per document *)
+          Ok
+            (Json.Obj
+               [
+                 ("docs",
+                  Json.Arr
+                    (List.map
+                       (fun d ->
+                         Json.Obj
+                           [
+                             ("doc", Json.Str d);
+                             ("versions",
+                              Json.Num
+                                (float_of_int (Shard.versions corpus d)));
+                             ("shard",
+                              Json.Num
+                                (float_of_int (Shard.shard_of corpus d)));
+                           ])
+                       (Shard.docs corpus)));
+                 ("versions",
+                  Json.Num (float_of_int (Shard.total_versions corpus)));
+                 ("shards", Json.Num (float_of_int (Shard.shards corpus)));
+               ]))
   | "store/materialize" ->
-    with_store ~budget params (fun store ->
+    with_store t ~budget params (fun ~exec handle ->
         let version = version_param "version" params in
         let verify =
           Option.value ~default:true (Json.mem_bool "verify" params)
         in
-        match Store.materialize ~verify store version with
-        | Ok tree ->
-          Ok (Json.Obj [ ("tree", Json.Str (Codec.to_string tree)) ])
-        | Error msg -> Error (Protocol.Bad_request, "store: " ^ msg))
+        let tree =
+          match handle with
+          | Single store -> Store.materialize ~verify ~exec store version
+          | Corpus corpus ->
+            Result.bind (require_doc_param (doc_param params)) (fun doc ->
+                Shard.materialize ~verify ~exec corpus ~doc version)
+        in
+        match tree with
+        | Ok tree -> Ok (Json.Obj [ ("tree", Json.Str (Codec.to_string tree)) ])
+        | Error msg -> store_err msg)
   | "store/commit" ->
-    with_store ~budget params (fun store ->
+    with_store t ~budget params (fun ~exec handle ->
         let gen = Treediff_tree.Tree.gen () in
-        let doc = parse_tree_param ~gen "tree" params in
-        match Store.commit store doc with
-        | Ok entry -> Ok (entry_json entry)
-        | Error msg -> Error (Protocol.Bad_request, "store: " ^ msg))
+        let tree = parse_tree_param ~gen "tree" params in
+        match handle with
+        | Single store -> (
+          match Store.commit ~exec store tree with
+          | Ok entry ->
+            store_revalidate t (archive_param params) handle;
+            Ok (entry_json entry)
+          | Error msg -> store_err msg)
+        | Corpus corpus -> (
+          match
+            Result.bind (require_doc_param (doc_param params)) (fun doc ->
+                Shard.commit ~exec corpus ~doc tree)
+          with
+          | Ok entry ->
+            store_revalidate t (archive_param params) handle;
+            Ok (entry_json entry)
+          | Error msg -> store_err msg))
   | "store/diff" ->
-    with_store ~budget params (fun store ->
+    with_store t ~budget params (fun ~exec handle ->
         let from_ = version_param "from" params in
         let to_ = version_param "to" params in
-        match Store.diff_between store ~from_ ~to_ with
+        let script =
+          match handle with
+          | Single store -> Store.diff_between ~exec store ~from_ ~to_
+          | Corpus corpus ->
+            Result.bind (require_doc_param (doc_param params)) (fun doc ->
+                Shard.diff_between ~exec corpus ~doc ~from_ ~to_)
+        in
+        match script with
         | Ok script ->
           Ok (Json.Obj [ ("script", Json.Str (Script_io.to_string script)) ])
-        | Error msg -> Error (Protocol.Bad_request, "store: " ^ msg))
+        | Error msg -> store_err msg)
   | v -> Error (Protocol.Bad_request, Printf.sprintf "unknown store verb %S" v)
 
 (* ------------------------------------------------------------ stats verb *)
@@ -480,6 +622,15 @@ let stats_body t ~queue_depth ~draining =
            ("evictions", Json.Num (float_of_int (Cache.evictions t.cache)));
            ("faults_absorbed", Json.Num (float_of_int t.cache_faults));
          ]);
+      ("store_handles",
+       Json.Obj
+         [
+           ("entries", Json.Num (float_of_int (Cache.length t.stores)));
+           ("capacity", Json.Num (float_of_int (Cache.capacity t.stores)));
+           ("hits", Json.Num (float_of_int t.store_hits));
+           ("misses", Json.Num (float_of_int t.store_misses));
+           ("evictions", Json.Num (float_of_int (Cache.evictions t.stores)));
+         ]);
     ]
 
 (* --------------------------------------------------------------- dispatch *)
@@ -497,7 +648,7 @@ let dispatch t ~queue_depth ~pressure ~draining ~deadline_ms req =
   | "store/log" | "store/materialize" | "store/commit" | "store/diff" ->
     (* the store path needs the live budget to compute its residual *)
     let budget = Budget.make ~deadline_ms () in
-    run_store ~budget req.Protocol.verb req
+    run_store t ~budget req.Protocol.verb req
   | "crash" when t.allow_crash ->
     (* Debug verb for the crash-isolation tests and bench: a handler that
        genuinely raises, exercising the isolation barrier below. *)

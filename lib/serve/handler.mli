@@ -34,14 +34,20 @@ val create :
   ?default_deadline_ms:float ->
   ?max_deadline_ms:float ->
   ?cache_entries:int ->
+  ?store_handles:int ->
   ?allow_crash:bool ->
   ?faults:Treediff_util.Fault.t ->
   unit ->
   t
 (** [faults] is the {e server's} long-lived registry (the [serve.*]
     points); per-request pipeline registries are created fresh inside
-    {!handle}.  [allow_crash] (default [false]) enables the debug [crash]
-    verb used by the crash-isolation tests and bench. *)
+    {!handle}.  [store_handles] (default 8) bounds the LRU cache of open
+    archive/corpus handles kept warm between store requests; a cached
+    handle is revalidated against the backing file's identity, mtime and
+    size on every use and silently reopened when stale, so external
+    writers (or a gc rewrite) are always picked up.  [allow_crash]
+    (default [false]) enables the debug [crash] verb used by the
+    crash-isolation tests and bench. *)
 
 type outcome =
   | Payload of string  (** response frame payload to send back *)
@@ -84,3 +90,9 @@ val shed_count : t -> int
 val cache_hits : t -> int
 
 val cache : t -> string Cache.t
+
+val store_handle_hits : t -> int
+(** Store-verb requests served through an already-open (and still-valid)
+    archive handle. *)
+
+val store_handle_misses : t -> int

@@ -52,6 +52,30 @@ let record_bytes { tag; payload } =
   Buffer.add_string buf payload;
   Buffer.contents buf
 
+(* Records until the data runs out or stops checksumming.  A damaged
+   record poisons everything after it: with no resync marker, the
+   remainder of an append-only file cannot be trusted, so it is reported
+   as a truncated tail. *)
+let scan_records r =
+  let records = ref [] in
+  let valid_end = ref r.B.pos in
+  let damaged = ref false in
+  (try
+     while B.remaining r > 0 do
+       let tag = Char.chr (B.read_byte r) in
+       let len = B.read_varint r in
+       let sum = B.read_i64 r in
+       if B.remaining r < len then raise (B.Truncated r.B.pos);
+       let payload = String.sub r.B.src r.B.pos len in
+       r.B.pos <- r.B.pos + len;
+       if not (Int64.equal sum (B.fnv1a64 payload)) then
+         raise (B.Malformed (!valid_end, "record checksum mismatch"));
+       records := { tag; payload } :: !records;
+       valid_end := r.B.pos
+     done
+   with B.Truncated _ | B.Malformed _ -> damaged := true);
+  (List.rev !records, !valid_end, !damaged)
+
 let create ~path ~interval ~max_replay_ops =
   if Sys.file_exists path then
     Error (Io (Printf.sprintf "%s already exists" path))
@@ -86,37 +110,10 @@ let scan path =
         with
         | exception (B.Truncated _ | B.Malformed _) -> Error Bad_magic
         | interval, max_replay_ops ->
-          (* Records until the data runs out or stops checksumming.  A
-             damaged record poisons everything after it: with no resync
-             marker, the remainder of an append-only file cannot be
-             trusted, so it is reported as a truncated tail. *)
-          let records = ref [] in
-          let valid_end = ref r.B.pos in
-          let damaged = ref false in
-          (try
-             while B.remaining r > 0 do
-               let tag = Char.chr (B.read_byte r) in
-               let len = B.read_varint r in
-               let sum = B.read_i64 r in
-               if B.remaining r < len then raise (B.Truncated r.B.pos);
-               let payload = String.sub r.B.src r.B.pos len in
-               r.B.pos <- r.B.pos + len;
-               if not (Int64.equal sum (B.fnv1a64 payload)) then
-                 raise (B.Malformed (!valid_end, "record checksum mismatch"));
-               records := { tag; payload } :: !records;
-               valid_end := r.B.pos
-             done
-           with B.Truncated _ | B.Malformed _ -> damaged := true);
-          Ok
-            {
-              records = List.rev !records;
-              valid_end = !valid_end;
-              truncated_tail = !damaged;
-              interval;
-              max_replay_ops;
-            }))
+          let records, valid_end, truncated_tail = scan_records r in
+          Ok { records; valid_end; truncated_tail; interval; max_replay_ops }))
 
-let append ?faults ~path ~valid_end record =
+let append ?faults ?(point = "store.append") ~path ~valid_end record =
   let fault name =
     match faults with
     | Some f -> Fault.point f name
@@ -139,7 +136,7 @@ let append ?faults ~path ~valid_end record =
       write bytes 0 half;
       (* Simulated crash: part of the record is on disk, the rest never
          lands.  Scan must isolate the damage on reopen. *)
-      fault "store.append";
+      fault point;
       write bytes half (String.length bytes - half);
       valid_end + String.length bytes)
 

@@ -27,6 +27,12 @@ val format_version : int
 
 type record = { tag : char; payload : string }
 
+val record_bytes : record -> string
+(** One record in wire form (tag, length, checksum, payload) — what
+    {!append} writes.  {!Manifest} and the shard writers frame their own
+    records with this so every file in a corpus shares one checksum
+    discipline. *)
+
 type opened = {
   records : record list;  (** every well-formed record, in file order *)
   valid_end : int;  (** byte offset just past the last well-formed record *)
@@ -42,18 +48,25 @@ val create :
 val scan : string -> (opened, error) result
 (** Read and validate the whole container.  Never raises. *)
 
+val scan_records : Treediff_util.Binio.reader -> record list * int * bool
+(** Scan checksummed records from the reader's current position to the end
+    of its source: [(records, valid_end, truncated_tail)].  The shared tail
+    of {!scan} and {!Manifest}'s replay — any file framed with
+    {!record_bytes} gets the same damaged-tail isolation. *)
+
 val append :
   ?faults:Treediff_util.Fault.t ->
+  ?point:string ->
   path:string ->
   valid_end:int ->
   record ->
   (int, error) result
 (** Truncate the file to [valid_end] (dropping any damaged tail), append one
     record and return the new end offset.  [faults] is the fault registry to
-    fire (default: a fresh environment-armed one).  Carries the
-    [store.append] fault
-    point mid-write, after part of the payload has reached the file — the
-    crash the scan layer must survive. *)
+    fire (default: a fresh environment-armed one).  Carries the [point]
+    fault point (default [store.append]; the manifest writer passes
+    [store.manifest]) mid-write, after part of the payload has reached the
+    file — the crash the scan layer must survive. *)
 
 val rewrite :
   path:string ->

@@ -1,0 +1,101 @@
+(** The corpus store's write-ahead manifest: the single file that makes a
+    multi-document, multi-shard commit atomic.
+
+    Wire format (version 1):
+
+    {v
+    header := "TDSM" version-byte(1) varint(shards) varint(interval)
+              varint(max_replay_ops)
+    record := tag-byte varint(payload-length) fnv64(payload, 8 bytes LE) payload
+    v}
+
+    — the record frame is {!Container.record_bytes}, so the manifest gets
+    the same damaged-tail isolation as every shard file.  Three tags:
+
+    - ['B'] {e Begin}: a commit sequence number and the documents (with
+      their shards) it intends to touch.  Appended {e before} any shard
+      write.
+    - ['E'] {e End}: the same sequence number and, per document, the
+      version count and head hash after the commit.  Appended {e after}
+      every shard write landed.  A sequence number with a Begin but no End
+      is an aborted commit: its shard records are logically invisible.
+    - ['K'] {e Catalog}: a checkpoint of the whole committed catalog plus
+      the next sequence number; {!checkpoint} atomically rewrites the
+      manifest down to one of these, bounding replay cost.
+
+    {!replay} folds the records in file order: Ends win, unmatched Begins
+    are reported as aborted, and the catalog that emerges names exactly the
+    committed state — the shard files are then read {e through} that
+    catalog (a shard record for a version at or past the catalog count is
+    an orphan of an aborted commit and is skipped). *)
+
+type error =
+  | Io of string
+  | Bad_magic
+  | Unsupported_version of int
+
+val error_to_string : error -> string
+
+type doc_info = {
+  doc : string;
+  shard : int;
+  versions : int;  (** committed version count *)
+  head_hash : int64;  (** {!Treediff_tree.Iso.hash} of the committed head *)
+}
+
+type replayed = {
+  shards : int;
+  interval : int;
+  max_replay_ops : int;
+  catalog : (string, doc_info) Hashtbl.t;  (** committed docs, by name *)
+  next_seq : int;  (** first unused commit sequence number *)
+  aborted : int list;  (** Begin seqs with no End, oldest first *)
+  valid_end : int;
+  truncated_tail : bool;  (** the last record was torn (crash mid-append) *)
+}
+
+val create :
+  path:string ->
+  shards:int ->
+  interval:int ->
+  max_replay_ops:int ->
+  (unit, error) result
+(** Write a fresh header-only manifest.  Refuses an existing file. *)
+
+val replay : string -> (replayed, error) result
+(** Read the whole manifest and fold it into committed state.  Never
+    raises; a torn tail is isolated exactly like a shard file's. *)
+
+val append_begin :
+  ?faults:Treediff_util.Fault.t ->
+  path:string ->
+  valid_end:int ->
+  seq:int ->
+  (string * int) list ->
+  (int, error) result
+(** [append_begin ~path ~valid_end ~seq docs] appends a Begin record for
+    [docs = [(doc, shard); …]]; returns the new end offset.  Fires the
+    [store.manifest] fault point mid-write. *)
+
+val append_end :
+  ?faults:Treediff_util.Fault.t ->
+  path:string ->
+  valid_end:int ->
+  seq:int ->
+  doc_info list ->
+  (int, error) result
+(** Appends the matching End record: the commit is durable once this
+    returns.  Fires [store.manifest] mid-write. *)
+
+val checkpoint :
+  path:string ->
+  shards:int ->
+  interval:int ->
+  max_replay_ops:int ->
+  next_seq:int ->
+  doc_info list ->
+  (int, error) result
+(** Atomically rewrite the manifest (temp file + rename) to a fresh header
+    and one Catalog record.  Returns the new file size.  The gc path —
+    bounds replay and drops Begin/End history along with any aborted-seq
+    debris. *)

@@ -1,25 +1,16 @@
-module B = Treediff_util.Binio
 module Budget = Treediff_util.Budget
-module Fault = Treediff_util.Fault
 module Exec = Treediff_util.Exec
 module Pool = Treediff_util.Pool
 module Node = Treediff_tree.Node
 module Tree = Treediff_tree.Tree
 module Codec = Treediff_tree.Codec
-module Iso = Treediff_tree.Iso
 module Script = Treediff_edit.Script
-module Script_io = Treediff_edit.Script_io
-module Diag = Treediff_check.Diag
-module Depgraph = Treediff_check.Depgraph
 
-type kind = Snapshot | Delta | Checkpoint
+type kind = Chain.kind = Snapshot | Delta | Checkpoint
 
-let kind_name = function
-  | Snapshot -> "snapshot"
-  | Delta -> "delta"
-  | Checkpoint -> "checkpoint"
+let kind_name = Chain.kind_name
 
-type entry = {
+type entry = Chain.entry = {
   version : int;
   kind : kind;
   ops : int;
@@ -28,24 +19,15 @@ type entry = {
   next_id : int;
 }
 
-(* One fully decoded record.  [snap] stays in its binary form until a
-   materialization actually needs it; [raw] is kept verbatim for gc's
-   rewrite. *)
-type parsed = {
-  meta : entry;
-  dummy : int option;
-  fwd : Script.t;
-  inv : Script.t;
-  snap : string option;
-  raw : Container.record;
-}
-
+(* A single-file store is the 1-shard, 1-document special case: one
+   {!Chain} persisted in one {!Container} file.  All chain semantics live
+   in {!Chain}; this module owns only the file and the head cache. *)
 type t = {
   path : string;
   interval : int;
   max_replay_ops : int;
   exec : Exec.t;  (* handle-level context: fault counters persist across ops *)
-  mutable entries : parsed array;  (* in version order; index 0 = base *)
+  mutable entries : Chain.parsed array;  (* in version order; index 0 = base *)
   mutable valid_end : int;
   mutable truncated : bool;
   mutable head : (int * Node.t) option;  (* cached latest version *)
@@ -63,106 +45,20 @@ let truncated_tail t = t.truncated
 
 let versions t = Array.length t.entries
 
-let base_version t =
-  if Array.length t.entries = 0 then 0 else t.entries.(0).meta.version
+let base_version t = Chain.base_version t.entries
 
-let log t = Array.to_list (Array.map (fun p -> p.meta) t.entries)
+let log t = Array.to_list (Array.map (fun (p : Chain.parsed) -> p.meta) t.entries)
 
-let find t v =
-  let base = base_version t in
-  let i = v - base in
-  if Array.length t.entries = 0 then Error "empty archive: no versions committed"
-  else if i < 0 || i >= Array.length t.entries then
-    Error
-      (Printf.sprintf "no version %d (store holds %d..%d)" v base
-         (base + Array.length t.entries - 1))
-  else Ok t.entries.(i)
+let find t v = Chain.find t.entries v
 
-let entry t v = Result.map (fun p -> p.meta) (find t v)
+let entry t v = Result.map (fun (p : Chain.parsed) -> p.Chain.meta) (find t v)
 
 let script_of t v =
   match find t v with
   | Error _ as e -> e
-  | Ok { meta = { kind = Snapshot; _ }; _ } ->
+  | Ok { Chain.meta = { kind = Snapshot; _ }; _ } ->
     Error (Printf.sprintf "version %d is a full snapshot, not a delta" v)
-  | Ok p -> Ok p.fwd
-
-(* ------------------------------------------------------- record payloads *)
-
-let tag_snapshot = 'S'
-
-let tag_delta = 'D'
-
-let tag_checkpoint = 'C'
-
-let snapshot_payload ~version ~next_id ~hash tree_bytes =
-  let buf = Buffer.create (String.length tree_bytes + 32) in
-  B.add_varint buf version;
-  B.add_varint buf next_id;
-  B.add_i64 buf hash;
-  B.add_string buf tree_bytes;
-  Buffer.contents buf
-
-let delta_payload ?snapshot ~version ~next_id ~hash ~dummy ~fwd ~inv () =
-  let buf = Buffer.create 256 in
-  B.add_varint buf version;
-  B.add_varint buf next_id;
-  B.add_i64 buf hash;
-  B.add_varint buf (match dummy with None -> 0 | Some d1 -> d1 + 1);
-  B.add_string buf (Script_io.to_string fwd);
-  B.add_string buf (Script_io.to_string inv);
-  (match snapshot with None -> () | Some tree_bytes -> B.add_string buf tree_bytes);
-  Buffer.contents buf
-
-let parse_record (record : Container.record) =
-  let r = B.reader record.Container.payload in
-  let bytes = String.length record.Container.payload in
-  let script what s =
-    match Script_io.parse s with
-    | Ok script -> script
-    | Error msg -> raise (B.Malformed (0, Printf.sprintf "%s script: %s" what msg))
-  in
-  match
-    let version = B.read_varint r in
-    let next_id = B.read_varint r in
-    let hash = B.read_i64 r in
-    if record.Container.tag = tag_snapshot then
-      let snap = B.read_string r in
-      {
-        meta = { version; kind = Snapshot; ops = 0; bytes; hash; next_id };
-        dummy = None;
-        fwd = [];
-        inv = [];
-        snap = Some snap;
-        raw = record;
-      }
-    else begin
-      let dummy =
-        match B.read_varint r with 0 -> None | d -> Some (d - 1)
-      in
-      let fwd = script "forward" (B.read_string r) in
-      let inv = script "inverse" (B.read_string r) in
-      let kind, snap =
-        if record.Container.tag = tag_checkpoint then
-          (Checkpoint, Some (B.read_string r))
-        else (Delta, None)
-      in
-      {
-        meta = { version; kind; ops = List.length fwd; bytes; hash; next_id };
-        dummy;
-        fwd;
-        inv;
-        snap;
-        raw = record;
-      }
-    end
-  with
-  | parsed ->
-    if B.remaining r > 0 then Error "trailing bytes in record payload"
-    else Ok parsed
-  | exception B.Truncated off ->
-    Error (Printf.sprintf "record payload truncated at offset %d" off)
-  | exception B.Malformed (_, reason) -> Error reason
+  | Ok p -> Ok p.Chain.fwd
 
 (* -------------------------------------------------------------- open/init *)
 
@@ -171,43 +67,30 @@ let of_scan ?exec path (scan : Container.opened) =
   let rec parse_all i acc = function
     | [] -> Ok (List.rev acc)
     | (record : Container.record) :: rest -> (
-      if
-        record.Container.tag <> tag_snapshot
-        && record.Container.tag <> tag_delta
-        && record.Container.tag <> tag_checkpoint
-      then Error (Printf.sprintf "record %d: unknown tag %C" i record.Container.tag)
+      if not (Chain.known_tag record.Container.tag) then
+        Error (Printf.sprintf "record %d: unknown tag %C" i record.Container.tag)
       else
-        match parse_record record with
+        match Chain.parse_record record with
         | Error msg -> Error (Printf.sprintf "record %d: %s" i msg)
         | Ok p -> parse_all (i + 1) (p :: acc) rest)
   in
   match parse_all 0 [] scan.Container.records with
   | Error _ as e -> e
-  | Ok parsed ->
-    (* The chain must be contiguous and start with a snapshot. *)
-    let ok =
-      match parsed with
-      | [] -> true
-      | first :: _ ->
-        first.meta.kind = Snapshot
-        && List.for_all2
-             (fun p v -> p.meta.version = v)
-             parsed
-             (List.init (List.length parsed) (fun i -> first.meta.version + i))
-    in
-    if not ok then Error "archive records do not form a contiguous version chain"
-    else
+  | Ok parsed -> (
+    match Chain.validate parsed with
+    | Error _ -> Error "archive records do not form a contiguous version chain"
+    | Ok entries ->
       Ok
         {
           path;
           interval = scan.Container.interval;
           max_replay_ops = scan.Container.max_replay_ops;
           exec;
-          entries = Array.of_list parsed;
+          entries;
           valid_end = scan.Container.valid_end;
           truncated = scan.Container.truncated_tail;
           head = None;
-        }
+        })
 
 let open_ ?exec path =
   match Container.scan path with
@@ -224,93 +107,9 @@ let init ?(interval = 8) ?(max_replay_ops = 512) ?exec path =
 
 (* ----------------------------------------------------------- materialize *)
 
-let with_dummy d1 tree =
-  let w = Node.make ~id:d1 ~label:"@@root" () in
-  Node.append_child w tree;
-  w
-
-let unwrap_dummy root =
-  match Node.children root with
-  | [ real ] ->
-    Node.detach real;
-    Ok real
-  | _ -> Error "dummy root does not have exactly one child after replay"
-
-(* Replay one chain step in place on [cur] (which is consumed). *)
-let replay_step ~exec cur (p : parsed) ~backward =
-  let script = if backward then p.inv else p.fwd in
-  Exec.fault exec "store.replay";
-  Budget.visit_n (Exec.budget exec) (List.length script);
-  let base = match p.dummy with None -> cur | Some d1 -> with_dummy d1 cur in
-  let index = Tree.index_by_id base in
-  match List.iter (Script.apply_into ~root:base ~index) script with
-  | () -> ( match p.dummy with None -> Ok base | Some _ -> unwrap_dummy base)
-  | exception Script.Apply_error msg ->
-    Error
-      (Printf.sprintf "version %d: stored %s script does not apply: %s"
-         p.meta.version
-         (if backward then "inverse" else "forward")
-         msg)
-
-let decode_snapshot (p : parsed) =
-  match p.snap with
-  | None -> Error (Printf.sprintf "version %d carries no snapshot" p.meta.version)
-  | Some bytes -> (
-    match Codec.decode bytes with
-    | Ok tree -> Ok tree
-    | Error e ->
-      Error
-        (Printf.sprintf "version %d snapshot: %s" p.meta.version
-           (Codec.decode_error_to_string e)))
-
-(* Nearest snapshot-bearing entry at or below [i], and the cheaper of the
-   two replay plans (forward from below, backward from above). *)
-let plan t i =
-  let n = Array.length t.entries in
-  let rec below j = if t.entries.(j).snap <> None then j else below (j - 1) in
-  let rec above j =
-    if j >= n then None
-    else if t.entries.(j).snap <> None then Some j
-    else above (j + 1)
-  in
-  let start = below i in
-  let fwd_cost = ref 0 in
-  for j = start + 1 to i do
-    fwd_cost := !fwd_cost + t.entries.(j).meta.ops
-  done;
-  match above (i + 1) with
-  | None -> (start, false)
-  | Some start' ->
-    let bwd_cost = ref 0 in
-    for j = i + 1 to start' do
-      bwd_cost := !bwd_cost + t.entries.(j).meta.ops
-    done;
-    if !bwd_cost < !fwd_cost then (start', true) else (start, false)
-
 let materialize ?(verify = false) ?exec t v =
   let exec = match exec with Some e -> e | None -> t.exec in
-  match find t v with
-  | Error _ as e -> e
-  | Ok target -> (
-    let i = v - base_version t in
-    let start, backward = plan t i in
-    match decode_snapshot t.entries.(start) with
-    | Error _ as e -> e
-    | Ok tree ->
-      let rec walk cur j =
-        if (not backward && j > i) || (backward && j <= i) then Ok cur
-        else
-          match replay_step ~exec cur t.entries.(j) ~backward with
-          | Error _ as e -> e
-          | Ok cur -> walk cur (if backward then j - 1 else j + 1)
-      in
-      let first = if backward then start else start + 1 in
-      Result.bind (walk tree first) @@ fun tree ->
-      if verify && not (Int64.equal (Iso.hash tree) target.meta.hash) then
-        Error
-          (Printf.sprintf
-             "version %d: materialized tree does not match the stored hash" v)
-      else Ok tree)
+  Chain.materialize ~verify ~exec t.entries v
 
 (* Parallel bulk materialization.  [materialize] only reads the handle (the
    head cache is untouched), so distinct versions can replay in separate
@@ -343,114 +142,42 @@ let head_tree t =
         tree)
       (materialize t latest)
 
-let append_parsed ~exec t (p : parsed) =
+let append_parsed ~exec t (p : Chain.parsed) =
   match
     Container.append ~faults:(Exec.faults exec) ~path:t.path
-      ~valid_end:t.valid_end p.raw
+      ~valid_end:t.valid_end p.Chain.raw
   with
   | Error e -> Error (Container.error_to_string e)
   | Ok valid_end ->
     t.valid_end <- valid_end;
     t.truncated <- false;
     t.entries <- Array.append t.entries [| p |];
-    Ok p.meta
+    Ok p.Chain.meta
 
-(* Cost accumulated since (and commits since) the last snapshot-bearing
-   record — the inputs of the checkpoint policy. *)
-let since_checkpoint t =
-  let n = Array.length t.entries in
-  let rec scan j commits ops =
-    if j < 0 || t.entries.(j).snap <> None then (commits, ops)
-    else scan (j - 1) (commits + 1) (ops + t.entries.(j).meta.ops)
-  in
-  scan (n - 1) 0 0
-
-let checkpoint_due t ~ops =
-  let commits, pending = since_checkpoint t in
-  (t.interval > 0 && commits + 1 >= t.interval)
-  || (t.max_replay_ops > 0 && pending + ops > t.max_replay_ops)
-
-let commit ?(config = Treediff.Config.default) ?exec t doc =
+let commit ?config ?exec t doc =
   let exec = match exec with Some e -> e | None -> t.exec in
   match
     Exec.fault exec "store.commit";
-    if Array.length t.entries = 0 then begin
-      (* Base snapshot: the whole chain's id space starts here. *)
-      let gen = Tree.gen () in
-      let tree = Tree.relabel_ids gen doc in
-      let bytes = Codec.encode tree in
-      let payload =
-        snapshot_payload ~version:0 ~next_id:(Tree.max_id tree + 1)
-          ~hash:(Iso.hash tree) bytes
-      in
-      let record = { Container.tag = tag_snapshot; payload } in
-      match parse_record record with
-      | Error msg -> Error ("internal: base snapshot does not re-parse: " ^ msg)
-      | Ok p ->
-        Result.map
-          (fun meta ->
-            t.head <- Some (0, tree);
-            meta)
-          (append_parsed ~exec t p)
-    end
+    if Array.length t.entries = 0 then
+      Result.bind (Chain.base_record doc) @@ fun (p, tree) ->
+      Result.map
+        (fun meta ->
+          t.head <- Some (0, tree);
+          meta)
+        (append_parsed ~exec t p)
     else
       Result.bind (head_tree t) @@ fun head ->
-      let version = base_version t + Array.length t.entries in
-      let prev_next_id = t.entries.(Array.length t.entries - 1).meta.next_id in
-      let gen = Tree.gen ~start:prev_next_id () in
-      let t_new = Tree.relabel_ids gen doc in
-      match Treediff.Diff.diff ~config ~exec head t_new with
-      | exception Diag.Failed ds ->
-        Error
-          ("delta rejected by the static checker: "
-          ^ String.concat "; " (List.map Diag.to_string ds))
-      | result -> (
-        (* Re-verify before anything touches the disk: a delta that fails
-           the checker is refused, not archived. *)
-        match
-          Diag.errors (Treediff.Diff.verify ~config result ~t1:head ~t2:t_new)
-        with
-        | _ :: _ as ds ->
-          Error
-            ("delta rejected by the static checker: "
-            ^ String.concat "; " (List.map Diag.to_string ds))
-        | [] ->
-          let dummy = Option.map fst result.Treediff.Diff.dummy in
-          let base =
-            match dummy with
-            | None -> head
-            | Some d1 -> with_dummy d1 (Tree.copy head)
-          in
-          let fwd = result.Treediff.Diff.script in
-          let inv = Script.invert base fwd in
-          let new_head = Treediff.Diff.apply result head in
-          let hash = Iso.hash new_head in
-          let next_id =
-            let dmax =
-              match result.Treediff.Diff.dummy with
-              | None -> -1
-              | Some (d1, d2) -> max d1 d2
-            in
-            1 + max (max (Tree.max_id new_head) (Tree.max_id t_new)) dmax
-          in
-          let ops = List.length fwd in
-          let snapshot, tag =
-            if checkpoint_due t ~ops then
-              (Some (Codec.encode new_head), tag_checkpoint)
-            else (None, tag_delta)
-          in
-          let payload =
-            delta_payload ?snapshot ~version ~next_id ~hash ~dummy ~fwd ~inv ()
-          in
-          let record = { Container.tag; payload } in
-          (match parse_record record with
-          | Error msg -> Error ("internal: delta record does not re-parse: " ^ msg)
-          | Ok p ->
-            Result.map
-              (fun meta ->
-                t.head <- Some (version, new_head);
-                meta)
-              (append_parsed ~exec t p)))
+      let policy =
+        { Chain.interval = t.interval; max_replay_ops = t.max_replay_ops }
+      in
+      let state = Chain.state_of_entries t.entries in
+      Result.bind (Chain.next_record ?config ~exec ~policy ~state ~head doc)
+      @@ fun (p, new_head) ->
+      Result.map
+        (fun meta ->
+          t.head <- Some (p.Chain.meta.version, new_head);
+          meta)
+        (append_parsed ~exec t p)
   with
   | r -> r
   | exception Budget.Exceeded e -> Error (Budget.describe e)
@@ -458,99 +185,11 @@ let commit ?(config = Treediff.Config.default) ?exec t doc =
 
 (* ----------------------------------------------------------- diff_between *)
 
-(* The §4 phase order the lint enforces: once the delete phase begins,
-   nothing but deletes may follow. *)
-let phase_ordered script =
-  let rec go deleting = function
-    | [] -> true
-    | Treediff_edit.Op.Delete _ :: rest -> go true rest
-    | _ :: rest -> (not deleting) && go deleting rest
-  in
-  go false script
-
-let node_ids tree =
-  let ids = Hashtbl.create 64 in
-  Node.iter_preorder (fun n -> Hashtbl.replace ids n.Node.id ()) tree;
-  ids
-
-(* Concatenating chain steps interleaves their delete phases, which the §4
-   convention (and the lint) forbids.  The dependence analyzer repairs
-   that: {!Depgraph.normalize} elides churn the composition left behind
-   and reorders the script into canonical form, which sinks every delete
-   that nothing depends on to the tail.  Cross-version scripts can carry a
-   true non-DEL-after-DEL dependence (a later step editing a child list a
-   deletion already renumbered) that no reordering removes; those fall
-   back to Algorithm EditScript under the identity matching on shared ids
-   — same endpoints, phase-ordered, minimal — and the analyzer then
-   canonically orders that emission too.  Either way the result is checked
-   before it escapes: {!Depgraph.verify_rewrite} proves the returned
-   script equivalent to the raw composition (TD501 on divergence) and in
-   canonical order (TD502), so [diff_between]'s output contract —
-   canonical, §4 phase-ordered, same effect as the chain — is enforced,
-   not assumed. *)
-let canonicalize t ~from_ ~to_ composed =
-  Result.bind (materialize t from_) @@ fun t_from ->
-  let exec = t.exec in
-  let candidate =
-    match Depgraph.normalize ~exec ~tree:t_from composed with
-    | s when phase_ordered s -> Ok s
-    | _ | (exception Diag.Failed _) ->
-      Result.bind (materialize t to_) @@ fun t_to ->
-      let ids_from = node_ids t_from and ids_to = node_ids t_to in
-      let m = Treediff_matching.Matching.create () in
-      Hashtbl.iter
-        (fun id () ->
-          if Hashtbl.mem ids_to id then Treediff_matching.Matching.add m id id)
-        ids_from;
-      (match Treediff.Edit_gen.generate ~matching:m t_from t_to with
-      | r -> Ok (Depgraph.canonicalize ~exec ~tree:t_from r.Treediff.Edit_gen.script)
-      | exception Diag.Failed ds ->
-        Error
-          ("internal: canonicalizing the composed script failed: "
-          ^ String.concat "; " (List.map Diag.to_string ds)))
-  in
-  Result.bind candidate @@ fun script ->
-  let diags =
-    Depgraph.verify_rewrite ~exec ~tree:t_from ~original:composed
-      ~rewritten:script ()
-  in
-  match Diag.errors diags with
-  | [] -> Ok script
-  | errs ->
-    Error
-      ("internal: canonicalized script does not match the composed chain: "
-      ^ String.concat "; " (List.map Diag.to_string errs))
-
-let diff_between t ~from_ ~to_ =
-  Result.bind (find t from_) @@ fun _ ->
-  Result.bind (find t to_) @@ fun _ ->
-  if from_ = to_ then Ok []
-  else begin
-    let base = base_version t in
-    let lo, hi = if from_ < to_ then (from_, to_) else (to_, from_) in
-    let steps = List.init (hi - lo) (fun k -> t.entries.(lo + 1 + k - base)) in
-    match List.find_opt (fun p -> p.dummy <> None) steps with
-    | Some p ->
-      Error
-        (Printf.sprintf
-           "version %d was committed with unmatched roots (dummy-rooted \
-            delta); its script is not composable — materialize both \
-            versions and diff them directly"
-           p.meta.version)
-    | None ->
-      let scripts =
-        if from_ < to_ then List.map (fun p -> p.fwd) steps
-        else List.rev_map (fun p -> p.inv) steps
-      in
-      let composed =
-        match scripts with
-        | [] -> []
-        | first :: rest -> List.fold_left Script.compose first rest
-      in
-      (match canonicalize t ~from_ ~to_ composed with
-      | r -> r
-      | exception Budget.Exceeded e -> Error (Budget.describe e))
-  end
+let diff_between ?exec t ~from_ ~to_ =
+  let e = match exec with Some e -> e | None -> t.exec in
+  Chain.diff_between ~exec:e
+    ~materialize:(fun v -> materialize ~exec:e t v)
+    t.entries ~from_ ~to_
 
 (* --------------------------------------------------------------------- gc *)
 
@@ -575,10 +214,11 @@ let gc ?prune_before t =
         Result.bind (materialize t p) @@ fun tree ->
         Result.bind (find t p) @@ fun at ->
         let payload =
-          snapshot_payload ~version:p ~next_id:at.meta.next_id
-            ~hash:at.meta.hash (Codec.encode tree)
+          Chain.snapshot_payload ~version:p ~next_id:at.Chain.meta.next_id
+            ~hash:at.Chain.meta.hash (Codec.encode tree)
         in
-        Result.bind (parse_record { Container.tag = tag_snapshot; payload })
+        Result.bind
+          (Chain.parse_record { Container.tag = Chain.tag_snapshot; payload })
         @@ fun base ->
         let keep =
           Array.to_list
@@ -592,7 +232,7 @@ let gc ?prune_before t =
     match
       Container.rewrite ~path:t.path ~interval:t.interval
         ~max_replay_ops:t.max_replay_ops
-        (List.map (fun q -> q.raw) parsed)
+        (List.map (fun (q : Chain.parsed) -> q.Chain.raw) parsed)
     with
     | Error e -> Error (Container.error_to_string e)
     | Ok after ->

@@ -36,11 +36,11 @@
     context untouched; {!materialize_all} replays many versions in
     parallel, one fresh context per task. *)
 
-type kind = Snapshot | Delta | Checkpoint
+type kind = Chain.kind = Snapshot | Delta | Checkpoint
 
 val kind_name : kind -> string
 
-type entry = {
+type entry = Chain.entry = {
   version : int;
   kind : kind;
   ops : int;  (** forward-script length; [0] for the base snapshot *)
@@ -138,7 +138,11 @@ val materialize_all :
     {!Treediff_util.Pool.recommended_jobs}). *)
 
 val diff_between :
-  t -> from_:int -> to_:int -> (Treediff_edit.Script.t, string) result
+  ?exec:Treediff_util.Exec.t ->
+  t ->
+  from_:int ->
+  to_:int ->
+  (Treediff_edit.Script.t, string) result
 (** One composed script carrying version [from_] to version [to_]
     ({!Treediff_edit.Script.compose} over the stored chain — forward deltas
     when [from_ < to_], stored inverses when [from_ > to_]), applicable

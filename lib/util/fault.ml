@@ -32,6 +32,8 @@ let registry =
     "store.commit";
     "store.append";
     "store.replay";
+    "store.manifest";
+    "store.shard_lock";
     "serve.accept";
     "serve.decode";
     "serve.cache";

@@ -304,6 +304,103 @@ let test_handler_cache_fault_absorbed () =
     (Option.value ~default:true (Json.mem_bool "cached" body2));
   Alcotest.(check int) "no cache hits" 0 (Handler.cache_hits h)
 
+(* -------------------------------------------------- store handle cache *)
+
+module Store = Treediff_store.Store
+module Shard = Treediff_store.Shard
+
+let store_ok what = function
+  | Ok v -> v
+  | Error m -> Alcotest.failf "%s: %s" what m
+
+let parse_sexp src = Treediff_tree.Codec.parse (Treediff_tree.Tree.gen ()) src
+
+let tmp_path name =
+  let p = Filename.temp_file ("treediff_serve_" ^ name) "" in
+  Sys.remove p;
+  p
+
+let rm_rf dir = ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)))
+
+let test_store_handle_cache () =
+  let archive = tmp_path "archive" in
+  let s = store_ok "init" (Store.init archive) in
+  ignore (store_ok "commit v0" (Store.commit s (parse_sexp old_sexp)));
+  let h = Handler.create () in
+  let params = Json.Obj [ ("archive", Json.Str archive) ] in
+  let body = ok_body (handle h (req "store/log" params)) in
+  Alcotest.(check (option (float 0.))) "one version" (Some 1.)
+    (Json.mem_num "versions" body);
+  Alcotest.(check int) "cold open is a miss" 0 (Handler.store_handle_hits h);
+  ignore (ok_body (handle h (req "store/log" params)));
+  Alcotest.(check int) "second request reuses the handle" 1
+    (Handler.store_handle_hits h);
+  (* a commit through the daemon leaves the handle warm AND current *)
+  let commit_params =
+    Json.Obj [ ("archive", Json.Str archive); ("tree", Json.Str new_sexp) ]
+  in
+  let entry = ok_body (handle h (req "store/commit" commit_params)) in
+  Alcotest.(check (option (float 0.))) "committed v1" (Some 1.)
+    (Json.mem_num "version" entry);
+  let body = ok_body (handle h (req "store/log" params)) in
+  Alcotest.(check (option (float 0.))) "both versions visible" (Some 2.)
+    (Json.mem_num "versions" body);
+  Alcotest.(check int) "commit and log both warm" 3 (Handler.store_handle_hits h);
+  Alcotest.(check int) "exactly one open so far" 1
+    (Handler.store_handle_misses h);
+  (* an external writer changes the fingerprint: reopen, never serve stale *)
+  let s = store_ok "reopen" (Store.open_ archive) in
+  ignore (store_ok "external commit" (Store.commit s (parse_sexp old_sexp)));
+  let body = ok_body (handle h (req "store/log" params)) in
+  Alcotest.(check (option (float 0.))) "external commit picked up" (Some 3.)
+    (Json.mem_num "versions" body);
+  Alcotest.(check int) "stale handle reopened" 2 (Handler.store_handle_misses h);
+  Sys.remove archive
+
+let test_store_corpus_verbs () =
+  let dir = tmp_path "corpus" in
+  let c = store_ok "init" (Shard.init ~shards:2 dir) in
+  ignore (store_ok "a v0" (Shard.commit c ~doc:"a" (parse_sexp old_sexp)));
+  ignore (store_ok "a v1" (Shard.commit c ~doc:"a" (parse_sexp new_sexp)));
+  ignore (store_ok "b v0" (Shard.commit c ~doc:"b" (parse_sexp old_sexp)));
+  let h = Handler.create () in
+  let params = Json.Obj [ ("archive", Json.Str dir) ] in
+  let body = ok_body (handle h (req "store/log" params)) in
+  Alcotest.(check (option (float 0.))) "catalog totals" (Some 3.)
+    (Json.mem_num "versions" body);
+  Alcotest.(check (option (float 0.))) "shard count" (Some 2.)
+    (Json.mem_num "shards" body);
+  (* per-document verbs on a corpus need the doc param *)
+  Alcotest.(check bool) "materialize without doc refused" true
+    (err_kind
+       (handle h
+          (req "store/materialize"
+             (Json.Obj [ ("archive", Json.Str dir); ("version", Json.Num 0.) ])))
+    = Protocol.Bad_request);
+  let body =
+    ok_body
+      (handle h
+         (req "store/materialize"
+            (Json.Obj
+               [
+                 ("archive", Json.Str dir);
+                 ("doc", Json.Str "a");
+                 ("version", Json.Num 1.);
+               ])))
+  in
+  Alcotest.(check bool) "tree returned" true (Json.mem_str "tree" body <> None);
+  let body =
+    ok_body
+      (handle h
+         (req "store/log"
+            (Json.Obj [ ("archive", Json.Str dir); ("doc", Json.Str "a") ])))
+  in
+  Alcotest.(check (option (float 0.))) "doc chain length" (Some 2.)
+    (Json.mem_num "versions" body);
+  Alcotest.(check int) "corpus handle stayed warm" 3
+    (Handler.store_handle_hits h);
+  rm_rf dir
+
 let test_budget_remaining_ms () =
   let b = Budget.make ~deadline_ms:1000. () in
   let r = Budget.remaining_ms b in
@@ -882,6 +979,9 @@ let () =
             quick "crash isolation" test_handler_crash_isolation;
             quick "bad requests are typed" test_handler_bad_requests;
             quick "cache fault absorbed" test_handler_cache_fault_absorbed;
+            quick "store handle cache: warm, revalidated, never stale"
+              test_store_handle_cache;
+            quick "store verbs on a corpus (doc param)" test_store_corpus_verbs;
             quick "Budget.remaining_ms" test_budget_remaining_ms;
           ] );
         ( "backoff",
