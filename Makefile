@@ -11,9 +11,15 @@ lint:
 # Static gate: build everything (check layer is warnings-as-errors), then run
 # the verifier end-to-end over every example pair.
 check: lint
-	@for p in examples/pairs/*.old.sexp; do \
-	  echo "== treediff check $$p"; \
-	  dune exec bin/treediff_cli.exe -- check "$$p" "$${p%.old.sexp}.new.sexp" || exit 1; \
+	@for p in examples/pairs/*.old.*; do \
+	  ext=$${p##*.}; \
+	  case "$$ext" in \
+	    sexp) fmt=sexp ;; json) fmt=json ;; md) fmt=markdown ;; \
+	    xml) fmt=xml ;; tex) fmt=latex ;; html) fmt=html ;; \
+	    *) continue ;; \
+	  esac; \
+	  echo "== treediff check -f $$fmt $$p"; \
+	  dune exec bin/treediff_cli.exe -- check -f "$$fmt" "$$p" "$${p%.old.$$ext}.new.$$ext" || exit 1; \
 	done
 
 # The suite runs with the always-on sanitizer enabled: every Diff.diff in any

@@ -3,6 +3,10 @@
 
 open Cmdliner
 
+(* The marked-document output modes are named after the document formats
+   they emit; take the names from the registry rather than repeating them. *)
+let fmt_name (f : Treediff_doc.Format.t) = f.Treediff_doc.Format.name
+
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
@@ -16,12 +20,6 @@ let exit_internal = 4
 
 let run old_file new_file format lenient threshold leaf_f output mode check =
   try
-  let format =
-    match format with
-    | "latex" -> Treediff_doc.Ladiff.Latex
-    | "html" -> Treediff_doc.Ladiff.Html
-    | f -> failwith (Printf.sprintf "unknown format %S (latex|html)" f)
-  in
   let config =
     Treediff_doc.Doc_tree.config_with ~leaf_f ~internal_t:threshold ()
   in
@@ -38,18 +36,39 @@ let run old_file new_file format lenient threshold leaf_f output mode check =
      with
      | Ok () -> prerr_endline "check: edit script transforms old tree into new tree"
      | Error e -> failwith ("check failed: " ^ e));
+  (* Table 2 mark-up only exists on the document schema; refuse early with
+     the capability flag instead of crashing in the renderer. *)
+  let require_schema m =
+    if not format.Treediff_doc.Format.caps.Treediff_doc.Format.document_schema
+    then
+      failwith
+        (Printf.sprintf
+           "mode %s needs a document-schema format; %s is a generic tree \
+            format — use -m text, script, side-by-side or prose"
+           m format.Treediff_doc.Format.name)
+  in
   let text =
     match mode with
-    | "latex" -> out.Treediff_doc.Ladiff.marked_latex
-    | "html" ->
+    | m when String.equal m (fmt_name Treediff_doc.Format.latex) ->
+      require_schema m;
+      Lazy.force out.Treediff_doc.Ladiff.marked_latex
+    | m when String.equal m (fmt_name Treediff_doc.Format.html) ->
+      require_schema m;
       Treediff_doc.Html_markup.to_html ~full_page:true
         ~title:(Filename.basename new_file) result.Treediff.Diff.delta
     | "text" -> out.Treediff_doc.Ladiff.marked_text
     | "script" -> Treediff_edit.Script_io.to_string result.Treediff.Diff.script
     | "summary" ->
       Treediff_doc.Markup.summary result.Treediff.Diff.delta ^ "\n"
+    | "side-by-side" ->
+      Treediff_doc.Render_align.render result.Treediff.Diff.delta
+    | "prose" ->
+      Treediff_doc.Render_summary.render result.Treediff.Diff.delta
     | m ->
-      failwith (Printf.sprintf "unknown output mode %S (latex|html|text|script|summary)" m)
+      failwith
+        (Printf.sprintf
+           "unknown output mode %S \
+            (latex|html|text|script|summary|side-by-side|prose)" m)
   in
   (match output with
   | None -> print_string text
@@ -59,10 +78,12 @@ let run old_file new_file format lenient threshold leaf_f output mode check =
       ~finally:(fun () -> close_out_noerr oc)
       (fun () -> output_string oc text))
   with
-  | Treediff_doc.Latex_parser.Parse_error m
-  | Treediff_doc.Html_parser.Parse_error m ->
+  | Treediff_doc.Format.Parse_error m ->
     Printf.eprintf "ladiff: parse error: %s\n" m;
     exit exit_parse_error
+  | Failure m ->
+    Printf.eprintf "ladiff: %s\n" m;
+    exit exit_internal
   | Treediff_check.Diag.Failed ds ->
     List.iter
       (fun d -> prerr_endline (Treediff_check.Diag.to_string d))
@@ -75,9 +96,30 @@ let old_file =
 let new_file =
   Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW" ~doc:"New version.")
 
+let format_conv =
+  let parse s =
+    match Treediff_doc.Format.find s with
+    | Ok f -> Ok f
+    | Error m -> Error (`Msg m)
+  in
+  let print ppf (f : Treediff_doc.Format.t) =
+    Stdlib.Format.pp_print_string ppf f.Treediff_doc.Format.name
+  in
+  Arg.conv ~docv:"FMT" (parse, print)
+
 let format =
-  Arg.(value & opt string "latex" & info [ "f"; "format" ] ~docv:"FMT"
-         ~doc:"Input format: $(b,latex) or $(b,html).")
+  let doc =
+    "Input format, any registered tree format: "
+    ^ String.concat ", "
+        (List.map
+           (fun (f : Treediff_doc.Format.t) ->
+             Printf.sprintf "$(b,%s)" f.Treediff_doc.Format.name)
+           Treediff_doc.Format.all)
+    ^ ".  Document-schema formats get the full mark-up; generic trees \
+       render best with $(b,-m text), $(b,-m side-by-side) or $(b,-m prose)."
+  in
+  Arg.(value & opt format_conv Treediff_doc.Format.latex
+       & info [ "f"; "format" ] ~docv:"FMT" ~doc)
 
 let lenient =
   Arg.(value & flag & info [ "lenient" ]
@@ -98,10 +140,13 @@ let output =
          ~doc:"Write the result to $(docv) instead of stdout.")
 
 let mode =
-  Arg.(value & opt string "latex" & info [ "m"; "mode" ] ~docv:"MODE"
+  Arg.(value & opt string (fmt_name Treediff_doc.Format.latex)
+       & info [ "m"; "mode" ] ~docv:"MODE"
          ~doc:"Output mode: $(b,latex) (marked-up document), $(b,html) (marked-up web \
                page), $(b,text) (annotated tree), $(b,script) (edit script), \
-               $(b,summary).")
+               $(b,summary) (change tally), $(b,side-by-side) (aligned \
+               two-column view), $(b,prose) (natural-language change \
+               summary).")
 
 let check =
   Arg.(value & flag & info [ "check" ]

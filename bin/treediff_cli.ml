@@ -22,33 +22,19 @@ let exit_parse_error = 2
 let exit_degraded = 3
 let exit_internal = 4
 
-let parse_tree ?(lenient = false) format gen src =
-  match format with
-  | "sexp" -> Treediff_tree.Codec.parse gen src (* the codec has no lenient mode *)
-  | "xml" ->
-    if lenient then (
-      match Treediff_doc.Xml_parser.parse_result ~lenient:true gen src with
-      | Ok (t, warnings) ->
-        List.iter (fun w -> Printf.eprintf "treediff: xml: %s\n" w) warnings;
-        t
-      | Error m -> raise (Treediff_doc.Xml_parser.Parse_error m))
-    else Treediff_doc.Xml_parser.parse gen src
-  | "bin" -> (
-    (* Id-preserving binary codec: unlike the textual formats, the [gen] is
-       not consulted — node identifiers come from the file.  This is what
-       lets scripts stored in an archive be checked against materialized
-       trees. *)
-    match Treediff_tree.Codec.decode src with
-    | Ok t -> t
-    | Error e ->
-      raise
-        (Treediff_tree.Codec.Parse_error
-           (Treediff_tree.Codec.decode_error_to_string e)))
-  | f -> failwith (Printf.sprintf "unknown tree format %S (sexp|xml|bin)" f)
+(* Every format resolves through the registry: the supported set, the
+   unknown-format error and lenient behaviour are the registry's, shared
+   with ladiff and the serve daemon. *)
+module Doc_format = Treediff_doc.Format
+
+let parse_tree ?(lenient = false) (fmt : Doc_format.t) gen src =
+  Doc_format.parse fmt ~lenient
+    ~warn:(fun w -> Printf.eprintf "treediff: %s: %s\n" fmt.Doc_format.name w)
+    gen src
 
 let handle_errors f =
   try f () with
-  | Treediff_tree.Codec.Parse_error m | Treediff_doc.Xml_parser.Parse_error m ->
+  | Treediff_tree.Codec.Parse_error m | Doc_format.Parse_error m ->
     Printf.eprintf "treediff: parse error: %s\n" m;
     exit exit_parse_error
   | Treediff_check.Diag.Failed ds ->
@@ -63,19 +49,31 @@ let handle_errors f =
     Printf.eprintf "treediff: injected fault fired at %s\n" p;
     exit exit_internal
 
-let print_tree format t =
-  match format with
-  | "sexp" -> Treediff_tree.Codec.to_string t ^ "\n"
-  | "xml" -> Treediff_doc.Xml_parser.print t ^ "\n"
-  | "bin" -> Treediff_tree.Codec.encode t
-  | f -> failwith (Printf.sprintf "unknown tree format %S (sexp|xml|bin)" f)
+let print_tree (fmt : Doc_format.t) t = fmt.Doc_format.render t
+
+let format_conv =
+  let parse s =
+    match Doc_format.find s with Ok f -> Ok f | Error m -> Error (`Msg m)
+  in
+  let print ppf (f : Doc_format.t) =
+    Stdlib.Format.pp_print_string ppf f.Doc_format.name
+  in
+  Arg.conv ~docv:"FMT" (parse, print)
 
 let format_arg =
-  Cmdliner.Arg.(value & opt string "sexp" & info [ "f"; "format" ] ~docv:"FMT"
-         ~doc:"Tree file format: $(b,sexp) (the codec), $(b,xml), or \
-               $(b,bin) (the id-preserving binary codec — required when \
-               checking scripts from a $(b,store) archive, whose operations \
-               reference node identifiers).")
+  let doc =
+    "Tree file format: "
+    ^ String.concat ", "
+        (List.map
+           (fun (f : Doc_format.t) ->
+             Printf.sprintf "$(b,%s) — %s" f.Doc_format.name f.Doc_format.doc)
+           Doc_format.all)
+    ^ ".  Id-preserving formats are required when checking scripts from a \
+       $(b,store) archive, whose operations reference node identifiers."
+  in
+  Cmdliner.Arg.(
+    value & opt format_conv Doc_format.sexp
+    & info [ "f"; "format" ] ~docv:"FMT" ~doc)
 
 let write_out output text =
   match output with
@@ -119,9 +117,16 @@ let make_exec budget_ms max_comparisons max_nodes =
     (fun budget -> Treediff_util.Exec.create ~budget ())
     (make_budget budget_ms max_comparisons max_nodes)
 
+(* Human-oriented renderings of the delta, orthogonal to [-m]. *)
+let render_delta kind (result : Treediff.Diff.t) =
+  match kind with
+  | "side-by-side" -> Treediff_doc.Render_align.render result.Treediff.Diff.delta
+  | "summary" -> Treediff_doc.Render_summary.render result.Treediff.Diff.delta
+  | r -> failwith (Printf.sprintf "unknown rendering %S (side-by-side|summary)" r)
+
 let run_diff old_file new_file format lenient algorithm approx threshold leaf_f
-    window sim_threshold sim_top_k mode zs budget_ms max_comparisons max_nodes
-    output =
+    window sim_threshold sim_top_k mode render zs budget_ms max_comparisons
+    max_nodes output =
   handle_errors @@ fun () ->
   let gen = Treediff_tree.Tree.gen () in
   let t1 = parse_tree ~lenient format gen (read_file old_file) in
@@ -169,7 +174,9 @@ let run_diff old_file new_file format lenient algorithm approx threshold leaf_f
       | Error e ->
         Printf.eprintf "treediff: internal check failed: %s\n" e;
         exit exit_internal);
-      render_result mode output result;
+      (match render with
+      | None -> render_result mode output result
+      | Some kind -> write_out output (render_delta kind result));
       match result.Treediff.Diff.degraded with
       | None -> ()
       | Some rung ->
@@ -238,6 +245,13 @@ let mode =
   Arg.(value & opt string "script" & info [ "m"; "mode" ] ~docv:"MODE"
          ~doc:"Output: $(b,script) (replayable), $(b,delta) (annotated tree) or $(b,stats).")
 
+let render_arg =
+  Arg.(value & opt (some string) None & info [ "render" ] ~docv:"R"
+         ~doc:"Render the diff for humans instead of $(b,-m): \
+               $(b,side-by-side) (aligned two-column old/new view) or \
+               $(b,summary) (terse natural-language change summary, e.g. \
+               \"moved \xc2\xa73 under \xc2\xa72; reworded 4 sentences\").")
+
 let zs =
   Arg.(value & flag & info [ "zhang-shasha" ]
          ~doc:"Run the Zhang-Shasha baseline instead of the paper's pipeline.")
@@ -248,9 +262,10 @@ let output =
 
 let lenient =
   Arg.(value & flag & info [ "lenient" ]
-         ~doc:"Recover from malformed XML input instead of failing: each \
+         ~doc:"Recover from malformed input instead of failing: each \
                recovery is reported as a warning on stderr and parsing \
-               continues.  Ignored for the sexp format.")
+               continues.  Ignored by formats without a recovery mode \
+               (see $(b,--format)).")
 
 let budget_ms =
   Arg.(value & opt (some float) None & info [ "budget-ms" ] ~docv:"MS"
@@ -288,8 +303,8 @@ let diff_cmd =
   Cmd.v (Cmd.info "diff" ~doc ~exits:diff_exits)
     Term.(const run_diff $ old_file $ new_file $ format_arg $ lenient
           $ algorithm $ approx $ threshold $ leaf_f $ window $ sim_threshold
-          $ sim_top_k $ mode $ zs $ budget_ms $ max_comparisons $ max_nodes
-          $ output)
+          $ sim_top_k $ mode $ render_arg $ zs $ budget_ms $ max_comparisons
+          $ max_nodes $ output)
 
 (* ----------------------------------------------------------------- apply *)
 
@@ -441,10 +456,7 @@ let run_batch input format lenient jobs approx sim_threshold sim_top_k mode
           (t1, t2)
         with
         | pair -> (item, Ok pair)
-        | exception
-            ( Treediff_tree.Codec.Parse_error m
-            | Treediff_doc.Xml_parser.Parse_error m ) ->
-          (item, Error m)
+        | exception Doc_format.Parse_error m -> (item, Error m)
         | exception Sys_error m -> (item, Error m))
       items
   in
@@ -895,9 +907,7 @@ let sources_of_dir ~format ~lenient docs_dir =
                          parse_tree ~lenient format gen (read_file files.(v))
                        with
                        | tree -> Ok tree
-                       | exception
-                           ( Treediff_tree.Codec.Parse_error m
-                           | Treediff_doc.Xml_parser.Parse_error m ) ->
+                       | exception Doc_format.Parse_error m ->
                          Error (Printf.sprintf "%s: parse error: %s" files.(v) m)
                        | exception Sys_error m -> Error m);
                  }

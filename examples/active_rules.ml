@@ -94,8 +94,8 @@ let () =
   for i = 0 to Array.length snapshots - 2 do
     Printf.printf "== snapshot %d -> %d ==\n" i (i + 1);
     let gen = Treediff_tree.Tree.gen () in
-    let t1 = Treediff_doc.Xml_parser.parse gen snapshots.(i) in
-    let t2 = Treediff_doc.Xml_parser.parse gen snapshots.(i + 1) in
+    let t1 = Treediff_doc.Format.(parse xml) gen snapshots.(i) in
+    let t2 = Treediff_doc.Format.(parse xml) gen snapshots.(i + 1) in
     let r = Treediff.Diff.diff ~config t1 t2 in
     (match Treediff.Diff.check r ~t1 ~t2 with
     | Ok () -> ()
@@ -106,8 +106,8 @@ let () =
   (* a quiet pair: no rules fire *)
   print_endline "== identical snapshots ==";
   let gen = Treediff_tree.Tree.gen () in
-  let t1 = Treediff_doc.Xml_parser.parse gen snapshots.(0) in
-  let t2 = Treediff_doc.Xml_parser.parse gen snapshots.(0) in
+  let t1 = Treediff_doc.Format.(parse xml) gen snapshots.(0) in
+  let t2 = Treediff_doc.Format.(parse xml) gen snapshots.(0) in
   let r = Treediff.Diff.diff ~config t1 t2 in
   evaluate rules r.Treediff.Diff.delta;
   print_endline "(silence = no changes)"

@@ -35,7 +35,7 @@ let () =
   print_string out.Treediff_doc.Ladiff.marked_text;
 
   print_endline "\n== marked-up LaTeX (Table 2 conventions) ==";
-  print_string out.Treediff_doc.Ladiff.marked_latex;
+  print_string (Lazy.force out.Treediff_doc.Ladiff.marked_latex);
 
   (* Every LaDiff run is checkable: the script must transform the old tree
      into one isomorphic to the new tree. *)

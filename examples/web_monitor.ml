@@ -46,7 +46,7 @@ talk.</p>
 
 let () =
   let out =
-    Treediff_doc.Ladiff.run ~format:Treediff_doc.Ladiff.Html
+    Treediff_doc.Ladiff.run ~format:Treediff_doc.Format.html
       ~old_src:cached_page ~new_src:fresh_page ()
   in
   let result = out.Treediff_doc.Ladiff.result in

@@ -1,0 +1,118 @@
+module Codec = Treediff_tree.Codec
+
+type caps = { id_preserving : bool; document_schema : bool; lenient : bool }
+
+type t = {
+  name : string;
+  doc : string;
+  caps : caps;
+  parse_result :
+    lenient:bool ->
+    Treediff_tree.Tree.gen ->
+    string ->
+    (Treediff_tree.Node.t * string list, string) result;
+  render : Treediff_tree.Node.t -> string;
+}
+
+exception Parse_error of string
+
+(* Strict-only parsers ignore the lenient flag (documented by
+   [caps.lenient = false]) rather than failing: `--lenient` on a sexp file
+   has always been a no-op and stays one. *)
+let strict_only parse ~lenient:_ gen src =
+  match parse gen src with
+  | tree -> Ok (tree, [])
+  | exception Codec.Parse_error m -> Error m
+
+let sexp =
+  {
+    name = "sexp";
+    doc = "the s-expression tree codec";
+    caps = { id_preserving = false; document_schema = false; lenient = false };
+    parse_result = strict_only Codec.parse;
+    render = (fun t -> Codec.to_string t ^ "\n");
+  }
+
+let xml =
+  {
+    name = "xml";
+    doc = "generic XML (elements, attributes, text)";
+    caps = { id_preserving = false; document_schema = false; lenient = true };
+    parse_result = (fun ~lenient gen src -> Xml_parser.parse_result ~lenient gen src);
+    render = (fun t -> Xml_parser.print t ^ "\n");
+  }
+
+let html =
+  {
+    name = "html";
+    doc = "HTML subset onto the document schema";
+    caps = { id_preserving = false; document_schema = true; lenient = true };
+    parse_result = (fun ~lenient gen src -> Html_parser.parse_result ~lenient gen src);
+    render = Html_parser.print;
+  }
+
+let latex =
+  {
+    name = "latex";
+    doc = "LaTeX subset onto the document schema";
+    caps = { id_preserving = false; document_schema = true; lenient = true };
+    parse_result = (fun ~lenient gen src -> Latex_parser.parse_result ~lenient gen src);
+    render = Latex_parser.print;
+  }
+
+let json =
+  {
+    name = "json";
+    doc = "JSON (objects, arrays, scalars)";
+    caps = { id_preserving = false; document_schema = false; lenient = true };
+    parse_result = (fun ~lenient gen src -> Json_parser.parse_result ~lenient gen src);
+    render = Json_parser.print;
+  }
+
+let markdown =
+  {
+    name = "markdown";
+    doc = "Markdown subset onto the document schema";
+    caps = { id_preserving = false; document_schema = true; lenient = true };
+    parse_result =
+      (fun ~lenient gen src -> Markdown_parser.parse_result ~lenient gen src);
+    render = Markdown_parser.print;
+  }
+
+let bin =
+  {
+    name = "bin";
+    doc = "the id-preserving binary codec";
+    caps = { id_preserving = true; document_schema = false; lenient = false };
+    parse_result =
+      (fun ~lenient:_ _gen src ->
+        (* ids come from the file, not the generator: that is the point *)
+        match Codec.decode src with
+        | Ok tree -> Ok (tree, [])
+        | Error e -> Error (Codec.decode_error_to_string e));
+    render = Codec.encode;
+  }
+
+let all = [ sexp; xml; html; latex; json; markdown; bin ]
+
+let names = List.map (fun f -> f.name) all
+
+let supported = String.concat "|" names
+
+let unknown_message name =
+  Printf.sprintf "unknown tree format %S (%s)" name supported
+
+let find name =
+  match List.find_opt (fun f -> String.equal f.name name) all with
+  | Some f -> Ok f
+  | None -> Error (unknown_message name)
+
+let find_exn name =
+  match find name with Ok f -> f | Error m -> raise (Parse_error m)
+
+let parse f ?(lenient = false) ?(warn = fun _ -> ()) gen src =
+  match f.parse_result ~lenient gen src with
+  | Ok (tree, warnings) ->
+    List.iter warn warnings;
+    tree
+  | Error m -> raise (Parse_error m)

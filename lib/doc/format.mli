@@ -1,0 +1,93 @@
+(** The format registry: one parse/render seam for every entry point.
+
+    The paper's pipeline is format-agnostic — parse → match → edit script →
+    render — so the set of supported tree formats is data, not control
+    flow.  Each format registers one {!t} record here; the [treediff] CLI,
+    [ladiff], the serve daemon and the store ingest path all resolve
+    formats through {!find}, so the supported set, the error text for an
+    unknown name, and lenient-parse behaviour are identical everywhere.
+    Adding a format is a one-module change: implement the parser/printer,
+    add a record to {!all}.
+
+    Capability flags let call sites refuse work a format cannot do (e.g.
+    checking store scripts needs an {e id-preserving} format) without
+    string-matching on names. *)
+
+(** What a format can do, beyond parse/render. *)
+type caps = {
+  id_preserving : bool;
+      (** node identifiers survive a render/parse round-trip (the binary
+          codec); required when artifacts reference node ids, e.g. checking
+          a script from a store archive against a materialized tree *)
+  document_schema : bool;
+      (** parses onto the §7 document schema (Sentence … Document), so the
+          LaDiff markup renderers apply *)
+  lenient : bool;
+      (** has a recovery mode: [~lenient:true] repairs malformed input and
+          reports each repair as a warning (formats without it parse
+          strictly and ignore the flag) *)
+}
+
+type t = {
+  name : string;  (** the CLI/wire name, e.g. ["xml"] *)
+  doc : string;  (** one-line description for help output *)
+  caps : caps;
+  parse_result :
+    lenient:bool ->
+    Treediff_tree.Tree.gen ->
+    string ->
+    (Treediff_tree.Node.t * string list, string) result;
+      (** non-raising parse; [Ok (tree, warnings)] where [warnings] lists
+          lenient-mode recoveries (always [[]] in strict mode) *)
+  render : Treediff_tree.Node.t -> string;
+      (** serialize a tree back out; for every format,
+          [parse ∘ render ∘ parse = parse] on its own output *)
+}
+
+exception Parse_error of string
+(** The unified parse failure every registered format's errors are mapped
+    to by {!parse} — call sites catch one exception, not one per parser. *)
+
+val all : t list
+(** Every registered format, in help-display order. *)
+
+val names : string list
+
+val supported : string
+(** The supported set as ["sexp|xml|html|latex|json|markdown|bin"] — used
+    in help strings and the {!unknown_message} error text. *)
+
+val unknown_message : string -> string
+(** [unknown_message name] is the canonical error for an unregistered
+    format name, shared verbatim by the CLI and the daemon so the two can
+    never drift. *)
+
+val find : string -> (t, string) result
+(** Resolve a name; [Error (unknown_message name)] when unregistered. *)
+
+val find_exn : string -> t
+(** @raise Parse_error with {!unknown_message} when unregistered. *)
+
+val parse :
+  t ->
+  ?lenient:bool ->
+  ?warn:(string -> unit) ->
+  Treediff_tree.Tree.gen ->
+  string ->
+  Treediff_tree.Node.t
+(** Raising convenience over [t.parse_result]: lenient-mode warnings are
+    fed to [warn] (default: dropped).
+    @raise Parse_error on malformed input. *)
+
+(** {1 Registered formats}
+
+    Typed handles for call sites that need a specific format as a default
+    (the CLIs) or programmatically (tests, examples) — no name strings. *)
+
+val sexp : t
+val xml : t
+val html : t
+val latex : t
+val json : t
+val markdown : t
+val bin : t

@@ -235,3 +235,61 @@ let parse_result ?(lenient = false) gen src =
   match parse_state ~lenient ~warnings gen src with
   | t -> Ok (t, List.rev !warnings)
   | exception Parse_error m -> Error m
+
+(* --- tree -> HTML -------------------------------------------------------- *)
+
+let escape_text s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let print t =
+  let buf = Buffer.create 1024 in
+  let sentence_text (p : Node.t) =
+    Node.children p
+    |> List.map (fun (s : Node.t) -> escape_text s.Node.value)
+    |> String.concat " "
+  in
+  let rec block (n : Node.t) =
+    if String.equal n.Node.label Doc_tree.paragraph then
+      Buffer.add_string buf (Printf.sprintf "<p>%s</p>\n" (sentence_text n))
+    else if String.equal n.Node.label Doc_tree.list then begin
+      Buffer.add_string buf "<ul>\n";
+      List.iter
+        (fun (it : Node.t) ->
+          if not (String.equal it.Node.label Doc_tree.item) then
+            invalid_arg "Html_parser.print: list children must be items";
+          Buffer.add_string buf "<li>";
+          List.iter block (Node.children it);
+          Buffer.add_string buf "</li>\n")
+        (Node.children n);
+      Buffer.add_string buf "</ul>\n"
+    end
+    else if String.equal n.Node.label Doc_tree.section then begin
+      Buffer.add_string buf
+        (Printf.sprintf "<h1>%s</h1>\n" (escape_text n.Node.value));
+      List.iter block (Node.children n)
+    end
+    else if String.equal n.Node.label Doc_tree.subsection then begin
+      Buffer.add_string buf
+        (Printf.sprintf "<h2>%s</h2>\n" (escape_text n.Node.value));
+      List.iter block (Node.children n)
+    end
+    else if String.equal n.Node.label Doc_tree.sentence then
+      Buffer.add_string buf
+        (Printf.sprintf "<p>%s</p>\n" (escape_text n.Node.value))
+    else
+      invalid_arg
+        (Printf.sprintf "Html_parser.print: unexpected label %S" n.Node.label)
+  in
+  if not (String.equal t.Node.label Doc_tree.document) then
+    invalid_arg "Html_parser.print: root must be a Document";
+  List.iter block (Node.children t);
+  Buffer.contents buf

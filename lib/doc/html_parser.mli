@@ -26,3 +26,10 @@ val parse_result :
     remaining hard error — a [</ul>] with no open list — is downgraded to a
     warning and the tag ignored.  Strict mode returns [Error message] where
     {!parse} would raise. *)
+
+val print : Treediff_tree.Node.t -> string
+(** Render a document tree back to (minimal, entity-escaped) HTML:
+    [Section] → [<h1>], [Subsection] → [<h2>], [Paragraph] → [<p>], lists
+    as [<ul>]/[<li>].  [parse] ∘ [print] is the identity on document trees
+    whose sentences survive re-segmentation.
+    @raise Invalid_argument on labels outside the document schema. *)

@@ -1,0 +1,40 @@
+(** JSON front end — the semistructured-data direction of §9 on modern
+    wire data (compare the OEM mapping used by {!Xml_parser}).
+
+    Mapping to the label-value tree model:
+    - an object becomes an [obj] node whose children are [member] nodes,
+      one per key in source order; a [member] carries its key as the node
+      value and its value tree as its single child;
+    - an array becomes an [arr] node over its element trees;
+    - scalars become leaves: [str] (decoded text), [num] (the literal
+      spelled exactly as in the source, so [1.50] round-trips), [bool]
+      ([true]/[false]) and [null] (empty value).
+
+    Like XML vocabularies, the [obj] > [member] > [obj] nesting violates
+    the acyclic-labels condition (§5.1); the pipeline stays correct on such
+    data but may report matches between mutually nested labels as
+    delete+insert. *)
+
+exception Parse_error of string
+
+val parse : Treediff_tree.Tree.gen -> string -> Treediff_tree.Node.t
+(** @raise Parse_error on malformed input (bad literals, unterminated
+    strings or containers, trailing garbage). *)
+
+val parse_result :
+  ?lenient:bool ->
+  Treediff_tree.Tree.gen ->
+  string ->
+  (Treediff_tree.Node.t * string list, string) result
+(** Non-raising front door.  With [lenient] (default [false]) common
+    near-JSON is recovered from — trailing commas, single-quoted strings,
+    unquoted object keys, containers and strings left open at end of
+    input, trailing garbage after the top value — and each recovery is
+    reported as a warning string alongside the tree.  Strict mode returns
+    [Error message] where {!parse} would raise. *)
+
+val print : Treediff_tree.Node.t -> string
+(** Serialize a tree built by {!parse} (or hand-built in the same shape)
+    back to indented JSON.  [parse] ∘ [print] is the identity up to node
+    identifiers.
+    @raise Invalid_argument on labels outside the JSON shape. *)

@@ -1,42 +1,30 @@
-type format = Latex | Html
-
 type output = {
   result : Treediff.Diff.t;
-  marked_latex : string;
+  marked_latex : string Lazy.t;
   marked_text : string;
   old_tree : Treediff_tree.Node.t;
   new_tree : Treediff_tree.Node.t;
   warnings : string list;
 }
 
-let parse ?(format = Latex) gen src =
-  match format with
-  | Latex -> Latex_parser.parse gen src
-  | Html -> Html_parser.parse gen src
-
-let run ?(format = Latex) ?(lenient = false) ?(config = Doc_tree.config)
-    ~old_src ~new_src () =
+let run ?format ?(lenient = false) ?(config = Doc_tree.config) ~old_src
+    ~new_src () =
+  let format = match format with Some f -> f | None -> Format.latex in
   let gen = Treediff_tree.Tree.gen () in
   let parse_one src =
-    if lenient then
-      match
-        match format with
-        | Latex -> Latex_parser.parse_result ~lenient:true gen src
-        | Html -> Html_parser.parse_result ~lenient:true gen src
-      with
-      | Ok (t, warnings) -> (t, warnings)
-      | Error m -> (
-        match format with
-        | Latex -> raise (Latex_parser.Parse_error m)
-        | Html -> raise (Html_parser.Parse_error m))
-    else (parse ~format gen src, [])
+    match format.Format.parse_result ~lenient gen src with
+    | Ok (t, warnings) -> (t, warnings)
+    | Error m -> raise (Format.Parse_error m)
   in
   let old_tree, old_warnings = parse_one old_src in
   let new_tree, new_warnings = parse_one new_src in
   let result = Treediff.Diff.diff ~config old_tree new_tree in
   {
     result;
-    marked_latex = Markup.to_latex result.Treediff.Diff.delta;
+    (* lazy: Table 2 mark-up only exists for document-schema trees, and a
+       generic-format run (xml, json, …) must not crash computing an output
+       nobody asked for *)
+    marked_latex = lazy (Markup.to_latex result.Treediff.Diff.delta);
     marked_text = Markup.to_text result.Treediff.Diff.delta;
     old_tree;
     new_tree;

@@ -1,13 +1,17 @@
 (** LaDiff (§7): end-to-end change detection for structured documents.
 
     Parse the old and new sources, diff the document trees with the paper's
-    pipeline, and render the delta tree as a marked-up document. *)
-
-type format = Latex | Html
+    pipeline, and render the delta tree as a marked-up document.  The input
+    format is any registered {!Format.t} (default {!Format.latex}); the
+    document-schema formats get the full Table 2 mark-up, the generic ones
+    still diff and render as annotated text. *)
 
 type output = {
   result : Treediff.Diff.t;      (** the full diff (script, delta, stats) *)
-  marked_latex : string;         (** Table 2 mark-up of the new version *)
+  marked_latex : string Lazy.t;
+      (** Table 2 mark-up of the new version; lazy because it is only
+          defined for document-schema trees — forcing it on a generic
+          format's result raises [Invalid_argument] *)
   marked_text : string;          (** plain-text rendering of the delta *)
   old_tree : Treediff_tree.Node.t;
   new_tree : Treediff_tree.Node.t;
@@ -15,18 +19,15 @@ type output = {
 }
 
 val run :
-  ?format:format ->
+  ?format:Format.t ->
   ?lenient:bool ->
   ?config:Treediff.Config.t ->
   old_src:string ->
   new_src:string ->
   unit ->
   output
-(** [run ~old_src ~new_src ()] parses both versions (default {!Latex};
-    config defaults to {!Doc_tree.config}, the word-LCS criteria) and diffs
-    old → new.  With [lenient] (default [false]) parser errors are recovered
-    from and reported in [warnings] instead of raised.
-    @raise Latex_parser.Parse_error or {!Html_parser.Parse_error} on
-    malformed input. *)
-
-val parse : ?format:format -> Treediff_tree.Tree.gen -> string -> Treediff_tree.Node.t
+(** [run ~old_src ~new_src ()] parses both versions (default
+    {!Format.latex}; config defaults to {!Doc_tree.config}, the word-LCS
+    criteria) and diffs old → new.  With [lenient] (default [false]) parser
+    errors are recovered from and reported in [warnings] instead of raised.
+    @raise Format.Parse_error on malformed input. *)

@@ -1,0 +1,33 @@
+(** Markdown front end, mapping onto the same §7 document schema as the
+    LaTeX and HTML parsers.
+
+    Mapping: [# heading] → [Section], [## heading] / [### heading] →
+    [Subsection], blank-line-separated prose → [Paragraph] with the text
+    segmented into [Sentence] leaves by {!Sentence.split}, [-]/[*]/[+] and
+    [1.] bullets → [List]/[Item] (nesting by two-space indent steps).
+    Inline emphasis markers are kept verbatim (they diff fine as words);
+    fenced code blocks become plain paragraph text. *)
+
+exception Parse_error of string
+
+val parse : Treediff_tree.Tree.gen -> string -> Treediff_tree.Node.t
+(** @raise Parse_error on a subsection heading outside any section or an
+    unterminated fenced code block. *)
+
+val parse_result :
+  ?lenient:bool ->
+  Treediff_tree.Tree.gen ->
+  string ->
+  (Treediff_tree.Node.t * string list, string) result
+(** Non-raising front door.  With [lenient] (default [false]) the strict
+    errors recover — a top-level [##] heading is kept as a section-level
+    child, an open code fence closes at end of input — with each recovery
+    reported as a warning alongside the tree.  Strict mode returns
+    [Error message] where {!parse} would raise. *)
+
+val print : Treediff_tree.Node.t -> string
+(** Render a document tree back to Markdown ([Section] → [#], [Subsection]
+    → [##], list items as [- ] bullets, nested lists indented two spaces).
+    [parse] ∘ [print] is the identity on document trees whose sentences
+    survive re-segmentation (the same caveat as {!Latex_parser.print}).
+    @raise Invalid_argument on labels outside the document schema. *)

@@ -1,0 +1,101 @@
+module Delta = Treediff.Delta
+
+type side = Both | Left_only | Right_only
+
+type row = { left : string option; tag : string; right : string option }
+
+let cell (d : Delta.t) ~old =
+  let value =
+    match (d.base, old) with Delta.Updated o, true -> o | _ -> d.value
+  in
+  if value = "" then d.label else d.label ^ ": " ^ value
+
+let truncate w s =
+  if String.length s <= w then s
+  else if w <= 2 then String.sub s 0 w
+  else String.sub s 0 (w - 2) ^ ".."
+
+let trim_right s =
+  let n = ref (String.length s) in
+  while !n > 0 && s.[!n - 1] = ' ' do
+    decr n
+  done;
+  String.sub s 0 !n
+
+let render ?width delta =
+  let names = Markup.assign_names delta in
+  let rows = ref [] in
+  let add left tag right = rows := { left; tag; right } :: !rows in
+  let rec walk depth side (d : Delta.t) =
+    let indent = String.make (2 * depth) ' ' in
+    let line ~old = indent ^ cell d ~old in
+    let descend side = List.iter (walk (depth + 1) side) d.children in
+    (* Ghosts pick their own side regardless of context: a [Deleted] ghost
+       can sit inside an inserted subtree (old content ghosted under its
+       new-parent counterpart) and still belongs to the old column. *)
+    match d.base with
+    | Delta.Marker ->
+      (* the content renders once, at its new position; the old position
+         keeps a one-line tombstone carrying the shared marker name *)
+      let name =
+        match d.moved with
+        | Some k -> Markup.lookup_name names k
+        | None -> "?"
+      in
+      add (Some (indent ^ "(moved away: " ^ name ^ ")")) ("<" ^ name) None
+    | Delta.Deleted ->
+      add (Some (line ~old:true)) "-" None;
+      descend Left_only
+    | Delta.Inserted ->
+      add None "+" (Some (line ~old:false));
+      descend Right_only
+    | Delta.Updated _ | Delta.Identical -> (
+      match side with
+      | Left_only ->
+        add (Some (line ~old:true)) "-" None;
+        descend Left_only
+      | Right_only ->
+        (* inside an inserted subtree everything is new, but a subtree that
+           moved in still cross-references its tombstone *)
+        let tag =
+          match d.moved with
+          | Some k -> ">" ^ Markup.lookup_name names k
+          | None -> "+"
+        in
+        add None tag (Some (line ~old:false));
+        descend Right_only
+      | Both ->
+        let tag =
+          match (d.base, d.moved) with
+          | Delta.Updated _, Some k -> "~>" ^ Markup.lookup_name names k
+          | Delta.Updated _, None -> "~"
+          | _, Some k -> ">" ^ Markup.lookup_name names k
+          | _, None -> ""
+        in
+        add (Some (line ~old:true)) tag (Some (line ~old:false));
+        descend Both)
+  in
+  walk 0 Both delta;
+  let rows = List.rev !rows in
+  let natural =
+    List.fold_left
+      (fun acc r ->
+        match r.left with Some l -> max acc (String.length l) | None -> acc)
+      0 rows
+  in
+  let w = match width with Some w -> max 8 w | None -> max 8 (min natural 48) in
+  let tagw =
+    List.fold_left (fun acc r -> max acc (String.length r.tag)) 1 rows
+  in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun r ->
+      (* only the left column is width-bounded: the right one ends the line,
+         so it can run long without breaking the alignment *)
+      let l = match r.left with Some l -> truncate w l | None -> "" in
+      let rt = match r.right with Some s -> s | None -> "" in
+      let line = Printf.sprintf "%-*s |%-*s| %s" w l tagw r.tag rt in
+      Buffer.add_string buf (trim_right line);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf

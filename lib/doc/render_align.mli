@@ -1,0 +1,15 @@
+(** Side-by-side aligned rendering of a delta tree: the old version in the
+    left column, the new in the right, one row per node, aligned by the
+    change annotations (compare semantic's [Alignment]).
+
+    Unchanged nodes span both columns; inserts appear on the right only
+    ([+]), deletes on the left only ([-]), updates show the old value left
+    and the new right ([~]).  A moved subtree renders once, at its new
+    position, on both sides ([>Sk]); its old position shows a one-line
+    [<Sk] tombstone on the left — the same marker names the LaDiff markup
+    assigns, so the two renderings cross-reference. *)
+
+val render : ?width:int -> Treediff.Delta.t -> string
+(** [render delta] formats the aligned rows.  [width] caps the left
+    column (default: widest left cell, capped at 48); longer cells are
+    truncated with an ellipsis. *)

@@ -1,0 +1,126 @@
+module Delta = Treediff.Delta
+
+let quoted s =
+  let s = if String.length s > 32 then String.sub s 0 29 ^ "..." else s in
+  "\"" ^ s ^ "\""
+
+let noun label =
+  if String.equal label Doc_tree.sentence then "sentence"
+  else if String.equal label Doc_tree.paragraph then "paragraph"
+  else if String.equal label Doc_tree.item then "item"
+  else if String.equal label Doc_tree.list then "list"
+  else label ^ " node"
+
+let verb_rank = function
+  | "added" -> 0
+  | "removed" -> 1
+  | "reworded" -> 2
+  | "updated" -> 3
+  | _ -> 4 (* moved *)
+
+let render (root : Delta.t) =
+  let phrases = ref [] in
+  let add_phrase p = phrases := p :: !phrases in
+  let counts : (string * string, int) Hashtbl.t = Hashtbl.create 16 in
+  let bump verb label =
+    let key = (verb, noun label) in
+    let n = try Hashtbl.find counts key with Not_found -> 0 in
+    Hashtbl.replace counts key (n + 1)
+  in
+  (* Inserted/deleted subtrees count once, at their root; [inside] is true
+     below a root already counted. *)
+  let rec count_walk ~inside (d : Delta.t) =
+    match d.base with
+    | Delta.Marker -> () (* the move is recorded at the new position *)
+    | Delta.Deleted ->
+      if not inside then bump "removed" d.label;
+      List.iter (count_walk ~inside:true) d.children
+    | Delta.Inserted ->
+      if not inside then bump "added" d.label;
+      List.iter (count_walk ~inside:true) d.children
+    | Delta.Updated _ ->
+      bump
+        (if String.equal d.label Doc_tree.sentence then "reworded"
+         else "updated")
+        d.label;
+      if d.moved <> None && not inside then bump "moved" d.label;
+      List.iter (count_walk ~inside) d.children
+    | Delta.Identical ->
+      if d.moved <> None && not inside then bump "moved" d.label;
+      List.iter (count_walk ~inside) d.children
+  in
+  (* Document-schema walk: sections and subsections get their own phrases,
+     numbered by position among surviving blocks in new document order. *)
+  let section_contents ~name (sec : Delta.t) =
+    let sub = ref 0 in
+    List.iter
+      (fun (child : Delta.t) ->
+        if String.equal child.Delta.label Doc_tree.subsection then begin
+          match child.base with
+          | Delta.Marker -> ()
+          | Delta.Deleted ->
+            add_phrase
+              (Printf.sprintf "removed subsection %s" (quoted child.value))
+          | base ->
+            incr sub;
+            let sname = Printf.sprintf "%s.%d" name !sub in
+            (match base with
+            | Delta.Inserted ->
+              add_phrase
+                (Printf.sprintf "added %s %s" sname (quoted child.value))
+            | Delta.Updated _ ->
+              add_phrase
+                (Printf.sprintf "retitled %s to %s" sname
+                   (quoted child.value))
+            | _ -> ());
+            (match child.moved with
+            | Some _ -> add_phrase (Printf.sprintf "moved %s under %s" sname name)
+            | None -> ());
+            if base <> Delta.Inserted then
+              List.iter (count_walk ~inside:false) child.children
+        end
+        else count_walk ~inside:false child)
+      sec.children
+  in
+  if String.equal root.Delta.label Doc_tree.document then begin
+    let sec = ref 0 in
+    List.iter
+      (fun (child : Delta.t) ->
+        if String.equal child.Delta.label Doc_tree.section then begin
+          match child.base with
+          | Delta.Marker -> ()
+          | Delta.Deleted ->
+            add_phrase
+              (Printf.sprintf "removed section %s" (quoted child.value))
+          | base ->
+            incr sec;
+            let name = Printf.sprintf "\xc2\xa7%d" !sec in
+            (match base with
+            | Delta.Inserted ->
+              add_phrase
+                (Printf.sprintf "added %s %s" name (quoted child.value))
+            | Delta.Updated _ ->
+              add_phrase
+                (Printf.sprintf "retitled %s to %s" name (quoted child.value))
+            | _ -> ());
+            (match child.moved with
+            | Some _ -> add_phrase (Printf.sprintf "moved %s" name)
+            | None -> ());
+            if base <> Delta.Inserted then section_contents ~name child
+        end
+        else count_walk ~inside:false child)
+      root.children
+  end
+  else count_walk ~inside:false root;
+  let aggregate =
+    Hashtbl.fold (fun (verb, noun) n acc -> (verb, noun, n) :: acc) counts []
+    |> List.sort (fun (v1, n1, _) (v2, n2, _) ->
+           match compare (verb_rank v1) (verb_rank v2) with
+           | 0 -> compare n1 n2
+           | c -> c)
+    |> List.map (fun (verb, noun, n) ->
+           Printf.sprintf "%s %d %s%s" verb n noun (if n = 1 then "" else "s"))
+  in
+  match List.rev !phrases @ aggregate with
+  | [] -> "no changes\n"
+  | ps -> String.concat "; " ps ^ "\n"

@@ -1,0 +1,13 @@
+(** Terse natural-language change summaries over a delta tree (compare
+    semantic's diff summaries): one line naming what moved, what was
+    reworded, what appeared and disappeared — e.g.
+    ["moved §3 under §2; reworded 4 sentences"].
+
+    Document-schema trees (root label [Document]) get §-numbered phrases
+    for sections and subsections — numbers count surviving blocks in new
+    document order, so they match the rendered new version.  Other trees
+    fall back to label-based nouns ("added 2 member nodes").  A delta with
+    no changes summarizes as ["no changes"]. *)
+
+val render : Treediff.Delta.t -> string
+(** One "; "-joined line, newline-terminated. *)

@@ -96,7 +96,7 @@ let contains ~sub s =
 
 let compute () =
   let output = Treediff_doc.Ladiff.run ~old_src:old_doc ~new_src:new_doc () in
-  let latex = output.Treediff_doc.Ladiff.marked_latex in
+  let latex = Lazy.force output.Treediff_doc.Ladiff.marked_latex in
   let conventions_seen =
     [
       ("bold sentence (insert)", contains ~sub:"\\textbf{" latex);
@@ -124,7 +124,7 @@ let print data =
     (fun (name, seen) -> Printf.printf "  [%s] %s\n" (if seen then "x" else " ") name)
     data.conventions_seen;
   print_endline "\n--- marked-up output (Figure 16 analogue) ---";
-  print_endline data.output.Treediff_doc.Ladiff.marked_latex;
+  print_endline (Lazy.force data.output.Treediff_doc.Ladiff.marked_latex);
   print_newline ()
 
 let run () =

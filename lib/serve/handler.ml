@@ -11,6 +11,7 @@ module Script_io = Treediff_edit.Script_io
 module Line_diff = Treediff_textdiff.Line_diff
 module Store = Treediff_store.Store
 module Shard = Treediff_store.Shard
+module Doc_format = Treediff_doc.Format
 
 type pressure = Full | Forced_approx | Flat_only
 
@@ -137,13 +138,28 @@ let cache_put t key value =
 
 exception Bad_params of string
 
-let parse_tree_param ~gen name params =
+(* Per-request tree format, resolved through the same registry as the CLIs:
+   the supported set and the unknown-format error text are identical to
+   [treediff -f]'s, so the daemon and the local tool can never drift. *)
+let format_of_params params =
+  match Json.mem_str "format" params with
+  | None -> Doc_format.sexp
+  | Some name -> (
+    match Doc_format.find name with
+    | Ok f -> f
+    | Error m -> raise (Bad_params m))
+
+let lenient_of_params params =
+  Option.value ~default:false (Json.mem_bool "lenient" params)
+
+let parse_tree_param ~gen ?(fmt = Doc_format.sexp) ?(lenient = false) name
+    params =
   match Json.mem_str name params with
   | None -> raise (Bad_params (Printf.sprintf "missing string param %S" name))
   | Some src -> (
-    match Codec.parse gen src with
-    | t -> t
-    | exception Codec.Parse_error m ->
+    match fmt.Doc_format.parse_result ~lenient gen src with
+    | Ok (t, _warnings) -> t
+    | Error m ->
       raise (Bad_params (Printf.sprintf "%s: parse error: %s" name m)))
 
 (* ------------------------------------------------------------ diff verb *)
@@ -151,13 +167,16 @@ let parse_tree_param ~gen name params =
 let render_mode params =
   match Json.mem_str "mode" params with
   | None -> "script"
-  | Some ("script" | "delta" | "stats" as m) -> m
+  | Some (("script" | "delta" | "stats" | "side-by-side" | "summary") as m) ->
+    m
   | Some m -> raise (Bad_params (Printf.sprintf "unknown mode %S" m))
 
 let render_result mode (result : Diff.t) =
   match mode with
   | "script" -> Script_io.to_string result.Diff.script
   | "delta" -> Treediff.Delta_io.to_string result.Diff.delta ^ "\n"
+  | "side-by-side" -> Treediff_doc.Render_align.render result.Diff.delta
+  | "summary" -> Treediff_doc.Render_summary.render result.Diff.delta
   | "stats" ->
     let m = result.Diff.measure in
     Printf.sprintf
@@ -223,9 +242,11 @@ let flat_output t1 t2 =
 let run_diff t ~pressure ~deadline_ms req =
   let params = req.Protocol.params in
   let mode = render_mode params in
+  let fmt = format_of_params params in
+  let lenient = lenient_of_params params in
   let gen = Treediff_tree.Tree.gen () in
-  let t1 = parse_tree_param ~gen "old" params in
-  let t2 = parse_tree_param ~gen "new" params in
+  let t1 = parse_tree_param ~gen ~fmt ~lenient "old" params in
+  let t2 = parse_tree_param ~gen ~fmt ~lenient "new" params in
   if pressure = Flat_only then begin
     t.degraded <- t.degraded + 1;
     Ok
@@ -298,24 +319,21 @@ let run_batch t ~pressure ~deadline_ms req =
     | Some l -> l
     | None -> raise (Bad_params "missing array param \"pairs\"")
   in
+  let fmt = format_of_params params in
+  let lenient = lenient_of_params params in
   let gen = Treediff_tree.Tree.gen () in
+  let parse_side i name p =
+    match Json.mem_str name p with
+    | None ->
+      raise (Bad_params (Printf.sprintf "pairs[%d]: missing %S" i name))
+    | Some src -> (
+      match fmt.Doc_format.parse_result ~lenient gen src with
+      | Ok (t, _warnings) -> t
+      | Error m ->
+        raise (Bad_params (Printf.sprintf "pairs[%d]: parse error: %s" i m)))
+  in
   let pairs =
-    List.mapi
-      (fun i p ->
-        let old_src =
-          match Json.mem_str "old" p with
-          | Some s -> s
-          | None -> raise (Bad_params (Printf.sprintf "pairs[%d]: missing \"old\"" i))
-        in
-        let new_src =
-          match Json.mem_str "new" p with
-          | Some s -> s
-          | None -> raise (Bad_params (Printf.sprintf "pairs[%d]: missing \"new\"" i))
-        in
-        match (Codec.parse gen old_src, Codec.parse gen new_src) with
-        | t1, t2 -> (t1, t2)
-        | exception Codec.Parse_error m ->
-          raise (Bad_params (Printf.sprintf "pairs[%d]: parse error: %s" i m)))
+    List.mapi (fun i p -> (parse_side i "old" p, parse_side i "new" p))
       pairs_json
     |> Array.of_list
   in
@@ -367,9 +385,11 @@ let run_batch t ~pressure ~deadline_ms req =
 
 let run_check ~deadline_ms req =
   let params = req.Protocol.params in
+  let fmt = format_of_params params in
+  let lenient = lenient_of_params params in
   let gen = Treediff_tree.Tree.gen () in
-  let t1 = parse_tree_param ~gen "old" params in
-  let t2 = parse_tree_param ~gen "new" params in
+  let t1 = parse_tree_param ~gen ~fmt ~lenient "old" params in
+  let t2 = parse_tree_param ~gen ~fmt ~lenient "new" params in
   let exec = Exec.create ~budget:(Budget.make ~deadline_ms ()) () in
   let config = Config.(with_check false default) in
   let diags =
@@ -558,12 +578,18 @@ let run_store t ~budget verb req =
                 Shard.materialize ~verify ~exec corpus ~doc version)
         in
         match tree with
-        | Ok tree -> Ok (Json.Obj [ ("tree", Json.Str (Codec.to_string tree)) ])
+        | Ok tree ->
+          (* the response honours the request's format, like the CLI's
+             [store materialize -f] *)
+          let fmt = format_of_params params in
+          Ok (Json.Obj [ ("tree", Json.Str (fmt.Doc_format.render tree)) ])
         | Error msg -> store_err msg)
   | "store/commit" ->
     with_store t ~budget params (fun ~exec handle ->
         let gen = Treediff_tree.Tree.gen () in
-        let tree = parse_tree_param ~gen "tree" params in
+        let fmt = format_of_params params in
+        let lenient = lenient_of_params params in
+        let tree = parse_tree_param ~gen ~fmt ~lenient "tree" params in
         match handle with
         | Single store -> (
           match Store.commit ~exec store tree with

@@ -208,7 +208,7 @@ let test_markup_insert_bold () =
       "\\section{A}\n\nOne two three. Brand new sentence. Four five six.\n"
   in
   Alcotest.(check bool) "bold insert" true
-    (contains ~sub:"\\textbf{Brand new sentence.}" out.Ladiff.marked_latex)
+    (contains ~sub:"\\textbf{Brand new sentence.}" (Lazy.force out.Ladiff.marked_latex))
 
 let test_markup_delete_small () =
   let out =
@@ -216,7 +216,7 @@ let test_markup_delete_small () =
       "\\section{A}\n\nOne two three. Four five six.\n"
   in
   Alcotest.(check bool) "small delete" true
-    (contains ~sub:"{\\small Dead sentence here.}" out.Ladiff.marked_latex)
+    (contains ~sub:"{\\small Dead sentence here.}" (Lazy.force out.Ladiff.marked_latex))
 
 let test_markup_update_italic () =
   let out =
@@ -224,7 +224,7 @@ let test_markup_update_italic () =
       "\\section{A}\n\nThe quick brown fox leaps. Other stays.\n"
   in
   Alcotest.(check bool) "italic update" true
-    (contains ~sub:"\\textit{The quick brown fox leaps.}" out.Ladiff.marked_latex)
+    (contains ~sub:"\\textit{The quick brown fox leaps.}" (Lazy.force out.Ladiff.marked_latex))
 
 let test_markup_move_footnote () =
   let out =
@@ -233,9 +233,9 @@ let test_markup_move_footnote () =
       "\\section{A}\n\nOne two three. Four five six. Moving target sentence.\n"
   in
   Alcotest.(check bool) "footnote at destination" true
-    (contains ~sub:"\\footnote{Moved from S1}" out.Ladiff.marked_latex);
+    (contains ~sub:"\\footnote{Moved from S1}" (Lazy.force out.Ladiff.marked_latex));
   Alcotest.(check bool) "label at origin" true
-    (contains ~sub:"S1:[" out.Ladiff.marked_latex)
+    (contains ~sub:"S1:[" (Lazy.force out.Ladiff.marked_latex))
 
 let test_markup_summary_and_text () =
   let out =
@@ -440,7 +440,7 @@ let test_ladiff_check () =
 
 let test_ladiff_html_format () =
   let out =
-    Ladiff.run ~format:Ladiff.Html
+    Ladiff.run ~format:Treediff_doc.Format.html
       ~old_src:"<h1>A</h1><p>Alpha beta gamma. Delta epsilon.</p>"
       ~new_src:"<h1>A</h1><p>Alpha beta gamma. Delta epsilon zeta.</p>" ()
   in

@@ -1,0 +1,476 @@
+(* Conformance suite for the format registry (lib/doc/format.ml).
+
+   Every registered format — iterated from [Format.all], so a newly added
+   format is covered without touching this file — must:
+
+   - parse its own rendered output back to the same tree (and the render
+     of the re-parse must be byte-identical: render is a fixpoint);
+   - recover from malformed input in lenient mode iff it advertises
+     [caps.lenient], reporting at least one warning when it does;
+   - survive a full [treediff check] self-check (diff, verify, apply);
+   - round-trip through the version store (commit + materialize) with
+     byte-identical rendering.
+
+   The suite also pins the satellite guarantees: CLI and daemon report the
+   {e exact same} registry error text for an unknown format name, the
+   side-by-side and summary renderers work from both entry points, and
+   ladiff accepts any registry format. *)
+
+module Format = Treediff_doc.Format
+module Tree = Treediff_tree.Tree
+module Node = Treediff_tree.Node
+module Store = Treediff_store.Store
+module Json = Treediff_serve.Json
+module Protocol = Treediff_serve.Protocol
+module Handler = Treediff_serve.Handler
+
+(* ---------------------------------------------------------- cli helpers *)
+(* Same conventions as test_cli.ml: binaries live at ../bin relative to the
+   test's cwd (_build/default/test), and so do the example fixtures. *)
+
+let bin name =
+  let dir = Filename.dirname Sys.executable_name in
+  Filename.concat dir (Filename.concat ".." (Filename.concat "bin" (name ^ ".exe")))
+
+let fixture name =
+  let dir = Filename.dirname Sys.executable_name in
+  List.fold_left Filename.concat dir [ ".."; "examples"; "pairs"; name ]
+
+let tmp_file contents =
+  let path = Filename.temp_file "treediff_fmt" ".txt" in
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc contents);
+  path
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run cmd =
+  let out = Filename.temp_file "treediff_out" ".txt" in
+  let code = Sys.command (Printf.sprintf "%s > %s 2>/dev/null" cmd out) in
+  let stdout = read_file out in
+  Sys.remove out;
+  (code, stdout)
+
+(* like [run] but folds stderr in: unknown-format errors land there *)
+let run_err cmd =
+  let out = Filename.temp_file "treediff_out" ".txt" in
+  let code = Sys.command (Printf.sprintf "%s > %s 2>&1" cmd out) in
+  let output = read_file out in
+  Sys.remove out;
+  (code, output)
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec loop i = i + m <= n && (String.sub s i m = sub || loop (i + 1)) in
+  m = 0 || loop 0
+
+(* collapse whitespace runs to single spaces: cmdliner reflows long error
+   messages at the terminal width, so exact substrings span line breaks *)
+let squeeze s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      let c = if c = '\n' || c = '\t' then ' ' else c in
+      if c <> ' ' || (Buffer.length buf > 0 && Buffer.nth buf (Buffer.length buf - 1) <> ' ')
+      then Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* ----------------------------------------------------- per-format input *)
+
+let sexp_old = {|(D (P (S "alpha") (S "beta")) (P (S "gamma")) (P (S "delta")))|}
+let sexp_new = {|(D (P (S "gamma")) (P (S "alpha") (S "chi")) (P (S "delta")))|}
+
+let xml_old =
+  "<doc><entry>one</entry><entry>two</entry><note>keep this</note></doc>\n"
+
+let xml_new =
+  "<doc><note>keep this</note><entry>one</entry><entry>2</entry>\
+   <extra>brand new</extra></doc>\n"
+
+let html_old =
+  "<h1>Title</h1>\n<p>One sentence here. Another sentence follows.</p>\n\
+   <ul>\n<li><p>First point.</p></li>\n<li><p>Second point.</p></li>\n</ul>\n"
+
+let html_new =
+  "<h1>Title</h1>\n<p>Another sentence follows. One sentence here.</p>\n\
+   <ul>\n<li><p>Second point.</p></li>\n<li><p>A third point.</p></li>\n</ul>\n"
+
+let latex_old =
+  "\\section{Intro}\n\nAlpha beta gamma delta. Epsilon zeta eta theta.\n"
+
+let latex_new =
+  "\\section{Intro}\n\nEpsilon zeta eta theta. Alpha beta gamma delta. \
+   Brand new closing words.\n"
+
+let json_old =
+  {|{"server": {"host": "db1", "port": 7433}, "tags": ["a", "b"]}|}
+
+let json_new =
+  {|{"tags": ["a", "b", "c"], "server": {"host": "db1", "port": 7500}}|}
+
+let md_old = "# Title\n\nOne sentence here. Another sentence follows.\n"
+
+let md_new =
+  "# Title\n\nAnother sentence follows. One sentence here. A closing remark.\n"
+
+(* The bin pair is the sexp pair pushed through the id-preserving codec:
+   binary sources cannot live in string literals comfortably, and this also
+   exercises render-as-source. *)
+let pair (f : Format.t) =
+  if f == Format.sexp then (sexp_old, sexp_new)
+  else if f == Format.xml then (xml_old, xml_new)
+  else if f == Format.html then (html_old, html_new)
+  else if f == Format.latex then (latex_old, latex_new)
+  else if f == Format.json then (json_old, json_new)
+  else if f == Format.markdown then (md_old, md_new)
+  else begin
+    let gen = Tree.gen () in
+    let t1 = Format.parse Format.sexp gen sexp_old in
+    let t2 = Format.parse Format.sexp gen sexp_new in
+    (f.Format.render t1, f.Format.render t2)
+  end
+
+(* Malformed input that strict mode must reject; for [caps.lenient]
+   formats, lenient mode must repair it and say so. *)
+let broken (f : Format.t) =
+  if f == Format.sexp then "(D (P"
+  else if f == Format.xml then "<doc><p>alpha" (* unclosed elements at EOF *)
+  else if f == Format.html then
+    "</ul>\n<h1>T</h1>\n<p>One sentence.</p>\n" (* stray closing tag *)
+  else if f == Format.latex then
+    "\\section{Intro\n\nAlpha beta.\n" (* unbalanced section-title group *)
+  else if f == Format.json then {|{port: 7433}|} (* bare key *)
+  else if f == Format.markdown then
+    "## Orphan\n\nBody text here.\n" (* subsection outside any section *)
+  else "not a binary codec stream"
+
+let rec same_structure (a : Node.t) (b : Node.t) =
+  String.equal a.Node.label b.Node.label
+  && String.equal a.Node.value b.Node.value
+  &&
+  let ca = Node.children a and cb = Node.children b in
+  List.length ca = List.length cb && List.for_all2 same_structure ca cb
+
+let ok_or_fail what = function
+  | Ok v -> v
+  | Error m -> Alcotest.failf "%s: %s" what m
+
+(* ------------------------------------------------------------- registry *)
+
+let test_registry () =
+  List.iter
+    (fun (f : Format.t) ->
+      match Format.find f.Format.name with
+      | Ok g ->
+        Alcotest.(check bool) (f.Format.name ^ " resolves to itself") true (f == g)
+      | Error m -> Alcotest.failf "find %s: %s" f.Format.name m)
+    Format.all;
+  Alcotest.(check int) "names covers all" (List.length Format.all)
+    (List.length Format.names);
+  (match Format.find "nope" with
+  | Ok _ -> Alcotest.fail "find accepted an unknown name"
+  | Error m ->
+    Alcotest.(check string) "find error is canonical" (Format.unknown_message "nope") m;
+    Alcotest.(check bool) "error lists the supported set" true
+      (contains ~sub:Format.supported m));
+  match Format.find_exn "nope" with
+  | exception Format.Parse_error m ->
+    Alcotest.(check string) "find_exn raises the canonical text"
+      (Format.unknown_message "nope") m
+  | _ -> Alcotest.fail "find_exn accepted an unknown name"
+
+(* ------------------------------------------------- parse/render round-trip *)
+
+let test_roundtrip () =
+  List.iter
+    (fun (f : Format.t) ->
+      let src, _ = pair f in
+      let t1 = Format.parse f (Tree.gen ()) src in
+      let out = f.Format.render t1 in
+      let t2 = Format.parse f (Tree.gen ~start:1000 ()) out in
+      Alcotest.(check bool) (f.Format.name ^ " re-parse preserves structure") true
+        (same_structure t1 t2);
+      Alcotest.(check string) (f.Format.name ^ " render is a fixpoint") out
+        (f.Format.render t2);
+      if f.Format.caps.Format.id_preserving then
+        Alcotest.(check int) (f.Format.name ^ " ids survive") t1.Node.id t2.Node.id)
+    Format.all
+
+let test_lenient () =
+  List.iter
+    (fun (f : Format.t) ->
+      let src = broken f in
+      (match f.Format.parse_result ~lenient:false (Tree.gen ()) src with
+      | Ok _ -> Alcotest.failf "%s: strict mode accepted malformed input" f.Format.name
+      | Error _ -> ());
+      match f.Format.parse_result ~lenient:true (Tree.gen ()) src with
+      | Ok (_, warnings) ->
+        if not f.Format.caps.Format.lenient then
+          Alcotest.failf "%s: repaired input without advertising caps.lenient"
+            f.Format.name;
+        Alcotest.(check bool) (f.Format.name ^ " lenient repair warns") true
+          (warnings <> [])
+      | Error m ->
+        if f.Format.caps.Format.lenient then
+          Alcotest.failf "%s: lenient mode failed to recover: %s" f.Format.name m)
+    Format.all
+
+(* --------------------------------------------------- diff+check self-check *)
+
+let test_check_self () =
+  List.iter
+    (fun (f : Format.t) ->
+      let src_old, src_new = pair f in
+      let o = tmp_file src_old and n = tmp_file src_new in
+      let code, out =
+        run (Printf.sprintf "%s check -f %s %s %s" (bin "treediff_cli")
+               f.Format.name o n)
+      in
+      Sys.remove o;
+      Sys.remove n;
+      Alcotest.(check int) (f.Format.name ^ " check exit 0") 0 code;
+      Alcotest.(check bool) (f.Format.name ^ " check reports ok") true
+        (contains ~sub:"ok" out))
+    Format.all
+
+(* ------------------------------------------------------- store round-trip *)
+
+let test_store_roundtrip () =
+  List.iter
+    (fun (f : Format.t) ->
+      let src_old, src_new = pair f in
+      let gen = Tree.gen () in
+      let t1 = Format.parse f gen src_old in
+      let t2 = Format.parse f gen src_new in
+      let path = Filename.temp_file "treediff_fmt" ".tda" in
+      Sys.remove path;
+      let store = ok_or_fail (f.Format.name ^ " init") (Store.init path) in
+      ignore (ok_or_fail (f.Format.name ^ " commit v0") (Store.commit store t1));
+      ignore (ok_or_fail (f.Format.name ^ " commit v1") (Store.commit store t2));
+      let m0 =
+        ok_or_fail (f.Format.name ^ " materialize v0")
+          (Store.materialize ~verify:true store 0)
+      in
+      let m1 =
+        ok_or_fail (f.Format.name ^ " materialize v1")
+          (Store.materialize ~verify:true store 1)
+      in
+      if f.Format.caps.Format.id_preserving then begin
+        (* the store relabels into its own id space, so the bytes of an
+           id-carrying render legitimately differ; structure must not *)
+        Alcotest.(check bool) (f.Format.name ^ " v0 structure") true
+          (same_structure t1 m0);
+        Alcotest.(check bool) (f.Format.name ^ " v1 structure") true
+          (same_structure t2 m1)
+      end
+      else begin
+        Alcotest.(check string) (f.Format.name ^ " v0 bytes") (f.Format.render t1)
+          (f.Format.render m0);
+        Alcotest.(check string) (f.Format.name ^ " v1 bytes") (f.Format.render t2)
+          (f.Format.render m1)
+      end;
+      Sys.remove path)
+    Format.all
+
+(* The same round-trip end to end through the CLI store verbs, on the new
+   JSON and Markdown example fixtures. *)
+let test_store_cli_fixtures () =
+  List.iter
+    (fun ((f : Format.t), old_fix, new_fix) ->
+      let t = bin "treediff_cli" in
+      let arch = Filename.temp_file "treediff_fmt" ".tda" in
+      Sys.remove arch;
+      let code, _ = run (Printf.sprintf "%s store init %s" t arch) in
+      Alcotest.(check int) (f.Format.name ^ " store init") 0 code;
+      List.iter
+        (fun fix ->
+          let code, _ =
+            run (Printf.sprintf "%s store commit %s %s -f %s" t arch
+                   (fixture fix) f.Format.name)
+          in
+          Alcotest.(check int) (f.Format.name ^ " store commit " ^ fix) 0 code)
+        [ old_fix; new_fix ];
+      List.iteri
+        (fun v fix ->
+          let out = Filename.temp_file "treediff_fmt" ".out" in
+          let code, _ =
+            run (Printf.sprintf "%s store materialize %s %d --verify -f %s -o %s"
+                   t arch v f.Format.name out)
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "%s materialize v%d" f.Format.name v) 0 code;
+          (* materialized render must be byte-identical to the render of the
+             committed source (the fixture re-rendered, not its raw bytes) *)
+          let want =
+            f.Format.render (Format.parse f (Tree.gen ()) (read_file (fixture fix)))
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "%s v%d bytes" f.Format.name v) want (read_file out);
+          Sys.remove out)
+        [ old_fix; new_fix ];
+      Sys.remove arch)
+    [
+      (Format.json, "service.old.json", "service.new.json");
+      (Format.markdown, "notes.old.md", "notes.new.md");
+    ]
+
+(* --------------------------------------------- unknown-format error parity *)
+
+let req ?(id = 1) verb params = { Protocol.id; verb; params }
+
+let handle h r =
+  match
+    Handler.handle h ~queue_depth:0 ~pressure:Handler.Full ~draining:false
+      ~received_at:(Unix.gettimeofday ()) r
+  with
+  | Handler.Payload p -> Protocol.parse_response p
+  | Handler.Shutdown p -> Protocol.parse_response p
+
+let ok_body = function
+  | Ok (_, Protocol.Ok_resp body) -> body
+  | Ok (_, Protocol.Err_resp { message; _ }) -> Alcotest.failf "error: %s" message
+  | Error e -> Alcotest.failf "protocol: %s" e
+
+let test_unknown_format_parity () =
+  let canonical = Format.unknown_message "nope" in
+  (* daemon: typed bad_request carrying the registry text verbatim *)
+  let h = Handler.create () in
+  (match
+     handle h
+       (req "diff"
+          (Json.Obj
+             [
+               ("old", Json.Str sexp_old);
+               ("new", Json.Str sexp_new);
+               ("format", Json.Str "nope");
+             ]))
+   with
+  | Ok (_, Protocol.Err_resp { kind = Protocol.Bad_request; message; _ }) ->
+    Alcotest.(check string) "serve error is the registry text" canonical message
+  | Ok (_, Protocol.Ok_resp _) -> Alcotest.fail "serve accepted an unknown format"
+  | Ok (_, Protocol.Err_resp { kind; _ }) ->
+    Alcotest.failf "serve: wrong error kind %s" (Protocol.error_kind_name kind)
+  | Error e -> Alcotest.failf "protocol: %s" e);
+  (* both CLIs: same text, via the shared cmdliner converter *)
+  let o = tmp_file sexp_old and n = tmp_file sexp_new in
+  List.iter
+    (fun cli ->
+      let code, out =
+        run_err (Printf.sprintf "%s %s-f nope %s %s" (bin cli)
+                   (if String.equal cli "ladiff" then "" else "diff ") o n)
+      in
+      Alcotest.(check bool) (cli ^ " rejects unknown format") true (code <> 0);
+      Alcotest.(check bool) (cli ^ " prints the registry text") true
+        (contains ~sub:canonical (squeeze out)))
+    [ "treediff_cli"; "ladiff" ];
+  Sys.remove o;
+  Sys.remove n
+
+(* ------------------------------------------------------- the new renderers *)
+
+let test_cli_render_modes () =
+  List.iter
+    (fun (f : Format.t) ->
+      let src_old, src_new = pair f in
+      let o = tmp_file src_old and n = tmp_file src_new in
+      let code, out =
+        run (Printf.sprintf "%s diff -f %s --render side-by-side %s %s"
+               (bin "treediff_cli") f.Format.name o n)
+      in
+      Alcotest.(check int) (f.Format.name ^ " side-by-side exit 0") 0 code;
+      Alcotest.(check bool) (f.Format.name ^ " side-by-side has columns") true
+        (contains ~sub:"|" out);
+      let code, out =
+        run (Printf.sprintf "%s diff -f %s --render summary %s %s"
+               (bin "treediff_cli") f.Format.name o n)
+      in
+      Alcotest.(check int) (f.Format.name ^ " summary exit 0") 0 code;
+      Alcotest.(check bool) (f.Format.name ^ " summary nonempty") true
+        (String.length (String.trim out) > 0);
+      Sys.remove o;
+      Sys.remove n)
+    [ Format.latex; Format.html; Format.json; Format.markdown ]
+
+let test_serve_render_modes () =
+  let h = Handler.create () in
+  let diff mode =
+    let body =
+      ok_body
+        (handle h
+           (req "diff"
+              (Json.Obj
+                 [
+                   ("old", Json.Str md_old);
+                   ("new", Json.Str md_new);
+                   ("format", Json.Str Format.markdown.Format.name);
+                   ("mode", Json.Str mode);
+                 ])))
+    in
+    match Json.mem_str "output" body with
+    | Some out -> out
+    | None -> Alcotest.failf "no output member in %s response" mode
+  in
+  Alcotest.(check bool) "serve side-by-side has columns" true
+    (contains ~sub:"|" (diff "side-by-side"));
+  Alcotest.(check bool) "serve summary nonempty" true
+    (String.length (String.trim (diff "summary")) > 0)
+
+(* The fixture walkthrough the README documents: markdown summary names the
+   moved section, json check verifies. *)
+let test_fixture_walkthrough () =
+  let t = bin "treediff_cli" in
+  let code, out =
+    run (Printf.sprintf "%s diff -f markdown --render summary %s %s" t
+           (fixture "notes.old.md") (fixture "notes.new.md"))
+  in
+  Alcotest.(check int) "fixture summary exit 0" 0 code;
+  Alcotest.(check bool) "summary speaks of sections" true
+    (contains ~sub:"moved \xc2\xa7" out);
+  Alcotest.(check bool) "summary counts the rewording" true
+    (contains ~sub:"reworded" out);
+  let code, _ =
+    run (Printf.sprintf "%s check -f json %s %s" t
+           (fixture "service.old.json") (fixture "service.new.json"))
+  in
+  Alcotest.(check int) "json fixture check exit 0" 0 code;
+  (* ladiff resolves formats through the same registry: -f xml now works *)
+  let o = tmp_file xml_old and n = tmp_file xml_new in
+  let code, out =
+    run (Printf.sprintf "%s -f xml -m summary %s %s" (bin "ladiff") o n)
+  in
+  Sys.remove o;
+  Sys.remove n;
+  Alcotest.(check int) "ladiff -f xml exit 0" 0 code;
+  Alcotest.(check bool) "ladiff -f xml produces a summary" true
+    (String.length (String.trim out) > 0)
+
+let () =
+  Alcotest.run "format registry"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "lookup and canonical errors" `Quick test_registry;
+        ] );
+      ( "conformance",
+        [
+          Alcotest.test_case "parse/render round-trip" `Quick test_roundtrip;
+          Alcotest.test_case "lenient recovery" `Quick test_lenient;
+          Alcotest.test_case "treediff check self-check" `Quick test_check_self;
+          Alcotest.test_case "store round-trip" `Quick test_store_roundtrip;
+          Alcotest.test_case "store CLI fixtures" `Quick test_store_cli_fixtures;
+        ] );
+      ( "parity",
+        [
+          Alcotest.test_case "unknown format, CLI and daemon" `Quick
+            test_unknown_format_parity;
+          Alcotest.test_case "render modes via CLI" `Quick test_cli_render_modes;
+          Alcotest.test_case "render modes via daemon" `Quick
+            test_serve_render_modes;
+          Alcotest.test_case "fixture walkthrough" `Quick test_fixture_walkthrough;
+        ] );
+    ]

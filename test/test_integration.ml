@@ -102,7 +102,7 @@ let test_html_pipeline_with_moves () =
     "<h1>News</h1><p>Second item follows. First item of news.</p>\
      <ul><li>Point gamma delta.</li><li>Point alpha beta.</li></ul>"
   in
-  let out = Treediff_doc.Ladiff.run ~format:Treediff_doc.Ladiff.Html ~old_src ~new_src () in
+  let out = Treediff_doc.Ladiff.run ~format:Treediff_doc.Format.html ~old_src ~new_src () in
   let r = out.Treediff_doc.Ladiff.result in
   Alcotest.(check bool) "verifies" true
     (Diff.check r ~t1:out.Treediff_doc.Ladiff.old_tree ~t2:out.Treediff_doc.Ladiff.new_tree

@@ -45,5 +45,22 @@ if [ -n "$bad" ]; then
   status=1
 fi
 
+# @lint no-direct-parser-calls
+# Every parse must resolve through the Treediff_doc.Format registry so the
+# supported set, unknown-format errors and lenient behaviour stay identical
+# across the CLI, ladiff, the serve daemon and the store ingest path.
+# Calling an individual parser's parse/parse_result directly (outside
+# lib/doc, where the registry itself lives) reintroduces the per-entry-point
+# drift the registry exists to prevent.
+bad=$(grep -rn -E '(Xml|Latex|Html|Json|Markdown)_parser\.parse' \
+        "$root/lib" "$root/bin" "$root/examples" --include='*.ml' \
+      | grep -v '/lib/doc/' || true)
+bad=$(filter_allowed "$bad")
+if [ -n "$bad" ]; then
+  echo 'lint_globals: direct parser call outside lib/doc (resolve the format through Treediff_doc.Format instead):' >&2
+  printf '%s\n' "$bad" >&2
+  status=1
+fi
+
 if [ "$status" -ne 0 ]; then exit "$status"; fi
 echo 'lint_globals: ok'
